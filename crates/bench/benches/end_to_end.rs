@@ -1,0 +1,54 @@
+//! Criterion benchmarks for complete simulated transactions: one
+//! worst-case transaction per scheme on the discrete-event world.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safetx_bench::{run_single, Staleness};
+use safetx_core::{ConsistencyLevel, ProofScheme};
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end/one_txn_n4");
+    for scheme in ProofScheme::ALL {
+        for level in ConsistencyLevel::ALL {
+            group.bench_function(
+                BenchmarkId::new(scheme.to_string(), level.to_string()),
+                |b| b.iter(|| black_box(run_single(scheme, level, 4, Staleness::None))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_update_round(c: &mut Criterion) {
+    c.bench_function("end_to_end/deferred_view_update_round", |b| {
+        b.iter(|| {
+            black_box(run_single(
+                ProofScheme::Deferred,
+                ConsistencyLevel::View,
+                4,
+                Staleness::OneAhead,
+            ))
+        })
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end/continuous_scaling");
+    group.sample_size(20);
+    for &n in &[2usize, 4, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(run_single(
+                    ProofScheme::Continuous,
+                    ConsistencyLevel::View,
+                    n,
+                    Staleness::None,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_update_round, bench_scaling);
+criterion_main!(benches);

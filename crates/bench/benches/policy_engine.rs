@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the authorization substrate: parsing,
+//! fixpoint saturation and full proof evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safetx_policy::{
+    evaluate_proof, AccessRequest, Atom, CaRegistry, CertificateAuthority, Constant, Engine,
+    FactBase, PolicyBuilder, ProofContext,
+};
+use safetx_types::{AdminDomain, CaId, PolicyId, Timestamp, UserId};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let source = "grant(read, customers) :- role(U, sales_rep), region(U, R), located(U, R).\n\
+                  grant(write, inventory) :- role(U, manager), clearance(U, 3).\n\
+                  reach(X, Y) :- edge(X, Y).\n\
+                  reach(X, Z) :- reach(X, Y), edge(Y, Z).";
+    c.bench_function("policy/parse_rules", |b| {
+        b.iter(|| black_box(source).parse::<safetx_policy::RuleSet>().unwrap())
+    });
+}
+
+fn bench_saturate(c: &mut Criterion) {
+    let rules: safetx_policy::RuleSet = "reach(X, Y) :- edge(X, Y).\n\
+                                         reach(X, Z) :- reach(X, Y), edge(Y, Z)."
+        .parse()
+        .unwrap();
+    let engine = Engine::new();
+    let mut group = c.benchmark_group("policy/saturate_chain");
+    for &n in &[8usize, 16, 32] {
+        let mut facts = FactBase::new();
+        for i in 0..n {
+            facts
+                .insert(Atom::fact(
+                    "edge",
+                    vec![
+                        Constant::symbol(format!("n{i}")),
+                        Constant::symbol(format!("n{}", i + 1)),
+                    ],
+                ))
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &facts, |b, facts| {
+            b.iter(|| engine.saturate(rules.as_slice(), black_box(facts)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_proof_evaluation(c: &mut Criterion) {
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text("grant(read, customers) :- role(U, sales_rep), region(U, R), located(U, R).")
+        .unwrap()
+        .build();
+    let mut ca = CertificateAuthority::new(CaId::new(0), 7);
+    let credential = ca.issue(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("bob"), Constant::symbol("sales_rep")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    let mut registry = CaRegistry::new();
+    registry.register(ca);
+    let engine = Engine::new();
+    let mut ambient = FactBase::new();
+    ambient.insert_text("region(bob, east)").unwrap();
+    ambient.insert_text("located(bob, east)").unwrap();
+    let request = AccessRequest::new(UserId::new(1), "read", "customers");
+
+    c.bench_function("policy/evaluate_proof", |b| {
+        b.iter(|| {
+            let ctx = ProofContext {
+                policy: &policy,
+                oracle: &registry,
+                engine: &engine,
+                ambient_facts: &ambient,
+            };
+            evaluate_proof(
+                &ctx,
+                safetx_types::ServerId::new(0),
+                black_box(&request),
+                std::slice::from_ref(&credential),
+                Timestamp::from_millis(1),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_saturate, bench_proof_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Master refresh policy** (global consistency): Section V-A offers
+//!    two ways to use the master — retrieve the latest version once, or
+//!    every round. We drive the `ValidationRound` state machine against a
+//!    scripted adversary that publishes a new version every round and
+//!    compare rounds, messages and outcomes.
+//! 2. **Commit variants**: forced-log counts of Standard vs Presumed-Abort
+//!    vs Presumed-Commit on commit-heavy and abort-heavy runs.
+//! 3. **No-wait locking pressure**: abort rate as data access skew grows.
+//!
+//! ```bash
+//! cargo run --release -p safetx-bench --bin ablation
+//! ```
+
+use safetx_core::{
+    ConsistencyLevel, ExperimentConfig, ProofScheme, ValidationAction, ValidationConfig,
+    ValidationOutcome, ValidationReply, ValidationRound,
+};
+use safetx_metrics::AsciiTable;
+use safetx_txn::{CommitVariant, Vote};
+use safetx_types::{Duration, PolicyId, PolicyVersion, ServerId};
+use safetx_workload::{run_scenario, QueryCount, ScenarioConfig, WorkloadConfig};
+use std::collections::BTreeSet;
+
+/// Drives one 2PV under an adversary that publishes a fresh policy version
+/// before every collection round, up to `updates_available` times.
+/// Returns (rounds, request/update messages, outcome).
+fn storm(refresh_each_round: bool, updates_available: u64) -> (u64, u64, ValidationOutcome) {
+    let n = 3u64;
+    let participants: BTreeSet<ServerId> = (0..n).map(ServerId::new).collect();
+    let config = ValidationConfig {
+        refresh_master_each_round: refresh_each_round,
+        ..ValidationConfig::two_pv(ConsistencyLevel::Global)
+    };
+    let mut round = ValidationRound::new(participants, config);
+    let mut master_version = 1u64; // version the master will answer with
+    let mut published = 0u64;
+    let mut replica_version = vec![1u64; n as usize];
+    let mut actions = round.start();
+    let mut messages = 0u64;
+    let outcome = 'run: loop {
+        let batch: Vec<ValidationAction> = std::mem::take(&mut actions);
+        let mut to_reply: Vec<ServerId> = Vec::new();
+        let mut master_asked = false;
+        for action in batch {
+            match action {
+                ValidationAction::SendRequest(s) => {
+                    messages += 1;
+                    to_reply.push(s);
+                }
+                ValidationAction::SendUpdate(s, targets) => {
+                    messages += 1;
+                    let idx = s.index() as usize;
+                    let target = targets[&PolicyId::new(0)].get();
+                    replica_version[idx] = replica_version[idx].max(target);
+                    to_reply.push(s);
+                }
+                ValidationAction::QueryMaster => {
+                    messages += 1;
+                    master_asked = true;
+                }
+                ValidationAction::Resolved(outcome) => break 'run outcome,
+            }
+        }
+        if master_asked {
+            // The adversary publishes a new version right before the master
+            // answers, while updates remain.
+            if published < updates_available {
+                master_version += 1;
+                published += 1;
+            }
+            actions
+                .extend(round.on_master_versions(
+                    [(PolicyId::new(0), PolicyVersion(master_version))].into(),
+                ));
+        }
+        for s in to_reply {
+            let idx = s.index() as usize;
+            actions.extend(round.on_reply(
+                s,
+                ValidationReply {
+                    vote: Vote::Yes,
+                    truth: true,
+                    versions: [(PolicyId::new(0), PolicyVersion(replica_version[idx]))].into(),
+                    proofs: vec![],
+                },
+            ));
+        }
+    };
+    (round.rounds(), messages, outcome)
+}
+
+fn master_refresh_ablation() {
+    println!("1. Global consistency: retrieve the master version once vs every round");
+    println!("   (adversary publishes a new policy version before each master answer)\n");
+    let mut table = AsciiTable::new(vec![
+        "updates during 2PV",
+        "once: rounds",
+        "once: msgs",
+        "once: outcome",
+        "each: rounds",
+        "each: msgs",
+        "each: outcome",
+    ]);
+    for updates in [0u64, 1, 2, 4, 8, 20] {
+        let (r_once, m_once, o_once) = storm(false, updates);
+        let (r_each, m_each, o_each) = storm(true, updates);
+        let show =
+            |o: ValidationOutcome| if o.is_continue() { "CONTINUE" } else { "ABORT" }.to_owned();
+        table.row(vec![
+            updates.to_string(),
+            r_once.to_string(),
+            m_once.to_string(),
+            show(o_once),
+            r_each.to_string(),
+            m_each.to_string(),
+            show(o_each),
+        ]);
+    }
+    println!("{table}");
+    println!("   Retrieve-once converges in ≤2 rounds (like view consistency) but may");
+    println!("   CONTINUE on a version that is no longer the latest; refresh-each-round");
+    println!("   chases the adversary (\"theoretically infinite\" rounds, paper §V-A)");
+    println!("   until the round cap forces an abort.\n");
+}
+
+fn commit_variant_ablation() {
+    println!("2. Commit-protocol logging variants (forced writes per transaction)\n");
+    let mut table = AsciiTable::new(vec![
+        "workload",
+        "Standard",
+        "Presumed-Abort",
+        "Presumed-Commit",
+    ]);
+    for &(label, revoke) in &[("all commits", 0.0), ("all aborts", 1.0)] {
+        let mut cells = vec![label.to_owned()];
+        for variant in [
+            CommitVariant::Standard,
+            CommitVariant::PresumedAbort,
+            CommitVariant::PresumedCommit,
+        ] {
+            let config = ScenarioConfig {
+                experiment: ExperimentConfig {
+                    scheme: ProofScheme::Deferred,
+                    consistency: ConsistencyLevel::View,
+                    variant,
+                    seed: 5,
+                    ..Default::default()
+                },
+                workload: WorkloadConfig {
+                    transactions: 50,
+                    queries_per_txn: QueryCount::Fixed(3),
+                    servers: 3,
+                    mean_interarrival: Duration::from_millis(30),
+                    ..Default::default()
+                },
+                revoke_fraction: revoke,
+                revoke_after: Duration::ZERO,
+                ..Default::default()
+            };
+            let result = run_scenario(&config);
+            let per_txn = result.report.forced_logs as f64 / result.report.records.len() as f64;
+            cells.push(format!("{per_txn:.2}"));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+    println!("   Commits: Standard forces 2n+1 = 7; PrC trades participant decision");
+    println!("   forces for a collecting record. Aborts: PrA forces the least — no");
+    println!("   abort-decision forces anywhere. Matches Chrysanthis et al. as cited.\n");
+}
+
+fn lock_pressure_ablation() {
+    println!("3. No-wait locking: abort rate vs. access skew (Zipf exponent)\n");
+    let mut table = AsciiTable::new(vec!["zipf s", "abort rate", "lock-conflict aborts"]);
+    for &s in &[0.0, 0.6, 0.9, 1.2, 1.5] {
+        let config = ScenarioConfig {
+            experiment: ExperimentConfig {
+                scheme: ProofScheme::Deferred,
+                consistency: ConsistencyLevel::View,
+                seed: 5,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                transactions: 200,
+                queries_per_txn: QueryCount::Fixed(3),
+                servers: 3,
+                items_per_server: 16,
+                read_fraction: 0.1,
+                zipf_exponent: s,
+                mean_interarrival: Duration::from_millis(4), // heavy overlap
+                distinct_servers: true,
+            },
+            ..Default::default()
+        };
+        let result = run_scenario(&config);
+        let conflicts = result
+            .aborts_by_reason
+            .get("lock conflict")
+            .copied()
+            .unwrap_or(0);
+        table.row(vec![
+            format!("{s:.1}"),
+            format!("{:.1}%", result.abort_rate() * 100.0),
+            conflicts.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("   Hotter items under no-wait locking abort more often — the cost of the");
+    println!("   deadlock-free locking choice documented in safetx-store.");
+}
+
+fn main() {
+    println!("safetx ablation studies\n=======================\n");
+    master_refresh_ablation();
+    commit_variant_ablation();
+    lock_pressure_ablation();
+}

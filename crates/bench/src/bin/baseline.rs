@@ -1,0 +1,220 @@
+//! Quantifies the hazard 2PVC eliminates, against the **unsafe baseline**
+//! the paper's Section II describes: servers issue access capabilities on
+//! granted proofs and honor them in lieu of fresh proofs, and commit is
+//! plain 2PC with no policy validation.
+//!
+//! Two adversaries, many randomized trials each:
+//!
+//! * **Revocation** (Bob's OpRegion credential): the credential is revoked
+//!   at a random instant mid-transaction. An *unsafe commit* is a commit
+//!   whose view contains a granted proof evaluated at or after the
+//!   revocation — only the capability shortcut can produce one.
+//! * **Stale policy** (P → P′): a restrictive v2 reaches a random replica
+//!   before the transaction starts. Safe schemes must abort (the update
+//!   round exposes the denial); the baseline commits on the stale replicas.
+//!
+//! ```bash
+//! cargo run --release -p safetx-bench --bin baseline [-- trials]
+//! ```
+
+use safetx_core::{ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme, TxnRecord};
+use safetx_metrics::AsciiTable;
+use safetx_policy::{Atom, Constant, Policy, PolicyBuilder};
+use safetx_sim::SimRng;
+use safetx_store::Value;
+use safetx_txn::{Operation, QuerySpec, TransactionSpec};
+use safetx_types::{
+    AdminDomain, CaId, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId,
+    UserId,
+};
+
+const N: usize = 3;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum System {
+    Baseline,
+    Scheme(ProofScheme),
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            System::Baseline => write!(f, "unsafe baseline (2PC + capabilities)"),
+            System::Scheme(s) => write!(f, "{s} + 2PVC"),
+        }
+    }
+}
+
+fn systems() -> Vec<System> {
+    let mut v = vec![System::Baseline];
+    v.extend(ProofScheme::ALL.map(System::Scheme));
+    v
+}
+
+fn member_policy(restrictive: bool) -> Policy {
+    let rules = if restrictive {
+        "grant(read, records) :- role(U, auditor).\n\
+         grant(write, records) :- role(U, auditor)."
+    } else {
+        "grant(read, records) :- role(U, member).\n\
+         grant(write, records) :- role(U, member)."
+    };
+    PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(rules)
+        .unwrap()
+        .build()
+}
+
+fn build(system: System) -> Experiment {
+    // The baseline needs query-time proofs (so capabilities circulate);
+    // Punctual is its natural safe counterpart.
+    let scheme = match system {
+        System::Baseline => ProofScheme::Punctual,
+        System::Scheme(s) => s,
+    };
+    let mut exp = Experiment::new(ExperimentConfig {
+        servers: N,
+        scheme,
+        consistency: ConsistencyLevel::View,
+        gossip: false,
+        unsafe_baseline: system == System::Baseline,
+        ..Default::default()
+    });
+    exp.catalog().publish(member_policy(false));
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    for i in 0..N {
+        exp.seed_item(
+            ServerId::new(i as u64),
+            DataItemId::new(i as u64),
+            Value::Int(0),
+        );
+    }
+    exp
+}
+
+fn txn() -> TransactionSpec {
+    let queries = (0..N)
+        .map(|i| {
+            QuerySpec::new(
+                ServerId::new(i as u64),
+                "read",
+                "records",
+                vec![Operation::Read(DataItemId::new(i as u64))],
+            )
+        })
+        .collect();
+    TransactionSpec::new(TxnId::new(1), UserId::new(1), queries)
+}
+
+fn run_one(system: System, revoke_at: Option<Timestamp>, stale_replica: Option<u64>) -> TxnRecord {
+    let mut exp = build(system);
+    if stale_replica.is_some() {
+        // Publish the restrictive rules as version 2 of the same policy.
+        let v2 = member_policy(false).updated(member_policy(true).rules().clone());
+        exp.catalog().publish(v2);
+    }
+    if let Some(replica) = stale_replica {
+        exp.install_at(ServerId::new(replica), PolicyId::new(0), PolicyVersion(2));
+    }
+    let cred = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    if let Some(at) = revoke_at {
+        let id = cred.id();
+        exp.cas().with_mut(|registry| {
+            registry.revoke(CaId::new(0), id, at);
+        });
+    }
+    exp.submit(txn(), vec![cred], Duration::ZERO);
+    exp.run();
+    exp.report().records[0].clone()
+}
+
+fn revocation_study(trials: u64) {
+    println!("A. Credential revoked at a random instant mid-transaction ({trials} trials)");
+    println!("   unsafe commit = a granted proof evaluated at/after the revocation\n");
+    let mut table = AsciiTable::new(vec!["system", "commits", "UNSAFE commits", "aborts"]);
+    for system in systems() {
+        let mut rng = SimRng::new(0xBA5E);
+        let (mut commits, mut unsafe_commits, mut aborts) = (0u64, 0u64, 0u64);
+        for _ in 0..trials {
+            // The 3-query transaction runs ~6 ms + commit; revocations land
+            // throughout.
+            let revoke_at = Timestamp::from_micros(rng.range_u64(500, 9_000));
+            let record = run_one(system, Some(revoke_at), None);
+            if record.outcome.is_commit() {
+                commits += 1;
+                let granted_after_revocation = record
+                    .view
+                    .latest_per_proof()
+                    .iter()
+                    .any(|p| p.truth() && p.evaluated_at >= revoke_at);
+                if granted_after_revocation {
+                    unsafe_commits += 1;
+                }
+            } else {
+                aborts += 1;
+            }
+        }
+        table.row(vec![
+            system.to_string(),
+            commits.to_string(),
+            unsafe_commits.to_string(),
+            aborts.to_string(),
+        ]);
+        if let System::Scheme(_) = system {
+            assert_eq!(unsafe_commits, 0, "{system} must never commit unsafely");
+        }
+    }
+    println!("{table}");
+}
+
+fn stale_policy_study(trials: u64) {
+    println!("B. Restrictive P' installed at one random replica before the run ({trials} trials)");
+    println!("   a safe system must abort: the member role no longer satisfies P'\n");
+    let mut table = AsciiTable::new(vec!["system", "commits (all unsafe)", "aborts"]);
+    for system in systems() {
+        let mut rng = SimRng::new(0x57A1E);
+        let (mut commits, mut aborts) = (0u64, 0u64);
+        for _ in 0..trials {
+            let replica = rng.range_u64(0, N as u64);
+            let record = run_one(system, None, Some(replica));
+            if record.outcome.is_commit() {
+                commits += 1;
+            } else {
+                aborts += 1;
+            }
+        }
+        table.row(vec![
+            system.to_string(),
+            commits.to_string(),
+            aborts.to_string(),
+        ]);
+        if let System::Scheme(_) = system {
+            assert_eq!(
+                commits, 0,
+                "{system} must abort under an already-published denial"
+            );
+        }
+    }
+    println!("{table}");
+    println!("The baseline commits whenever the stale replicas' capabilities/v1 grants");
+    println!("cover the queries; every 2PVC scheme reconciles versions first and aborts.");
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    println!("Unsafe-baseline hazard study (the system of the paper's Section II)\n");
+    revocation_study(trials);
+    println!();
+    stale_policy_study(trials);
+}

@@ -1,0 +1,123 @@
+//! Renders the paper's scheme timelines (**Figures 3–6**) as ASCII charts.
+//!
+//! Each figure shows, per server, when queries arrive (`.`) and when proofs
+//! of authorization are evaluated (`*`), between `α(T)` and `ω(T)`; the
+//! commit-time consistency enforcement is the `|` column. The shapes match
+//! the paper exactly:
+//!
+//! * Deferred (Fig. 3): stars only at the commit line.
+//! * Punctual (Fig. 4): a star at each query plus stars at the commit line.
+//! * Incremental Punctual (Fig. 5): a star at each query, none at commit.
+//! * Continuous (Fig. 6): at each query, stars at that server *and* every
+//!   earlier server (re-evaluations); none at commit (view consistency).
+//!
+//! ```bash
+//! cargo run -p safetx-bench --bin timelines            # all four schemes
+//! cargo run -p safetx-bench --bin timelines -- punctual
+//! ```
+
+use safetx_bench::{run_traced, server_of_node, Staleness};
+use safetx_core::{ConsistencyLevel, ProofScheme};
+use safetx_sim::{TraceEntry, TraceKind};
+use safetx_types::Timestamp;
+
+const WIDTH: usize = 72;
+
+fn main() {
+    let schemes: Vec<ProofScheme> = match std::env::args().nth(1) {
+        Some(arg) => vec![arg.parse().expect("scheme name")],
+        None => ProofScheme::ALL.to_vec(),
+    };
+    // Optional second argument `stale`: server 0 starts a version ahead, so
+    // Deferred/Punctual show the 2PVC update round (a second star column
+    // after the commit line at the stale servers).
+    let staleness = match std::env::args().nth(2).as_deref() {
+        Some("stale") => Staleness::OneAhead,
+        _ => Staleness::None,
+    };
+    for scheme in schemes {
+        render(scheme, staleness);
+    }
+}
+
+fn figure_number(scheme: ProofScheme) -> u32 {
+    match scheme {
+        ProofScheme::Deferred => 3,
+        ProofScheme::Punctual => 4,
+        ProofScheme::IncrementalPunctual => 5,
+        ProofScheme::Continuous => 6,
+    }
+}
+
+fn render(scheme: ProofScheme, staleness: Staleness) {
+    let n = 3;
+    let (run, trace) = run_traced(scheme, ConsistencyLevel::View, n, staleness);
+    if staleness == Staleness::None {
+        assert!(run.committed, "{scheme} timeline run must commit");
+    }
+
+    let alpha = run.record.started_at;
+    let finished = run.record.finished_at;
+    let span = finished.duration_since(alpha).as_micros().max(1);
+    let col = |t: Timestamp| -> usize {
+        let offset = t.duration_since(alpha).as_micros();
+        ((offset as u128 * (WIDTH as u128 - 1) / span as u128) as usize).min(WIDTH - 1)
+    };
+
+    // Commit line: the first Prepare-to-Commit send marks ω(T).
+    let omega = trace
+        .entries()
+        .iter()
+        .find(|e| matches!(&e.kind, TraceKind::Send { label, .. } if label.starts_with("PrepareToCommit")))
+        .map(|e| e.at);
+
+    let mut rows: Vec<Vec<char>> = vec![vec![' '; WIDTH]; n];
+    let mut place = |entry: &TraceEntry, node, ch: char| {
+        if let Some(server) = server_of_node(node, n) {
+            let row = &mut rows[server.index() as usize];
+            let c = col(entry.at);
+            // Proof stars win over query dots at the same column.
+            if ch == '*' || row[c] == ' ' {
+                row[c] = ch;
+            }
+        }
+    };
+    for entry in trace.entries() {
+        match &entry.kind {
+            TraceKind::Deliver { to, label, .. }
+                if label.starts_with("ExecQuery") || label.contains("new_query: Some") =>
+            {
+                place(entry, *to, '.');
+            }
+            TraceKind::Mark { node, label } if label.starts_with("proof:") => {
+                place(entry, *node, '*');
+            }
+            _ => {}
+        }
+    }
+    if let Some(omega) = omega {
+        let c = col(omega);
+        for row in &mut rows {
+            if row[c] == ' ' {
+                row[c] = '|';
+            }
+        }
+    }
+
+    println!(
+        "Figure {}: {} proofs of authorization ({} proofs evaluated, {} messages)",
+        figure_number(scheme),
+        scheme,
+        run.metrics.proofs,
+        run.metrics.messages
+    );
+    println!("  legend: '.' query start   '*' proof of authorization   '|' omega(T) consistency enforcement");
+    println!(
+        "  alpha(T) = {alpha}, omega(T) ~ {}",
+        omega.map_or_else(|| "-".into(), |t| t.to_string())
+    );
+    for (i, row) in rows.iter().enumerate() {
+        println!("  s{i} |{}|", row.iter().collect::<String>());
+    }
+    println!();
+}

@@ -1,0 +1,216 @@
+//! Reproduces the **Section VI-B trade-off study**: which scheme to use as
+//! a function of transaction length vs. policy-update interval.
+//!
+//! The paper's guidance:
+//!
+//! * txn length < update interval, short txns  → **Deferred**
+//! * txn length < update interval, long txns   → **Punctual**
+//! * txn length > update interval, short txns  → **Incremental Punctual**
+//! * txn length > update interval, long txns   → **Continuous**
+//!
+//! The binary runs every scheme in each of the four cells (plus a sweep
+//! over update intervals) and reports commit latency, abort rate, wasted
+//! work and the cost-per-successful-commit decision metric.
+//!
+//! ```bash
+//! cargo run --release -p safetx-bench --bin tradeoff [-- transactions]
+//! ```
+
+use safetx_core::{ConsistencyLevel, ExperimentConfig, ProofScheme};
+use safetx_metrics::AsciiTable;
+use safetx_types::Duration;
+use safetx_workload::{
+    run_scenario, PolicyChurn, QueryCount, ScenarioConfig, ScenarioResult, WorkloadConfig,
+};
+
+struct Cell {
+    label: &'static str,
+    queries: usize,
+    update_interval: Option<Duration>,
+    /// The pair Section VI-B prescribes for this regime: {Deferred,
+    /// Punctual} when transactions are shorter than the update interval,
+    /// {Incremental, Continuous} otherwise.
+    pair: [ProofScheme; 2],
+    expected_winner: ProofScheme,
+}
+
+fn scenario(
+    scheme: ProofScheme,
+    queries: usize,
+    update_interval: Option<Duration>,
+    transactions: usize,
+    seed: u64,
+) -> ScenarioConfig {
+    ScenarioConfig {
+        experiment: ExperimentConfig {
+            scheme,
+            consistency: ConsistencyLevel::View,
+            seed,
+            // A proof evaluation costs real compute: proof-tree search plus
+            // the online (OCSP-style) credential status check.
+            proof_eval_delay: Duration::from_micros(250),
+            ..Default::default()
+        },
+        workload: WorkloadConfig {
+            transactions,
+            queries_per_txn: QueryCount::Fixed(queries),
+            servers: queries.max(2),
+            mean_interarrival: Duration::from_millis(25),
+            read_fraction: 0.5,
+            ..Default::default()
+        },
+        churn: PolicyChurn {
+            mean_update_interval: update_interval,
+            // Half of the updates temporarily deny the workload's role for a
+            // short window: the hazard that makes early detection pay.
+            breaking_fraction: 0.3,
+            break_duration: Duration::from_millis(2),
+        },
+        // Credentials are revoked by a background process (the Bob
+        // scenario); exposure is proportional to transaction duration, so
+        // long transactions are hit more often and late detection wastes
+        // the whole transaction.
+        revoke_fraction: 0.025 * queries as f64,
+        revoke_after: Duration::from_micros(1_200 * queries as u64),
+        // Rolling back an executed query costs undo work.
+        undo_cost_per_query: Duration::from_millis(3),
+    }
+}
+
+fn row(result: &ScenarioResult) -> Vec<String> {
+    vec![
+        format!("{:.2}", result.mean_commit_latency_ms().unwrap_or(f64::NAN)),
+        format!("{:.1}%", result.abort_rate() * 100.0),
+        format!("{:.1}", result.total_wasted_ms()),
+        format!("{:.1}", result.mean_messages()),
+        format!("{:.1}", result.mean_proofs()),
+        if result.cost_per_commit_ms().is_finite() {
+            format!("{:.2}", result.cost_per_commit_ms())
+        } else {
+            "inf".to_owned()
+        },
+    ]
+}
+
+fn main() {
+    let transactions: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(42);
+
+    println!(
+        "Section VI-B trade-off study ({transactions} transactions per cell, view consistency)"
+    );
+    println!("decision metric: cost per successful commit = (committed + wasted time) / commits\n");
+
+    // Short txns take ~2 queries (≈6 ms with 1 ms links); long ones 8
+    // (≈20–80 ms depending on scheme). "Rare" updates arrive far apart;
+    // "frequent" updates land within a transaction's lifetime.
+    let cells = [
+        Cell {
+            label: "short txns, rare updates   (len < interval)",
+            queries: 2,
+            update_interval: Some(Duration::from_millis(60)),
+            pair: [ProofScheme::Deferred, ProofScheme::Punctual],
+            expected_winner: ProofScheme::Deferred,
+        },
+        Cell {
+            label: "long txns, rare updates    (len < interval)",
+            queries: 8,
+            update_interval: Some(Duration::from_millis(60)),
+            pair: [ProofScheme::Deferred, ProofScheme::Punctual],
+            expected_winner: ProofScheme::Punctual,
+        },
+        Cell {
+            label: "short txns, frequent updates (len > interval)",
+            queries: 2,
+            update_interval: Some(Duration::from_millis(6)),
+            pair: [ProofScheme::IncrementalPunctual, ProofScheme::Continuous],
+            expected_winner: ProofScheme::IncrementalPunctual,
+        },
+        Cell {
+            label: "long txns, frequent updates  (len > interval)",
+            queries: 8,
+            update_interval: Some(Duration::from_millis(10)),
+            pair: [ProofScheme::IncrementalPunctual, ProofScheme::Continuous],
+            expected_winner: ProofScheme::Continuous,
+        },
+    ];
+
+    for cell in &cells {
+        let mut table = AsciiTable::new(vec![
+            "scheme",
+            "commit ms",
+            "aborts",
+            "wasted ms",
+            "msgs/txn",
+            "proofs/txn",
+            "cost/commit",
+        ]);
+        table.title(format!("-- {} --", cell.label));
+        let mut best_overall: Option<(ProofScheme, f64)> = None;
+        let mut best_in_pair: Option<(ProofScheme, f64)> = None;
+        for scheme in ProofScheme::ALL {
+            let result = run_scenario(&scenario(
+                scheme,
+                cell.queries,
+                cell.update_interval,
+                transactions,
+                seed,
+            ));
+            let cost = result.cost_per_commit_ms();
+            if best_overall.is_none_or(|(_, b)| cost < b) {
+                best_overall = Some((scheme, cost));
+            }
+            if cell.pair.contains(&scheme) && best_in_pair.is_none_or(|(_, b)| cost < b) {
+                best_in_pair = Some((scheme, cost));
+            }
+            let mut cells_row = vec![scheme.to_string()];
+            cells_row.extend(row(&result));
+            table.row(cells_row);
+        }
+        println!("{table}");
+        let (pair_winner, _) = best_in_pair.expect("pair ran");
+        let (overall, _) = best_overall.expect("four schemes ran");
+        println!(
+            "   winner within the regime's pair {{{} | {}}}: {pair_winner}   (paper: {})",
+            cell.pair[0], cell.pair[1], cell.expected_winner
+        );
+        println!("   overall cheapest under the raw time metric: {overall}\n");
+    }
+
+    // Sweep: fixed length, varying update interval — shows the crossover
+    // from Deferred/Punctual territory into Incremental/Continuous.
+    println!("Sweep: 4-query transactions, cost/commit (ms) vs. policy-update interval");
+    let mut table = AsciiTable::new(vec![
+        "update interval",
+        "Deferred",
+        "Punctual",
+        "Incremental",
+        "Continuous",
+    ]);
+    for interval_ms in [2u64, 5, 10, 20, 50, 100, 200, 400] {
+        let mut cells_row = vec![format!("{interval_ms} ms")];
+        for scheme in ProofScheme::ALL {
+            let result = run_scenario(&scenario(
+                scheme,
+                4,
+                Some(Duration::from_millis(interval_ms)),
+                transactions,
+                seed,
+            ));
+            let cost = result.cost_per_commit_ms();
+            cells_row.push(if cost.is_finite() {
+                format!("{cost:.2}")
+            } else {
+                "inf".to_owned()
+            });
+        }
+        table.row(cells_row);
+    }
+    println!("{table}");
+}

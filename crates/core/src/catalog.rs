@@ -1,0 +1,188 @@
+//! The shared policy catalog and resource→policy mapping.
+//!
+//! Administrators publish every policy version into a catalog (the
+//! distribution infrastructure behind the paper's "Update … the
+//! participants update to the new policy from the server"). A cloud server
+//! replica tracks which *version* it has installed per policy; installing a
+//! newer version is a catalog lookup, not a counted protocol message —
+//! matching the paper's cost model, which counts Update notifications but
+//! not policy-content transfer.
+
+use safetx_policy::{Policy, PolicyError, PolicyStore};
+use safetx_types::{PolicyId, PolicyVersion};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// A handle to the deployment-wide policy catalog.
+///
+/// Clones share the same underlying store. Readable from simulation actors
+/// and runtime threads alike.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCatalog {
+    inner: Arc<RwLock<PolicyStore>>,
+}
+
+impl SharedCatalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a policy version (administrator operation). Returns `true`
+    /// when it became the latest of its id.
+    pub fn publish(&self, policy: Policy) -> bool {
+        self.inner
+            .write()
+            .expect("catalog lock poisoned")
+            .install(policy)
+    }
+
+    /// Fetches a specific version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolicyError::UnknownPolicy`] /
+    /// [`PolicyError::UnknownPolicyVersion`].
+    pub fn fetch(&self, id: PolicyId, version: PolicyVersion) -> Result<Policy, PolicyError> {
+        self.inner
+            .read()
+            .expect("catalog lock poisoned")
+            .get(id, version)
+            .cloned()
+    }
+
+    /// The latest published version number of a policy.
+    #[must_use]
+    pub fn latest_version(&self, id: PolicyId) -> Option<PolicyVersion> {
+        self.inner
+            .read()
+            .expect("catalog lock poisoned")
+            .latest_version(id)
+    }
+
+    /// Latest version numbers of all known policies.
+    #[must_use]
+    pub fn latest_versions(&self) -> BTreeMap<PolicyId, PolicyVersion> {
+        self.inner
+            .read()
+            .expect("catalog lock poisoned")
+            .latest_policies()
+            .map(|p| (p.id(), p.version()))
+            .collect()
+    }
+}
+
+impl crate::consistency::VersionAuthority for SharedCatalog {
+    fn latest_version(&self, policy: PolicyId) -> Option<PolicyVersion> {
+        SharedCatalog::latest_version(self, policy)
+    }
+}
+
+/// Maps a query's `resource` symbol to the policy protecting it.
+///
+/// The paper's `P_si(m(qi))`: the policy a server applies depends on the
+/// data the query touches. Deployments with a single administrative domain
+/// use [`ResourcePolicyMap::single`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourcePolicyMap {
+    by_resource: BTreeMap<String, PolicyId>,
+    fallback: Option<PolicyId>,
+}
+
+impl ResourcePolicyMap {
+    /// Creates an empty map (every lookup fails unless a fallback is set).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every resource is governed by one policy.
+    #[must_use]
+    pub fn single(policy: PolicyId) -> Self {
+        ResourcePolicyMap {
+            by_resource: BTreeMap::new(),
+            fallback: Some(policy),
+        }
+    }
+
+    /// Binds a resource to a policy.
+    pub fn bind(&mut self, resource: impl Into<String>, policy: PolicyId) {
+        self.by_resource.insert(resource.into(), policy);
+    }
+
+    /// Sets the policy used for unbound resources.
+    pub fn set_fallback(&mut self, policy: PolicyId) {
+        self.fallback = Some(policy);
+    }
+
+    /// The policy protecting `resource`.
+    #[must_use]
+    pub fn policy_for(&self, resource: &str) -> Option<PolicyId> {
+        self.by_resource.get(resource).copied().or(self.fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_policy::PolicyBuilder;
+    use safetx_types::AdminDomain;
+
+    fn policy(version: u64) -> Policy {
+        PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .version(PolicyVersion(version))
+            .build()
+    }
+
+    #[test]
+    fn publish_and_fetch_round_trip() {
+        let catalog = SharedCatalog::new();
+        assert!(catalog.publish(policy(1)));
+        assert!(catalog.publish(policy(2)));
+        assert_eq!(
+            catalog.latest_version(PolicyId::new(0)),
+            Some(PolicyVersion(2))
+        );
+        assert_eq!(
+            catalog
+                .fetch(PolicyId::new(0), PolicyVersion(1))
+                .unwrap()
+                .version(),
+            PolicyVersion(1)
+        );
+        assert!(catalog.fetch(PolicyId::new(0), PolicyVersion(9)).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let catalog = SharedCatalog::new();
+        let clone = catalog.clone();
+        catalog.publish(policy(1));
+        assert_eq!(
+            clone.latest_version(PolicyId::new(0)),
+            Some(PolicyVersion(1))
+        );
+    }
+
+    #[test]
+    fn latest_versions_lists_all_policies() {
+        let catalog = SharedCatalog::new();
+        catalog.publish(policy(3));
+        let other = PolicyBuilder::new(PolicyId::new(1), AdminDomain::new(0)).build();
+        catalog.publish(other);
+        let latest = catalog.latest_versions();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[&PolicyId::new(0)], PolicyVersion(3));
+    }
+
+    #[test]
+    fn resource_map_binds_and_falls_back() {
+        let mut map = ResourcePolicyMap::single(PolicyId::new(0));
+        map.bind("inventory", PolicyId::new(1));
+        assert_eq!(map.policy_for("inventory"), Some(PolicyId::new(1)));
+        assert_eq!(map.policy_for("customers"), Some(PolicyId::new(0)));
+        let empty = ResourcePolicyMap::new();
+        assert_eq!(empty.policy_for("x"), None);
+    }
+}

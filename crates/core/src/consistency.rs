@@ -1,0 +1,300 @@
+//! Policy-consistency levels and predicates (Definitions 2 and 3).
+
+use safetx_policy::ProofOfAuthorization;
+use safetx_types::{PolicyId, PolicyVersion};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// The consistency constraint placed on the policy versions inside a
+/// transaction's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ConsistencyLevel {
+    /// φ-consistency (Definition 2): all proofs of the same policy used one
+    /// common version — an internally consistent snapshot, possibly stale.
+    View,
+    /// ψ-consistency (Definition 3): every proof used the latest version
+    /// known to the authoritative master.
+    Global,
+}
+
+impl ConsistencyLevel {
+    /// Both levels, weakest first.
+    pub const ALL: [ConsistencyLevel; 2] = [ConsistencyLevel::View, ConsistencyLevel::Global];
+}
+
+impl fmt::Display for ConsistencyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyLevel::View => write!(f, "view"),
+            ConsistencyLevel::Global => write!(f, "global"),
+        }
+    }
+}
+
+impl FromStr for ConsistencyLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "view" | "phi" => Ok(ConsistencyLevel::View),
+            "global" | "psi" => Ok(ConsistencyLevel::Global),
+            other => Err(format!("unknown consistency level `{other}`")),
+        }
+    }
+}
+
+/// Something that knows the latest version of each policy — the paper's
+/// "master server" consulted under global consistency.
+pub trait VersionAuthority {
+    /// The latest version of `policy`, if the authority knows it.
+    fn latest_version(&self, policy: PolicyId) -> Option<PolicyVersion>;
+}
+
+impl VersionAuthority for BTreeMap<PolicyId, PolicyVersion> {
+    fn latest_version(&self, policy: PolicyId) -> Option<PolicyVersion> {
+        self.get(&policy).copied()
+    }
+}
+
+impl VersionAuthority for safetx_policy::PolicyStore {
+    fn latest_version(&self, policy: PolicyId) -> Option<PolicyVersion> {
+        safetx_policy::PolicyStore::latest_version(self, policy)
+    }
+}
+
+/// φ-consistency: within each policy (the replication unit of an
+/// administrative domain), every proof used the same version.
+///
+/// Vacuously true for an empty set of proofs.
+#[must_use]
+pub fn phi_consistent<'a, I>(proofs: I) -> bool
+where
+    I: IntoIterator<Item = &'a ProofOfAuthorization>,
+{
+    let mut seen: BTreeMap<PolicyId, PolicyVersion> = BTreeMap::new();
+    for proof in proofs {
+        match seen.get(&proof.policy_id) {
+            Some(&v) if v != proof.policy_version => return false,
+            Some(_) => {}
+            None => {
+                seen.insert(proof.policy_id, proof.policy_version);
+            }
+        }
+    }
+    true
+}
+
+/// ψ-consistency: every proof used exactly the latest version the authority
+/// reports for its policy. A policy unknown to the authority cannot be
+/// ψ-consistent.
+#[must_use]
+pub fn psi_consistent<'a, I>(proofs: I, authority: &dyn VersionAuthority) -> bool
+where
+    I: IntoIterator<Item = &'a ProofOfAuthorization>,
+{
+    proofs
+        .into_iter()
+        .all(|proof| authority.latest_version(proof.policy_id) == Some(proof.policy_version))
+}
+
+/// Checks the level-appropriate predicate.
+#[must_use]
+pub fn consistent_at<'a, I>(
+    level: ConsistencyLevel,
+    proofs: I,
+    authority: &dyn VersionAuthority,
+) -> bool
+where
+    I: IntoIterator<Item = &'a ProofOfAuthorization>,
+{
+    match level {
+        ConsistencyLevel::View => phi_consistent(proofs),
+        ConsistencyLevel::Global => psi_consistent(proofs, authority),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_policy::{AccessRequest, ProofOutcome};
+    use safetx_types::{ServerId, Timestamp, UserId};
+
+    fn proof(server: u64, policy: u64, version: u64) -> ProofOfAuthorization {
+        ProofOfAuthorization {
+            request: AccessRequest::new(UserId::new(1), "read", "t"),
+            server: ServerId::new(server),
+            policy_id: PolicyId::new(policy),
+            policy_version: PolicyVersion(version),
+            evaluated_at: Timestamp::ZERO,
+            credentials: vec![],
+            outcome: ProofOutcome::Granted,
+        }
+    }
+
+    #[test]
+    fn phi_holds_for_uniform_versions() {
+        let proofs = [proof(0, 0, 3), proof(1, 0, 3), proof(2, 0, 3)];
+        assert!(phi_consistent(&proofs));
+    }
+
+    #[test]
+    fn phi_fails_on_any_divergence() {
+        let proofs = [proof(0, 0, 3), proof(1, 0, 4)];
+        assert!(!phi_consistent(&proofs));
+    }
+
+    #[test]
+    fn phi_treats_policies_independently() {
+        // Two different policies at different versions is still φ-consistent.
+        let proofs = [proof(0, 0, 3), proof(1, 1, 7)];
+        assert!(phi_consistent(&proofs));
+    }
+
+    #[test]
+    fn phi_is_vacuously_true_for_empty_views() {
+        assert!(phi_consistent(std::iter::empty::<&ProofOfAuthorization>()));
+    }
+
+    #[test]
+    fn psi_requires_the_master_version() {
+        let mut master = BTreeMap::new();
+        master.insert(PolicyId::new(0), PolicyVersion(4));
+        let stale = [proof(0, 0, 3), proof(1, 0, 3)];
+        assert!(phi_consistent(&stale), "view-consistent but stale");
+        assert!(!psi_consistent(&stale, &master), "not the latest version");
+        let fresh = [proof(0, 0, 4), proof(1, 0, 4)];
+        assert!(psi_consistent(&fresh, &master));
+    }
+
+    #[test]
+    fn psi_fails_for_unknown_policy() {
+        let master: BTreeMap<PolicyId, PolicyVersion> = BTreeMap::new();
+        assert!(!psi_consistent(&[proof(0, 0, 1)], &master));
+    }
+
+    #[test]
+    fn psi_implies_phi() {
+        // Property: any ψ-consistent view is φ-consistent (the master has
+        // one latest version per policy).
+        let mut master = BTreeMap::new();
+        master.insert(PolicyId::new(0), PolicyVersion(2));
+        master.insert(PolicyId::new(1), PolicyVersion(5));
+        let proofs = [proof(0, 0, 2), proof(1, 0, 2), proof(2, 1, 5)];
+        assert!(psi_consistent(&proofs, &master));
+        assert!(phi_consistent(&proofs));
+    }
+
+    #[test]
+    fn consistent_at_dispatches() {
+        let mut master = BTreeMap::new();
+        master.insert(PolicyId::new(0), PolicyVersion(4));
+        let stale = [proof(0, 0, 3), proof(1, 0, 3)];
+        assert!(consistent_at(ConsistencyLevel::View, &stale, &master));
+        assert!(!consistent_at(ConsistencyLevel::Global, &stale, &master));
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(
+            "view".parse::<ConsistencyLevel>().unwrap(),
+            ConsistencyLevel::View
+        );
+        assert_eq!(
+            "psi".parse::<ConsistencyLevel>().unwrap(),
+            ConsistencyLevel::Global
+        );
+        assert!("eventual".parse::<ConsistencyLevel>().is_err());
+    }
+}
+
+/// φ-consistency grouped by administrative domain, the letter of
+/// Definition 2: *all* policies belonging to the same administrator `A`
+/// must have been used at one common version, even across distinct policy
+/// ids.
+///
+/// [`phi_consistent`] treats each policy id as its own replication unit —
+/// the natural reading when different policies of one administrator version
+/// independently. This stricter variant treats an administrator's policies
+/// as one logically-versioned object; use it when the deployment bumps all
+/// of an administrator's policies in lockstep.
+///
+/// `admin_of` maps a policy to its administrative domain; policies it does
+/// not know are conservatively treated as inconsistent.
+#[must_use]
+pub fn phi_consistent_by_admin<'a, I, F>(proofs: I, mut admin_of: F) -> bool
+where
+    I: IntoIterator<Item = &'a ProofOfAuthorization>,
+    F: FnMut(PolicyId) -> Option<safetx_types::AdminDomain>,
+{
+    let mut seen: BTreeMap<safetx_types::AdminDomain, PolicyVersion> = BTreeMap::new();
+    for proof in proofs {
+        let Some(admin) = admin_of(proof.policy_id) else {
+            return false;
+        };
+        match seen.get(&admin) {
+            Some(&v) if v != proof.policy_version => return false,
+            Some(_) => {}
+            None => {
+                seen.insert(admin, proof.policy_version);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod admin_tests {
+    use super::*;
+    use safetx_policy::{AccessRequest, ProofOutcome};
+    use safetx_types::{AdminDomain, ServerId, Timestamp, UserId};
+
+    fn proof(policy: u64, version: u64) -> ProofOfAuthorization {
+        ProofOfAuthorization {
+            request: AccessRequest::new(UserId::new(1), "read", "t"),
+            server: ServerId::new(0),
+            policy_id: PolicyId::new(policy),
+            policy_version: PolicyVersion(version),
+            evaluated_at: Timestamp::ZERO,
+            credentials: vec![],
+            outcome: ProofOutcome::Granted,
+        }
+    }
+
+    /// Policies 0 and 1 belong to admin 0; policy 2 to admin 1.
+    fn admin_of(policy: PolicyId) -> Option<AdminDomain> {
+        match policy.index() {
+            0 | 1 => Some(AdminDomain::new(0)),
+            2 => Some(AdminDomain::new(1)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn lockstep_versions_within_an_admin_are_required() {
+        // Same admin, different policies, same version: consistent.
+        let ok = [proof(0, 3), proof(1, 3)];
+        assert!(phi_consistent_by_admin(&ok, admin_of));
+        // Same admin, diverging versions across its policies: inconsistent
+        // under the by-admin reading even though per-policy φ holds.
+        let divergent = [proof(0, 3), proof(1, 4)];
+        assert!(phi_consistent(&divergent), "per-policy reading accepts");
+        assert!(
+            !phi_consistent_by_admin(&divergent, admin_of),
+            "per-admin reading rejects"
+        );
+    }
+
+    #[test]
+    fn different_admins_version_independently() {
+        let proofs = [proof(0, 3), proof(2, 9)];
+        assert!(phi_consistent_by_admin(&proofs, admin_of));
+    }
+
+    #[test]
+    fn unknown_policies_are_conservatively_inconsistent() {
+        let proofs = [proof(7, 1)];
+        assert!(!phi_consistent_by_admin(&proofs, admin_of));
+    }
+}

@@ -1,0 +1,68 @@
+//! Trusted and safe cloud transactions: the paper's contribution.
+//!
+//! This crate implements Sections III–VI of *Enforcing Policy and Data
+//! Consistency of Cloud Transactions* (ICDCS 2011) on top of the workspace
+//! substrates:
+//!
+//! * **Consistency levels** (Definitions 2–3): [`ConsistencyLevel::View`]
+//!   (φ — all participants used the same version of each policy) and
+//!   [`ConsistencyLevel::Global`] (ψ — they used the latest version known
+//!   to the master).
+//! * **Transaction views** (Definitions 1 and 7): [`TransactionView`] and
+//!   its instances collect the proofs of authorization observed during
+//!   `[α(T), ω(T)]`.
+//! * **Trusted/safe predicates** (Definitions 4–9): post-hoc checkers in
+//!   [`trusted`] that audit a finished execution against the formal
+//!   definitions.
+//! * **The four schemes** (Section IV): [`ProofScheme::Deferred`],
+//!   [`ProofScheme::Punctual`], [`ProofScheme::IncrementalPunctual`] and
+//!   [`ProofScheme::Continuous`].
+//! * **2PV and 2PVC** (Section V, Algorithms 1–2): [`ValidationRound`] is
+//!   the collection/validation engine; [`TwoPvc`] fuses it with the 2PC
+//!   voting/decision phases and forced logging.
+//! * **Complexity model** (Table I): [`complexity`] holds the paper's
+//!   worst-case message/proof formulas, which the bench binaries compare
+//!   against measured counts.
+//! * **Simulation actors**: [`TmActor`], [`CloudServerActor`] and
+//!   [`MasterActor`] run the protocols on the
+//!   [`safetx_sim`] discrete-event world; [`Experiment`] wires complete
+//!   deployments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+pub mod complexity;
+mod consistency;
+mod harness;
+mod master;
+mod messages;
+mod outcome;
+mod scheme;
+mod server;
+mod tm;
+pub mod trusted;
+mod two_pvc;
+mod validation;
+mod view;
+
+pub use catalog::{ResourcePolicyMap, SharedCatalog};
+pub use consistency::{
+    consistent_at, phi_consistent, phi_consistent_by_admin, psi_consistent, ConsistencyLevel,
+    VersionAuthority,
+};
+pub use harness::{Experiment, ExperimentConfig, ExperimentReport};
+pub use master::MasterActor;
+pub use messages::AddressBook;
+pub use messages::Msg;
+pub use outcome::{AbortReason, TxnOutcome};
+pub use scheme::ProofScheme;
+pub use server::{CloudServerActor, ServerCore, ServerCounters, SharedCas};
+pub use tm::TmActor;
+pub use tm::TxnRecord;
+pub use two_pvc::{TwoPvc, TwoPvcAction, TwoPvcState};
+pub use validation::{
+    ValidationAction, ValidationConfig, ValidationOutcome, ValidationReply, ValidationRound,
+    VersionMap,
+};
+pub use view::TransactionView;

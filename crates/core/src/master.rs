@@ -1,0 +1,193 @@
+//! The master version server (global consistency) and gossip source.
+//!
+//! Under ψ-consistency the TM "simply asks some master server on the system
+//! which knows the latest policy version". The master also models the
+//! administrator's distribution point: when a new version is published it
+//! gossips update notifications to every replica, with the network supplying
+//! the eventual-consistency lag (plus an optional extra per-server delay to
+//! model stragglers).
+
+use crate::catalog::SharedCatalog;
+use crate::messages::{AddressBook, Msg};
+use safetx_sim::{Actor, Context, NodeId};
+use safetx_types::Duration;
+
+/// The master actor.
+#[derive(Debug)]
+pub struct MasterActor {
+    catalog: SharedCatalog,
+    book: AddressBook,
+    /// Extra per-server gossip delay: server `i` receives the update after
+    /// `i * straggler_step` on top of network latency (0 = uniform).
+    straggler_step: Duration,
+    /// When false, publishes are NOT gossiped — replicas stay stale until a
+    /// protocol Update forces them forward (worst-case adversary mode).
+    gossip_enabled: bool,
+}
+
+impl MasterActor {
+    /// Creates a master over the shared catalog.
+    #[must_use]
+    pub fn new(catalog: SharedCatalog, book: AddressBook) -> Self {
+        MasterActor {
+            catalog,
+            book,
+            straggler_step: Duration::ZERO,
+            gossip_enabled: true,
+        }
+    }
+
+    /// Sets the per-server straggler delay step.
+    #[must_use]
+    pub fn with_straggler_step(mut self, step: Duration) -> Self {
+        self.straggler_step = step;
+        self
+    }
+
+    /// Disables gossip (adversarial staleness).
+    #[must_use]
+    pub fn without_gossip(mut self) -> Self {
+        self.gossip_enabled = false;
+        self
+    }
+
+    fn gossip(
+        &self,
+        ctx: &mut Context<'_, Msg>,
+        policy_id: safetx_types::PolicyId,
+        version: safetx_types::PolicyVersion,
+    ) {
+        if !self.gossip_enabled {
+            return;
+        }
+        for (i, (_, &node)) in self.book.servers.iter().enumerate() {
+            let delay = self.straggler_step.saturating_mul(i as u64);
+            ctx.send_after(node, Msg::PolicyGossip { policy_id, version }, delay);
+        }
+    }
+}
+
+impl Actor<Msg> for MasterActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::VersionRequest { txn } => {
+                let versions = self.catalog.latest_versions();
+                ctx.send(from, Msg::VersionReply { txn, versions });
+            }
+            Msg::AdminPublish { policy_id, version } => {
+                self.gossip(ctx, policy_id, version);
+            }
+            Msg::AdminPublishPolicy { policy } => {
+                let policy_id = policy.id();
+                let version = policy.version();
+                self.catalog.publish(policy);
+                ctx.mark(format!("publish:{policy_id}:{version}"));
+                self.gossip(ctx, policy_id, version);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_policy::PolicyBuilder;
+    use safetx_sim::World;
+    use safetx_types::{AdminDomain, PolicyId, PolicyVersion};
+
+    /// Test probe that records replies sent to it.
+    #[derive(Default)]
+    struct Probe {
+        replies: Vec<(safetx_types::TxnId, crate::validation::VersionMap)>,
+        gossip: Vec<(PolicyId, PolicyVersion)>,
+    }
+
+    impl Actor<Msg> for Probe {
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            match msg {
+                Msg::VersionReply { txn, versions } => self.replies.push((txn, versions)),
+                Msg::PolicyGossip { policy_id, version } => {
+                    self.gossip.push((policy_id, version));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn answers_version_requests_from_the_catalog() {
+        let catalog = SharedCatalog::new();
+        catalog.publish(
+            PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+                .version(PolicyVersion(7))
+                .build(),
+        );
+        // Layout: master at node 0, one "TM" probe at node 1, no servers.
+        let book = AddressBook::layout(1, 0);
+        let mut world = World::new(1);
+        let master = world.add_node(MasterActor::new(catalog, book));
+        let probe = world.add_node(Probe::default());
+        world.post(
+            Duration::ZERO,
+            probe,
+            master,
+            Msg::VersionRequest {
+                txn: safetx_types::TxnId::new(4),
+            },
+        );
+        world.run_to_quiescence();
+        let probe_state = world.actor::<Probe>(probe).unwrap();
+        assert_eq!(probe_state.replies.len(), 1);
+        assert_eq!(
+            probe_state.replies[0].1[&PolicyId::new(0)],
+            PolicyVersion(7)
+        );
+    }
+
+    #[test]
+    fn publishes_gossip_to_all_servers_unless_disabled() {
+        // Probe stands in for a server: layout master@0, tm@1, server0@2.
+        let catalog = SharedCatalog::new();
+        let book = AddressBook::layout(1, 1);
+        let mut world = World::new(1);
+        let master = world.add_node(MasterActor::new(catalog.clone(), book.clone()));
+        let _tm = world.add_node(Probe::default());
+        let server_probe = world.add_node(Probe::default());
+        world.post(
+            Duration::ZERO,
+            server_probe,
+            master,
+            Msg::AdminPublish {
+                policy_id: PolicyId::new(0),
+                version: PolicyVersion(2),
+            },
+        );
+        world.run_to_quiescence();
+        assert_eq!(
+            world.actor::<Probe>(server_probe).unwrap().gossip,
+            vec![(PolicyId::new(0), PolicyVersion(2))]
+        );
+
+        // Gossip disabled: nothing arrives.
+        let mut world = World::new(1);
+        let master = world.add_node(MasterActor::new(catalog, book).without_gossip());
+        let _tm = world.add_node(Probe::default());
+        let server_probe = world.add_node(Probe::default());
+        world.post(
+            Duration::ZERO,
+            server_probe,
+            master,
+            Msg::AdminPublish {
+                policy_id: PolicyId::new(0),
+                version: PolicyVersion(2),
+            },
+        );
+        world.run_to_quiescence();
+        assert!(world
+            .actor::<Probe>(server_probe)
+            .unwrap()
+            .gossip
+            .is_empty());
+    }
+}

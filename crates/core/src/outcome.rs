@@ -1,0 +1,119 @@
+//! Transaction outcomes.
+
+use safetx_types::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a transaction was forced to roll back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// A participant's integrity constraints failed (NO vote).
+    IntegrityViolation,
+    /// A proof of authorization evaluated to FALSE under consistent
+    /// policies (untrusted transaction).
+    ProofFalse,
+    /// Policy versions diverged irreconcilably (Incremental Punctual's
+    /// abort-on-newer rule, or too many 2PV rounds).
+    VersionInconsistency,
+    /// A lock conflict with a concurrent transaction (no-wait policy).
+    LockConflict,
+    /// A protocol phase timed out (missing votes or replies).
+    Timeout,
+    /// The TM or a participant failed and recovery resolved to abort.
+    Failure,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            AbortReason::IntegrityViolation => "integrity violation",
+            AbortReason::ProofFalse => "proof of authorization false",
+            AbortReason::VersionInconsistency => "policy version inconsistency",
+            AbortReason::LockConflict => "lock conflict",
+            AbortReason::Timeout => "timeout",
+            AbortReason::Failure => "failure",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// The final state of a transaction as observed at its TM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnOutcome {
+    /// Safe: committed at the given instant.
+    Committed {
+        /// Commit instant (≥ ω(T)).
+        at: Timestamp,
+    },
+    /// Rolled back.
+    Aborted {
+        /// Abort instant.
+        at: Timestamp,
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+impl TxnOutcome {
+    /// True for commits.
+    #[must_use]
+    pub fn is_commit(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+
+    /// The completion instant.
+    #[must_use]
+    pub fn at(&self) -> Timestamp {
+        match self {
+            TxnOutcome::Committed { at } | TxnOutcome::Aborted { at, .. } => *at,
+        }
+    }
+
+    /// The abort reason, if aborted.
+    #[must_use]
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            TxnOutcome::Committed { .. } => None,
+            TxnOutcome::Aborted { reason, .. } => Some(*reason),
+        }
+    }
+}
+
+impl fmt::Display for TxnOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnOutcome::Committed { at } => write!(f, "committed at {at}"),
+            TxnOutcome::Aborted { at, reason } => write!(f, "aborted at {at}: {reason}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = TxnOutcome::Committed {
+            at: Timestamp::from_millis(5),
+        };
+        assert!(c.is_commit());
+        assert_eq!(c.abort_reason(), None);
+        let a = TxnOutcome::Aborted {
+            at: Timestamp::from_millis(6),
+            reason: AbortReason::ProofFalse,
+        };
+        assert!(!a.is_commit());
+        assert_eq!(a.abort_reason(), Some(AbortReason::ProofFalse));
+        assert_eq!(a.at(), Timestamp::from_millis(6));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = TxnOutcome::Aborted {
+            at: Timestamp::ZERO,
+            reason: AbortReason::VersionInconsistency,
+        };
+        assert!(a.to_string().contains("version inconsistency"));
+    }
+}

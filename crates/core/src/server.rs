@@ -1,0 +1,1170 @@
+//! The cloud server: query execution, proof evaluation, participant side of
+//! 2PV/2PVC, and crash recovery.
+//!
+//! The protocol logic lives in [`ServerCore`], a sans-io handler generic
+//! over the address type `A` of its peers: `handle` consumes one message
+//! and returns the messages to send. [`CloudServerActor`] adapts it to the
+//! discrete-event simulator (`A = NodeId`); the `safetx-runtime` crate
+//! adapts the same core to crossbeam channels.
+
+use crate::catalog::{ResourcePolicyMap, SharedCatalog};
+use crate::messages::{AddressBook, Msg};
+use crate::validation::{ValidationReply, VersionMap};
+use safetx_policy::{
+    evaluate_proof, AccessRequest, CaRegistry, Credential, CredentialStatus, Engine, FactBase,
+    ProofContext, ProofOfAuthorization, ProofOutcome, StatusOracle, SyntacticCheck,
+};
+use safetx_sim::{Actor, Context, NodeId};
+use safetx_store::{ConstraintSet, LocalStore, LockManager, LockMode, Wal, WriteSet};
+use safetx_txn::{
+    CommitVariant, Operation, Participant, ParticipantOutput, ParticipantRecord, ParticipantState,
+    QuerySpec, Vote,
+};
+use safetx_types::{CredentialId, PolicyVersion, ServerId, Timestamp, TxnId, UserId};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Shared handle to the deployment's certificate authorities.
+///
+/// The paper assumes "each CA offers an online method that allows any server
+/// to check the current status of a particular credential"; this handle is
+/// that online method. Workloads revoke credentials through it mid-run.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCas {
+    inner: Arc<RwLock<CaRegistry>>,
+}
+
+impl SharedCas {
+    /// Wraps a registry.
+    #[must_use]
+    pub fn new(registry: CaRegistry) -> Self {
+        SharedCas {
+            inner: Arc::new(RwLock::new(registry)),
+        }
+    }
+
+    /// Runs `f` with mutable access (issue/revoke operations).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut CaRegistry) -> R) -> R {
+        f(&mut self.inner.write().expect("CA lock poisoned"))
+    }
+}
+
+impl StatusOracle for SharedCas {
+    fn status(&self, credential: CredentialId, at: Timestamp) -> CredentialStatus {
+        self.inner
+            .read()
+            .expect("CA lock poisoned")
+            .status(credential, at)
+    }
+
+    fn verify(&self, credential: &Credential, at: Timestamp) -> SyntacticCheck {
+        self.inner
+            .read()
+            .expect("CA lock poisoned")
+            .verify(credential, at)
+    }
+}
+
+/// Per-transaction state at one server.
+#[derive(Debug)]
+struct ServerTxn<A> {
+    user: UserId,
+    credentials: Vec<Credential>,
+    /// Queries seen here: `(index within transaction, spec)`.
+    queries: Vec<(usize, QuerySpec)>,
+    writes: WriteSet,
+    participant: Participant,
+    coordinator: A,
+}
+
+/// Instrumentation counters exposed by [`ServerCore`] (cumulative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Proof evaluations performed.
+    pub proofs: u64,
+    /// Forced log writes performed.
+    pub forced_logs: u64,
+}
+
+/// Derives a server's capability-signing key from its id (the deployment's
+/// shared key ring: every server can verify every other server's
+/// capabilities, as the paper's Section III-A assumes).
+#[must_use]
+pub fn capability_key(server: ServerId) -> u64 {
+    0xCAB1_11E7_0000_0000 ^ server.index().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The sans-io participant logic of one cloud server.
+///
+/// `A` is the address type of peers: `NodeId` under the simulator, a
+/// channel handle under the threaded runtime.
+pub struct ServerCore<A> {
+    id: ServerId,
+    catalog: SharedCatalog,
+    resource_map: ResourcePolicyMap,
+    cas: SharedCas,
+    engine: Engine,
+    ambient: FactBase,
+    variant: CommitVariant,
+    /// Versions of each policy currently installed at this replica.
+    installed: VersionMap,
+    store: LocalStore,
+    locks: LockManager,
+    wal: Wal<ParticipantRecord>,
+    constraints: ConstraintSet,
+    txns: HashMap<TxnId, ServerTxn<A>>,
+    counters: ServerCounters,
+    /// Baseline behaviour: issue an access capability with each granted
+    /// proof (Bob's "read credential").
+    issue_capabilities: bool,
+    /// Baseline behaviour: accept a peer-issued capability in lieu of a
+    /// fresh proof of authorization — the unsafe shortcut of Figure 1.
+    honor_capabilities: bool,
+}
+
+impl<A: Clone> ServerCore<A> {
+    /// Creates a server core.
+    #[must_use]
+    pub fn new(
+        id: ServerId,
+        catalog: SharedCatalog,
+        resource_map: ResourcePolicyMap,
+        cas: SharedCas,
+        variant: CommitVariant,
+    ) -> Self {
+        ServerCore {
+            id,
+            catalog,
+            resource_map,
+            cas,
+            engine: Engine::new(),
+            ambient: FactBase::new(),
+            variant,
+            installed: VersionMap::new(),
+            store: LocalStore::new(),
+            locks: LockManager::new(),
+            wal: Wal::new(),
+            constraints: ConstraintSet::new(),
+            txns: HashMap::new(),
+            counters: ServerCounters::default(),
+            issue_capabilities: false,
+            honor_capabilities: false,
+        }
+    }
+
+    /// Enables the unsafe-baseline capability behaviour (issue on grant,
+    /// honor instead of re-proving). Used only to quantify the hazard the
+    /// paper's schemes eliminate.
+    pub fn set_unsafe_baseline(&mut self, enabled: bool) {
+        self.issue_capabilities = enabled;
+        self.honor_capabilities = enabled;
+    }
+
+    /// This server's id.
+    #[must_use]
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Installs an initial policy version at the replica.
+    pub fn install_policy(&mut self, policy: safetx_types::PolicyId, version: PolicyVersion) {
+        let entry = self.installed.entry(policy).or_insert(version);
+        if version > *entry {
+            *entry = version;
+        }
+    }
+
+    /// The replica's installed versions.
+    #[must_use]
+    pub fn installed_versions(&self) -> &VersionMap {
+        &self.installed
+    }
+
+    /// Mutable access to the local data store (harness seeding).
+    pub fn store_mut(&mut self) -> &mut LocalStore {
+        &mut self.store
+    }
+
+    /// Read access to the local data store.
+    #[must_use]
+    pub fn store(&self) -> &LocalStore {
+        &self.store
+    }
+
+    /// Mutable access to the integrity constraints (harness seeding).
+    pub fn constraints_mut(&mut self) -> &mut ConstraintSet {
+        &mut self.constraints
+    }
+
+    /// Mutable access to the ambient fact base (e.g. observed locations).
+    pub fn ambient_mut(&mut self) -> &mut FactBase {
+        &mut self.ambient
+    }
+
+    /// Mutable access to the resource → policy mapping (multi-domain
+    /// deployments).
+    pub fn resource_map_mut(&mut self) -> &mut ResourcePolicyMap {
+        &mut self.resource_map
+    }
+
+    /// The participant write-ahead log.
+    #[must_use]
+    pub fn wal(&self) -> &Wal<ParticipantRecord> {
+        &self.wal
+    }
+
+    /// Cumulative instrumentation counters.
+    #[must_use]
+    pub fn counters(&self) -> ServerCounters {
+        self.counters
+    }
+
+    /// Number of transactions with live state here.
+    #[must_use]
+    pub fn active_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Fast-forwards the replica toward target versions available in the
+    /// catalog. Never moves backward.
+    fn fast_forward(&mut self, targets: &VersionMap) {
+        for (&policy, &version) in targets {
+            let entry = self.installed.entry(policy).or_insert(version);
+            if version > *entry && self.catalog.fetch(policy, version).is_ok() {
+                *entry = version;
+            }
+        }
+    }
+
+    /// Evaluates the proof of authorization for one query at the currently
+    /// installed policy version.
+    fn evaluate_one(
+        &mut self,
+        now: Timestamp,
+        user: UserId,
+        credentials: &[Credential],
+        query: &QuerySpec,
+    ) -> ProofOfAuthorization {
+        let policy_id = self
+            .resource_map
+            .policy_for(&query.resource)
+            .unwrap_or_else(|| panic!("resource `{}` bound to no policy", query.resource));
+        let version = self
+            .installed
+            .get(&policy_id)
+            .copied()
+            .unwrap_or(PolicyVersion::INITIAL);
+        let request = AccessRequest::new(user, query.action.clone(), query.resource.clone());
+        let denied = |outcome: ProofOutcome| ProofOfAuthorization {
+            request: request.clone(),
+            server: self.id,
+            policy_id,
+            policy_version: version,
+            evaluated_at: now,
+            credentials: credentials.iter().map(Credential::id).collect(),
+            outcome,
+        };
+        let proof = match self.catalog.fetch(policy_id, version) {
+            Ok(policy) => {
+                let pctx = ProofContext {
+                    policy: &policy,
+                    oracle: &self.cas,
+                    engine: &self.engine,
+                    ambient_facts: &self.ambient,
+                };
+                evaluate_proof(&pctx, self.id, &request, credentials, now)
+                    .unwrap_or_else(|_| denied(ProofOutcome::NotDerivable))
+            }
+            Err(_) => denied(ProofOutcome::NotDerivable),
+        };
+        self.counters.proofs += 1;
+        proof
+    }
+
+    /// Fabricates the granted proof a capability shortcut stands for —
+    /// recorded with the replica's installed version but with *no* fresh
+    /// policy or credential evaluation (hence unsafe).
+    fn proof_from_capability(
+        &mut self,
+        now: Timestamp,
+        user: UserId,
+        capability: &safetx_policy::AccessCapability,
+        query: &QuerySpec,
+    ) -> ProofOfAuthorization {
+        let policy_id = self
+            .resource_map
+            .policy_for(&query.resource)
+            .unwrap_or_else(|| panic!("resource `{}` bound to no policy", query.resource));
+        let version = self
+            .installed
+            .get(&policy_id)
+            .copied()
+            .unwrap_or(PolicyVersion::INITIAL);
+        // The capability itself is the only "credential" consulted.
+        let _ = capability;
+        ProofOfAuthorization {
+            request: AccessRequest::new(user, query.action.clone(), query.resource.clone()),
+            server: self.id,
+            policy_id,
+            policy_version: version,
+            evaluated_at: now,
+            credentials: vec![],
+            outcome: ProofOutcome::Granted,
+        }
+    }
+
+    /// (Re-)evaluates proofs for every query of `txn` at this server.
+    /// Returns `(truth, versions, proofs)`.
+    fn evaluate_all(
+        &mut self,
+        now: Timestamp,
+        txn: TxnId,
+    ) -> (bool, VersionMap, Vec<ProofOfAuthorization>) {
+        let Some(state) = self.txns.get(&txn) else {
+            return (true, VersionMap::new(), Vec::new());
+        };
+        let queries: Vec<QuerySpec> = state.queries.iter().map(|(_, q)| q.clone()).collect();
+        let user = state.user;
+        let credentials = state.credentials.clone();
+        let mut truth = true;
+        let mut versions = VersionMap::new();
+        let mut proofs = Vec::new();
+        for query in &queries {
+            let proof = self.evaluate_one(now, user, &credentials, query);
+            truth &= proof.truth();
+            versions.insert(proof.policy_id, proof.policy_version);
+            proofs.push(proof);
+        }
+        (truth, versions, proofs)
+    }
+
+    /// Executes a query's data operations under two-phase locking into the
+    /// transaction's write set. Returns `false` on a lock conflict.
+    fn execute_ops(&mut self, txn: TxnId, ops: &[Operation]) -> bool {
+        for op in ops {
+            let mode = if op.is_write() {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            if !self.locks.acquire(txn, op.item(), mode).is_granted() {
+                return false;
+            }
+        }
+        let state = self.txns.get_mut(&txn).expect("txn registered");
+        for op in ops {
+            match op {
+                Operation::Read(_) => {}
+                Operation::Write(item, value) => state.writes.put(*item, value.clone()),
+                Operation::Add(item, delta) => {
+                    let current = state
+                        .writes
+                        .get(*item)
+                        .cloned()
+                        .or_else(|| self.store.read(*item).map(|v| v.value.clone()))
+                        .and_then(|v| v.as_int())
+                        .unwrap_or(0);
+                    state
+                        .writes
+                        .put(*item, safetx_store::Value::Int(current + delta));
+                }
+            }
+        }
+        true
+    }
+
+    fn ensure_txn(&mut self, txn: TxnId, user: UserId, credentials: Vec<Credential>, coord: A) {
+        let variant = self.variant;
+        self.txns.entry(txn).or_insert_with(|| ServerTxn {
+            user,
+            credentials,
+            queries: Vec::new(),
+            writes: WriteSet::new(),
+            participant: Participant::new(txn, variant),
+            coordinator: coord,
+        });
+    }
+
+    /// Applies participant state-machine outputs, pushing outgoing messages
+    /// into `out`.
+    fn apply_participant_outputs(
+        &mut self,
+        now: Timestamp,
+        txn: TxnId,
+        outputs: Vec<ParticipantOutput>,
+        reply: Option<ValidationReply>,
+        coordinator: A,
+        out: &mut Vec<(A, Msg)>,
+    ) {
+        for output in outputs {
+            match output {
+                ParticipantOutput::ForceLog(record) => {
+                    self.wal.force(record);
+                    self.counters.forced_logs += 1;
+                }
+                ParticipantOutput::Log(record) => self.wal.append(record),
+                ParticipantOutput::SendVote(_) => {
+                    if let Some(r) = reply.clone() {
+                        out.push((coordinator.clone(), Msg::CommitReply { txn, reply: r }));
+                    }
+                }
+                ParticipantOutput::SendAck => {
+                    out.push((coordinator.clone(), Msg::Ack { txn }));
+                }
+                ParticipantOutput::Apply(decision) => {
+                    if decision.is_commit() {
+                        if let Some(state) = self.txns.get(&txn) {
+                            let writes = state.writes.clone();
+                            self.store.apply(&writes, now);
+                        }
+                    }
+                    self.locks.release_all(txn);
+                    self.txns.remove(&txn);
+                }
+            }
+        }
+    }
+
+    /// Handles one protocol message arriving from `from` at instant `now`.
+    /// Returns the messages to send.
+    #[allow(clippy::too_many_lines)]
+    pub fn handle(&mut self, now: Timestamp, from: A, msg: Msg) -> Vec<(A, Msg)> {
+        let mut out = Vec::new();
+        match msg {
+            Msg::ExecQuery {
+                txn,
+                query_index,
+                query,
+                user,
+                credentials,
+                evaluate_proof,
+                pin_versions,
+                capabilities,
+            } => {
+                self.fast_forward(&pin_versions);
+                self.ensure_txn(txn, user, credentials, from.clone());
+                {
+                    let state = self.txns.get_mut(&txn).expect("just ensured");
+                    if !state.queries.iter().any(|(i, _)| *i == query_index) {
+                        state.queries.push((query_index, query.clone()));
+                    }
+                }
+                if !self.execute_ops(txn, &query.ops) {
+                    out.push((
+                        from,
+                        Msg::QueryDone {
+                            txn,
+                            query_index,
+                            ok: false,
+                            proof: None,
+                            capability: None,
+                        },
+                    ));
+                    return out;
+                }
+                // Unsafe baseline: a previously issued capability passes
+                // for a proof — no policy evaluation, no credential status
+                // check. This is exactly how Bob's stale "read credential"
+                // slipped through in the paper's Figure 1.
+                let shortcut = self
+                    .honor_capabilities
+                    .then(|| {
+                        capabilities
+                            .iter()
+                            .find(|cap| {
+                                cap.user() == user
+                                    && cap.txn() == txn
+                                    && cap.action() == query.action
+                                    && cap.resource() == query.resource
+                                    && cap.verify(capability_key(cap.issuer()), now)
+                            })
+                            .cloned()
+                    })
+                    .flatten();
+                let proof = if evaluate_proof {
+                    if let Some(cap) = shortcut {
+                        Some(self.proof_from_capability(now, user, &cap, &query))
+                    } else {
+                        let state = &self.txns[&txn];
+                        let (user, creds) = (state.user, state.credentials.clone());
+                        Some(self.evaluate_one(now, user, &creds, &query))
+                    }
+                } else {
+                    None
+                };
+                let capability = match (&proof, self.issue_capabilities) {
+                    (Some(p), true) if p.truth() => Some(safetx_policy::AccessCapability::issue(
+                        self.id,
+                        capability_key(self.id),
+                        user,
+                        txn,
+                        query.action.clone(),
+                        query.resource.clone(),
+                        now,
+                        now.saturating_add(safetx_types::Duration::from_secs(60)),
+                    )),
+                    _ => None,
+                };
+                out.push((
+                    from,
+                    Msg::QueryDone {
+                        txn,
+                        query_index,
+                        ok: true,
+                        proof,
+                        capability,
+                    },
+                ));
+            }
+
+            Msg::PrepareToValidate {
+                txn,
+                new_query,
+                user,
+                credentials,
+            } => {
+                self.ensure_txn(txn, user, credentials, from.clone());
+                if let Some((index, query)) = new_query {
+                    let state = self.txns.get_mut(&txn).expect("just ensured");
+                    if !state.queries.iter().any(|(i, _)| *i == index) {
+                        state.queries.push((index, query));
+                    }
+                }
+                let (truth, versions, proofs) = self.evaluate_all(now, txn);
+                out.push((
+                    from,
+                    Msg::ValidateReply {
+                        txn,
+                        reply: ValidationReply {
+                            vote: Vote::Yes,
+                            truth,
+                            versions,
+                            proofs,
+                        },
+                    },
+                ));
+            }
+
+            Msg::PrepareToCommit {
+                txn,
+                validate,
+                expected_queries,
+            } => {
+                let known = self.txns.contains_key(&txn);
+                // Compare the TM's manifest against the queries actually
+                // held: a crash before prepare loses buffered writes, and a
+                // later contact may have silently re-registered the
+                // transaction — the mismatch is the only evidence.
+                let mut held: Vec<usize> = self
+                    .txns
+                    .get(&txn)
+                    .map(|s| s.queries.iter().map(|(i, _)| *i).collect())
+                    .unwrap_or_default();
+                held.sort_unstable();
+                let mut expected = expected_queries;
+                expected.sort_unstable();
+                let complete = held == expected;
+                let vote = if known && complete {
+                    let state = &self.txns[&txn];
+                    match self.constraints.check(&self.store, &state.writes) {
+                        Ok(()) => Vote::Yes,
+                        Err(_) => Vote::No,
+                    }
+                } else {
+                    // Lost state (crash before prepare): cannot certify.
+                    Vote::No
+                };
+                let (truth, versions, proofs) = if validate && known {
+                    self.evaluate_all(now, txn)
+                } else {
+                    (true, VersionMap::new(), Vec::new())
+                };
+                if !known {
+                    self.ensure_txn(txn, UserId::default(), Vec::new(), from.clone());
+                }
+                let outputs = {
+                    let state = self.txns.get_mut(&txn).expect("ensured");
+                    state.coordinator = from.clone();
+                    state.participant.on_prepare(
+                        vote,
+                        validate.then_some(truth),
+                        versions.iter().map(|(&p, &v)| (p, v)).collect(),
+                    )
+                };
+                let reply = ValidationReply {
+                    vote,
+                    truth,
+                    versions,
+                    proofs,
+                };
+                self.apply_participant_outputs(now, txn, outputs, Some(reply), from, &mut out);
+            }
+
+            Msg::Update {
+                txn,
+                targets,
+                in_commit,
+            } => {
+                self.fast_forward(&targets);
+                let (truth, versions, proofs) = self.evaluate_all(now, txn);
+                if in_commit {
+                    if !self.txns.contains_key(&txn) {
+                        return out;
+                    }
+                    let (vote, outputs) = {
+                        let state = self.txns.get_mut(&txn).expect("checked");
+                        let vote = match state.participant.state() {
+                            ParticipantState::Prepared(v) => v,
+                            _ => Vote::Yes,
+                        };
+                        let outputs = state
+                            .participant
+                            .on_revalidate(truth, versions.iter().map(|(&p, &v)| (p, v)).collect());
+                        (vote, outputs)
+                    };
+                    let reply = ValidationReply {
+                        vote,
+                        truth,
+                        versions,
+                        proofs,
+                    };
+                    self.apply_participant_outputs(now, txn, outputs, Some(reply), from, &mut out);
+                } else {
+                    out.push((
+                        from,
+                        Msg::ValidateReply {
+                            txn,
+                            reply: ValidationReply {
+                                vote: Vote::Yes,
+                                truth,
+                                versions,
+                                proofs,
+                            },
+                        },
+                    ));
+                }
+            }
+
+            Msg::Decision { txn, decision } => {
+                if !self.txns.contains_key(&txn) {
+                    // Abort for a transaction we never saw or already
+                    // resolved: acknowledge if the variant expects it.
+                    if self.variant.participant_acks(decision) {
+                        out.push((from, Msg::Ack { txn }));
+                    }
+                    return out;
+                }
+                let outputs = {
+                    let state = self.txns.get_mut(&txn).expect("checked");
+                    state.participant.on_decision(decision)
+                };
+                self.apply_participant_outputs(now, txn, outputs, None, from, &mut out);
+            }
+
+            Msg::PolicyGossip { policy_id, version } => {
+                self.fast_forward(&[(policy_id, version)].into_iter().collect());
+            }
+
+            Msg::InquiryReply {
+                txn,
+                answer: safetx_txn::InquiryAnswer::Decided(decision),
+            } if self.txns.contains_key(&txn) => {
+                let outputs = {
+                    let state = self.txns.get_mut(&txn).expect("guard checked");
+                    state.participant.on_decision(decision)
+                };
+                self.apply_participant_outputs(now, txn, outputs, None, from, &mut out);
+            }
+
+            _ => {}
+        }
+        out
+    }
+
+    /// Crash: volatile state is lost. Prepared(YES) transactions survive —
+    /// their write sets and protocol state were force-logged with the
+    /// prepare record; everything else is discarded.
+    pub fn crash(&mut self) {
+        self.locks = LockManager::new();
+        self.txns
+            .retain(|_, state| state.participant.state() == ParticipantState::Prepared(Vote::Yes));
+    }
+
+    /// Restart after a crash: re-acquire exclusive locks for in-doubt write
+    /// sets (strictness) and inquire for each in-doubt transaction.
+    pub fn restart(&mut self) -> Vec<(A, Msg)> {
+        let mut out = Vec::new();
+        let in_doubt: Vec<TxnId> = self.txns.keys().copied().collect();
+        for txn in in_doubt {
+            let items: Vec<safetx_types::DataItemId> = self.txns[&txn]
+                .writes
+                .iter()
+                .map(|(item, _)| item)
+                .collect();
+            for item in items {
+                let _ = self.locks.acquire(txn, item, LockMode::Exclusive);
+            }
+            let coordinator = self.txns[&txn].coordinator.clone();
+            out.push((
+                coordinator,
+                Msg::Inquiry {
+                    txn,
+                    from_server: self.id,
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Simulator adapter around [`ServerCore`].
+pub struct CloudServerActor {
+    core: ServerCore<NodeId>,
+    last: ServerCounters,
+    /// Simulated compute time per proof evaluation (covers proof-tree
+    /// construction and the online credential status check, which the
+    /// paper models as an OCSP round trip).
+    proof_eval_delay: safetx_types::Duration,
+}
+
+impl CloudServerActor {
+    /// Creates a server actor.
+    #[must_use]
+    pub fn new(
+        id: ServerId,
+        book: AddressBook,
+        catalog: SharedCatalog,
+        resource_map: ResourcePolicyMap,
+        cas: SharedCas,
+        variant: CommitVariant,
+    ) -> Self {
+        let _ = book; // addresses come from message senders
+        CloudServerActor {
+            core: ServerCore::new(id, catalog, resource_map, cas, variant),
+            last: ServerCounters::default(),
+            proof_eval_delay: safetx_types::Duration::ZERO,
+        }
+    }
+
+    /// Sets the simulated compute time charged per proof evaluation.
+    #[must_use]
+    pub fn with_proof_eval_delay(mut self, delay: safetx_types::Duration) -> Self {
+        self.proof_eval_delay = delay;
+        self
+    }
+
+    /// The wrapped sans-io core.
+    #[must_use]
+    pub fn core(&self) -> &ServerCore<NodeId> {
+        &self.core
+    }
+
+    /// Mutable access to the wrapped core (harness seeding).
+    pub fn core_mut(&mut self) -> &mut ServerCore<NodeId> {
+        &mut self.core
+    }
+
+    /// This server's id.
+    #[must_use]
+    pub fn id(&self) -> ServerId {
+        self.core.id()
+    }
+
+    /// Installs an initial policy version at the replica.
+    pub fn install_policy(&mut self, policy: safetx_types::PolicyId, version: PolicyVersion) {
+        self.core.install_policy(policy, version);
+    }
+
+    /// The replica's installed versions.
+    #[must_use]
+    pub fn installed_versions(&self) -> &VersionMap {
+        self.core.installed_versions()
+    }
+
+    /// Mutable access to the local data store (harness seeding).
+    pub fn store_mut(&mut self) -> &mut LocalStore {
+        self.core.store_mut()
+    }
+
+    /// Read access to the local data store.
+    #[must_use]
+    pub fn store(&self) -> &LocalStore {
+        self.core.store()
+    }
+
+    /// Mutable access to the integrity constraints (harness seeding).
+    pub fn constraints_mut(&mut self) -> &mut ConstraintSet {
+        self.core.constraints_mut()
+    }
+
+    /// Mutable access to the ambient fact base.
+    pub fn ambient_mut(&mut self) -> &mut FactBase {
+        self.core.ambient_mut()
+    }
+
+    /// The participant write-ahead log.
+    #[must_use]
+    pub fn wal(&self) -> &Wal<ParticipantRecord> {
+        self.core.wal()
+    }
+
+    /// Publishes counter deltas and marks accumulated by the core since the
+    /// previous call.
+    fn flush_counters(&mut self, ctx: &mut Context<'_, Msg>) {
+        let counters = self.core.counters();
+        let proofs = counters.proofs - self.last.proofs;
+        let forced = counters.forced_logs - self.last.forced_logs;
+        if proofs > 0 {
+            ctx.count("proofs", proofs);
+            for _ in 0..proofs {
+                ctx.mark(format!("proof:{}", self.core.id()));
+            }
+        }
+        if forced > 0 {
+            ctx.count("forced_logs", forced);
+            for _ in 0..forced {
+                ctx.mark("log:forced");
+            }
+        }
+        self.last = counters;
+    }
+}
+
+impl Actor<Msg> for CloudServerActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        let before = self.core.counters().proofs;
+        let outgoing = self.core.handle(ctx.now(), from, msg);
+        let proofs_now = self.core.counters().proofs - before;
+        self.flush_counters(ctx);
+        // Proof evaluation costs compute time: replies leave only after it.
+        let delay = self.proof_eval_delay.saturating_mul(proofs_now);
+        for (to, msg) in outgoing {
+            if delay.is_zero() {
+                ctx.send(to, msg);
+            } else {
+                ctx.send_after(to, msg, delay);
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.core.crash();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        for (to, msg) in self.core.restart() {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ResourcePolicyMap, SharedCatalog};
+    use safetx_policy::{CertificateAuthority, PolicyBuilder};
+    use safetx_store::Value;
+    use safetx_txn::{Decision, Operation};
+    use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId};
+
+    /// A ServerCore driven directly with `u8` addresses: the sans-io core
+    /// is agnostic to how peers are named.
+    type Core = ServerCore<u8>;
+    const TM: u8 = 42;
+
+    struct Fixture {
+        core: Core,
+        credential: Credential,
+    }
+
+    fn fixture() -> Fixture {
+        let catalog = SharedCatalog::new();
+        catalog.publish(
+            PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+                .rules_text(
+                    "grant(read, records) :- role(U, member).\n\
+                     grant(write, records) :- role(U, member).",
+                )
+                .unwrap()
+                .build(),
+        );
+        let mut registry = CaRegistry::new();
+        let mut ca = CertificateAuthority::new(CaId::new(0), 9);
+        let credential = ca.issue(
+            UserId::new(1),
+            safetx_policy::Atom::fact(
+                "role",
+                vec![
+                    safetx_policy::Constant::symbol("u1"),
+                    safetx_policy::Constant::symbol("member"),
+                ],
+            ),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+        );
+        registry.register(ca);
+        let mut core = Core::new(
+            ServerId::new(0),
+            catalog,
+            ResourcePolicyMap::single(PolicyId::new(0)),
+            SharedCas::new(registry),
+            CommitVariant::Standard,
+        );
+        core.install_policy(PolicyId::new(0), PolicyVersion::INITIAL);
+        core.store_mut()
+            .write(DataItemId::new(0), Value::Int(5), Timestamp::ZERO);
+        Fixture { core, credential }
+    }
+
+    fn exec_query(fx: &mut Fixture, txn: TxnId, evaluate: bool) -> Vec<(u8, Msg)> {
+        fx.core.handle(
+            Timestamp::from_millis(1),
+            TM,
+            Msg::ExecQuery {
+                txn,
+                query_index: 0,
+                query: QuerySpec::new(
+                    ServerId::new(0),
+                    "write",
+                    "records",
+                    vec![Operation::Add(DataItemId::new(0), 1)],
+                ),
+                user: UserId::new(1),
+                credentials: vec![fx.credential.clone()],
+                evaluate_proof: evaluate,
+                pin_versions: VersionMap::new(),
+                capabilities: vec![],
+            },
+        )
+    }
+
+    fn prepare(fx: &mut Fixture, txn: TxnId) -> Vec<(u8, Msg)> {
+        fx.core.handle(
+            Timestamp::from_millis(2),
+            TM,
+            Msg::PrepareToCommit {
+                txn,
+                validate: true,
+                expected_queries: vec![0],
+            },
+        )
+    }
+
+    #[test]
+    fn query_then_prepare_then_commit_applies_writes() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        let out = exec_query(&mut fx, txn, true);
+        assert_eq!(out.len(), 1);
+        let (to, msg) = &out[0];
+        assert_eq!(*to, TM);
+        assert!(matches!(
+            msg,
+            Msg::QueryDone { ok: true, proof: Some(p), .. } if p.truth()
+        ));
+
+        let out = prepare(&mut fx, txn);
+        assert!(matches!(
+            &out[0].1,
+            Msg::CommitReply { reply, .. } if reply.vote.is_yes() && reply.truth
+        ));
+        assert_eq!(fx.core.counters().forced_logs, 1, "prepared record forced");
+
+        let out = fx.core.handle(
+            Timestamp::from_millis(3),
+            TM,
+            Msg::Decision {
+                txn,
+                decision: Decision::Commit,
+            },
+        );
+        assert!(matches!(&out[0].1, Msg::Ack { .. }));
+        assert_eq!(fx.core.store().read_int(DataItemId::new(0)), Some(6));
+        assert_eq!(fx.core.active_txns(), 0, "state cleaned up");
+    }
+
+    #[test]
+    fn prepare_with_wrong_manifest_votes_no() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        exec_query(&mut fx, txn, false);
+        // The TM claims this server executed queries {0, 1}: it only has 0.
+        let out = fx.core.handle(
+            Timestamp::from_millis(2),
+            TM,
+            Msg::PrepareToCommit {
+                txn,
+                validate: false,
+                expected_queries: vec![0, 1],
+            },
+        );
+        assert!(matches!(
+            &out[0].1,
+            Msg::CommitReply { reply, .. } if !reply.vote.is_yes()
+        ));
+    }
+
+    #[test]
+    fn prepare_for_unknown_transaction_votes_no() {
+        let mut fx = fixture();
+        let out = fx.core.handle(
+            Timestamp::from_millis(2),
+            TM,
+            Msg::PrepareToCommit {
+                txn: TxnId::new(9),
+                validate: true,
+                expected_queries: vec![0],
+            },
+        );
+        assert!(matches!(
+            &out[0].1,
+            Msg::CommitReply { reply, .. } if !reply.vote.is_yes()
+        ));
+    }
+
+    #[test]
+    fn crash_drops_unprepared_state_but_keeps_prepared() {
+        let mut fx = fixture();
+        let unprepared = TxnId::new(1);
+        let prepared = TxnId::new(2);
+        exec_query(&mut fx, unprepared, false);
+        // Run a second txn through prepare (different item to avoid locks).
+        fx.core.handle(
+            Timestamp::from_millis(1),
+            TM,
+            Msg::ExecQuery {
+                txn: prepared,
+                query_index: 0,
+                query: QuerySpec::new(
+                    ServerId::new(0),
+                    "read",
+                    "records",
+                    vec![Operation::Read(DataItemId::new(7))],
+                ),
+                user: UserId::new(1),
+                credentials: vec![fx.credential.clone()],
+                evaluate_proof: false,
+                pin_versions: VersionMap::new(),
+                capabilities: vec![],
+            },
+        );
+        prepare(&mut fx, prepared);
+        assert_eq!(fx.core.active_txns(), 2);
+
+        fx.core.crash();
+        assert_eq!(fx.core.active_txns(), 1, "only the prepared txn survives");
+        let recovery = fx.core.restart();
+        assert_eq!(recovery.len(), 1);
+        assert!(matches!(recovery[0].1, Msg::Inquiry { txn, .. } if txn == prepared));
+        assert_eq!(recovery[0].0, TM, "inquiry goes to the coordinator");
+    }
+
+    #[test]
+    fn update_fast_forwards_and_revalidates() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        exec_query(&mut fx, txn, false);
+        prepare(&mut fx, txn);
+        // Publish v2 (same rules) and drive the replica forward.
+        let v2 = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .version(PolicyVersion(2))
+            .rules_text("grant(write, records) :- role(U, member).")
+            .unwrap()
+            .build();
+        fx.core.catalog.publish(v2);
+        let out = fx.core.handle(
+            Timestamp::from_millis(3),
+            TM,
+            Msg::Update {
+                txn,
+                targets: [(PolicyId::new(0), PolicyVersion(2))].into_iter().collect(),
+                in_commit: true,
+            },
+        );
+        assert_eq!(
+            fx.core.installed_versions()[&PolicyId::new(0)],
+            PolicyVersion(2)
+        );
+        assert!(matches!(
+            &out[0].1,
+            Msg::CommitReply { reply, .. }
+                if reply.versions[&PolicyId::new(0)] == PolicyVersion(2) && reply.truth
+        ));
+        assert_eq!(
+            fx.core.counters().forced_logs,
+            2,
+            "re-validation force-logs the refreshed (vi, pi) tuples"
+        );
+    }
+
+    #[test]
+    fn capability_shortcut_only_in_baseline_mode() {
+        let mut fx = fixture();
+        let cap = safetx_policy::AccessCapability::issue(
+            ServerId::new(5),
+            capability_key(ServerId::new(5)),
+            UserId::new(1),
+            TxnId::new(1),
+            "write",
+            "records",
+            Timestamp::ZERO,
+            Timestamp::MAX,
+        );
+        let send_with_cap = |core: &mut Core| {
+            core.handle(
+                Timestamp::from_millis(1),
+                TM,
+                Msg::ExecQuery {
+                    txn: TxnId::new(1),
+                    query_index: 0,
+                    query: QuerySpec::new(
+                        ServerId::new(0),
+                        "write",
+                        "records",
+                        vec![Operation::Add(DataItemId::new(0), 1)],
+                    ),
+                    user: UserId::new(1),
+                    credentials: vec![], // no credential: only the capability
+                    evaluate_proof: true,
+                    pin_versions: VersionMap::new(),
+                    capabilities: vec![cap.clone()],
+                },
+            )
+        };
+        // Safe mode: the capability is ignored; with no credential the
+        // proof is denied.
+        let out = send_with_cap(&mut fx.core);
+        assert!(matches!(
+            &out[0].1,
+            Msg::QueryDone { proof: Some(p), .. } if !p.truth()
+        ));
+
+        // Baseline mode: the capability passes for a proof.
+        let mut fx2 = fixture();
+        fx2.core.set_unsafe_baseline(true);
+        let out = send_with_cap(&mut fx2.core);
+        assert!(matches!(
+            &out[0].1,
+            Msg::QueryDone { proof: Some(p), .. } if p.truth()
+        ));
+    }
+
+    #[test]
+    fn capability_keys_differ_per_server_and_verify() {
+        let a = capability_key(ServerId::new(0));
+        let b = capability_key(ServerId::new(1));
+        assert_ne!(a, b);
+        let cap = safetx_policy::AccessCapability::issue(
+            ServerId::new(0),
+            a,
+            UserId::new(1),
+            TxnId::new(1),
+            "read",
+            "records",
+            Timestamp::ZERO,
+            Timestamp::from_millis(10),
+        );
+        assert!(cap.verify(a, Timestamp::from_millis(5)));
+        assert!(!cap.verify(b, Timestamp::from_millis(5)));
+    }
+}

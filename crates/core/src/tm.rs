@@ -1,0 +1,790 @@
+//! The transaction manager actor.
+//!
+//! One TM drives each transaction through the scheme-specific pipeline:
+//!
+//! * **Deferred** — execute all queries (no proofs), then 2PVC with
+//!   validation.
+//! * **Punctual** — evaluate each proof at its query (abort early on
+//!   FALSE), then 2PVC with validation re-evaluates everything.
+//! * **Incremental Punctual** — evaluate at each query *and* keep the view
+//!   instance consistent: under view consistency later replicas are pinned
+//!   to the first-seen version (fast-forwarding stale ones) and any newer
+//!   version aborts; under global consistency the TM retrieves the master
+//!   version every query and aborts on change. Commit is 2PVC **without**
+//!   validation.
+//! * **Continuous** — before every query, 2PV re-validates all proofs so
+//!   far (plus the new one); commit is 2PVC without validation under view
+//!   consistency, with validation under global.
+//!
+//! The TM also owns the coordinator write-ahead log and answers recovery
+//! inquiries from participants.
+
+use crate::consistency::ConsistencyLevel;
+use crate::messages::{AddressBook, Msg};
+use crate::outcome::{AbortReason, TxnOutcome};
+use crate::scheme::ProofScheme;
+use crate::two_pvc::{TwoPvc, TwoPvcAction};
+use crate::validation::{
+    ValidationAction, ValidationConfig, ValidationOutcome, ValidationReply, ValidationRound,
+    VersionMap,
+};
+use crate::view::TransactionView;
+use safetx_metrics::ProtocolMetrics;
+use safetx_policy::Credential;
+use safetx_sim::{Actor, Context, NodeId, TimerTag};
+use safetx_store::Wal;
+use safetx_txn::{answer_inquiry, CommitVariant, CoordinatorRecord, TransactionSpec};
+use safetx_types::{Duration, ServerId, Timestamp, TmId, TxnId};
+use std::collections::{BTreeSet, HashMap};
+
+/// The record of one finished transaction, read back by the harness.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// The transaction.
+    pub txn: TxnId,
+    /// `α(T)`.
+    pub started_at: Timestamp,
+    /// When the decision was fixed.
+    pub finished_at: Timestamp,
+    /// Commit or abort (with reason).
+    pub outcome: TxnOutcome,
+    /// Paper-model cost counters for this transaction.
+    pub metrics: ProtocolMetrics,
+    /// Every proof evaluation observed (Definition 1's view).
+    pub view: TransactionView,
+    /// Queries whose data operations had executed when the outcome was
+    /// fixed (the work an abort must undo).
+    pub queries_executed: usize,
+}
+
+/// Which pipeline stage a transaction is in.
+#[derive(Debug)]
+enum Phase {
+    /// Continuous: 2PV running before query `next_query` executes.
+    PreQueryValidation(ValidationRound),
+    /// Waiting for `QueryDone` of query `next_query`.
+    Executing,
+    /// 2PVC in progress.
+    Committing(TwoPvc),
+}
+
+#[derive(Debug)]
+struct TxnState {
+    spec: TransactionSpec,
+    credentials: Vec<Credential>,
+    started_at: Timestamp,
+    phase: Phase,
+    next_query: usize,
+    view: TransactionView,
+    metrics: ProtocolMetrics,
+    /// Incremental (view): versions pinned by the first proof per policy.
+    pinned: VersionMap,
+    /// Incremental (global): the master's versions pinned at first
+    /// retrieval.
+    master_pinned: Option<VersionMap>,
+    /// Incremental (global): master answer for the current query not yet
+    /// received / query reply not yet received.
+    awaiting_version_check: bool,
+    pending_query_done: Option<(usize, bool, Option<safetx_policy::ProofOfAuthorization>)>,
+    /// Servers that have executed at least one query (abort broadcast set).
+    touched: BTreeSet<ServerId>,
+    outcome: Option<TxnOutcome>,
+    /// Last instant any message for this transaction was processed; the
+    /// progress watchdog compares against it.
+    last_activity: Timestamp,
+    /// Capabilities collected from servers (baseline deployments forward
+    /// them with later queries).
+    capabilities: Vec<safetx_policy::AccessCapability>,
+}
+
+/// The TM actor.
+pub struct TmActor {
+    id: TmId,
+    book: AddressBook,
+    scheme: ProofScheme,
+    consistency: ConsistencyLevel,
+    variant: CommitVariant,
+    /// Unsafe baseline: skip commit-time validation entirely (plain 2PC),
+    /// regardless of scheme. For hazard measurements only.
+    baseline_no_validation: bool,
+    commit_timeout: Option<Duration>,
+    wal: Wal<CoordinatorRecord>,
+    active: HashMap<TxnId, TxnState>,
+    completed: Vec<TxnRecord>,
+}
+
+impl TmActor {
+    /// Creates a TM running the given scheme at the given consistency
+    /// level.
+    #[must_use]
+    pub fn new(
+        id: TmId,
+        book: AddressBook,
+        scheme: ProofScheme,
+        consistency: ConsistencyLevel,
+        variant: CommitVariant,
+    ) -> Self {
+        TmActor {
+            id,
+            book,
+            scheme,
+            consistency,
+            variant,
+            baseline_no_validation: false,
+            commit_timeout: None,
+            wal: Wal::new(),
+            active: HashMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Switches the TM into the unsafe baseline: 2PC without policy
+    /// validation at commit (the system the paper's Section II warns
+    /// about). Measurement aid, not a production mode.
+    #[must_use]
+    pub fn with_unsafe_baseline(mut self) -> Self {
+        self.baseline_no_validation = true;
+        self
+    }
+
+    /// Arms a progress watchdog: a transaction that makes no progress for
+    /// `timeout` is aborted (missing query replies or votes), and an
+    /// undelivered decision is retransmitted on the same cadence.
+    #[must_use]
+    pub fn with_commit_timeout(mut self, timeout: Duration) -> Self {
+        self.commit_timeout = Some(timeout);
+        self
+    }
+
+    /// This TM's id.
+    #[must_use]
+    pub fn id(&self) -> TmId {
+        self.id
+    }
+
+    /// Finished transactions, in completion order.
+    #[must_use]
+    pub fn completed(&self) -> &[TxnRecord] {
+        &self.completed
+    }
+
+    /// Transactions still in flight.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The coordinator write-ahead log.
+    #[must_use]
+    pub fn wal(&self) -> &Wal<CoordinatorRecord> {
+        &self.wal
+    }
+
+    // ------------------------------------------------------------------
+    // pipeline driving
+    // ------------------------------------------------------------------
+
+    fn begin(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        spec: TransactionSpec,
+        credentials: Vec<Credential>,
+    ) {
+        let txn = spec.id;
+        assert!(!spec.queries.is_empty(), "transaction {txn} has no queries");
+        if self.active.contains_key(&txn) || self.completed.iter().any(|r| r.txn == txn) {
+            // A retransmitted Begin must not restart a live or finished
+            // transaction.
+            return;
+        }
+        let state = TxnState {
+            spec,
+            credentials,
+            started_at: ctx.now(),
+            phase: Phase::Executing,
+            next_query: 0,
+            view: TransactionView::new(),
+            metrics: ProtocolMetrics::new(),
+            pinned: VersionMap::new(),
+            master_pinned: None,
+            awaiting_version_check: false,
+            pending_query_done: None,
+            touched: BTreeSet::new(),
+            outcome: None,
+            last_activity: ctx.now(),
+            capabilities: Vec::new(),
+        };
+        self.active.insert(txn, state);
+        if let Some(timeout) = self.commit_timeout {
+            ctx.set_timer(timeout, txn.index());
+        }
+        self.advance(ctx, txn);
+    }
+
+    /// Notes progress on a transaction (resets the watchdog's reference).
+    fn touch(&mut self, ctx: &Context<'_, Msg>, txn: TxnId) {
+        if let Some(state) = self.active.get_mut(&txn) {
+            state.last_activity = ctx.now();
+        }
+    }
+
+    /// Moves a transaction forward: submit the next query (with the
+    /// scheme's pre-step) or start the commit protocol.
+    fn advance(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        if state.next_query >= state.spec.queries.len() {
+            self.start_commit(ctx, txn);
+            return;
+        }
+        if self.scheme.validates_before_each_query() {
+            // Continuous: 2PV over the servers of queries 0..=next_query.
+            let index = state.next_query;
+            let query = state.spec.queries[index].clone();
+            let involved: BTreeSet<ServerId> = state
+                .spec
+                .queries
+                .iter()
+                .take(index + 1)
+                .map(|q| q.server)
+                .collect();
+            let mut validation =
+                ValidationRound::new(involved, ValidationConfig::two_pv(self.consistency));
+            let actions = validation.start();
+            let user = state.spec.user;
+            let credentials = state.credentials.clone();
+            state.phase = Phase::PreQueryValidation(validation);
+            for action in actions {
+                match action {
+                    ValidationAction::SendRequest(server) => {
+                        state.metrics.messages += 1;
+                        // A 2PV contact registers transaction state at the
+                        // server; an execution-phase abort must reach it.
+                        state.touched.insert(server);
+                        let new_query = (server == query.server).then(|| (index, query.clone()));
+                        ctx.send(
+                            self.book.server_node(server),
+                            Msg::PrepareToValidate {
+                                txn,
+                                new_query,
+                                user,
+                                credentials: credentials.clone(),
+                            },
+                        );
+                    }
+                    ValidationAction::QueryMaster => {
+                        state.metrics.messages += 1;
+                        ctx.send(self.book.master, Msg::VersionRequest { txn });
+                    }
+                    ValidationAction::SendUpdate(..) | ValidationAction::Resolved(_) => {
+                        unreachable!("start() emits only requests")
+                    }
+                }
+            }
+            return;
+        }
+        // All other schemes: ship the query directly.
+        if self.scheme == ProofScheme::IncrementalPunctual
+            && self.consistency == ConsistencyLevel::Global
+        {
+            // Retrieve the master version for this query's check (one
+            // message in the paper's accounting: the retrieval).
+            state.metrics.messages += 1;
+            state.awaiting_version_check = true;
+            ctx.send(self.book.master, Msg::VersionRequest { txn });
+        }
+        self.send_exec_query(ctx, txn);
+    }
+
+    fn send_exec_query(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        let index = state.next_query;
+        let query = state.spec.queries[index].clone();
+        state.touched.insert(query.server);
+        let evaluate_proof =
+            self.scheme.evaluates_at_query() && self.scheme != ProofScheme::Continuous; // Continuous proved it in 2PV
+                                                                                        // Incremental view: pin later replicas to the versions already seen.
+        let pin_versions = if self.scheme.checks_versions_incrementally() {
+            match self.consistency {
+                ConsistencyLevel::View => state.pinned.clone(),
+                ConsistencyLevel::Global => state.master_pinned.clone().unwrap_or_default(),
+            }
+        } else {
+            VersionMap::new()
+        };
+        ctx.send(
+            self.book.server_node(query.server),
+            Msg::ExecQuery {
+                txn,
+                query_index: index,
+                query,
+                user: state.spec.user,
+                credentials: state.credentials.clone(),
+                evaluate_proof,
+                pin_versions,
+                capabilities: state.capabilities.clone(),
+            },
+        );
+        state.phase = Phase::Executing;
+    }
+
+    fn on_query_done(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        txn: TxnId,
+        query_index: usize,
+        ok: bool,
+        proof: Option<safetx_policy::ProofOfAuthorization>,
+    ) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        if !matches!(state.phase, Phase::Executing) || query_index != state.next_query {
+            return; // stale or duplicated reply
+        }
+        if state.awaiting_version_check && state.master_pinned.is_none() {
+            // Incremental global: master answer not here yet; stash.
+            state.pending_query_done = Some((query_index, ok, proof));
+            return;
+        }
+        self.process_query_done(ctx, txn, ok, proof);
+    }
+
+    fn process_query_done(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        txn: TxnId,
+        ok: bool,
+        proof: Option<safetx_policy::ProofOfAuthorization>,
+    ) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        if !ok {
+            self.abort_in_execution(ctx, txn, AbortReason::LockConflict);
+            return;
+        }
+        if let Some(proof) = proof {
+            let truth = proof.truth();
+            let policy = proof.policy_id;
+            let version = proof.policy_version;
+            state.metrics.proofs += 1;
+            state.view.record(proof);
+            if self.scheme.checks_versions_incrementally() {
+                let pinned = match self.consistency {
+                    ConsistencyLevel::View => Some(*state.pinned.entry(policy).or_insert(version)),
+                    ConsistencyLevel::Global => state
+                        .master_pinned
+                        .as_ref()
+                        .and_then(|m| m.get(&policy).copied()),
+                };
+                match pinned {
+                    Some(pinned_version) if version != pinned_version => {
+                        // A newer (or otherwise divergent) version showed up
+                        // mid-transaction: the view instance can no longer be
+                        // consistent.
+                        self.abort_in_execution(ctx, txn, AbortReason::VersionInconsistency);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            if !truth {
+                self.abort_in_execution(ctx, txn, AbortReason::ProofFalse);
+                return;
+            }
+        }
+        let state = self.active.get_mut(&txn).expect("still active");
+        state.next_query += 1;
+        state.awaiting_version_check = false;
+        self.advance(ctx, txn);
+    }
+
+    fn on_version_reply(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId, versions: VersionMap) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        match &mut state.phase {
+            Phase::Committing(pvc) => {
+                let actions = pvc.on_master_versions(versions);
+                self.apply_pvc_actions(ctx, txn, actions);
+            }
+            Phase::PreQueryValidation(validation) => {
+                let actions = validation.on_master_versions(versions);
+                self.apply_validation_actions(ctx, txn, actions);
+            }
+            Phase::Executing if state.awaiting_version_check => {
+                match &state.master_pinned {
+                    None => state.master_pinned = Some(versions),
+                    Some(pinned) if *pinned != versions => {
+                        // The master moved mid-transaction: earlier proofs
+                        // are no longer latest-version (ψ broken).
+                        self.abort_in_execution(ctx, txn, AbortReason::VersionInconsistency);
+                        return;
+                    }
+                    Some(_) => {}
+                }
+                let state = self.active.get_mut(&txn).expect("still active");
+                state.awaiting_version_check = false;
+                if let Some((_, ok, proof)) = state.pending_query_done.take() {
+                    self.process_query_done(ctx, txn, ok, proof);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // continuous 2PV during execution
+    // ------------------------------------------------------------------
+
+    fn on_validate_reply(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        txn: TxnId,
+        from: NodeId,
+        reply: ValidationReply,
+    ) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        let Some(server) = self.book.server_at(from) else {
+            return;
+        };
+        state.metrics.messages += 1; // the reply
+        state.view.extend(reply.proofs.iter().cloned());
+        state.metrics.proofs += reply.proofs.len() as u64;
+        if let Phase::PreQueryValidation(validation) = &mut state.phase {
+            let actions = validation.on_reply(server, reply);
+            self.apply_validation_actions(ctx, txn, actions);
+        }
+    }
+
+    fn apply_validation_actions(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        txn: TxnId,
+        actions: Vec<ValidationAction>,
+    ) {
+        for action in actions {
+            let Some(state) = self.active.get_mut(&txn) else {
+                return;
+            };
+            match action {
+                ValidationAction::SendRequest(_) => unreachable!("only start() requests"),
+                ValidationAction::SendUpdate(server, targets) => {
+                    state.metrics.messages += 1;
+                    ctx.send(
+                        self.book.server_node(server),
+                        Msg::Update {
+                            txn,
+                            targets,
+                            in_commit: false,
+                        },
+                    );
+                }
+                ValidationAction::QueryMaster => {
+                    state.metrics.messages += 1;
+                    ctx.send(self.book.master, Msg::VersionRequest { txn });
+                }
+                ValidationAction::Resolved(outcome) => match outcome {
+                    ValidationOutcome::Continue => {
+                        // Safe to run the pending query's data operations.
+                        self.send_exec_query(ctx, txn);
+                    }
+                    ValidationOutcome::Abort(reason) => {
+                        self.abort_in_execution(ctx, txn, reason);
+                    }
+                },
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // commit
+    // ------------------------------------------------------------------
+
+    fn start_commit(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        let participants = state.spec.participants();
+        let validate =
+            self.scheme.validates_at_commit(self.consistency) && !self.baseline_no_validation;
+        let mut pvc = TwoPvc::new(txn, participants, self.consistency, self.variant, validate);
+        let actions = pvc.start();
+        state.phase = Phase::Committing(pvc);
+        self.apply_pvc_actions(ctx, txn, actions);
+    }
+
+    fn on_commit_reply(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        txn: TxnId,
+        from: NodeId,
+        reply: ValidationReply,
+    ) {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return;
+        };
+        let Some(server) = self.book.server_at(from) else {
+            return;
+        };
+        state.metrics.messages += 1;
+        state.view.extend(reply.proofs.iter().cloned());
+        state.metrics.proofs += reply.proofs.len() as u64;
+        if let Phase::Committing(pvc) = &mut state.phase {
+            let actions = pvc.on_reply(server, reply);
+            self.apply_pvc_actions(ctx, txn, actions);
+        }
+    }
+
+    fn apply_pvc_actions(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        txn: TxnId,
+        actions: Vec<TwoPvcAction>,
+    ) {
+        for action in actions {
+            let Some(state) = self.active.get_mut(&txn) else {
+                return;
+            };
+            match action {
+                TwoPvcAction::SendPrepareToCommit(server) => {
+                    state.metrics.messages += 1;
+                    let validate = self.scheme.validates_at_commit(self.consistency)
+                        && !self.baseline_no_validation;
+                    let expected_queries: Vec<usize> = state
+                        .spec
+                        .queries
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, q)| q.server == server)
+                        .map(|(i, _)| i)
+                        .collect();
+                    ctx.send(
+                        self.book.server_node(server),
+                        Msg::PrepareToCommit {
+                            txn,
+                            validate,
+                            expected_queries,
+                        },
+                    );
+                }
+                TwoPvcAction::SendUpdate(server, targets) => {
+                    state.metrics.messages += 1;
+                    ctx.send(
+                        self.book.server_node(server),
+                        Msg::Update {
+                            txn,
+                            targets,
+                            in_commit: true,
+                        },
+                    );
+                }
+                TwoPvcAction::QueryMaster => {
+                    state.metrics.messages += 1;
+                    ctx.send(self.book.master, Msg::VersionRequest { txn });
+                }
+                TwoPvcAction::ForceLog(record) => {
+                    self.wal.force(record);
+                    ctx.count("forced_logs", 1);
+                    ctx.mark("log:forced");
+                    let state = self.active.get_mut(&txn).expect("active");
+                    state.metrics.forced_logs += 1;
+                }
+                TwoPvcAction::Log(record) => self.wal.append(record),
+                TwoPvcAction::SendDecision(server, decision) => {
+                    state.metrics.messages += 1;
+                    ctx.send(
+                        self.book.server_node(server),
+                        Msg::Decision { txn, decision },
+                    );
+                }
+                TwoPvcAction::Decided(decision) => {
+                    let (rounds, reason) = match &state.phase {
+                        Phase::Committing(pvc) => (pvc.rounds(), pvc.abort_reason()),
+                        _ => (0, None),
+                    };
+                    state.metrics.rounds += rounds;
+                    let outcome = if decision.is_commit() {
+                        state.metrics.commits += 1;
+                        TxnOutcome::Committed { at: ctx.now() }
+                    } else {
+                        state.metrics.aborts += 1;
+                        TxnOutcome::Aborted {
+                            at: ctx.now(),
+                            reason: reason.unwrap_or(AbortReason::IntegrityViolation),
+                        }
+                    };
+                    state.outcome = Some(outcome);
+                    ctx.mark(format!("decided:{decision}"));
+                }
+                TwoPvcAction::Completed => {
+                    self.finish(ctx, txn);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Aborts a transaction that is still executing queries: broadcast
+    /// ABORT to every touched server so locks are released and buffered
+    /// writes dropped.
+    fn abort_in_execution(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId, reason: AbortReason) {
+        if !self.active.contains_key(&txn) {
+            return;
+        }
+        let record = CoordinatorRecord::Decision {
+            txn,
+            decision: safetx_txn::Decision::Abort,
+        };
+        if self.variant.coordinator_forces(safetx_txn::Decision::Abort) {
+            self.wal.force(record);
+            ctx.count("forced_logs", 1);
+        } else {
+            self.wal.append(record);
+        }
+        let state = self.active.get_mut(&txn).expect("active");
+        for &server in &state.touched.clone() {
+            state.metrics.messages += 1;
+            ctx.send(
+                self.book.server_node(server),
+                Msg::Decision {
+                    txn,
+                    decision: safetx_txn::Decision::Abort,
+                },
+            );
+        }
+        state.metrics.aborts += 1;
+        state.outcome = Some(TxnOutcome::Aborted {
+            at: ctx.now(),
+            reason,
+        });
+        self.finish(ctx, txn);
+    }
+
+    fn finish(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
+        let Some(state) = self.active.remove(&txn) else {
+            return;
+        };
+        let outcome = state.outcome.unwrap_or(TxnOutcome::Aborted {
+            at: ctx.now(),
+            reason: AbortReason::Failure,
+        });
+        ctx.mark(format!("finished:{txn}"));
+        self.completed.push(TxnRecord {
+            txn,
+            started_at: state.started_at,
+            finished_at: outcome.at(),
+            outcome,
+            metrics: state.metrics,
+            view: state.view,
+            queries_executed: state.next_query,
+        });
+    }
+}
+
+impl Actor<Msg> for TmActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Begin { spec, credentials } => self.begin(ctx, spec, credentials),
+            Msg::QueryDone {
+                txn,
+                query_index,
+                ok,
+                proof,
+                capability,
+            } => {
+                self.touch(ctx, txn);
+                if let Some(capability) = capability {
+                    if let Some(state) = self.active.get_mut(&txn) {
+                        state.capabilities.push(capability);
+                    }
+                }
+                self.on_query_done(ctx, txn, query_index, ok, proof);
+            }
+            Msg::ValidateReply { txn, reply } => {
+                self.touch(ctx, txn);
+                self.on_validate_reply(ctx, txn, from, reply);
+            }
+            Msg::CommitReply { txn, reply } => {
+                self.touch(ctx, txn);
+                self.on_commit_reply(ctx, txn, from, reply);
+            }
+            Msg::VersionReply { txn, versions } => {
+                self.touch(ctx, txn);
+                self.on_version_reply(ctx, txn, versions);
+            }
+            Msg::Ack { txn } => {
+                self.touch(ctx, txn);
+                let Some(server) = self.book.server_at(from) else {
+                    return;
+                };
+                let Some(state) = self.active.get_mut(&txn) else {
+                    return;
+                };
+                state.metrics.messages += 1;
+                if let Phase::Committing(pvc) = &mut state.phase {
+                    let actions = pvc.on_ack(server);
+                    self.apply_pvc_actions(ctx, txn, actions);
+                }
+            }
+            Msg::Inquiry { txn, from_server } => {
+                let answer = answer_inquiry(txn, self.variant, self.wal.records());
+                ctx.send(
+                    self.book.server_node(from_server),
+                    Msg::InquiryReply { txn, answer },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: TimerTag) {
+        let txn = TxnId::new(tag);
+        let Some(timeout) = self.commit_timeout else {
+            return;
+        };
+        let Some(state) = self.active.get_mut(&txn) else {
+            return; // finished: watchdog lapses
+        };
+        let idle = ctx.now().duration_since(state.last_activity);
+        if idle < timeout {
+            // Progress since the watchdog was armed: check again later.
+            ctx.set_timer(timeout, tag);
+            return;
+        }
+        match &mut state.phase {
+            Phase::Committing(pvc) => {
+                let actions = match pvc.state() {
+                    // Votes missing: abort.
+                    crate::two_pvc::TwoPvcState::Voting => pvc.on_timeout(),
+                    // Acks missing: the decision (or its ack) was lost —
+                    // retransmit and keep waiting.
+                    crate::two_pvc::TwoPvcState::Deciding(_) => pvc.resend_decisions(),
+                    _ => Vec::new(),
+                };
+                self.apply_pvc_actions(ctx, txn, actions);
+            }
+            // Stalled during execution (lost query reply or 2PV reply, or
+            // a crashed participant): abort and release what was touched.
+            Phase::Executing | Phase::PreQueryValidation(_) => {
+                self.abort_in_execution(ctx, txn, AbortReason::Timeout);
+            }
+        }
+        // Keep the watchdog running while the transaction is unfinished
+        // (e.g. an abort decision still awaiting acknowledgments).
+        if self.active.contains_key(&txn) {
+            ctx.set_timer(timeout, tag);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // In-flight coordination state is volatile; the WAL survives.
+        self.active.clear();
+    }
+}

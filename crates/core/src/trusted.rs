@@ -1,0 +1,240 @@
+//! Post-hoc audits of the trusted-transaction definitions (4–9).
+//!
+//! These functions inspect a recorded [`TransactionView`] after an execution
+//! and decide whether it satisfies the paper's formal definitions. The
+//! protocol implementations *enforce* the definitions online; these checkers
+//! let tests and experiments *verify* that enforcement independently.
+
+use crate::consistency::{consistent_at, ConsistencyLevel, VersionAuthority};
+use crate::view::TransactionView;
+use safetx_types::Timestamp;
+use std::collections::BTreeSet;
+
+/// Definition 4 (restricted to the chosen level): every relevant (latest)
+/// proof evaluation granted access, and the latest evaluations are φ- or
+/// ψ-consistent.
+#[must_use]
+pub fn is_trusted(
+    view: &TransactionView,
+    level: ConsistencyLevel,
+    authority: &dyn VersionAuthority,
+) -> bool {
+    let latest = view.latest_per_proof();
+    latest.iter().all(|p| p.truth()) && consistent_at(level, latest.iter().copied(), authority)
+}
+
+/// A safe transaction (Section III-B): trusted *and* database-correct.
+/// `integrity_ok` is the conjunction of the participants' YES votes.
+#[must_use]
+pub fn is_safe(
+    view: &TransactionView,
+    level: ConsistencyLevel,
+    authority: &dyn VersionAuthority,
+    integrity_ok: bool,
+) -> bool {
+    integrity_ok && is_trusted(view, level, authority)
+}
+
+/// Definition 8's structural condition: at *every* evaluation instant, the
+/// view instance so far is consistent at the chosen level.
+///
+/// Under [`ConsistencyLevel::Global`] the authority must reflect the
+/// versions that were latest **during** the run; experiments freeze policy
+/// updates or snapshot the authority accordingly.
+#[must_use]
+pub fn prefixes_consistent(
+    view: &TransactionView,
+    level: ConsistencyLevel,
+    authority: &dyn VersionAuthority,
+) -> bool {
+    let mut instants: Vec<Timestamp> = view.proofs().iter().map(|p| p.evaluated_at).collect();
+    instants.sort_unstable();
+    instants.dedup();
+    instants
+        .into_iter()
+        .all(|ti| consistent_at(level, view.instance_at(ti), authority))
+}
+
+/// Definition 9's structural condition: whenever a proof for a *new*
+/// (server, request) pair is evaluated, every previously seen pair is
+/// re-evaluated at the same instant (the "re-evaluate all previous proofs"
+/// rule of Continuous).
+#[must_use]
+pub fn continuous_coverage(view: &TransactionView) -> bool {
+    // Group evaluations by instant, in time order.
+    let mut instants: Vec<Timestamp> = view.proofs().iter().map(|p| p.evaluated_at).collect();
+    instants.sort_unstable();
+    instants.dedup();
+
+    let key = |p: &safetx_policy::ProofOfAuthorization| {
+        (
+            p.server,
+            p.request.action.clone(),
+            p.request.resource.clone(),
+        )
+    };
+
+    let mut seen: BTreeSet<_> = BTreeSet::new();
+    for ti in instants {
+        let now: BTreeSet<_> = view
+            .proofs()
+            .iter()
+            .filter(|p| p.evaluated_at == ti)
+            .map(&key)
+            .collect();
+        let introduces_new = now.iter().any(|k| !seen.contains(k));
+        if introduces_new && !seen.iter().all(|k| now.contains(k)) {
+            return false;
+        }
+        seen.extend(now);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_policy::{AccessRequest, ProofOfAuthorization, ProofOutcome};
+    use safetx_types::{PolicyId, PolicyVersion, ServerId, UserId};
+    use std::collections::BTreeMap;
+
+    fn proof(
+        server: u64,
+        resource: &str,
+        version: u64,
+        at_ms: u64,
+        granted: bool,
+    ) -> ProofOfAuthorization {
+        ProofOfAuthorization {
+            request: AccessRequest::new(UserId::new(1), "read", resource),
+            server: ServerId::new(server),
+            policy_id: PolicyId::new(0),
+            policy_version: PolicyVersion(version),
+            evaluated_at: Timestamp::from_millis(at_ms),
+            credentials: vec![],
+            outcome: if granted {
+                ProofOutcome::Granted
+            } else {
+                ProofOutcome::NotDerivable
+            },
+        }
+    }
+
+    fn master(version: u64) -> BTreeMap<PolicyId, PolicyVersion> {
+        [(PolicyId::new(0), PolicyVersion(version))].into()
+    }
+
+    #[test]
+    fn trusted_requires_grants_and_consistency() {
+        let ok: TransactionView = [proof(0, "a", 2, 1, true), proof(1, "b", 2, 2, true)]
+            .into_iter()
+            .collect();
+        assert!(is_trusted(&ok, ConsistencyLevel::View, &master(2)));
+        assert!(is_trusted(&ok, ConsistencyLevel::Global, &master(2)));
+
+        let denied: TransactionView = [proof(0, "a", 2, 1, true), proof(1, "b", 2, 2, false)]
+            .into_iter()
+            .collect();
+        assert!(!is_trusted(&denied, ConsistencyLevel::View, &master(2)));
+
+        let divergent: TransactionView = [proof(0, "a", 1, 1, true), proof(1, "b", 2, 2, true)]
+            .into_iter()
+            .collect();
+        assert!(!is_trusted(&divergent, ConsistencyLevel::View, &master(2)));
+
+        let stale: TransactionView = [proof(0, "a", 1, 1, true), proof(1, "b", 1, 2, true)]
+            .into_iter()
+            .collect();
+        assert!(is_trusted(&stale, ConsistencyLevel::View, &master(2)));
+        assert!(!is_trusted(&stale, ConsistencyLevel::Global, &master(2)));
+    }
+
+    #[test]
+    fn re_evaluation_supersedes_earlier_outcome() {
+        // Punctual: query-time eval granted at v1, commit re-eval denied at
+        // v2 — the transaction is not trusted.
+        let view: TransactionView = [proof(0, "a", 1, 1, true), proof(0, "a", 2, 9, false)]
+            .into_iter()
+            .collect();
+        assert!(!is_trusted(&view, ConsistencyLevel::View, &master(2)));
+    }
+
+    #[test]
+    fn safe_needs_integrity_too() {
+        let view: TransactionView = [proof(0, "a", 1, 1, true)].into_iter().collect();
+        assert!(is_safe(&view, ConsistencyLevel::View, &master(1), true));
+        assert!(!is_safe(&view, ConsistencyLevel::View, &master(1), false));
+    }
+
+    #[test]
+    fn prefix_consistency_detects_mid_transaction_divergence() {
+        // s0 evaluates at v1, then s1 at v2: the second instance is
+        // inconsistent even though a later re-evaluation could repair it.
+        let view: TransactionView = [proof(0, "a", 1, 1, true), proof(1, "b", 2, 2, true)]
+            .into_iter()
+            .collect();
+        assert!(!prefixes_consistent(
+            &view,
+            ConsistencyLevel::View,
+            &master(2)
+        ));
+
+        let uniform: TransactionView = [proof(0, "a", 2, 1, true), proof(1, "b", 2, 2, true)]
+            .into_iter()
+            .collect();
+        assert!(prefixes_consistent(
+            &uniform,
+            ConsistencyLevel::View,
+            &master(2)
+        ));
+    }
+
+    #[test]
+    fn continuous_coverage_requires_re_evaluations() {
+        // Proper Continuous: at t2 both the new proof (s1) and the old (s0)
+        // are evaluated; at t3 all three.
+        let good: TransactionView = [
+            proof(0, "a", 1, 1, true),
+            proof(0, "a", 1, 2, true),
+            proof(1, "b", 1, 2, true),
+            proof(0, "a", 1, 3, true),
+            proof(1, "b", 1, 3, true),
+            proof(2, "c", 1, 3, true),
+        ]
+        .into_iter()
+        .collect();
+        assert!(continuous_coverage(&good));
+
+        // Missing the re-evaluation of s0 at t2.
+        let bad: TransactionView = [proof(0, "a", 1, 1, true), proof(1, "b", 1, 2, true)]
+            .into_iter()
+            .collect();
+        assert!(!continuous_coverage(&bad));
+    }
+
+    #[test]
+    fn continuous_coverage_allows_pure_re_evaluation_rounds() {
+        // A 2PV update round re-evaluates only an existing proof — no new
+        // pair introduced, so partial coverage is fine.
+        let view: TransactionView = [
+            proof(0, "a", 1, 1, true),
+            proof(1, "b", 1, 1, true),
+            proof(0, "a", 2, 2, true), // s0 alone re-validates after Update
+        ]
+        .into_iter()
+        .collect();
+        assert!(continuous_coverage(&view));
+    }
+
+    #[test]
+    fn empty_view_is_vacuously_trusted_and_covered() {
+        let view = TransactionView::new();
+        assert!(is_trusted(&view, ConsistencyLevel::View, &master(1)));
+        assert!(prefixes_consistent(
+            &view,
+            ConsistencyLevel::Global,
+            &master(1)
+        ));
+        assert!(continuous_coverage(&view));
+    }
+}

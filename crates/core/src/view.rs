@@ -1,0 +1,191 @@
+//! Transaction views and view instances (Definitions 1 and 7).
+
+use safetx_policy::ProofOfAuthorization;
+use safetx_types::{PolicyId, PolicyVersion, ServerId, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The set of proofs of authorization observed during a transaction's
+/// lifetime `[α(T), ω(T)]`, built incrementally as servers evaluate them.
+///
+/// When the same logical proof is re-evaluated (Punctual's commit-time
+/// re-evaluation, 2PV update rounds, Continuous's per-query passes), the
+/// re-evaluation is appended: a view is a record of *evaluations*, and the
+/// trusted-transaction predicates quantify over them by time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransactionView {
+    proofs: Vec<ProofOfAuthorization>,
+}
+
+impl TransactionView {
+    /// Creates an empty view.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an evaluated proof.
+    pub fn record(&mut self, proof: ProofOfAuthorization) {
+        self.proofs.push(proof);
+    }
+
+    /// All recorded evaluations, in arrival order.
+    #[must_use]
+    pub fn proofs(&self) -> &[ProofOfAuthorization] {
+        &self.proofs
+    }
+
+    /// Number of evaluations recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.proofs.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.proofs.is_empty()
+    }
+
+    /// Definition 7: the view instance `V_ti` — evaluations with
+    /// `t ≤ ti`.
+    pub fn instance_at(&self, ti: Timestamp) -> impl Iterator<Item = &ProofOfAuthorization> {
+        self.proofs.iter().filter(move |p| p.evaluated_at <= ti)
+    }
+
+    /// The most recent evaluation per (server, request) pair — the proofs
+    /// whose validity matters at commit time.
+    #[must_use]
+    pub fn latest_per_proof(&self) -> Vec<&ProofOfAuthorization> {
+        let mut latest: BTreeMap<(ServerId, String, String), &ProofOfAuthorization> =
+            BTreeMap::new();
+        for p in &self.proofs {
+            let key = (
+                p.server,
+                p.request.action.clone(),
+                p.request.resource.clone(),
+            );
+            latest.insert(key, p); // later entries overwrite earlier ones
+        }
+        latest.into_values().collect()
+    }
+
+    /// The versions used per policy across the *latest* evaluations.
+    #[must_use]
+    pub fn versions_used(&self) -> BTreeMap<PolicyId, BTreeSet<PolicyVersion>> {
+        let mut out: BTreeMap<PolicyId, BTreeSet<PolicyVersion>> = BTreeMap::new();
+        for p in self.latest_per_proof() {
+            out.entry(p.policy_id).or_default().insert(p.policy_version);
+        }
+        out
+    }
+
+    /// The servers that contributed proofs.
+    #[must_use]
+    pub fn servers(&self) -> BTreeSet<ServerId> {
+        self.proofs.iter().map(|p| p.server).collect()
+    }
+
+    /// True when every *latest* evaluation granted access.
+    #[must_use]
+    pub fn all_granted(&self) -> bool {
+        self.latest_per_proof().iter().all(|p| p.truth())
+    }
+}
+
+impl Extend<ProofOfAuthorization> for TransactionView {
+    fn extend<I: IntoIterator<Item = ProofOfAuthorization>>(&mut self, iter: I) {
+        self.proofs.extend(iter);
+    }
+}
+
+impl FromIterator<ProofOfAuthorization> for TransactionView {
+    fn from_iter<I: IntoIterator<Item = ProofOfAuthorization>>(iter: I) -> Self {
+        TransactionView {
+            proofs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_policy::{AccessRequest, ProofOutcome};
+    use safetx_types::UserId;
+
+    fn proof(
+        server: u64,
+        resource: &str,
+        version: u64,
+        at_ms: u64,
+        granted: bool,
+    ) -> ProofOfAuthorization {
+        ProofOfAuthorization {
+            request: AccessRequest::new(UserId::new(1), "read", resource),
+            server: ServerId::new(server),
+            policy_id: PolicyId::new(0),
+            policy_version: PolicyVersion(version),
+            evaluated_at: Timestamp::from_millis(at_ms),
+            credentials: vec![],
+            outcome: if granted {
+                ProofOutcome::Granted
+            } else {
+                ProofOutcome::NotDerivable
+            },
+        }
+    }
+
+    #[test]
+    fn instance_filters_by_time() {
+        let view: TransactionView = [
+            proof(0, "a", 1, 10, true),
+            proof(1, "b", 1, 20, true),
+            proof(2, "c", 1, 30, true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(view.instance_at(Timestamp::from_millis(20)).count(), 2);
+        assert_eq!(view.instance_at(Timestamp::from_millis(5)).count(), 0);
+        assert_eq!(view.instance_at(Timestamp::from_millis(99)).count(), 3);
+    }
+
+    #[test]
+    fn latest_per_proof_keeps_the_re_evaluation() {
+        let mut view = TransactionView::new();
+        view.record(proof(0, "a", 1, 10, true));
+        view.record(proof(0, "a", 2, 50, false)); // commit-time re-evaluation
+        let latest = view.latest_per_proof();
+        assert_eq!(latest.len(), 1);
+        assert_eq!(latest[0].policy_version, PolicyVersion(2));
+        assert!(!view.all_granted());
+    }
+
+    #[test]
+    fn versions_used_reflects_latest_only() {
+        let mut view = TransactionView::new();
+        view.record(proof(0, "a", 1, 10, true));
+        view.record(proof(1, "b", 2, 20, true));
+        view.record(proof(0, "a", 2, 30, true)); // s0 re-evaluated at v2
+        let versions = view.versions_used();
+        let v0 = &versions[&PolicyId::new(0)];
+        assert_eq!(v0.len(), 1, "only v2 remains relevant");
+        assert!(v0.contains(&PolicyVersion(2)));
+    }
+
+    #[test]
+    fn servers_are_collected() {
+        let view: TransactionView = [proof(0, "a", 1, 1, true), proof(2, "b", 1, 2, true)]
+            .into_iter()
+            .collect();
+        let servers: Vec<ServerId> = view.servers().into_iter().collect();
+        assert_eq!(servers, vec![ServerId::new(0), ServerId::new(2)]);
+    }
+
+    #[test]
+    fn empty_view_properties() {
+        let view = TransactionView::new();
+        assert!(view.is_empty());
+        assert!(view.all_granted(), "vacuously");
+        assert!(view.versions_used().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Protocol cost counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The cost metrics of one (or many aggregated) transaction executions,
+/// matching Section VI's cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolMetrics {
+    /// Protocol messages sent (prepares, votes, decisions, acks, updates,
+    /// version queries, 2PV traffic).
+    pub messages: u64,
+    /// Proofs of authorization evaluated (including re-evaluations).
+    pub proofs: u64,
+    /// Voting/collection rounds executed (`r` in Table I).
+    pub rounds: u64,
+    /// Forced log writes (the paper's log complexity).
+    pub forced_logs: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+}
+
+impl ProtocolMetrics {
+    /// All-zero metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &ProtocolMetrics) {
+        self.messages += other.messages;
+        self.proofs += other.proofs;
+        self.rounds += other.rounds;
+        self.forced_logs += other.forced_logs;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+    }
+
+    /// Total transactions observed.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.commits + self.aborts
+    }
+
+    /// Fraction of transactions that aborted (0 when none ran).
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.transactions();
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ProtocolMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msgs={} proofs={} rounds={} forced={} commits={} aborts={}",
+            self.messages, self.proofs, self.rounds, self.forced_logs, self.commits, self.aborts
+        )
+    }
+}
+
+impl std::ops::Add for ProtocolMetrics {
+    type Output = ProtocolMetrics;
+
+    fn add(mut self, rhs: ProtocolMetrics) -> ProtocolMetrics {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for ProtocolMetrics {
+    fn sum<I: Iterator<Item = ProtocolMetrics>>(iter: I) -> ProtocolMetrics {
+        iter.fold(ProtocolMetrics::new(), |acc, m| acc + m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = ProtocolMetrics {
+            messages: 1,
+            proofs: 2,
+            rounds: 3,
+            forced_logs: 4,
+            commits: 5,
+            aborts: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.aborts, 12);
+        assert_eq!(a.transactions(), 22);
+    }
+
+    #[test]
+    fn abort_rate_handles_zero() {
+        assert_eq!(ProtocolMetrics::new().abort_rate(), 0.0);
+        let m = ProtocolMetrics {
+            commits: 3,
+            aborts: 1,
+            ..Default::default()
+        };
+        assert!((m.abort_rate() - 0.25).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: ProtocolMetrics = (0..3)
+            .map(|_| ProtocolMetrics {
+                messages: 10,
+                ..Default::default()
+            })
+            .sum();
+        assert_eq!(total.messages, 30);
+    }
+}

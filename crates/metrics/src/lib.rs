@@ -1,0 +1,18 @@
+//! Counters, histograms and ASCII table rendering for safetx experiments.
+//!
+//! The paper's evaluation (Section VI) measures protocols in **messages**,
+//! **proof evaluations**, **voting rounds** and **forced log writes**;
+//! [`ProtocolMetrics`] aggregates exactly those. [`Histogram`] summarizes
+//! latency samples for the trade-off study, and [`AsciiTable`] renders the
+//! reproduction tables printed by the bench binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod histogram;
+mod table;
+
+pub use counters::ProtocolMetrics;
+pub use histogram::Histogram;
+pub use table::AsciiTable;

@@ -1,0 +1,371 @@
+//! Certificate authorities and online credential status checking.
+//!
+//! The paper assumes "each CA offers an online method that allows any server
+//! to check the current status of a particular credential" (an OCSP-style
+//! responder, RFC 2560). [`CertificateAuthority`] plays both roles: issuer
+//! and responder. [`CaRegistry`] aggregates the CAs known to a deployment and
+//! is the [`StatusOracle`] servers consult while evaluating proofs.
+
+use crate::credential::{Credential, CredentialBuilder, SyntacticCheck};
+use crate::fact::Atom;
+use safetx_types::{CaId, CredentialId, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of an online status check for one credential at a query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CredentialStatus {
+    /// Issued by this CA and not revoked at any instant up to the query time.
+    Good,
+    /// Revoked at the contained instant (which is ≤ the query time).
+    Revoked(Timestamp),
+    /// The CA has no record of this credential (or the responder is not the
+    /// issuer).
+    Unknown,
+}
+
+impl CredentialStatus {
+    /// True only for [`CredentialStatus::Good`].
+    #[must_use]
+    pub fn is_good(self) -> bool {
+        self == CredentialStatus::Good
+    }
+}
+
+impl std::fmt::Display for CredentialStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CredentialStatus::Good => write!(f, "good"),
+            CredentialStatus::Revoked(at) => write!(f, "revoked at {at}"),
+            CredentialStatus::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// An online source of credential status, consulted during semantic
+/// validation of proofs of authorization.
+pub trait StatusOracle {
+    /// Reports the status of `credential` as of instant `at`.
+    ///
+    /// A credential revoked at `t_r ≤ at` must be reported
+    /// [`CredentialStatus::Revoked`]; a revocation scheduled *after* `at` is
+    /// not yet visible and the credential is still
+    /// [`CredentialStatus::Good`]. This matches the paper's semantic
+    /// validity: valid at `t` iff not revoked at any `t'` with
+    /// `t_i ≤ t' ≤ t`.
+    fn status(&self, credential: CredentialId, at: Timestamp) -> CredentialStatus;
+
+    /// Verifies the signature on a credential, if this oracle can.
+    fn verify(&self, credential: &Credential, at: Timestamp) -> SyntacticCheck;
+}
+
+/// A certificate authority: issues, revokes and vouches for credentials.
+///
+/// # Examples
+///
+/// ```
+/// use safetx_policy::{Atom, CertificateAuthority, Constant, CredentialStatus, StatusOracle};
+/// use safetx_types::{CaId, Timestamp, UserId};
+///
+/// let mut ca = CertificateAuthority::new(CaId::new(0), 0xfeed);
+/// let stmt = Atom::fact("role", vec![Constant::symbol("bob"), Constant::symbol("rep")]);
+/// let cred = ca.issue(UserId::new(1), stmt, Timestamp::ZERO, Timestamp::from_millis(1000));
+/// assert!(ca.status(cred.id(), Timestamp::from_millis(5)).is_good());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    id: CaId,
+    key: u64,
+    next_serial: u64,
+    issued: HashMap<CredentialId, Timestamp>,
+    revoked: HashMap<CredentialId, Timestamp>,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with the given identifier and signing key.
+    #[must_use]
+    pub fn new(id: CaId, key: u64) -> Self {
+        CertificateAuthority {
+            id,
+            key,
+            next_serial: 0,
+            issued: HashMap::new(),
+            revoked: HashMap::new(),
+        }
+    }
+
+    /// The CA's identifier.
+    #[must_use]
+    pub fn id(&self) -> CaId {
+        self.id
+    }
+
+    /// Issues a signed credential asserting `statement` about `subject`,
+    /// valid during `[issued_at, expires_at)`.
+    ///
+    /// Credential ids are unique per CA: `serial * num_ca_slots + ca_index`
+    /// style packing is avoided by namespacing with the CA index in the high
+    /// bits.
+    pub fn issue(
+        &mut self,
+        subject: UserId,
+        statement: Atom,
+        issued_at: Timestamp,
+        expires_at: Timestamp,
+    ) -> Credential {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let id = CredentialId::new((self.id.index() << 40) | serial);
+        self.issued.insert(id, issued_at);
+        CredentialBuilder::new(id, subject, statement, self.id)
+            .issued_at(issued_at)
+            .expires_at(expires_at)
+            .sign(self.key)
+    }
+
+    /// Revokes a credential at instant `at`.
+    ///
+    /// Revocation is permanent; only the earliest revocation instant is
+    /// retained. Revoking an unknown credential is a no-op returning `false`.
+    pub fn revoke(&mut self, credential: CredentialId, at: Timestamp) -> bool {
+        if !self.issued.contains_key(&credential) {
+            return false;
+        }
+        let entry = self.revoked.entry(credential).or_insert(at);
+        if at < *entry {
+            *entry = at;
+        }
+        true
+    }
+
+    /// Number of credentials issued so far.
+    #[must_use]
+    pub fn issued_count(&self) -> usize {
+        self.issued.len()
+    }
+}
+
+impl StatusOracle for CertificateAuthority {
+    fn status(&self, credential: CredentialId, at: Timestamp) -> CredentialStatus {
+        if !self.issued.contains_key(&credential) {
+            return CredentialStatus::Unknown;
+        }
+        match self.revoked.get(&credential) {
+            Some(&revoked_at) if revoked_at <= at => CredentialStatus::Revoked(revoked_at),
+            _ => CredentialStatus::Good,
+        }
+    }
+
+    fn verify(&self, credential: &Credential, at: Timestamp) -> SyntacticCheck {
+        if credential.issuer() != self.id {
+            return SyntacticCheck::BadSignature;
+        }
+        credential.syntactic_check(self.key, at)
+    }
+}
+
+/// The set of certificate authorities known to a deployment.
+///
+/// Dispatches status and verification queries to the issuing CA.
+#[derive(Debug, Clone, Default)]
+pub struct CaRegistry {
+    cas: HashMap<CaId, CertificateAuthority>,
+}
+
+impl CaRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a CA.
+    pub fn register(&mut self, ca: CertificateAuthority) {
+        self.cas.insert(ca.id(), ca);
+    }
+
+    /// Looks up a CA by id.
+    #[must_use]
+    pub fn ca(&self, id: CaId) -> Option<&CertificateAuthority> {
+        self.cas.get(&id)
+    }
+
+    /// Mutable lookup, e.g. for issuing or revoking.
+    #[must_use]
+    pub fn ca_mut(&mut self, id: CaId) -> Option<&mut CertificateAuthority> {
+        self.cas.get_mut(&id)
+    }
+
+    /// Number of registered CAs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cas.len()
+    }
+
+    /// True when no CA is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cas.is_empty()
+    }
+
+    /// Revokes a credential through its issuing CA.
+    ///
+    /// Returns `false` when the issuer is unknown or never issued it.
+    pub fn revoke(&mut self, issuer: CaId, credential: CredentialId, at: Timestamp) -> bool {
+        match self.cas.get_mut(&issuer) {
+            Some(ca) => ca.revoke(credential, at),
+            None => false,
+        }
+    }
+}
+
+impl StatusOracle for CaRegistry {
+    fn status(&self, credential: CredentialId, at: Timestamp) -> CredentialStatus {
+        // Credential ids are namespaced by issuing CA in the high bits, but a
+        // robust responder just asks every CA; exactly one can know it.
+        for ca in self.cas.values() {
+            let s = ca.status(credential, at);
+            if s != CredentialStatus::Unknown {
+                return s;
+            }
+        }
+        CredentialStatus::Unknown
+    }
+
+    fn verify(&self, credential: &Credential, at: Timestamp) -> SyntacticCheck {
+        match self.cas.get(&credential.issuer()) {
+            Some(ca) => ca.verify(credential, at),
+            None => SyntacticCheck::BadSignature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Constant;
+
+    fn stmt(role: &str) -> Atom {
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("bob"), Constant::symbol(role)],
+        )
+    }
+
+    fn ca_with_credential() -> (CertificateAuthority, Credential) {
+        let mut ca = CertificateAuthority::new(CaId::new(1), 0xdead_beef);
+        let cred = ca.issue(
+            UserId::new(3),
+            stmt("sales_rep"),
+            Timestamp::from_millis(0),
+            Timestamp::from_millis(1_000),
+        );
+        (ca, cred)
+    }
+
+    #[test]
+    fn issued_credential_verifies_and_is_good() {
+        let (ca, cred) = ca_with_credential();
+        assert!(ca.verify(&cred, Timestamp::from_millis(10)).is_valid());
+        assert!(ca.status(cred.id(), Timestamp::from_millis(10)).is_good());
+    }
+
+    #[test]
+    fn revocation_is_visible_only_from_its_instant() {
+        let (mut ca, cred) = ca_with_credential();
+        assert!(ca.revoke(cred.id(), Timestamp::from_millis(50)));
+        assert!(ca.status(cred.id(), Timestamp::from_millis(49)).is_good());
+        assert_eq!(
+            ca.status(cred.id(), Timestamp::from_millis(50)),
+            CredentialStatus::Revoked(Timestamp::from_millis(50))
+        );
+        assert_eq!(
+            ca.status(cred.id(), Timestamp::from_millis(999)),
+            CredentialStatus::Revoked(Timestamp::from_millis(50))
+        );
+    }
+
+    #[test]
+    fn earliest_revocation_wins() {
+        let (mut ca, cred) = ca_with_credential();
+        ca.revoke(cred.id(), Timestamp::from_millis(80));
+        ca.revoke(cred.id(), Timestamp::from_millis(40));
+        ca.revoke(cred.id(), Timestamp::from_millis(60));
+        assert_eq!(
+            ca.status(cred.id(), Timestamp::from_millis(100)),
+            CredentialStatus::Revoked(Timestamp::from_millis(40))
+        );
+    }
+
+    #[test]
+    fn unknown_credential_is_unknown_and_unrevocable() {
+        let (mut ca, _) = ca_with_credential();
+        let ghost = CredentialId::new(999_999);
+        assert_eq!(
+            ca.status(ghost, Timestamp::from_millis(1)),
+            CredentialStatus::Unknown
+        );
+        assert!(!ca.revoke(ghost, Timestamp::from_millis(1)));
+    }
+
+    #[test]
+    fn registry_dispatches_to_issuing_ca() {
+        let mut registry = CaRegistry::new();
+        let mut ca0 = CertificateAuthority::new(CaId::new(0), 1);
+        let mut ca1 = CertificateAuthority::new(CaId::new(1), 2);
+        let c0 = ca0.issue(
+            UserId::new(1),
+            stmt("rep"),
+            Timestamp::ZERO,
+            Timestamp::from_millis(10),
+        );
+        let c1 = ca1.issue(
+            UserId::new(1),
+            stmt("manager"),
+            Timestamp::ZERO,
+            Timestamp::from_millis(10),
+        );
+        registry.register(ca0);
+        registry.register(ca1);
+
+        assert!(registry.verify(&c0, Timestamp::from_millis(1)).is_valid());
+        assert!(registry.verify(&c1, Timestamp::from_millis(1)).is_valid());
+        assert!(registry
+            .status(c0.id(), Timestamp::from_millis(1))
+            .is_good());
+        assert!(registry.revoke(CaId::new(1), c1.id(), Timestamp::from_millis(2)));
+        assert!(matches!(
+            registry.status(c1.id(), Timestamp::from_millis(3)),
+            CredentialStatus::Revoked(_)
+        ));
+    }
+
+    #[test]
+    fn registry_rejects_credential_from_unregistered_ca() {
+        let registry = CaRegistry::new();
+        let mut rogue = CertificateAuthority::new(CaId::new(9), 123);
+        let cred = rogue.issue(
+            UserId::new(1),
+            stmt("rep"),
+            Timestamp::ZERO,
+            Timestamp::from_millis(10),
+        );
+        assert_eq!(
+            registry.verify(&cred, Timestamp::from_millis(1)),
+            SyntacticCheck::BadSignature
+        );
+        assert_eq!(
+            registry.status(cred.id(), Timestamp::from_millis(1)),
+            CredentialStatus::Unknown
+        );
+    }
+
+    #[test]
+    fn credential_ids_are_namespaced_per_ca() {
+        let mut ca_a = CertificateAuthority::new(CaId::new(0), 1);
+        let mut ca_b = CertificateAuthority::new(CaId::new(1), 2);
+        let a = ca_a.issue(UserId::new(1), stmt("r"), Timestamp::ZERO, Timestamp::MAX);
+        let b = ca_b.issue(UserId::new(1), stmt("r"), Timestamp::ZERO, Timestamp::MAX);
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,178 @@
+//! Server-issued access credentials (capabilities).
+//!
+//! "Different cloud servers can also issue access credentials that act as
+//! capabilities allowing the user to continue submitting queries to other
+//! servers during the transaction lifetime" (Section III-A) — Bob's "read
+//! credential" in the motivating example. Servers can verify capabilities
+//! issued by each other because they share the deployment's capability key
+//! ring (one key per server, distributed out of band).
+
+use crate::credential::sign;
+use safetx_types::{ServerId, Timestamp, TxnId, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A capability: server `issuer` certifies that `user` satisfied the policy
+/// for `action` on `resource` at `issued_at`, within transaction `txn`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessCapability {
+    issuer: ServerId,
+    user: UserId,
+    txn: TxnId,
+    action: String,
+    resource: String,
+    issued_at: Timestamp,
+    expires_at: Timestamp,
+    signature: u64,
+}
+
+impl AccessCapability {
+    /// Issues a capability signed with the issuing server's key.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn issue(
+        issuer: ServerId,
+        issuer_key: u64,
+        user: UserId,
+        txn: TxnId,
+        action: impl Into<String>,
+        resource: impl Into<String>,
+        issued_at: Timestamp,
+        expires_at: Timestamp,
+    ) -> Self {
+        let mut cap = AccessCapability {
+            issuer,
+            user,
+            txn,
+            action: action.into(),
+            resource: resource.into(),
+            issued_at,
+            expires_at,
+            signature: 0,
+        };
+        cap.signature = sign(issuer_key, &cap.canonical_bytes());
+        cap
+    }
+
+    /// The issuing server.
+    #[must_use]
+    pub fn issuer(&self) -> ServerId {
+        self.issuer
+    }
+
+    /// The holder.
+    #[must_use]
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The transaction the capability was issued within.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// The certified action.
+    #[must_use]
+    pub fn action(&self) -> &str {
+        &self.action
+    }
+
+    /// The certified resource.
+    #[must_use]
+    pub fn resource(&self) -> &str {
+        &self.resource
+    }
+
+    /// When the capability was issued.
+    #[must_use]
+    pub fn issued_at(&self) -> Timestamp {
+        self.issued_at
+    }
+
+    /// When the capability lapses.
+    #[must_use]
+    pub fn expires_at(&self) -> Timestamp {
+        self.expires_at
+    }
+
+    fn canonical_bytes(&self) -> Vec<u8> {
+        format!(
+            "cap|{}|{}|{}|{}|{}|{}|{}",
+            self.issuer,
+            self.user,
+            self.txn,
+            self.action,
+            self.resource,
+            self.issued_at.as_micros(),
+            self.expires_at.as_micros()
+        )
+        .into_bytes()
+    }
+
+    /// Verifies the signature under the issuer's key and the validity window
+    /// at instant `at`.
+    #[must_use]
+    pub fn verify(&self, issuer_key: u64, at: Timestamp) -> bool {
+        sign(issuer_key, &self.canonical_bytes()) == self.signature
+            && self.issued_at <= at
+            && at < self.expires_at
+    }
+}
+
+impl fmt::Display for AccessCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "capability: {} may {}({}) per {} (txn {}, until {})",
+            self.user, self.action, self.resource, self.issuer, self.txn, self.expires_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(key: u64) -> AccessCapability {
+        AccessCapability::issue(
+            ServerId::new(2),
+            key,
+            UserId::new(1),
+            TxnId::new(9),
+            "read",
+            "customers",
+            Timestamp::from_millis(10),
+            Timestamp::from_millis(60),
+        )
+    }
+
+    #[test]
+    fn verifies_within_window_under_correct_key() {
+        let c = cap(0x51);
+        assert!(c.verify(0x51, Timestamp::from_millis(30)));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let c = cap(0x51);
+        assert!(!c.verify(0x52, Timestamp::from_millis(30)));
+    }
+
+    #[test]
+    fn rejects_outside_window() {
+        let c = cap(0x51);
+        assert!(!c.verify(0x51, Timestamp::from_millis(9)));
+        assert!(!c.verify(0x51, Timestamp::from_millis(60)));
+    }
+
+    #[test]
+    fn accessors_expose_the_grant() {
+        let c = cap(1);
+        assert_eq!(c.action(), "read");
+        assert_eq!(c.resource(), "customers");
+        assert_eq!(c.issuer(), ServerId::new(2));
+        assert_eq!(c.txn(), TxnId::new(9));
+        assert!(c.to_string().contains("read(customers)"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Certified credentials.
+//!
+//! A credential `c` is a signed, time-bounded statement about a subject —
+//! e.g. "CA 0 asserts `role(bob, sales_rep)` from α(c) until ω(c)". Following
+//! the paper (and Lee & Winslett's definitions it cites), a credential is
+//! **syntactically** valid at time `t` when it is well formed, carries a
+//! valid signature, `α(c)` has passed and `ω(c)` has not; it is
+//! **semantically** valid when the issuing CA's online status check reports
+//! it unrevoked through `t`.
+
+use crate::fact::Atom;
+use safetx_types::{CaId, CredentialId, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A certified credential issued by a certificate authority.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Credential {
+    id: CredentialId,
+    subject: UserId,
+    statement: Atom,
+    issuer: CaId,
+    issued_at: Timestamp,
+    expires_at: Timestamp,
+    signature: u64,
+}
+
+impl Credential {
+    /// The credential's unique identifier.
+    #[must_use]
+    pub fn id(&self) -> CredentialId {
+        self.id
+    }
+
+    /// The subject (principal) the statement is about.
+    #[must_use]
+    pub fn subject(&self) -> UserId {
+        self.subject
+    }
+
+    /// The certified ground statement, e.g. `role(bob, sales_rep)`.
+    #[must_use]
+    pub fn statement(&self) -> &Atom {
+        &self.statement
+    }
+
+    /// The issuing certificate authority.
+    #[must_use]
+    pub fn issuer(&self) -> CaId {
+        self.issuer
+    }
+
+    /// Issue time `α(c)`.
+    #[must_use]
+    pub fn issued_at(&self) -> Timestamp {
+        self.issued_at
+    }
+
+    /// Expiration time `ω(c)`.
+    #[must_use]
+    pub fn expires_at(&self) -> Timestamp {
+        self.expires_at
+    }
+
+    /// The signature tag over the canonical byte encoding.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Canonical byte encoding covered by the signature.
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.id,
+            self.subject,
+            self.statement,
+            self.issuer,
+            self.issued_at.as_micros(),
+            self.expires_at.as_micros()
+        )
+        .into_bytes()
+    }
+
+    /// Checks the paper's four syntactic conditions at time `t`:
+    /// (i) properly formatted, (ii) valid signature under `key`,
+    /// (iii) `α(c) ≤ t`, (iv) `t < ω(c)`.
+    #[must_use]
+    pub fn syntactic_check(&self, key: u64, at: Timestamp) -> SyntacticCheck {
+        if !self.statement.is_ground() || self.statement.predicate().is_empty() {
+            return SyntacticCheck::Malformed;
+        }
+        if self.expires_at <= self.issued_at {
+            return SyntacticCheck::Malformed;
+        }
+        if sign(key, &self.canonical_bytes()) != self.signature {
+            return SyntacticCheck::BadSignature;
+        }
+        if at < self.issued_at {
+            return SyntacticCheck::NotYetValid;
+        }
+        if at >= self.expires_at {
+            return SyntacticCheck::Expired;
+        }
+        SyntacticCheck::Valid
+    }
+
+    /// Returns a copy with a tampered statement (signature left unchanged);
+    /// useful in tests and failure-injection scenarios.
+    #[must_use]
+    pub fn with_forged_statement(&self, statement: Atom) -> Credential {
+        Credential {
+            statement,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Credential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} asserts {} for {} during [{}, {})",
+            self.id, self.issuer, self.statement, self.subject, self.issued_at, self.expires_at
+        )
+    }
+}
+
+/// Outcome of the syntactic validity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntacticCheck {
+    /// All four conditions hold.
+    Valid,
+    /// The credential is not properly formatted.
+    Malformed,
+    /// The signature does not verify under the issuer's key.
+    BadSignature,
+    /// `α(c)` has not yet passed.
+    NotYetValid,
+    /// `ω(c)` has passed.
+    Expired,
+}
+
+impl SyntacticCheck {
+    /// True only for [`SyntacticCheck::Valid`].
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self == SyntacticCheck::Valid
+    }
+}
+
+impl fmt::Display for SyntacticCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            SyntacticCheck::Valid => "valid",
+            SyntacticCheck::Malformed => "malformed",
+            SyntacticCheck::BadSignature => "bad signature",
+            SyntacticCheck::NotYetValid => "not yet valid",
+            SyntacticCheck::Expired => "expired",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// Builder used by certificate authorities to assemble and sign credentials.
+///
+/// Not exported for direct use by applications: obtain credentials from
+/// [`CertificateAuthority::issue`](crate::CertificateAuthority::issue).
+#[derive(Debug)]
+pub struct CredentialBuilder {
+    id: CredentialId,
+    subject: UserId,
+    statement: Atom,
+    issuer: CaId,
+    issued_at: Timestamp,
+    expires_at: Timestamp,
+}
+
+impl CredentialBuilder {
+    /// Starts a builder with the mandatory fields.
+    #[must_use]
+    pub fn new(id: CredentialId, subject: UserId, statement: Atom, issuer: CaId) -> Self {
+        CredentialBuilder {
+            id,
+            subject,
+            statement,
+            issuer,
+            issued_at: Timestamp::ZERO,
+            expires_at: Timestamp::MAX,
+        }
+    }
+
+    /// Sets the issue time `α(c)`.
+    #[must_use]
+    pub fn issued_at(mut self, t: Timestamp) -> Self {
+        self.issued_at = t;
+        self
+    }
+
+    /// Sets the expiration time `ω(c)`.
+    #[must_use]
+    pub fn expires_at(mut self, t: Timestamp) -> Self {
+        self.expires_at = t;
+        self
+    }
+
+    /// Signs with `key` and produces the credential.
+    #[must_use]
+    pub fn sign(self, key: u64) -> Credential {
+        let mut cred = Credential {
+            id: self.id,
+            subject: self.subject,
+            statement: self.statement,
+            issuer: self.issuer,
+            issued_at: self.issued_at,
+            expires_at: self.expires_at,
+            signature: 0,
+        };
+        cred.signature = sign(key, &cred.canonical_bytes());
+        cred
+    }
+}
+
+/// Keyed tag over `bytes` — an FNV-1a-style mix, *not* a cryptographic MAC.
+///
+/// The simulation only needs signatures that are deterministic, key-dependent
+/// and broken by any byte change; see DESIGN.md §5 (Substitutions).
+#[must_use]
+pub fn sign(key: u64, bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ key.rotate_left(17);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= key;
+    h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^ (h >> 29)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Constant;
+
+    fn statement() -> Atom {
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("bob"), Constant::symbol("sales_rep")],
+        )
+    }
+
+    fn sample(key: u64) -> Credential {
+        CredentialBuilder::new(
+            CredentialId::new(1),
+            UserId::new(7),
+            statement(),
+            CaId::new(0),
+        )
+        .issued_at(Timestamp::from_millis(10))
+        .expires_at(Timestamp::from_millis(100))
+        .sign(key)
+    }
+
+    #[test]
+    fn valid_within_window() {
+        let c = sample(42);
+        assert_eq!(
+            c.syntactic_check(42, Timestamp::from_millis(50)),
+            SyntacticCheck::Valid
+        );
+    }
+
+    #[test]
+    fn invalid_before_alpha_and_after_omega() {
+        let c = sample(42);
+        assert_eq!(
+            c.syntactic_check(42, Timestamp::from_millis(5)),
+            SyntacticCheck::NotYetValid
+        );
+        assert_eq!(
+            c.syntactic_check(42, Timestamp::from_millis(100)),
+            SyntacticCheck::Expired,
+            "omega itself is already expired (t < omega required)"
+        );
+    }
+
+    #[test]
+    fn wrong_key_fails_signature() {
+        let c = sample(42);
+        assert_eq!(
+            c.syntactic_check(43, Timestamp::from_millis(50)),
+            SyntacticCheck::BadSignature
+        );
+    }
+
+    #[test]
+    fn tampered_statement_fails_signature() {
+        let c = sample(42);
+        let forged = c.with_forged_statement(Atom::fact(
+            "role",
+            vec![Constant::symbol("bob"), Constant::symbol("admin")],
+        ));
+        assert_eq!(
+            forged.syntactic_check(42, Timestamp::from_millis(50)),
+            SyntacticCheck::BadSignature
+        );
+    }
+
+    #[test]
+    fn empty_window_is_malformed() {
+        let c = CredentialBuilder::new(
+            CredentialId::new(2),
+            UserId::new(7),
+            statement(),
+            CaId::new(0),
+        )
+        .issued_at(Timestamp::from_millis(10))
+        .expires_at(Timestamp::from_millis(10))
+        .sign(1);
+        assert_eq!(
+            c.syntactic_check(1, Timestamp::from_millis(10)),
+            SyntacticCheck::Malformed
+        );
+    }
+
+    #[test]
+    fn signatures_differ_across_keys_and_bytes() {
+        assert_ne!(sign(1, b"abc"), sign(2, b"abc"));
+        assert_ne!(sign(1, b"abc"), sign(1, b"abd"));
+        assert_eq!(sign(9, b"xyz"), sign(9, b"xyz"));
+    }
+
+    #[test]
+    fn display_mentions_issuer_and_window() {
+        let c = sample(42);
+        let text = c.to_string();
+        assert!(text.contains("CA0"));
+        assert!(text.contains("role(bob, sales_rep)"));
+    }
+}

@@ -1,0 +1,388 @@
+//! The inference engine: semi-naive forward chaining over ground facts.
+//!
+//! The paper's validity condition (2) — "the inference rules are satisfiable"
+//! — is decided here: given a policy's rules and the facts contributed by a
+//! user's credentials, the engine computes the least fixpoint and checks
+//! whether the requested `grant(...)` goal is derivable.
+
+use crate::error::PolicyError;
+use crate::fact::{Atom, Bindings};
+use crate::rule::Rule;
+use std::collections::BTreeSet;
+
+/// Default cap on the number of derived facts, protecting against
+/// pathological rule sets.
+pub const DEFAULT_DERIVATION_BUDGET: usize = 100_000;
+
+/// A set of ground facts.
+///
+/// # Examples
+///
+/// ```
+/// use safetx_policy::FactBase;
+///
+/// # fn main() -> Result<(), safetx_policy::PolicyError> {
+/// let mut facts = FactBase::new();
+/// facts.insert_text("role(bob, sales_rep)")?;
+/// assert_eq!(facts.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FactBase {
+    facts: BTreeSet<Atom>,
+}
+
+impl FactBase {
+    /// Creates an empty fact base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a ground atom. Returns `true` when it was not already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::NonGroundFact`] when the atom has variables.
+    pub fn insert(&mut self, atom: Atom) -> Result<bool, PolicyError> {
+        if !atom.is_ground() {
+            return Err(PolicyError::NonGroundFact {
+                predicate: atom.predicate().to_owned(),
+            });
+        }
+        Ok(self.facts.insert(atom))
+    }
+
+    /// Parses and inserts a fact written in rule-language syntax.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and groundness errors.
+    pub fn insert_text(&mut self, text: &str) -> Result<bool, PolicyError> {
+        let atom = crate::parser::parse_fact(text)?;
+        self.insert(atom)
+    }
+
+    /// True when the ground atom is present.
+    #[must_use]
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.facts.contains(atom)
+    }
+
+    /// Number of facts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when no facts are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterates over all facts in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.facts.iter()
+    }
+}
+
+impl Extend<Atom> for FactBase {
+    fn extend<I: IntoIterator<Item = Atom>>(&mut self, iter: I) {
+        for atom in iter {
+            // Non-ground atoms are silently rejected by Extend; use `insert`
+            // for error reporting.
+            if atom.is_ground() {
+                self.facts.insert(atom);
+            }
+        }
+    }
+}
+
+impl FromIterator<Atom> for FactBase {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        let mut fb = FactBase::new();
+        fb.extend(iter);
+        fb
+    }
+}
+
+/// The forward-chaining engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    budget: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            budget: DEFAULT_DERIVATION_BUDGET,
+        }
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the default derivation budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an engine with a custom cap on derived facts.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        Engine { budget }
+    }
+
+    /// Computes the least fixpoint of `rules` over `base` and returns the
+    /// saturated fact base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::DerivationBudgetExceeded`] when more than the
+    /// configured number of facts would be derived.
+    pub fn saturate(&self, rules: &[Rule], base: &FactBase) -> Result<FactBase, PolicyError> {
+        let mut all = base.clone();
+        // Seed with bare-fact rules.
+        for rule in rules.iter().filter(|r| r.is_fact()) {
+            all.insert(rule.head().clone())?;
+        }
+        // Semi-naive iteration: only join against facts derived in the last
+        // round (delta), re-deriving nothing.
+        let mut delta: BTreeSet<Atom> = all.facts.clone();
+        while !delta.is_empty() {
+            let mut next_delta: BTreeSet<Atom> = BTreeSet::new();
+            for rule in rules.iter().filter(|r| !r.is_fact()) {
+                self.fire(rule, &all, &delta, &mut next_delta)?;
+            }
+            next_delta.retain(|a| !all.facts.contains(a));
+            for atom in &next_delta {
+                all.facts.insert(atom.clone());
+                if all.facts.len() > self.budget {
+                    return Err(PolicyError::DerivationBudgetExceeded {
+                        budget: self.budget,
+                    });
+                }
+            }
+            delta = next_delta;
+        }
+        Ok(all)
+    }
+
+    /// True when `goal` (which may contain variables) is satisfiable from
+    /// `rules` and `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolicyError::DerivationBudgetExceeded`].
+    pub fn prove(&self, rules: &[Rule], base: &FactBase, goal: &Atom) -> Result<bool, PolicyError> {
+        let saturated = self.saturate(rules, base)?;
+        if goal.is_ground() {
+            return Ok(saturated.contains(goal));
+        }
+        let provable = saturated
+            .iter()
+            .any(|f| goal.match_ground(f, &Bindings::new()).is_some());
+        Ok(provable)
+    }
+
+    /// Fires one rule against the current database, requiring at least one
+    /// body atom to match within `delta` (semi-naive restriction).
+    fn fire(
+        &self,
+        rule: &Rule,
+        all: &FactBase,
+        delta: &BTreeSet<Atom>,
+        out: &mut BTreeSet<Atom>,
+    ) -> Result<(), PolicyError> {
+        let body = rule.body();
+        // For each position that is forced to match the delta:
+        for delta_pos in 0..body.len() {
+            self.join(
+                rule,
+                body,
+                0,
+                delta_pos,
+                false,
+                all,
+                delta,
+                &Bindings::new(),
+                out,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Recursive nested-loop join over the body atoms.
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        rule: &Rule,
+        body: &[Atom],
+        index: usize,
+        delta_pos: usize,
+        _used_delta: bool,
+        all: &FactBase,
+        delta: &BTreeSet<Atom>,
+        bindings: &Bindings,
+        out: &mut BTreeSet<Atom>,
+    ) -> Result<(), PolicyError> {
+        if index == body.len() {
+            let derived = rule.head().substitute(bindings);
+            debug_assert!(
+                derived.is_ground(),
+                "range restriction guarantees ground heads"
+            );
+            out.insert(derived);
+            return Ok(());
+        }
+        let pattern = body[index].substitute(bindings);
+        let candidates: Box<dyn Iterator<Item = &Atom>> = if index == delta_pos {
+            Box::new(delta.iter())
+        } else {
+            Box::new(all.iter())
+        };
+        for fact in candidates {
+            if let Some(next) = pattern.match_ground(fact, bindings) {
+                self.join(
+                    rule,
+                    body,
+                    index + 1,
+                    delta_pos,
+                    true,
+                    all,
+                    delta,
+                    &next,
+                    out,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_fact, parse_rules};
+
+    fn base(facts: &[&str]) -> FactBase {
+        let mut fb = FactBase::new();
+        for f in facts {
+            fb.insert(parse_fact(f).unwrap()).unwrap();
+        }
+        fb
+    }
+
+    #[test]
+    fn direct_rule_fires() {
+        let rules = parse_rules("grant(read, customers) :- role(U, sales_rep).").unwrap();
+        let fb = base(&["role(bob, sales_rep)"]);
+        let goal = parse_fact("grant(read, customers)").unwrap();
+        assert!(Engine::new().prove(&rules, &fb, &goal).unwrap());
+    }
+
+    #[test]
+    fn join_across_shared_variables() {
+        let rules = parse_rules(
+            "grant(read, customers) :- role(U, sales_rep), region(U, R), located(U, R).",
+        )
+        .unwrap();
+        let engine = Engine::new();
+        let goal = parse_fact("grant(read, customers)").unwrap();
+
+        let matching = base(&[
+            "role(bob, sales_rep)",
+            "region(bob, east)",
+            "located(bob, east)",
+        ]);
+        assert!(engine.prove(&rules, &matching, &goal).unwrap());
+
+        // Region mismatch: bob assigned east, located west.
+        let mismatched = base(&[
+            "role(bob, sales_rep)",
+            "region(bob, east)",
+            "located(bob, west)",
+        ]);
+        assert!(!engine.prove(&rules, &mismatched, &goal).unwrap());
+    }
+
+    #[test]
+    fn transitive_closure_terminates() {
+        let rules = parse_rules(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Z) :- reach(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        let fb = base(&["edge(a, b)", "edge(b, c)", "edge(c, a)"]);
+        let engine = Engine::new();
+        let sat = engine.saturate(&rules, &fb).unwrap();
+        // 3 edges + 9 reachability facts (complete digraph closure on a cycle).
+        assert_eq!(sat.len(), 12);
+        assert!(engine
+            .prove(&rules, &fb, &parse_fact("reach(a, a)").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn bare_fact_rules_seed_the_database() {
+        let rules = parse_rules("maintenance. grant(read, logs) :- maintenance.").unwrap();
+        let engine = Engine::new();
+        assert!(engine
+            .prove(
+                &rules,
+                &FactBase::new(),
+                &parse_fact("grant(read, logs)").unwrap()
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn non_ground_goal_matches_any_instance() {
+        let rules = parse_rules("grant(read, T) :- table(T).").unwrap();
+        let fb = base(&["table(customers)", "table(inventory)"]);
+        let goal = Atom::new(
+            "grant",
+            vec![
+                crate::fact::Term::symbol("read"),
+                crate::fact::Term::var("T"),
+            ],
+        );
+        assert!(Engine::new().prove(&rules, &fb, &goal).unwrap());
+    }
+
+    #[test]
+    fn unprovable_goal_is_false_not_error() {
+        let rules = parse_rules("grant(read, x) :- role(U, admin).").unwrap();
+        let fb = base(&["role(bob, guest)"]);
+        assert!(!Engine::new()
+            .prove(&rules, &fb, &parse_fact("grant(read, x)").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        // pair/2 over n symbols derives n^2 facts; budget 4 with 3 symbols
+        // (9 pairs) must trip.
+        let rules = parse_rules("pair(X, Y) :- sym(X), sym(Y).").unwrap();
+        let fb = base(&["sym(a)", "sym(b)", "sym(c)"]);
+        let err = Engine::with_budget(4).saturate(&rules, &fb).unwrap_err();
+        assert!(matches!(
+            err,
+            PolicyError::DerivationBudgetExceeded { budget: 4 }
+        ));
+    }
+
+    #[test]
+    fn saturation_is_monotone_in_facts() {
+        let rules = parse_rules("grant(read, t) :- role(U, rep), active(U).").unwrap();
+        let engine = Engine::new();
+        let goal = parse_fact("grant(read, t)").unwrap();
+        let small = base(&["role(bob, rep)"]);
+        let mut big = small.clone();
+        big.insert(parse_fact("active(bob)").unwrap()).unwrap();
+        assert!(!engine.prove(&rules, &small, &goal).unwrap());
+        assert!(engine.prove(&rules, &big, &goal).unwrap());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the policy crate.
+
+use std::fmt;
+
+/// Errors produced while parsing or evaluating policies and credentials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// The rule or fact text could not be parsed.
+    Parse {
+        /// Byte offset of the failure within the input.
+        offset: usize,
+        /// Human-readable description of what was expected.
+        message: String,
+    },
+    /// A rule contains a head variable that never appears in its body, so the
+    /// rule could derive infinitely many facts (it is not range-restricted).
+    UnboundHeadVariable {
+        /// The offending variable name.
+        variable: String,
+        /// The predicate of the rule head.
+        predicate: String,
+    },
+    /// A fact (ground atom) was required but the atom contains variables.
+    NonGroundFact {
+        /// The predicate of the offending atom.
+        predicate: String,
+    },
+    /// The inference engine exceeded its derivation budget.
+    DerivationBudgetExceeded {
+        /// Maximum number of derived facts allowed.
+        budget: usize,
+    },
+    /// A referenced policy version does not exist in the store.
+    UnknownPolicyVersion {
+        /// The policy that was looked up.
+        policy: safetx_types::PolicyId,
+        /// The version that was requested.
+        version: safetx_types::PolicyVersion,
+    },
+    /// A referenced policy does not exist in the store.
+    UnknownPolicy {
+        /// The policy that was looked up.
+        policy: safetx_types::PolicyId,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            PolicyError::UnboundHeadVariable {
+                variable,
+                predicate,
+            } => write!(
+                f,
+                "rule for `{predicate}` is not range-restricted: head variable `{variable}` \
+                 does not occur in the body"
+            ),
+            PolicyError::NonGroundFact { predicate } => {
+                write!(f, "fact for `{predicate}` contains variables")
+            }
+            PolicyError::DerivationBudgetExceeded { budget } => {
+                write!(
+                    f,
+                    "inference exceeded the derivation budget of {budget} facts"
+                )
+            }
+            PolicyError::UnknownPolicyVersion { policy, version } => {
+                write!(f, "policy {policy} has no version {version}")
+            }
+            PolicyError::UnknownPolicy { policy } => {
+                write!(f, "unknown policy {policy}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let err = PolicyError::Parse {
+            offset: 3,
+            message: "expected `:-`".into(),
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("parse error at byte 3"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<PolicyError>();
+    }
+}

@@ -1,0 +1,304 @@
+//! Atoms, terms and constants of the rule language.
+//!
+//! Policies are sets of Datalog-style inference rules over atoms such as
+//! `role(bob, sales_rep)` or `grant(read, customers)`. Facts are ground atoms
+//! (no variables); rule bodies and heads may contain variables, written with
+//! a leading uppercase letter (`X`, `Region`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A constant symbol: an interned lowercase identifier or an integer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Constant {
+    /// A symbolic constant such as `bob` or `sales_rep`.
+    Symbol(String),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Constant {
+    /// Creates a symbolic constant.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use safetx_policy::Constant;
+    /// assert_eq!(Constant::symbol("bob").to_string(), "bob");
+    /// ```
+    #[must_use]
+    pub fn symbol(name: impl Into<String>) -> Self {
+        Constant::Symbol(name.into())
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Symbol(s) => write!(f, "{s}"),
+            Constant::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::Symbol(s.to_owned())
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+/// A term appearing as an argument of an atom: a constant or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A constant term.
+    Const(Constant),
+    /// A variable, named with a leading uppercase letter by convention.
+    Var(String),
+}
+
+impl Term {
+    /// Creates a variable term.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Creates a symbolic constant term.
+    #[must_use]
+    pub fn symbol(name: impl Into<String>) -> Self {
+        Term::Const(Constant::symbol(name))
+    }
+
+    /// True when the term is a variable.
+    #[must_use]
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Applies a substitution, returning the (possibly unchanged) term.
+    #[must_use]
+    pub fn substitute(&self, bindings: &Bindings) -> Term {
+        match self {
+            Term::Const(_) => self.clone(),
+            Term::Var(name) => match bindings.get(name) {
+                Some(c) => Term::Const(c.clone()),
+                None => self.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(c: Constant) -> Self {
+        Term::Const(c)
+    }
+}
+
+/// A substitution mapping variable names to constants.
+pub type Bindings = BTreeMap<String, Constant>;
+
+/// An atom `predicate(t1, ..., tk)`.
+///
+/// Ground atoms (all arguments constant) are *facts*; atoms with variables
+/// occur in rules and queries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    predicate: String,
+    args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom from a predicate name and argument terms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use safetx_policy::{Atom, Term};
+    /// let a = Atom::new("role", vec![Term::symbol("bob"), Term::var("R")]);
+    /// assert_eq!(a.to_string(), "role(bob, R)");
+    /// ```
+    #[must_use]
+    pub fn new(predicate: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            args,
+        }
+    }
+
+    /// Creates a ground atom from constants only.
+    #[must_use]
+    pub fn fact(predicate: impl Into<String>, args: Vec<Constant>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            args: args.into_iter().map(Term::Const).collect(),
+        }
+    }
+
+    /// The predicate name.
+    #[must_use]
+    pub fn predicate(&self) -> &str {
+        &self.predicate
+    }
+
+    /// The argument terms.
+    #[must_use]
+    pub fn args(&self) -> &[Term] {
+        &self.args
+    }
+
+    /// Number of arguments (the predicate's arity as used here).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// True when every argument is a constant.
+    #[must_use]
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// Iterates over the names of variables occurring in this atom.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(|t| match t {
+            Term::Var(v) => Some(v.as_str()),
+            Term::Const(_) => None,
+        })
+    }
+
+    /// Applies a substitution to every argument.
+    #[must_use]
+    pub fn substitute(&self, bindings: &Bindings) -> Atom {
+        Atom {
+            predicate: self.predicate.clone(),
+            args: self.args.iter().map(|t| t.substitute(bindings)).collect(),
+        }
+    }
+
+    /// Attempts to unify this (possibly non-ground) atom against a ground
+    /// atom, extending `bindings`. Returns `None` on mismatch; on success the
+    /// returned bindings extend the input consistently.
+    #[must_use]
+    pub fn match_ground(&self, ground: &Atom, bindings: &Bindings) -> Option<Bindings> {
+        if self.predicate != ground.predicate || self.args.len() != ground.args.len() {
+            return None;
+        }
+        let mut out = bindings.clone();
+        for (pat, g) in self.args.iter().zip(ground.args.iter()) {
+            let gc = match g {
+                Term::Const(c) => c,
+                Term::Var(_) => return None,
+            };
+            match pat {
+                Term::Const(c) => {
+                    if c != gc {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match out.get(v) {
+                    Some(bound) if bound != gc => return None,
+                    Some(_) => {}
+                    None => {
+                        out.insert(v.clone(), gc.clone());
+                    }
+                },
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Zero-arity atoms print bare (`maintenance`), matching the parser,
+        // which rejects empty parentheses.
+        if self.args.is_empty() {
+            return write!(f, "{}", self.predicate);
+        }
+        write!(f, "{}(", self.predicate)?;
+        for (i, arg) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{arg}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ground(p: &str, args: &[&str]) -> Atom {
+        Atom::fact(p, args.iter().map(|&a| Constant::symbol(a)).collect())
+    }
+
+    #[test]
+    fn ground_atom_has_no_variables() {
+        let a = ground("role", &["bob", "sales_rep"]);
+        assert!(a.is_ground());
+        assert_eq!(a.variables().count(), 0);
+        assert_eq!(a.arity(), 2);
+    }
+
+    #[test]
+    fn match_ground_binds_variables() {
+        let pattern = Atom::new("role", vec![Term::var("U"), Term::symbol("sales_rep")]);
+        let fact = ground("role", &["bob", "sales_rep"]);
+        let b = pattern.match_ground(&fact, &Bindings::new()).unwrap();
+        assert_eq!(b.get("U"), Some(&Constant::symbol("bob")));
+    }
+
+    #[test]
+    fn match_ground_rejects_conflicting_binding() {
+        let pattern = Atom::new("pair", vec![Term::var("X"), Term::var("X")]);
+        let ok = ground("pair", &["a", "a"]);
+        let bad = ground("pair", &["a", "b"]);
+        assert!(pattern.match_ground(&ok, &Bindings::new()).is_some());
+        assert!(pattern.match_ground(&bad, &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn match_ground_rejects_predicate_and_arity_mismatch() {
+        let pattern = Atom::new("role", vec![Term::var("U")]);
+        assert!(pattern
+            .match_ground(&ground("role", &["bob", "x"]), &Bindings::new())
+            .is_none());
+        assert!(pattern
+            .match_ground(&ground("region", &["bob"]), &Bindings::new())
+            .is_none());
+    }
+
+    #[test]
+    fn substitute_replaces_bound_variables_only() {
+        let a = Atom::new("region", vec![Term::var("U"), Term::var("R")]);
+        let mut b = Bindings::new();
+        b.insert("U".into(), Constant::symbol("bob"));
+        let s = a.substitute(&b);
+        assert_eq!(s.to_string(), "region(bob, R)");
+        assert!(!s.is_ground());
+    }
+
+    #[test]
+    fn integer_constants_display() {
+        let a = Atom::fact("limit", vec![Constant::Int(100)]);
+        assert_eq!(a.to_string(), "limit(100)");
+    }
+}

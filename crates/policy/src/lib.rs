@@ -1,0 +1,56 @@
+//! Authorization substrate: credentials, certificate authorities, versioned
+//! Datalog-style policies and proofs of authorization.
+//!
+//! This crate implements Section III of *Enforcing Policy and Data
+//! Consistency of Cloud Transactions* (ICDCS 2011):
+//!
+//! * [`Credential`]s are certified statements about a user, issued by a
+//!   [`CertificateAuthority`]; they are **syntactically** valid when well
+//!   formed, correctly signed and within their `[α(c), ω(c)]` window, and
+//!   **semantically** valid when an online status check confirms they were
+//!   never revoked up to the evaluation instant.
+//! * A [`Policy`] is a versioned set of inference [`Rule`]s owned by an
+//!   administrative domain `A`, exactly the paper's mapping
+//!   `P : S × 2^D → 2^R × A × N`.
+//! * A [`ProofOfAuthorization`] records `f = ⟨q, s, P(m(q)), t, C⟩`; the
+//!   paper's predicate `eval(f, t)` is [`evaluate_proof`].
+//!
+//! # Examples
+//!
+//! ```
+//! use safetx_policy::{PolicyBuilder, RuleSet};
+//! use safetx_types::{AdminDomain, PolicyId};
+//!
+//! # fn main() -> Result<(), safetx_policy::PolicyError> {
+//! let rules: RuleSet = "grant(read, customers) :- role(U, sales_rep).".parse()?;
+//! let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+//!     .rules(rules)
+//!     .build();
+//! assert_eq!(policy.version().get(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ca;
+mod capability;
+mod credential;
+mod engine;
+mod error;
+mod fact;
+mod parser;
+mod policy;
+mod proof;
+mod rule;
+
+pub use ca::{CaRegistry, CertificateAuthority, CredentialStatus, StatusOracle};
+pub use capability::AccessCapability;
+pub use credential::{Credential, CredentialBuilder, SyntacticCheck};
+pub use engine::{Engine, FactBase};
+pub use error::PolicyError;
+pub use fact::{Atom, Constant, Term};
+pub use policy::{Policy, PolicyBuilder, PolicyStore, RuleSet};
+pub use proof::{evaluate_proof, AccessRequest, ProofContext, ProofOfAuthorization, ProofOutcome};
+pub use rule::Rule;

@@ -1,0 +1,322 @@
+//! Text parser for the rule language.
+//!
+//! Grammar (whitespace and `%`/`#` line comments allowed anywhere between
+//! tokens):
+//!
+//! ```text
+//! program := rule*
+//! rule    := atom (":-" atom ("," atom)*)? "."
+//! atom    := ident ("(" term ("," term)* ")")?
+//! term    := VARIABLE | SYMBOL | INTEGER
+//! ```
+//!
+//! Variables start with an uppercase letter or `_`; symbols with a lowercase
+//! letter. Integers are optionally signed decimal.
+
+use crate::error::PolicyError;
+use crate::fact::{Atom, Constant, Term};
+use crate::rule::Rule;
+
+/// Parses a full program: zero or more rules.
+///
+/// # Errors
+///
+/// Returns [`PolicyError::Parse`] on malformed input and the rule-validity
+/// errors of [`Rule::new`] on range-restriction violations.
+pub fn parse_rules(input: &str) -> Result<Vec<Rule>, PolicyError> {
+    let mut p = Parser::new(input);
+    let mut rules = Vec::new();
+    p.skip_trivia();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+        p.skip_trivia();
+    }
+    Ok(rules)
+}
+
+/// Parses a single ground atom (a fact) such as `role(bob, sales_rep)`.
+///
+/// A trailing `.` is permitted but not required.
+///
+/// # Errors
+///
+/// Returns [`PolicyError::Parse`] on malformed input and
+/// [`PolicyError::NonGroundFact`] when the atom contains variables.
+pub fn parse_fact(input: &str) -> Result<Atom, PolicyError> {
+    let mut p = Parser::new(input);
+    p.skip_trivia();
+    let atom = p.atom()?;
+    p.skip_trivia();
+    if p.peek() == Some('.') {
+        p.bump();
+        p.skip_trivia();
+    }
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    if !atom.is_ground() {
+        return Err(PolicyError::NonGroundFact {
+            predicate: atom.predicate().to_owned(),
+        });
+    }
+    Ok(atom)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn error(&self, message: impl Into<String>) -> PolicyError {
+        PolicyError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') | Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), PolicyError> {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, PolicyError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return Err(self.error("expected identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn term(&mut self) -> Result<Term, PolicyError> {
+        match self.peek() {
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                if c == '-' {
+                    self.bump();
+                    if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                        return Err(self.error("expected digit after `-`"));
+                    }
+                }
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    self.bump();
+                }
+                let text = &self.input[start..self.pos];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| self.error("integer literal out of range"))?;
+                Ok(Term::Const(Constant::Int(value)))
+            }
+            Some(c) if c.is_ascii_uppercase() || c == '_' => Ok(Term::Var(self.ident()?)),
+            Some(c) if c.is_ascii_lowercase() => Ok(Term::Const(Constant::Symbol(self.ident()?))),
+            _ => Err(self.error("expected term")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, PolicyError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("expected predicate"))?;
+        if !c.is_ascii_lowercase() {
+            return Err(self.error("predicate must start with a lowercase letter"));
+        }
+        let predicate = self.ident()?;
+        self.skip_trivia();
+        let mut args = Vec::new();
+        if self.peek() == Some('(') {
+            self.bump();
+            self.skip_trivia();
+            if self.peek() == Some(')') {
+                return Err(self.error("empty argument list; omit the parentheses instead"));
+            }
+            loop {
+                args.push(self.term()?);
+                self.skip_trivia();
+                match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        self.skip_trivia();
+                    }
+                    Some(')') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => return Err(self.error("expected `,` or `)`")),
+                }
+            }
+        }
+        Ok(Atom::new(predicate, args))
+    }
+
+    fn rule(&mut self) -> Result<Rule, PolicyError> {
+        let head = self.atom()?;
+        self.skip_trivia();
+        let mut body = Vec::new();
+        if self.rest().starts_with(":-") {
+            self.expect(":-")?;
+            self.skip_trivia();
+            loop {
+                body.push(self.atom()?);
+                self.skip_trivia();
+                if self.peek() == Some(',') {
+                    self.bump();
+                    self.skip_trivia();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(".")?;
+        Rule::new(head, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rule_with_body() {
+        let rules = parse_rules(
+            "grant(read, customers) :- role(U, sales_rep), region(U, R), located(U, R).",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].body().len(), 3);
+        assert_eq!(
+            rules[0].to_string(),
+            "grant(read, customers) :- role(U, sales_rep), region(U, R), located(U, R)."
+        );
+    }
+
+    #[test]
+    fn parses_multiple_rules_with_comments() {
+        let src = "% customers table\n\
+                   grant(read, customers) :- role(U, sales_rep).\n\
+                   # inventory table\n\
+                   grant(write, inventory) :- role(U, manager).\n";
+        let rules = parse_rules(src).unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn parses_zero_arity_and_integers() {
+        let rules = parse_rules("maintenance. grant(read, logs) :- clearance(U, 3).").unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(rules[0].is_fact());
+        assert_eq!(rules[1].body()[0].to_string(), "clearance(U, 3)");
+    }
+
+    #[test]
+    fn parses_negative_integers() {
+        let atom = parse_fact("offset(-7)").unwrap();
+        assert_eq!(atom.to_string(), "offset(-7)");
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let err = parse_rules("grant(read, x) :- role(U, r)").unwrap_err();
+        assert!(matches!(err, PolicyError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_uppercase_predicate() {
+        let err = parse_rules("Grant(read, x).").unwrap_err();
+        assert!(matches!(err, PolicyError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_argument_list() {
+        let err = parse_rules("grant().").unwrap_err();
+        assert!(matches!(err, PolicyError::Parse { .. }));
+    }
+
+    #[test]
+    fn fact_parser_rejects_variables_and_trailing_garbage() {
+        assert!(matches!(
+            parse_fact("role(U, sales_rep)").unwrap_err(),
+            PolicyError::NonGroundFact { .. }
+        ));
+        assert!(matches!(
+            parse_fact("role(bob, rep) extra").unwrap_err(),
+            PolicyError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn fact_parser_accepts_optional_dot() {
+        assert_eq!(
+            parse_fact("role(bob, sales_rep).").unwrap(),
+            parse_fact("role(bob, sales_rep)").unwrap()
+        );
+    }
+
+    #[test]
+    fn range_restriction_violation_reported_from_parser() {
+        let err = parse_rules("grant(X).").unwrap_err();
+        assert!(matches!(err, PolicyError::UnboundHeadVariable { .. }));
+    }
+
+    #[test]
+    fn round_trip_display_then_parse() {
+        let src = "grant(read, customers) :- role(U, sales_rep), clearance(U, 2).";
+        let rules = parse_rules(src).unwrap();
+        let printed = rules[0].to_string();
+        let reparsed = parse_rules(&printed).unwrap();
+        assert_eq!(rules, reparsed);
+    }
+}

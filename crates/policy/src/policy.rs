@@ -1,0 +1,400 @@
+//! Versioned authorization policies and policy stores.
+//!
+//! The paper defines a policy as the mapping `P : S × 2^D → 2^R × A × N`: a
+//! server and a set of data items map to inference rules `R`, an
+//! administrative domain `A` and a version number. [`Policy`] captures the
+//! right-hand side; [`PolicyStore`] holds the versions known at one site (a
+//! server replica or the authoritative master).
+
+use crate::error::PolicyError;
+use crate::rule::Rule;
+use safetx_types::{AdminDomain, PolicyId, PolicyVersion};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::str::FromStr;
+
+/// An ordered collection of inference rules, parseable from text.
+///
+/// # Examples
+///
+/// ```
+/// use safetx_policy::RuleSet;
+///
+/// # fn main() -> Result<(), safetx_policy::PolicyError> {
+/// let rules: RuleSet = "grant(read, t) :- role(U, rep).".parse()?;
+/// assert_eq!(rules.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when there are no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over the rules.
+    pub fn iter(&self) -> std::slice::Iter<'_, Rule> {
+        self.rules.iter()
+    }
+
+    /// The rules as a slice, in declaration order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Appends a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+}
+
+impl FromStr for RuleSet {
+    type Err = PolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(RuleSet {
+            rules: crate::parser::parse_rules(s)?,
+        })
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        RuleSet {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Rule> for RuleSet {
+    fn extend<I: IntoIterator<Item = Rule>>(&mut self, iter: I) {
+        self.rules.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a RuleSet {
+    type Item = &'a Rule;
+    type IntoIter = std::slice::Iter<'a, Rule>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.iter()
+    }
+}
+
+/// One version of an authorization policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Policy {
+    id: PolicyId,
+    admin: AdminDomain,
+    version: PolicyVersion,
+    rules: RuleSet,
+}
+
+impl Policy {
+    /// The policy identifier (stable across versions).
+    #[must_use]
+    pub fn id(&self) -> PolicyId {
+        self.id
+    }
+
+    /// The administrative domain `A` that owns the policy.
+    #[must_use]
+    pub fn admin(&self) -> AdminDomain {
+        self.admin
+    }
+
+    /// The version number `ver(P)`.
+    #[must_use]
+    pub fn version(&self) -> PolicyVersion {
+        self.version
+    }
+
+    /// The inference rules of this version.
+    #[must_use]
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Produces the successor version with replacement rules.
+    ///
+    /// This is the administrator's "policy update" operation: `P` becomes
+    /// `P'` with `ver(P') = ver(P) + 1`.
+    #[must_use]
+    pub fn updated(&self, rules: RuleSet) -> Policy {
+        Policy {
+            id: self.id,
+            admin: self.admin,
+            version: self.version.next(),
+            rules,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({} rules, domain {})",
+            self.id,
+            self.version,
+            self.rules.len(),
+            self.admin
+        )
+    }
+}
+
+/// Builder for the first version of a policy.
+#[derive(Debug)]
+pub struct PolicyBuilder {
+    id: PolicyId,
+    admin: AdminDomain,
+    version: PolicyVersion,
+    rules: RuleSet,
+}
+
+impl PolicyBuilder {
+    /// Starts building a policy owned by `admin`.
+    #[must_use]
+    pub fn new(id: PolicyId, admin: AdminDomain) -> Self {
+        PolicyBuilder {
+            id,
+            admin,
+            version: PolicyVersion::INITIAL,
+            rules: RuleSet::new(),
+        }
+    }
+
+    /// Sets the rule set.
+    #[must_use]
+    pub fn rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Parses and sets the rule set from text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn rules_text(mut self, text: &str) -> Result<Self, PolicyError> {
+        self.rules = text.parse()?;
+        Ok(self)
+    }
+
+    /// Overrides the starting version (defaults to
+    /// [`PolicyVersion::INITIAL`]).
+    #[must_use]
+    pub fn version(mut self, version: PolicyVersion) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> Policy {
+        Policy {
+            id: self.id,
+            admin: self.admin,
+            version: self.version,
+            rules: self.rules,
+        }
+    }
+}
+
+/// All policy versions known at one site.
+///
+/// Used for both a server's (possibly stale) replica and the authoritative
+/// master consulted under global consistency.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyStore {
+    versions: HashMap<PolicyId, BTreeMap<PolicyVersion, Policy>>,
+}
+
+impl PolicyStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a policy version. Older versions are retained so that stale
+    /// proofs remain auditable. Returns `true` when this version is the new
+    /// latest for its id.
+    pub fn install(&mut self, policy: Policy) -> bool {
+        let id = policy.id();
+        let version = policy.version();
+        let by_version = self.versions.entry(id).or_default();
+        let was_latest = by_version
+            .last_key_value()
+            .is_none_or(|(&v, _)| version > v);
+        by_version.insert(version, policy);
+        was_latest
+    }
+
+    /// The latest version of a policy, if any version is known.
+    #[must_use]
+    pub fn latest(&self, id: PolicyId) -> Option<&Policy> {
+        self.versions
+            .get(&id)
+            .and_then(|m| m.last_key_value())
+            .map(|(_, p)| p)
+    }
+
+    /// The latest version *number* of a policy.
+    #[must_use]
+    pub fn latest_version(&self, id: PolicyId) -> Option<PolicyVersion> {
+        self.latest(id).map(Policy::version)
+    }
+
+    /// A specific version of a policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownPolicy`] /
+    /// [`PolicyError::UnknownPolicyVersion`] accordingly.
+    pub fn get(&self, id: PolicyId, version: PolicyVersion) -> Result<&Policy, PolicyError> {
+        let by_version = self
+            .versions
+            .get(&id)
+            .ok_or(PolicyError::UnknownPolicy { policy: id })?;
+        by_version
+            .get(&version)
+            .ok_or(PolicyError::UnknownPolicyVersion {
+                policy: id,
+                version,
+            })
+    }
+
+    /// Iterates over the latest version of every known policy.
+    pub fn latest_policies(&self) -> impl Iterator<Item = &Policy> {
+        self.versions
+            .values()
+            .filter_map(|m| m.last_key_value().map(|(_, p)| p))
+    }
+
+    /// Number of distinct policy ids known.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when no policy is known.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy_v1() -> Policy {
+        PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .rules_text("grant(read, customers) :- role(U, sales_rep).")
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn builder_starts_at_initial_version() {
+        let p = policy_v1();
+        assert_eq!(p.version(), PolicyVersion::INITIAL);
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn updated_increments_version_and_replaces_rules() {
+        let p1 = policy_v1();
+        let p2 = p1.updated(
+            "grant(read, customers) :- role(U, manager)."
+                .parse()
+                .unwrap(),
+        );
+        assert_eq!(p2.version(), PolicyVersion(2));
+        assert_eq!(p2.id(), p1.id());
+        assert_eq!(p2.admin(), p1.admin());
+        assert_ne!(p2.rules(), p1.rules());
+    }
+
+    #[test]
+    fn store_tracks_latest_and_history() {
+        let mut store = PolicyStore::new();
+        let p1 = policy_v1();
+        let p2 = p1.updated(RuleSet::new());
+        assert!(store.install(p1.clone()));
+        assert!(store.install(p2.clone()));
+        assert_eq!(store.latest(p1.id()).unwrap().version(), p2.version());
+        assert_eq!(store.get(p1.id(), p1.version()).unwrap(), &p1);
+        assert_eq!(store.latest_version(p1.id()), Some(PolicyVersion(2)));
+    }
+
+    #[test]
+    fn installing_an_older_version_does_not_regress_latest() {
+        let mut store = PolicyStore::new();
+        let p1 = policy_v1();
+        let p2 = p1.updated(RuleSet::new());
+        assert!(store.install(p2.clone()));
+        assert!(!store.install(p1.clone()), "v1 arrives late via gossip");
+        assert_eq!(store.latest_version(p1.id()), Some(p2.version()));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let store = PolicyStore::new();
+        let err = store.get(PolicyId::new(9), PolicyVersion(1)).unwrap_err();
+        assert!(matches!(err, PolicyError::UnknownPolicy { .. }));
+
+        let mut store = PolicyStore::new();
+        store.install(policy_v1());
+        let err = store.get(PolicyId::new(0), PolicyVersion(9)).unwrap_err();
+        assert!(matches!(err, PolicyError::UnknownPolicyVersion { .. }));
+    }
+
+    #[test]
+    fn ruleset_parse_display_round_trip() {
+        let text = "grant(read, customers) :- role(U, sales_rep).\n";
+        let rules: RuleSet = text.parse().unwrap();
+        assert_eq!(rules.to_string(), text);
+    }
+
+    #[test]
+    fn ruleset_collects_from_iterator() {
+        let rules: RuleSet = "a. b. c(1)."
+            .parse::<RuleSet>()
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect();
+        assert_eq!(rules.len(), 3);
+    }
+}

@@ -1,0 +1,383 @@
+//! Proofs of authorization and their evaluation.
+//!
+//! The paper defines a proof of authorization as the tuple
+//! `f_si = ⟨qi, si, P_si(m(qi)), ti, C⟩` and a validity predicate
+//! `eval(f, t)` that holds when (1) every credential in `C` is syntactically
+//! and semantically valid and (2) the policy's inference rules are
+//! satisfiable from those credentials. [`evaluate_proof`] implements exactly
+//! that, recording the outcome in a [`ProofOfAuthorization`] so that views
+//! (Definition 1) can be audited after the fact.
+
+use crate::ca::{CredentialStatus, StatusOracle};
+use crate::credential::Credential;
+use crate::engine::{Engine, FactBase};
+use crate::error::PolicyError;
+use crate::fact::{Atom, Term};
+use crate::policy::Policy;
+use safetx_types::{CredentialId, PolicyId, PolicyVersion, ServerId, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a query wants to do, mapped to the rule-language goal
+/// `grant(action, resource)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessRequest {
+    /// The requesting principal.
+    pub user: UserId,
+    /// Action symbol, e.g. `read` or `write`.
+    pub action: String,
+    /// Resource symbol, e.g. `customers`.
+    pub resource: String,
+}
+
+impl AccessRequest {
+    /// Creates a request.
+    #[must_use]
+    pub fn new(user: UserId, action: impl Into<String>, resource: impl Into<String>) -> Self {
+        AccessRequest {
+            user,
+            action: action.into(),
+            resource: resource.into(),
+        }
+    }
+
+    /// The goal atom the policy must derive.
+    #[must_use]
+    pub fn goal(&self) -> Atom {
+        Atom::new(
+            "grant",
+            vec![
+                Term::symbol(self.action.clone()),
+                Term::symbol(self.resource.clone()),
+            ],
+        )
+    }
+}
+
+impl fmt::Display for AccessRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} wants {}({})", self.user, self.action, self.resource)
+    }
+}
+
+/// Why a proof evaluated to false (or that it evaluated to true).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProofOutcome {
+    /// The access is authorized: all credentials valid and the goal
+    /// derivable.
+    Granted,
+    /// A credential failed the syntactic check.
+    InvalidCredential {
+        /// The failing credential.
+        credential: CredentialId,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A credential was revoked on or before the evaluation instant.
+    RevokedCredential {
+        /// The revoked credential.
+        credential: CredentialId,
+        /// When it was revoked.
+        revoked_at: Timestamp,
+    },
+    /// All credentials valid but the inference rules are not satisfiable.
+    NotDerivable,
+}
+
+impl ProofOutcome {
+    /// True only for [`ProofOutcome::Granted`]; this is the truth value the
+    /// participant reports in 2PV/2PVC.
+    #[must_use]
+    pub fn is_granted(&self) -> bool {
+        matches!(self, ProofOutcome::Granted)
+    }
+}
+
+impl fmt::Display for ProofOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofOutcome::Granted => write!(f, "granted"),
+            ProofOutcome::InvalidCredential { credential, detail } => {
+                write!(f, "credential {credential} invalid: {detail}")
+            }
+            ProofOutcome::RevokedCredential {
+                credential,
+                revoked_at,
+            } => write!(f, "credential {credential} revoked at {revoked_at}"),
+            ProofOutcome::NotDerivable => write!(f, "policy goal not derivable"),
+        }
+    }
+}
+
+/// The recorded proof `f = ⟨q, s, P(m(q)), t, C⟩` plus its outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofOfAuthorization {
+    /// The access request (stands in for the query `q`).
+    pub request: AccessRequest,
+    /// The server `s` that evaluated the proof.
+    pub server: ServerId,
+    /// The policy used.
+    pub policy_id: PolicyId,
+    /// The policy version `ver(P_s)` used — the datum 2PV reconciles.
+    pub policy_version: PolicyVersion,
+    /// The evaluation instant `t`.
+    pub evaluated_at: Timestamp,
+    /// The credentials `C` presented by the querier.
+    pub credentials: Vec<CredentialId>,
+    /// The evaluation outcome.
+    pub outcome: ProofOutcome,
+}
+
+impl ProofOfAuthorization {
+    /// The truth value reported to the transaction manager.
+    #[must_use]
+    pub fn truth(&self) -> bool {
+        self.outcome.is_granted()
+    }
+}
+
+impl fmt::Display for ProofOfAuthorization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{}, {}, {} {}, {}, {} creds⟩ = {}",
+            self.request,
+            self.server,
+            self.policy_id,
+            self.policy_version,
+            self.evaluated_at,
+            self.credentials.len(),
+            self.outcome
+        )
+    }
+}
+
+/// Everything a server needs to evaluate proofs locally.
+pub struct ProofContext<'a> {
+    /// The policy version this server currently enforces.
+    pub policy: &'a Policy,
+    /// Online credential status source (the CAs).
+    pub oracle: &'a dyn StatusOracle,
+    /// The inference engine.
+    pub engine: &'a Engine,
+    /// Extra ambient facts the server contributes (e.g. the user's current
+    /// location as observed by the server).
+    pub ambient_facts: &'a FactBase,
+}
+
+/// Evaluates `eval(f, t)` for an access request at server `server`.
+///
+/// Performs, in order: syntactic checks on each credential (format,
+/// signature, `α`/`ω` window), semantic checks (online revocation status
+/// through `at`), then satisfiability of the policy's rules from the valid
+/// credentials' statements plus ambient facts.
+///
+/// # Errors
+///
+/// Returns [`PolicyError::DerivationBudgetExceeded`] when the policy's rules
+/// blow the inference budget; credential failures are *not* errors, they are
+/// recorded as a false [`ProofOutcome`].
+pub fn evaluate_proof(
+    ctx: &ProofContext<'_>,
+    server: ServerId,
+    request: &AccessRequest,
+    credentials: &[Credential],
+    at: Timestamp,
+) -> Result<ProofOfAuthorization, PolicyError> {
+    let ids: Vec<CredentialId> = credentials.iter().map(Credential::id).collect();
+    let mut proof = ProofOfAuthorization {
+        request: request.clone(),
+        server,
+        policy_id: ctx.policy.id(),
+        policy_version: ctx.policy.version(),
+        evaluated_at: at,
+        credentials: ids,
+        outcome: ProofOutcome::NotDerivable,
+    };
+
+    let mut facts = ctx.ambient_facts.clone();
+    for cred in credentials {
+        let syntactic = ctx.oracle.verify(cred, at);
+        if !syntactic.is_valid() {
+            proof.outcome = ProofOutcome::InvalidCredential {
+                credential: cred.id(),
+                detail: syntactic.to_string(),
+            };
+            return Ok(proof);
+        }
+        match ctx.oracle.status(cred.id(), at) {
+            CredentialStatus::Good => {}
+            CredentialStatus::Revoked(revoked_at) => {
+                proof.outcome = ProofOutcome::RevokedCredential {
+                    credential: cred.id(),
+                    revoked_at,
+                };
+                return Ok(proof);
+            }
+            CredentialStatus::Unknown => {
+                proof.outcome = ProofOutcome::InvalidCredential {
+                    credential: cred.id(),
+                    detail: "no online status available".into(),
+                };
+                return Ok(proof);
+            }
+        }
+        facts.insert(cred.statement().clone())?;
+    }
+
+    let goal = request.goal();
+    let derivable = ctx
+        .engine
+        .prove(ctx.policy.rules().as_slice(), &facts, &goal)?;
+    proof.outcome = if derivable {
+        ProofOutcome::Granted
+    } else {
+        ProofOutcome::NotDerivable
+    };
+    Ok(proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{CaRegistry, CertificateAuthority};
+    use crate::fact::Constant;
+    use crate::policy::PolicyBuilder;
+    use safetx_types::{AdminDomain, CaId};
+
+    struct Fixture {
+        policy: Policy,
+        registry: CaRegistry,
+        engine: Engine,
+        ambient: FactBase,
+        credential: Credential,
+    }
+
+    fn fixture() -> Fixture {
+        let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .rules_text(
+                "grant(read, customers) :- role(U, sales_rep), located(U, R), region(U, R).",
+            )
+            .unwrap()
+            .build();
+        let mut ca = CertificateAuthority::new(CaId::new(0), 0xabc);
+        let credential = ca.issue(
+            UserId::new(1),
+            Atom::fact(
+                "role",
+                vec![Constant::symbol("bob"), Constant::symbol("sales_rep")],
+            ),
+            Timestamp::ZERO,
+            Timestamp::from_millis(1_000),
+        );
+        let mut registry = CaRegistry::new();
+        registry.register(ca);
+        let mut ambient = FactBase::new();
+        ambient.insert_text("located(bob, east)").unwrap();
+        ambient.insert_text("region(bob, east)").unwrap();
+        Fixture {
+            policy,
+            registry,
+            engine: Engine::new(),
+            ambient,
+            credential,
+        }
+    }
+
+    fn eval(fx: &Fixture, creds: &[Credential], at_ms: u64) -> ProofOfAuthorization {
+        let ctx = ProofContext {
+            policy: &fx.policy,
+            oracle: &fx.registry,
+            engine: &fx.engine,
+            ambient_facts: &fx.ambient,
+        };
+        evaluate_proof(
+            &ctx,
+            ServerId::new(0),
+            &AccessRequest::new(UserId::new(1), "read", "customers"),
+            creds,
+            Timestamp::from_millis(at_ms),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grants_with_valid_credentials() {
+        let fx = fixture();
+        let proof = eval(&fx, std::slice::from_ref(&fx.credential), 10);
+        assert!(proof.truth());
+        assert_eq!(proof.policy_version, PolicyVersion::INITIAL);
+    }
+
+    #[test]
+    fn denies_without_the_supporting_credential() {
+        let fx = fixture();
+        let proof = eval(&fx, &[], 10);
+        assert_eq!(proof.outcome, ProofOutcome::NotDerivable);
+        assert!(!proof.truth());
+    }
+
+    #[test]
+    fn denies_expired_credential() {
+        let fx = fixture();
+        let proof = eval(&fx, std::slice::from_ref(&fx.credential), 1_000);
+        assert!(matches!(
+            proof.outcome,
+            ProofOutcome::InvalidCredential { .. }
+        ));
+    }
+
+    #[test]
+    fn denies_revoked_credential_from_revocation_instant() {
+        let mut fx = fixture();
+        fx.registry
+            .revoke(CaId::new(0), fx.credential.id(), Timestamp::from_millis(50));
+        assert!(eval(&fx, std::slice::from_ref(&fx.credential), 49).truth());
+        let proof = eval(&fx, std::slice::from_ref(&fx.credential), 50);
+        assert!(matches!(
+            proof.outcome,
+            ProofOutcome::RevokedCredential { .. }
+        ));
+    }
+
+    #[test]
+    fn denies_forged_credential() {
+        let fx = fixture();
+        let forged = fx.credential.with_forged_statement(Atom::fact(
+            "role",
+            vec![Constant::symbol("bob"), Constant::symbol("admin")],
+        ));
+        let proof = eval(&fx, &[forged], 10);
+        assert!(matches!(
+            proof.outcome,
+            ProofOutcome::InvalidCredential { .. }
+        ));
+    }
+
+    #[test]
+    fn policy_update_can_flip_a_decision() {
+        // P' requires manager role; Bob's sales_rep credential no longer
+        // suffices — exactly the Fig. 1 hazard.
+        let mut fx = fixture();
+        let p2 = fx.policy.updated(
+            "grant(read, customers) :- role(U, manager)."
+                .parse()
+                .unwrap(),
+        );
+        assert!(eval(&fx, std::slice::from_ref(&fx.credential), 10).truth());
+        fx.policy = p2;
+        assert!(!eval(&fx, std::slice::from_ref(&fx.credential), 10).truth());
+    }
+
+    #[test]
+    fn proof_records_the_tuple_fields() {
+        let fx = fixture();
+        let proof = eval(&fx, std::slice::from_ref(&fx.credential), 10);
+        assert_eq!(proof.server, ServerId::new(0));
+        assert_eq!(proof.policy_id, PolicyId::new(0));
+        assert_eq!(proof.evaluated_at, Timestamp::from_millis(10));
+        assert_eq!(proof.credentials, vec![fx.credential.id()]);
+        let shown = proof.to_string();
+        assert!(shown.contains("granted"));
+    }
+}

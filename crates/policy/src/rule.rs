@@ -1,0 +1,127 @@
+//! Inference rules.
+
+use crate::error::PolicyError;
+use crate::fact::Atom;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Datalog-style inference rule `head :- body1, ..., bodyk.`
+///
+/// A rule with an empty body asserts its head unconditionally (the head must
+/// then be ground). Rules must be *range-restricted*: every variable in the
+/// head occurs somewhere in the body, which guarantees that forward chaining
+/// only derives ground facts.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    head: Atom,
+    body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Creates a rule after checking range restriction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnboundHeadVariable`] when a head variable does
+    /// not occur in the body, and [`PolicyError::NonGroundFact`] when an
+    /// empty-bodied rule has a non-ground head.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Result<Self, PolicyError> {
+        let body_vars: BTreeSet<&str> = body.iter().flat_map(Atom::variables).collect();
+        for v in head.variables() {
+            if !body_vars.contains(v) {
+                return Err(PolicyError::UnboundHeadVariable {
+                    variable: v.to_owned(),
+                    predicate: head.predicate().to_owned(),
+                });
+            }
+        }
+        if body.is_empty() && !head.is_ground() {
+            return Err(PolicyError::NonGroundFact {
+                predicate: head.predicate().to_owned(),
+            });
+        }
+        Ok(Rule { head, body })
+    }
+
+    /// The rule head.
+    #[must_use]
+    pub fn head(&self) -> &Atom {
+        &self.head
+    }
+
+    /// The rule body (conjunction of atoms).
+    #[must_use]
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// True when the rule is a bare fact (empty body).
+    #[must_use]
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, atom) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{atom}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::{Constant, Term};
+
+    #[test]
+    fn range_restriction_is_enforced() {
+        let head = Atom::new("grant", vec![Term::var("X")]);
+        let err = Rule::new(head, vec![]).unwrap_err();
+        assert!(matches!(err, PolicyError::UnboundHeadVariable { .. }));
+
+        let head = Atom::new("grant", vec![Term::var("X")]);
+        let body = vec![Atom::new("role", vec![Term::var("Y")])];
+        let err = Rule::new(head, body).unwrap_err();
+        assert!(matches!(
+            err,
+            PolicyError::UnboundHeadVariable { ref variable, .. } if variable == "X"
+        ));
+    }
+
+    #[test]
+    fn valid_rule_displays_in_source_syntax() {
+        let head = Atom::new(
+            "grant",
+            vec![Term::symbol("read"), Term::symbol("customers")],
+        );
+        let body = vec![Atom::new(
+            "role",
+            vec![Term::var("U"), Term::symbol("sales_rep")],
+        )];
+        let rule = Rule::new(head, body).unwrap();
+        assert_eq!(
+            rule.to_string(),
+            "grant(read, customers) :- role(U, sales_rep)."
+        );
+        assert!(!rule.is_fact());
+    }
+
+    #[test]
+    fn ground_fact_rule_is_accepted() {
+        let head = Atom::fact("open", vec![Constant::symbol("lobby")]);
+        let rule = Rule::new(head, vec![]).unwrap();
+        assert!(rule.is_fact());
+        assert_eq!(rule.to_string(), "open(lobby).");
+    }
+}

@@ -1,0 +1,39 @@
+//! Threaded in-process deployment of the safetx protocols.
+//!
+//! The protocol logic in `safetx-core` is sans-io: [`ServerCore`] consumes
+//! messages and returns messages, and [`TwoPvc`]/[`ValidationRound`] do the
+//! same for the TM side. This crate runs those exact state machines on real
+//! OS threads connected by crossbeam channels — one thread per cloud
+//! server, transactions driven synchronously by the calling thread — and
+//! measures wall-clock latencies instead of simulated time.
+//!
+//! The discrete-event simulator remains the *measurement* harness (it
+//! counts messages deterministically); this runtime demonstrates that the
+//! protocol cores are runtime-agnostic and exercises them under true
+//! concurrency, including lock contention between parallel callers.
+//!
+//! # Examples
+//!
+//! ```
+//! use safetx_runtime::{Cluster, ClusterConfig};
+//! use safetx_core::{ConsistencyLevel, ProofScheme};
+//!
+//! let cluster = Cluster::new(ClusterConfig {
+//!     servers: 2,
+//!     scheme: ProofScheme::Deferred,
+//!     consistency: ConsistencyLevel::View,
+//!     ..Default::default()
+//! });
+//! // … publish a policy, issue credentials, call cluster.execute(...) …
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+
+pub use cluster::{Addr, Cluster, ClusterConfig, ExecutionResult};
+
+// Re-exported so the doc example above typechecks without extra imports.
+pub use safetx_core::{ServerCore, TwoPvc, ValidationRound};

@@ -1,0 +1,102 @@
+//! Internal event-queue plumbing.
+
+use crate::world::NodeId;
+use safetx_types::Timestamp;
+use std::cmp::Ordering;
+
+/// Application-chosen discriminator for timers set via
+/// [`Context::set_timer`](crate::Context::set_timer).
+pub type TimerTag = u64;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver a message to `to`.
+    Deliver {
+        /// Sender node.
+        from: NodeId,
+        /// Receiver node.
+        to: NodeId,
+        /// The message payload.
+        msg: M,
+    },
+    /// Fire a timer on `node`.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The application discriminator.
+        tag: TimerTag,
+    },
+    /// Crash a node (stop delivering to it, notify `on_crash`).
+    Crash {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Restart a crashed node (notify `on_restart`).
+    Restart {
+        /// The node to restart.
+        node: NodeId,
+    },
+}
+
+/// An event scheduled at `at`; `seq` breaks ties FIFO for determinism.
+#[derive(Debug)]
+pub(crate) struct Scheduled<M> {
+    pub at: Timestamp,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(at_us: u64, seq: u64) -> Scheduled<()> {
+        Scheduled {
+            at: Timestamp::from_micros(at_us),
+            seq,
+            kind: EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first_then_fifo() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(20, 1));
+        heap.push(ev(10, 3));
+        heap.push(ev(10, 2));
+        heap.push(ev(30, 0));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at.as_micros(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(10, 2), (10, 3), (20, 1), (30, 0)]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Network latency models.
+
+use crate::rng::SimRng;
+use safetx_types::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How long a message takes from send to delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long. The default for experiments
+    /// where only message *counts* matter (Table I).
+    Constant(Duration),
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Minimum latency (inclusive).
+        lo: Duration,
+        /// Maximum latency (exclusive).
+        hi: Duration,
+    },
+    /// `base` plus an exponential tail with the given mean — a common model
+    /// for intra-datacenter RPC.
+    ExponentialTail {
+        /// Propagation floor added to every sample.
+        base: Duration,
+        /// Mean of the exponential tail.
+        mean_tail: Duration,
+    },
+    /// Log-normal in microseconds with the underlying normal's `mu`/`sigma`,
+    /// clamped to at least `floor` — a common model for WAN latencies.
+    LogNormal {
+        /// Mean of the underlying normal (of ln-microseconds).
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+        /// Minimum latency after sampling.
+        floor: Duration,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Constant(Duration::from_millis(1))
+    }
+}
+
+impl LatencyModel {
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { lo, hi } => {
+                if lo >= hi {
+                    lo
+                } else {
+                    Duration::from_micros(rng.range_u64(lo.as_micros(), hi.as_micros()))
+                }
+            }
+            LatencyModel::ExponentialTail { base, mean_tail } => {
+                let tail = rng.exponential(mean_tail.as_micros() as f64);
+                base + Duration::from_micros(tail as u64)
+            }
+            LatencyModel::LogNormal { mu, sigma, floor } => {
+                let v = rng.log_normal(mu, sigma);
+                let sampled = Duration::from_micros(v as u64);
+                if sampled < floor {
+                    floor
+                } else {
+                    sampled
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::new(0);
+        let m = LatencyModel::Constant(Duration::from_millis(2));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SimRng::new(0);
+        let m = LatencyModel::Uniform {
+            lo: Duration::from_micros(100),
+            hi: Duration::from_micros(200),
+        };
+        for _ in 0..1_000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= Duration::from_micros(100) && d < Duration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_lo() {
+        let mut rng = SimRng::new(0);
+        let m = LatencyModel::Uniform {
+            lo: Duration::from_micros(100),
+            hi: Duration::from_micros(100),
+        };
+        assert_eq!(m.sample(&mut rng), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn exponential_tail_exceeds_base() {
+        let mut rng = SimRng::new(5);
+        let base = Duration::from_micros(500);
+        let m = LatencyModel::ExponentialTail {
+            base,
+            mean_tail: Duration::from_micros(100),
+        };
+        for _ in 0..100 {
+            assert!(m.sample(&mut rng) >= base);
+        }
+    }
+
+    #[test]
+    fn log_normal_respects_floor() {
+        let mut rng = SimRng::new(5);
+        let floor = Duration::from_millis(10);
+        let m = LatencyModel::LogNormal {
+            mu: 0.0,
+            sigma: 0.1,
+            floor,
+        };
+        for _ in 0..100 {
+            assert!(m.sample(&mut rng) >= floor);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic discrete-event simulator for the safetx cloud.
+//!
+//! The paper's evaluation reasons about message and proof counts over a set
+//! of cloud servers; its planned follow-up "simulates their execution over
+//! a cloud infrastructure" (Section VIII). This crate is that
+//! infrastructure: a single-threaded, seed-deterministic event loop in which
+//! actors (transaction managers, servers, the master policy server, CA
+//! responders) exchange messages through a configurable network model with
+//! latency, loss, partitions and crash/restart injection.
+//!
+//! Determinism: given the same seed and the same sequence of API calls, a
+//! [`World`] replays the exact same schedule — any failing test seed
+//! reproduces its failure exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use safetx_sim::{Actor, Context, NodeId, World};
+//! use safetx_types::Duration;
+//!
+//! struct Echo;
+//! impl Actor<String> for Echo {
+//!     fn on_message(&mut self, ctx: &mut Context<'_, String>, from: NodeId, msg: String) {
+//!         if msg == "ping" {
+//!             ctx.send(from, "pong".to_owned());
+//!         }
+//!     }
+//! }
+//!
+//! let mut world = World::new(7);
+//! let a = world.add_node(Echo);
+//! let b = world.add_node(Echo);
+//! world.post(Duration::ZERO, a, b, "ping".to_owned());
+//! world.run_to_quiescence();
+//! assert_eq!(world.stats().messages_delivered, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod latency;
+mod rng;
+mod trace;
+mod world;
+
+pub use event::TimerTag;
+pub use latency::LatencyModel;
+pub use rng::SimRng;
+pub use trace::{Trace, TraceEntry, TraceKind};
+pub use world::{Actor, Context, NetworkConfig, NodeId, SimStats, World};

@@ -1,0 +1,168 @@
+//! Seeded deterministic randomness for the simulation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source owned by a [`World`](crate::World).
+///
+/// Wraps a seeded PRNG and adds the distribution samplers the simulation
+/// needs (the workspace deliberately avoids extra distribution crates).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to decorrelate
+    /// subsystems (network vs. workload) while keeping determinism.
+    #[must_use]
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// sampling); used for Poisson inter-arrival times.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = loop {
+            let u = self.unit_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.unit_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.unit_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal value parameterized by the *underlying* normal's mean and
+    /// standard deviation.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_replay_identically() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_generators_diverge_deterministically() {
+        let mut parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64(), "same fork point, same child");
+        assert_ne!(
+            SimRng::new(7).next_u64(),
+            SimRng::new(8).next_u64(),
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn range_is_inclusive_exclusive() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..1_000 {
+            let v = rng.range_u64(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_certain() {
+        let mut rng = SimRng::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_right() {
+        let mut rng = SimRng::new(99);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(10.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 10.0).abs() < 0.5, "sample mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_is_centered() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.standard_normal()).sum();
+        let mean = sum / f64::from(n);
+        assert!(mean.abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1_000 {
+            assert!(rng.log_normal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::new(0).range_u64(3, 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Execution traces.
+//!
+//! Every send, delivery, drop, crash and custom mark is recorded (when
+//! tracing is enabled) so experiments can count messages exactly (Table I)
+//! and render the paper's timeline figures (Figures 3–7).
+
+use crate::world::NodeId;
+use safetx_types::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message left `from` toward `to`.
+    Send {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Debug rendering of the message.
+        label: String,
+    },
+    /// A message arrived at `to`.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Debug rendering of the message.
+        label: String,
+    },
+    /// A message was dropped by the network or a dead/partitioned link.
+    Drop {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Why it was dropped.
+        reason: String,
+    },
+    /// A node crashed.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node restarted.
+    Restart {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// An application-defined mark (e.g. "proof evaluated", "force-log").
+    Mark {
+        /// The node that emitted the mark.
+        node: NodeId,
+        /// The mark label.
+        label: String,
+    },
+}
+
+/// One timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: Timestamp,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TraceKind::Send { from, to, label } => {
+                write!(f, "{} send  {} -> {}: {}", self.at, from, to, label)
+            }
+            TraceKind::Deliver { from, to, label } => {
+                write!(f, "{} recv  {} -> {}: {}", self.at, from, to, label)
+            }
+            TraceKind::Drop { from, to, reason } => {
+                write!(f, "{} drop  {} -> {}: {}", self.at, from, to, reason)
+            }
+            TraceKind::Crash { node } => write!(f, "{} crash {}", self.at, node),
+            TraceKind::Restart { node } => write!(f, "{} up    {}", self.at, node),
+            TraceKind::Mark { node, label } => {
+                write!(f, "{} mark  {}: {}", self.at, node, label)
+            }
+        }
+    }
+}
+
+/// An append-only sequence of trace entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, at: Timestamp, kind: TraceKind) {
+        self.entries.push(TraceEntry { at, kind });
+    }
+
+    /// All entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries whose mark label starts with `prefix` (non-mark entries are
+    /// skipped); used by the timeline renderers.
+    pub fn marks_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a TraceEntry, NodeId, &'a str)> + 'a {
+        self.entries.iter().filter_map(move |e| match &e.kind {
+            TraceKind::Mark { node, label } if label.starts_with(prefix) => {
+                Some((e, *node, label.as_str()))
+            }
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for entry in &self.entries {
+            writeln!(f, "{entry}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_render_one_line_each() {
+        let mut trace = Trace::new();
+        trace.push(
+            Timestamp::from_millis(1),
+            TraceKind::Send {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                label: "Prepare".into(),
+            },
+        );
+        trace.push(
+            Timestamp::from_millis(2),
+            TraceKind::Crash {
+                node: NodeId::new(1),
+            },
+        );
+        let text = trace.to_string();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("Prepare"));
+        assert!(text.contains("crash"));
+    }
+
+    #[test]
+    fn marks_with_prefix_filters() {
+        let mut trace = Trace::new();
+        trace.push(
+            Timestamp::ZERO,
+            TraceKind::Mark {
+                node: NodeId::new(3),
+                label: "proof:q1".into(),
+            },
+        );
+        trace.push(
+            Timestamp::ZERO,
+            TraceKind::Mark {
+                node: NodeId::new(3),
+                label: "log:prepared".into(),
+            },
+        );
+        let proofs: Vec<_> = trace.marks_with_prefix("proof:").collect();
+        assert_eq!(proofs.len(), 1);
+        assert_eq!(proofs[0].1, NodeId::new(3));
+    }
+}

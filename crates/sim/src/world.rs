@@ -1,0 +1,790 @@
+//! The simulation world: nodes, network, clock and event loop.
+
+use crate::event::{EventKind, Scheduled, TimerTag};
+use crate::latency::LatencyModel;
+use crate::rng::SimRng;
+use crate::trace::{Trace, TraceKind};
+use safetx_types::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+/// Address of a node inside one [`World`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    #[must_use]
+    pub fn new(index: u64) -> Self {
+        NodeId(index)
+    }
+
+    /// Raw index of the node.
+    #[must_use]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A deterministic state machine living at one node.
+///
+/// Actors never block: they react to messages and timers by mutating local
+/// state and emitting effects through the [`Context`].
+pub trait Actor<M> {
+    /// A message from `from` arrived.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// A timer set via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: TimerTag) {
+        let _ = (ctx, tag);
+    }
+
+    /// The node crashed: volatile state should be dropped. Durable state
+    /// (e.g. a WAL) survives in the actor as the application sees fit.
+    fn on_crash(&mut self) {}
+
+    /// The node restarted after a crash and may start recovery.
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+}
+
+trait ActorAny<M>: Actor<M> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Actor<M> + 'static> ActorAny<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Effects an actor can emit while handling an event.
+enum Effect<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+        extra_delay: Duration,
+    },
+    Timer {
+        delay: Duration,
+        tag: TimerTag,
+    },
+    Mark {
+        label: String,
+    },
+    Count {
+        label: &'static str,
+        amount: u64,
+    },
+}
+
+/// Handle through which an actor interacts with the world.
+pub struct Context<'a, M> {
+    now: Timestamp,
+    self_id: NodeId,
+    rng: &'a mut SimRng,
+    effects: Vec<Effect<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// This actor's own address.
+    #[must_use]
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Deterministic randomness scoped to the world.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to` through the network model.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay: Duration::ZERO,
+        });
+    }
+
+    /// Sends `msg` to `to` with an additional processing delay before it
+    /// enters the network (models server-side compute time).
+    pub fn send_after(&mut self, to: NodeId, msg: M, delay: Duration) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay: delay,
+        });
+    }
+
+    /// Fires `on_timer(tag)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, tag: TimerTag) {
+        self.effects.push(Effect::Timer { delay, tag });
+    }
+
+    /// Records a custom trace mark (no-op unless tracing is enabled; the
+    /// label is still counted in [`SimStats`] marks).
+    pub fn mark(&mut self, label: impl Into<String>) {
+        self.effects.push(Effect::Mark {
+            label: label.into(),
+        });
+    }
+
+    /// Increments a named counter in the world's stats.
+    pub fn count(&mut self, label: &'static str, amount: u64) {
+        self.effects.push(Effect::Count { label, amount });
+    }
+}
+
+/// Network behaviour configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Latency model applied to every message.
+    pub latency: LatencyModel,
+    /// Probability a message is silently lost.
+    pub drop_probability: f64,
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Messages handed to the network (dropped ones included).
+    pub messages_sent: u64,
+    /// Messages delivered to a live node.
+    pub messages_delivered: u64,
+    /// Messages lost (random drop, dead receiver, downed link).
+    pub messages_dropped: u64,
+    /// Timers that fired on live nodes.
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+    /// Custom counters incremented by actors via [`Context::count`].
+    pub counters: HashMap<String, u64>,
+}
+
+impl SimStats {
+    /// Value of a custom counter, defaulting to zero.
+    #[must_use]
+    pub fn counter(&self, label: &str) -> u64 {
+        self.counters.get(label).copied().unwrap_or(0)
+    }
+}
+
+/// The discrete-event simulation world.
+///
+/// Hard cap on processed events (default 50 million) guards against
+/// accidental livelock; see [`World::set_event_limit`].
+pub struct World<M> {
+    nodes: Vec<Box<dyn ActorAny<M>>>,
+    alive: Vec<bool>,
+    queue: BinaryHeap<Scheduled<M>>,
+    now: Timestamp,
+    seq: u64,
+    rng: SimRng,
+    network: NetworkConfig,
+    links_down: HashSet<(NodeId, NodeId)>,
+    trace: Option<Trace>,
+    stats: SimStats,
+    event_limit: u64,
+}
+
+impl<M: fmt::Debug + 'static> World<M> {
+    /// Creates a world with the default network (constant 1 ms latency, no
+    /// loss) and the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::with_network(seed, NetworkConfig::default())
+    }
+
+    /// Creates a world with an explicit network configuration.
+    #[must_use]
+    pub fn with_network(seed: u64, network: NetworkConfig) -> Self {
+        World {
+            nodes: Vec::new(),
+            alive: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: Timestamp::ZERO,
+            seq: 0,
+            rng: SimRng::new(seed),
+            network,
+            links_down: HashSet::new(),
+            trace: None,
+            stats: SimStats::default(),
+            event_limit: 50_000_000,
+        }
+    }
+
+    /// Registers an actor and returns its address.
+    pub fn add_node(&mut self, actor: impl Actor<M> + 'static) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u64);
+        self.nodes.push(Box::new(actor));
+        self.alive.push(true);
+        id
+    }
+
+    /// Turns on trace recording (off by default; tracing every message has
+    /// a cost proportional to message volume).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Replaces the livelock guard (events per run methods).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Immutable access to an actor's concrete state.
+    ///
+    /// Returns `None` when the id is unknown or the type does not match.
+    #[must_use]
+    pub fn actor<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes
+            .get(id.index() as usize)
+            .and_then(|a| a.as_any().downcast_ref())
+    }
+
+    /// Mutable access to an actor's concrete state (e.g. to install a
+    /// policy update directly at a replica between runs).
+    #[must_use]
+    pub fn actor_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(id.index() as usize)
+            .and_then(|a| a.as_any_mut().downcast_mut())
+    }
+
+    /// True when the node is currently up.
+    #[must_use]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive
+            .get(id.index() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Injects a message from outside the simulation after `delay`.
+    ///
+    /// Injection bypasses the network model: no latency sample, no loss, no
+    /// partitions (the sender is the experiment harness, not a node). The
+    /// message is still dropped if the receiver is down at delivery time.
+    pub fn post(&mut self, delay: Duration, from: NodeId, to: NodeId, msg: M) {
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Schedules a crash of `node` after `delay`.
+    pub fn schedule_crash(&mut self, delay: Duration, node: NodeId) {
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Crash { node });
+    }
+
+    /// Schedules a restart of `node` after `delay`.
+    pub fn schedule_restart(&mut self, delay: Duration, node: NodeId) {
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Restart { node });
+    }
+
+    /// Takes the directed link `from → to` down (messages dropped) or back
+    /// up.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, up: bool) {
+        if up {
+            self.links_down.remove(&(from, to));
+        } else {
+            self.links_down.insert((from, to));
+        }
+    }
+
+    /// Symmetric partition helper: both directions of every pair across the
+    /// two groups.
+    pub fn partition(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.set_link(a, b, false);
+                self.set_link(b, a, false);
+            }
+        }
+    }
+
+    /// Heals all downed links.
+    pub fn heal_partitions(&mut self) {
+        self.links_down.clear();
+    }
+
+    fn push_event(&mut self, at: Timestamp, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time cannot go backwards");
+        self.now = event.at;
+        self.stats.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
+            EventKind::Timer { node, tag } => {
+                if self.is_alive(node) {
+                    self.stats.timers_fired += 1;
+                    self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
+                }
+            }
+            EventKind::Crash { node } => {
+                if self.is_alive(node) {
+                    self.alive[node.index() as usize] = false;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(self.now, TraceKind::Crash { node });
+                    }
+                    self.nodes[node.index() as usize].on_crash();
+                }
+            }
+            EventKind::Restart { node } => {
+                if !self.is_alive(node) {
+                    self.alive[node.index() as usize] = true;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(self.now, TraceKind::Restart { node });
+                    }
+                    self.with_actor(node, |actor, ctx| actor.on_restart(ctx));
+                }
+            }
+        }
+        true
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if !self.is_alive(to) {
+            self.stats.messages_dropped += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(
+                    self.now,
+                    TraceKind::Drop {
+                        from,
+                        to,
+                        reason: "receiver down".into(),
+                    },
+                );
+            }
+            return;
+        }
+        self.stats.messages_delivered += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(
+                self.now,
+                TraceKind::Deliver {
+                    from,
+                    to,
+                    label: format!("{msg:?}"),
+                },
+            );
+        }
+        self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+    }
+
+    /// Runs one actor callback, then applies its effects.
+    fn with_actor<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn ActorAny<M>, &mut Context<'_, M>),
+    {
+        let mut ctx = Context {
+            now: self.now,
+            self_id: node,
+            rng: &mut self.rng,
+            effects: Vec::new(),
+        };
+        // The actor is taken out of the vector to satisfy the borrow
+        // checker without unsafe; nodes never address themselves through
+        // the world while running.
+        let mut actor =
+            std::mem::replace(&mut self.nodes[node.index() as usize], Box::new(Tombstone));
+        f(actor.as_mut(), &mut ctx);
+        self.nodes[node.index() as usize] = actor;
+        let effects = ctx.effects;
+        self.apply_effects(node, effects);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<M>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    to,
+                    msg,
+                    extra_delay,
+                } => self.network_send(node, to, msg, extra_delay),
+                Effect::Timer { delay, tag } => {
+                    let at = self.now + delay;
+                    self.push_event(at, EventKind::Timer { node, tag });
+                }
+                Effect::Mark { label } => {
+                    *self
+                        .stats
+                        .counters
+                        .entry(format!("mark:{label}"))
+                        .or_insert(0) += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(self.now, TraceKind::Mark { node, label });
+                    }
+                }
+                Effect::Count { label, amount } => {
+                    *self.stats.counters.entry(label.to_owned()).or_insert(0) += amount;
+                }
+            }
+        }
+    }
+
+    fn network_send(&mut self, from: NodeId, to: NodeId, msg: M, extra_delay: Duration) {
+        self.stats.messages_sent += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(
+                self.now,
+                TraceKind::Send {
+                    from,
+                    to,
+                    label: format!("{msg:?}"),
+                },
+            );
+        }
+        if self.links_down.contains(&(from, to)) {
+            self.stats.messages_dropped += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(
+                    self.now,
+                    TraceKind::Drop {
+                        from,
+                        to,
+                        reason: "link down".into(),
+                    },
+                );
+            }
+            return;
+        }
+        if self.network.drop_probability > 0.0 && self.rng.chance(self.network.drop_probability) {
+            self.stats.messages_dropped += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(
+                    self.now,
+                    TraceKind::Drop {
+                        from,
+                        to,
+                        reason: "random loss".into(),
+                    },
+                );
+            }
+            return;
+        }
+        let latency = self.network.latency.sample(&mut self.rng);
+        let at = self.now + extra_delay + latency;
+        self.push_event(at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the event limit is exceeded (livelock guard).
+    pub fn run_to_quiescence(&mut self) {
+        let mut processed: u64 = 0;
+        while self.step() {
+            processed += 1;
+            assert!(
+                processed <= self.event_limit,
+                "event limit {} exceeded: likely livelock",
+                self.event_limit
+            );
+        }
+    }
+
+    /// Runs until simulated time reaches `deadline` (events at the deadline
+    /// itself are processed) or the queue drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the event limit is exceeded (livelock guard).
+    pub fn run_until(&mut self, deadline: Timestamp) {
+        let mut processed: u64 = 0;
+        while let Some(next) = self.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+            processed += 1;
+            assert!(
+                processed <= self.event_limit,
+                "event limit {} exceeded: likely livelock",
+                self.event_limit
+            );
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+/// Placeholder actor parked in a slot while its owner runs (see
+/// `with_actor`); it can never observe an event.
+struct Tombstone;
+
+impl<M> Actor<M> for Tombstone {
+    fn on_message(&mut self, _ctx: &mut Context<'_, M>, _from: NodeId, _msg: M) {
+        unreachable!("tombstone actor cannot receive messages");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(#[allow(dead_code)] u32),
+    }
+
+    /// Replies to pings, counts pongs, and marks each ping.
+    #[derive(Default)]
+    struct PingPong {
+        pongs_seen: u32,
+        send_on_restart: Option<NodeId>,
+    }
+
+    impl Actor<Msg> for PingPong {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(n) => {
+                    ctx.mark(format!("ping:{n}"));
+                    ctx.count("pings", 1);
+                    ctx.send(from, Msg::Pong(n));
+                }
+                Msg::Pong(_) => self.pongs_seen += 1,
+            }
+        }
+
+        fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+            if let Some(peer) = self.send_on_restart {
+                ctx.send(peer, Msg::Ping(99));
+            }
+        }
+    }
+
+    fn two_node_world(seed: u64) -> (World<Msg>, NodeId, NodeId) {
+        let mut world = World::new(seed);
+        let a = world.add_node(PingPong::default());
+        let b = world.add_node(PingPong::default());
+        (world, a, b)
+    }
+
+    #[test]
+    fn round_trip_advances_clock_by_two_latencies() {
+        let (mut world, a, b) = two_node_world(1);
+        world.post(Duration::ZERO, a, b, Msg::Ping(1));
+        world.run_to_quiescence();
+        // post is immediate; reply crosses the network once (1 ms default).
+        assert_eq!(world.now(), Timestamp::from_millis(1));
+        assert_eq!(world.actor::<PingPong>(a).unwrap().pongs_seen, 1);
+        assert_eq!(world.stats().messages_delivered, 2);
+        assert_eq!(world.stats().counter("pings"), 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed| {
+            let (mut world, a, b) = two_node_world(seed);
+            world.enable_tracing();
+            for i in 0..10 {
+                world.post(Duration::from_micros(i * 7), a, b, Msg::Ping(i as u32));
+            }
+            world.run_to_quiescence();
+            world.trace().unwrap().clone()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn crashed_node_drops_messages_until_restart() {
+        let (mut world, a, b) = two_node_world(2);
+        world.schedule_crash(Duration::ZERO, b);
+        world.post(Duration::from_millis(1), a, b, Msg::Ping(1));
+        world.run_to_quiescence();
+        assert_eq!(world.stats().messages_dropped, 1);
+        assert_eq!(world.actor::<PingPong>(a).unwrap().pongs_seen, 0);
+
+        world.schedule_restart(Duration::ZERO, b);
+        world.post(Duration::from_millis(1), a, b, Msg::Ping(2));
+        world.run_to_quiescence();
+        assert_eq!(world.actor::<PingPong>(a).unwrap().pongs_seen, 1);
+    }
+
+    #[test]
+    fn restart_callback_can_send() {
+        let mut world = World::new(3);
+        let a = world.add_node(PingPong::default());
+        let b = world.add_node(PingPong {
+            pongs_seen: 0,
+            send_on_restart: Some(a),
+        });
+        world.schedule_crash(Duration::ZERO, b);
+        world.schedule_restart(Duration::from_millis(5), b);
+        world.run_to_quiescence();
+        // b pinged a on restart; a replied with pong.
+        assert_eq!(world.actor::<PingPong>(b).unwrap().pongs_seen, 1);
+    }
+
+    #[test]
+    fn downed_link_is_directional() {
+        let (mut world, a, b) = two_node_world(4);
+        world.set_link(b, a, false); // replies lost
+        world.post(Duration::ZERO, a, b, Msg::Ping(1));
+        world.run_to_quiescence();
+        assert_eq!(world.stats().counter("pings"), 1, "ping arrived");
+        assert_eq!(world.actor::<PingPong>(a).unwrap().pongs_seen, 0);
+        assert_eq!(world.stats().messages_dropped, 1);
+
+        world.set_link(b, a, true);
+        world.post(Duration::ZERO, a, b, Msg::Ping(2));
+        world.run_to_quiescence();
+        assert_eq!(world.actor::<PingPong>(a).unwrap().pongs_seen, 1);
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        // The posted ping bypasses the network (external injection), but
+        // b's pong reply crosses the partitioned link and is lost.
+        let (mut world, a, b) = two_node_world(5);
+        world.partition(&[a], &[b]);
+        world.post(Duration::ZERO, a, b, Msg::Ping(1));
+        world.run_to_quiescence();
+        assert_eq!(world.actor::<PingPong>(a).unwrap().pongs_seen, 0);
+        assert_eq!(world.stats().messages_dropped, 1);
+
+        world.heal_partitions();
+        world.post(Duration::ZERO, a, b, Msg::Ping(2));
+        world.run_to_quiescence();
+        assert_eq!(world.actor::<PingPong>(a).unwrap().pongs_seen, 1);
+    }
+
+    #[test]
+    fn lossy_network_drops_roughly_the_configured_fraction() {
+        let mut world = World::with_network(
+            11,
+            NetworkConfig {
+                latency: LatencyModel::Constant(Duration::from_micros(10)),
+                drop_probability: 0.5,
+            },
+        );
+        let a = world.add_node(PingPong::default());
+        let b = world.add_node(PingPong::default());
+        for i in 0..1_000 {
+            world.post(Duration::from_micros(i), a, b, Msg::Ping(i as u32));
+        }
+        world.run_to_quiescence();
+        // Posted pings always arrive (injection bypasses the network), but
+        // b's pong replies traverse the lossy network.
+        assert_eq!(world.stats().counter("pings"), 1_000);
+        let pongs = u64::from(world.actor::<PingPong>(a).unwrap().pongs_seen);
+        assert!((300..700).contains(&pongs), "got {pongs}");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let (mut world, a, b) = two_node_world(6);
+        world.post(Duration::from_millis(10), a, b, Msg::Ping(1));
+        world.run_until(Timestamp::from_millis(5));
+        assert_eq!(world.now(), Timestamp::from_millis(5));
+        assert_eq!(world.stats().messages_delivered, 0);
+        world.run_until(Timestamp::from_millis(20));
+        assert_eq!(world.stats().counter("pings"), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerActor {
+            fired: Vec<TimerTag>,
+        }
+        impl Actor<Msg> for TimerActor {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {
+                ctx.set_timer(Duration::from_millis(3), 3);
+                ctx.set_timer(Duration::from_millis(1), 1);
+                ctx.set_timer(Duration::from_millis(2), 2);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, tag: TimerTag) {
+                self.fired.push(tag);
+            }
+        }
+        let mut world = World::new(8);
+        let t = world.add_node(TimerActor { fired: vec![] });
+        world.post(Duration::ZERO, t, t, Msg::Ping(0));
+        world.run_to_quiescence();
+        assert_eq!(world.actor::<TimerActor>(t).unwrap().fired, vec![1, 2, 3]);
+        assert_eq!(world.stats().timers_fired, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn livelock_guard_trips() {
+        struct Looper;
+        impl Actor<Msg> for Looper {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {
+                let me = ctx.self_id();
+                ctx.send(me, Msg::Ping(0));
+            }
+        }
+        let mut world = World::new(9);
+        world.set_event_limit(1_000);
+        let n = world.add_node(Looper);
+        world.post(Duration::ZERO, n, n, Msg::Ping(0));
+        world.run_to_quiescence();
+    }
+
+    #[test]
+    fn actor_downcast_rejects_wrong_type() {
+        let (world, a, _) = two_node_world(10);
+        assert!(world.actor::<PingPong>(a).is_some());
+        struct Other;
+        impl Actor<Msg> for Other {
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        assert!(world.actor::<Other>(a).is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! Integrity constraints.
+//!
+//! "A safe transaction is a transaction that is both trusted … and database
+//! correct (i.e., satisfies the data integrity constraints)." A participant
+//! evaluates its constraints against the post-image of the transaction's
+//! writes; the result is its YES/NO vote in 2PC/2PVC.
+
+use crate::kv::{LocalStore, WriteSet};
+use crate::value::Value;
+use safetx_types::DataItemId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A declarative constraint over data items.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntegrityConstraint {
+    /// Item must be an integer `>= 0` (e.g. stock counts, balances).
+    NonNegative(DataItemId),
+    /// Item must be an integer in `[lo, hi]`.
+    Range {
+        /// Constrained item.
+        item: DataItemId,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Sum of the items (integers, missing = 0) must not exceed `cap` —
+    /// e.g. total allocations never exceed capacity.
+    SumAtMost {
+        /// Items summed.
+        items: Vec<DataItemId>,
+        /// Inclusive cap on the sum.
+        cap: i64,
+    },
+    /// Item must be an integer (type constraint).
+    IntTyped(DataItemId),
+}
+
+/// A constraint that failed, with the observed offending value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintViolation {
+    /// The failed constraint.
+    pub constraint: IntegrityConstraint,
+    /// Human-readable account of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "integrity violation: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+/// The constraints one server enforces over its data partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    constraints: Vec<IntegrityConstraint>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set (every transaction satisfies it).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, constraint: IntegrityConstraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraint is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Checks all constraints against the store **as if** `writes` had been
+    /// applied (the transaction's post-image). The store itself is not
+    /// modified.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConstraintViolation`] encountered, in declaration
+    /// order.
+    pub fn check(&self, store: &LocalStore, writes: &WriteSet) -> Result<(), ConstraintViolation> {
+        let lookup = |item: DataItemId| -> Option<Value> {
+            writes
+                .get(item)
+                .cloned()
+                .or_else(|| store.read(item).map(|v| v.value.clone()))
+        };
+        for c in &self.constraints {
+            match c {
+                IntegrityConstraint::NonNegative(item) => {
+                    let v = lookup(*item);
+                    match v.as_ref().and_then(Value::as_int) {
+                        Some(i) if i >= 0 => {}
+                        Some(i) => {
+                            return Err(violation(c, format!("{item} = {i} is negative")));
+                        }
+                        None => {
+                            return Err(violation(c, format!("{item} is missing or non-integer")));
+                        }
+                    }
+                }
+                IntegrityConstraint::Range { item, lo, hi } => {
+                    match lookup(*item).as_ref().and_then(Value::as_int) {
+                        Some(i) if (*lo..=*hi).contains(&i) => {}
+                        Some(i) => {
+                            return Err(violation(c, format!("{item} = {i} outside [{lo}, {hi}]")));
+                        }
+                        None => {
+                            return Err(violation(c, format!("{item} is missing or non-integer")));
+                        }
+                    }
+                }
+                IntegrityConstraint::SumAtMost { items, cap } => {
+                    let sum: i64 = items
+                        .iter()
+                        .filter_map(|&i| lookup(i).as_ref().and_then(Value::as_int))
+                        .sum();
+                    if sum > *cap {
+                        return Err(violation(c, format!("sum {sum} exceeds cap {cap}")));
+                    }
+                }
+                IntegrityConstraint::IntTyped(item) => {
+                    if let Some(v) = lookup(*item) {
+                        if v.as_int().is_none() {
+                            return Err(violation(c, format!("{item} holds non-integer {v}")));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<IntegrityConstraint> for ConstraintSet {
+    fn from_iter<I: IntoIterator<Item = IntegrityConstraint>>(iter: I) -> Self {
+        ConstraintSet {
+            constraints: iter.into_iter().collect(),
+        }
+    }
+}
+
+fn violation(constraint: &IntegrityConstraint, detail: String) -> ConstraintViolation {
+    ConstraintViolation {
+        constraint: constraint.clone(),
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_types::Timestamp;
+
+    fn item(n: u64) -> DataItemId {
+        DataItemId::new(n)
+    }
+
+    fn store_with(values: &[(u64, i64)]) -> LocalStore {
+        let mut s = LocalStore::new();
+        for &(i, v) in values {
+            s.write(item(i), Value::Int(v), Timestamp::ZERO);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_set_accepts_anything() {
+        let cs = ConstraintSet::new();
+        assert!(cs.check(&LocalStore::new(), &WriteSet::new()).is_ok());
+    }
+
+    #[test]
+    fn non_negative_checks_post_image() {
+        let cs: ConstraintSet = [IntegrityConstraint::NonNegative(item(0))]
+            .into_iter()
+            .collect();
+        let store = store_with(&[(0, 5)]);
+        assert!(cs.check(&store, &WriteSet::new()).is_ok());
+
+        // A write driving it negative fails even though the store is fine.
+        let mut ws = WriteSet::new();
+        ws.put(item(0), Value::Int(-1));
+        let err = cs.check(&store, &ws).unwrap_err();
+        assert!(err.detail.contains("negative"));
+
+        // A write repairing a negative stored value passes.
+        let bad_store = store_with(&[(0, -3)]);
+        let mut fix = WriteSet::new();
+        fix.put(item(0), Value::Int(0));
+        assert!(cs.check(&bad_store, &fix).is_ok());
+    }
+
+    #[test]
+    fn missing_item_violates_non_negative() {
+        let cs: ConstraintSet = [IntegrityConstraint::NonNegative(item(9))]
+            .into_iter()
+            .collect();
+        assert!(cs.check(&LocalStore::new(), &WriteSet::new()).is_err());
+    }
+
+    #[test]
+    fn range_bounds_are_inclusive() {
+        let cs: ConstraintSet = [IntegrityConstraint::Range {
+            item: item(0),
+            lo: 1,
+            hi: 10,
+        }]
+        .into_iter()
+        .collect();
+        assert!(cs.check(&store_with(&[(0, 1)]), &WriteSet::new()).is_ok());
+        assert!(cs.check(&store_with(&[(0, 10)]), &WriteSet::new()).is_ok());
+        assert!(cs.check(&store_with(&[(0, 0)]), &WriteSet::new()).is_err());
+        assert!(cs.check(&store_with(&[(0, 11)]), &WriteSet::new()).is_err());
+    }
+
+    #[test]
+    fn sum_cap_mixes_store_and_writes() {
+        let cs: ConstraintSet = [IntegrityConstraint::SumAtMost {
+            items: vec![item(0), item(1)],
+            cap: 10,
+        }]
+        .into_iter()
+        .collect();
+        let store = store_with(&[(0, 4), (1, 4)]);
+        assert!(cs.check(&store, &WriteSet::new()).is_ok());
+        let mut ws = WriteSet::new();
+        ws.put(item(1), Value::Int(7));
+        let err = cs.check(&store, &ws).unwrap_err();
+        assert!(err.detail.contains("sum 11"));
+    }
+
+    #[test]
+    fn type_constraint_ignores_missing_items() {
+        let cs: ConstraintSet = [IntegrityConstraint::IntTyped(item(0))]
+            .into_iter()
+            .collect();
+        assert!(cs.check(&LocalStore::new(), &WriteSet::new()).is_ok());
+        let mut ws = WriteSet::new();
+        ws.put(item(0), Value::from("oops"));
+        assert!(cs.check(&LocalStore::new(), &ws).is_err());
+    }
+
+    #[test]
+    fn first_violation_in_declaration_order_wins() {
+        let cs: ConstraintSet = [
+            IntegrityConstraint::NonNegative(item(0)),
+            IntegrityConstraint::NonNegative(item(1)),
+        ]
+        .into_iter()
+        .collect();
+        let store = store_with(&[]);
+        let err = cs.check(&store, &WriteSet::new()).unwrap_err();
+        assert!(err.detail.contains("x0"));
+    }
+}

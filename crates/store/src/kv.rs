@@ -1,0 +1,260 @@
+//! The per-server versioned key-value store.
+
+use crate::value::Value;
+use safetx_types::{DataItemId, DataVersion, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A data item with its replication version and last-update time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionedItem {
+    /// Current value.
+    pub value: Value,
+    /// Replication version (last-writer-wins order).
+    pub version: DataVersion,
+    /// When the hosting replica last changed it.
+    pub updated_at: Timestamp,
+}
+
+/// The buffered writes of one transaction at one server, applied atomically
+/// on commit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteSet {
+    writes: BTreeMap<DataItemId, Value>,
+}
+
+impl WriteSet {
+    /// Creates an empty write set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers a write (later writes to the same item win).
+    pub fn put(&mut self, item: DataItemId, value: Value) {
+        self.writes.insert(item, value);
+    }
+
+    /// The buffered value for `item`, if any.
+    #[must_use]
+    pub fn get(&self, item: DataItemId) -> Option<&Value> {
+        self.writes.get(&item)
+    }
+
+    /// Iterates over buffered writes in item order.
+    pub fn iter(&self) -> impl Iterator<Item = (DataItemId, &Value)> {
+        self.writes.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of distinct items written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True when no write is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+impl FromIterator<(DataItemId, Value)> for WriteSet {
+    fn from_iter<I: IntoIterator<Item = (DataItemId, Value)>>(iter: I) -> Self {
+        let mut ws = WriteSet::new();
+        for (k, v) in iter {
+            ws.put(k, v);
+        }
+        ws
+    }
+}
+
+/// A server-local versioned store.
+///
+/// # Examples
+///
+/// ```
+/// use safetx_store::{LocalStore, Value};
+/// use safetx_types::{DataItemId, Timestamp};
+///
+/// let mut store = LocalStore::new();
+/// let x = DataItemId::new(0);
+/// store.write(x, Value::Int(10), Timestamp::ZERO);
+/// assert_eq!(store.read(x).unwrap().value, Value::Int(10));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalStore {
+    items: BTreeMap<DataItemId, VersionedItem>,
+}
+
+impl LocalStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads an item.
+    #[must_use]
+    pub fn read(&self, item: DataItemId) -> Option<&VersionedItem> {
+        self.items.get(&item)
+    }
+
+    /// Convenience: the integer value of an item, when present and numeric.
+    #[must_use]
+    pub fn read_int(&self, item: DataItemId) -> Option<i64> {
+        self.read(item).and_then(|v| v.value.as_int())
+    }
+
+    /// Writes locally, bumping the replication version. Returns the new
+    /// version.
+    pub fn write(&mut self, item: DataItemId, value: Value, at: Timestamp) -> DataVersion {
+        let next = self
+            .items
+            .get(&item)
+            .map_or(DataVersion(1), |v| v.version.next());
+        self.items.insert(
+            item,
+            VersionedItem {
+                value,
+                version: next,
+                updated_at: at,
+            },
+        );
+        next
+    }
+
+    /// Applies a whole write set atomically (the commit action of a
+    /// participant). Returns the versions assigned, in item order.
+    pub fn apply(&mut self, writes: &WriteSet, at: Timestamp) -> Vec<DataVersion> {
+        writes
+            .iter()
+            .map(|(item, value)| self.write(item, value.clone(), at))
+            .collect()
+    }
+
+    /// Merges a replicated update using last-writer-wins on the version
+    /// (ties keep the local value, making merge idempotent). Returns `true`
+    /// when the remote value was adopted.
+    pub fn merge_remote(
+        &mut self,
+        item: DataItemId,
+        value: Value,
+        version: DataVersion,
+        at: Timestamp,
+    ) -> bool {
+        match self.items.get(&item) {
+            Some(local) if local.version >= version => false,
+            _ => {
+                self.items.insert(
+                    item,
+                    VersionedItem {
+                        value,
+                        version,
+                        updated_at: at,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Iterates over all items in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DataItemId, &VersionedItem)> {
+        self.items.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no item is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(n: u64) -> DataItemId {
+        DataItemId::new(n)
+    }
+
+    #[test]
+    fn write_bumps_version() {
+        let mut s = LocalStore::new();
+        let v1 = s.write(item(0), Value::Int(1), Timestamp::ZERO);
+        let v2 = s.write(item(0), Value::Int(2), Timestamp::ZERO);
+        assert!(v2 > v1);
+        assert_eq!(s.read_int(item(0)), Some(2));
+    }
+
+    #[test]
+    fn apply_write_set_is_atomic_and_ordered() {
+        let mut s = LocalStore::new();
+        let ws: WriteSet = [(item(2), Value::Int(2)), (item(1), Value::Int(1))]
+            .into_iter()
+            .collect();
+        let versions = s.apply(&ws, Timestamp::from_millis(4));
+        assert_eq!(versions.len(), 2);
+        assert_eq!(s.read_int(item(1)), Some(1));
+        assert_eq!(s.read_int(item(2)), Some(2));
+        assert_eq!(
+            s.read(item(1)).unwrap().updated_at,
+            Timestamp::from_millis(4)
+        );
+    }
+
+    #[test]
+    fn write_set_last_write_wins_within_txn() {
+        let mut ws = WriteSet::new();
+        ws.put(item(0), Value::Int(1));
+        ws.put(item(0), Value::Int(9));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.get(item(0)), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn merge_remote_adopts_only_newer_versions() {
+        let mut s = LocalStore::new();
+        s.write(item(0), Value::Int(5), Timestamp::ZERO); // version 1
+        assert!(!s.merge_remote(item(0), Value::Int(9), DataVersion(1), Timestamp::ZERO));
+        assert_eq!(s.read_int(item(0)), Some(5), "tie keeps local");
+        assert!(s.merge_remote(item(0), Value::Int(9), DataVersion(2), Timestamp::ZERO));
+        assert_eq!(s.read_int(item(0)), Some(9));
+        assert!(!s.merge_remote(item(0), Value::Int(1), DataVersion(1), Timestamp::ZERO));
+        assert_eq!(s.read_int(item(0)), Some(9), "stale update ignored");
+    }
+
+    #[test]
+    fn merge_remote_is_idempotent() {
+        let mut a = LocalStore::new();
+        a.merge_remote(item(3), Value::from("x"), DataVersion(4), Timestamp::ZERO);
+        let snapshot = a.clone();
+        a.merge_remote(item(3), Value::from("x"), DataVersion(4), Timestamp::ZERO);
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn replicas_converge_regardless_of_delivery_order() {
+        let updates = [
+            (item(0), Value::Int(1), DataVersion(1)),
+            (item(0), Value::Int(2), DataVersion(2)),
+            (item(0), Value::Int(3), DataVersion(3)),
+        ];
+        let mut forward = LocalStore::new();
+        for (i, v, ver) in updates.iter().cloned() {
+            forward.merge_remote(i, v, ver, Timestamp::ZERO);
+        }
+        let mut backward = LocalStore::new();
+        for (i, v, ver) in updates.iter().rev().cloned() {
+            backward.merge_remote(i, v, ver, Timestamp::ZERO);
+        }
+        assert_eq!(forward.read_int(item(0)), backward.read_int(item(0)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Stored values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value of a data item.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit integer (account balances, stock counts, …).
+    Int(i64),
+    /// An opaque string (names, blobs, …).
+    Str(String),
+}
+
+impl Value {
+    /// The integer content, when this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string content, when this is a [`Value::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_are_type_safe() {
+        assert_eq!(Value::from(7).as_int(), Some(7));
+        assert_eq!(Value::from(7).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Write-ahead logging.
+//!
+//! 2PC's resilience "can be achieved … by recording the progress of the
+//! protocol in the logs of the TM and participant"; 2PVC additionally
+//! force-logs the `(vi, pi)` policy-version tuples with each vote. [`Wal`]
+//! models a durable, append-only log with the forced/non-forced distinction
+//! that the paper's log-complexity metric (`2n + 1` forced writes) counts.
+//!
+//! Durability model: everything appended before a crash survives it —
+//! the simulator never loses log records, it only loses volatile actor
+//! state. *Forced* records are counted separately because forcing is the
+//! expensive operation in the metric.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One log record with its durability class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalEntry<R> {
+    /// The application record.
+    pub record: R,
+    /// Whether the append was forced (synchronously durable before the
+    /// protocol proceeded).
+    pub forced: bool,
+}
+
+/// An append-only write-ahead log.
+///
+/// # Examples
+///
+/// ```
+/// use safetx_store::Wal;
+///
+/// let mut wal: Wal<&str> = Wal::new();
+/// wal.force("prepared");
+/// wal.append("end");
+/// assert_eq!(wal.forced_count(), 1);
+/// assert_eq!(wal.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wal<R> {
+    entries: Vec<WalEntry<R>>,
+    forced: u64,
+}
+
+impl<R> Default for Wal<R> {
+    fn default() -> Self {
+        Wal {
+            entries: Vec::new(),
+            forced: 0,
+        }
+    }
+}
+
+impl<R> Wal<R> {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a forced (synchronously durable) record.
+    pub fn force(&mut self, record: R) {
+        self.entries.push(WalEntry {
+            record,
+            forced: true,
+        });
+        self.forced += 1;
+    }
+
+    /// Appends a non-forced record (durable eventually; cheap).
+    pub fn append(&mut self, record: R) {
+        self.entries.push(WalEntry {
+            record,
+            forced: false,
+        });
+    }
+
+    /// All entries, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[WalEntry<R>] {
+        &self.entries
+    }
+
+    /// Iterates over the records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &R> {
+        self.entries.iter().map(|e| &e.record)
+    }
+
+    /// The most recent record, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&R> {
+        self.entries.last().map(|e| &e.record)
+    }
+
+    /// Number of forced appends so far (the paper's log-complexity metric).
+    #[must_use]
+    pub fn forced_count(&self) -> u64 {
+        self.forced
+    }
+
+    /// Total entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<R: fmt::Display> fmt::Display for Wal<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{} {}",
+                if e.forced { "FORCE" } else { "write" },
+                e.record
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_preserved() {
+        let mut wal = Wal::new();
+        wal.force(1);
+        wal.append(2);
+        wal.force(3);
+        let recs: Vec<i32> = wal.records().copied().collect();
+        assert_eq!(recs, vec![1, 2, 3]);
+        assert_eq!(wal.last(), Some(&3));
+    }
+
+    #[test]
+    fn forced_count_tracks_only_forces() {
+        let mut wal = Wal::new();
+        for i in 0..5 {
+            wal.append(i);
+        }
+        wal.force(99);
+        assert_eq!(wal.forced_count(), 1);
+        assert_eq!(wal.len(), 6);
+    }
+
+    #[test]
+    fn display_marks_durability_class() {
+        let mut wal = Wal::new();
+        wal.force("prepared");
+        wal.append("end");
+        let text = wal.to_string();
+        assert!(text.contains("FORCE prepared"));
+        assert!(text.contains("write end"));
+    }
+
+    #[test]
+    fn empty_log_reports_empty() {
+        let wal: Wal<u8> = Wal::new();
+        assert!(wal.is_empty());
+        assert_eq!(wal.last(), None);
+    }
+}

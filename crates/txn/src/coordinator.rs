@@ -1,0 +1,412 @@
+//! The 2PC coordinator state machine.
+
+use crate::log::CoordinatorRecord;
+use crate::messages::{CommitVariant, Decision, Vote};
+use safetx_types::{ServerId, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Coordinator lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinatorState {
+    /// Created, voting not yet started.
+    Idle,
+    /// Prepare sent, collecting votes.
+    Voting,
+    /// Decision made, collecting acknowledgments.
+    Deciding(Decision),
+    /// Protocol complete.
+    Ended(Decision),
+}
+
+/// Actions the driver must perform after a transition.
+///
+/// Log actions must be applied to durable storage *before* any send in the
+/// same batch is released — the machine emits them in the correct order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinatorOutput {
+    /// Send a Prepare(-to-Commit) message.
+    SendPrepare(ServerId),
+    /// Send the decision to a participant.
+    SendDecision(ServerId, Decision),
+    /// Force-write a log record (synchronous durability).
+    ForceLog(CoordinatorRecord),
+    /// Write a log record lazily.
+    Log(CoordinatorRecord),
+    /// The global decision is fixed (deliver to the client/observer).
+    Decided(Decision),
+    /// All protocol obligations done; the transaction can be forgotten.
+    Completed,
+}
+
+/// The coordinator for one transaction.
+///
+/// A pure state machine: each event handler returns the outputs to perform.
+/// Duplicated events are tolerated idempotently (message retries).
+///
+/// # Examples
+///
+/// ```
+/// use safetx_txn::{CommitVariant, Coordinator, CoordinatorOutput, Decision, Vote};
+/// use safetx_types::{ServerId, TxnId};
+///
+/// let mut c = Coordinator::new(
+///     TxnId::new(1),
+///     [ServerId::new(0), ServerId::new(1)].into(),
+///     CommitVariant::Standard,
+/// );
+/// c.start();
+/// c.on_vote(ServerId::new(0), Vote::Yes);
+/// let outputs = c.on_vote(ServerId::new(1), Vote::Yes);
+/// assert!(outputs.contains(&CoordinatorOutput::Decided(Decision::Commit)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    txn: TxnId,
+    participants: BTreeSet<ServerId>,
+    variant: CommitVariant,
+    votes: BTreeMap<ServerId, Vote>,
+    acks: BTreeSet<ServerId>,
+    acks_expected: BTreeSet<ServerId>,
+    state: CoordinatorState,
+}
+
+impl Coordinator {
+    /// Creates a coordinator for `txn` over the given participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `participants` is empty — a distributed commit needs at
+    /// least one participant.
+    #[must_use]
+    pub fn new(txn: TxnId, participants: BTreeSet<ServerId>, variant: CommitVariant) -> Self {
+        assert!(!participants.is_empty(), "no participants for {txn}");
+        Coordinator {
+            txn,
+            participants,
+            variant,
+            votes: BTreeMap::new(),
+            acks: BTreeSet::new(),
+            acks_expected: BTreeSet::new(),
+            state: CoordinatorState::Idle,
+        }
+    }
+
+    /// The transaction being coordinated.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> CoordinatorState {
+        self.state
+    }
+
+    /// The decision, once one exists.
+    #[must_use]
+    pub fn decision(&self) -> Option<Decision> {
+        match self.state {
+            CoordinatorState::Deciding(d) | CoordinatorState::Ended(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The participant set.
+    #[must_use]
+    pub fn participants(&self) -> &BTreeSet<ServerId> {
+        &self.participants
+    }
+
+    /// Begins the voting phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called twice.
+    pub fn start(&mut self) -> Vec<CoordinatorOutput> {
+        assert_eq!(self.state, CoordinatorState::Idle, "start called twice");
+        self.state = CoordinatorState::Voting;
+        let mut out = Vec::new();
+        if self.variant.forces_collecting() {
+            out.push(CoordinatorOutput::ForceLog(CoordinatorRecord::Collecting {
+                txn: self.txn,
+                participants: self.participants.iter().copied().collect(),
+            }));
+        }
+        out.extend(
+            self.participants
+                .iter()
+                .map(|&p| CoordinatorOutput::SendPrepare(p)),
+        );
+        out
+    }
+
+    /// Handles a vote. A NO vote decides Abort immediately; the final YES
+    /// decides Commit.
+    pub fn on_vote(&mut self, from: ServerId, vote: Vote) -> Vec<CoordinatorOutput> {
+        if !self.participants.contains(&from) {
+            return Vec::new();
+        }
+        match self.state {
+            CoordinatorState::Voting => {}
+            // A straggling vote after the decision: re-send the decision so
+            // a retransmitting participant converges.
+            CoordinatorState::Deciding(d) => {
+                return vec![CoordinatorOutput::SendDecision(from, d)];
+            }
+            _ => return Vec::new(),
+        }
+        self.votes.insert(from, vote);
+        if vote == Vote::No {
+            return self.decide(Decision::Abort);
+        }
+        if self.votes.len() == self.participants.len() && self.votes.values().all(|v| v.is_yes()) {
+            return self.decide(Decision::Commit);
+        }
+        Vec::new()
+    }
+
+    /// Voting-phase timeout: missing votes are treated as NO.
+    pub fn on_timeout(&mut self) -> Vec<CoordinatorOutput> {
+        match self.state {
+            CoordinatorState::Voting => self.decide(Decision::Abort),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Fixes the decision and emits decision-phase outputs.
+    ///
+    /// Exposed for protocol embeddings (2PVC overrides the decision rule
+    /// with policy validation); application code should rely on votes and
+    /// timeouts.
+    pub fn decide(&mut self, decision: Decision) -> Vec<CoordinatorOutput> {
+        debug_assert_eq!(self.state, CoordinatorState::Voting);
+        let mut out = Vec::new();
+        let record = CoordinatorRecord::Decision {
+            txn: self.txn,
+            decision,
+        };
+        if self.variant.coordinator_forces(decision) {
+            out.push(CoordinatorOutput::ForceLog(record));
+        } else {
+            out.push(CoordinatorOutput::Log(record));
+        }
+        out.push(CoordinatorOutput::Decided(decision));
+
+        // Who must hear the decision: everyone for commit; for abort, the
+        // yes-voters (a no-voter aborted unilaterally) plus silent
+        // participants (they may still be prepared under a lost message).
+        let recipients: Vec<ServerId> = self
+            .participants
+            .iter()
+            .copied()
+            .filter(|p| decision.is_commit() || self.votes.get(p) != Some(&Vote::No))
+            .collect();
+        let expects_acks = self.variant.participant_acks(decision);
+        for p in &recipients {
+            out.push(CoordinatorOutput::SendDecision(*p, decision));
+        }
+        if expects_acks && !recipients.is_empty() {
+            self.acks_expected = recipients.into_iter().collect();
+            self.state = CoordinatorState::Deciding(decision);
+        } else {
+            self.state = CoordinatorState::Ended(decision);
+            out.push(CoordinatorOutput::Log(CoordinatorRecord::End {
+                txn: self.txn,
+            }));
+            out.push(CoordinatorOutput::Completed);
+        }
+        out
+    }
+
+    /// Handles a decision acknowledgment.
+    pub fn on_ack(&mut self, from: ServerId) -> Vec<CoordinatorOutput> {
+        let CoordinatorState::Deciding(decision) = self.state else {
+            return Vec::new();
+        };
+        if !self.acks_expected.contains(&from) {
+            return Vec::new();
+        }
+        self.acks.insert(from);
+        if self.acks == self.acks_expected {
+            self.state = CoordinatorState::Ended(decision);
+            return vec![
+                CoordinatorOutput::Log(CoordinatorRecord::End { txn: self.txn }),
+                CoordinatorOutput::Completed,
+            ];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: u64) -> BTreeSet<ServerId> {
+        (0..n).map(ServerId::new).collect()
+    }
+
+    fn coordinator(n: u64, variant: CommitVariant) -> Coordinator {
+        Coordinator::new(TxnId::new(1), servers(n), variant)
+    }
+
+    fn prepares(out: &[CoordinatorOutput]) -> usize {
+        out.iter()
+            .filter(|o| matches!(o, CoordinatorOutput::SendPrepare(_)))
+            .count()
+    }
+
+    fn decisions(out: &[CoordinatorOutput]) -> Vec<(ServerId, Decision)> {
+        out.iter()
+            .filter_map(|o| match o {
+                CoordinatorOutput::SendDecision(s, d) => Some((*s, *d)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_yes_commits() {
+        let mut c = coordinator(3, CommitVariant::Standard);
+        let out = c.start();
+        assert_eq!(prepares(&out), 3);
+        assert!(c.on_vote(ServerId::new(0), Vote::Yes).is_empty());
+        assert!(c.on_vote(ServerId::new(1), Vote::Yes).is_empty());
+        let out = c.on_vote(ServerId::new(2), Vote::Yes);
+        assert!(
+            out.contains(&CoordinatorOutput::ForceLog(CoordinatorRecord::Decision {
+                txn: TxnId::new(1),
+                decision: Decision::Commit
+            }))
+        );
+        assert!(out.contains(&CoordinatorOutput::Decided(Decision::Commit)));
+        assert_eq!(decisions(&out).len(), 3);
+        assert_eq!(c.state(), CoordinatorState::Deciding(Decision::Commit));
+    }
+
+    #[test]
+    fn single_no_aborts_immediately() {
+        let mut c = coordinator(3, CommitVariant::Standard);
+        c.start();
+        c.on_vote(ServerId::new(0), Vote::Yes);
+        let out = c.on_vote(ServerId::new(1), Vote::No);
+        assert!(out.contains(&CoordinatorOutput::Decided(Decision::Abort)));
+        // Abort goes to the yes-voter and the silent participant, not the
+        // no-voter.
+        let d = decisions(&out);
+        assert_eq!(d.len(), 2);
+        assert!(!d.iter().any(|(s, _)| *s == ServerId::new(1)));
+    }
+
+    #[test]
+    fn acks_complete_the_protocol() {
+        let mut c = coordinator(2, CommitVariant::Standard);
+        c.start();
+        c.on_vote(ServerId::new(0), Vote::Yes);
+        c.on_vote(ServerId::new(1), Vote::Yes);
+        assert!(c.on_ack(ServerId::new(0)).is_empty());
+        let out = c.on_ack(ServerId::new(1));
+        assert!(out.contains(&CoordinatorOutput::Completed));
+        assert!(matches!(
+            out[0],
+            CoordinatorOutput::Log(CoordinatorRecord::End { .. })
+        ));
+        assert_eq!(c.state(), CoordinatorState::Ended(Decision::Commit));
+    }
+
+    #[test]
+    fn duplicate_votes_and_acks_are_idempotent() {
+        let mut c = coordinator(2, CommitVariant::Standard);
+        c.start();
+        c.on_vote(ServerId::new(0), Vote::Yes);
+        assert!(
+            c.on_vote(ServerId::new(0), Vote::Yes).is_empty(),
+            "duplicate vote ignored in voting phase"
+        );
+        c.on_vote(ServerId::new(1), Vote::Yes);
+        c.on_ack(ServerId::new(0));
+        assert!(c.on_ack(ServerId::new(0)).is_empty());
+        assert_eq!(c.state(), CoordinatorState::Deciding(Decision::Commit));
+    }
+
+    #[test]
+    fn straggler_vote_after_decision_gets_decision_resent() {
+        let mut c = coordinator(2, CommitVariant::Standard);
+        c.start();
+        c.on_vote(ServerId::new(0), Vote::No);
+        let out = c.on_vote(ServerId::new(1), Vote::Yes);
+        assert_eq!(
+            out,
+            vec![CoordinatorOutput::SendDecision(
+                ServerId::new(1),
+                Decision::Abort
+            )]
+        );
+    }
+
+    #[test]
+    fn timeout_aborts_when_votes_missing() {
+        let mut c = coordinator(3, CommitVariant::Standard);
+        c.start();
+        c.on_vote(ServerId::new(0), Vote::Yes);
+        let out = c.on_timeout();
+        assert!(out.contains(&CoordinatorOutput::Decided(Decision::Abort)));
+        assert!(c.on_timeout().is_empty(), "second timeout is a no-op");
+    }
+
+    #[test]
+    fn presumed_abort_does_not_force_or_await_acks_on_abort() {
+        let mut c = coordinator(2, CommitVariant::PresumedAbort);
+        c.start();
+        let out = c.on_vote(ServerId::new(0), Vote::No);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CoordinatorOutput::Log(CoordinatorRecord::Decision {
+                decision: Decision::Abort,
+                ..
+            })
+        )));
+        assert!(!out
+            .iter()
+            .any(|o| matches!(o, CoordinatorOutput::ForceLog(_))));
+        assert!(out.contains(&CoordinatorOutput::Completed));
+        assert_eq!(c.state(), CoordinatorState::Ended(Decision::Abort));
+    }
+
+    #[test]
+    fn presumed_commit_forces_collecting_and_skips_commit_acks() {
+        let mut c = coordinator(2, CommitVariant::PresumedCommit);
+        let out = c.start();
+        assert!(matches!(
+            out[0],
+            CoordinatorOutput::ForceLog(CoordinatorRecord::Collecting { .. })
+        ));
+        c.on_vote(ServerId::new(0), Vote::Yes);
+        let out = c.on_vote(ServerId::new(1), Vote::Yes);
+        assert!(out.contains(&CoordinatorOutput::Completed));
+        assert_eq!(c.state(), CoordinatorState::Ended(Decision::Commit));
+    }
+
+    #[test]
+    fn unknown_participant_votes_are_ignored() {
+        let mut c = coordinator(2, CommitVariant::Standard);
+        c.start();
+        assert!(c.on_vote(ServerId::new(9), Vote::No).is_empty());
+        assert_eq!(c.state(), CoordinatorState::Voting);
+    }
+
+    #[test]
+    #[should_panic(expected = "no participants")]
+    fn empty_participant_set_panics() {
+        let _ = Coordinator::new(TxnId::new(1), BTreeSet::new(), CommitVariant::Standard);
+    }
+
+    #[test]
+    #[should_panic(expected = "start called twice")]
+    fn double_start_panics() {
+        let mut c = coordinator(1, CommitVariant::Standard);
+        c.start();
+        c.start();
+    }
+}

@@ -1,0 +1,43 @@
+//! Classic Two-Phase Commit (2PC) as sans-io state machines, with
+//! Presumed-Abort / Presumed-Commit variants and crash recovery.
+//!
+//! The paper's Section V-B builds Two-Phase Validation Commit on top of the
+//! basic atomic 2PC of Figure 7: a voting phase (participants force a
+//! *prepared* record and vote YES/NO) and a decision phase (the coordinator
+//! forces the decision, participants force it too and acknowledge). This
+//! crate implements that substrate exactly:
+//!
+//! * [`Coordinator`] and [`Participant`] are pure state machines — every
+//!   transition consumes one event and returns the actions to perform
+//!   (send, force-log, deliver decision). The same machines run under the
+//!   discrete-event simulator, the threaded runtime and direct unit tests.
+//! * [`CommitVariant`] selects Standard, Presumed-Abort (PrA) or
+//!   Presumed-Commit (PrC) logging/acknowledgment rules, "any log-based
+//!   optimizations of 2PC also apply to 2PVC".
+//! * [`recover_participant`] / [`recover_coordinator`] rebuild protocol
+//!   state from a [`Wal`](safetx_store::Wal) after a crash; in-doubt
+//!   participants inquire and the coordinator answers by record or by
+//!   presumption.
+//!
+//! Transactions themselves ([`TransactionSpec`]) are a sequence of queries,
+//! each a set of read/write operations bound to one server, matching the
+//! paper's model `T = q1, …, qn` with sequential query execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinator;
+mod log;
+mod messages;
+mod participant;
+mod recovery;
+mod transaction;
+
+pub use coordinator::{Coordinator, CoordinatorOutput, CoordinatorState};
+pub use log::{CoordinatorRecord, ParticipantRecord};
+pub use messages::{CommitVariant, Decision, InquiryAnswer, Vote};
+pub use participant::{Participant, ParticipantOutput, ParticipantState};
+pub use recovery::{
+    answer_inquiry, recover_coordinator, recover_participant, RecoveredParticipant,
+};
+pub use transaction::{Operation, QuerySpec, TransactionSpec};

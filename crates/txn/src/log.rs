@@ -1,0 +1,171 @@
+//! Protocol log records.
+
+use crate::messages::{Decision, Vote};
+use safetx_types::{PolicyId, PolicyVersion, ServerId, TxnId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Records written by the coordinator's log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordinatorRecord {
+    /// Presumed-Commit only: voting is starting for these participants.
+    Collecting {
+        /// The transaction.
+        txn: TxnId,
+        /// Participants polled.
+        participants: Vec<ServerId>,
+    },
+    /// The global decision (forced per variant rules).
+    Decision {
+        /// The transaction.
+        txn: TxnId,
+        /// The decision.
+        decision: Decision,
+    },
+    /// All required acknowledgments received (never forced).
+    End {
+        /// The transaction.
+        txn: TxnId,
+    },
+}
+
+impl CoordinatorRecord {
+    /// The transaction this record belongs to.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        match self {
+            CoordinatorRecord::Collecting { txn, .. }
+            | CoordinatorRecord::Decision { txn, .. }
+            | CoordinatorRecord::End { txn } => *txn,
+        }
+    }
+}
+
+impl fmt::Display for CoordinatorRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorRecord::Collecting { txn, participants } => {
+                write!(f, "{txn} collecting ({} participants)", participants.len())
+            }
+            CoordinatorRecord::Decision { txn, decision } => write!(f, "{txn} {decision}"),
+            CoordinatorRecord::End { txn } => write!(f, "{txn} end"),
+        }
+    }
+}
+
+/// Records written by a participant's log.
+///
+/// For 2PVC the prepared record must also carry the `(vi, pi)` policy
+/// version tuples and the proof truth value: "a participant must forcibly
+/// log the set of (vi, pi) tuples along with its vote and truth value"
+/// (Section V-C, Recovery).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParticipantRecord {
+    /// Forced before voting YES.
+    Prepared {
+        /// The transaction.
+        txn: TxnId,
+        /// The integrity vote recorded with the prepare.
+        vote: Vote,
+        /// Truth value of the proofs of authorization (2PVC; `None` for
+        /// plain 2PC).
+        proofs_true: Option<bool>,
+        /// The `(vi, pi)` tuples used in the proofs (2PVC; empty for 2PC).
+        policy_versions: Vec<(PolicyId, PolicyVersion)>,
+    },
+    /// The decision as learned from the coordinator (forced per variant).
+    Decision {
+        /// The transaction.
+        txn: TxnId,
+        /// The decision.
+        decision: Decision,
+    },
+}
+
+impl ParticipantRecord {
+    /// The transaction this record belongs to.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        match self {
+            ParticipantRecord::Prepared { txn, .. } | ParticipantRecord::Decision { txn, .. } => {
+                *txn
+            }
+        }
+    }
+}
+
+impl fmt::Display for ParticipantRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParticipantRecord::Prepared {
+                txn,
+                vote,
+                proofs_true,
+                policy_versions,
+            } => {
+                write!(f, "{txn} prepared {vote}")?;
+                if let Some(t) = proofs_true {
+                    write!(f, " proofs={}", if *t { "TRUE" } else { "FALSE" })?;
+                }
+                if !policy_versions.is_empty() {
+                    write!(f, " versions=[")?;
+                    for (i, (p, v)) in policy_versions.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}:{v}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            ParticipantRecord::Decision { txn, decision } => write!(f, "{txn} {decision}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_know_their_transaction() {
+        let txn = TxnId::new(5);
+        assert_eq!(CoordinatorRecord::End { txn }.txn(), txn);
+        assert_eq!(
+            ParticipantRecord::Decision {
+                txn,
+                decision: Decision::Abort
+            }
+            .txn(),
+            txn
+        );
+    }
+
+    #[test]
+    fn prepared_record_displays_policy_tuples() {
+        let rec = ParticipantRecord::Prepared {
+            txn: TxnId::new(1),
+            vote: Vote::Yes,
+            proofs_true: Some(true),
+            policy_versions: vec![(PolicyId::new(0), PolicyVersion(3))],
+        };
+        let text = rec.to_string();
+        assert!(text.contains("prepared YES"));
+        assert!(text.contains("proofs=TRUE"));
+        assert!(text.contains("P0:v3"));
+    }
+
+    #[test]
+    fn plain_2pc_prepared_record_omits_policy_fields() {
+        let rec = ParticipantRecord::Prepared {
+            txn: TxnId::new(1),
+            vote: Vote::No,
+            proofs_true: None,
+            policy_versions: vec![],
+        };
+        let text = rec.to_string();
+        assert!(!text.contains("proofs"));
+        assert!(!text.contains("versions"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared protocol vocabulary: votes, decisions, variants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A participant's vote in the voting phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vote {
+    /// Integrity constraints hold; ready to commit.
+    Yes,
+    /// Integrity violation or local failure; must abort.
+    No,
+}
+
+impl Vote {
+    /// True for [`Vote::Yes`].
+    #[must_use]
+    pub fn is_yes(self) -> bool {
+        self == Vote::Yes
+    }
+}
+
+impl fmt::Display for Vote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vote::Yes => write!(f, "YES"),
+            Vote::No => write!(f, "NO"),
+        }
+    }
+}
+
+/// The coordinator's global decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// Commit everywhere.
+    Commit,
+    /// Roll back everywhere.
+    Abort,
+}
+
+impl Decision {
+    /// True for [`Decision::Commit`].
+    #[must_use]
+    pub fn is_commit(self) -> bool {
+        self == Decision::Commit
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Commit => write!(f, "COMMIT"),
+            Decision::Abort => write!(f, "ABORT"),
+        }
+    }
+}
+
+/// Log-optimization variant of the commit protocol (Chrysanthis et al.;
+/// the paper notes "any log-based optimizations of 2PC also apply to 2PVC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CommitVariant {
+    /// Basic 2PC: all decisions forced everywhere, all decisions
+    /// acknowledged.
+    #[default]
+    Standard,
+    /// Presumed-Abort: no-information inquiries answer ABORT, so abort
+    /// decisions are not forced and not acknowledged.
+    PresumedAbort,
+    /// Presumed-Commit: the coordinator forces a *collecting* record before
+    /// voting; commit decisions are presumed, so they are not forced at
+    /// participants and not acknowledged.
+    PresumedCommit,
+}
+
+impl CommitVariant {
+    /// Does the coordinator force-log this decision?
+    #[must_use]
+    pub fn coordinator_forces(self, decision: Decision) -> bool {
+        match self {
+            CommitVariant::Standard => true,
+            // PrA may answer "abort" from no information, so only commits
+            // must be durable before telling anyone.
+            CommitVariant::PresumedAbort => decision.is_commit(),
+            // PrC presumes commit; aborts are the exceptional, forced case.
+            // (Commit is still forced at the coordinator to close out the
+            // collecting record.)
+            CommitVariant::PresumedCommit => true,
+        }
+    }
+
+    /// Does a participant force-log this decision?
+    #[must_use]
+    pub fn participant_forces(self, decision: Decision) -> bool {
+        match self {
+            CommitVariant::Standard => true,
+            CommitVariant::PresumedAbort => decision.is_commit(),
+            CommitVariant::PresumedCommit => !decision.is_commit(),
+        }
+    }
+
+    /// Does a participant acknowledge this decision?
+    #[must_use]
+    pub fn participant_acks(self, decision: Decision) -> bool {
+        self.participant_forces(decision)
+    }
+
+    /// Does the coordinator force a collecting record before voting?
+    #[must_use]
+    pub fn forces_collecting(self) -> bool {
+        self == CommitVariant::PresumedCommit
+    }
+
+    /// The decision presumed when the coordinator has no record of the
+    /// transaction.
+    #[must_use]
+    pub fn presumption(self) -> Option<Decision> {
+        match self {
+            CommitVariant::Standard => None,
+            CommitVariant::PresumedAbort => Some(Decision::Abort),
+            CommitVariant::PresumedCommit => Some(Decision::Commit),
+        }
+    }
+}
+
+/// How a coordinator answers a recovering participant's inquiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InquiryAnswer {
+    /// The decision, from a log record or the variant's presumption.
+    Decided(Decision),
+    /// No record and no presumption: the participant must keep waiting
+    /// (blocking case of basic 2PC).
+    Unknown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_forces_and_acks_everything() {
+        let v = CommitVariant::Standard;
+        for d in [Decision::Commit, Decision::Abort] {
+            assert!(v.coordinator_forces(d));
+            assert!(v.participant_forces(d));
+            assert!(v.participant_acks(d));
+        }
+        assert!(!v.forces_collecting());
+        assert_eq!(v.presumption(), None);
+    }
+
+    #[test]
+    fn presumed_abort_skips_abort_logging() {
+        let v = CommitVariant::PresumedAbort;
+        assert!(v.coordinator_forces(Decision::Commit));
+        assert!(!v.coordinator_forces(Decision::Abort));
+        assert!(!v.participant_forces(Decision::Abort));
+        assert!(!v.participant_acks(Decision::Abort));
+        assert_eq!(v.presumption(), Some(Decision::Abort));
+    }
+
+    #[test]
+    fn presumed_commit_skips_commit_logging_at_participants() {
+        let v = CommitVariant::PresumedCommit;
+        assert!(v.forces_collecting());
+        assert!(!v.participant_forces(Decision::Commit));
+        assert!(v.participant_forces(Decision::Abort));
+        assert_eq!(v.presumption(), Some(Decision::Commit));
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(Vote::Yes.to_string(), "YES");
+        assert_eq!(Decision::Abort.to_string(), "ABORT");
+    }
+}

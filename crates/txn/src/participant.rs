@@ -1,0 +1,325 @@
+//! The 2PC participant state machine.
+
+use crate::log::ParticipantRecord;
+use crate::messages::{CommitVariant, Decision, Vote};
+use safetx_types::{PolicyId, PolicyVersion, TxnId};
+
+/// Participant lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantState {
+    /// Executing queries; not yet polled.
+    Working,
+    /// Voted and waiting for the decision (in doubt when the vote was YES).
+    Prepared(Vote),
+    /// Learned (or unilaterally made) the decision.
+    Decided(Decision),
+}
+
+/// Actions the driver must perform after a transition.
+///
+/// Ordering matters: log actions precede the sends they justify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticipantOutput {
+    /// Force-write a log record before releasing the following sends.
+    ForceLog(ParticipantRecord),
+    /// Write a log record lazily.
+    Log(ParticipantRecord),
+    /// Send the vote to the coordinator.
+    SendVote(Vote),
+    /// Acknowledge the decision to the coordinator.
+    SendAck,
+    /// Apply the decision locally: install the write set and release locks
+    /// (commit), or discard and release (abort).
+    Apply(Decision),
+}
+
+/// The participant side of one transaction at one server.
+///
+/// # Examples
+///
+/// ```
+/// use safetx_txn::{CommitVariant, Decision, Participant, ParticipantOutput, Vote};
+/// use safetx_types::TxnId;
+///
+/// let mut p = Participant::new(TxnId::new(1), CommitVariant::Standard);
+/// let outputs = p.on_prepare(Vote::Yes, Some(true), vec![]);
+/// assert!(matches!(outputs[0], ParticipantOutput::ForceLog(_)));
+/// let outputs = p.on_decision(Decision::Commit);
+/// assert!(outputs.contains(&ParticipantOutput::Apply(Decision::Commit)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Participant {
+    txn: TxnId,
+    variant: CommitVariant,
+    state: ParticipantState,
+}
+
+impl Participant {
+    /// Creates a participant in the working state.
+    #[must_use]
+    pub fn new(txn: TxnId, variant: CommitVariant) -> Self {
+        Participant {
+            txn,
+            variant,
+            state: ParticipantState::Working,
+        }
+    }
+
+    /// Reconstructs a participant directly in a given state (recovery).
+    #[must_use]
+    pub fn with_state(txn: TxnId, variant: CommitVariant, state: ParticipantState) -> Self {
+        Participant {
+            txn,
+            variant,
+            state,
+        }
+    }
+
+    /// The transaction.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> ParticipantState {
+        self.state
+    }
+
+    /// Handles Prepare(-to-Commit). The caller evaluates the integrity vote
+    /// (and, for 2PVC, the proof truth value and policy versions) before
+    /// calling; the machine handles logging and reply ordering.
+    ///
+    /// A YES vote force-logs *prepared* first — after this the participant
+    /// is in doubt and must await the decision. A NO vote aborts
+    /// unilaterally.
+    pub fn on_prepare(
+        &mut self,
+        vote: Vote,
+        proofs_true: Option<bool>,
+        policy_versions: Vec<(PolicyId, PolicyVersion)>,
+    ) -> Vec<ParticipantOutput> {
+        match self.state {
+            ParticipantState::Working => {}
+            // Retransmitted prepare: repeat the recorded vote.
+            ParticipantState::Prepared(v) => return vec![ParticipantOutput::SendVote(v)],
+            ParticipantState::Decided(_) => return Vec::new(),
+        }
+        let record = ParticipantRecord::Prepared {
+            txn: self.txn,
+            vote,
+            proofs_true,
+            policy_versions,
+        };
+        match vote {
+            Vote::Yes => {
+                self.state = ParticipantState::Prepared(Vote::Yes);
+                vec![
+                    ParticipantOutput::ForceLog(record),
+                    ParticipantOutput::SendVote(Vote::Yes),
+                ]
+            }
+            Vote::No => {
+                // Unilateral abort: no forced record needed — with no
+                // prepared-yes record, recovery presumes abort locally.
+                self.state = ParticipantState::Decided(Decision::Abort);
+                vec![
+                    ParticipantOutput::Log(record),
+                    ParticipantOutput::SendVote(Vote::No),
+                    ParticipantOutput::Apply(Decision::Abort),
+                ]
+            }
+        }
+    }
+
+    /// Re-votes in a later 2PVC round (after an Update message) without
+    /// leaving the prepared state. Force-logs the refreshed `(vi, pi)`
+    /// tuples and truth value, as Section V-C's recovery rules require.
+    ///
+    /// No-op unless the participant is prepared with a YES integrity vote.
+    pub fn on_revalidate(
+        &mut self,
+        proofs_true: bool,
+        policy_versions: Vec<(PolicyId, PolicyVersion)>,
+    ) -> Vec<ParticipantOutput> {
+        match self.state {
+            ParticipantState::Prepared(Vote::Yes) => vec![
+                ParticipantOutput::ForceLog(ParticipantRecord::Prepared {
+                    txn: self.txn,
+                    vote: Vote::Yes,
+                    proofs_true: Some(proofs_true),
+                    policy_versions,
+                }),
+                ParticipantOutput::SendVote(Vote::Yes),
+            ],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles the coordinator's decision.
+    pub fn on_decision(&mut self, decision: Decision) -> Vec<ParticipantOutput> {
+        match self.state {
+            ParticipantState::Prepared(_) | ParticipantState::Working => {
+                self.state = ParticipantState::Decided(decision);
+                let record = ParticipantRecord::Decision {
+                    txn: self.txn,
+                    decision,
+                };
+                let mut out = Vec::new();
+                if self.variant.participant_forces(decision) {
+                    out.push(ParticipantOutput::ForceLog(record));
+                } else {
+                    out.push(ParticipantOutput::Log(record));
+                }
+                out.push(ParticipantOutput::Apply(decision));
+                if self.variant.participant_acks(decision) {
+                    out.push(ParticipantOutput::SendAck);
+                }
+                out
+            }
+            ParticipantState::Decided(previous) => {
+                debug_assert_eq!(previous, decision, "conflicting decisions for {}", self.txn);
+                // Retransmitted decision: the ack may have been lost.
+                if self.variant.participant_acks(decision) {
+                    vec![ParticipantOutput::SendAck]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn participant(variant: CommitVariant) -> Participant {
+        Participant::new(TxnId::new(7), variant)
+    }
+
+    #[test]
+    fn yes_vote_forces_prepared_before_sending() {
+        let mut p = participant(CommitVariant::Standard);
+        let out = p.on_prepare(
+            Vote::Yes,
+            Some(true),
+            vec![(PolicyId::new(0), PolicyVersion(2))],
+        );
+        assert!(matches!(
+            out[0],
+            ParticipantOutput::ForceLog(ParticipantRecord::Prepared {
+                vote: Vote::Yes,
+                ..
+            })
+        ));
+        assert_eq!(out[1], ParticipantOutput::SendVote(Vote::Yes));
+        assert_eq!(p.state(), ParticipantState::Prepared(Vote::Yes));
+    }
+
+    #[test]
+    fn no_vote_aborts_unilaterally_without_forcing() {
+        let mut p = participant(CommitVariant::Standard);
+        let out = p.on_prepare(Vote::No, None, vec![]);
+        assert!(matches!(out[0], ParticipantOutput::Log(_)));
+        assert!(out.contains(&ParticipantOutput::SendVote(Vote::No)));
+        assert!(out.contains(&ParticipantOutput::Apply(Decision::Abort)));
+        assert_eq!(p.state(), ParticipantState::Decided(Decision::Abort));
+    }
+
+    #[test]
+    fn commit_decision_forces_applies_and_acks() {
+        let mut p = participant(CommitVariant::Standard);
+        p.on_prepare(Vote::Yes, None, vec![]);
+        let out = p.on_decision(Decision::Commit);
+        assert!(matches!(
+            out[0],
+            ParticipantOutput::ForceLog(ParticipantRecord::Decision {
+                decision: Decision::Commit,
+                ..
+            })
+        ));
+        assert!(out.contains(&ParticipantOutput::Apply(Decision::Commit)));
+        assert!(out.contains(&ParticipantOutput::SendAck));
+    }
+
+    #[test]
+    fn duplicate_prepare_repeats_the_vote() {
+        let mut p = participant(CommitVariant::Standard);
+        p.on_prepare(Vote::Yes, None, vec![]);
+        let out = p.on_prepare(Vote::Yes, None, vec![]);
+        assert_eq!(out, vec![ParticipantOutput::SendVote(Vote::Yes)]);
+    }
+
+    #[test]
+    fn duplicate_decision_reacks_without_reapplying() {
+        let mut p = participant(CommitVariant::Standard);
+        p.on_prepare(Vote::Yes, None, vec![]);
+        p.on_decision(Decision::Commit);
+        let out = p.on_decision(Decision::Commit);
+        assert_eq!(out, vec![ParticipantOutput::SendAck]);
+    }
+
+    #[test]
+    fn presumed_abort_skips_abort_force_and_ack() {
+        let mut p = participant(CommitVariant::PresumedAbort);
+        p.on_prepare(Vote::Yes, None, vec![]);
+        let out = p.on_decision(Decision::Abort);
+        assert!(matches!(out[0], ParticipantOutput::Log(_)));
+        assert!(!out.contains(&ParticipantOutput::SendAck));
+        assert!(out.contains(&ParticipantOutput::Apply(Decision::Abort)));
+    }
+
+    #[test]
+    fn presumed_commit_skips_commit_force_and_ack() {
+        let mut p = participant(CommitVariant::PresumedCommit);
+        p.on_prepare(Vote::Yes, None, vec![]);
+        let out = p.on_decision(Decision::Commit);
+        assert!(matches!(out[0], ParticipantOutput::Log(_)));
+        assert!(!out.contains(&ParticipantOutput::SendAck));
+        let mut p = participant(CommitVariant::PresumedCommit);
+        p.on_prepare(Vote::Yes, None, vec![]);
+        let out = p.on_decision(Decision::Abort);
+        assert!(matches!(out[0], ParticipantOutput::ForceLog(_)));
+        assert!(out.contains(&ParticipantOutput::SendAck));
+    }
+
+    #[test]
+    fn revalidation_reforces_versions_and_revotes() {
+        let mut p = participant(CommitVariant::Standard);
+        p.on_prepare(
+            Vote::Yes,
+            Some(true),
+            vec![(PolicyId::new(0), PolicyVersion(1))],
+        );
+        let out = p.on_revalidate(false, vec![(PolicyId::new(0), PolicyVersion(2))]);
+        assert!(matches!(
+            out[0],
+            ParticipantOutput::ForceLog(ParticipantRecord::Prepared {
+                proofs_true: Some(false),
+                ..
+            })
+        ));
+        assert_eq!(out[1], ParticipantOutput::SendVote(Vote::Yes));
+        assert_eq!(p.state(), ParticipantState::Prepared(Vote::Yes));
+    }
+
+    #[test]
+    fn revalidation_is_noop_when_not_prepared() {
+        let mut p = participant(CommitVariant::Standard);
+        assert!(p.on_revalidate(true, vec![]).is_empty());
+        p.on_prepare(Vote::No, None, vec![]);
+        assert!(p.on_revalidate(true, vec![]).is_empty());
+    }
+
+    #[test]
+    fn decision_without_prepare_applies_abort() {
+        // The coordinator timed out and broadcast abort before our prepare
+        // arrived.
+        let mut p = participant(CommitVariant::Standard);
+        let out = p.on_decision(Decision::Abort);
+        assert!(out.contains(&ParticipantOutput::Apply(Decision::Abort)));
+        assert_eq!(p.state(), ParticipantState::Decided(Decision::Abort));
+    }
+}

@@ -1,0 +1,284 @@
+//! Crash recovery from write-ahead logs.
+//!
+//! "The resilience of 2PVC to system and communication failures can be
+//! achieved in the same manner as 2PC by recording the progress of the
+//! protocol in the logs of the TM and participant." Recovery scans a node's
+//! [`Wal`](safetx_store::Wal) and rebuilds the protocol state:
+//!
+//! * a participant with a forced *prepared YES* record but no decision is
+//!   **in doubt** and must inquire;
+//! * a coordinator answers inquiries from its decision record, or — when no
+//!   record exists — from the variant's presumption (PrA ⇒ abort,
+//!   PrC ⇒ commit, basic 2PC ⇒ blocked).
+
+use crate::coordinator::Coordinator;
+use crate::log::{CoordinatorRecord, ParticipantRecord};
+use crate::messages::{CommitVariant, Decision, InquiryAnswer, Vote};
+use crate::participant::{Participant, ParticipantState};
+use safetx_types::TxnId;
+
+/// Result of participant recovery.
+#[derive(Debug, Clone)]
+pub struct RecoveredParticipant {
+    /// The rebuilt state machine.
+    pub participant: Participant,
+    /// True when the participant is in doubt and must send an inquiry to
+    /// the coordinator.
+    pub needs_inquiry: bool,
+    /// A decision that can be applied immediately (either recorded before
+    /// the crash, or presumed for an unprepared transaction).
+    pub apply: Option<Decision>,
+}
+
+/// Rebuilds a participant for `txn` from its log records.
+///
+/// Rules, scanning the whole log for records of `txn`:
+/// * decision record present → decided; re-apply it idempotently (the crash
+///   may have interrupted application).
+/// * prepared YES but no decision → in doubt: needs an inquiry.
+/// * prepared NO but no decision → unilaterally aborted; apply abort.
+/// * no records → the transaction never voted; it is safe to abort locally
+///   (the coordinator cannot have committed without this vote).
+pub fn recover_participant<'a, I>(
+    txn: TxnId,
+    variant: CommitVariant,
+    records: I,
+) -> RecoveredParticipant
+where
+    I: IntoIterator<Item = &'a ParticipantRecord>,
+{
+    let mut prepared_vote: Option<Vote> = None;
+    let mut decision: Option<Decision> = None;
+    for record in records {
+        if record.txn() != txn {
+            continue;
+        }
+        match record {
+            ParticipantRecord::Prepared { vote, .. } => prepared_vote = Some(*vote),
+            ParticipantRecord::Decision { decision: d, .. } => decision = Some(*d),
+        }
+    }
+    match (prepared_vote, decision) {
+        (_, Some(d)) => RecoveredParticipant {
+            participant: Participant::with_state(txn, variant, ParticipantState::Decided(d)),
+            needs_inquiry: false,
+            apply: Some(d),
+        },
+        (Some(Vote::Yes), None) => RecoveredParticipant {
+            participant: Participant::with_state(
+                txn,
+                variant,
+                ParticipantState::Prepared(Vote::Yes),
+            ),
+            needs_inquiry: true,
+            apply: None,
+        },
+        (Some(Vote::No), None) | (None, None) => RecoveredParticipant {
+            participant: Participant::with_state(
+                txn,
+                variant,
+                ParticipantState::Decided(Decision::Abort),
+            ),
+            needs_inquiry: false,
+            apply: Some(Decision::Abort),
+        },
+    }
+}
+
+/// Answers a recovering participant's inquiry from the coordinator's log.
+///
+/// * decision record → that decision.
+/// * PrC collecting record without a decision → the coordinator crashed
+///   mid-voting; commit was never forced, so the answer is ABORT.
+/// * no record → the variant's presumption, or [`InquiryAnswer::Unknown`]
+///   for basic 2PC (the blocking case).
+pub fn answer_inquiry<'a, I>(txn: TxnId, variant: CommitVariant, records: I) -> InquiryAnswer
+where
+    I: IntoIterator<Item = &'a CoordinatorRecord>,
+{
+    let mut saw_collecting = false;
+    let mut decision: Option<Decision> = None;
+    for record in records {
+        if record.txn() != txn {
+            continue;
+        }
+        match record {
+            CoordinatorRecord::Collecting { .. } => saw_collecting = true,
+            CoordinatorRecord::Decision { decision: d, .. } => decision = Some(*d),
+            CoordinatorRecord::End { .. } => {}
+        }
+    }
+    if let Some(d) = decision {
+        return InquiryAnswer::Decided(d);
+    }
+    if saw_collecting {
+        // PrC: a commit would have been forced before any participant
+        // learned it; absence of the record proves abort.
+        return InquiryAnswer::Decided(Decision::Abort);
+    }
+    match variant.presumption() {
+        Some(d) => InquiryAnswer::Decided(d),
+        None => InquiryAnswer::Unknown,
+    }
+}
+
+/// Rebuilds a coordinator after a TM crash.
+///
+/// When a decision had been logged, the coordinator resumes the decision
+/// phase (the caller should re-send the decision to participants that might
+/// not have acknowledged — acks are not logged, so all of them). When no
+/// decision had been logged, the safe move is to decide ABORT: no
+/// participant can have learned a commit.
+///
+/// Returns the rebuilt coordinator and the decision it will (re-)distribute.
+pub fn recover_coordinator<'a, I>(
+    txn: TxnId,
+    participants: std::collections::BTreeSet<safetx_types::ServerId>,
+    variant: CommitVariant,
+    records: I,
+) -> (Coordinator, Decision)
+where
+    I: IntoIterator<Item = &'a CoordinatorRecord>,
+{
+    let mut decision: Option<Decision> = None;
+    for record in records {
+        if record.txn() != txn {
+            continue;
+        }
+        if let CoordinatorRecord::Decision { decision: d, .. } = record {
+            decision = Some(*d);
+        }
+    }
+    let d = decision.unwrap_or(Decision::Abort);
+    let coordinator = Coordinator::new(txn, participants, variant);
+    (coordinator, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::CoordinatorState;
+    use safetx_types::{PolicyId, PolicyVersion, ServerId};
+    use std::collections::BTreeSet;
+
+    fn txn() -> TxnId {
+        TxnId::new(3)
+    }
+
+    fn prepared(vote: Vote) -> ParticipantRecord {
+        ParticipantRecord::Prepared {
+            txn: txn(),
+            vote,
+            proofs_true: Some(true),
+            policy_versions: vec![(PolicyId::new(0), PolicyVersion(1))],
+        }
+    }
+
+    fn decided(decision: Decision) -> ParticipantRecord {
+        ParticipantRecord::Decision {
+            txn: txn(),
+            decision,
+        }
+    }
+
+    #[test]
+    fn prepared_yes_without_decision_is_in_doubt() {
+        let records = [prepared(Vote::Yes)];
+        let r = recover_participant(txn(), CommitVariant::Standard, &records);
+        assert!(r.needs_inquiry);
+        assert_eq!(r.apply, None);
+        assert_eq!(r.participant.state(), ParticipantState::Prepared(Vote::Yes));
+    }
+
+    #[test]
+    fn recorded_decision_is_reapplied() {
+        let records = [prepared(Vote::Yes), decided(Decision::Commit)];
+        let r = recover_participant(txn(), CommitVariant::Standard, &records);
+        assert!(!r.needs_inquiry);
+        assert_eq!(r.apply, Some(Decision::Commit));
+    }
+
+    #[test]
+    fn unprepared_or_no_voter_aborts_locally() {
+        let r = recover_participant(txn(), CommitVariant::Standard, &[]);
+        assert!(!r.needs_inquiry);
+        assert_eq!(r.apply, Some(Decision::Abort));
+
+        let records = [prepared(Vote::No)];
+        let r = recover_participant(txn(), CommitVariant::Standard, &records);
+        assert!(!r.needs_inquiry);
+        assert_eq!(r.apply, Some(Decision::Abort));
+    }
+
+    #[test]
+    fn records_of_other_transactions_are_ignored() {
+        let other = ParticipantRecord::Decision {
+            txn: TxnId::new(99),
+            decision: Decision::Commit,
+        };
+        let records = [other, prepared(Vote::Yes)];
+        let r = recover_participant(txn(), CommitVariant::Standard, &records);
+        assert!(r.needs_inquiry);
+    }
+
+    #[test]
+    fn inquiry_answered_from_decision_record() {
+        let records = [CoordinatorRecord::Decision {
+            txn: txn(),
+            decision: Decision::Commit,
+        }];
+        assert_eq!(
+            answer_inquiry(txn(), CommitVariant::Standard, &records),
+            InquiryAnswer::Decided(Decision::Commit)
+        );
+    }
+
+    #[test]
+    fn inquiry_with_no_record_follows_presumption() {
+        assert_eq!(
+            answer_inquiry(txn(), CommitVariant::Standard, &[]),
+            InquiryAnswer::Unknown,
+            "basic 2PC blocks"
+        );
+        assert_eq!(
+            answer_inquiry(txn(), CommitVariant::PresumedAbort, &[]),
+            InquiryAnswer::Decided(Decision::Abort)
+        );
+        assert_eq!(
+            answer_inquiry(txn(), CommitVariant::PresumedCommit, &[]),
+            InquiryAnswer::Decided(Decision::Commit)
+        );
+    }
+
+    #[test]
+    fn collecting_without_decision_proves_abort_under_prc() {
+        let records = [CoordinatorRecord::Collecting {
+            txn: txn(),
+            participants: vec![ServerId::new(0)],
+        }];
+        assert_eq!(
+            answer_inquiry(txn(), CommitVariant::PresumedCommit, &records),
+            InquiryAnswer::Decided(Decision::Abort)
+        );
+    }
+
+    #[test]
+    fn coordinator_recovery_resumes_logged_decision_or_aborts() {
+        let participants: BTreeSet<ServerId> = [ServerId::new(0), ServerId::new(1)].into();
+        let records = [CoordinatorRecord::Decision {
+            txn: txn(),
+            decision: Decision::Commit,
+        }];
+        let (c, d) = recover_coordinator(
+            txn(),
+            participants.clone(),
+            CommitVariant::Standard,
+            &records,
+        );
+        assert_eq!(d, Decision::Commit);
+        assert_eq!(c.state(), CoordinatorState::Idle);
+
+        let (_, d) = recover_coordinator(txn(), participants, CommitVariant::Standard, &[]);
+        assert_eq!(d, Decision::Abort, "no decision record means abort");
+    }
+}

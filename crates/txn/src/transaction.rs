@@ -1,0 +1,219 @@
+//! Transactions and queries.
+//!
+//! `T = q1, q2, …, qn` where each query `qi` executes at one server and the
+//! queries run sequentially (paper Section III-A). The mapping `m(qi)` — the
+//! data items a query touches — is derivable from the operations.
+
+use safetx_store::Value;
+use safetx_types::{DataItemId, ServerId, TxnId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One read or write against a data item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Read the item.
+    Read(DataItemId),
+    /// Overwrite the item with a value.
+    Write(DataItemId, Value),
+    /// Add a signed delta to an integer item (read-modify-write).
+    Add(DataItemId, i64),
+}
+
+impl Operation {
+    /// The item this operation touches.
+    #[must_use]
+    pub fn item(&self) -> DataItemId {
+        match self {
+            Operation::Read(i) | Operation::Write(i, _) | Operation::Add(i, _) => *i,
+        }
+    }
+
+    /// True when the operation mutates the item.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Operation::Read(_))
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Read(i) => write!(f, "r({i})"),
+            Operation::Write(i, v) => write!(f, "w({i}={v})"),
+            Operation::Add(i, d) => write!(f, "w({i}+={d})"),
+        }
+    }
+}
+
+/// One query `qi`: a batch of operations at one server, under one access
+/// request (`action` on `resource`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// The server that executes this query.
+    pub server: ServerId,
+    /// The policy action the query needs (e.g. `read`, `write`).
+    pub action: String,
+    /// The policy resource the query touches (e.g. `customers`).
+    pub resource: String,
+    /// The data operations.
+    pub ops: Vec<Operation>,
+}
+
+impl QuerySpec {
+    /// Creates a query.
+    #[must_use]
+    pub fn new(
+        server: ServerId,
+        action: impl Into<String>,
+        resource: impl Into<String>,
+        ops: Vec<Operation>,
+    ) -> Self {
+        QuerySpec {
+            server,
+            action: action.into(),
+            resource: resource.into(),
+            ops,
+        }
+    }
+
+    /// The items the query touches — the paper's `m(qi)`.
+    #[must_use]
+    pub fn touched_items(&self) -> BTreeSet<DataItemId> {
+        self.ops.iter().map(Operation::item).collect()
+    }
+
+    /// True when any operation writes.
+    #[must_use]
+    pub fn has_writes(&self) -> bool {
+        self.ops.iter().any(Operation::is_write)
+    }
+}
+
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}[", self.action, self.server)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A whole transaction: an id, the submitting user and the query sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionSpec {
+    /// Transaction identifier.
+    pub id: TxnId,
+    /// Submitting principal.
+    pub user: UserId,
+    /// Queries, executed in order.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl TransactionSpec {
+    /// Creates a transaction.
+    #[must_use]
+    pub fn new(id: TxnId, user: UserId, queries: Vec<QuerySpec>) -> Self {
+        TransactionSpec { id, user, queries }
+    }
+
+    /// The distinct participating servers, in id order.
+    #[must_use]
+    pub fn participants(&self) -> BTreeSet<ServerId> {
+        self.queries.iter().map(|q| q.server).collect()
+    }
+
+    /// Number of queries `u`.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+impl fmt::Display for TransactionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} by {}: ", self.id, self.user)?;
+        for (i, q) in self.queries.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TransactionSpec {
+        TransactionSpec::new(
+            TxnId::new(1),
+            UserId::new(2),
+            vec![
+                QuerySpec::new(
+                    ServerId::new(0),
+                    "read",
+                    "customers",
+                    vec![Operation::Read(DataItemId::new(10))],
+                ),
+                QuerySpec::new(
+                    ServerId::new(1),
+                    "write",
+                    "inventory",
+                    vec![
+                        Operation::Add(DataItemId::new(20), -1),
+                        Operation::Read(DataItemId::new(21)),
+                    ],
+                ),
+                QuerySpec::new(
+                    ServerId::new(0),
+                    "write",
+                    "customers",
+                    vec![Operation::Write(DataItemId::new(10), Value::Int(5))],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn participants_deduplicate_servers() {
+        let t = spec();
+        assert_eq!(t.query_count(), 3);
+        let p: Vec<ServerId> = t.participants().into_iter().collect();
+        assert_eq!(p, vec![ServerId::new(0), ServerId::new(1)]);
+    }
+
+    #[test]
+    fn touched_items_is_m_of_q() {
+        let t = spec();
+        let items = t.queries[1].touched_items();
+        assert!(items.contains(&DataItemId::new(20)));
+        assert!(items.contains(&DataItemId::new(21)));
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn write_detection() {
+        let t = spec();
+        assert!(!t.queries[0].has_writes());
+        assert!(t.queries[1].has_writes());
+        assert!(Operation::Add(DataItemId::new(0), 1).is_write());
+        assert!(!Operation::Read(DataItemId::new(0)).is_write());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = spec();
+        let text = t.to_string();
+        assert!(text.contains("T1 by u2"));
+        assert!(text.contains("r(x10)"));
+        assert!(text.contains("w(x20+=-1)"));
+    }
+}

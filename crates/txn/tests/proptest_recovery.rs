@@ -1,0 +1,170 @@
+//! Property tests for 2PC recovery: arbitrary log contents must recover to
+//! consistent, safe protocol states under every commit variant.
+
+use proptest::prelude::*;
+use safetx_txn::{
+    answer_inquiry, recover_participant, CommitVariant, CoordinatorRecord, Decision, InquiryAnswer,
+    ParticipantRecord, ParticipantState, Vote,
+};
+use safetx_types::{PolicyId, PolicyVersion, TxnId};
+
+fn variant() -> impl Strategy<Value = CommitVariant> {
+    prop::sample::select(vec![
+        CommitVariant::Standard,
+        CommitVariant::PresumedAbort,
+        CommitVariant::PresumedCommit,
+    ])
+}
+
+fn participant_record() -> impl Strategy<Value = ParticipantRecord> {
+    let txn = (0u64..3).prop_map(TxnId::new);
+    prop_oneof![
+        (txn.clone(), any::<bool>(), any::<bool>(), 1u64..4).prop_map(
+            |(txn, yes, truth, version)| ParticipantRecord::Prepared {
+                txn,
+                vote: if yes { Vote::Yes } else { Vote::No },
+                proofs_true: Some(truth),
+                policy_versions: vec![(PolicyId::new(0), PolicyVersion(version))],
+            }
+        ),
+        (txn, any::<bool>()).prop_map(|(txn, commit)| ParticipantRecord::Decision {
+            txn,
+            decision: if commit {
+                Decision::Commit
+            } else {
+                Decision::Abort
+            },
+        }),
+    ]
+}
+
+fn coordinator_record() -> impl Strategy<Value = CoordinatorRecord> {
+    let txn = (0u64..3).prop_map(TxnId::new);
+    prop_oneof![
+        txn.clone().prop_map(|txn| CoordinatorRecord::Collecting {
+            txn,
+            participants: vec![]
+        }),
+        (txn.clone(), any::<bool>()).prop_map(|(txn, commit)| CoordinatorRecord::Decision {
+            txn,
+            decision: if commit {
+                Decision::Commit
+            } else {
+                Decision::Abort
+            },
+        }),
+        txn.prop_map(|txn| CoordinatorRecord::End { txn }),
+    ]
+}
+
+proptest! {
+    /// Participant recovery is deterministic, never leaves a participant
+    /// both in-doubt and with a decision, and respects the log's facts:
+    /// a logged decision always wins; a prepared-YES without a decision is
+    /// in doubt; everything else aborts locally.
+    #[test]
+    fn participant_recovery_is_consistent(
+        records in proptest::collection::vec(participant_record(), 0..12),
+        v in variant(),
+    ) {
+        for txn_index in 0..3u64 {
+            let txn = TxnId::new(txn_index);
+            let recovered = recover_participant(txn, v, records.iter());
+            // Never both in doubt and already decided.
+            prop_assert!(!(recovered.needs_inquiry && recovered.apply.is_some()));
+            let last_decision = records.iter().rev().find_map(|r| match r {
+                ParticipantRecord::Decision { txn: t, decision } if *t == txn => Some(*decision),
+                _ => None,
+            });
+            // The *last* prepared record reflects the final vote (re-votes
+            // from 2PVC update rounds overwrite earlier ones).
+            let prepared_yes = records.iter().rev().find_map(|r| match r {
+                ParticipantRecord::Prepared { txn: t, vote, .. } if *t == txn => Some(*vote),
+                _ => None,
+            }) == Some(Vote::Yes);
+            match last_decision {
+                Some(d) => {
+                    prop_assert_eq!(recovered.apply, Some(d), "logged decision wins");
+                    prop_assert!(!recovered.needs_inquiry);
+                }
+                None if prepared_yes => {
+                    prop_assert!(recovered.needs_inquiry, "prepared YES is in doubt");
+                    prop_assert_eq!(
+                        recovered.participant.state(),
+                        ParticipantState::Prepared(Vote::Yes)
+                    );
+                }
+                None => {
+                    prop_assert_eq!(recovered.apply, Some(Decision::Abort));
+                }
+            }
+        }
+    }
+
+    /// Inquiry answers never contradict a logged decision, and the
+    /// no-record answer matches the variant's presumption.
+    #[test]
+    fn inquiry_answers_respect_log_and_presumption(
+        records in proptest::collection::vec(coordinator_record(), 0..12),
+        v in variant(),
+    ) {
+        for txn_index in 0..3u64 {
+            let txn = TxnId::new(txn_index);
+            let answer = answer_inquiry(txn, v, records.iter());
+            let logged = records.iter().rev().find_map(|r| match r {
+                CoordinatorRecord::Decision { txn: t, decision } if *t == txn => Some(*decision),
+                _ => None,
+            });
+            let saw_collecting = records.iter().any(|r| matches!(
+                r,
+                CoordinatorRecord::Collecting { txn: t, .. } if *t == txn
+            ));
+            match (logged, saw_collecting) {
+                (Some(d), _) => prop_assert_eq!(answer, InquiryAnswer::Decided(d)),
+                (None, true) => prop_assert_eq!(
+                    answer,
+                    InquiryAnswer::Decided(Decision::Abort),
+                    "collecting without a commit record proves abort"
+                ),
+                (None, false) => match v.presumption() {
+                    Some(d) => prop_assert_eq!(answer, InquiryAnswer::Decided(d)),
+                    None => prop_assert_eq!(answer, InquiryAnswer::Unknown),
+                },
+            }
+        }
+    }
+
+    /// Cross-check: a participant in doubt after recovery always receives a
+    /// *decided* answer when the coordinator logged anything, or the
+    /// variant presumes — basic 2PC's Unknown is the only blocking case.
+    #[test]
+    fn in_doubt_participants_unblock_except_basic_2pc_no_record(
+        coordinator_log in proptest::collection::vec(coordinator_record(), 0..8),
+        v in variant(),
+    ) {
+        let txn = TxnId::new(0);
+        let participant_log = [ParticipantRecord::Prepared {
+            txn,
+            vote: Vote::Yes,
+            proofs_true: Some(true),
+            policy_versions: vec![],
+        }];
+        let recovered = recover_participant(txn, v, participant_log.iter());
+        prop_assert!(recovered.needs_inquiry);
+        let answer = answer_inquiry(txn, v, coordinator_log.iter());
+        // An Unknown answer (the blocking case) is possible only for basic
+        // 2PC with neither a decision nor a collecting record — an orphan
+        // End record carries no information.
+        let has_informative_record = coordinator_log.iter().any(|r| {
+            r.txn() == txn
+                && matches!(
+                    r,
+                    CoordinatorRecord::Decision { .. } | CoordinatorRecord::Collecting { .. }
+                )
+        });
+        if answer == InquiryAnswer::Unknown {
+            prop_assert_eq!(v, CommitVariant::Standard);
+            prop_assert!(!has_informative_record);
+        }
+    }
+}

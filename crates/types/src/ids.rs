@@ -1,0 +1,156 @@
+//! Identifier newtypes.
+//!
+//! Every entity in the model gets its own id type so the compiler rules out
+//! category errors (passing a transaction id where a server id is expected).
+
+use serde::{Deserialize, Serialize};
+
+/// Declares a `u64`-backed identifier newtype with the shared id API.
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            #[must_use]
+            pub const fn new(index: u64) -> Self {
+                Self(index)
+            }
+
+            /// Raw index backing this identifier.
+            #[must_use]
+            pub const fn index(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(index: u64) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A cloud server hosting a subset of the data items and a policy replica.
+    ServerId,
+    "s"
+);
+id_type!(
+    /// A transaction manager coordinating one or more transactions.
+    TmId,
+    "tm"
+);
+id_type!(
+    /// A distributed transaction `T = q1, ..., qn`.
+    TxnId,
+    "T"
+);
+id_type!(
+    /// An authorization policy (one per administrative domain and data scope).
+    PolicyId,
+    "P"
+);
+id_type!(
+    /// A certified credential issued by a certificate authority.
+    CredentialId,
+    "c"
+);
+id_type!(
+    /// A certificate authority trusted to issue and revoke credentials.
+    CaId,
+    "CA"
+);
+id_type!(
+    /// A principal submitting transactions (the querier in a proof).
+    UserId,
+    "u"
+);
+id_type!(
+    /// A data item in the application domain `D`.
+    DataItemId,
+    "x"
+);
+
+/// The administrative domain `A` that owns a policy.
+///
+/// The paper's consistency predicates (Definitions 2 and 3) only compare
+/// versions of policies "belonging to the same administrator `A`".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AdminDomain(u64);
+
+impl AdminDomain {
+    /// Creates a domain from its raw index.
+    #[must_use]
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Raw index backing this domain.
+    #[must_use]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for AdminDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(ServerId::new(1).to_string(), "s1");
+        assert_eq!(TxnId::new(7).to_string(), "T7");
+        assert_eq!(PolicyId::new(2).to_string(), "P2");
+        assert_eq!(CredentialId::new(9).to_string(), "c9");
+        assert_eq!(AdminDomain::new(0).to_string(), "A0");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = DataItemId::from(42u64);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time property: a function over ServerId cannot take TxnId.
+        fn takes_server(s: ServerId) -> u64 {
+            s.index()
+        }
+        assert_eq!(takes_server(ServerId::new(3)), 3);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CaId::new(1) < CaId::new(2));
+        assert_eq!(UserId::new(5), UserId::new(5));
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared identifier and time newtypes for the `safetx` workspace.
+//!
+//! The paper ("Enforcing Policy and Data Consistency of Cloud Transactions",
+//! ICDCS 2011) models a cloud of servers `S`, data items `D`, transactions
+//! `T = q1..qn`, authorization policies `P` versioned by natural numbers, and
+//! credentials `C` issued by certificate authorities. This crate provides the
+//! strongly-typed vocabulary used by every other crate so that, e.g., a
+//! [`PolicyVersion`] can never be confused with a [`DataVersion`].
+//!
+//! # Examples
+//!
+//! ```
+//! use safetx_types::{ServerId, Timestamp, Duration};
+//!
+//! let s = ServerId::new(3);
+//! let t = Timestamp::ZERO + Duration::from_millis(5);
+//! assert_eq!(s.index(), 3);
+//! assert_eq!(t.as_micros(), 5_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod time;
+
+pub use ids::{
+    AdminDomain, CaId, CredentialId, DataItemId, PolicyId, ServerId, TmId, TxnId, UserId,
+};
+pub use time::{Duration, Timestamp};
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonically increasing version number of an authorization policy.
+///
+/// The paper defines `ver : P -> N`; a larger number always denotes a fresher
+/// policy within one [`AdminDomain`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PolicyVersion(pub u64);
+
+impl PolicyVersion {
+    /// The initial version every policy starts from.
+    pub const INITIAL: PolicyVersion = PolicyVersion(1);
+
+    /// Returns the next (strictly newer) version.
+    #[must_use]
+    pub fn next(self) -> PolicyVersion {
+        PolicyVersion(self.0 + 1)
+    }
+
+    /// Raw numeric value of the version.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PolicyVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Version of a data item inside the replicated store.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DataVersion(pub u64);
+
+impl DataVersion {
+    /// Returns the next (strictly newer) version.
+    #[must_use]
+    pub fn next(self) -> DataVersion {
+        DataVersion(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for DataVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_version_ordering_and_next() {
+        let v = PolicyVersion::INITIAL;
+        assert!(v.next() > v);
+        assert_eq!(v.next().get(), 2);
+        assert_eq!(format!("{}", v), "v1");
+    }
+
+    #[test]
+    fn data_version_next_is_monotone() {
+        let v = DataVersion::default();
+        assert!(v.next() > v);
+        assert_eq!(format!("{}", v.next()), "d1");
+    }
+
+    #[test]
+    fn types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PolicyVersion>();
+        assert_send_sync::<DataVersion>();
+        assert_send_sync::<ServerId>();
+        assert_send_sync::<Timestamp>();
+    }
+}

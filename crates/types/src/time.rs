@@ -1,0 +1,241 @@
+//! Simulated time.
+//!
+//! All protocol components run against a logical clock measured in integer
+//! microseconds. The paper writes `α(T)` for a transaction's start time and
+//! `ω(T)` for its commit-ready time; both are [`Timestamp`]s here.
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulated timeline, in microseconds since the epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The simulation epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest representable instant.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from raw microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// Creates a timestamp from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        Timestamp(millis.saturating_mul(1_000))
+    }
+
+    /// Microseconds since the epoch.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn duration_since(self, earlier: Timestamp) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    #[must_use]
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+impl std::ops::Add<Duration> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(
+            self.0
+                .checked_add(rhs.0)
+                .expect("timestamp addition overflowed"),
+        )
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+
+    fn sub(self, rhs: Timestamp) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{:03}ms", self.0 / 1_000, self.0 % 1_000)
+    }
+}
+
+/// A span of simulated time, in integer microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from raw microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration(millis.saturating_mul(1_000))
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs.saturating_mul(1_000_000))
+    }
+
+    /// Microseconds in this span.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in this span (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds in this span.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiplies the span by an integer factor, saturating.
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
+    /// True when the span is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("duration addition overflowed"),
+        )
+    }
+}
+
+impl std::ops::AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Mul<u64> for Duration {
+    type Output = Duration;
+
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(
+            self.0
+                .checked_mul(rhs)
+                .expect("duration multiplication overflowed"),
+        )
+    }
+}
+
+impl std::ops::Div<u64> for Duration {
+    type Output = Duration;
+
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{:03}ms", self.0 / 1_000, self.0 % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_millis(2);
+        let d = Duration::from_micros(500);
+        assert_eq!((t + d).as_micros(), 2_500);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - (t + d), Duration::ZERO, "duration_since saturates");
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::from_secs(1).as_millis(), 1_000);
+        assert_eq!(Duration::from_millis(3).as_micros(), 3_000);
+        assert!((Duration::from_micros(1_500_000).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: Duration = [1u64, 2, 3]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .sum();
+        assert_eq!(total.as_millis(), 6);
+        assert_eq!((total * 2).as_millis(), 12);
+        assert_eq!((total / 3).as_millis(), 2);
+    }
+
+    #[test]
+    fn display_formats_millis() {
+        assert_eq!(Timestamp::from_micros(1_234).to_string(), "1.234ms");
+        assert_eq!(Duration::from_micros(42).to_string(), "0.042ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn timestamp_add_overflow_panics() {
+        let _ = Timestamp::MAX + Duration::from_micros(1);
+    }
+}

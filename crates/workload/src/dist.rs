@@ -1,0 +1,164 @@
+//! Samplers used by the generator.
+
+use safetx_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the number of queries per transaction (`u`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryCount {
+    /// Every transaction has exactly this many queries.
+    Fixed(usize),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Minimum queries (inclusive), at least 1.
+        lo: usize,
+        /// Maximum queries (inclusive).
+        hi: usize,
+    },
+}
+
+impl QueryCount {
+    /// Draws a query count (always ≥ 1).
+    pub fn sample(self, rng: &mut SimRng) -> usize {
+        match self {
+            QueryCount::Fixed(u) => u.max(1),
+            QueryCount::Uniform { lo, hi } => {
+                let lo = lo.max(1);
+                let hi = hi.max(lo);
+                rng.range_u64(lo as u64, hi as u64 + 1) as usize
+            }
+        }
+    }
+
+    /// The mean of the distribution.
+    #[must_use]
+    pub fn mean(self) -> f64 {
+        match self {
+            QueryCount::Fixed(u) => u.max(1) as f64,
+            QueryCount::Uniform { lo, hi } => (lo.max(1) + hi.max(lo.max(1))) as f64 / 2.0,
+        }
+    }
+}
+
+/// Zipf-distributed selection over `0..n` (rank 0 most popular), the
+/// standard model for skewed data access.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `s` (`s = 0` is
+    /// uniform; larger is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over zero items");
+        assert!(s >= 0.0 && s.is_finite(), "invalid zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never true: the constructor rejects `n == 0`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_query_count_is_fixed_and_positive() {
+        let mut rng = SimRng::new(0);
+        assert_eq!(QueryCount::Fixed(5).sample(&mut rng), 5);
+        assert_eq!(QueryCount::Fixed(0).sample(&mut rng), 1, "clamped to 1");
+        assert_eq!(QueryCount::Fixed(5).mean(), 5.0);
+    }
+
+    #[test]
+    fn uniform_query_count_stays_in_bounds() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..1_000 {
+            let u = QueryCount::Uniform { lo: 2, hi: 6 }.sample(&mut rng);
+            assert!((2..=6).contains(&u));
+        }
+        assert_eq!(QueryCount::Uniform { lo: 2, hi: 6 }.mean(), 4.0);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = SimRng::new(2);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_prefers_low_ranks() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = SimRng::new(3);
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        assert!(
+            head > n / 2,
+            "top-10 of 100 should draw most samples, got {head}/{n}"
+        );
+    }
+
+    #[test]
+    fn zipf_samples_are_in_range() {
+        let zipf = Zipf::new(7, 0.9);
+        let mut rng = SimRng::new(4);
+        for _ in 0..1_000 {
+            assert!(zipf.sample(&mut rng) < 7);
+        }
+        assert_eq!(zipf.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zipf_rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! End-to-end scenario runner for the Section VI-B trade-off study.
+//!
+//! A scenario runs a generated workload under one scheme × consistency
+//! level while a Poisson **policy-update process** bumps the policy version
+//! (optionally with *breaking* updates that temporarily deny the workload's
+//! role) and an optional **revocation process** invalidates some
+//! transactions' credentials mid-flight. The result aggregates the numbers
+//! the paper's decision guidance is about: commit latency, abort rate,
+//! wasted work on rollbacks, messages and proofs.
+
+use crate::gen::{TxnGenerator, WorkloadConfig};
+use safetx_core::{Experiment, ExperimentConfig, ExperimentReport};
+use safetx_metrics::Histogram;
+use safetx_policy::{Atom, Constant, PolicyBuilder, RuleSet};
+use safetx_sim::SimRng;
+use safetx_types::{CaId, Duration, PolicyId, PolicyVersion, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The background policy-update process.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PolicyChurn {
+    /// Mean time between policy updates (`None` = frozen policy).
+    pub mean_update_interval: Option<Duration>,
+    /// Fraction of updates that are *breaking*: they deny the workload's
+    /// role for [`PolicyChurn::break_duration`], after which a restoring
+    /// version is published.
+    pub breaking_fraction: f64,
+    /// How long a breaking update stays in force before the administrator
+    /// publishes the restoring version.
+    pub break_duration: Duration,
+}
+
+impl Default for PolicyChurn {
+    fn default() -> Self {
+        PolicyChurn {
+            mean_update_interval: None,
+            breaking_fraction: 0.0,
+            break_duration: Duration::from_millis(3),
+        }
+    }
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Deployment/protocol settings (server count is taken from the
+    /// workload).
+    pub experiment: ExperimentConfig,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Policy-update process.
+    pub churn: PolicyChurn,
+    /// Fraction of transactions whose credential is revoked shortly after
+    /// submission.
+    pub revoke_fraction: f64,
+    /// How long after submission the revocation lands.
+    pub revoke_after: Duration,
+    /// Modeled cost of undoing one already-executed query when a
+    /// transaction rolls back ("early detections of unsafe transactions can
+    /// save the system from going into expensive undo operations").
+    pub undo_cost_per_query: Duration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            experiment: ExperimentConfig::default(),
+            workload: WorkloadConfig::default(),
+            churn: PolicyChurn::default(),
+            revoke_fraction: 0.0,
+            revoke_after: Duration::from_millis(2),
+            undo_cost_per_query: Duration::ZERO,
+        }
+    }
+}
+
+/// Aggregated results of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Raw per-transaction records and counters.
+    pub report: ExperimentReport,
+    /// Latency of committed transactions, in milliseconds.
+    pub commit_latency_ms: Histogram,
+    /// Time spent on transactions that ended up aborting, in milliseconds.
+    pub wasted_ms: Histogram,
+    /// Aborts by reason.
+    pub aborts_by_reason: BTreeMap<String, usize>,
+}
+
+impl ScenarioResult {
+    /// Fraction of transactions that aborted.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let n = self.report.records.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.report.aborts() as f64 / n as f64
+        }
+    }
+
+    /// Mean commit latency in milliseconds (`None` when nothing committed).
+    #[must_use]
+    pub fn mean_commit_latency_ms(&self) -> Option<f64> {
+        self.commit_latency_ms.mean()
+    }
+
+    /// Total milliseconds burned by aborted transactions.
+    #[must_use]
+    pub fn total_wasted_ms(&self) -> f64 {
+        self.wasted_ms.count() as f64 * self.wasted_ms.mean().unwrap_or(0.0)
+    }
+
+    /// Mean paper-model messages per transaction.
+    #[must_use]
+    pub fn mean_messages(&self) -> f64 {
+        let n = self.report.records.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.report.totals().messages as f64 / n as f64
+        }
+    }
+
+    /// Mean proof evaluations per transaction.
+    #[must_use]
+    pub fn mean_proofs(&self) -> f64 {
+        let n = self.report.records.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.report.totals().proofs as f64 / n as f64
+        }
+    }
+
+    /// The decision metric used by the trade-off bench: average cost of one
+    /// *successful* transaction — total time invested (including wasted
+    /// aborts) divided by commits. Lower is better.
+    #[must_use]
+    pub fn cost_per_commit_ms(&self) -> f64 {
+        let commits = self.report.commits();
+        if commits == 0 {
+            return f64::INFINITY;
+        }
+        let committed_ms =
+            self.commit_latency_ms.count() as f64 * self.commit_latency_ms.mean().unwrap_or(0.0);
+        (committed_ms + self.total_wasted_ms()) / commits as f64
+    }
+}
+
+/// The permissive rule set: any `member` may read or write `records`.
+fn member_rules() -> RuleSet {
+    "grant(read, records) :- role(U, member).\n\
+     grant(write, records) :- role(U, member)."
+        .parse()
+        .expect("static rules parse")
+}
+
+/// The breaking rule set: only `auditor`s may touch `records` (the
+/// workload's members are denied).
+fn auditor_rules() -> RuleSet {
+    "grant(read, records) :- role(U, auditor).\n\
+     grant(write, records) :- role(U, auditor)."
+        .parse()
+        .expect("static rules parse")
+}
+
+/// Runs one scenario to completion.
+///
+/// # Panics
+///
+/// Panics on configuration errors (zero servers, unparseable rules).
+#[must_use]
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
+    let mut exp_config = config.experiment.clone();
+    exp_config.servers = config.workload.servers;
+    let mut exp = Experiment::new(exp_config);
+
+    // Base policy v1, installed everywhere.
+    let policy_id = PolicyId::new(0);
+    let base = PolicyBuilder::new(policy_id, safetx_types::AdminDomain::new(0))
+        .rules(member_rules())
+        .build();
+    exp.catalog().publish(base.clone());
+    exp.install_everywhere(policy_id, PolicyVersion::INITIAL);
+
+    // Seed data.
+    let mut generator = TxnGenerator::new(config.workload.clone(), config.experiment.seed ^ 0xA5);
+    let seeds: Vec<_> = generator.initial_items().collect();
+    for (server, item, value) in seeds {
+        exp.seed_item(server, item, value);
+    }
+
+    // Policy-update schedule over the expected workload horizon.
+    let horizon = config
+        .workload
+        .mean_interarrival
+        .saturating_mul(config.workload.transactions as u64 + 10);
+    if let Some(mean) = config.churn.mean_update_interval {
+        let mut rng = SimRng::new(config.experiment.seed ^ 0xC0FFEE);
+        // Each Poisson update publishes a new version; breaking ones are
+        // restored by an extra publish `break_duration` later.
+        let mut events: Vec<(Duration, bool)> = Vec::new(); // (time, is_breaking)
+        let mut at = Duration::ZERO;
+        loop {
+            let gap = rng.exponential(mean.as_micros() as f64);
+            at += Duration::from_micros(gap.max(1.0) as u64);
+            if at > horizon {
+                break;
+            }
+            if rng.chance(config.churn.breaking_fraction) {
+                events.push((at, true));
+                events.push((at + config.churn.break_duration, false));
+            } else {
+                events.push((at, false));
+            }
+        }
+        events.sort_by_key(|&(t, _)| t);
+        let mut current = base.clone();
+        for (t, breaking) in events {
+            let rules = if breaking {
+                auditor_rules()
+            } else {
+                member_rules()
+            };
+            current = current.updated(rules);
+            exp.publish_policy(current.clone(), t);
+        }
+    }
+
+    // Transactions: one credential per transaction so revocations are
+    // independent.
+    let user = UserId::new(1);
+    let statement = Atom::fact(
+        "role",
+        vec![Constant::symbol("u1"), Constant::symbol("member")],
+    );
+    let schedule = generator.schedule(user);
+    let mut revoke_rng = SimRng::new(config.experiment.seed ^ 0xDEAD);
+    for (arrival, spec) in schedule {
+        let credential = exp.issue_credential(
+            user,
+            statement.clone(),
+            Timestamp::ZERO,
+            Timestamp::ZERO + horizon + horizon,
+        );
+        if config.revoke_fraction > 0.0 && revoke_rng.chance(config.revoke_fraction) {
+            let revoke_at = Timestamp::ZERO + arrival + config.revoke_after;
+            let id = credential.id();
+            exp.cas().with_mut(|registry| {
+                registry.revoke(CaId::new(0), id, revoke_at);
+            });
+        }
+        exp.submit(spec, vec![credential], arrival);
+    }
+
+    exp.run();
+    let report = exp.report();
+
+    let mut commit_latency_ms = Histogram::new();
+    let mut wasted_ms = Histogram::new();
+    let mut aborts_by_reason: BTreeMap<String, usize> = BTreeMap::new();
+    for record in &report.records {
+        let ms = record
+            .finished_at
+            .duration_since(record.started_at)
+            .as_micros() as f64
+            / 1_000.0;
+        if record.outcome.is_commit() {
+            commit_latency_ms.record(ms);
+        } else {
+            let undo_ms = config.undo_cost_per_query.as_micros() as f64 / 1_000.0
+                * record.queries_executed as f64;
+            wasted_ms.record(ms + undo_ms);
+            if let Some(reason) = record.outcome.abort_reason() {
+                *aborts_by_reason.entry(reason.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    ScenarioResult {
+        report,
+        commit_latency_ms,
+        wasted_ms,
+        aborts_by_reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_core::{ConsistencyLevel, ProofScheme};
+
+    fn quick_config(scheme: ProofScheme, level: ConsistencyLevel) -> ScenarioConfig {
+        ScenarioConfig {
+            experiment: ExperimentConfig {
+                scheme,
+                consistency: level,
+                seed: 11,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                transactions: 30,
+                servers: 3,
+                mean_interarrival: Duration::from_millis(20),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quiet_scenario_commits_everything() {
+        for scheme in ProofScheme::ALL {
+            let result = run_scenario(&quick_config(scheme, ConsistencyLevel::View));
+            assert_eq!(result.report.records.len(), 30, "{scheme}");
+            assert!(
+                result.abort_rate() < 0.2,
+                "{scheme}: abort rate {} (only lock conflicts expected)",
+                result.abort_rate()
+            );
+            assert!(result.mean_commit_latency_ms().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn breaking_churn_causes_aborts_without_unsafe_commits() {
+        let mut config = quick_config(ProofScheme::Deferred, ConsistencyLevel::View);
+        config.churn = PolicyChurn {
+            mean_update_interval: Some(Duration::from_millis(15)),
+            breaking_fraction: 0.5,
+            break_duration: Duration::from_millis(8),
+        };
+        let result = run_scenario(&config);
+        assert!(
+            result.report.aborts() > 0,
+            "breaking updates must cause rollbacks"
+        );
+        assert!(result
+            .aborts_by_reason
+            .contains_key("proof of authorization false"));
+    }
+
+    #[test]
+    fn revocations_abort_deferred_transactions() {
+        let mut config = quick_config(ProofScheme::Deferred, ConsistencyLevel::View);
+        config.revoke_fraction = 1.0;
+        config.revoke_after = Duration::ZERO;
+        let result = run_scenario(&config);
+        assert_eq!(result.report.commits(), 0, "every credential was revoked");
+    }
+
+    #[test]
+    fn continuous_pays_more_messages_than_deferred() {
+        let deferred = run_scenario(&quick_config(ProofScheme::Deferred, ConsistencyLevel::View));
+        let continuous = run_scenario(&quick_config(
+            ProofScheme::Continuous,
+            ConsistencyLevel::View,
+        ));
+        assert!(
+            continuous.mean_messages() > deferred.mean_messages(),
+            "continuous {} <= deferred {}",
+            continuous.mean_messages(),
+            deferred.mean_messages()
+        );
+    }
+
+    #[test]
+    fn cost_metric_is_infinite_without_commits() {
+        let mut config = quick_config(ProofScheme::Punctual, ConsistencyLevel::View);
+        config.revoke_fraction = 1.0;
+        config.revoke_after = Duration::ZERO;
+        let result = run_scenario(&config);
+        assert!(result.cost_per_commit_ms().is_infinite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_scenario(&quick_config(
+            ProofScheme::Punctual,
+            ConsistencyLevel::Global,
+        ));
+        let b = run_scenario(&quick_config(
+            ProofScheme::Punctual,
+            ConsistencyLevel::Global,
+        ));
+        assert_eq!(a.report.records.len(), b.report.records.len());
+        assert_eq!(a.report.totals(), b.report.totals());
+        assert_eq!(a.abort_rate(), b.abort_rate());
+    }
+}

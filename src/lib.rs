@@ -1,0 +1,108 @@
+//! # safetx — policy- and data-consistent cloud transactions
+//!
+//! A from-scratch implementation of *Enforcing Policy and Data Consistency
+//! of Cloud Transactions* (Iskander, Wilkinson, Lee, Chrysanthis — ICDCS
+//! 2011): the Two-Phase Validation (2PV) and Two-Phase Validation Commit
+//! (2PVC) protocols, the four proof-of-authorization schemes (Deferred,
+//! Punctual, Incremental Punctual, Continuous), and every substrate they
+//! need — a Datalog-style authorization engine with credentials and CAs, a
+//! replicated store with eventual consistency, classic 2PC with recovery,
+//! and a deterministic discrete-event cloud simulator.
+//!
+//! This facade crate re-exports the workspace's public API under stable
+//! module names. See `DESIGN.md` for the full system inventory and
+//! `EXPERIMENTS.md` for the reproduction of the paper's Table I and the
+//! Section VI-B trade-off study.
+//!
+//! # Quickstart
+//!
+//! Run the end-to-end example (`cargo run --example quickstart`), or in
+//! code: build a deployment, publish a policy, certify a user and commit a
+//! transaction with 2PVC:
+//!
+//! ```
+//! use safetx::core::{Experiment, ExperimentConfig, ProofScheme, ConsistencyLevel};
+//! use safetx::policy::{Atom, Constant, PolicyBuilder};
+//! use safetx::txn::{Operation, QuerySpec, TransactionSpec};
+//! use safetx::types::*;
+//!
+//! let mut exp = Experiment::new(ExperimentConfig {
+//!     servers: 2,
+//!     scheme: ProofScheme::Punctual,
+//!     consistency: ConsistencyLevel::View,
+//!     ..Default::default()
+//! });
+//! let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+//!     .rules_text("grant(read, records) :- role(U, member).")
+//!     .expect("rules parse")
+//!     .build();
+//! exp.catalog().publish(policy);
+//! exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+//! let credential = exp.issue_credential(
+//!     UserId::new(1),
+//!     Atom::fact("role", vec![Constant::symbol("u1"), Constant::symbol("member")]),
+//!     Timestamp::ZERO,
+//!     Timestamp::MAX,
+//! );
+//! let spec = TransactionSpec::new(
+//!     TxnId::new(1),
+//!     UserId::new(1),
+//!     vec![
+//!         QuerySpec::new(ServerId::new(0), "read", "records",
+//!                        vec![Operation::Read(DataItemId::new(0))]),
+//!         QuerySpec::new(ServerId::new(1), "read", "records",
+//!                        vec![Operation::Read(DataItemId::new(1))]),
+//!     ],
+//! );
+//! exp.submit(spec, vec![credential], Duration::ZERO);
+//! exp.run();
+//! assert!(exp.report().records[0].outcome.is_commit());
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Shared id and time newtypes (`ServerId`, `Timestamp`, `PolicyVersion`, …).
+pub mod types {
+    pub use safetx_types::*;
+}
+
+/// Credentials, CAs, policies and proofs of authorization (paper §III).
+pub mod policy {
+    pub use safetx_policy::*;
+}
+
+/// Deterministic discrete-event simulator.
+pub mod sim {
+    pub use safetx_sim::*;
+}
+
+/// Versioned replicated storage with locks, WAL and integrity constraints.
+pub mod store {
+    pub use safetx_store::*;
+}
+
+/// Classic two-phase commit state machines and recovery (paper §V-B).
+pub mod txn {
+    pub use safetx_txn::*;
+}
+
+/// The paper's contribution: consistency levels, trusted/safe transactions,
+/// 2PV, 2PVC and the four enforcement schemes (paper §III–§VI).
+pub mod core {
+    pub use safetx_core::*;
+}
+
+/// Workload generation for the evaluation (paper §VI-B).
+pub mod workload {
+    pub use safetx_workload::*;
+}
+
+/// Threaded in-process deployment of the same protocol state machines.
+pub mod runtime {
+    pub use safetx_runtime::*;
+}
+
+/// Counters, histograms and table rendering used by the benches.
+pub mod metrics {
+    pub use safetx_metrics::*;
+}

@@ -1,0 +1,134 @@
+//! The unsafe baseline (Section II's system: capabilities + plain 2PC)
+//! commits the Figure-1 transaction; every 2PVC scheme refuses.
+
+use safetx::core::{
+    trusted, ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme, TxnRecord,
+};
+use safetx::policy::{Atom, Constant, PolicyBuilder};
+use safetx::store::Value;
+use safetx::txn::{Operation, QuerySpec, TransactionSpec};
+use safetx::types::{
+    AdminDomain, CaId, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId,
+    UserId,
+};
+
+/// Bob's Figure-1 run: credential revoked after the first query was granted
+/// (and its capability issued), before the second query executes.
+fn figure_one(unsafe_baseline: bool, scheme: ProofScheme) -> TxnRecord {
+    let mut exp = Experiment::new(ExperimentConfig {
+        servers: 2,
+        scheme,
+        consistency: ConsistencyLevel::View,
+        gossip: false,
+        unsafe_baseline,
+        ..Default::default()
+    });
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, sales_rep).\n\
+             grant(write, records) :- role(U, sales_rep).",
+        )
+        .unwrap()
+        .build();
+    exp.catalog().publish(policy);
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    exp.seed_item(ServerId::new(1), DataItemId::new(1), Value::Int(9));
+    let cred = exp.issue_credential(
+        UserId::new(7),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("bob"), Constant::symbol("sales_rep")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    let cred_id = cred.id();
+    let spec = TransactionSpec::new(
+        TxnId::new(1),
+        UserId::new(7),
+        vec![
+            QuerySpec::new(
+                ServerId::new(0),
+                "read",
+                "records",
+                vec![Operation::Read(DataItemId::new(0))],
+            ),
+            // The paper's inventory access honors Bob's previously issued
+            // *read* credential, so the hazard needs a matching action.
+            QuerySpec::new(
+                ServerId::new(1),
+                "read",
+                "records",
+                vec![Operation::Read(DataItemId::new(1))],
+            ),
+        ],
+    );
+    exp.submit(spec, vec![cred], Duration::ZERO);
+    // Query 1's proof lands at ~1 ms; revoke right after, before query 2.
+    exp.cas().with_mut(|registry| {
+        registry.revoke(CaId::new(0), cred_id, Timestamp::from_micros(1_500));
+    });
+    exp.run();
+    exp.report().records[0].clone()
+}
+
+#[test]
+fn baseline_commits_the_figure_one_hazard() {
+    let record = figure_one(true, ProofScheme::Punctual);
+    assert!(
+        record.outcome.is_commit(),
+        "the capability shortcut lets the baseline commit: {:?}",
+        record.outcome
+    );
+    // And the commit is demonstrably untrustworthy: a granted proof exists
+    // after the revocation instant.
+    assert!(
+        record
+            .view
+            .latest_per_proof()
+            .iter()
+            .any(|p| p.truth() && p.evaluated_at >= Timestamp::from_micros(1_500)),
+        "the unsafe grant must be visible in the recorded view"
+    );
+}
+
+#[test]
+fn every_scheme_rejects_the_figure_one_hazard() {
+    for scheme in ProofScheme::ALL {
+        let record = figure_one(false, scheme);
+        assert!(
+            !record.outcome.is_commit(),
+            "{scheme} must abort Bob's transaction: {:?}",
+            record.outcome
+        );
+    }
+}
+
+#[test]
+fn baseline_commit_fails_the_posthoc_trust_audit_when_re_evaluated() {
+    // The baseline's own recorded view *claims* granted proofs (that is the
+    // deception); a ground-truth re-audit against the CA exposes it.
+    let record = figure_one(true, ProofScheme::Punctual);
+    assert!(record.outcome.is_commit());
+    // The view's φ-consistency may hold — the versions agree — which is
+    // exactly why capability shortcuts are dangerous: the *structure* looks
+    // trusted while the credential was revoked.
+    let _ = trusted::is_trusted(
+        &record.view,
+        ConsistencyLevel::View,
+        &std::collections::BTreeMap::new(),
+    );
+    // Ground truth: the revocation precedes the second proof.
+    let second = record
+        .view
+        .latest_per_proof()
+        .into_iter()
+        .find(|p| p.server == ServerId::new(1))
+        .expect("second proof recorded")
+        .clone();
+    assert!(second.evaluated_at >= Timestamp::from_micros(1_500));
+    assert!(
+        second.credentials.is_empty(),
+        "granted with no credentials checked — the capability shortcut"
+    );
+}

@@ -1,0 +1,336 @@
+//! Cross-crate integration tests: full scheme × consistency matrix on the
+//! simulated cloud, audited against the paper's formal definitions.
+
+use safetx::core::{
+    trusted, CloudServerActor, ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme,
+    TxnRecord,
+};
+use safetx::policy::{Atom, Constant, Policy, PolicyBuilder};
+use safetx::store::Value;
+use safetx::txn::{Operation, QuerySpec, TransactionSpec};
+use safetx::types::{
+    AdminDomain, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId,
+};
+
+fn member_policy() -> Policy {
+    PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member).",
+        )
+        .unwrap()
+        .build()
+}
+
+fn txn(n: usize) -> TransactionSpec {
+    let queries = (0..n)
+        .map(|i| {
+            QuerySpec::new(
+                ServerId::new(i as u64),
+                if i % 2 == 0 { "read" } else { "write" },
+                "records",
+                vec![if i % 2 == 0 {
+                    Operation::Read(DataItemId::new(i as u64))
+                } else {
+                    Operation::Add(DataItemId::new(i as u64), 1)
+                }],
+            )
+        })
+        .collect();
+    TransactionSpec::new(TxnId::new(1), UserId::new(1), queries)
+}
+
+fn run_matrix_case(
+    scheme: ProofScheme,
+    level: ConsistencyLevel,
+    servers: usize,
+) -> (Experiment, TxnRecord) {
+    let mut exp = Experiment::new(ExperimentConfig {
+        servers,
+        scheme,
+        consistency: level,
+        ..Default::default()
+    });
+    exp.catalog().publish(member_policy());
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    for i in 0..servers {
+        exp.seed_item(
+            ServerId::new(i as u64),
+            DataItemId::new(i as u64),
+            Value::Int(10),
+        );
+    }
+    let cred = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    exp.submit(txn(servers), vec![cred], Duration::ZERO);
+    exp.run();
+    let record = exp.report().records[0].clone();
+    (exp, record)
+}
+
+#[test]
+fn committed_transactions_are_trusted_per_definition_4() {
+    for scheme in ProofScheme::ALL {
+        for level in ConsistencyLevel::ALL {
+            let (exp, record) = run_matrix_case(scheme, level, 4);
+            assert!(record.outcome.is_commit(), "{scheme}/{level}");
+            assert!(
+                trusted::is_trusted(&record.view, level, exp.catalog()),
+                "{scheme}/{level}: committed view must satisfy Definition 4"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_views_are_prefix_consistent_per_definition_8() {
+    for level in ConsistencyLevel::ALL {
+        let (exp, record) = run_matrix_case(ProofScheme::IncrementalPunctual, level, 4);
+        assert!(record.outcome.is_commit());
+        assert!(
+            trusted::prefixes_consistent(&record.view, level, exp.catalog()),
+            "{level}: every view instance must already be consistent"
+        );
+    }
+}
+
+#[test]
+fn continuous_views_re_evaluate_all_prior_proofs_per_definition_9() {
+    let (_, record) = run_matrix_case(ProofScheme::Continuous, ConsistencyLevel::View, 4);
+    assert!(record.outcome.is_commit());
+    assert!(
+        trusted::continuous_coverage(&record.view),
+        "each new proof instant must re-evaluate every earlier proof"
+    );
+    // u(u+1)/2 evaluations for u = 4 distinct servers.
+    assert_eq!(record.view.len(), 10);
+}
+
+#[test]
+fn commit_applies_writes_atomically_across_participants() {
+    let (exp, record) = run_matrix_case(ProofScheme::Punctual, ConsistencyLevel::View, 4);
+    assert!(record.outcome.is_commit());
+    // Writes at odd-indexed servers applied; even-indexed untouched reads.
+    for i in 0..4u64 {
+        let node = exp.book().server_node(ServerId::new(i));
+        let server = exp.world().actor::<CloudServerActor>(node).unwrap();
+        let expected = if i % 2 == 1 { 11 } else { 10 };
+        assert_eq!(
+            server.store().read_int(DataItemId::new(i)),
+            Some(expected),
+            "server {i}"
+        );
+    }
+}
+
+#[test]
+fn stale_policy_with_breaking_change_aborts_instead_of_unsafe_commit() {
+    // The Fig. 1 condition: v2 restricts access, one replica still at v1.
+    for scheme in ProofScheme::ALL {
+        let mut exp = Experiment::new(ExperimentConfig {
+            servers: 3,
+            scheme,
+            consistency: ConsistencyLevel::View,
+            gossip: false,
+            ..Default::default()
+        });
+        let p1 = member_policy();
+        let p2 = p1.updated(
+            "grant(read, records) :- role(U, manager).\n\
+             grant(write, records) :- role(U, manager)."
+                .parse()
+                .unwrap(),
+        );
+        exp.catalog().publish(p1);
+        exp.catalog().publish(p2);
+        // Replica 0 has the new restrictive policy; 1 and 2 are stale.
+        exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+        exp.install_at(ServerId::new(0), PolicyId::new(0), PolicyVersion(2));
+        for i in 0..3 {
+            exp.seed_item(
+                ServerId::new(i as u64),
+                DataItemId::new(i as u64),
+                Value::Int(10),
+            );
+        }
+        let cred = exp.issue_credential(
+            UserId::new(1),
+            Atom::fact(
+                "role",
+                vec![Constant::symbol("u1"), Constant::symbol("member")],
+            ),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+        );
+        exp.submit(txn(3), vec![cred], Duration::ZERO);
+        exp.run();
+        let record = &exp.report().records[0];
+        assert!(
+            !record.outcome.is_commit(),
+            "{scheme}: stale-policy authorization must not commit"
+        );
+    }
+}
+
+#[test]
+fn global_consistency_rejects_what_view_accepts() {
+    // All replicas agree on v1 but the master knows v2 (not yet gossiped):
+    // view consistency commits (internally consistent snapshot), global
+    // forces the update — and v2 still grants, so it commits at v2.
+    let setup = |level| {
+        let mut exp = Experiment::new(ExperimentConfig {
+            servers: 2,
+            scheme: ProofScheme::Deferred,
+            consistency: level,
+            gossip: false,
+            ..Default::default()
+        });
+        let p1 = member_policy();
+        let p2 = p1.updated(p1.rules().clone()); // same rules, newer version
+        exp.catalog().publish(p1);
+        exp.catalog().publish(p2);
+        exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+        let cred = exp.issue_credential(
+            UserId::new(1),
+            Atom::fact(
+                "role",
+                vec![Constant::symbol("u1"), Constant::symbol("member")],
+            ),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+        );
+        exp.submit(txn(2), vec![cred], Duration::ZERO);
+        exp.run();
+        exp.report().records[0].clone()
+    };
+
+    let view = setup(ConsistencyLevel::View);
+    assert!(view.outcome.is_commit());
+    let used: Vec<_> = view.view.versions_used().into_values().collect();
+    assert!(
+        used[0].contains(&PolicyVersion(1)),
+        "view commits at stale v1"
+    );
+
+    let global = setup(ConsistencyLevel::Global);
+    assert!(global.outcome.is_commit());
+    let used: Vec<_> = global.view.versions_used().into_values().collect();
+    assert!(
+        used[0].contains(&PolicyVersion(2)),
+        "global consistency forces the latest version"
+    );
+    assert_eq!(global.metrics.rounds, 2, "one update round was needed");
+}
+
+#[test]
+fn single_server_transaction_works_for_every_scheme() {
+    for scheme in ProofScheme::ALL {
+        let (_, record) = run_matrix_case(scheme, ConsistencyLevel::View, 1);
+        assert!(record.outcome.is_commit(), "{scheme}: n = 1");
+    }
+}
+
+#[test]
+fn repeated_server_queries_share_one_participant() {
+    // Two queries on the same server: n = 1 participant, u = 2 queries.
+    let mut exp = Experiment::new(ExperimentConfig::default());
+    exp.catalog().publish(member_policy());
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    exp.seed_item(ServerId::new(0), DataItemId::new(0), Value::Int(0));
+    let cred = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    let spec = TransactionSpec::new(
+        TxnId::new(1),
+        UserId::new(1),
+        vec![
+            QuerySpec::new(
+                ServerId::new(0),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(0), 5)],
+            ),
+            QuerySpec::new(
+                ServerId::new(0),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(0), 7)],
+            ),
+        ],
+    );
+    exp.submit(spec, vec![cred], Duration::ZERO);
+    exp.run();
+    let record = &exp.report().records[0];
+    assert!(record.outcome.is_commit());
+    let node = exp.book().server_node(ServerId::new(0));
+    let server = exp.world().actor::<CloudServerActor>(node).unwrap();
+    assert_eq!(
+        server.store().read_int(DataItemId::new(0)),
+        Some(12),
+        "both increments applied once"
+    );
+}
+
+#[test]
+fn global_commit_chases_mid_commit_publishes_across_rounds() {
+    // Deferred/global, 2 servers, no gossip. Timeline with 1 ms links:
+    // queries finish ~4 ms; Prepare-to-Commit and the master version
+    // request go out at 4 ms. Publishing v2 at 4.5 ms makes the master's
+    // first answer (processed at 5 ms) already newer than the replicas'
+    // votes → update round. Publishing v3 at 6.5 ms beats the second
+    // master refresh → a third collection round. The commit then lands on
+    // v3: live evidence of §V-A's "theoretically infinite" rounds under
+    // per-round master refresh.
+    let mut exp = Experiment::new(ExperimentConfig {
+        servers: 2,
+        scheme: ProofScheme::Deferred,
+        consistency: ConsistencyLevel::Global,
+        gossip: false,
+        ..Default::default()
+    });
+    let p1 = member_policy();
+    let p2 = p1.updated(p1.rules().clone());
+    let p3 = p2.updated(p2.rules().clone());
+    exp.catalog().publish(p1);
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    exp.seed_item(ServerId::new(0), DataItemId::new(0), Value::Int(1));
+    exp.seed_item(ServerId::new(1), DataItemId::new(1), Value::Int(1));
+    let cred = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    exp.submit(txn(2), vec![cred], Duration::ZERO);
+    exp.publish_policy(p2, Duration::from_micros(4_500));
+    exp.publish_policy(p3, Duration::from_micros(6_500));
+    exp.run();
+    let record = &exp.report().records[0];
+    assert!(record.outcome.is_commit(), "{:?}", record.outcome);
+    assert!(
+        record.metrics.rounds >= 3,
+        "two mid-commit publishes force at least three collection rounds, got {}",
+        record.metrics.rounds
+    );
+    let versions = record.view.versions_used();
+    assert!(
+        versions[&PolicyId::new(0)].contains(&PolicyVersion(3)),
+        "the commit must land on the freshest version: {versions:?}"
+    );
+}

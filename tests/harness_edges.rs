@@ -1,0 +1,288 @@
+//! Edge-case integration tests for the harness and TM pipeline that the
+//! main scenario tests don't reach.
+
+use safetx::core::{
+    CloudServerActor, ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme, TmActor,
+};
+use safetx::policy::{Atom, Constant, PolicyBuilder};
+use safetx::sim::{LatencyModel, NetworkConfig};
+use safetx::store::{IntegrityConstraint, Value};
+use safetx::txn::{Operation, QuerySpec, TransactionSpec};
+use safetx::types::{
+    AdminDomain, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId,
+};
+
+fn setup(config: ExperimentConfig) -> Experiment {
+    let mut exp = Experiment::new(config);
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member).",
+        )
+        .unwrap()
+        .build();
+    exp.catalog().publish(policy);
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    exp
+}
+
+fn credential(exp: &mut Experiment) -> safetx::policy::Credential {
+    exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    )
+}
+
+#[test]
+fn stalled_transaction_without_watchdog_stays_active() {
+    // No commit_timeout configured and the only participant is down: the
+    // transaction can never finish — the TM must keep it active rather
+    // than invent an outcome.
+    let mut exp = setup(ExperimentConfig {
+        servers: 1,
+        scheme: ProofScheme::Deferred,
+        consistency: ConsistencyLevel::View,
+        commit_timeout: None,
+        ..Default::default()
+    });
+    let cred = credential(&mut exp);
+    let server = exp.book().server_node(ServerId::new(0));
+    exp.world_mut().schedule_crash(Duration::ZERO, server);
+    let spec = TransactionSpec::new(
+        TxnId::new(1),
+        UserId::new(1),
+        vec![QuerySpec::new(
+            ServerId::new(0),
+            "read",
+            "records",
+            vec![Operation::Read(DataItemId::new(0))],
+        )],
+    );
+    exp.submit(spec, vec![cred], Duration::ZERO);
+    exp.run();
+    let tm = exp.world().actor::<TmActor>(exp.book().tms[0]).unwrap();
+    assert_eq!(tm.completed().len(), 0, "no outcome can be fabricated");
+    assert_eq!(tm.active_count(), 1, "the transaction remains in flight");
+}
+
+#[test]
+fn watchdog_resolves_the_same_stall() {
+    let mut exp = setup(ExperimentConfig {
+        servers: 1,
+        scheme: ProofScheme::Deferred,
+        consistency: ConsistencyLevel::View,
+        commit_timeout: Some(Duration::from_millis(5)),
+        ..Default::default()
+    });
+    let cred = credential(&mut exp);
+    let server = exp.book().server_node(ServerId::new(0));
+    exp.world_mut().schedule_crash(Duration::ZERO, server);
+    let spec = TransactionSpec::new(
+        TxnId::new(1),
+        UserId::new(1),
+        vec![QuerySpec::new(
+            ServerId::new(0),
+            "read",
+            "records",
+            vec![Operation::Read(DataItemId::new(0))],
+        )],
+    );
+    exp.submit(spec, vec![cred], Duration::ZERO);
+    exp.run();
+    let report = exp.report();
+    assert_eq!(report.records.len(), 1);
+    assert_eq!(
+        report.records[0].outcome.abort_reason(),
+        Some(safetx::core::AbortReason::Timeout)
+    );
+}
+
+#[test]
+fn variable_latency_still_commits_deterministically() {
+    let run = |seed| {
+        let mut exp = setup(ExperimentConfig {
+            servers: 3,
+            scheme: ProofScheme::Continuous,
+            consistency: ConsistencyLevel::Global,
+            seed,
+            network: NetworkConfig {
+                latency: LatencyModel::Uniform {
+                    lo: Duration::from_micros(200),
+                    hi: Duration::from_micros(3_000),
+                },
+                drop_probability: 0.0,
+            },
+            ..Default::default()
+        });
+        let cred = credential(&mut exp);
+        let queries = (0..3)
+            .map(|i| {
+                QuerySpec::new(
+                    ServerId::new(i),
+                    "write",
+                    "records",
+                    vec![Operation::Add(DataItemId::new(i), 1)],
+                )
+            })
+            .collect();
+        for i in 0..3 {
+            exp.seed_item(ServerId::new(i), DataItemId::new(i), Value::Int(0));
+        }
+        exp.submit(
+            TransactionSpec::new(TxnId::new(1), UserId::new(1), queries),
+            vec![cred],
+            Duration::ZERO,
+        );
+        exp.run();
+        let record = exp.report().records[0].clone();
+        (record.outcome, record.metrics)
+    };
+    let (outcome_a, metrics_a) = run(77);
+    assert!(outcome_a.is_commit());
+    let (outcome_b, metrics_b) = run(77);
+    assert_eq!(outcome_a, outcome_b, "same seed, same simulated schedule");
+    assert_eq!(metrics_a, metrics_b);
+}
+
+#[test]
+fn integrity_constraint_no_vote_beats_version_divergence() {
+    // A NO vote and a stale replica at once: Algorithm 2 checks integrity
+    // first, so no update round is wasted on a doomed transaction.
+    let mut exp = setup(ExperimentConfig {
+        servers: 2,
+        scheme: ProofScheme::Deferred,
+        consistency: ConsistencyLevel::View,
+        gossip: false,
+        ..Default::default()
+    });
+    // Publish a same-rules v2 known only to server 0.
+    let v2 = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .version(PolicyVersion(2))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member).",
+        )
+        .unwrap()
+        .build();
+    exp.catalog().publish(v2);
+    exp.install_at(ServerId::new(0), PolicyId::new(0), PolicyVersion(2));
+    // Server 1 will veto on integrity: item must stay non-negative.
+    exp.seed_item(ServerId::new(1), DataItemId::new(1), Value::Int(0));
+    exp.add_constraint(
+        ServerId::new(1),
+        IntegrityConstraint::NonNegative(DataItemId::new(1)),
+    );
+    let cred = credential(&mut exp);
+    let spec = TransactionSpec::new(
+        TxnId::new(1),
+        UserId::new(1),
+        vec![
+            QuerySpec::new(
+                ServerId::new(0),
+                "read",
+                "records",
+                vec![Operation::Read(DataItemId::new(0))],
+            ),
+            QuerySpec::new(
+                ServerId::new(1),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(1), -5)],
+            ),
+        ],
+    );
+    exp.submit(spec, vec![cred], Duration::ZERO);
+    exp.run();
+    let record = &exp.report().records[0];
+    assert_eq!(
+        record.outcome.abort_reason(),
+        Some(safetx::core::AbortReason::IntegrityViolation)
+    );
+    assert_eq!(record.metrics.rounds, 1, "no update round for a NO vote");
+}
+
+#[test]
+fn continuous_with_repeated_servers_counts_participants_not_queries() {
+    // Four queries on two servers: per-query 2PV contacts at most two
+    // participants, so messages stay well under the distinct-server worst
+    // case u(u+1).
+    let mut exp = setup(ExperimentConfig {
+        servers: 2,
+        scheme: ProofScheme::Continuous,
+        consistency: ConsistencyLevel::View,
+        ..Default::default()
+    });
+    exp.seed_item(ServerId::new(0), DataItemId::new(0), Value::Int(0));
+    exp.seed_item(ServerId::new(1), DataItemId::new(1), Value::Int(0));
+    let cred = credential(&mut exp);
+    let queries = (0..4u64)
+        .map(|i| {
+            QuerySpec::new(
+                ServerId::new(i % 2),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(i % 2), 1)],
+            )
+        })
+        .collect();
+    exp.submit(
+        TransactionSpec::new(TxnId::new(1), UserId::new(1), queries),
+        vec![cred],
+        Duration::ZERO,
+    );
+    exp.run();
+    let record = &exp.report().records[0];
+    assert!(record.outcome.is_commit());
+    // 2PV contacts: 1 + 2 + 2 + 2 participants = 7 requests + 7 replies;
+    // commit adds 4n = 8. Total 22 < u(u+1) + 4n = 28.
+    assert_eq!(record.metrics.messages, 22);
+    // Proofs: rounds of sizes 1, 2, 3, 4 split across two servers = 10.
+    assert_eq!(record.metrics.proofs, 10);
+    // Both writes per server applied (two queries each adding 1).
+    let node = exp.book().server_node(ServerId::new(0));
+    let server = exp.world().actor::<CloudServerActor>(node).unwrap();
+    assert_eq!(server.store().read_int(DataItemId::new(0)), Some(2));
+}
+
+#[test]
+fn retransmitted_begin_does_not_restart_a_transaction() {
+    let mut exp = setup(ExperimentConfig {
+        servers: 1,
+        scheme: ProofScheme::Deferred,
+        consistency: ConsistencyLevel::View,
+        ..Default::default()
+    });
+    exp.seed_item(ServerId::new(0), DataItemId::new(0), Value::Int(0));
+    let cred = credential(&mut exp);
+    let spec = TransactionSpec::new(
+        TxnId::new(1),
+        UserId::new(1),
+        vec![QuerySpec::new(
+            ServerId::new(0),
+            "write",
+            "records",
+            vec![Operation::Add(DataItemId::new(0), 1)],
+        )],
+    );
+    // The same Begin arrives twice (e.g. a client retry): once mid-flight
+    // and once after completion.
+    exp.submit(spec.clone(), vec![cred.clone()], Duration::ZERO);
+    exp.submit(spec.clone(), vec![cred.clone()], Duration::from_micros(500));
+    exp.run();
+    exp.submit(spec, vec![cred], Duration::ZERO);
+    exp.run();
+    let report = exp.report();
+    assert_eq!(report.records.len(), 1, "one record for one transaction id");
+    let node = exp.book().server_node(ServerId::new(0));
+    let server = exp.world().actor::<CloudServerActor>(node).unwrap();
+    assert_eq!(
+        server.store().read_int(DataItemId::new(0)),
+        Some(1),
+        "the write applied exactly once"
+    );
+}

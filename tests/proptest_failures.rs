@@ -1,0 +1,177 @@
+//! Crash-point fuzzing: crash a random participant (or the TM) at a random
+//! instant during a transaction, restart it later, and assert the system
+//! converges to an atomic, agreed outcome.
+//!
+//! This is the recovery half of the paper's Section V-C ("being able to
+//! handle failures is critical") under randomized schedules rather than
+//! hand-picked ones.
+
+use proptest::prelude::*;
+use safetx::core::{CloudServerActor, ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme};
+use safetx::policy::{Atom, Constant, PolicyBuilder};
+use safetx::store::Value;
+use safetx::txn::{CommitVariant, Operation, QuerySpec, TransactionSpec};
+use safetx::types::{
+    AdminDomain, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId,
+};
+
+#[derive(Debug, Clone)]
+struct CrashPlan {
+    scheme_index: usize,
+    variant_index: usize,
+    servers: usize,
+    /// Which node crashes: 0..servers = that server, servers = the TM.
+    victim: usize,
+    /// Crash instant in microseconds (commit of a 3-server txn finishes
+    /// around 8–25 ms depending on scheme).
+    crash_at: u64,
+    /// Downtime in microseconds.
+    down_for: u64,
+}
+
+fn plan() -> impl Strategy<Value = CrashPlan> {
+    (0usize..4, 0usize..3, 2usize..4).prop_flat_map(|(scheme_index, variant_index, servers)| {
+        (
+            Just(scheme_index),
+            Just(variant_index),
+            Just(servers),
+            0usize..=servers,
+            0u64..30_000,
+            1_000u64..40_000,
+        )
+            .prop_map(
+                |(scheme_index, variant_index, servers, victim, crash_at, down_for)| CrashPlan {
+                    scheme_index,
+                    variant_index,
+                    servers,
+                    victim,
+                    crash_at,
+                    down_for,
+                },
+            )
+    })
+}
+
+const VARIANTS: [CommitVariant; 3] = [
+    CommitVariant::Standard,
+    CommitVariant::PresumedAbort,
+    CommitVariant::PresumedCommit,
+];
+
+fn run(plan: &CrashPlan) -> (Experiment, Vec<Option<i64>>) {
+    let scheme = ProofScheme::ALL[plan.scheme_index];
+    let mut exp = Experiment::new(ExperimentConfig {
+        servers: plan.servers,
+        scheme,
+        consistency: ConsistencyLevel::View,
+        variant: VARIANTS[plan.variant_index],
+        commit_timeout: Some(Duration::from_millis(15)),
+        ..Default::default()
+    });
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text("grant(write, records) :- role(U, member).")
+        .unwrap()
+        .build();
+    exp.catalog().publish(policy);
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    for i in 0..plan.servers {
+        exp.seed_item(
+            ServerId::new(i as u64),
+            DataItemId::new(i as u64),
+            Value::Int(0),
+        );
+    }
+    let cred = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    let queries = (0..plan.servers)
+        .map(|i| {
+            QuerySpec::new(
+                ServerId::new(i as u64),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(i as u64), 1)],
+            )
+        })
+        .collect();
+    exp.submit(
+        TransactionSpec::new(TxnId::new(1), UserId::new(1), queries),
+        vec![cred],
+        Duration::ZERO,
+    );
+
+    let victim_node = if plan.victim < plan.servers {
+        exp.book().server_node(ServerId::new(plan.victim as u64))
+    } else {
+        exp.book().tms[0]
+    };
+    exp.world_mut()
+        .schedule_crash(Duration::from_micros(plan.crash_at), victim_node);
+    exp.world_mut().schedule_restart(
+        Duration::from_micros(plan.crash_at + plan.down_for),
+        victim_node,
+    );
+    exp.run();
+
+    let values = (0..plan.servers)
+        .map(|i| {
+            let node = exp.book().server_node(ServerId::new(i as u64));
+            exp.world()
+                .actor::<CloudServerActor>(node)
+                .unwrap()
+                .store()
+                .read_int(DataItemId::new(i as u64))
+        })
+        .collect();
+    (exp, values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Atomicity survives any single crash/restart: after quiescence every
+    /// participant applied the write (commit) or none did (abort), and the
+    /// surviving TM record agrees when it exists.
+    #[test]
+    fn single_crash_preserves_atomicity(plan in plan()) {
+        let (exp, values) = run(&plan);
+        let applied: Vec<bool> = values.iter().map(|v| *v == Some(1)).collect();
+        let all = applied.iter().all(|&a| a);
+        let none = applied.iter().all(|&a| !a);
+        prop_assert!(
+            all || none,
+            "divergent stores {values:?} under {plan:?}"
+        );
+        // When the TM kept its volatile record (it did not crash, or
+        // crashed after completion), the record matches the stores.
+        let report = exp.report();
+        if let Some(record) = report.records.first() {
+            prop_assert_eq!(
+                record.outcome.is_commit(),
+                all,
+                "TM outcome disagrees with stores under {:?}: {:?} vs {:?}",
+                plan, record.outcome, values
+            );
+        }
+        // No server holds leftover transaction state or locks.
+        for i in 0..plan.servers {
+            let node = exp.book().server_node(ServerId::new(i as u64));
+            let server = exp.world().actor::<CloudServerActor>(node).unwrap();
+            if exp.world().is_alive(node) && !report.records.is_empty() {
+                prop_assert_eq!(
+                    server.core().active_txns(),
+                    0,
+                    "server {} kept txn state under {:?}",
+                    i,
+                    plan
+                );
+            }
+        }
+    }
+}

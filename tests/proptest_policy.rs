@@ -1,0 +1,214 @@
+//! Property-based tests for the authorization substrate: parser round
+//! trips, inference-engine monotonicity and fixpoint laws, credential and
+//! consistency invariants.
+
+use proptest::prelude::*;
+use safetx::core::{phi_consistent, psi_consistent};
+use safetx::policy::{
+    Atom, CertificateAuthority, Constant, Engine, FactBase, ProofOfAuthorization, ProofOutcome,
+    Rule, RuleSet, StatusOracle, Term,
+};
+use safetx::types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, UserId};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------- grammar
+
+fn symbol() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "d", "east", "west"]).prop_map(str::to_owned)
+}
+
+fn predicate() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["p", "q", "role", "edge", "grant"]).prop_map(str::to_owned)
+}
+
+fn variable() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["X", "Y", "Z"]).prop_map(str::to_owned)
+}
+
+fn ground_atom() -> impl Strategy<Value = Atom> {
+    (
+        predicate(),
+        prop::collection::vec(
+            prop_oneof![
+                symbol().prop_map(Constant::symbol),
+                (-9i64..10).prop_map(Constant::Int),
+            ],
+            0..3,
+        ),
+    )
+        .prop_map(|(p, args)| Atom::fact(p, args))
+}
+
+/// A range-restricted rule: body atoms of constants and variables; the head
+/// uses only variables that occur in the body (or constants).
+fn valid_rule() -> impl Strategy<Value = Rule> {
+    let body_term = prop_oneof![
+        symbol().prop_map(Term::symbol),
+        variable().prop_map(Term::Var),
+    ];
+    let body_atom = (predicate(), prop::collection::vec(body_term, 0..3))
+        .prop_map(|(p, args)| Atom::new(p, args));
+    (
+        prop::collection::vec(body_atom, 1..4),
+        predicate(),
+        0usize..3,
+    )
+        .prop_map(|(body, head_pred, arity)| {
+            // Head arguments drawn from body variables, else constants.
+            let body_vars: Vec<String> = body
+                .iter()
+                .flat_map(Atom::variables)
+                .map(str::to_owned)
+                .collect();
+            let args: Vec<Term> = (0..arity)
+                .map(|i| {
+                    if !body_vars.is_empty() && i % 2 == 0 {
+                        Term::Var(body_vars[i % body_vars.len()].clone())
+                    } else {
+                        Term::symbol("k")
+                    }
+                })
+                .collect();
+            Rule::new(Atom::new(head_pred, args), body).expect("range restricted by construction")
+        })
+}
+
+proptest! {
+    /// Display → parse round trip for random well-formed rule sets.
+    #[test]
+    fn rules_round_trip_through_text(rules in prop::collection::vec(valid_rule(), 0..6)) {
+        let ruleset: RuleSet = rules.iter().cloned().collect();
+        let text = ruleset.to_string();
+        let reparsed: RuleSet = text.parse().expect("printed rules reparse");
+        prop_assert_eq!(ruleset, reparsed);
+    }
+
+    /// Facts round trip too.
+    #[test]
+    fn facts_round_trip_through_text(atom in ground_atom()) {
+        let printed = atom.to_string();
+        let reparsed = safetx::policy::FactBase::new();
+        let mut fb = reparsed;
+        fb.insert_text(&printed).expect("printed fact reparses");
+        prop_assert!(fb.contains(&atom));
+    }
+
+    /// Monotonicity: adding facts never removes derivable conclusions.
+    #[test]
+    fn saturation_is_monotone(
+        rules in prop::collection::vec(valid_rule(), 0..5),
+        base in prop::collection::vec(ground_atom(), 0..6),
+        extra in prop::collection::vec(ground_atom(), 0..4),
+    ) {
+        let engine = Engine::with_budget(20_000);
+        let small: FactBase = base.iter().cloned().collect();
+        let mut big = small.clone();
+        big.extend(extra.iter().cloned());
+        let rules: Vec<Rule> = rules;
+        let (Ok(sat_small), Ok(sat_big)) =
+            (engine.saturate(&rules, &small), engine.saturate(&rules, &big))
+        else {
+            // Budget exceeded on a pathological case: fine, skip.
+            return Ok(());
+        };
+        for fact in sat_small.iter() {
+            prop_assert!(
+                sat_big.contains(fact),
+                "lost {fact} after adding facts"
+            );
+        }
+    }
+
+    /// The fixpoint is a fixpoint: saturating twice changes nothing.
+    #[test]
+    fn saturation_is_idempotent(
+        rules in prop::collection::vec(valid_rule(), 0..5),
+        base in prop::collection::vec(ground_atom(), 0..6),
+    ) {
+        let engine = Engine::with_budget(20_000);
+        let facts: FactBase = base.iter().cloned().collect();
+        let Ok(once) = engine.saturate(&rules, &facts) else { return Ok(()); };
+        let twice = engine.saturate(&rules, &once).expect("already saturated");
+        prop_assert_eq!(once, twice);
+    }
+
+    /// `prove` agrees with membership in the saturated database.
+    #[test]
+    fn prove_agrees_with_saturation(
+        rules in prop::collection::vec(valid_rule(), 0..5),
+        base in prop::collection::vec(ground_atom(), 0..6),
+        goal in ground_atom(),
+    ) {
+        let engine = Engine::with_budget(20_000);
+        let facts: FactBase = base.iter().cloned().collect();
+        let Ok(sat) = engine.saturate(&rules, &facts) else { return Ok(()); };
+        let proved = engine.prove(&rules, &facts, &goal).expect("within budget");
+        prop_assert_eq!(proved, sat.contains(&goal));
+    }
+
+    /// Credential lifecycle: valid exactly inside `[alpha, omega)` and only
+    /// until revocation becomes visible.
+    #[test]
+    fn credential_validity_window(
+        alpha in 0u64..1_000,
+        len in 1u64..1_000,
+        revoke_offset in proptest::option::of(0u64..1_500),
+        probe in 0u64..3_000,
+    ) {
+        let mut ca = CertificateAuthority::new(CaId::new(0), 1234);
+        let omega = alpha + len;
+        let cred = ca.issue(
+            UserId::new(1),
+            Atom::fact("role", vec![Constant::symbol("u"), Constant::symbol("m")]),
+            Timestamp::from_micros(alpha),
+            Timestamp::from_micros(omega),
+        );
+        let revoked_at = revoke_offset.map(|off| {
+            let at = Timestamp::from_micros(alpha + off);
+            ca.revoke(cred.id(), at);
+            at
+        });
+        let t = Timestamp::from_micros(probe);
+        let syntactic_ok = ca.verify(&cred, t).is_valid();
+        prop_assert_eq!(
+            syntactic_ok,
+            probe >= alpha && probe < omega,
+            "syntactic window"
+        );
+        let semantic_ok = ca.status(cred.id(), t).is_good();
+        let expected = match revoked_at {
+            Some(at) => t < at,
+            None => true,
+        };
+        prop_assert_eq!(semantic_ok, expected, "revocation visibility");
+    }
+
+    /// ψ-consistency implies φ-consistency (the master pins one version per
+    /// policy), and φ over a single proof is always true.
+    #[test]
+    fn psi_implies_phi(
+        versions in prop::collection::vec((0u64..3, 1u64..4), 1..6),
+        master_version in 1u64..4,
+    ) {
+        let proofs: Vec<ProofOfAuthorization> = versions
+            .iter()
+            .enumerate()
+            .map(|(i, &(policy, version))| ProofOfAuthorization {
+                request: safetx::policy::AccessRequest::new(UserId::new(1), "read", "t"),
+                server: ServerId::new(i as u64),
+                policy_id: PolicyId::new(policy),
+                policy_version: PolicyVersion(version),
+                evaluated_at: Timestamp::ZERO,
+                credentials: vec![],
+                outcome: ProofOutcome::Granted,
+            })
+            .collect();
+        let master: BTreeMap<PolicyId, PolicyVersion> = (0..3)
+            .map(|p| (PolicyId::new(p), PolicyVersion(master_version)))
+            .collect();
+        if psi_consistent(&proofs, &master) {
+            prop_assert!(phi_consistent(&proofs));
+        }
+        prop_assert!(phi_consistent(&proofs[..1]));
+    }
+}

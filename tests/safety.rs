@@ -1,0 +1,214 @@
+//! Adversarial end-to-end safety: under randomized replica staleness,
+//! credential revocation timing and breaking policy updates, a committed
+//! transaction is always **safe** — its recorded view satisfies Definition
+//! 4 and no revoked-credential or stale-policy authorization survives to
+//! commit.
+
+use proptest::prelude::*;
+use safetx::core::{trusted, ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme};
+use safetx::policy::{Atom, Constant, Policy, PolicyBuilder};
+use safetx::store::Value;
+use safetx::txn::{Operation, QuerySpec, TransactionSpec};
+use safetx::types::{
+    AdminDomain, CaId, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId,
+    UserId,
+};
+
+fn member_policy(restrictive: bool) -> Policy {
+    let rules = if restrictive {
+        "grant(read, records) :- role(U, manager).\n\
+         grant(write, records) :- role(U, manager)."
+    } else {
+        "grant(read, records) :- role(U, member).\n\
+         grant(write, records) :- role(U, member)."
+    };
+    PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(rules)
+        .unwrap()
+        .build()
+}
+
+#[derive(Debug, Clone)]
+struct Adversary {
+    scheme_index: usize,
+    level_global: bool,
+    servers: usize,
+    /// Per-server: install v2 at this replica before the run?
+    ahead: Vec<bool>,
+    /// Is v2 restrictive (denies the member role)?
+    v2_restrictive: bool,
+    /// Publish v2 at this time (µs), if at all.
+    publish_at: Option<u64>,
+    /// Revoke the credential at this time (µs), if at all.
+    revoke_at: Option<u64>,
+}
+
+fn adversary() -> impl Strategy<Value = Adversary> {
+    (
+        0usize..4,
+        any::<bool>(),
+        2usize..5,
+        prop::collection::vec(any::<bool>(), 4),
+        any::<bool>(),
+        proptest::option::of(0u64..30_000),
+        proptest::option::of(0u64..30_000),
+    )
+        .prop_map(
+            |(
+                scheme_index,
+                level_global,
+                servers,
+                ahead,
+                v2_restrictive,
+                publish_at,
+                revoke_at,
+            )| {
+                Adversary {
+                    scheme_index,
+                    level_global,
+                    servers,
+                    ahead,
+                    v2_restrictive,
+                    publish_at,
+                    revoke_at,
+                }
+            },
+        )
+}
+
+fn run_adversary(adv: &Adversary) -> (Experiment, safetx::core::TxnRecord) {
+    let scheme = ProofScheme::ALL[adv.scheme_index];
+    let level = if adv.level_global {
+        ConsistencyLevel::Global
+    } else {
+        ConsistencyLevel::View
+    };
+    let mut exp = Experiment::new(ExperimentConfig {
+        servers: adv.servers,
+        scheme,
+        consistency: level,
+        gossip: true,
+        ..Default::default()
+    });
+    let p1 = member_policy(false);
+    let p2 = p1.updated(member_policy(adv.v2_restrictive).rules().clone());
+    exp.catalog().publish(p1);
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    // Pre-run staleness: some replicas already at v2 (only possible if v2
+    // exists in the catalog at t = 0).
+    let any_ahead = adv.ahead.iter().take(adv.servers).any(|&a| a);
+    if any_ahead {
+        exp.catalog().publish(p2.clone());
+        for (i, &is_ahead) in adv.ahead.iter().take(adv.servers).enumerate() {
+            if is_ahead {
+                exp.install_at(ServerId::new(i as u64), PolicyId::new(0), PolicyVersion(2));
+            }
+        }
+    } else if let Some(at) = adv.publish_at {
+        // Otherwise, v2 may be published mid-run and gossiped.
+        exp.publish_policy(p2.clone(), Duration::from_micros(at));
+    }
+    for i in 0..adv.servers {
+        exp.seed_item(
+            ServerId::new(i as u64),
+            DataItemId::new(i as u64),
+            Value::Int(1),
+        );
+    }
+    let cred = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    if let Some(at) = adv.revoke_at {
+        let id = cred.id();
+        exp.cas().with_mut(|registry| {
+            registry.revoke(CaId::new(0), id, Timestamp::from_micros(at));
+        });
+    }
+    let queries = (0..adv.servers)
+        .map(|i| {
+            QuerySpec::new(
+                ServerId::new(i as u64),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(i as u64), 1)],
+            )
+        })
+        .collect();
+    let spec = TransactionSpec::new(TxnId::new(1), UserId::new(1), queries);
+    exp.submit(spec, vec![cred], Duration::ZERO);
+    exp.run();
+    let record = exp.report().records[0].clone();
+    (exp, record)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A committed transaction's view is trusted (Definition 4) at view
+    /// consistency, and no proof in it used a credential that was revoked
+    /// before the proof's evaluation instant.
+    #[test]
+    fn commits_are_always_trusted(adv in adversary()) {
+        let (exp, record) = run_adversary(&adv);
+        if !record.outcome.is_commit() {
+            // Aborting is always safe.
+            return Ok(());
+        }
+        // φ-consistency + all grants (ψ additionally needs a catalog frozen
+        // at commit time, which mid-run publishes may have advanced past).
+        prop_assert!(
+            trusted::is_trusted(&record.view, ConsistencyLevel::View, exp.catalog()),
+            "committed but untrusted view under {adv:?}"
+        );
+        // No proof evaluation succeeded after the revocation instant.
+        if let Some(revoke_at) = adv.revoke_at {
+            for proof in record.view.latest_per_proof() {
+                prop_assert!(
+                    proof.evaluated_at < Timestamp::from_micros(revoke_at),
+                    "granted proof at {} despite revocation at {revoke_at}µs",
+                    proof.evaluated_at
+                );
+            }
+        }
+        // If the commit-relevant proofs used the restrictive v2, the member
+        // credential cannot have satisfied it.
+        if adv.v2_restrictive {
+            for proof in record.view.latest_per_proof() {
+                prop_assert!(
+                    proof.policy_version == PolicyVersion(1),
+                    "committed with a grant under restrictive v2"
+                );
+            }
+        }
+    }
+
+    /// Atomicity under the same adversary: either every participant applied
+    /// its write or none did.
+    #[test]
+    fn commits_apply_everywhere_and_aborts_nowhere(adv in adversary()) {
+        let (exp, record) = run_adversary(&adv);
+        let expected = i64::from(record.outcome.is_commit()) + 1;
+        for i in 0..adv.servers {
+            let node = exp.book().server_node(ServerId::new(i as u64));
+            let server = exp
+                .world()
+                .actor::<safetx::core::CloudServerActor>(node)
+                .unwrap();
+            let value = server.store().read_int(DataItemId::new(i as u64));
+            prop_assert_eq!(
+                value,
+                Some(expected),
+                "server {} diverged under {:?} ({:?})",
+                i,
+                adv,
+                record.outcome
+            );
+        }
+    }
+}
