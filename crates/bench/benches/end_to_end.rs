@@ -1,9 +1,15 @@
 //! Criterion benchmarks for complete simulated transactions: one
-//! worst-case transaction per scheme on the discrete-event world.
+//! worst-case transaction per scheme on the discrete-event world, plus the
+//! Continuous scheme with the server proof cache on vs. off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use safetx_bench::{run_single, Staleness};
-use safetx_core::{ConsistencyLevel, ProofScheme};
+use safetx_bench::{run_single, worst_case_txn, Staleness};
+use safetx_core::{ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme};
+use safetx_policy::{Atom, Constant, PolicyBuilder};
+use safetx_store::Value;
+use safetx_types::{
+    AdminDomain, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, UserId,
+};
 use std::hint::black_box;
 
 fn bench_schemes(c: &mut Criterion) {
@@ -50,5 +56,73 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schemes, bench_update_round, bench_scaling);
+/// One clean Continuous/view transaction of `n` queries with the server
+/// proof cache enabled or disabled. Continuous revalidates every prior
+/// query on each 2PV round — `u(u+1)/2` evaluations over `u` distinct
+/// requests — so the cache collapses all repeats to lookups.
+fn run_continuous(n: usize, proof_cache: bool) -> bool {
+    let mut exp = Experiment::new(ExperimentConfig {
+        servers: n,
+        scheme: ProofScheme::Continuous,
+        consistency: ConsistencyLevel::View,
+        gossip: false,
+        proof_cache,
+        ..Default::default()
+    });
+    exp.catalog().publish(
+        PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .rules_text(
+                "grant(read, records) :- role(U, member).\n\
+                 grant(write, records) :- role(U, member).",
+            )
+            .expect("static rules parse")
+            .build(),
+    );
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion(1));
+    for i in 0..n {
+        exp.seed_item(
+            ServerId::new(i as u64),
+            DataItemId::new(i as u64),
+            Value::Int(1),
+        );
+    }
+    let credential = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    exp.submit(worst_case_txn(n), vec![credential], Duration::ZERO);
+    exp.run();
+    let report = exp.report();
+    assert_eq!(
+        report.proof_cache.lookups() > 0,
+        proof_cache,
+        "cache instrumentation must match the configuration"
+    );
+    report.records[0].outcome.is_commit()
+}
+
+fn bench_continuous_proof_cache(c: &mut Criterion) {
+    let n = 6;
+    let mut group = c.benchmark_group("end_to_end/continuous_proof_cache_n6");
+    group.bench_function("cache_on", |b| {
+        b.iter(|| assert!(black_box(run_continuous(n, true))))
+    });
+    group.bench_function("cache_off", |b| {
+        b.iter(|| assert!(black_box(run_continuous(n, false))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schemes,
+    bench_update_round,
+    bench_scaling,
+    bench_continuous_proof_cache
+);
 criterion_main!(benches);

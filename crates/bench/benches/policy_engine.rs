@@ -1,12 +1,20 @@
 //! Criterion micro-benchmarks for the authorization substrate: parsing,
-//! fixpoint saturation and full proof evaluation.
+//! fixpoint saturation (indexed vs. a flat-scan reference), full proof
+//! evaluation, and the server-side versioned proof cache on the Continuous
+//! revalidation path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safetx_core::{Msg, ResourcePolicyMap, ServerCore, SharedCas, SharedCatalog, VersionMap};
 use safetx_policy::{
-    evaluate_proof, AccessRequest, Atom, CaRegistry, CertificateAuthority, Constant, Engine,
-    FactBase, PolicyBuilder, ProofContext,
+    evaluate_proof, AccessRequest, Atom, Bindings, CaRegistry, CertificateAuthority, Constant,
+    Engine, FactBase, PolicyBuilder, ProofContext, Rule,
 };
-use safetx_types::{AdminDomain, CaId, PolicyId, Timestamp, UserId};
+use safetx_store::Value;
+use safetx_txn::{CommitVariant, Operation, QuerySpec};
+use safetx_types::{
+    AdminDomain, CaId, DataItemId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId,
+};
+use std::collections::BTreeSet;
 use std::hint::black_box;
 
 fn bench_parse(c: &mut Criterion) {
@@ -41,6 +49,122 @@ fn bench_saturate(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &facts, |b, facts| {
             b.iter(|| engine.saturate(rules.as_slice(), black_box(facts)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Reference saturation with the same semi-naive delta discipline as
+/// `Engine::saturate` but **no predicate/arity index**: every join level
+/// probes the entire database. This is the pre-index engine the grouped
+/// `FactBase` replaced, kept here only as the A/B baseline.
+fn flat_saturate(rules: &[Rule], base: &FactBase) -> BTreeSet<Atom> {
+    let mut all: BTreeSet<Atom> = base.iter().cloned().collect();
+    for rule in rules.iter().filter(|r| r.is_fact()) {
+        all.insert(rule.head().clone());
+    }
+    let mut delta = all.clone();
+    while !delta.is_empty() {
+        let mut derived: BTreeSet<Atom> = BTreeSet::new();
+        for rule in rules.iter().filter(|r| !r.is_fact()) {
+            for delta_pos in 0..rule.body().len() {
+                flat_join(
+                    rule,
+                    0,
+                    delta_pos,
+                    &all,
+                    &delta,
+                    &Bindings::new(),
+                    &mut derived,
+                );
+            }
+        }
+        delta = derived.difference(&all).cloned().collect();
+        all.extend(delta.iter().cloned());
+    }
+    all
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flat_join(
+    rule: &Rule,
+    index: usize,
+    delta_pos: usize,
+    all: &BTreeSet<Atom>,
+    delta: &BTreeSet<Atom>,
+    bindings: &Bindings,
+    out: &mut BTreeSet<Atom>,
+) {
+    let body = rule.body();
+    if index == body.len() {
+        out.insert(rule.head().substitute(bindings));
+        return;
+    }
+    let pattern = body[index].substitute(bindings);
+    let source = if index == delta_pos { delta } else { all };
+    // The flat probe: every stored fact is a candidate regardless of
+    // predicate or arity; mismatches are rejected one by one.
+    for fact in source.iter() {
+        if let Some(next) = pattern.match_ground(fact, bindings) {
+            flat_join(rule, index + 1, delta_pos, all, delta, &next, out);
+        }
+    }
+}
+
+/// An `edge` chain of length `n` plus 24 distractor predicates of `n`
+/// facts each that the closure rules never touch (a server's ambient base
+/// describes many aspects of its world; any one rule joins over few). The
+/// flat scan pays for every distractor on every probe, the index never
+/// sees them.
+fn chain_with_noise(n: usize) -> FactBase {
+    let mut facts = FactBase::new();
+    for i in 0..n {
+        facts
+            .insert(Atom::fact(
+                "edge",
+                vec![
+                    Constant::symbol(format!("n{i}")),
+                    Constant::symbol(format!("n{}", i + 1)),
+                ],
+            ))
+            .unwrap();
+    }
+    for p in 0..24 {
+        for i in 0..n {
+            facts
+                .insert(Atom::fact(
+                    format!("aux{p}"),
+                    vec![
+                        Constant::symbol(format!("m{i}")),
+                        Constant::symbol(format!("m{}", i + 1)),
+                    ],
+                ))
+                .unwrap();
+        }
+    }
+    facts
+}
+
+fn bench_saturate_indexed_vs_flat(c: &mut Criterion) {
+    let rules: safetx_policy::RuleSet = "reach(X, Y) :- edge(X, Y).\n\
+                                         reach(X, Z) :- reach(X, Y), edge(Y, Z)."
+        .parse()
+        .unwrap();
+    let engine = Engine::new();
+    let mut group = c.benchmark_group("policy/saturate_indexed_vs_flat");
+    for &n in &[8usize, 16, 32] {
+        let facts = chain_with_noise(n);
+        let indexed = engine.saturate(rules.as_slice(), &facts).unwrap();
+        assert_eq!(
+            flat_saturate(rules.as_slice(), &facts).len(),
+            indexed.len(),
+            "flat reference must derive the same fixpoint"
+        );
+        group.bench_with_input(BenchmarkId::new("indexed", n), &facts, |b, facts| {
+            b.iter(|| engine.saturate(rules.as_slice(), black_box(facts)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("flat", n), &facts, |b, facts| {
+            b.iter(|| flat_saturate(rules.as_slice(), black_box(facts)))
         });
     }
     group.finish();
@@ -89,5 +213,148 @@ fn bench_proof_evaluation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse, bench_saturate, bench_proof_evaluation);
+const TM: u8 = 42;
+const REVALIDATED_QUERIES: usize = 6;
+
+/// A `ServerCore` holding one transaction with [`REVALIDATED_QUERIES`]
+/// already-executed queries — the state a Continuous participant is in
+/// when each later query's 2PV round asks it to revalidate everything.
+fn server_fixture(cache_enabled: bool) -> (ServerCore<u8>, TxnId) {
+    let catalog = SharedCatalog::new();
+    catalog.publish(
+        PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .rules_text("grant(read, T) :- role(U, member), region(U, R), located(U, R), table(T).")
+            .unwrap()
+            .build(),
+    );
+    let mut registry = CaRegistry::new();
+    let mut ca = CertificateAuthority::new(CaId::new(0), 11);
+    let role = ca.issue(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    let region = ca.issue(
+        UserId::new(1),
+        Atom::fact(
+            "region",
+            vec![Constant::symbol("u1"), Constant::symbol("east")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    registry.register(ca);
+    let mut core: ServerCore<u8> = ServerCore::new(
+        ServerId::new(0),
+        catalog,
+        ResourcePolicyMap::single(PolicyId::new(0)),
+        SharedCas::new(registry),
+        CommitVariant::Standard,
+    );
+    core.set_proof_cache(cache_enabled);
+    core.install_policy(PolicyId::new(0), PolicyVersion::INITIAL);
+    // Ambient server knowledge: the user's observed location, one `table`
+    // fact per resource, and bystander facts about other sites — the base
+    // a cold evaluation clones and saturates every time.
+    core.ambient_mut()
+        .insert(Atom::fact(
+            "located",
+            vec![Constant::symbol("u1"), Constant::symbol("east")],
+        ))
+        .unwrap();
+    for i in 0..REVALIDATED_QUERIES {
+        core.ambient_mut()
+            .insert(Atom::fact("table", vec![Constant::symbol(format!("r{i}"))]))
+            .unwrap();
+    }
+    for s in 0..16 {
+        core.ambient_mut()
+            .insert(Atom::fact(
+                "site",
+                vec![Constant::symbol(format!("s{s}")), Constant::symbol("east")],
+            ))
+            .unwrap();
+    }
+    let txn = TxnId::new(1);
+    for i in 0..REVALIDATED_QUERIES {
+        core.store_mut()
+            .write(DataItemId::new(i as u64), Value::Int(1), Timestamp::ZERO);
+        let out = core.handle(
+            Timestamp::from_millis(1),
+            TM,
+            Msg::ExecQuery {
+                txn,
+                query_index: i,
+                query: QuerySpec::new(
+                    ServerId::new(0),
+                    "read",
+                    format!("r{i}"),
+                    vec![Operation::Read(DataItemId::new(i as u64))],
+                ),
+                user: UserId::new(1),
+                credentials: vec![role.clone(), region.clone()],
+                evaluate_proof: false,
+                pin_versions: VersionMap::new(),
+                capabilities: vec![],
+            },
+        );
+        assert!(
+            matches!(&out[0].1, Msg::QueryDone { ok: true, .. }),
+            "setup query must execute"
+        );
+    }
+    (core, txn)
+}
+
+/// One Continuous 2PV collection round: revalidate every registered query.
+fn revalidate(core: &mut ServerCore<u8>, txn: TxnId) -> Vec<(u8, Msg)> {
+    core.handle(
+        Timestamp::from_millis(2),
+        TM,
+        Msg::PrepareToValidate {
+            txn,
+            new_query: None,
+            user: UserId::new(1),
+            credentials: vec![],
+        },
+    )
+}
+
+fn bench_continuous_revalidation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server/continuous_revalidation");
+
+    let (mut warm, txn) = server_fixture(true);
+    // Prime: the first round misses once per query and fills the cache.
+    black_box(revalidate(&mut warm, txn));
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| black_box(revalidate(&mut warm, txn)))
+    });
+    let stats = warm.counters().proof_cache;
+    assert!(stats.hits > 0, "warm benchmark must actually hit the cache");
+
+    let (mut cold, txn) = server_fixture(false);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| black_box(revalidate(&mut cold, txn)))
+    });
+    assert_eq!(
+        cold.counters().proof_cache.lookups(),
+        0,
+        "cold benchmark must bypass the cache entirely"
+    );
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_saturate,
+    bench_saturate_indexed_vs_flat,
+    bench_proof_evaluation,
+    bench_continuous_revalidation
+);
 criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! cargo run --release -p safetx-bench --bin ablation
 //! ```
 
+use safetx_bench::run_grid;
 use safetx_core::{
     ConsistencyLevel, ExperimentConfig, ProofScheme, ValidationAction, ValidationConfig,
     ValidationOutcome, ValidationReply, ValidationRound,
@@ -103,9 +104,13 @@ fn master_refresh_ablation() {
         "each: msgs",
         "each: outcome",
     ]);
-    for updates in [0u64, 1, 2, 4, 8, 20] {
-        let (r_once, m_once, o_once) = storm(false, updates);
-        let (r_each, m_each, o_each) = storm(true, updates);
+    let update_counts = [0u64, 1, 2, 4, 8, 20];
+    let storm_results = run_grid(update_counts.to_vec(), |updates| {
+        (storm(false, updates), storm(true, updates))
+    });
+    for (updates, ((r_once, m_once, o_once), (r_each, m_each, o_each))) in
+        update_counts.into_iter().zip(storm_results)
+    {
         let show =
             |o: ValidationOutcome| if o.is_continue() { "CONTINUE" } else { "ABORT" }.to_owned();
         table.row(vec![
@@ -133,34 +138,43 @@ fn commit_variant_ablation() {
         "Presumed-Abort",
         "Presumed-Commit",
     ]);
-    for &(label, revoke) in &[("all commits", 0.0), ("all aborts", 1.0)] {
-        let mut cells = vec![label.to_owned()];
-        for variant in [
-            CommitVariant::Standard,
-            CommitVariant::PresumedAbort,
-            CommitVariant::PresumedCommit,
-        ] {
-            let config = ScenarioConfig {
-                experiment: ExperimentConfig {
-                    scheme: ProofScheme::Deferred,
-                    consistency: ConsistencyLevel::View,
-                    variant,
-                    seed: 5,
-                    ..Default::default()
-                },
-                workload: WorkloadConfig {
-                    transactions: 50,
-                    queries_per_txn: QueryCount::Fixed(3),
-                    servers: 3,
-                    mean_interarrival: Duration::from_millis(30),
-                    ..Default::default()
-                },
-                revoke_fraction: revoke,
-                revoke_after: Duration::ZERO,
+    let workloads = [("all commits", 0.0), ("all aborts", 1.0)];
+    const VARIANTS: [CommitVariant; 3] = [
+        CommitVariant::Standard,
+        CommitVariant::PresumedAbort,
+        CommitVariant::PresumedCommit,
+    ];
+    let jobs: Vec<(f64, CommitVariant)> = workloads
+        .iter()
+        .flat_map(|&(_, revoke)| VARIANTS.map(|variant| (revoke, variant)))
+        .collect();
+    let results = run_grid(jobs, |(revoke, variant)| {
+        let config = ScenarioConfig {
+            experiment: ExperimentConfig {
+                scheme: ProofScheme::Deferred,
+                consistency: ConsistencyLevel::View,
+                variant,
+                seed: 5,
                 ..Default::default()
-            };
-            let result = run_scenario(&config);
-            let per_txn = result.report.forced_logs as f64 / result.report.records.len() as f64;
+            },
+            workload: WorkloadConfig {
+                transactions: 50,
+                queries_per_txn: QueryCount::Fixed(3),
+                servers: 3,
+                mean_interarrival: Duration::from_millis(30),
+                ..Default::default()
+            },
+            revoke_fraction: revoke,
+            revoke_after: Duration::ZERO,
+            ..Default::default()
+        };
+        let result = run_scenario(&config);
+        result.report.forced_logs as f64 / result.report.records.len() as f64
+    });
+    for (workload_index, &(label, _)) in workloads.iter().enumerate() {
+        let mut cells = vec![label.to_owned()];
+        for (variant_index, _) in VARIANTS.into_iter().enumerate() {
+            let per_txn = results[workload_index * VARIANTS.len() + variant_index];
             cells.push(format!("{per_txn:.2}"));
         }
         table.row(cells);
@@ -174,7 +188,8 @@ fn commit_variant_ablation() {
 fn lock_pressure_ablation() {
     println!("3. No-wait locking: abort rate vs. access skew (Zipf exponent)\n");
     let mut table = AsciiTable::new(vec!["zipf s", "abort rate", "lock-conflict aborts"]);
-    for &s in &[0.0, 0.6, 0.9, 1.2, 1.5] {
+    let exponents = [0.0, 0.6, 0.9, 1.2, 1.5];
+    let results = run_grid(exponents.to_vec(), |s| {
         let config = ScenarioConfig {
             experiment: ExperimentConfig {
                 scheme: ProofScheme::Deferred,
@@ -194,7 +209,9 @@ fn lock_pressure_ablation() {
             },
             ..Default::default()
         };
-        let result = run_scenario(&config);
+        run_scenario(&config)
+    });
+    for (s, result) in exponents.into_iter().zip(results) {
         let conflicts = result
             .aborts_by_reason
             .get("lock conflict")

@@ -17,6 +17,7 @@
 //! cargo run --release -p safetx-bench --bin baseline [-- trials]
 //! ```
 
+use safetx_bench::run_grid;
 use safetx_core::{ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme, TxnRecord};
 use safetx_metrics::AsciiTable;
 use safetx_policy::{Atom, Constant, Policy, PolicyBuilder};
@@ -141,13 +142,19 @@ fn revocation_study(trials: u64) {
     println!("   unsafe commit = a granted proof evaluated at/after the revocation\n");
     let mut table = AsciiTable::new(vec!["system", "commits", "UNSAFE commits", "aborts"]);
     for system in systems() {
+        // Draw every trial's revocation instant up front (same RNG stream
+        // as a serial loop), then fan the independent trials out.
         let mut rng = SimRng::new(0xBA5E);
-        let (mut commits, mut unsafe_commits, mut aborts) = (0u64, 0u64, 0u64);
-        for _ in 0..trials {
+        let revocations: Vec<Timestamp> = (0..trials)
             // The 3-query transaction runs ~6 ms + commit; revocations land
             // throughout.
-            let revoke_at = Timestamp::from_micros(rng.range_u64(500, 9_000));
-            let record = run_one(system, Some(revoke_at), None);
+            .map(|_| Timestamp::from_micros(rng.range_u64(500, 9_000)))
+            .collect();
+        let records = run_grid(revocations.clone(), |revoke_at| {
+            run_one(system, Some(revoke_at), None)
+        });
+        let (mut commits, mut unsafe_commits, mut aborts) = (0u64, 0u64, 0u64);
+        for (revoke_at, record) in revocations.into_iter().zip(records) {
             if record.outcome.is_commit() {
                 commits += 1;
                 let granted_after_revocation = record
@@ -181,10 +188,10 @@ fn stale_policy_study(trials: u64) {
     let mut table = AsciiTable::new(vec!["system", "commits (all unsafe)", "aborts"]);
     for system in systems() {
         let mut rng = SimRng::new(0x57A1E);
+        let replicas: Vec<u64> = (0..trials).map(|_| rng.range_u64(0, N as u64)).collect();
+        let records = run_grid(replicas, |replica| run_one(system, None, Some(replica)));
         let (mut commits, mut aborts) = (0u64, 0u64);
-        for _ in 0..trials {
-            let replica = rng.range_u64(0, N as u64);
-            let record = run_one(system, None, Some(replica));
+        for record in records {
             if record.outcome.is_commit() {
                 commits += 1;
             } else {

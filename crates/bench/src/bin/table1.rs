@@ -11,7 +11,7 @@
 //! cargo run -p safetx-bench --bin table1 [-- n]
 //! ```
 
-use safetx_bench::{complexity, run_single, Staleness};
+use safetx_bench::{complexity, run_grid, run_single, Staleness};
 use safetx_core::{ConsistencyLevel, ProofScheme};
 use safetx_metrics::AsciiTable;
 
@@ -37,6 +37,10 @@ fn main() {
         "outcome",
     ]);
 
+    // Every cell builds its own seeded deployment, so the grid fans out
+    // over the thread pool; results come back in grid order, keeping the
+    // printed table identical to a serial sweep.
+    let mut grid = Vec::new();
     for scheme in ProofScheme::ALL {
         for level in ConsistencyLevel::ALL {
             // The adversary that realizes the worst case of this cell.
@@ -52,46 +56,53 @@ fn main() {
                 }
                 _ => Staleness::None,
             };
-            let run = run_single(scheme, level, n as usize, staleness);
-            let r = run.metrics.rounds.max(1);
-            let paper_msgs = complexity::max_messages(scheme, level, n, u, r);
-            let paper_proofs = complexity::max_proofs(scheme, level, u, r);
-            assert!(
-                run.metrics.messages <= paper_msgs,
-                "{scheme}/{level}: measured messages exceed the paper bound"
-            );
-            assert!(
-                run.metrics.proofs <= paper_proofs,
-                "{scheme}/{level}: measured proofs exceed the paper bound"
-            );
-            let tightness = |measured: u64, paper: u64| {
-                if measured == paper {
-                    format!("{measured} (=)")
-                } else {
-                    format!("{measured} (<=)")
-                }
-            };
-            table.row(vec![
-                scheme.to_string(),
-                level.to_string(),
-                format!("{staleness:?}"),
-                r.to_string(),
-                paper_msgs.to_string(),
-                tightness(run.metrics.messages, paper_msgs),
-                paper_proofs.to_string(),
-                tightness(run.metrics.proofs, paper_proofs),
-                if run.committed { "commit" } else { "abort" }.to_string(),
-            ]);
+            grid.push((scheme, level, staleness));
         }
+    }
+    // The clean run for the log-complexity line rides along as the last job.
+    grid.push((
+        ProofScheme::Deferred,
+        ConsistencyLevel::View,
+        Staleness::None,
+    ));
+    let mut runs = run_grid(grid.clone(), |(scheme, level, staleness)| {
+        run_single(scheme, level, n as usize, staleness)
+    });
+    let clean = runs.pop().expect("clean run present");
+
+    for (&(scheme, level, staleness), run) in grid.iter().zip(&runs) {
+        let r = run.metrics.rounds.max(1);
+        let paper_msgs = complexity::max_messages(scheme, level, n, u, r);
+        let paper_proofs = complexity::max_proofs(scheme, level, u, r);
+        assert!(
+            run.metrics.messages <= paper_msgs,
+            "{scheme}/{level}: measured messages exceed the paper bound"
+        );
+        assert!(
+            run.metrics.proofs <= paper_proofs,
+            "{scheme}/{level}: measured proofs exceed the paper bound"
+        );
+        let tightness = |measured: u64, paper: u64| {
+            if measured == paper {
+                format!("{measured} (=)")
+            } else {
+                format!("{measured} (<=)")
+            }
+        };
+        table.row(vec![
+            scheme.to_string(),
+            level.to_string(),
+            format!("{staleness:?}"),
+            r.to_string(),
+            paper_msgs.to_string(),
+            tightness(run.metrics.messages, paper_msgs),
+            paper_proofs.to_string(),
+            tightness(run.metrics.proofs, paper_proofs),
+            if run.committed { "commit" } else { "abort" }.to_string(),
+        ]);
     }
     println!("{table}");
 
-    let clean = run_single(
-        ProofScheme::Deferred,
-        ConsistencyLevel::View,
-        n as usize,
-        Staleness::None,
-    );
     println!(
         "Log complexity: paper 2n + 1 = {} forced writes per clean commit; measured {}.\n",
         2 * n + 1,

@@ -16,6 +16,7 @@
 //! cargo run --release -p safetx-bench --bin tradeoff [-- transactions]
 //! ```
 
+use safetx_bench::run_grid;
 use safetx_core::{ConsistencyLevel, ExperimentConfig, ProofScheme};
 use safetx_metrics::AsciiTable;
 use safetx_types::Duration;
@@ -141,7 +142,19 @@ fn main() {
         },
     ];
 
-    for cell in &cells {
+    // All 4 (cell) × 4 (scheme) simulations are independent seeded runs:
+    // fan them out over the pool, then render in grid order as before.
+    let cell_jobs: Vec<(usize, Option<Duration>, ProofScheme)> = cells
+        .iter()
+        .flat_map(|cell| {
+            ProofScheme::ALL.map(|scheme| (cell.queries, cell.update_interval, scheme))
+        })
+        .collect();
+    let cell_results: Vec<ScenarioResult> = run_grid(cell_jobs, |(queries, interval, scheme)| {
+        run_scenario(&scenario(scheme, queries, interval, transactions, seed))
+    });
+
+    for (cell_index, cell) in cells.iter().enumerate() {
         let mut table = AsciiTable::new(vec![
             "scheme",
             "commit ms",
@@ -154,14 +167,8 @@ fn main() {
         table.title(format!("-- {} --", cell.label));
         let mut best_overall: Option<(ProofScheme, f64)> = None;
         let mut best_in_pair: Option<(ProofScheme, f64)> = None;
-        for scheme in ProofScheme::ALL {
-            let result = run_scenario(&scenario(
-                scheme,
-                cell.queries,
-                cell.update_interval,
-                transactions,
-                seed,
-            ));
+        for (scheme_index, scheme) in ProofScheme::ALL.into_iter().enumerate() {
+            let result = &cell_results[cell_index * ProofScheme::ALL.len() + scheme_index];
             let cost = result.cost_per_commit_ms();
             if best_overall.is_none_or(|(_, b)| cost < b) {
                 best_overall = Some((scheme, cost));
@@ -170,7 +177,7 @@ fn main() {
                 best_in_pair = Some((scheme, cost));
             }
             let mut cells_row = vec![scheme.to_string()];
-            cells_row.extend(row(&result));
+            cells_row.extend(row(result));
             table.row(cells_row);
         }
         println!("{table}");
@@ -193,16 +200,24 @@ fn main() {
         "Incremental",
         "Continuous",
     ]);
-    for interval_ms in [2u64, 5, 10, 20, 50, 100, 200, 400] {
+    const INTERVALS_MS: [u64; 8] = [2, 5, 10, 20, 50, 100, 200, 400];
+    let sweep_jobs: Vec<(u64, ProofScheme)> = INTERVALS_MS
+        .iter()
+        .flat_map(|&interval_ms| ProofScheme::ALL.map(|scheme| (interval_ms, scheme)))
+        .collect();
+    let sweep_results: Vec<ScenarioResult> = run_grid(sweep_jobs, |(interval_ms, scheme)| {
+        run_scenario(&scenario(
+            scheme,
+            4,
+            Some(Duration::from_millis(interval_ms)),
+            transactions,
+            seed,
+        ))
+    });
+    for (row_index, interval_ms) in INTERVALS_MS.into_iter().enumerate() {
         let mut cells_row = vec![format!("{interval_ms} ms")];
-        for scheme in ProofScheme::ALL {
-            let result = run_scenario(&scenario(
-                scheme,
-                4,
-                Some(Duration::from_millis(interval_ms)),
-                transactions,
-                seed,
-            ));
+        for (scheme_index, _) in ProofScheme::ALL.into_iter().enumerate() {
+            let result = &sweep_results[row_index * ProofScheme::ALL.len() + scheme_index];
             let cost = result.cost_per_commit_ms();
             cells_row.push(if cost.is_finite() {
                 format!("{cost:.2}")

@@ -207,6 +207,10 @@ pub fn server_of_node(node: safetx_sim::NodeId, n: usize) -> Option<ServerId> {
     }
 }
 
+mod pool;
+
+pub use pool::run_grid;
+
 /// Re-export for binaries that need a CloudServerActor peek.
 pub use safetx_core::complexity;
 

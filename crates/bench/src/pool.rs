@@ -1,0 +1,118 @@
+//! A scoped-thread work pool for the bench binaries' config × seed grids.
+//!
+//! Every sweep in the reproduction binaries is an embarrassingly parallel
+//! grid of independent simulator runs: each cell builds its own
+//! [`safetx_core::Experiment`] from a seed, so cells share no mutable
+//! state. [`run_grid`] fans the cells out over `std::thread::scope`
+//! workers and returns results **in the input order**, which makes the
+//! merged output bit-identical to a serial `map` — the printing code stays
+//! untouched and deterministic.
+//!
+//! Set `SAFETX_BENCH_THREADS=1` to force the serial path (or any explicit
+//! worker count to override the default of one worker per core).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use for `total` independent jobs: the
+/// `SAFETX_BENCH_THREADS` override when set, otherwise one per core,
+/// never more than there are jobs.
+fn worker_count(total: usize) -> usize {
+    let configured = std::env::var("SAFETX_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let default = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    configured.unwrap_or(default).min(total.max(1))
+}
+
+/// Maps `f` over `items` on a scoped thread pool, returning the results in
+/// the items' original order.
+///
+/// Equivalent to `items.into_iter().map(f).collect()` — including result
+/// order — but wall-clock-parallel. `f` must be self-contained per item
+/// (the bench grids are: every cell seeds its own experiment).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the scope joins all threads first).
+pub fn run_grid<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let total = items.len();
+    let workers = worker_count(total);
+    if workers <= 1 || total <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Claim-by-index queue: workers race on `next` and write into the
+    // result slot of the same index, so the merge is a plain in-order
+    // unwrap — no ordering depends on thread scheduling.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot lock")
+                    .take()
+                    .expect("each index claimed once");
+                let result = f(item);
+                *results[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let got = run_grid(items, |x| x * x + 1);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matches_serial_map_with_uneven_work() {
+        // Vary per-item cost so workers finish out of order.
+        let items: Vec<usize> = (0..64).rev().collect();
+        let f = |n: usize| -> usize {
+            let mut acc = 0usize;
+            for i in 0..(n * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            acc ^ n
+        };
+        let serial: Vec<usize> = items.clone().into_iter().map(f).collect();
+        assert_eq!(run_grid(items, f), serial);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert_eq!(run_grid(empty, |x: u8| x), Vec::<u8>::new());
+        assert_eq!(run_grid(vec![7u8], |x| x + 1), vec![8]);
+    }
+}

@@ -54,6 +54,10 @@ pub struct ExperimentConfig {
     /// policy validation — the Section-II system 2PVC replaces. For hazard
     /// measurements only.
     pub unsafe_baseline: bool,
+    /// Whether servers keep the versioned proof cache (wall-clock fast
+    /// path). Counters and outcomes are identical either way; disable only
+    /// to measure the cold evaluation path.
+    pub proof_cache: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -71,6 +75,7 @@ impl Default for ExperimentConfig {
             commit_timeout: None,
             proof_eval_delay: Duration::ZERO,
             unsafe_baseline: false,
+            proof_cache: true,
         }
     }
 }
@@ -88,6 +93,10 @@ pub struct ExperimentReport {
     pub raw_messages_sent: u64,
     /// Forced log writes across TM and servers.
     pub forced_logs: u64,
+    /// Proof-cache instrumentation summed across servers. Wall-clock
+    /// effect only: cache hits are still counted in `server_proofs` and the
+    /// per-transaction metrics, so Table I numbers are unaffected.
+    pub proof_cache: safetx_metrics::ProofCacheStats,
 }
 
 impl ExperimentReport {
@@ -181,6 +190,7 @@ impl Experiment {
             if config.unsafe_baseline {
                 server.core_mut().set_unsafe_baseline(true);
             }
+            server.core_mut().set_proof_cache(config.proof_cache);
             let node = world.add_node(server);
             debug_assert_eq!(node, book.server_node(id));
         }
@@ -377,6 +387,11 @@ impl Experiment {
             // Both the TM and the servers count their forces through the
             // world counter, so no separate WAL sum is needed.
             forced_logs: self.world.stats().counter("forced_logs"),
+            proof_cache: safetx_metrics::ProofCacheStats {
+                hits: self.world.stats().counter("proof_cache_hits"),
+                misses: self.world.stats().counter("proof_cache_misses"),
+                invalidations: self.world.stats().counter("proof_cache_invalidations"),
+            },
         }
     }
 }

@@ -29,9 +29,18 @@ use std::sync::{Arc, RwLock};
 /// The paper assumes "each CA offers an online method that allows any server
 /// to check the current status of a particular credential"; this handle is
 /// that online method. Workloads revoke credentials through it mid-run.
+///
+/// The handle also maintains a **revocation epoch**: a counter bumped on
+/// every mutation of CA state (issue, revoke, register). Proof caches key
+/// their validity on this epoch, so any oracle state change — however
+/// small — flushes every cached authorization decision that might have
+/// depended on it. This is what preserves the paper's time-dependent
+/// semantic validity check under caching: a credential revoked in
+/// `[ti, t]` can never be served from a pre-revocation cache entry.
 #[derive(Debug, Clone, Default)]
 pub struct SharedCas {
     inner: Arc<RwLock<CaRegistry>>,
+    epoch: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl SharedCas {
@@ -40,12 +49,34 @@ impl SharedCas {
     pub fn new(registry: CaRegistry) -> Self {
         SharedCas {
             inner: Arc::new(RwLock::new(registry)),
+            epoch: Arc::default(),
         }
     }
 
-    /// Runs `f` with mutable access (issue/revoke operations).
+    /// Runs `f` with mutable access (issue/revoke operations). Always bumps
+    /// the revocation epoch: callers get mutable registry access only
+    /// through here, so every possible oracle state change is covered.
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut CaRegistry) -> R) -> R {
-        f(&mut self.inner.write().expect("CA lock poisoned"))
+        let result = f(&mut self.inner.write().expect("CA lock poisoned"));
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        result
+    }
+
+    /// The current revocation epoch. Two equal observations bracket a span
+    /// with no CA state change.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// The recorded revocation instant for `credential`, including
+    /// future-dated revocations not yet visible to `status`.
+    #[must_use]
+    pub fn revocation_instant(&self, credential: CredentialId) -> Option<Timestamp> {
+        self.inner
+            .read()
+            .expect("CA lock poisoned")
+            .revocation_instant(credential)
     }
 }
 
@@ -80,10 +111,86 @@ struct ServerTxn<A> {
 /// Instrumentation counters exposed by [`ServerCore`] (cumulative).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerCounters {
-    /// Proof evaluations performed.
+    /// Proof evaluations performed (cache hits included: a hit still *is*
+    /// a proof evaluation in the paper's cost model).
     pub proofs: u64,
     /// Forced log writes performed.
     pub forced_logs: u64,
+    /// Proof-cache instrumentation (wall-clock effect only).
+    pub proof_cache: safetx_metrics::ProofCacheStats,
+}
+
+/// Cache key for one proof-of-authorization decision. Everything the
+/// outcome depends on is either in the key (policy identity and version,
+/// requester, the exact credential list in presentation order, the request)
+/// or guarded by an invalidation signal (CA revocation epoch, ambient
+/// facts, resource→policy mapping).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProofCacheKey {
+    policy: safetx_types::PolicyId,
+    version: PolicyVersion,
+    user: UserId,
+    /// Presentation order matters: evaluation short-circuits on the first
+    /// invalid credential, so a reordered list is a different computation.
+    credentials: Vec<CredentialId>,
+    action: String,
+    resource: String,
+}
+
+/// One cached decision and the time window it provably covers.
+#[derive(Debug, Clone)]
+struct CachedProof {
+    outcome: ProofOutcome,
+    /// First instant the entry answers for (the original evaluation time).
+    valid_from: Timestamp,
+    /// Exclusive horizon: the earliest instant at which some credential's
+    /// status can flip without a CA mutation (its validity-window start or
+    /// end, or an already-recorded future revocation instant).
+    valid_until: Timestamp,
+}
+
+/// Per-server proof cache with whole-cache epoch invalidation.
+#[derive(Debug, Default)]
+struct ProofCache {
+    entries: HashMap<ProofCacheKey, CachedProof>,
+    /// The CA revocation epoch the entries were computed under.
+    epoch: u64,
+    stats: safetx_metrics::ProofCacheStats,
+    disabled: bool,
+}
+
+impl ProofCache {
+    /// Drops every entry, counting them as invalidations.
+    fn invalidate_all(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Aligns the cache with the oracle's revocation epoch, flushing stale
+    /// entries when CA state changed since they were computed.
+    fn sync_epoch(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            self.invalidate_all();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Looks up a decision valid at `now`.
+    fn get(&mut self, key: &ProofCacheKey, now: Timestamp) -> Option<ProofOutcome> {
+        if self.disabled {
+            return None;
+        }
+        match self.entries.get(key) {
+            Some(entry) if entry.valid_from <= now && now < entry.valid_until => {
+                self.stats.hits += 1;
+                Some(entry.outcome.clone())
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
 }
 
 /// Derives a server's capability-signing key from its id (the deployment's
@@ -114,6 +221,7 @@ pub struct ServerCore<A> {
     constraints: ConstraintSet,
     txns: HashMap<TxnId, ServerTxn<A>>,
     counters: ServerCounters,
+    proof_cache: ProofCache,
     /// Baseline behaviour: issue an access capability with each granted
     /// proof (Bob's "read credential").
     issue_capabilities: bool,
@@ -147,8 +255,19 @@ impl<A: Clone> ServerCore<A> {
             constraints: ConstraintSet::new(),
             txns: HashMap::new(),
             counters: ServerCounters::default(),
+            proof_cache: ProofCache::default(),
             issue_capabilities: false,
             honor_capabilities: false,
+        }
+    }
+
+    /// Enables or disables the proof cache (enabled by default). Disabling
+    /// forces every evaluation through the engine — used by equivalence
+    /// tests and cold-path benchmarks.
+    pub fn set_proof_cache(&mut self, enabled: bool) {
+        self.proof_cache.disabled = !enabled;
+        if !enabled {
+            self.proof_cache.entries.clear();
         }
     }
 
@@ -168,9 +287,18 @@ impl<A: Clone> ServerCore<A> {
 
     /// Installs an initial policy version at the replica.
     pub fn install_policy(&mut self, policy: safetx_types::PolicyId, version: PolicyVersion) {
-        let entry = self.installed.entry(policy).or_insert(version);
-        if version > *entry {
-            *entry = version;
+        use std::collections::btree_map::Entry;
+        match self.installed.entry(policy) {
+            Entry::Vacant(slot) => {
+                slot.insert(version);
+                self.proof_cache.invalidate_all();
+            }
+            Entry::Occupied(mut slot) => {
+                if version > *slot.get() {
+                    slot.insert(version);
+                    self.proof_cache.invalidate_all();
+                }
+            }
         }
     }
 
@@ -197,13 +325,17 @@ impl<A: Clone> ServerCore<A> {
     }
 
     /// Mutable access to the ambient fact base (e.g. observed locations).
+    /// Invalidates cached proofs: ambient facts feed every evaluation.
     pub fn ambient_mut(&mut self) -> &mut FactBase {
+        self.proof_cache.invalidate_all();
         &mut self.ambient
     }
 
     /// Mutable access to the resource → policy mapping (multi-domain
-    /// deployments).
+    /// deployments). Invalidates cached proofs: the mapping picks which
+    /// policy governs each resource.
     pub fn resource_map_mut(&mut self) -> &mut ResourcePolicyMap {
+        self.proof_cache.invalidate_all();
         &mut self.resource_map
     }
 
@@ -216,7 +348,9 @@ impl<A: Clone> ServerCore<A> {
     /// Cumulative instrumentation counters.
     #[must_use]
     pub fn counters(&self) -> ServerCounters {
-        self.counters
+        let mut counters = self.counters;
+        counters.proof_cache = self.proof_cache.stats;
+        counters
     }
 
     /// Number of transactions with live state here.
@@ -226,18 +360,37 @@ impl<A: Clone> ServerCore<A> {
     }
 
     /// Fast-forwards the replica toward target versions available in the
-    /// catalog. Never moves backward.
+    /// catalog. Never moves backward. Any actual version movement is a
+    /// policy install and flushes the proof cache.
     fn fast_forward(&mut self, targets: &VersionMap) {
+        let mut installed_any = false;
         for (&policy, &version) in targets {
-            let entry = self.installed.entry(policy).or_insert(version);
-            if version > *entry && self.catalog.fetch(policy, version).is_ok() {
-                *entry = version;
+            match self.installed.entry(policy) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(version);
+                    installed_any = true;
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    if version > *slot.get() && self.catalog.fetch(policy, version).is_ok() {
+                        slot.insert(version);
+                        installed_any = true;
+                    }
+                }
             }
+        }
+        if installed_any {
+            self.proof_cache.invalidate_all();
         }
     }
 
     /// Evaluates the proof of authorization for one query at the currently
     /// installed policy version.
+    ///
+    /// Consults the per-server proof cache first: a hit returns the cached
+    /// decision without running the Datalog engine or the credential status
+    /// oracle, but still counts as a proof evaluation in
+    /// [`ServerCounters::proofs`] — the paper's Table I cost model is about
+    /// *how many* proofs each scheme demands, not how fast one is computed.
     fn evaluate_one(
         &mut self,
         now: Timestamp,
@@ -254,16 +407,29 @@ impl<A: Clone> ServerCore<A> {
             .get(&policy_id)
             .copied()
             .unwrap_or(PolicyVersion::INITIAL);
-        let request = AccessRequest::new(user, query.action.clone(), query.resource.clone());
-        let denied = |outcome: ProofOutcome| ProofOfAuthorization {
-            request: request.clone(),
-            server: self.id,
-            policy_id,
-            policy_version: version,
-            evaluated_at: now,
-            credentials: credentials.iter().map(Credential::id).collect(),
-            outcome,
+        let credential_ids: Vec<CredentialId> = credentials.iter().map(Credential::id).collect();
+        self.proof_cache.sync_epoch(self.cas.epoch());
+        let key = ProofCacheKey {
+            policy: policy_id,
+            version,
+            user,
+            credentials: credential_ids.clone(),
+            action: query.action.clone(),
+            resource: query.resource.clone(),
         };
+        if let Some(outcome) = self.proof_cache.get(&key, now) {
+            self.counters.proofs += 1;
+            return ProofOfAuthorization {
+                request: AccessRequest::new(user, query.action.clone(), query.resource.clone()),
+                server: self.id,
+                policy_id,
+                policy_version: version,
+                evaluated_at: now,
+                credentials: credential_ids,
+                outcome,
+            };
+        }
+        let request = AccessRequest::new(user, query.action.clone(), query.resource.clone());
         let proof = match self.catalog.fetch(policy_id, version) {
             Ok(policy) => {
                 let pctx = ProofContext {
@@ -272,13 +438,66 @@ impl<A: Clone> ServerCore<A> {
                     engine: &self.engine,
                     ambient_facts: &self.ambient,
                 };
-                evaluate_proof(&pctx, self.id, &request, credentials, now)
-                    .unwrap_or_else(|_| denied(ProofOutcome::NotDerivable))
+                let proof = evaluate_proof(&pctx, self.id, &request, credentials, now)
+                    .unwrap_or_else(|_| ProofOfAuthorization {
+                        request: request.clone(),
+                        server: self.id,
+                        policy_id,
+                        policy_version: version,
+                        evaluated_at: now,
+                        credentials: credential_ids.clone(),
+                        outcome: ProofOutcome::NotDerivable,
+                    });
+                let valid_until = self.validity_horizon(now, credentials);
+                if !self.proof_cache.disabled && now < valid_until {
+                    self.proof_cache.entries.insert(
+                        key,
+                        CachedProof {
+                            outcome: proof.outcome.clone(),
+                            valid_from: now,
+                            valid_until,
+                        },
+                    );
+                }
+                proof
             }
-            Err(_) => denied(ProofOutcome::NotDerivable),
+            // A policy version missing from the catalog can appear at any
+            // later instant without an invalidation signal, so this denial
+            // is never cached.
+            Err(_) => ProofOfAuthorization {
+                request,
+                server: self.id,
+                policy_id,
+                policy_version: version,
+                evaluated_at: now,
+                credentials: credential_ids,
+                outcome: ProofOutcome::NotDerivable,
+            },
         };
         self.counters.proofs += 1;
         proof
+    }
+
+    /// The earliest instant after `now` at which any of `credentials` can
+    /// change status *without* a CA mutation (which would bump the epoch):
+    /// a validity window opening or closing, or an already-recorded
+    /// future-dated revocation taking effect. Cached decisions are unsound
+    /// at or beyond this horizon.
+    fn validity_horizon(&self, now: Timestamp, credentials: &[Credential]) -> Timestamp {
+        let mut horizon = Timestamp::MAX;
+        for cred in credentials {
+            if now < cred.issued_at() {
+                horizon = horizon.min(cred.issued_at());
+            } else if now < cred.expires_at() {
+                horizon = horizon.min(cred.expires_at());
+            }
+            if let Some(revoked_at) = self.cas.revocation_instant(cred.id()) {
+                if revoked_at > now {
+                    horizon = horizon.min(revoked_at);
+                }
+            }
+        }
+        horizon
     }
 
     /// Fabricates the granted proof a capability shortcut stands for —
@@ -320,21 +539,22 @@ impl<A: Clone> ServerCore<A> {
         now: Timestamp,
         txn: TxnId,
     ) -> (bool, VersionMap, Vec<ProofOfAuthorization>) {
-        let Some(state) = self.txns.get(&txn) else {
+        // Take the entry out of the map so its queries and credentials can
+        // be borrowed across the `&mut self` evaluation calls — no per-round
+        // clone of either.
+        let Some(state) = self.txns.remove(&txn) else {
             return (true, VersionMap::new(), Vec::new());
         };
-        let queries: Vec<QuerySpec> = state.queries.iter().map(|(_, q)| q.clone()).collect();
-        let user = state.user;
-        let credentials = state.credentials.clone();
         let mut truth = true;
         let mut versions = VersionMap::new();
         let mut proofs = Vec::new();
-        for query in &queries {
-            let proof = self.evaluate_one(now, user, &credentials, query);
+        for (_, query) in &state.queries {
+            let proof = self.evaluate_one(now, state.user, &state.credentials, query);
             truth &= proof.truth();
             versions.insert(proof.policy_id, proof.policy_version);
             proofs.push(proof);
         }
+        self.txns.insert(txn, state);
         (truth, versions, proofs)
     }
 
@@ -485,9 +705,10 @@ impl<A: Clone> ServerCore<A> {
                     if let Some(cap) = shortcut {
                         Some(self.proof_from_capability(now, user, &cap, &query))
                     } else {
-                        let state = &self.txns[&txn];
-                        let (user, creds) = (state.user, state.credentials.clone());
-                        Some(self.evaluate_one(now, user, &creds, &query))
+                        let state = self.txns.remove(&txn).expect("just ensured");
+                        let proof = self.evaluate_one(now, state.user, &state.credentials, &query);
+                        self.txns.insert(txn, state);
+                        Some(proof)
                     }
                 } else {
                     None
@@ -826,6 +1047,20 @@ impl CloudServerActor {
                 ctx.mark("log:forced");
             }
         }
+        let cache = counters.proof_cache;
+        let last = self.last.proof_cache;
+        if cache.hits > last.hits {
+            ctx.count("proof_cache_hits", cache.hits - last.hits);
+        }
+        if cache.misses > last.misses {
+            ctx.count("proof_cache_misses", cache.misses - last.misses);
+        }
+        if cache.invalidations > last.invalidations {
+            ctx.count(
+                "proof_cache_invalidations",
+                cache.invalidations - last.invalidations,
+            );
+        }
         self.last = counters;
     }
 }
@@ -1147,6 +1382,126 @@ mod tests {
             &out[0].1,
             Msg::QueryDone { proof: Some(p), .. } if p.truth()
         ));
+    }
+
+    fn validate(fx: &mut Fixture, txn: TxnId, at: Timestamp) -> Vec<(u8, Msg)> {
+        fx.core.handle(
+            at,
+            TM,
+            Msg::PrepareToValidate {
+                txn,
+                new_query: None,
+                user: UserId::new(1),
+                credentials: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn proof_cache_hit_still_counts_as_a_proof() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        exec_query(&mut fx, txn, true);
+        let out = exec_query(&mut fx, txn, true);
+        assert!(matches!(
+            &out[0].1,
+            Msg::QueryDone { proof: Some(p), .. } if p.truth()
+        ));
+        let counters = fx.core.counters();
+        assert_eq!(counters.proofs, 2, "Table I accounting unchanged by cache");
+        assert_eq!(counters.proof_cache.hits, 1);
+        assert_eq!(counters.proof_cache.misses, 1);
+    }
+
+    #[test]
+    fn revocation_epoch_flushes_cache_and_denies() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        let out = exec_query(&mut fx, txn, true);
+        assert!(matches!(
+            &out[0].1,
+            Msg::QueryDone { proof: Some(p), .. } if p.truth()
+        ));
+        let cred_id = fx.credential.id();
+        fx.core.cas.with_mut(|registry| {
+            registry.revoke(CaId::new(0), cred_id, Timestamp::from_millis(2));
+        });
+        let out = validate(&mut fx, txn, Timestamp::from_millis(3));
+        assert!(matches!(
+            &out[0].1,
+            Msg::ValidateReply { reply, .. } if !reply.truth
+        ));
+        let counters = fx.core.counters();
+        assert_eq!(counters.proof_cache.hits, 0, "stale grant never served");
+        assert_eq!(counters.proof_cache.invalidations, 1);
+    }
+
+    #[test]
+    fn future_dated_revocation_bounds_cached_validity() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        let cred_id = fx.credential.id();
+        // Revocation recorded before any evaluation, effective at t=5ms —
+        // so no epoch change happens between the two evaluations below.
+        fx.core.cas.with_mut(|registry| {
+            registry.revoke(CaId::new(0), cred_id, Timestamp::from_millis(5));
+        });
+        // t=1ms: still good — granted and cached.
+        let out = exec_query(&mut fx, txn, true);
+        assert!(matches!(
+            &out[0].1,
+            Msg::QueryDone { proof: Some(p), .. } if p.truth()
+        ));
+        // t=9ms: the entry's validity horizon (5ms) has passed.
+        let out = validate(&mut fx, txn, Timestamp::from_millis(9));
+        assert!(matches!(
+            &out[0].1,
+            Msg::ValidateReply { reply, .. } if !reply.truth
+        ));
+        assert_eq!(fx.core.counters().proof_cache.hits, 0);
+    }
+
+    #[test]
+    fn policy_install_invalidates_cache() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        exec_query(&mut fx, txn, true);
+        let v2 = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .version(PolicyVersion(2))
+            .rules_text("grant(write, records) :- role(U, admin).")
+            .unwrap()
+            .build();
+        fx.core.catalog.publish(v2);
+        fx.core.handle(
+            Timestamp::from_millis(2),
+            TM,
+            Msg::PolicyGossip {
+                policy_id: PolicyId::new(0),
+                version: PolicyVersion(2),
+            },
+        );
+        assert_eq!(fx.core.counters().proof_cache.invalidations, 1);
+        let out = validate(&mut fx, txn, Timestamp::from_millis(3));
+        assert!(matches!(
+            &out[0].1,
+            Msg::ValidateReply { reply, .. } if !reply.truth
+        ));
+        assert_eq!(fx.core.counters().proof_cache.hits, 0);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut fx = fixture();
+        fx.core.set_proof_cache(false);
+        let txn = TxnId::new(1);
+        exec_query(&mut fx, txn, true);
+        exec_query(&mut fx, txn, true);
+        let counters = fx.core.counters();
+        assert_eq!(counters.proofs, 2);
+        assert_eq!(
+            counters.proof_cache,
+            safetx_metrics::ProofCacheStats::default()
+        );
     }
 
     #[test]

@@ -82,6 +82,80 @@ impl std::iter::Sum for ProtocolMetrics {
     }
 }
 
+/// Instrumentation for a server's proof-of-authorization cache.
+///
+/// These counters track *wall-clock* savings only: a cache hit still counts
+/// as a proof evaluation in [`ProtocolMetrics::proofs`] (Table I's cost
+/// model is unchanged by caching), so they live beside — never inside —
+/// the paper-model metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofCacheStats {
+    /// Evaluations answered from cache (no engine run, no oracle call).
+    pub hits: u64,
+    /// Evaluations that ran the engine and populated the cache.
+    pub misses: u64,
+    /// Cached proofs dropped by an invalidation event (policy install,
+    /// CA state change, ambient-fact or resource-map update).
+    pub invalidations: u64,
+}
+
+impl ProofCacheStats {
+    /// All-zero stats.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &ProofCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+
+    /// Total cache lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from cache (0 when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for ProofCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache_hits={} cache_misses={} cache_invalidations={}",
+            self.hits, self.misses, self.invalidations
+        )
+    }
+}
+
+impl std::ops::Add for ProofCacheStats {
+    type Output = ProofCacheStats;
+
+    fn add(mut self, rhs: ProofCacheStats) -> ProofCacheStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for ProofCacheStats {
+    fn sum<I: Iterator<Item = ProofCacheStats>>(iter: I) -> ProofCacheStats {
+        iter.fold(ProofCacheStats::new(), |acc, s| acc + s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +196,37 @@ mod tests {
             })
             .sum();
         assert_eq!(total.messages, 30);
+    }
+
+    #[test]
+    fn cache_stats_merge_and_rate() {
+        let mut stats = ProofCacheStats {
+            hits: 3,
+            misses: 1,
+            invalidations: 2,
+        };
+        stats.merge(&ProofCacheStats {
+            hits: 1,
+            misses: 3,
+            invalidations: 0,
+        });
+        assert_eq!(stats.lookups(), 8);
+        assert!((stats.hit_rate() - 0.5).abs() < f64::EPSILON);
+        assert_eq!(stats.invalidations, 2);
+        assert_eq!(ProofCacheStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_stats_sum() {
+        let total: ProofCacheStats = (0..4)
+            .map(|_| ProofCacheStats {
+                hits: 2,
+                misses: 1,
+                invalidations: 1,
+            })
+            .sum();
+        assert_eq!(total.hits, 8);
+        assert_eq!(total.misses, 4);
+        assert_eq!(total.invalidations, 4);
     }
 }

@@ -13,6 +13,6 @@ mod counters;
 mod histogram;
 mod table;
 
-pub use counters::ProtocolMetrics;
+pub use counters::{ProofCacheStats, ProtocolMetrics};
 pub use histogram::Histogram;
 pub use table::AsciiTable;

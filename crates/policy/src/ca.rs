@@ -143,6 +143,16 @@ impl CertificateAuthority {
     pub fn issued_count(&self) -> usize {
         self.issued.len()
     }
+
+    /// The recorded revocation instant for `credential`, if any — including
+    /// instants still in the future (a revocation scheduled for `t_r > now`
+    /// is already on the books but not yet visible to [`StatusOracle::status`]).
+    ///
+    /// Proof caches use this to bound how long a `Good` answer stays valid.
+    #[must_use]
+    pub fn revocation_instant(&self, credential: CredentialId) -> Option<Timestamp> {
+        self.revoked.get(&credential).copied()
+    }
 }
 
 impl StatusOracle for CertificateAuthority {
@@ -216,6 +226,16 @@ impl CaRegistry {
             Some(ca) => ca.revoke(credential, at),
             None => false,
         }
+    }
+
+    /// The recorded revocation instant for `credential` across all CAs
+    /// (exactly one CA can have issued it). Includes future-dated
+    /// revocations; see [`CertificateAuthority::revocation_instant`].
+    #[must_use]
+    pub fn revocation_instant(&self, credential: CredentialId) -> Option<Timestamp> {
+        self.cas
+            .values()
+            .find_map(|ca| ca.revocation_instant(credential))
     }
 }
 

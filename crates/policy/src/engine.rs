@@ -4,17 +4,32 @@
 //! — is decided here: given a policy's rules and the facts contributed by a
 //! user's credentials, the engine computes the least fixpoint and checks
 //! whether the requested `grant(...)` goal is derivable.
+//!
+//! Two layers keep the hot path cheap:
+//!
+//! * [`FactBase`] stores atoms grouped by predicate and arity, so the join
+//!   in [`Engine::saturate`] scans only atoms that could possibly unify
+//!   with a body pattern instead of the whole database.
+//! * [`Engine::prove`] memoizes recent saturations: the Continuous scheme
+//!   re-proves the same `(rules, fact base)` pair `u(u+1)/2` times per
+//!   transaction, and every repeat reduces to a goal lookup.
 
 use crate::error::PolicyError;
 use crate::fact::{Atom, Bindings};
 use crate::rule::Rule;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Mutex;
 
 /// Default cap on the number of derived facts, protecting against
 /// pathological rule sets.
 pub const DEFAULT_DERIVATION_BUDGET: usize = 100_000;
 
-/// A set of ground facts.
+/// How many recent saturations [`Engine::prove`] keeps. A server evaluates
+/// proofs for a handful of concurrently active `(policy, user)` pairs at a
+/// time; entries are small (the saturated bases of authorization policies).
+const SATURATION_MEMO_CAPACITY: usize = 16;
+
+/// A set of ground facts, indexed by predicate name and arity.
 ///
 /// # Examples
 ///
@@ -30,7 +45,10 @@ pub const DEFAULT_DERIVATION_BUDGET: usize = 100_000;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FactBase {
-    facts: BTreeSet<Atom>,
+    // Invariant: no empty arity map and no empty atom set is ever stored,
+    // so the derived `PartialEq` is exactly content equality.
+    groups: BTreeMap<String, BTreeMap<usize, BTreeSet<Atom>>>,
+    len: usize,
 }
 
 impl FactBase {
@@ -51,7 +69,22 @@ impl FactBase {
                 predicate: atom.predicate().to_owned(),
             });
         }
-        Ok(self.facts.insert(atom))
+        Ok(self.insert_ground(atom))
+    }
+
+    /// Inserts an atom already known to be ground.
+    fn insert_ground(&mut self, atom: Atom) -> bool {
+        let inserted = self
+            .groups
+            .entry(atom.predicate().to_owned())
+            .or_default()
+            .entry(atom.arity())
+            .or_default()
+            .insert(atom);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
     }
 
     /// Parses and inserts a fact written in rule-language syntax.
@@ -67,24 +100,41 @@ impl FactBase {
     /// True when the ground atom is present.
     #[must_use]
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.facts.contains(atom)
+        self.groups
+            .get(atom.predicate())
+            .and_then(|arities| arities.get(&atom.arity()))
+            .is_some_and(|set| set.contains(atom))
     }
 
     /// Number of facts.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.len
     }
 
     /// True when no facts are present.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.len == 0
     }
 
-    /// Iterates over all facts in deterministic order.
+    /// Iterates over all facts in deterministic order (predicate, then
+    /// arity, then argument order).
     pub fn iter(&self) -> impl Iterator<Item = &Atom> {
-        self.facts.iter()
+        self.groups
+            .values()
+            .flat_map(BTreeMap::values)
+            .flat_map(BTreeSet::iter)
+    }
+
+    /// Iterates over the atoms that could unify with a pattern of the given
+    /// predicate and arity — the index probe used by the join.
+    pub fn candidates(&self, predicate: &str, arity: usize) -> impl Iterator<Item = &Atom> {
+        self.groups
+            .get(predicate)
+            .and_then(|arities| arities.get(&arity))
+            .into_iter()
+            .flat_map(BTreeSet::iter)
     }
 }
 
@@ -94,7 +144,7 @@ impl Extend<Atom> for FactBase {
             // Non-ground atoms are silently rejected by Extend; use `insert`
             // for error reporting.
             if atom.is_ground() {
-                self.facts.insert(atom);
+                self.insert_ground(atom);
             }
         }
     }
@@ -108,17 +158,40 @@ impl FromIterator<Atom> for FactBase {
     }
 }
 
+/// One remembered saturation: the inputs by value (needed to validate a
+/// probe) and the resulting fixpoint.
+#[derive(Debug)]
+struct MemoEntry {
+    rules: Vec<Rule>,
+    base: FactBase,
+    saturated: FactBase,
+}
+
+/// Bounded MRU memo of recent saturations plus hit accounting.
+#[derive(Debug, Default)]
+struct SaturationMemo {
+    entries: VecDeque<MemoEntry>,
+    hits: u64,
+    misses: u64,
+}
+
 /// The forward-chaining engine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine {
     budget: usize,
+    memo: Mutex<SaturationMemo>,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        // The memo is a per-instance cache; clones start cold.
+        Engine::with_budget(self.budget)
+    }
 }
 
 impl Default for Engine {
     fn default() -> Self {
-        Engine {
-            budget: DEFAULT_DERIVATION_BUDGET,
-        }
+        Engine::with_budget(DEFAULT_DERIVATION_BUDGET)
     }
 }
 
@@ -132,11 +205,26 @@ impl Engine {
     /// Creates an engine with a custom cap on derived facts.
     #[must_use]
     pub fn with_budget(budget: usize) -> Self {
-        Engine { budget }
+        Engine {
+            budget,
+            memo: Mutex::new(SaturationMemo::default()),
+        }
+    }
+
+    /// Saturation-memo accounting: `(hits, misses)` observed by
+    /// [`Engine::prove`] since construction.
+    #[must_use]
+    pub fn memo_stats(&self) -> (u64, u64) {
+        let memo = self
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (memo.hits, memo.misses)
     }
 
     /// Computes the least fixpoint of `rules` over `base` and returns the
-    /// saturated fact base.
+    /// saturated fact base. Always recomputes; see [`Engine::prove`] for the
+    /// memoized entry point.
     ///
     /// # Errors
     ///
@@ -150,22 +238,24 @@ impl Engine {
         }
         // Semi-naive iteration: only join against facts derived in the last
         // round (delta), re-deriving nothing.
-        let mut delta: BTreeSet<Atom> = all.facts.clone();
+        let mut delta = all.clone();
         while !delta.is_empty() {
             let mut next_delta: BTreeSet<Atom> = BTreeSet::new();
             for rule in rules.iter().filter(|r| !r.is_fact()) {
-                self.fire(rule, &all, &delta, &mut next_delta)?;
+                Self::fire(rule, &all, &delta, &mut next_delta);
             }
-            next_delta.retain(|a| !all.facts.contains(a));
-            for atom in &next_delta {
-                all.facts.insert(atom.clone());
-                if all.facts.len() > self.budget {
+            next_delta.retain(|a| !all.contains(a));
+            let mut fresh = FactBase::new();
+            for atom in next_delta {
+                all.insert_ground(atom.clone());
+                if all.len() > self.budget {
                     return Err(PolicyError::DerivationBudgetExceeded {
                         budget: self.budget,
                     });
                 }
+                fresh.insert_ground(atom);
             }
-            delta = next_delta;
+            delta = fresh;
         }
         Ok(all)
     }
@@ -173,61 +263,79 @@ impl Engine {
     /// True when `goal` (which may contain variables) is satisfiable from
     /// `rules` and `base`.
     ///
+    /// Saturations are memoized: re-proving over an unchanged `(rules,
+    /// base)` pair skips the fixpoint and goes straight to the goal lookup.
+    ///
     /// # Errors
     ///
     /// Propagates [`PolicyError::DerivationBudgetExceeded`].
     pub fn prove(&self, rules: &[Rule], base: &FactBase, goal: &Atom) -> Result<bool, PolicyError> {
-        let saturated = self.saturate(rules, base)?;
-        if goal.is_ground() {
-            return Ok(saturated.contains(goal));
-        }
-        let provable = saturated
+        let mut memo = self
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let position = memo
+            .entries
             .iter()
-            .any(|f| goal.match_ground(f, &Bindings::new()).is_some());
-        Ok(provable)
+            .position(|e| e.rules == rules && &e.base == base);
+        let entry = match position {
+            Some(found) => {
+                memo.hits += 1;
+                // Move to the back: most-recently used.
+                let entry = memo.entries.remove(found).expect("position is in bounds");
+                memo.entries.push_back(entry);
+                memo.entries.back().expect("just pushed")
+            }
+            None => {
+                memo.misses += 1;
+                let saturated = self.saturate(rules, base)?;
+                if memo.entries.len() >= SATURATION_MEMO_CAPACITY {
+                    memo.entries.pop_front();
+                }
+                memo.entries.push_back(MemoEntry {
+                    rules: rules.to_vec(),
+                    base: base.clone(),
+                    saturated,
+                });
+                memo.entries.back().expect("just pushed")
+            }
+        };
+        Ok(Self::goal_holds(&entry.saturated, goal))
+    }
+
+    /// Goal lookup against a saturated base.
+    fn goal_holds(saturated: &FactBase, goal: &Atom) -> bool {
+        if goal.is_ground() {
+            return saturated.contains(goal);
+        }
+        saturated
+            .candidates(goal.predicate(), goal.arity())
+            .any(|f| goal.match_ground(f, &Bindings::new()).is_some())
     }
 
     /// Fires one rule against the current database, requiring at least one
     /// body atom to match within `delta` (semi-naive restriction).
-    fn fire(
-        &self,
-        rule: &Rule,
-        all: &FactBase,
-        delta: &BTreeSet<Atom>,
-        out: &mut BTreeSet<Atom>,
-    ) -> Result<(), PolicyError> {
+    fn fire(rule: &Rule, all: &FactBase, delta: &FactBase, out: &mut BTreeSet<Atom>) {
         let body = rule.body();
         // For each position that is forced to match the delta:
         for delta_pos in 0..body.len() {
-            self.join(
-                rule,
-                body,
-                0,
-                delta_pos,
-                false,
-                all,
-                delta,
-                &Bindings::new(),
-                out,
-            )?;
+            Self::join(rule, body, 0, delta_pos, all, delta, &Bindings::new(), out);
         }
-        Ok(())
     }
 
-    /// Recursive nested-loop join over the body atoms.
+    /// Recursive indexed nested-loop join over the body atoms: each level
+    /// probes only the `(predicate, arity)` group its pattern can match.
     #[allow(clippy::too_many_arguments)]
     fn join(
-        &self,
         rule: &Rule,
         body: &[Atom],
         index: usize,
         delta_pos: usize,
-        _used_delta: bool,
         all: &FactBase,
-        delta: &BTreeSet<Atom>,
+        delta: &FactBase,
         bindings: &Bindings,
         out: &mut BTreeSet<Atom>,
-    ) -> Result<(), PolicyError> {
+    ) {
         if index == body.len() {
             let derived = rule.head().substitute(bindings);
             debug_assert!(
@@ -235,30 +343,15 @@ impl Engine {
                 "range restriction guarantees ground heads"
             );
             out.insert(derived);
-            return Ok(());
+            return;
         }
         let pattern = body[index].substitute(bindings);
-        let candidates: Box<dyn Iterator<Item = &Atom>> = if index == delta_pos {
-            Box::new(delta.iter())
-        } else {
-            Box::new(all.iter())
-        };
-        for fact in candidates {
+        let source = if index == delta_pos { delta } else { all };
+        for fact in source.candidates(pattern.predicate(), pattern.arity()) {
             if let Some(next) = pattern.match_ground(fact, bindings) {
-                self.join(
-                    rule,
-                    body,
-                    index + 1,
-                    delta_pos,
-                    true,
-                    all,
-                    delta,
-                    &next,
-                    out,
-                )?;
+                Self::join(rule, body, index + 1, delta_pos, all, delta, &next, out);
             }
         }
-        Ok(())
     }
 }
 
@@ -384,5 +477,89 @@ mod tests {
         big.insert(parse_fact("active(bob)").unwrap()).unwrap();
         assert!(!engine.prove(&rules, &small, &goal).unwrap());
         assert!(engine.prove(&rules, &big, &goal).unwrap());
+    }
+
+    #[test]
+    fn index_groups_by_predicate_and_arity() {
+        let fb = base(&["p(a)", "p(a, b)", "p(a, c)", "q(a)"]);
+        assert_eq!(fb.len(), 4);
+        assert_eq!(fb.candidates("p", 2).count(), 2);
+        assert_eq!(fb.candidates("p", 1).count(), 1);
+        assert_eq!(fb.candidates("q", 1).count(), 1);
+        assert_eq!(fb.candidates("q", 2).count(), 0);
+        assert_eq!(fb.candidates("missing", 1).count(), 0);
+        assert_eq!(fb.iter().count(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let forward = base(&["a(x)", "b(y)", "c(z)"]);
+        let backward = base(&["c(z)", "b(y)", "a(x)"]);
+        assert_eq!(forward, backward);
+        assert_ne!(forward, base(&["a(x)"]));
+    }
+
+    #[test]
+    fn prove_memoizes_repeated_saturations() {
+        let rules = parse_rules(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Z) :- reach(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        let fb = base(&["edge(a, b)", "edge(b, c)"]);
+        let engine = Engine::new();
+        let goal = parse_fact("reach(a, c)").unwrap();
+        for _ in 0..5 {
+            assert!(engine.prove(&rules, &fb, &goal).unwrap());
+        }
+        assert_eq!(engine.memo_stats(), (4, 1));
+
+        // A changed base is a different memo key, never a stale answer.
+        let mut grown = fb.clone();
+        grown.insert(parse_fact("edge(c, d)").unwrap()).unwrap();
+        assert!(engine
+            .prove(&rules, &grown, &parse_fact("reach(a, d)").unwrap())
+            .unwrap());
+        assert!(!engine
+            .prove(&rules, &fb, &parse_fact("reach(a, d)").unwrap())
+            .unwrap());
+        assert_eq!(engine.memo_stats(), (5, 2));
+    }
+
+    #[test]
+    fn memo_respects_rule_changes() {
+        let fb = base(&["role(bob, rep)"]);
+        let engine = Engine::new();
+        let goal = parse_fact("grant(read, t)").unwrap();
+        let permissive = parse_rules("grant(read, t) :- role(U, rep).").unwrap();
+        let restrictive = parse_rules("grant(read, t) :- role(U, admin).").unwrap();
+        assert!(engine.prove(&permissive, &fb, &goal).unwrap());
+        assert!(!engine.prove(&restrictive, &fb, &goal).unwrap());
+        assert!(engine.prove(&permissive, &fb, &goal).unwrap());
+        assert_eq!(engine.memo_stats(), (1, 2));
+    }
+
+    #[test]
+    fn memo_evicts_least_recently_used() {
+        let engine = Engine::new();
+        let goal = parse_fact("p(x)").unwrap();
+        // Fill well past capacity with distinct bases.
+        for i in 0..(SATURATION_MEMO_CAPACITY + 4) {
+            let fb = base(&[&format!("q(s{i})")]);
+            let _ = engine.prove(&[], &fb, &goal).unwrap();
+        }
+        let (hits, misses) = engine.memo_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, (SATURATION_MEMO_CAPACITY + 4) as u64);
+        // The oldest base fell out; re-proving it is a miss, while the
+        // newest is still a hit.
+        let newest = base(&[&format!("q(s{})", SATURATION_MEMO_CAPACITY + 3)]);
+        let _ = engine.prove(&[], &newest, &goal).unwrap();
+        let oldest = base(&["q(s0)"]);
+        let _ = engine.prove(&[], &oldest, &goal).unwrap();
+        assert_eq!(
+            engine.memo_stats(),
+            (1, (SATURATION_MEMO_CAPACITY + 5) as u64)
+        );
     }
 }

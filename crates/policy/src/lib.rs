@@ -50,7 +50,7 @@ pub use capability::AccessCapability;
 pub use credential::{Credential, CredentialBuilder, SyntacticCheck};
 pub use engine::{Engine, FactBase};
 pub use error::PolicyError;
-pub use fact::{Atom, Constant, Term};
+pub use fact::{Atom, Bindings, Constant, Term};
 pub use policy::{Policy, PolicyBuilder, PolicyStore, RuleSet};
 pub use proof::{evaluate_proof, AccessRequest, ProofContext, ProofOfAuthorization, ProofOutcome};
 pub use rule::Rule;

@@ -1,0 +1,231 @@
+//! Observable equivalence of cached vs. uncached proof evaluation.
+//!
+//! Two identical `ServerCore`s — one with the versioned proof cache
+//! enabled (the default), one with it disabled — share a policy catalog
+//! and CA registry and receive the *same* interleaving of policy
+//! publishes, credential revocations (immediate and future-dated), clock
+//! advances and proof evaluations. Every evaluation must return the same
+//! outcome at the same policy version on both servers: in particular, the
+//! cached server may never serve a stale grant after a revocation or a
+//! policy change the uncached server already observes.
+
+use proptest::prelude::*;
+use safetx::core::{Msg, ResourcePolicyMap, ServerCore, SharedCas, SharedCatalog, VersionMap};
+use safetx::policy::{Atom, CaRegistry, CertificateAuthority, Constant, Credential, PolicyBuilder};
+use safetx::store::Value;
+use safetx::txn::{CommitVariant, Operation, QuerySpec};
+use safetx::types::{
+    AdminDomain, CaId, DataItemId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId,
+};
+
+type Core = ServerCore<u8>;
+const TM: u8 = 77;
+const CREDS: usize = 3;
+
+/// One step of the adversarial schedule.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Evaluate a proof for `user` presenting the credential subset
+    /// selected by the low `CREDS` bits of `mask` (presentation order =
+    /// issue order).
+    Evaluate { user: usize, mask: u8 },
+    /// Publish the next policy version (restrictive flips the granted
+    /// role) and gossip it to both replicas.
+    Publish { restrictive: bool },
+    /// Revoke credential `cred`, effective `delay_us` after now (0 =
+    /// immediate; larger values exercise future-dated revocations that
+    /// flip status without a later CA mutation).
+    Revoke { cred: usize, delay_us: u64 },
+    /// Advance the shared clock.
+    Advance { delta_us: u64 },
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        // Evaluations dominate the schedule so cache hits actually occur.
+        (0usize..CREDS, 0u8..(1 << CREDS)).prop_map(|(user, mask)| Event::Evaluate { user, mask }),
+        (0usize..CREDS, 0u8..(1 << CREDS)).prop_map(|(user, mask)| Event::Evaluate { user, mask }),
+        (0usize..CREDS, 0u8..(1 << CREDS)).prop_map(|(user, mask)| Event::Evaluate { user, mask }),
+        any::<bool>().prop_map(|restrictive| Event::Publish { restrictive }),
+        (0usize..CREDS, 0u64..5_000).prop_map(|(cred, delay_us)| Event::Revoke { cred, delay_us }),
+        (1u64..10_000).prop_map(|delta_us| Event::Advance { delta_us }),
+    ]
+}
+
+fn policy(version: u64, restrictive: bool) -> safetx::policy::Policy {
+    let role = if restrictive { "auditor" } else { "member" };
+    PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .version(PolicyVersion(version))
+        .rules_text(&format!("grant(read, records) :- role(U, {role})."))
+        .expect("static rules parse")
+        .build()
+}
+
+struct Deployment {
+    cached: Core,
+    uncached: Core,
+    catalog: SharedCatalog,
+    cas: SharedCas,
+    credentials: Vec<Credential>,
+    version: u64,
+    now: Timestamp,
+    next_txn: u64,
+}
+
+fn deployment() -> Deployment {
+    let catalog = SharedCatalog::new();
+    catalog.publish(policy(1, false));
+    let mut registry = CaRegistry::new();
+    let mut ca = CertificateAuthority::new(CaId::new(0), 0xCAFE);
+    // Staggered validity windows so status can flip mid-schedule without
+    // any CA mutation: cred 1 expires at 8 ms, cred 2 starts at 2 ms.
+    let windows = [
+        (Timestamp::ZERO, Timestamp::MAX),
+        (Timestamp::ZERO, Timestamp::from_millis(8)),
+        (Timestamp::from_millis(2), Timestamp::MAX),
+    ];
+    let roles = ["member", "member", "auditor"];
+    let credentials: Vec<Credential> = (0..CREDS)
+        .map(|i| {
+            ca.issue(
+                UserId::new(i as u64),
+                Atom::fact(
+                    "role",
+                    vec![
+                        Constant::symbol(format!("u{i}")),
+                        Constant::symbol(roles[i]),
+                    ],
+                ),
+                windows[i].0,
+                windows[i].1,
+            )
+        })
+        .collect();
+    registry.register(ca);
+    let cas = SharedCas::new(registry);
+    let make_core = |cache_enabled: bool| {
+        let mut core = Core::new(
+            ServerId::new(0),
+            catalog.clone(),
+            ResourcePolicyMap::single(PolicyId::new(0)),
+            cas.clone(),
+            CommitVariant::Standard,
+        );
+        core.set_proof_cache(cache_enabled);
+        core.install_policy(PolicyId::new(0), PolicyVersion::INITIAL);
+        core.store_mut()
+            .write(DataItemId::new(0), Value::Int(1), Timestamp::ZERO);
+        core
+    };
+    Deployment {
+        cached: make_core(true),
+        uncached: make_core(false),
+        catalog,
+        cas,
+        credentials,
+        version: 1,
+        now: Timestamp::from_micros(1),
+        next_txn: 1,
+    }
+}
+
+/// Drives one evaluation through a core and returns the proof's
+/// `(granted, policy_version)`.
+fn evaluate(
+    core: &mut Core,
+    now: Timestamp,
+    txn: TxnId,
+    user: usize,
+    creds: &[Credential],
+) -> (bool, PolicyVersion) {
+    let out = core.handle(
+        now,
+        TM,
+        Msg::ExecQuery {
+            txn,
+            query_index: 0,
+            query: QuerySpec::new(
+                ServerId::new(0),
+                "read",
+                "records",
+                vec![Operation::Read(DataItemId::new(0))],
+            ),
+            user: UserId::new(user as u64),
+            credentials: creds.to_vec(),
+            evaluate_proof: true,
+            pin_versions: VersionMap::new(),
+            capabilities: vec![],
+        },
+    );
+    match &out[0].1 {
+        Msg::QueryDone { proof: Some(p), .. } => (p.truth(), p.policy_version),
+        other => panic!("expected QueryDone with proof, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Cached evaluation is observably equivalent to uncached evaluation
+    /// under arbitrary interleavings of publishes, revocations and clock
+    /// advances — no stale grant (or stale denial) is ever served.
+    #[test]
+    fn cached_evaluation_equals_uncached(events in prop::collection::vec(event(), 1..40)) {
+        let mut dep = deployment();
+        for event in events {
+            match event {
+                Event::Evaluate { user, mask } => {
+                    let creds: Vec<Credential> = dep
+                        .credentials
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    let txn = TxnId::new(dep.next_txn);
+                    dep.next_txn += 1;
+                    let got = evaluate(&mut dep.cached, dep.now, txn, user, &creds);
+                    let want = evaluate(&mut dep.uncached, dep.now, txn, user, &creds);
+                    prop_assert_eq!(
+                        got,
+                        want,
+                        "cached and uncached servers diverged at t={:?} (user {}, mask {:#05b})",
+                        dep.now,
+                        user,
+                        mask
+                    );
+                }
+                Event::Publish { restrictive } => {
+                    dep.version += 1;
+                    dep.catalog.publish(policy(dep.version, restrictive));
+                    let gossip = || Msg::PolicyGossip {
+                        policy_id: PolicyId::new(0),
+                        version: PolicyVersion(dep.version),
+                    };
+                    dep.cached.handle(dep.now, TM, gossip());
+                    dep.uncached.handle(dep.now, TM, gossip());
+                }
+                Event::Revoke { cred, delay_us } => {
+                    let id = dep.credentials[cred].id();
+                    let at = dep.now.saturating_add(safetx::types::Duration::from_micros(delay_us));
+                    dep.cas.with_mut(|registry| {
+                        registry.revoke(CaId::new(0), id, at);
+                    });
+                }
+                Event::Advance { delta_us } => {
+                    dep.now = dep.now.saturating_add(safetx::types::Duration::from_micros(delta_us));
+                }
+            }
+        }
+        // The schedule must have exercised the cache for the test to mean
+        // anything on evaluation-heavy schedules; it is only required to
+        // never *diverge*, so just sanity-check the counters add up.
+        let stats = dep.cached.counters().proof_cache;
+        prop_assert_eq!(
+            stats.lookups(),
+            dep.uncached.counters().proofs,
+            "every uncached evaluation has a matching cached lookup"
+        );
+        prop_assert_eq!(dep.uncached.counters().proof_cache.lookups(), 0);
+    }
+}

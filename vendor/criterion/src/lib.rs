@@ -1,0 +1,220 @@
+//! Vendored minimal `criterion` for offline builds.
+//!
+//! Provides the macro/entry-point surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `BenchmarkId`) backed by a simple calibrated
+//! wall-clock loop: each bench is auto-scaled until one measurement batch
+//! takes ≳100 ms, then the mean per-iteration time is printed. No
+//! statistics, plots, or baselines — just stable relative numbers for
+//! comparing hot paths.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the measured closure and records timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, auto-scaling the batch size until the measurement is
+    /// long enough to be stable.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(100) || batch >= 1 << 28 {
+                self.iters = batch;
+                self.elapsed = elapsed;
+                return;
+            }
+            let grow = if elapsed.is_zero() {
+                100
+            } else {
+                (Duration::from_millis(120).as_nanos() / elapsed.as_nanos().max(1)) as u64
+            };
+            batch = batch.saturating_mul(grow.clamp(2, 100));
+        }
+    }
+
+    fn per_iter_ns(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_id: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    println!(
+        "{full_id:<56} time: {:>12}   ({} iters)",
+        format_time(bencher.per_iter_ns()),
+        bencher.iters
+    );
+}
+
+/// The benchmark manager handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        run_one(id, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/bench-id` in the output).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness auto-scales
+    /// instead of sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b));
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; output is printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| std::hint::black_box(21u64 * 2));
+        assert!(bencher.iters > 0);
+        assert!(bencher.per_iter_ns() > 0.0);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(format_time(512.0), "512.00 ns");
+        assert_eq!(format_time(1_500.0), "1.500 µs");
+        assert_eq!(format_time(2_000_000.0), "2.000 ms");
+    }
+}

@@ -1,0 +1,724 @@
+//! Vendored minimal `proptest` for offline builds.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! strategies over integer ranges, `Just`, `any`, tuples, `prop_map`,
+//! `prop_flat_map`, `collection::vec`, `sample::select`, `option::of`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros with `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate: generation only (no shrinking — a
+//! failing case reports the exact generated input instead of a minimized
+//! one), and the RNG stream is seeded deterministically from the test name
+//! so failures reproduce across runs.
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::fmt;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Per-test configuration (`cases` only).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The input was rejected (e.g. by a filter); not counted as a run.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        #[must_use]
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// An input rejection with the given message.
+        #[must_use]
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Outcome of one test-case closure invocation.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 source feeding all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, width)`; `width` must be nonzero.
+        pub fn below(&mut self, width: u64) -> u64 {
+            debug_assert!(width > 0);
+            ((u128::from(self.next_u64()) * u128::from(width)) >> 64) as u64
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives a strategy through `config.cases` generated inputs.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Builds a runner whose RNG stream is derived from the test name,
+        /// so each property sees a stable input sequence across runs.
+        #[must_use]
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                config,
+                rng: TestRng::new(seed),
+                name,
+            }
+        }
+
+        /// Runs the property against generated inputs, panicking on the
+        /// first falsified case with the offending input attached.
+        ///
+        /// # Panics
+        ///
+        /// Panics when the property fails or the test closure panics.
+        pub fn run<S, F>(&mut self, strategy: S, mut test: F)
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            let mut rejects = 0u32;
+            let mut case = 0u32;
+            while case < self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let described = format!("{value:?}");
+                let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+                match outcome {
+                    Ok(Ok(())) => case += 1,
+                    Ok(Err(TestCaseError::Reject(reason))) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= 65_536,
+                            "{}: too many rejected inputs (last: {reason})",
+                            self.name
+                        );
+                    }
+                    Ok(Err(TestCaseError::Fail(message))) => {
+                        panic!(
+                            "{}: property falsified at case {case}: {message}\n    input: {described}",
+                            self.name
+                        );
+                    }
+                    Err(panic_payload) => {
+                        eprintln!(
+                            "{}: test panicked at case {case}\n    input: {described}",
+                            self.name
+                        );
+                        resume_unwind(panic_payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f`.
+        fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy(..)")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
+    #[derive(Debug, Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `arms` must be non-empty.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty.
+        #[must_use]
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let index = rng.below(self.arms.len() as u64) as usize;
+            self.arms[index].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let width = (self.end as i128 - self.start as i128) as u128 as u64;
+                    assert!(width > 0, "empty range strategy");
+                    self.start.wrapping_add(rng.below(width) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let width = (end as i128 - start as i128) as u128 as u64;
+                    if width == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(width + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A a)
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+        (A a, B b, C c, D d, E e)
+        (A a, B b, C c, D d, E e, F f)
+        (A a, B b, C c, D d, E e, F f, G g)
+        (A a, B b, C c, D d, E e, F f, G g, H h)
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> fmt::Debug for Any<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("any()")
+        }
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical unconstrained strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec()`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.end > range.start, "empty size range");
+            SizeRange {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — element strategy plus length bounds.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice among concrete values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+        }
+    }
+
+    /// `proptest::sample::select` — picks uniformly from `choices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `choices` is empty.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select requires at least one choice");
+        Select { choices }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (≈75 % `Some`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of` — wraps a strategy into an `Option` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The `prop::` alias module (`prop::collection::vec`, `prop::sample::select`, ...).
+pub mod prop {
+    pub use crate::{collection, option, sample};
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current test case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategy arms yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)
+/// { body }` runs the body over generated inputs. As with upstream
+/// proptest, the `#[test]` attribute is written by the caller and passed
+/// through.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                runner.run(($($strat,)+), |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u8..10, 2..5),
+            flag in any::<bool>(),
+            pick in prop::sample::select(vec!["a", "b"]),
+            opt in crate::option::of(0u32..3),
+            mapped in (0u64..4).prop_map(|n| n * 2),
+            chained in (1usize..3).prop_flat_map(|n| prop::collection::vec(Just(n), n..=n)),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert!(pick == "a" || pick == "b");
+            prop_assert!(opt.is_none_or(|o| o < 3));
+            prop_assert_eq!(mapped % 2, 0);
+            prop_assert!(!chained.is_empty() && chained.iter().all(|&n| n == chained.len()));
+        }
+
+        #[test]
+        fn oneof_covers_arms(choice in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(choice == 1 || choice == 2 || choice == 5 || choice == 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property falsified")]
+    fn falsified_property_panics_with_input() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            ProptestConfig::with_cases(16),
+            "falsified_property_panics_with_input",
+        );
+        runner.run((0u64..100,), |(n,)| {
+            prop_assert!(n < 1, "n = {} not < 1", n);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_name() {
+        let gen_values = || {
+            let mut runner = crate::test_runner::TestRunner::new(
+                ProptestConfig::with_cases(8),
+                "runs_are_deterministic_per_name",
+            );
+            let mut seen = Vec::new();
+            runner.run((0u64..1_000_000,), |(n,)| {
+                seen.push(n);
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(gen_values(), gen_values());
+    }
+}

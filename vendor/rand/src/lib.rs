@@ -1,0 +1,163 @@
+//! Vendored minimal `rand` for offline builds.
+//!
+//! Implements exactly the surface the workspace uses: `rngs::SmallRng`
+//! seeded via `SeedableRng::seed_from_u64`, plus `Rng::random::<u64>()`,
+//! `Rng::random::<f64>()`, and `Rng::random_range` over `Range<u64>`.
+//!
+//! `SmallRng` is xoshiro256++ (the same algorithm the real crate uses on
+//! 64-bit targets) with SplitMix64 seed expansion, so the statistical
+//! quality is adequate for the simulator's distribution tests. Streams are
+//! deterministic per seed but are **not** byte-compatible with the real
+//! crate — the workspace only relies on determinism, never on specific
+//! values.
+
+/// Seeding support (`seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling support (`random`/`random_range` subset).
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (implemented for `u64` and `f64`).
+    fn random<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open `u64` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty, matching the real crate.
+    fn random_range(&mut self, range: core::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        let width = range
+            .end
+            .checked_sub(range.start)
+            .filter(|w| *w > 0)
+            .expect("cannot sample from empty range");
+        // Lemire-style widening multiply: unbiased enough for simulation
+        // purposes and branch-free.
+        let hi = ((u128::from(self.next_u64()) * u128::from(width)) >> 64) as u64;
+        range.start + hi
+    }
+}
+
+/// Types samplable by [`Rng::random`].
+pub trait SampleUniform {
+    /// Draws one value from the generator.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl SampleUniform for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 high-quality bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        rng.random_range(5..5);
+    }
+}

@@ -1,0 +1,8 @@
+//! Vendored serde facade for offline builds.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so existing
+//! `use serde::{Deserialize, Serialize}` imports and `#[derive(...)]`
+//! attributes compile unchanged. No serialization machinery is provided;
+//! the workspace does not serialize anything in-tree yet.
+
+pub use serde_derive::{Deserialize, Serialize};

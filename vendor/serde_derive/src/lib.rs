@@ -1,0 +1,21 @@
+//! Vendored no-op implementations of serde's derive macros.
+//!
+//! The workspace tags many types `#[derive(Serialize, Deserialize)]` to
+//! document their wire-format intent, but nothing in-tree serializes yet.
+//! These derives accept the same attribute grammar and expand to nothing,
+//! which keeps the workspace building in offline environments without the
+//! real `serde_derive` crate.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
