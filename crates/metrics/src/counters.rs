@@ -57,6 +57,36 @@ impl ProtocolMetrics {
     }
 }
 
+impl ProtocolMetrics {
+    /// Machine-readable form for `BENCH_*.json` emitters.
+    #[must_use]
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::object()
+            .with("messages", self.messages)
+            .with("proofs", self.proofs)
+            .with("rounds", self.rounds)
+            .with("forced_logs", self.forced_logs)
+            .with("commits", self.commits)
+            .with("aborts", self.aborts)
+    }
+
+    /// Rebuilds metrics from [`ProtocolMetrics::to_json`] output.
+    ///
+    /// Returns `None` when a field is missing or non-numeric.
+    #[must_use]
+    pub fn from_json(json: &crate::Json) -> Option<Self> {
+        let field = |name: &str| json.get(name).and_then(crate::Json::as_u64);
+        Some(ProtocolMetrics {
+            messages: field("messages")?,
+            proofs: field("proofs")?,
+            rounds: field("rounds")?,
+            forced_logs: field("forced_logs")?,
+            commits: field("commits")?,
+            aborts: field("aborts")?,
+        })
+    }
+}
+
 impl fmt::Display for ProtocolMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -128,6 +158,28 @@ impl ProofCacheStats {
         } else {
             self.hits as f64 / lookups as f64
         }
+    }
+}
+
+impl ProofCacheStats {
+    /// Machine-readable form for `BENCH_*.json` emitters.
+    #[must_use]
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::object()
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("invalidations", self.invalidations)
+    }
+
+    /// Rebuilds stats from [`ProofCacheStats::to_json`] output.
+    #[must_use]
+    pub fn from_json(json: &crate::Json) -> Option<Self> {
+        let field = |name: &str| json.get(name).and_then(crate::Json::as_u64);
+        Some(ProofCacheStats {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            invalidations: field("invalidations")?,
+        })
     }
 }
 
@@ -214,6 +266,33 @@ mod tests {
         assert!((stats.hit_rate() - 0.5).abs() < f64::EPSILON);
         assert_eq!(stats.invalidations, 2);
         assert_eq!(ProofCacheStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn protocol_metrics_json_round_trip() {
+        let m = ProtocolMetrics {
+            messages: 17,
+            proofs: 5,
+            rounds: 2,
+            forced_logs: 9,
+            commits: 3,
+            aborts: 1,
+        };
+        let text = m.to_json().render();
+        let parsed = crate::Json::parse(&text).expect("valid json");
+        assert_eq!(ProtocolMetrics::from_json(&parsed), Some(m));
+        assert_eq!(ProtocolMetrics::from_json(&crate::Json::Null), None);
+    }
+
+    #[test]
+    fn cache_stats_json_round_trip() {
+        let s = ProofCacheStats {
+            hits: 11,
+            misses: 4,
+            invalidations: 2,
+        };
+        let parsed = crate::Json::parse(&s.to_json().render()).expect("valid json");
+        assert_eq!(ProofCacheStats::from_json(&parsed), Some(s));
     }
 
     #[test]

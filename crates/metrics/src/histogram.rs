@@ -89,6 +89,24 @@ impl Histogram {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
+
+    /// Machine-readable summary (count, mean, min/max, p50/p95/p99) for
+    /// `BENCH_*.json` emitters. Empty histograms report `count: 0` and
+    /// `null` statistics.
+    pub fn to_json(&mut self) -> crate::Json {
+        let opt = |v: Option<f64>| v.map_or(crate::Json::Null, crate::Json::Num);
+        let mean = self.mean();
+        let min = self.min();
+        let max = self.max();
+        crate::Json::object()
+            .with("count", self.count())
+            .with("mean", opt(mean))
+            .with("min", opt(min))
+            .with("max", opt(max))
+            .with("p50", opt(self.quantile(0.5)))
+            .with("p95", opt(self.quantile(0.95)))
+            .with("p99", opt(self.quantile(0.99)))
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -155,6 +173,26 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 4);
         assert_eq!(a.mean(), Some(2.5));
+    }
+
+    #[test]
+    fn to_json_summarizes_and_round_trips() {
+        let mut h: Histogram = (1..=100).map(f64::from).collect();
+        let json = h.to_json();
+        let parsed = crate::Json::parse(&json.render()).expect("valid json");
+        assert_eq!(parsed.get("count").and_then(crate::Json::as_u64), Some(100));
+        assert_eq!(parsed.get("p50").and_then(crate::Json::as_f64), Some(50.0));
+        assert_eq!(parsed.get("p95").and_then(crate::Json::as_f64), Some(95.0));
+        assert_eq!(parsed.get("p99").and_then(crate::Json::as_f64), Some(99.0));
+        assert_eq!(parsed.get("min").and_then(crate::Json::as_f64), Some(1.0));
+        assert_eq!(parsed.get("max").and_then(crate::Json::as_f64), Some(100.0));
+    }
+
+    #[test]
+    fn empty_histogram_to_json_is_null_stats() {
+        let json = Histogram::new().to_json();
+        assert_eq!(json.get("count").and_then(crate::Json::as_u64), Some(0));
+        assert_eq!(json.get("p99"), Some(&crate::Json::Null));
     }
 
     #[test]

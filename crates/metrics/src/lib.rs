@@ -4,15 +4,19 @@
 //! **proof evaluations**, **voting rounds** and **forced log writes**;
 //! [`ProtocolMetrics`] aggregates exactly those. [`Histogram`] summarizes
 //! latency samples for the trade-off study, and [`AsciiTable`] renders the
-//! reproduction tables printed by the bench binaries.
+//! reproduction tables printed by the bench binaries. [`Json`] is a small
+//! in-tree JSON tree + parser (the vendored `serde` facade is derive-only)
+//! so bench binaries can emit and validate machine-readable `BENCH_*.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod counters;
 mod histogram;
+mod json;
 mod table;
 
 pub use counters::{ProofCacheStats, ProtocolMetrics};
 pub use histogram::Histogram;
+pub use json::{Json, ParseError};
 pub use table::AsciiTable;

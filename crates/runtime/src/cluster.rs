@@ -3,13 +3,15 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
     AbortReason, ConsistencyLevel, Msg, ProofScheme, ResourcePolicyMap, ServerCore, SharedCas,
-    SharedCatalog, TwoPvc, TwoPvcAction, TxnOutcome, ValidationAction, ValidationConfig,
-    ValidationOutcome, ValidationRound, VersionMap,
+    SharedCatalog, TransactionView, TwoPvc, TwoPvcAction, TxnOutcome, ValidationAction,
+    ValidationConfig, ValidationOutcome, ValidationRound, VersionMap,
 };
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
 use safetx_txn::{CommitVariant, TransactionSpec};
 use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -77,6 +79,13 @@ pub struct ExecutionResult {
     pub outcome: TxnOutcome,
     /// Wall-clock latency of the whole execution.
     pub elapsed: std::time::Duration,
+    /// Every proof of authorization the TM saw during this execution,
+    /// recorded for post-hoc audits (Definitions 4–9 in
+    /// `safetx_core::trusted`).
+    pub view: TransactionView,
+    /// How many queries finished executing before the decision (wasted
+    /// work on aborts; equals the query count on commits).
+    pub queries_executed: usize,
 }
 
 impl ExecutionResult {
@@ -95,7 +104,18 @@ pub struct Cluster {
     server_txs: Vec<Sender<Input>>,
     handles: Vec<JoinHandle<()>>,
     epoch: Instant,
-    next_txn: std::sync::atomic::AtomicU64,
+    next_txn: AtomicU64,
+    live_servers: Arc<AtomicUsize>,
+}
+
+/// Decrements the live-thread gauge when a server thread exits — normally
+/// or by panic (the guard drops during unwind either way).
+struct LiveGuard(Arc<AtomicUsize>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
 }
 
 impl Cluster {
@@ -109,6 +129,7 @@ impl Cluster {
         let cas = SharedCas::new(registry);
         let epoch = Instant::now();
 
+        let live_servers = Arc::new(AtomicUsize::new(0));
         let mut server_txs = Vec::with_capacity(config.servers);
         let mut handles = Vec::with_capacity(config.servers);
         for i in 0..config.servers {
@@ -125,7 +146,10 @@ impl Cluster {
                 endpoint: Endpoint::Server(id),
                 tx: tx.clone(),
             };
+            live_servers.fetch_add(1, Ordering::Release);
+            let guard = LiveGuard(live_servers.clone());
             handles.push(std::thread::spawn(move || {
+                let _guard = guard;
                 server_loop(core, rx, my_addr, epoch);
             }));
             server_txs.push(tx);
@@ -138,8 +162,29 @@ impl Cluster {
             server_txs,
             handles,
             epoch,
-            next_txn: std::sync::atomic::AtomicU64::new(0),
+            next_txn: AtomicU64::new(0),
+            live_servers,
         }
+    }
+
+    /// The configuration this cluster was built with.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// How many server threads are currently running. Reaches zero only
+    /// after shutdown (or drop) has joined every thread.
+    #[must_use]
+    pub fn live_servers(&self) -> usize {
+        self.live_servers.load(Ordering::Acquire)
+    }
+
+    /// A clone of the live-thread gauge, for tests that must observe the
+    /// cluster's threads after the `Cluster` itself is gone.
+    #[must_use]
+    pub fn live_servers_gauge(&self) -> Arc<AtomicUsize> {
+        self.live_servers.clone()
     }
 
     /// The shared policy catalog.
@@ -229,8 +274,14 @@ impl Cluster {
         let mut touched: BTreeSet<ServerId> = BTreeSet::new();
         let mut pinned: VersionMap = VersionMap::new();
         let mut master_pinned: Option<VersionMap> = None;
+        let mut view = TransactionView::new();
+        let mut queries_executed = 0usize;
 
-        let abort = |this: &Cluster, touched: &BTreeSet<ServerId>, reason: AbortReason| {
+        let abort = |this: &Cluster,
+                     touched: &BTreeSet<ServerId>,
+                     reason: AbortReason,
+                     view: TransactionView,
+                     queries_executed: usize| {
             for &s in touched {
                 let _ = this.server_txs[s.index() as usize].send(Input::Proto(
                     me_clone(&me),
@@ -248,6 +299,8 @@ impl Cluster {
                     reason,
                 },
                 elapsed: started.elapsed(),
+                view,
+                queries_executed,
             }
         };
 
@@ -311,6 +364,9 @@ impl Cluster {
                     match reply_rx.recv().expect("servers alive") {
                         Input::Proto(from, Msg::ValidateReply { txn: t, reply }) if t == txn => {
                             if let Endpoint::Server(sid) = from.endpoint {
+                                for proof in &reply.proofs {
+                                    view.record(proof.clone());
+                                }
                                 pending.extend(validation.on_reply(sid, reply));
                             }
                         }
@@ -318,7 +374,7 @@ impl Cluster {
                     }
                 };
                 if let ValidationOutcome::Abort(reason) = outcome {
-                    return abort(self, &touched, reason);
+                    return abort(self, &touched, reason, view, queries_executed);
                 }
             }
 
@@ -328,7 +384,13 @@ impl Cluster {
                 match &master_pinned {
                     None => master_pinned = Some(latest),
                     Some(pin) if *pin != latest => {
-                        return abort(self, &touched, AbortReason::VersionInconsistency);
+                        return abort(
+                            self,
+                            &touched,
+                            AbortReason::VersionInconsistency,
+                            view,
+                            queries_executed,
+                        );
                     }
                     Some(_) => {}
                 }
@@ -377,9 +439,17 @@ impl Cluster {
                 }
             };
             if !ok {
-                return abort(self, &touched, AbortReason::LockConflict);
+                return abort(
+                    self,
+                    &touched,
+                    AbortReason::LockConflict,
+                    view,
+                    queries_executed,
+                );
             }
+            queries_executed += 1;
             if let Some(proof) = proof {
+                view.record(proof.clone());
                 if scheme.checks_versions_incrementally() {
                     let expectation = match consistency {
                         ConsistencyLevel::View => Some(
@@ -393,12 +463,24 @@ impl Cluster {
                     };
                     if let Some(expected) = expectation {
                         if proof.policy_version != expected {
-                            return abort(self, &touched, AbortReason::VersionInconsistency);
+                            return abort(
+                                self,
+                                &touched,
+                                AbortReason::VersionInconsistency,
+                                view,
+                                queries_executed,
+                            );
                         }
                     }
                 }
                 if !proof.truth() {
-                    return abort(self, &touched, AbortReason::ProofFalse);
+                    return abort(
+                        self,
+                        &touched,
+                        AbortReason::ProofFalse,
+                        view,
+                        queries_executed,
+                    );
                 }
             }
         }
@@ -471,6 +553,9 @@ impl Cluster {
             match reply_rx.recv().expect("servers alive") {
                 Input::Proto(from, Msg::CommitReply { txn: t, reply }) if t == txn => {
                     if let Endpoint::Server(sid) = from.endpoint {
+                        for proof in &reply.proofs {
+                            view.record(proof.clone());
+                        }
                         pending.extend(pvc.on_reply(sid, reply));
                     }
                 }
@@ -496,6 +581,8 @@ impl Cluster {
         ExecutionResult {
             outcome,
             elapsed: started.elapsed(),
+            view,
+            queries_executed,
         }
     }
 
@@ -673,6 +760,63 @@ mod tests {
         let outcomes: Vec<bool> = joins.into_iter().map(|j| j.join().unwrap()).collect();
         // At least one must commit; others may hit lock conflicts.
         assert!(outcomes.iter().any(|&c| c), "{outcomes:?}");
+    }
+
+    #[test]
+    fn drop_joins_server_threads_even_when_the_caller_panics() {
+        // Smuggle the gauge out of the panicking scope so we can observe
+        // the threads after the unwind.
+        let gauge: std::sync::Mutex<Option<Arc<AtomicUsize>>> = std::sync::Mutex::new(None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let cluster = cluster(ProofScheme::Deferred, ConsistencyLevel::View);
+            assert_eq!(cluster.live_servers(), 3);
+            *gauge.lock().unwrap() = Some(cluster.live_servers_gauge());
+            // A transaction is in flight state-wise (locks taken and
+            // released); then the driver dies without calling shutdown().
+            let cred = member_credential(&cluster);
+            assert!(cluster.execute(&spec(&cluster), &[cred]).is_commit());
+            panic!("driver died mid-run");
+        }));
+        assert!(result.is_err(), "the probe must have panicked");
+        let gauge = gauge.lock().unwrap().clone().expect("gauge captured");
+        // Cluster::drop ran during unwind and joined every server thread.
+        assert_eq!(
+            gauge.load(Ordering::Acquire),
+            0,
+            "server threads leaked past Drop"
+        );
+    }
+
+    #[test]
+    fn shutdown_brings_live_servers_to_zero() {
+        let cluster = cluster(ProofScheme::Deferred, ConsistencyLevel::View);
+        let gauge = cluster.live_servers_gauge();
+        assert_eq!(cluster.live_servers(), 3);
+        cluster.shutdown();
+        assert_eq!(gauge.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn execution_view_supports_definition4_audit() {
+        use safetx_core::trusted;
+        for scheme in ProofScheme::ALL {
+            for consistency in ConsistencyLevel::ALL {
+                let cluster = cluster(scheme, consistency);
+                let cred = member_credential(&cluster);
+                let result = cluster.execute(&spec(&cluster), &[cred]);
+                assert!(result.is_commit(), "{scheme}/{consistency}");
+                assert!(
+                    !result.view.is_empty(),
+                    "{scheme}/{consistency}: commit recorded no proofs"
+                );
+                let authority = cluster.catalog().latest_versions();
+                assert!(
+                    trusted::is_trusted(&result.view, consistency, &authority),
+                    "{scheme}/{consistency}: committed view fails Definition 4"
+                );
+                cluster.shutdown();
+            }
+        }
     }
 
     #[test]

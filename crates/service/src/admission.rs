@@ -1,0 +1,256 @@
+//! Bounded submission queue with admission control.
+//!
+//! The queue is the service's backpressure point: past a configurable
+//! depth, non-blocking submissions are rejected with
+//! [`AdmissionError::Overloaded`] instead of growing an unbounded backlog
+//! (load shedding for open-loop traffic), while blocking submissions wait
+//! for space (backpressure for closed-loop clients). Closing the queue
+//! wakes every waiter; consumers drain whatever was already admitted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue is at its configured depth (load shed).
+    Overloaded,
+    /// The service is shutting down; no new work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Overloaded => write!(f, "admission queue full"),
+            AdmissionError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue guarded by a mutex and two condvars.
+pub struct AdmissionQueue<T> {
+    depth: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue admitting at most `depth` waiting items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        AdmissionQueue {
+            depth,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The configured depth bound.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Items currently waiting (not yet claimed by a worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue mutex is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").queue.len()
+    }
+
+    /// True when nothing is waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: rejects with [`AdmissionError::Overloaded`]
+    /// when the queue is at depth, returning the item to the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Overloaded`] at depth; [`AdmissionError::Closed`]
+    /// after [`AdmissionQueue::close`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue mutex is poisoned.
+    pub fn try_push(&self, item: T) -> Result<(), (AdmissionError, T)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err((AdmissionError::Closed, item));
+        }
+        if inner.queue.len() >= self.depth {
+            return Err((AdmissionError::Overloaded, item));
+        }
+        inner.queue.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking admission: waits for space instead of shedding
+    /// (closed-loop backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Closed`] when the queue closes before space opens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue mutex is poisoned.
+    pub fn push_wait(&self, item: T) -> Result<(), (AdmissionError, T)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err((AdmissionError::Closed, item));
+            }
+            if inner.queue.len() < self.depth {
+                inner.queue.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Blocking removal. Returns `None` only when the queue is closed
+    /// *and* drained — already-admitted work is always delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue mutex is poisoned.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, waiters wake, consumers drain
+    /// the remainder and then observe `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue mutex is poisoned.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// True once [`AdmissionQueue::close`] has been called.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue mutex is poisoned.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_with_overloaded_past_depth() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let (err, item) = q.try_push(3).unwrap_err();
+        assert_eq!(err, AdmissionError::Overloaded);
+        assert_eq!(item, 3, "rejected item is returned");
+        assert_eq!(q.len(), 2);
+        // Draining one slot re-opens admission.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_fails_pushes_but_drains_admitted_work() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(12), Err((AdmissionError::Closed, 12))));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn push_wait_blocks_until_space_then_succeeds() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = q.clone();
+        let waiter = std::thread::spawn(move || q2.push_wait(2).is_ok());
+        // Give the waiter time to block, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(waiter.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn push_wait_wakes_with_closed_on_shutdown() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = q.clone();
+        let waiter = std::thread::spawn(move || q2.push_wait(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err((AdmissionError::Closed, 2))
+        ));
+    }
+
+    #[test]
+    fn pop_blocks_until_item_arrives() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_rejected() {
+        let _ = AdmissionQueue::<u8>::new(0);
+    }
+}

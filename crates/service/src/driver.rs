@@ -1,0 +1,196 @@
+//! Closed- and open-loop load drivers over a [`TxnService`].
+//!
+//! The closed loop models a fixed population of clients, each submitting
+//! its next transaction only after the previous one completes — offered
+//! load self-regulates to the service's capacity (Section 6 of the paper
+//! measures under this regime). The open loop models Poisson arrivals that
+//! do not wait for completions: offered load is external, so when it
+//! exceeds capacity the admission queue fills and the service sheds with
+//! [`AdmissionError::Overloaded`](crate::AdmissionError::Overloaded).
+
+use crate::service::{Completion, TxnService};
+use crate::AdmissionError;
+use safetx_policy::Credential;
+use safetx_txn::TransactionSpec;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What a driver run produced.
+#[derive(Debug)]
+pub struct DriverReport {
+    /// Wall-clock time from first submission to last completion.
+    pub wall: std::time::Duration,
+    /// Per-transaction completions, in no particular order.
+    pub completions: Vec<Completion>,
+    /// Transactions this driver offered (admitted + rejected).
+    pub offered: u64,
+    /// Admission rejections this driver observed (open loop only).
+    pub rejected: u64,
+}
+
+impl DriverReport {
+    /// Completions that committed.
+    #[must_use]
+    pub fn commits(&self) -> usize {
+        self.completions
+            .iter()
+            .filter(|c| c.outcome.is_commit())
+            .count()
+    }
+}
+
+/// Runs `clients` concurrent closed-loop clients, each submitting
+/// `per_client` transactions back to back. `make(client, index)` builds
+/// each submission. Uses blocking submission, so a full queue exerts
+/// backpressure instead of shedding.
+///
+/// # Panics
+///
+/// Panics when the completions mutex is poisoned (a client panicked).
+pub fn run_closed_loop<F>(
+    service: &TxnService,
+    clients: usize,
+    per_client: usize,
+    make: F,
+) -> DriverReport
+where
+    F: Fn(usize, usize) -> (TransactionSpec, Vec<Credential>) + Sync,
+{
+    let started = Instant::now();
+    let completions = Mutex::new(Vec::with_capacity(clients * per_client));
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let make = &make;
+            let completions = &completions;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(per_client);
+                for index in 0..per_client {
+                    let (spec, credentials) = make(client, index);
+                    match service.submit_blocking(spec, credentials) {
+                        Ok(handle) => local.push(handle.wait()),
+                        Err(AdmissionError::Closed) => break,
+                        Err(AdmissionError::Overloaded) => {
+                            unreachable!("blocking submission never sheds")
+                        }
+                    }
+                }
+                completions.lock().expect("client panicked").extend(local);
+            });
+        }
+    });
+    let completions = completions.into_inner().expect("client panicked");
+    DriverReport {
+        wall: started.elapsed(),
+        offered: completions.len() as u64,
+        rejected: 0,
+        completions,
+    }
+}
+
+/// Runs an open-loop driver: submits at the offsets yielded by `arrivals`
+/// (e.g. [`safetx_workload::PoissonArrivals`]) without waiting for
+/// completions, using non-blocking submission so overload is shed rather
+/// than queued unboundedly. Consumes at most `count` arrivals, then waits
+/// for every admitted transaction to complete.
+///
+/// # Panics
+///
+/// Panics when the service shuts down mid-run.
+pub fn run_open_loop<A, F>(
+    service: &TxnService,
+    arrivals: A,
+    count: usize,
+    mut make: F,
+) -> DriverReport
+where
+    A: Iterator<Item = safetx_types::Duration>,
+    F: FnMut(usize) -> (TransactionSpec, Vec<Credential>),
+{
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    let mut offered = 0u64;
+    let mut rejected = 0u64;
+    for (index, at) in arrivals.take(count).enumerate() {
+        let target = std::time::Duration::from_micros(at.as_micros());
+        if let Some(sleep) = target.checked_sub(started.elapsed()) {
+            std::thread::sleep(sleep);
+        }
+        let (spec, credentials) = make(index);
+        offered += 1;
+        match service.try_submit(spec, credentials) {
+            Ok(handle) => handles.push(handle),
+            Err(AdmissionError::Overloaded) => rejected += 1,
+            Err(AdmissionError::Closed) => panic!("service closed during open-loop run"),
+        }
+    }
+    let completions: Vec<Completion> = handles.into_iter().map(|h| h.wait()).collect();
+    DriverReport {
+        wall: started.elapsed(),
+        completions,
+        offered,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServiceConfig, TxnService};
+    use crate::testutil::{member_credential, seeded_cluster, spread_spec};
+    use safetx_core::{ConsistencyLevel, ProofScheme};
+    use safetx_workload::PoissonArrivals;
+
+    fn service() -> TxnService {
+        let cluster = seeded_cluster(3, ProofScheme::Deferred, ConsistencyLevel::View);
+        TxnService::new(
+            cluster,
+            ServiceConfig {
+                workers: 4,
+                queue_depth: 32,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn closed_loop_completes_every_submission() {
+        let service = service();
+        let cred = member_credential(service.cluster());
+        let report = run_closed_loop(&service, 4, 5, |client, index| {
+            (
+                spread_spec(service.cluster(), (client * 5 + index) as u64),
+                vec![cred.clone()],
+            )
+        });
+        assert_eq!(report.offered, 20);
+        assert_eq!(report.completions.len(), 20);
+        assert_eq!(report.commits(), 20);
+        assert_eq!(report.rejected, 0);
+        let stats = service.shutdown();
+        assert_eq!(stats.commits, 20);
+        assert!(stats.conserves(), "{stats:?}");
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_arrival() {
+        let service = service();
+        let cred = member_credential(service.cluster());
+        let arrivals = PoissonArrivals::new(safetx_types::Duration::from_micros(500), 17);
+        let report = run_open_loop(&service, arrivals, 30, |index| {
+            (
+                spread_spec(service.cluster(), index as u64),
+                vec![cred.clone()],
+            )
+        });
+        assert_eq!(report.offered, 30);
+        assert_eq!(
+            report.completions.len() as u64 + report.rejected,
+            report.offered,
+            "every arrival is admitted or shed"
+        );
+        assert!(report.commits() > 0);
+        let stats = service.shutdown();
+        assert_eq!(stats.overload_rejections, report.rejected);
+        assert!(stats.conserves(), "{stats:?}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Concurrent transaction serving layer over the threaded runtime.
+//!
+//! The protocol crates are sans-io state machines and the runtime executes
+//! one transaction per calling thread. This crate adds the piece a real
+//! deployment puts in front of that: a **service** that accepts
+//! transaction submissions from many clients concurrently and is honest
+//! about overload.
+//!
+//! * **Admission control** — a bounded queue ([`AdmissionQueue`]) feeds a
+//!   pool of TM worker threads. Non-blocking submissions past the
+//!   configured depth are shed with [`AdmissionError::Overloaded`]
+//!   (open-loop load shedding); blocking submissions wait for space
+//!   (closed-loop backpressure).
+//! * **Abort-retry** — transient aborts (lock conflicts, stale policy
+//!   versions, timeouts) are retried with capped exponential backoff and
+//!   deterministic jitter ([`RetryPolicy`]); terminal aborts (a proof of
+//!   authorization that evaluated FALSE, integrity violations) are
+//!   surfaced immediately and **never resubmitted** — a policy denial is a
+//!   decision, not a race.
+//! * **Load drivers** — [`run_closed_loop`] (fixed client population) and
+//!   [`run_open_loop`] (Poisson arrivals from `safetx-workload`) drive the
+//!   service and collect per-transaction [`Completion`]s.
+//! * **Accounting** — [`ServiceStats`] counts every offered submission
+//!   into exactly one of commit / terminal abort / retries exhausted /
+//!   overload rejection ([`ServiceStats::conserves`]) and records latency
+//!   histograms, exportable as JSON via [`ServiceStats::to_json`].
+//!
+//! Every completion carries the transaction's recorded proof view, so
+//! callers can audit Definition 4 (trusted transactions) post hoc with
+//! `safetx_core::trusted::is_trusted`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod driver;
+mod report;
+mod retry;
+mod service;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use admission::{AdmissionError, AdmissionQueue};
+pub use driver::{run_closed_loop, run_open_loop, DriverReport};
+pub use report::ServiceStats;
+pub use retry::{classify, Disposition, RetryPolicy};
+pub use service::{Completion, CompletionHandle, ServiceConfig, ServiceOutcome, TxnService};

@@ -1,0 +1,132 @@
+//! Service-level statistics: outcome counters and latency histograms.
+
+use safetx_metrics::{Histogram, Json};
+
+/// Everything the service measured, snapshot-able at any time and final
+/// after shutdown.
+///
+/// Conservation invariant (checked by [`ServiceStats::conserves`]): every
+/// offered submission is either rejected at admission or completes with
+/// exactly one of commit / terminal abort / retries exhausted, so
+/// `commits + terminal_aborts + retries_exhausted + overload_rejections
+/// == submissions` once the service has drained.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Submissions offered (accepted + rejected).
+    pub submissions: u64,
+    /// Submissions admitted into the queue.
+    pub accepted: u64,
+    /// Submissions rejected by admission control (queue at depth).
+    pub overload_rejections: u64,
+    /// Transactions that committed (possibly after retries).
+    pub commits: u64,
+    /// Transactions that ended with a terminal abort (never retried).
+    pub terminal_aborts: u64,
+    /// Transactions whose retry budget ran out on transient aborts.
+    pub retries_exhausted: u64,
+    /// Total re-submissions across all transactions (attempts − 1 each).
+    pub retry_attempts: u64,
+    /// End-to-end latency of committed transactions, in milliseconds
+    /// (submission to commit, including queueing and retries).
+    pub commit_latency_ms: Histogram,
+    /// Time spent waiting in the admission queue, in milliseconds.
+    pub queue_wait_ms: Histogram,
+    /// End-to-end latency of non-committed completions, in milliseconds.
+    pub failure_latency_ms: Histogram,
+}
+
+impl ServiceStats {
+    /// Completed transactions (every admitted submission ends here).
+    #[must_use]
+    pub fn completions(&self) -> u64 {
+        self.commits + self.terminal_aborts + self.retries_exhausted
+    }
+
+    /// True when every offered submission is accounted for: rejected at
+    /// admission or completed exactly once.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.accepted + self.overload_rejections == self.submissions
+            && self.completions() == self.accepted
+    }
+
+    /// Commits per wall-clock second over the given window.
+    #[must_use]
+    pub fn throughput_tps(&self, wall: std::time::Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.commits as f64 / secs
+        }
+    }
+
+    /// Machine-readable snapshot (sorts histograms in place for the
+    /// quantiles).
+    pub fn to_json(&mut self) -> Json {
+        Json::object()
+            .with("submissions", self.submissions)
+            .with("accepted", self.accepted)
+            .with("overload_rejections", self.overload_rejections)
+            .with("commits", self.commits)
+            .with("terminal_aborts", self.terminal_aborts)
+            .with("retries_exhausted", self.retries_exhausted)
+            .with("retry_attempts", self.retry_attempts)
+            .with("commit_latency_ms", self.commit_latency_ms.to_json())
+            .with("queue_wait_ms", self.queue_wait_ms.to_json())
+            .with("failure_latency_ms", self.failure_latency_ms.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_accounting() {
+        let mut stats = ServiceStats {
+            submissions: 10,
+            accepted: 8,
+            overload_rejections: 2,
+            commits: 6,
+            terminal_aborts: 1,
+            retries_exhausted: 1,
+            ..Default::default()
+        };
+        assert!(stats.conserves());
+        stats.commits -= 1;
+        assert!(!stats.conserves(), "a lost completion must be caught");
+    }
+
+    #[test]
+    fn throughput_is_commits_over_wall() {
+        let stats = ServiceStats {
+            commits: 50,
+            ..Default::default()
+        };
+        let tps = stats.throughput_tps(std::time::Duration::from_secs(2));
+        assert!((tps - 25.0).abs() < f64::EPSILON);
+        assert_eq!(stats.throughput_tps(std::time::Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_carries_counters() {
+        let mut stats = ServiceStats {
+            submissions: 4,
+            accepted: 4,
+            commits: 4,
+            ..Default::default()
+        };
+        stats.commit_latency_ms.record(1.5);
+        let text = stats.to_json().render();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert_eq!(parsed.get("commits").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            parsed
+                .get("commit_latency_ms")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Abort classification and capped exponential backoff with jitter.
+//!
+//! Retrying is only sound for aborts caused by *transient* conditions —
+//! lock conflicts with concurrent transactions and policy-version races
+//! that a fresh attempt sees resolved. A proof of authorization that
+//! evaluated FALSE under consistent policies is a *decision*, not an
+//! accident: resubmitting a policy-denied transaction can never succeed
+//! until an administrator changes the policy, so the service surfaces it
+//! as terminal immediately.
+
+use safetx_core::AbortReason;
+use std::time::Duration;
+
+/// Whether an abort is worth another attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Transient: caused by concurrency (lock conflict, stale version,
+    /// timeout); a fresh attempt may commit.
+    Retryable,
+    /// Definitive: the system rejected the transaction on its merits
+    /// (policy denial, integrity violation, unrecovered failure).
+    Terminal,
+}
+
+/// Classifies an abort reason.
+#[must_use]
+pub fn classify(reason: AbortReason) -> Disposition {
+    match reason {
+        AbortReason::LockConflict | AbortReason::VersionInconsistency | AbortReason::Timeout => {
+            Disposition::Retryable
+        }
+        AbortReason::ProofFalse | AbortReason::IntegrityViolation | AbortReason::Failure => {
+            Disposition::Terminal
+        }
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum *re*-submissions after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter width as a percentage (clamped to 100): each backoff is
+    /// scaled by a deterministic factor in `[1 - j/200, 1 + j/200]` so
+    /// retries from concurrently aborted transactions spread out instead
+    /// of colliding again in lockstep.
+    pub jitter_percent: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 24,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            jitter_percent: 50,
+        }
+    }
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer for deterministic jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn never() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// The sleep before retry number `retry` (0-based), jittered
+    /// deterministically by `seed` — same `(policy, retry, seed)` always
+    /// produces the same backoff.
+    #[must_use]
+    pub fn backoff(&self, retry: u32, seed: u64) -> Duration {
+        let exp = retry.min(31);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp.min(20))
+            .min(self.max_backoff);
+        let jitter = u64::from(self.jitter_percent.min(100));
+        if jitter == 0 {
+            return raw;
+        }
+        // Deterministic factor in [100 - j/2, 100 + j/2] percent.
+        let roll = splitmix64(seed ^ (u64::from(retry) << 32)) % (jitter + 1);
+        let percent = 100 - jitter / 2 + roll;
+        Duration::from_nanos((raw.as_nanos() as u64).saturating_mul(percent) / 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_reasons_retry_and_decisions_do_not() {
+        assert_eq!(classify(AbortReason::LockConflict), Disposition::Retryable);
+        assert_eq!(
+            classify(AbortReason::VersionInconsistency),
+            Disposition::Retryable
+        );
+        assert_eq!(classify(AbortReason::Timeout), Disposition::Retryable);
+        assert_eq!(classify(AbortReason::ProofFalse), Disposition::Terminal);
+        assert_eq!(
+            classify(AbortReason::IntegrityViolation),
+            Disposition::Terminal
+        );
+        assert_eq!(classify(AbortReason::Failure), Disposition::Terminal);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            jitter_percent: 0,
+        };
+        assert_eq!(policy.backoff(0, 1), Duration::from_micros(100));
+        assert_eq!(policy.backoff(1, 1), Duration::from_micros(200));
+        assert_eq!(policy.backoff(2, 1), Duration::from_micros(400));
+        assert_eq!(policy.backoff(3, 1), Duration::from_micros(800));
+        assert_eq!(policy.backoff(4, 1), Duration::from_millis(1), "capped");
+        assert_eq!(policy.backoff(30, 1), Duration::from_millis(1), "capped");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            jitter_percent: 50,
+            base_backoff: Duration::from_micros(1_000),
+            max_backoff: Duration::from_micros(1_000),
+            max_retries: 1,
+        };
+        let a = policy.backoff(0, 42);
+        let b = policy.backoff(0, 42);
+        assert_eq!(a, b, "same seed, same jitter");
+        let lo = Duration::from_micros(750);
+        let hi = Duration::from_micros(1_250);
+        for seed in 0..256 {
+            let d = policy.backoff(0, seed);
+            assert!(
+                (lo..=hi).contains(&d),
+                "jittered backoff {d:?} outside [{lo:?}, {hi:?}]"
+            );
+        }
+        // Different seeds actually spread.
+        assert!((0..256).map(|s| policy.backoff(0, s)).any(|d| d != a));
+    }
+
+    #[test]
+    fn never_policy_has_zero_retries() {
+        assert_eq!(RetryPolicy::never().max_retries, 0);
+    }
+}

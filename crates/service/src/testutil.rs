@@ -1,0 +1,111 @@
+//! Shared fixtures for the service crate's tests: a seeded cluster with a
+//! published member policy, credentials, and spec builders.
+
+use safetx_core::{ConsistencyLevel, ProofScheme};
+use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
+use safetx_runtime::{Cluster, ClusterConfig};
+use safetx_store::Value;
+use safetx_txn::{Operation, QuerySpec, TransactionSpec};
+use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, UserId};
+use std::sync::Arc;
+
+/// Items seeded per server (ids `server * 100 + 0..ITEMS_PER_SERVER`).
+pub const ITEMS_PER_SERVER: u64 = 32;
+
+/// A running cluster with a member policy published and data seeded.
+pub fn seeded_cluster(
+    servers: usize,
+    scheme: ProofScheme,
+    consistency: ConsistencyLevel,
+) -> Arc<Cluster> {
+    let cluster = Cluster::new(ClusterConfig {
+        servers,
+        scheme,
+        consistency,
+        ..Default::default()
+    });
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member).",
+        )
+        .unwrap()
+        .build();
+    cluster.publish_policy(policy);
+    for s in 0..servers as u64 {
+        cluster.configure_server(ServerId::new(s), move |core| {
+            for j in 0..ITEMS_PER_SERVER {
+                core.store_mut().write(
+                    DataItemId::new(s * 100 + j),
+                    Value::Int(10),
+                    Timestamp::ZERO,
+                );
+            }
+        });
+    }
+    Arc::new(cluster)
+}
+
+/// A credential asserting the member role for user 1.
+pub fn member_credential(cluster: &Cluster) -> Credential {
+    cluster.cas().with_mut(|registry| {
+        registry.ca_mut(CaId::new(0)).unwrap().issue(
+            UserId::new(1),
+            Atom::fact(
+                "role",
+                vec![Constant::symbol("u1"), Constant::symbol("member")],
+            ),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+        )
+    })
+}
+
+/// A multi-server transaction whose keys are spread by `i` so distinct
+/// values of `i` never lock-conflict.
+pub fn spread_spec(cluster: &Cluster, i: u64) -> TransactionSpec {
+    let servers = cluster.config().servers as u64;
+    let slot = i % ITEMS_PER_SERVER;
+    let queries = (0..servers)
+        .map(|s| {
+            QuerySpec::new(
+                ServerId::new(s),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(s * 100 + slot), 1)],
+            )
+        })
+        .collect();
+    TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
+}
+
+/// A transaction that hammers one hot key on every server — guaranteed
+/// lock contention between concurrent callers.
+pub fn hot_key_spec(cluster: &Cluster) -> TransactionSpec {
+    let servers = cluster.config().servers as u64;
+    let queries = (0..servers)
+        .map(|s| {
+            QuerySpec::new(
+                ServerId::new(s),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(s * 100), 1)],
+            )
+        })
+        .collect();
+    TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
+}
+
+/// A write that will be policy-denied when submitted without credentials.
+pub fn denied_spec(cluster: &Cluster) -> TransactionSpec {
+    TransactionSpec::new(
+        cluster.next_txn_id(),
+        UserId::new(1),
+        vec![QuerySpec::new(
+            ServerId::new(0),
+            "write",
+            "records",
+            vec![Operation::Add(DataItemId::new(0), 1)],
+        )],
+    )
+}

@@ -1,6 +1,7 @@
 //! Samplers used by the generator.
 
 use safetx_sim::SimRng;
+use safetx_types::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Distribution of the number of queries per transaction (`u`).
@@ -94,6 +95,57 @@ impl Zipf {
     }
 }
 
+/// An infinite open-loop Poisson arrival process: successive absolute
+/// arrival offsets with exponential inter-arrival gaps (truncated to whole
+/// microseconds, minimum 1 µs so arrivals are strictly monotone).
+///
+/// This is the arrival side of an open-loop load driver: arrivals are
+/// generated independently of completions, so a saturated service sheds
+/// the excess instead of slowing the offered load down.
+#[derive(Debug)]
+pub struct PoissonArrivals {
+    rng: SimRng,
+    mean_micros: f64,
+    at: Duration,
+}
+
+impl PoissonArrivals {
+    /// Creates the process with the given mean inter-arrival time and its
+    /// own deterministic RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean_interarrival` is zero.
+    #[must_use]
+    pub fn new(mean_interarrival: Duration, seed: u64) -> Self {
+        assert!(
+            mean_interarrival > Duration::ZERO,
+            "zero mean inter-arrival time"
+        );
+        PoissonArrivals {
+            rng: SimRng::new(seed),
+            mean_micros: mean_interarrival.as_micros() as f64,
+            at: Duration::ZERO,
+        }
+    }
+
+    /// The offered load in arrivals per second.
+    #[must_use]
+    pub fn rate_per_sec(&self) -> f64 {
+        1_000_000.0 / self.mean_micros
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        let gap = self.rng.exponential(self.mean_micros).max(1.0);
+        self.at += Duration::from_micros(gap as u64);
+        Some(self.at)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +212,52 @@ mod tests {
     #[should_panic(expected = "zero items")]
     fn zipf_rejects_empty_domain() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_strictly_monotone() {
+        let arrivals: Vec<Duration> = PoissonArrivals::new(Duration::from_millis(1), 42)
+            .take(1_000)
+            .collect();
+        for pair in arrivals.windows(2) {
+            assert!(pair[0] < pair[1], "arrivals must strictly increase");
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_deterministic_under_fixed_seed() {
+        let a: Vec<Duration> = PoissonArrivals::new(Duration::from_micros(500), 7)
+            .take(256)
+            .collect();
+        let b: Vec<Duration> = PoissonArrivals::new(Duration::from_micros(500), 7)
+            .take(256)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<Duration> = PoissonArrivals::new(Duration::from_micros(500), 8)
+            .take(256)
+            .collect();
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_configured_mean() {
+        let n = 20_000u64;
+        let last = PoissonArrivals::new(Duration::from_micros(1_000), 3)
+            .take(n as usize)
+            .last()
+            .unwrap();
+        let mean_gap = last.as_micros() as f64 / n as f64;
+        assert!(
+            (800.0..1_200.0).contains(&mean_gap),
+            "mean gap {mean_gap} off the configured 1000µs"
+        );
+        let p = PoissonArrivals::new(Duration::from_micros(1_000), 3);
+        assert!((p.rate_per_sec() - 1_000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mean")]
+    fn poisson_rejects_zero_mean() {
+        let _ = PoissonArrivals::new(Duration::ZERO, 0);
     }
 }

@@ -1,6 +1,6 @@
 //! Transaction generation.
 
-use crate::dist::{QueryCount, Zipf};
+use crate::dist::{PoissonArrivals, QueryCount, Zipf};
 use safetx_sim::SimRng;
 use safetx_store::Value;
 use safetx_txn::{Operation, QuerySpec, TransactionSpec};
@@ -112,16 +112,16 @@ impl TxnGenerator {
     /// Generates the full schedule: `(arrival offset, spec)` pairs with
     /// exponential inter-arrival times.
     pub fn schedule(&mut self, user: UserId) -> Vec<(Duration, TransactionSpec)> {
-        let mut out = Vec::with_capacity(self.config.transactions);
-        let mut at = Duration::ZERO;
-        for _ in 0..self.config.transactions {
-            let gap = self
-                .rng
-                .exponential(self.config.mean_interarrival.as_micros() as f64);
-            at += Duration::from_micros(gap as u64);
-            out.push((at, self.next_txn(user)));
-        }
-        out
+        let arrivals = PoissonArrivals::new(
+            self.config.mean_interarrival,
+            // Derived, not shared: the arrival process must not interleave
+            // draws with the spec-generation RNG stream.
+            self.rng.next_u64(),
+        );
+        arrivals
+            .take(self.config.transactions)
+            .map(|at| (at, self.next_txn(user)))
+            .collect()
     }
 
     /// Seed values every item starts from (so reads and `Add`s always find

@@ -16,6 +16,6 @@ mod dist;
 mod gen;
 mod scenario;
 
-pub use dist::{QueryCount, Zipf};
+pub use dist::{PoissonArrivals, QueryCount, Zipf};
 pub use gen::{TxnGenerator, WorkloadConfig};
 pub use scenario::{run_scenario, PolicyChurn, ScenarioConfig, ScenarioResult};

@@ -106,3 +106,9 @@ pub mod runtime {
 pub mod metrics {
     pub use safetx_metrics::*;
 }
+
+/// Concurrent transaction service: admission control, abort-retry with
+/// backoff, closed/open-loop load drivers.
+pub mod service {
+    pub use safetx_service::*;
+}
