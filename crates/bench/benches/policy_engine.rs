@@ -260,25 +260,27 @@ fn server_fixture(cache_enabled: bool) -> (ServerCore<u8>, TxnId) {
     // Ambient server knowledge: the user's observed location, one `table`
     // fact per resource, and bystander facts about other sites — the base
     // a cold evaluation clones and saturates every time.
-    core.ambient_mut()
-        .insert(Atom::fact(
-            "located",
-            vec![Constant::symbol("u1"), Constant::symbol("east")],
-        ))
-        .unwrap();
-    for i in 0..REVALIDATED_QUERIES {
-        core.ambient_mut()
-            .insert(Atom::fact("table", vec![Constant::symbol(format!("r{i}"))]))
-            .unwrap();
-    }
-    for s in 0..16 {
-        core.ambient_mut()
+    core.with_ambient(|ambient| {
+        ambient
             .insert(Atom::fact(
-                "site",
-                vec![Constant::symbol(format!("s{s}")), Constant::symbol("east")],
+                "located",
+                vec![Constant::symbol("u1"), Constant::symbol("east")],
             ))
             .unwrap();
-    }
+        for i in 0..REVALIDATED_QUERIES {
+            ambient
+                .insert(Atom::fact("table", vec![Constant::symbol(format!("r{i}"))]))
+                .unwrap();
+        }
+        for s in 0..16 {
+            ambient
+                .insert(Atom::fact(
+                    "site",
+                    vec![Constant::symbol(format!("s{s}")), Constant::symbol("east")],
+                ))
+                .unwrap();
+        }
+    });
     let txn = TxnId::new(1);
     for i in 0..REVALIDATED_QUERIES {
         core.store_mut()
@@ -289,14 +291,14 @@ fn server_fixture(cache_enabled: bool) -> (ServerCore<u8>, TxnId) {
             Msg::ExecQuery {
                 txn,
                 query_index: i,
-                query: QuerySpec::new(
+                query: std::sync::Arc::new(QuerySpec::new(
                     ServerId::new(0),
                     "read",
                     format!("r{i}"),
                     vec![Operation::Read(DataItemId::new(i as u64))],
-                ),
+                )),
                 user: UserId::new(1),
-                credentials: vec![role.clone(), region.clone()],
+                credentials: std::sync::Arc::from([role.clone(), region.clone()]),
                 evaluate_proof: false,
                 pin_versions: VersionMap::new(),
                 capabilities: vec![],
@@ -319,7 +321,7 @@ fn revalidate(core: &mut ServerCore<u8>, txn: TxnId) -> Vec<(u8, Msg)> {
             txn,
             new_query: None,
             user: UserId::new(1),
-            credentials: vec![],
+            credentials: std::sync::Arc::from([]),
         },
     )
 }

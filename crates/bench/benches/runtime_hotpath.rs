@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks for the runtime hot path: the epoch-snapshot
+//! master read (`latest_snapshot`, an Arc clone under a read lock) against
+//! the legacy lock-and-deep-clone `latest_versions`, and per-query message
+//! construction with `Arc`-shared credential/query payloads against the
+//! deep-clone equivalent the messages used to carry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safetx_core::{Msg, SharedCatalog};
+use safetx_policy::{Atom, CaRegistry, CertificateAuthority, Constant, Credential, PolicyBuilder};
+use safetx_txn::{Operation, QuerySpec};
+use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, TxnId, UserId};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A catalog holding `n` distinct policies, so the version map deep clone
+/// has real weight.
+fn catalog_with(n: u64) -> SharedCatalog {
+    let catalog = SharedCatalog::new();
+    for p in 0..n {
+        let policy = PolicyBuilder::new(PolicyId::new(p), AdminDomain::new(p))
+            .rules_text("grant(read, records) :- role(U, member).")
+            .expect("rules parse")
+            .build();
+        catalog.publish(policy);
+    }
+    catalog
+}
+
+fn bench_master_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/master_read");
+    for &n in &[4u64, 16, 64] {
+        let catalog = catalog_with(n);
+        group.bench_with_input(
+            BenchmarkId::new("lock_and_clone", n),
+            &catalog,
+            |b, catalog| b.iter(|| black_box(catalog.latest_versions())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("epoch_snapshot", n),
+            &catalog,
+            |b, catalog| b.iter(|| black_box(catalog.latest_snapshot())),
+        );
+    }
+    group.finish();
+}
+
+fn credentials(count: usize) -> Vec<Credential> {
+    let mut registry = CaRegistry::new();
+    registry.register(CertificateAuthority::new(CaId::new(0), 7));
+    let ca = registry.ca_mut(CaId::new(0)).expect("registered");
+    (0..count)
+        .map(|i| {
+            ca.issue(
+                UserId::new(1),
+                Atom::fact(
+                    "role",
+                    vec![
+                        Constant::symbol(format!("u{i}")),
+                        Constant::symbol("member"),
+                    ],
+                ),
+                Timestamp::ZERO,
+                Timestamp::MAX,
+            )
+        })
+        .collect()
+}
+
+fn query(server: u64) -> QuerySpec {
+    QuerySpec::new(
+        ServerId::new(server),
+        "write",
+        "records",
+        vec![Operation::Add(DataItemId::new(server * 100), 1)],
+    )
+}
+
+/// Builds one `ExecQuery` per server the way the TM's send loop does after
+/// the zero-clone refactor: the `Arc`s are created once per transaction and
+/// each message clones only the pointers.
+fn build_arc_messages(creds: &Arc<[Credential]>, queries: &[Arc<QuerySpec>]) -> Vec<Msg> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| Msg::ExecQuery {
+            txn: TxnId::new(1),
+            query_index: i,
+            query: Arc::clone(q),
+            user: UserId::new(1),
+            credentials: Arc::clone(creds),
+            evaluate_proof: true,
+            pin_versions: safetx_core::VersionMap::new(),
+            capabilities: Vec::new(),
+        })
+        .collect()
+}
+
+/// The pre-refactor equivalent: every message deep-clones the credential
+/// vector and the query spec before wrapping them (the wrap is where the
+/// old `Vec<Credential>`/`QuerySpec` payloads paid their allocation).
+fn build_cloned_messages(creds: &[Credential], queries: &[QuerySpec]) -> Vec<Msg> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| Msg::ExecQuery {
+            txn: TxnId::new(1),
+            query_index: i,
+            query: Arc::new(q.clone()),
+            user: UserId::new(1),
+            credentials: creds.to_vec().into(),
+            evaluate_proof: true,
+            pin_versions: safetx_core::VersionMap::new(),
+            capabilities: Vec::new(),
+        })
+        .collect()
+}
+
+fn bench_message_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/exec_query_build");
+    for &servers in &[3u64, 8, 16] {
+        let raw_creds = credentials(4);
+        let raw_queries: Vec<QuerySpec> = (0..servers).map(query).collect();
+        let arc_creds: Arc<[Credential]> = raw_creds.clone().into();
+        let arc_queries: Vec<Arc<QuerySpec>> = raw_queries.iter().cloned().map(Arc::new).collect();
+        group.bench_with_input(
+            BenchmarkId::new("deep_clone", servers),
+            &(raw_creds, raw_queries),
+            |b, (creds, queries)| b.iter(|| black_box(build_cloned_messages(creds, queries))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("arc_share", servers),
+            &(arc_creds, arc_queries),
+            |b, (creds, queries)| b.iter(|| black_box(build_arc_messages(creds, queries))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_master_read, bench_message_build);
+criterion_main!(benches);

@@ -71,10 +71,10 @@ fn storm(refresh_each_round: bool, updates_available: u64) -> (u64, u64, Validat
                 master_version += 1;
                 published += 1;
             }
-            actions
-                .extend(round.on_master_versions(
-                    [(PolicyId::new(0), PolicyVersion(master_version))].into(),
-                ));
+            actions.extend(round.on_master_versions(safetx_core::VersionMap::from([(
+                PolicyId::new(0),
+                PolicyVersion(master_version),
+            )])));
         }
         for s in to_reply {
             let idx = s.index() as usize;

@@ -1,0 +1,170 @@
+//! Before/after harness for the runtime hot-path overhaul.
+//!
+//! Runs the most server-bound loadgen cell — Continuous / Global, 3
+//! servers, 8 closed-loop clients — with the proof cache both enabled and
+//! disabled, and prints one JSON document with outcome totals and
+//! throughput. The binary deliberately uses only the API surface shared by
+//! the pre-overhaul tree (commit `acee853`) and this one, so the exact
+//! same source builds in a worktree at the old commit; `BENCH_runtime.json`
+//! pairs the two runs:
+//!
+//! ```bash
+//! # after (this tree)
+//! cargo run --release -p safetx-bench --bin runtime_compare -- after
+//! # before (worktree at the pre-overhaul commit, same file dropped in)
+//! git worktree add /tmp/safetx-before <commit>
+//! cp crates/bench/src/bin/runtime_compare.rs /tmp/safetx-before/crates/bench/src/bin/
+//! (cd /tmp/safetx-before && cargo run --release -p safetx-bench --bin runtime_compare -- before)
+//! ```
+//!
+//! Outcome totals (submissions / commits / terminal aborts / exhausted
+//! retries) are deterministic under the fixed seed and must be identical
+//! across the pair; wall-clock throughput is the measured quantity.
+
+use safetx_core::{ConsistencyLevel, ProofScheme};
+use safetx_metrics::Json;
+use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
+use safetx_runtime::{Cluster, ClusterConfig};
+use safetx_service::{run_closed_loop, RetryPolicy, ServiceConfig, TxnService};
+use safetx_store::Value;
+use safetx_txn::{Operation, QuerySpec, TransactionSpec};
+use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, UserId};
+use std::sync::Arc;
+
+const SERVERS: usize = 3;
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 40;
+const ITEMS_PER_SERVER: u64 = 64;
+const DENY_EVERY: u64 = 8;
+const SEED: u64 = 42;
+
+fn build_cluster(proof_cache: bool) -> Arc<Cluster> {
+    let cluster = Cluster::new(ClusterConfig {
+        servers: SERVERS,
+        scheme: ProofScheme::Continuous,
+        consistency: ConsistencyLevel::Global,
+        ..Default::default()
+    });
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member), region(U, east).",
+        )
+        .expect("rules parse")
+        .build();
+    cluster.publish_policy(policy);
+    for s in 0..SERVERS as u64 {
+        cluster.configure_server(ServerId::new(s), move |core| {
+            core.set_proof_cache(proof_cache);
+            for j in 0..ITEMS_PER_SERVER {
+                core.store_mut().write(
+                    DataItemId::new(s * 100 + j),
+                    Value::Int(10),
+                    Timestamp::ZERO,
+                );
+            }
+        });
+    }
+    Arc::new(cluster)
+}
+
+/// A four-credential wallet, the shape a real principal carries: the two
+/// the policy needs plus two bystanders every proof context still hauls.
+fn wallet(cluster: &Cluster) -> Vec<Credential> {
+    cluster.cas().with_mut(|registry| {
+        let ca = registry.ca_mut(CaId::new(0)).unwrap();
+        ["member", "auditor", "oncall", "east"]
+            .iter()
+            .enumerate()
+            .map(|(i, tag)| {
+                let predicate = if i == 3 { "region" } else { "role" };
+                ca.issue(
+                    UserId::new(1),
+                    Atom::fact(
+                        predicate,
+                        vec![Constant::symbol("u1"), Constant::symbol(*tag)],
+                    ),
+                    Timestamp::ZERO,
+                    Timestamp::MAX,
+                )
+            })
+            .collect()
+    })
+}
+
+fn spec_for(cluster: &Cluster, global_index: u64) -> TransactionSpec {
+    let slot = (global_index * 7) % ITEMS_PER_SERVER;
+    let queries = (0..SERVERS as u64)
+        .map(|s| {
+            QuerySpec::new(
+                ServerId::new(s),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(s * 100 + slot), 1)],
+            )
+        })
+        .collect();
+    TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
+}
+
+fn run_cell(proof_cache: bool) -> Json {
+    let cluster = build_cluster(proof_cache);
+    let service = TxnService::new(
+        cluster.clone(),
+        ServiceConfig {
+            workers: CLIENTS,
+            queue_depth: 2 * CLIENTS,
+            retry: RetryPolicy {
+                max_retries: 64,
+                base_backoff: std::time::Duration::from_micros(50),
+                max_backoff: std::time::Duration::from_millis(2),
+                jitter_percent: 50,
+            },
+            seed: SEED,
+        },
+    );
+    let creds = wallet(&cluster);
+    let report = run_closed_loop(&service, CLIENTS, PER_CLIENT, |client, index| {
+        let g = (client * PER_CLIENT + index) as u64;
+        let wallet = if g % DENY_EVERY == DENY_EVERY - 1 {
+            vec![]
+        } else {
+            creds.clone()
+        };
+        (spec_for(&cluster, g), wallet)
+    });
+    let stats = service.shutdown();
+    assert!(stats.conserves(), "outcome accounting leaked: {stats:?}");
+    let throughput = stats.throughput_tps(report.wall);
+    Json::object()
+        .with("proof_cache", proof_cache)
+        .with("scheme", "Continuous")
+        .with("consistency", "global")
+        .with("servers", SERVERS)
+        .with("clients", CLIENTS)
+        .with("per_client", PER_CLIENT)
+        .with("seed", SEED)
+        .with("wall_ms", report.wall.as_secs_f64() * 1_000.0)
+        .with("throughput_tps", throughput)
+        .with("submissions", stats.submissions)
+        .with("commits", stats.commits)
+        .with("terminal_aborts", stats.terminal_aborts)
+        .with("retries_exhausted", stats.retries_exhausted)
+        .with("overload_rejections", stats.overload_rejections)
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    // Warm-up pass so thread spawn and allocator effects do not land in
+    // the measured cells.
+    let _ = run_cell(true);
+    let doc = Json::object()
+        .with("label", label)
+        .with(
+            "workers_env",
+            std::env::var("SAFETX_SERVER_WORKERS").unwrap_or_default(),
+        )
+        .with("cache_on", run_cell(true))
+        .with("cache_off", run_cell(false));
+    println!("{}", doc.render());
+}

@@ -11,15 +11,41 @@
 use safetx_policy::{Policy, PolicyError, PolicyStore};
 use safetx_types::{PolicyId, PolicyVersion};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Lazily-filled shared handles to published policy content, keyed by
+/// exact version.
+type SharedPolicies = BTreeMap<(PolicyId, PolicyVersion), Arc<Policy>>;
+
+/// An immutable view of the latest version of every published policy,
+/// tagged with the catalog generation it was built at.
+#[derive(Debug, Clone, Default)]
+struct Snapshot {
+    generation: u64,
+    versions: Arc<BTreeMap<PolicyId, PolicyVersion>>,
+}
 
 /// A handle to the deployment-wide policy catalog.
 ///
 /// Clones share the same underlying store. Readable from simulation actors
 /// and runtime threads alike.
+///
+/// The catalog keeps a cached [`Arc`] snapshot of the latest-version map,
+/// rebuilt only when a publish actually changes the latest version of some
+/// policy. Hot-path readers ([`SharedCatalog::latest_snapshot`]) take a read
+/// lock and clone an `Arc` instead of rebuilding a `BTreeMap`; equal
+/// [`SharedCatalog::generation`] values guarantee an identical map, which
+/// lets per-query master consults short-circuit the comparison entirely.
 #[derive(Debug, Clone, Default)]
 pub struct SharedCatalog {
     inner: Arc<RwLock<PolicyStore>>,
+    snapshot: Arc<RwLock<Snapshot>>,
+    generation: Arc<AtomicU64>,
+    /// Shared handles to published policy content, filled lazily by
+    /// [`SharedCatalog::fetch_shared`]. A `(id, version)` pair is
+    /// invalidated only if a publish replaces that exact version.
+    shared: Arc<RwLock<SharedPolicies>>,
 }
 
 impl SharedCatalog {
@@ -32,10 +58,50 @@ impl SharedCatalog {
     /// Publishes a policy version (administrator operation). Returns `true`
     /// when it became the latest of its id.
     pub fn publish(&self, policy: Policy) -> bool {
-        self.inner
+        let key = (policy.id(), policy.version());
+        let mut store = self.inner.write().expect("catalog lock poisoned");
+        let became_latest = store.install(policy);
+        // Drop any shared handle to this exact version: a re-publish may
+        // have replaced its content.
+        self.shared
             .write()
-            .expect("catalog lock poisoned")
-            .install(policy)
+            .expect("catalog shared-policy lock poisoned")
+            .remove(&key);
+        if became_latest {
+            let versions: Arc<BTreeMap<PolicyId, PolicyVersion>> = Arc::new(
+                store
+                    .latest_policies()
+                    .map(|p| (p.id(), p.version()))
+                    .collect(),
+            );
+            // Bump the generation and swap the snapshot while still holding
+            // the store write lock, so snapshot readers can never observe a
+            // generation ahead of the map it tags.
+            let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
+            *self.snapshot.write().expect("catalog snapshot poisoned") = Snapshot {
+                generation,
+                versions,
+            };
+        }
+        became_latest
+    }
+
+    /// The current snapshot generation. Two equal generations imply
+    /// [`SharedCatalog::latest_snapshot`] returns an identical map.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Cheap latest-version snapshot: a generation tag plus a shared map.
+    ///
+    /// This is the hot-path replacement for [`SharedCatalog::latest_versions`]
+    /// — an `Arc` clone under a read lock instead of rebuilding a `BTreeMap`
+    /// from the policy store.
+    #[must_use]
+    pub fn latest_snapshot(&self) -> (u64, Arc<BTreeMap<PolicyId, PolicyVersion>>) {
+        let snap = self.snapshot.read().expect("catalog snapshot poisoned");
+        (snap.generation, Arc::clone(&snap.versions))
     }
 
     /// Fetches a specific version.
@@ -52,6 +118,35 @@ impl SharedCatalog {
             .cloned()
     }
 
+    /// Fetches a specific version as a shared handle, without cloning the
+    /// rule set. The per-version handle is cached: repeated fetches on the
+    /// proof-evaluation hot path cost one read lock and an `Arc` clone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolicyError::UnknownPolicy`] /
+    /// [`PolicyError::UnknownPolicyVersion`].
+    pub fn fetch_shared(
+        &self,
+        id: PolicyId,
+        version: PolicyVersion,
+    ) -> Result<Arc<Policy>, PolicyError> {
+        if let Some(policy) = self
+            .shared
+            .read()
+            .expect("catalog shared-policy lock poisoned")
+            .get(&(id, version))
+        {
+            return Ok(Arc::clone(policy));
+        }
+        let fetched = Arc::new(self.fetch(id, version)?);
+        let mut shared = self
+            .shared
+            .write()
+            .expect("catalog shared-policy lock poisoned");
+        Ok(Arc::clone(shared.entry((id, version)).or_insert(fetched)))
+    }
+
     /// The latest published version number of a policy.
     #[must_use]
     pub fn latest_version(&self, id: PolicyId) -> Option<PolicyVersion> {
@@ -61,15 +156,14 @@ impl SharedCatalog {
             .latest_version(id)
     }
 
-    /// Latest version numbers of all known policies.
+    /// Latest version numbers of all known policies (owned copy).
+    ///
+    /// Served from the cached snapshot; callers that only need to *read* the
+    /// map should prefer [`SharedCatalog::latest_snapshot`], which avoids the
+    /// `BTreeMap` clone too.
     #[must_use]
     pub fn latest_versions(&self) -> BTreeMap<PolicyId, PolicyVersion> {
-        self.inner
-            .read()
-            .expect("catalog lock poisoned")
-            .latest_policies()
-            .map(|p| (p.id(), p.version()))
-            .collect()
+        (*self.latest_snapshot().1).clone()
     }
 }
 
@@ -174,6 +268,43 @@ mod tests {
         let latest = catalog.latest_versions();
         assert_eq!(latest.len(), 2);
         assert_eq!(latest[&PolicyId::new(0)], PolicyVersion(3));
+    }
+
+    #[test]
+    fn snapshot_generation_tracks_effective_publishes() {
+        let catalog = SharedCatalog::new();
+        assert_eq!(catalog.generation(), 0);
+        assert!(catalog.latest_snapshot().1.is_empty());
+
+        catalog.publish(policy(2));
+        let (gen_a, map_a) = catalog.latest_snapshot();
+        assert_eq!(gen_a, 1);
+        assert_eq!(map_a[&PolicyId::new(0)], PolicyVersion(2));
+
+        // Publishing an older version does not change the latest map, so the
+        // generation (and snapshot) must stay put.
+        assert!(!catalog.publish(policy(1)));
+        let (gen_b, map_b) = catalog.latest_snapshot();
+        assert_eq!(gen_b, gen_a);
+        assert!(Arc::ptr_eq(&map_a, &map_b));
+
+        catalog.publish(policy(3));
+        let (gen_c, map_c) = catalog.latest_snapshot();
+        assert_eq!(gen_c, gen_a + 1);
+        assert_eq!(map_c[&PolicyId::new(0)], PolicyVersion(3));
+        assert_eq!(catalog.latest_versions(), (*map_c).clone());
+    }
+
+    #[test]
+    fn snapshot_is_shared_across_clones() {
+        let catalog = SharedCatalog::new();
+        let clone = catalog.clone();
+        catalog.publish(policy(1));
+        assert_eq!(clone.generation(), 1);
+        assert_eq!(
+            clone.latest_snapshot().1[&PolicyId::new(0)],
+            PolicyVersion(1)
+        );
     }
 
     #[test]

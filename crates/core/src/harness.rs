@@ -292,8 +292,7 @@ impl Experiment {
                 .actor_mut::<CloudServerActor>(node)
                 .expect("server exists")
                 .core_mut()
-                .resource_map_mut()
-                .bind(resource, policy);
+                .with_resource_map(|map| map.bind(resource, policy));
         }
     }
 
@@ -307,8 +306,7 @@ impl Experiment {
         self.world
             .actor_mut::<CloudServerActor>(node)
             .expect("server exists")
-            .ambient_mut()
-            .insert_text(fact)
+            .with_ambient(|ambient| ambient.insert_text(fact))
             .expect("ambient fact parses");
     }
 

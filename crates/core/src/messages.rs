@@ -13,6 +13,7 @@ use safetx_sim::NodeId;
 use safetx_txn::{Decision, InquiryAnswer, QuerySpec};
 use safetx_types::{PolicyId, PolicyVersion, ServerId, TxnId, UserId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything exchanged between the client harness, TMs, cloud servers and
 /// the master version server.
@@ -28,18 +29,24 @@ pub enum Msg {
 
     /// TM → server: execute one query (data operations; proof evaluation
     /// per scheme).
+    ///
+    /// The query and credential payloads are `Arc`-shared: the TM builds
+    /// them once per transaction, and every per-query × per-server message
+    /// bumps a refcount instead of deep-cloning (under Continuous the TM
+    /// would otherwise re-clone the credentials `u(u+1)/2` times per
+    /// transaction).
     ExecQuery {
         /// Transaction id.
         txn: TxnId,
         /// Index of the query within the transaction.
         query_index: usize,
         /// The query.
-        query: QuerySpec,
+        query: Arc<QuerySpec>,
         /// The requesting user.
         user: UserId,
         /// Credentials for the proof (cached at the server for later
         /// rounds).
-        credentials: Vec<Credential>,
+        credentials: Arc<[Credential]>,
         /// Evaluate the proof of authorization now (Punctual, Incremental,
         /// and — for the ops-only pass — false under Continuous/Deferred).
         evaluate_proof: bool,
@@ -67,17 +74,19 @@ pub enum Msg {
     },
 
     /// TM → server: 2PV collection request (Continuous, during execution).
+    ///
+    /// Payloads are `Arc`-shared like [`Msg::ExecQuery`]'s.
     PrepareToValidate {
         /// Transaction id.
         txn: TxnId,
         /// A query about to execute at this server: evaluate its proof as
         /// part of this round.
-        new_query: Option<(usize, QuerySpec)>,
+        new_query: Option<(usize, Arc<QuerySpec>)>,
         /// The requesting user (needed when `new_query` introduces the
         /// transaction to this server).
         user: UserId,
         /// Credentials (same caveat).
-        credentials: Vec<Credential>,
+        credentials: Arc<[Credential]>,
     },
     /// Server → TM: 2PV reply.
     ValidateReply {

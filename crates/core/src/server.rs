@@ -15,14 +15,15 @@ use safetx_policy::{
     ProofContext, ProofOfAuthorization, ProofOutcome, StatusOracle, SyntacticCheck,
 };
 use safetx_sim::{Actor, Context, NodeId};
-use safetx_store::{ConstraintSet, LocalStore, LockManager, LockMode, Wal, WriteSet};
+use safetx_store::{ConstraintSet, LocalStore, LockMode, ShardedLockManager, Wal, WriteSet};
 use safetx_txn::{
     CommitVariant, Operation, Participant, ParticipantOutput, ParticipantRecord, ParticipantState,
     QuerySpec, Vote,
 };
 use safetx_types::{CredentialId, PolicyVersion, ServerId, Timestamp, TxnId, UserId};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Shared handle to the deployment's certificate authorities.
 ///
@@ -100,9 +101,9 @@ impl StatusOracle for SharedCas {
 #[derive(Debug)]
 struct ServerTxn<A> {
     user: UserId,
-    credentials: Vec<Credential>,
+    credentials: Arc<[Credential]>,
     /// Queries seen here: `(index within transaction, spec)`.
-    queries: Vec<(usize, QuerySpec)>,
+    queries: Vec<(usize, Arc<QuerySpec>)>,
     writes: WriteSet,
     participant: Participant,
     coordinator: A,
@@ -155,6 +156,10 @@ struct ProofCache {
     entries: HashMap<ProofCacheKey, CachedProof>,
     /// The CA revocation epoch the entries were computed under.
     epoch: u64,
+    /// Bumped on every `invalidate_all`. Lets an evaluation that released
+    /// the cache lock mid-computation detect a concurrent flush and discard
+    /// its (possibly stale) result instead of inserting it.
+    flush_seq: u64,
     stats: safetx_metrics::ProofCacheStats,
     disabled: bool,
 }
@@ -164,6 +169,7 @@ impl ProofCache {
     fn invalidate_all(&mut self) {
         self.stats.invalidations += self.entries.len() as u64;
         self.entries.clear();
+        self.flush_seq += 1;
     }
 
     /// Aligns the cache with the oracle's revocation epoch, flushing stale
@@ -201,82 +207,73 @@ pub fn capability_key(server: ServerId) -> u64 {
     0xCAB1_11E7_0000_0000 ^ server.index().wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// The sans-io participant logic of one cloud server.
+/// A consistent snapshot of one transaction's proof-evaluation inputs,
+/// extracted on the server thread and safe to ship to a worker.
 ///
-/// `A` is the address type of peers: `NodeId` under the simulator, a
-/// channel handle under the threaded runtime.
-pub struct ServerCore<A> {
-    id: ServerId,
-    catalog: SharedCatalog,
-    resource_map: ResourcePolicyMap,
-    cas: SharedCas,
-    engine: Engine,
-    ambient: FactBase,
-    variant: CommitVariant,
-    /// Versions of each policy currently installed at this replica.
-    installed: VersionMap,
-    store: LocalStore,
-    locks: LockManager,
-    wal: Wal<ParticipantRecord>,
-    constraints: ConstraintSet,
-    txns: HashMap<TxnId, ServerTxn<A>>,
-    counters: ServerCounters,
-    proof_cache: ProofCache,
-    /// Baseline behaviour: issue an access capability with each granted
-    /// proof (Bob's "read credential").
-    issue_capabilities: bool,
-    /// Baseline behaviour: accept a peer-issued capability in lieu of a
-    /// fresh proof of authorization — the unsafe shortcut of Figure 1.
-    honor_capabilities: bool,
+/// All payloads are `Arc`-shared with the server's transaction state, so
+/// taking a snapshot is refcount traffic, not a deep copy.
+#[derive(Debug, Clone)]
+pub struct EvalSnapshot {
+    /// The requesting user.
+    pub user: UserId,
+    /// The credentials presented at Begin.
+    pub credentials: Arc<[Credential]>,
+    /// The queries registered at this server: `(index, spec)`.
+    pub queries: Vec<(usize, Arc<QuerySpec>)>,
 }
 
-impl<A: Clone> ServerCore<A> {
-    /// Creates a server core.
-    #[must_use]
-    pub fn new(
+/// The shareable data plane of one cloud server: everything proof
+/// evaluation touches, behind interior mutability so a runtime worker pool
+/// can evaluate proofs for distinct transactions concurrently while the
+/// server thread keeps exclusive ownership of the protocol plane (locks
+/// decisions, WAL forces, 2PVC votes, per-transaction state).
+///
+/// In the single-threaded simulator the same structure is driven from one
+/// thread through [`ServerCore`]'s `&mut self` handlers; the locks below
+/// are then uncontended and behavior is bit-identical to the pre-split
+/// code.
+pub struct DataPlane {
+    id: ServerId,
+    catalog: SharedCatalog,
+    cas: SharedCas,
+    engine: Engine,
+    resource_map: RwLock<ResourcePolicyMap>,
+    ambient: RwLock<FactBase>,
+    /// Versions of each policy currently installed at this replica.
+    installed: RwLock<VersionMap>,
+    proof_cache: Mutex<ProofCache>,
+    /// Mirrors `proof_cache.disabled` so the evaluation fast path can skip
+    /// key construction and the cache mutex entirely when caching is off.
+    cache_enabled: AtomicBool,
+    /// Proof evaluations performed (cache hits included).
+    proofs: AtomicU64,
+}
+
+impl std::fmt::Debug for DataPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataPlane").field("id", &self.id).finish()
+    }
+}
+
+impl DataPlane {
+    fn new(
         id: ServerId,
         catalog: SharedCatalog,
         resource_map: ResourcePolicyMap,
         cas: SharedCas,
-        variant: CommitVariant,
     ) -> Self {
-        ServerCore {
+        DataPlane {
             id,
             catalog,
-            resource_map,
             cas,
             engine: Engine::new(),
-            ambient: FactBase::new(),
-            variant,
-            installed: VersionMap::new(),
-            store: LocalStore::new(),
-            locks: LockManager::new(),
-            wal: Wal::new(),
-            constraints: ConstraintSet::new(),
-            txns: HashMap::new(),
-            counters: ServerCounters::default(),
-            proof_cache: ProofCache::default(),
-            issue_capabilities: false,
-            honor_capabilities: false,
+            resource_map: RwLock::new(resource_map),
+            ambient: RwLock::new(FactBase::new()),
+            installed: RwLock::new(VersionMap::new()),
+            proof_cache: Mutex::new(ProofCache::default()),
+            cache_enabled: AtomicBool::new(true),
+            proofs: AtomicU64::new(0),
         }
-    }
-
-    /// Enables or disables the proof cache (enabled by default). Disabling
-    /// forces every evaluation through the engine — used by equivalence
-    /// tests and cold-path benchmarks.
-    pub fn set_proof_cache(&mut self, enabled: bool) {
-        self.proof_cache.disabled = !enabled;
-        if !enabled {
-            self.proof_cache.entries.clear();
-        }
-    }
-
-    /// Enables the unsafe-baseline capability behaviour (issue on grant,
-    /// honor instead of re-proving). Used only to quantify the hazard the
-    /// paper's schemes eliminate.
-    pub fn set_unsafe_baseline(&mut self, enabled: bool) {
-        self.issue_capabilities = enabled;
-        self.honor_capabilities = enabled;
     }
 
     /// This server's id.
@@ -286,100 +283,104 @@ impl<A: Clone> ServerCore<A> {
     }
 
     /// Installs an initial policy version at the replica.
-    pub fn install_policy(&mut self, policy: safetx_types::PolicyId, version: PolicyVersion) {
+    pub fn install_policy(&self, policy: safetx_types::PolicyId, version: PolicyVersion) {
         use std::collections::btree_map::Entry;
-        match self.installed.entry(policy) {
+        let mut installed = self.installed.write().expect("installed lock poisoned");
+        match installed.entry(policy) {
             Entry::Vacant(slot) => {
                 slot.insert(version);
-                self.proof_cache.invalidate_all();
+                drop(installed);
+                self.invalidate_proof_cache();
             }
             Entry::Occupied(mut slot) => {
                 if version > *slot.get() {
                     slot.insert(version);
-                    self.proof_cache.invalidate_all();
+                    drop(installed);
+                    self.invalidate_proof_cache();
                 }
             }
         }
     }
 
-    /// The replica's installed versions.
+    /// The replica's installed versions (owned copy).
     #[must_use]
-    pub fn installed_versions(&self) -> &VersionMap {
-        &self.installed
+    pub fn installed_versions(&self) -> VersionMap {
+        self.installed
+            .read()
+            .expect("installed lock poisoned")
+            .clone()
     }
 
-    /// Mutable access to the local data store (harness seeding).
-    pub fn store_mut(&mut self) -> &mut LocalStore {
-        &mut self.store
+    /// Enables or disables the proof cache (enabled by default).
+    pub fn set_proof_cache(&self, enabled: bool) {
+        let mut cache = self.proof_cache.lock().expect("proof cache poisoned");
+        cache.disabled = !enabled;
+        if !enabled {
+            cache.entries.clear();
+            cache.flush_seq += 1;
+        }
+        // Publish the flag after the cache state: a racing evaluation that
+        // still sees the cache as enabled re-checks `disabled` (and the
+        // flush sequence) under the lock before inserting.
+        self.cache_enabled.store(enabled, Ordering::Release);
     }
 
-    /// Read access to the local data store.
-    #[must_use]
-    pub fn store(&self) -> &LocalStore {
-        &self.store
+    /// Runs `f` with mutable access to the ambient fact base (e.g. observed
+    /// locations). Invalidates cached proofs: ambient facts feed every
+    /// evaluation.
+    pub fn with_ambient<R>(&self, f: impl FnOnce(&mut FactBase) -> R) -> R {
+        let result = f(&mut self.ambient.write().expect("ambient lock poisoned"));
+        self.invalidate_proof_cache();
+        result
     }
 
-    /// Mutable access to the integrity constraints (harness seeding).
-    pub fn constraints_mut(&mut self) -> &mut ConstraintSet {
-        &mut self.constraints
+    /// Runs `f` with mutable access to the resource → policy mapping
+    /// (multi-domain deployments). Invalidates cached proofs: the mapping
+    /// picks which policy governs each resource.
+    pub fn with_resource_map<R>(&self, f: impl FnOnce(&mut ResourcePolicyMap) -> R) -> R {
+        let result = f(&mut self
+            .resource_map
+            .write()
+            .expect("resource map lock poisoned"));
+        self.invalidate_proof_cache();
+        result
     }
 
-    /// Mutable access to the ambient fact base (e.g. observed locations).
-    /// Invalidates cached proofs: ambient facts feed every evaluation.
-    pub fn ambient_mut(&mut self) -> &mut FactBase {
-        self.proof_cache.invalidate_all();
-        &mut self.ambient
+    fn invalidate_proof_cache(&self) {
+        self.proof_cache
+            .lock()
+            .expect("proof cache poisoned")
+            .invalidate_all();
     }
 
-    /// Mutable access to the resource → policy mapping (multi-domain
-    /// deployments). Invalidates cached proofs: the mapping picks which
-    /// policy governs each resource.
-    pub fn resource_map_mut(&mut self) -> &mut ResourcePolicyMap {
-        self.proof_cache.invalidate_all();
-        &mut self.resource_map
-    }
-
-    /// The participant write-ahead log.
-    #[must_use]
-    pub fn wal(&self) -> &Wal<ParticipantRecord> {
-        &self.wal
-    }
-
-    /// Cumulative instrumentation counters.
-    #[must_use]
-    pub fn counters(&self) -> ServerCounters {
-        let mut counters = self.counters;
-        counters.proof_cache = self.proof_cache.stats;
-        counters
-    }
-
-    /// Number of transactions with live state here.
-    #[must_use]
-    pub fn active_txns(&self) -> usize {
-        self.txns.len()
+    fn proof_cache_stats(&self) -> safetx_metrics::ProofCacheStats {
+        self.proof_cache.lock().expect("proof cache poisoned").stats
     }
 
     /// Fast-forwards the replica toward target versions available in the
     /// catalog. Never moves backward. Any actual version movement is a
     /// policy install and flushes the proof cache.
-    fn fast_forward(&mut self, targets: &VersionMap) {
+    pub fn fast_forward(&self, targets: &VersionMap) {
         let mut installed_any = false;
-        for (&policy, &version) in targets {
-            match self.installed.entry(policy) {
-                std::collections::btree_map::Entry::Vacant(slot) => {
-                    slot.insert(version);
-                    installed_any = true;
-                }
-                std::collections::btree_map::Entry::Occupied(mut slot) => {
-                    if version > *slot.get() && self.catalog.fetch(policy, version).is_ok() {
+        {
+            let mut installed = self.installed.write().expect("installed lock poisoned");
+            for (&policy, &version) in targets {
+                match installed.entry(policy) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
                         slot.insert(version);
                         installed_any = true;
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        if version > *slot.get() && self.catalog.fetch(policy, version).is_ok() {
+                            slot.insert(version);
+                            installed_any = true;
+                        }
                     }
                 }
             }
         }
         if installed_any {
-            self.proof_cache.invalidate_all();
+            self.invalidate_proof_cache();
         }
     }
 
@@ -391,8 +392,13 @@ impl<A: Clone> ServerCore<A> {
     /// oracle, but still counts as a proof evaluation in
     /// [`ServerCounters::proofs`] — the paper's Table I cost model is about
     /// *how many* proofs each scheme demands, not how fast one is computed.
-    fn evaluate_one(
-        &mut self,
+    ///
+    /// The cache lock is **not** held across the engine run: concurrent
+    /// misses on the same key evaluate redundantly (benign — same answer),
+    /// and a flush that lands mid-evaluation is detected via the cache's
+    /// flush sequence, discarding the stale insert.
+    pub fn evaluate_one(
+        &self,
         now: Timestamp,
         user: UserId,
         credentials: &[Credential],
@@ -400,64 +406,94 @@ impl<A: Clone> ServerCore<A> {
     ) -> ProofOfAuthorization {
         let policy_id = self
             .resource_map
+            .read()
+            .expect("resource map lock poisoned")
             .policy_for(&query.resource)
             .unwrap_or_else(|| panic!("resource `{}` bound to no policy", query.resource));
         let version = self
             .installed
+            .read()
+            .expect("installed lock poisoned")
             .get(&policy_id)
             .copied()
             .unwrap_or(PolicyVersion::INITIAL);
         let credential_ids: Vec<CredentialId> = credentials.iter().map(Credential::id).collect();
-        self.proof_cache.sync_epoch(self.cas.epoch());
-        let key = ProofCacheKey {
-            policy: policy_id,
-            version,
-            user,
-            credentials: credential_ids.clone(),
-            action: query.action.clone(),
-            resource: query.resource.clone(),
-        };
-        if let Some(outcome) = self.proof_cache.get(&key, now) {
-            self.counters.proofs += 1;
-            return ProofOfAuthorization {
-                request: AccessRequest::new(user, query.action.clone(), query.resource.clone()),
-                server: self.id,
-                policy_id,
-                policy_version: version,
-                evaluated_at: now,
-                credentials: credential_ids,
-                outcome,
+        // When the cache is disabled, skip its machinery entirely — no key
+        // construction, no cache mutex, no validity-horizon lookups.
+        let lookup = if self.cache_enabled.load(Ordering::Acquire) {
+            let key = ProofCacheKey {
+                policy: policy_id,
+                version,
+                user,
+                credentials: credential_ids.clone(),
+                action: query.action.clone(),
+                resource: query.resource.clone(),
             };
-        }
-        let request = AccessRequest::new(user, query.action.clone(), query.resource.clone());
-        let proof = match self.catalog.fetch(policy_id, version) {
-            Ok(policy) => {
-                let pctx = ProofContext {
-                    policy: &policy,
-                    oracle: &self.cas,
-                    engine: &self.engine,
-                    ambient_facts: &self.ambient,
+            let (cached, flush_token) = {
+                let mut cache = self.proof_cache.lock().expect("proof cache poisoned");
+                cache.sync_epoch(self.cas.epoch());
+                (cache.get(&key, now), cache.flush_seq)
+            };
+            if let Some(outcome) = cached {
+                self.proofs.fetch_add(1, Ordering::Relaxed);
+                return ProofOfAuthorization {
+                    request: AccessRequest::new(user, query.action.clone(), query.resource.clone()),
+                    server: self.id,
+                    policy_id,
+                    policy_version: version,
+                    evaluated_at: now,
+                    credentials: credential_ids,
+                    outcome,
                 };
-                let proof = evaluate_proof(&pctx, self.id, &request, credentials, now)
-                    .unwrap_or_else(|_| ProofOfAuthorization {
-                        request: request.clone(),
-                        server: self.id,
-                        policy_id,
-                        policy_version: version,
-                        evaluated_at: now,
-                        credentials: credential_ids.clone(),
-                        outcome: ProofOutcome::NotDerivable,
-                    });
-                let valid_until = self.validity_horizon(now, credentials);
-                if !self.proof_cache.disabled && now < valid_until {
-                    self.proof_cache.entries.insert(
-                        key,
-                        CachedProof {
-                            outcome: proof.outcome.clone(),
-                            valid_from: now,
-                            valid_until,
+            }
+            Some((key, flush_token))
+        } else {
+            None
+        };
+        let request = AccessRequest::new(user, query.action.clone(), query.resource.clone());
+        let proof = match self.catalog.fetch_shared(policy_id, version) {
+            Ok(policy) => {
+                let proof = {
+                    let ambient = self.ambient.read().expect("ambient lock poisoned");
+                    let pctx = ProofContext {
+                        policy: policy.as_ref(),
+                        oracle: &self.cas,
+                        engine: &self.engine,
+                        ambient_facts: &ambient,
+                    };
+                    evaluate_proof(&pctx, self.id, &request, credentials, now).unwrap_or_else(
+                        |_| ProofOfAuthorization {
+                            request: request.clone(),
+                            server: self.id,
+                            policy_id,
+                            policy_version: version,
+                            evaluated_at: now,
+                            credentials: credential_ids.clone(),
+                            outcome: ProofOutcome::NotDerivable,
                         },
-                    );
+                    )
+                };
+                if let Some((key, flush_token)) = lookup {
+                    let valid_until = self.validity_horizon(now, credentials);
+                    if now < valid_until {
+                        let mut cache = self.proof_cache.lock().expect("proof cache poisoned");
+                        // Skip the insert when the cache was flushed (or the
+                        // revocation epoch moved) while we evaluated: the
+                        // result may predate the invalidation signal.
+                        if !cache.disabled
+                            && cache.flush_seq == flush_token
+                            && cache.epoch == self.cas.epoch()
+                        {
+                            cache.entries.insert(
+                                key,
+                                CachedProof {
+                                    outcome: proof.outcome.clone(),
+                                    valid_from: now,
+                                    valid_until,
+                                },
+                            );
+                        }
+                    }
                 }
                 proof
             }
@@ -474,8 +510,28 @@ impl<A: Clone> ServerCore<A> {
                 outcome: ProofOutcome::NotDerivable,
             },
         };
-        self.counters.proofs += 1;
+        self.proofs.fetch_add(1, Ordering::Relaxed);
         proof
+    }
+
+    /// (Re-)evaluates proofs for a snapshot of a transaction's queries.
+    /// Returns `(truth, versions, proofs)` — the body of a 2PV reply.
+    #[must_use]
+    pub fn evaluate_snapshot(
+        &self,
+        now: Timestamp,
+        snapshot: &EvalSnapshot,
+    ) -> (bool, VersionMap, Vec<ProofOfAuthorization>) {
+        let mut truth = true;
+        let mut versions = VersionMap::new();
+        let mut proofs = Vec::new();
+        for (_, query) in &snapshot.queries {
+            let proof = self.evaluate_one(now, snapshot.user, &snapshot.credentials, query);
+            truth &= proof.truth();
+            versions.insert(proof.policy_id, proof.policy_version);
+            proofs.push(proof);
+        }
+        (truth, versions, proofs)
     }
 
     /// The earliest instant after `now` at which any of `credentials` can
@@ -504,7 +560,7 @@ impl<A: Clone> ServerCore<A> {
     /// recorded with the replica's installed version but with *no* fresh
     /// policy or credential evaluation (hence unsafe).
     fn proof_from_capability(
-        &mut self,
+        &self,
         now: Timestamp,
         user: UserId,
         capability: &safetx_policy::AccessCapability,
@@ -512,10 +568,14 @@ impl<A: Clone> ServerCore<A> {
     ) -> ProofOfAuthorization {
         let policy_id = self
             .resource_map
+            .read()
+            .expect("resource map lock poisoned")
             .policy_for(&query.resource)
             .unwrap_or_else(|| panic!("resource `{}` bound to no policy", query.resource));
         let version = self
             .installed
+            .read()
+            .expect("installed lock poisoned")
             .get(&policy_id)
             .copied()
             .unwrap_or(PolicyVersion::INITIAL);
@@ -531,6 +591,186 @@ impl<A: Clone> ServerCore<A> {
             outcome: ProofOutcome::Granted,
         }
     }
+}
+
+/// The sans-io participant logic of one cloud server.
+///
+/// `A` is the address type of peers: `NodeId` under the simulator, a
+/// channel handle under the threaded runtime.
+///
+/// Internally split into the protocol plane (per-transaction state, write
+/// sets, participant state machines, WAL — owned exclusively by this
+/// struct) and a shareable [`DataPlane`] (policy engine, proof cache,
+/// installed versions), so a threaded runtime can dispatch proof
+/// evaluation to workers via [`ServerCore::data_plane`] while all `&mut
+/// self` handlers stay on the server thread.
+pub struct ServerCore<A> {
+    id: ServerId,
+    data: Arc<DataPlane>,
+    variant: CommitVariant,
+    store: LocalStore,
+    locks: Arc<ShardedLockManager>,
+    wal: Wal<ParticipantRecord>,
+    constraints: ConstraintSet,
+    txns: HashMap<TxnId, ServerTxn<A>>,
+    /// Forced log writes performed (protocol plane; proofs live in the
+    /// data plane).
+    forced_logs: u64,
+    /// Baseline behaviour: issue an access capability with each granted
+    /// proof (Bob's "read credential").
+    issue_capabilities: bool,
+    /// Baseline behaviour: accept a peer-issued capability in lieu of a
+    /// fresh proof of authorization — the unsafe shortcut of Figure 1.
+    honor_capabilities: bool,
+}
+
+impl<A: Clone> ServerCore<A> {
+    /// Creates a server core.
+    #[must_use]
+    pub fn new(
+        id: ServerId,
+        catalog: SharedCatalog,
+        resource_map: ResourcePolicyMap,
+        cas: SharedCas,
+        variant: CommitVariant,
+    ) -> Self {
+        ServerCore {
+            id,
+            data: Arc::new(DataPlane::new(id, catalog, resource_map, cas)),
+            variant,
+            store: LocalStore::new(),
+            locks: Arc::new(ShardedLockManager::new()),
+            wal: Wal::new(),
+            constraints: ConstraintSet::new(),
+            txns: HashMap::new(),
+            forced_logs: 0,
+            issue_capabilities: false,
+            honor_capabilities: false,
+        }
+    }
+
+    /// A shared handle to this server's data plane (proof evaluation,
+    /// policy versions, proof cache). Runtime worker pools evaluate
+    /// through it concurrently with the server thread.
+    #[must_use]
+    pub fn data_plane(&self) -> Arc<DataPlane> {
+        Arc::clone(&self.data)
+    }
+
+    /// A shared handle to this server's lock manager, for runtime workers
+    /// executing read-only queries off the server thread.
+    #[must_use]
+    pub fn lock_manager(&self) -> Arc<ShardedLockManager> {
+        Arc::clone(&self.locks)
+    }
+
+    /// Enables or disables the proof cache (enabled by default). Disabling
+    /// forces every evaluation through the engine — used by equivalence
+    /// tests and cold-path benchmarks.
+    pub fn set_proof_cache(&mut self, enabled: bool) {
+        self.data.set_proof_cache(enabled);
+    }
+
+    /// Enables the unsafe-baseline capability behaviour (issue on grant,
+    /// honor instead of re-proving). Used only to quantify the hazard the
+    /// paper's schemes eliminate.
+    pub fn set_unsafe_baseline(&mut self, enabled: bool) {
+        self.issue_capabilities = enabled;
+        self.honor_capabilities = enabled;
+    }
+
+    /// True when the unsafe-baseline capability behaviour is on. The
+    /// runtime keeps baseline servers fully single-threaded (the hazard
+    /// measurements depend on exact interleavings).
+    #[must_use]
+    pub fn unsafe_baseline(&self) -> bool {
+        self.issue_capabilities || self.honor_capabilities
+    }
+
+    /// This server's id.
+    #[must_use]
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Installs an initial policy version at the replica.
+    pub fn install_policy(&mut self, policy: safetx_types::PolicyId, version: PolicyVersion) {
+        self.data.install_policy(policy, version);
+    }
+
+    /// The replica's installed versions (owned copy).
+    #[must_use]
+    pub fn installed_versions(&self) -> VersionMap {
+        self.data.installed_versions()
+    }
+
+    /// Mutable access to the local data store (harness seeding).
+    pub fn store_mut(&mut self) -> &mut LocalStore {
+        &mut self.store
+    }
+
+    /// Read access to the local data store.
+    #[must_use]
+    pub fn store(&self) -> &LocalStore {
+        &self.store
+    }
+
+    /// Mutable access to the integrity constraints (harness seeding).
+    pub fn constraints_mut(&mut self) -> &mut ConstraintSet {
+        &mut self.constraints
+    }
+
+    /// Runs `f` with mutable access to the ambient fact base (e.g.
+    /// observed locations). Invalidates cached proofs: ambient facts feed
+    /// every evaluation.
+    pub fn with_ambient<R>(&mut self, f: impl FnOnce(&mut FactBase) -> R) -> R {
+        self.data.with_ambient(f)
+    }
+
+    /// Runs `f` with mutable access to the resource → policy mapping
+    /// (multi-domain deployments). Invalidates cached proofs.
+    pub fn with_resource_map<R>(&mut self, f: impl FnOnce(&mut ResourcePolicyMap) -> R) -> R {
+        self.data.with_resource_map(f)
+    }
+
+    /// The participant write-ahead log.
+    #[must_use]
+    pub fn wal(&self) -> &Wal<ParticipantRecord> {
+        &self.wal
+    }
+
+    /// Cumulative instrumentation counters.
+    #[must_use]
+    pub fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            proofs: self.data.proofs.load(Ordering::Relaxed),
+            forced_logs: self.forced_logs,
+            proof_cache: self.data.proof_cache_stats(),
+        }
+    }
+
+    /// Number of transactions with live state here.
+    #[must_use]
+    pub fn active_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Fast-forwards the replica toward target versions available in the
+    /// catalog. Never moves backward.
+    fn fast_forward(&mut self, targets: &VersionMap) {
+        self.data.fast_forward(targets);
+    }
+
+    fn proof_from_capability(
+        &mut self,
+        now: Timestamp,
+        user: UserId,
+        capability: &safetx_policy::AccessCapability,
+        query: &QuerySpec,
+    ) -> ProofOfAuthorization {
+        self.data
+            .proof_from_capability(now, user, capability, query)
+    }
 
     /// (Re-)evaluates proofs for every query of `txn` at this server.
     /// Returns `(truth, versions, proofs)`.
@@ -539,23 +779,59 @@ impl<A: Clone> ServerCore<A> {
         now: Timestamp,
         txn: TxnId,
     ) -> (bool, VersionMap, Vec<ProofOfAuthorization>) {
-        // Take the entry out of the map so its queries and credentials can
-        // be borrowed across the `&mut self` evaluation calls — no per-round
-        // clone of either.
-        let Some(state) = self.txns.remove(&txn) else {
+        let Some(state) = self.txns.get(&txn) else {
             return (true, VersionMap::new(), Vec::new());
         };
         let mut truth = true;
         let mut versions = VersionMap::new();
         let mut proofs = Vec::new();
         for (_, query) in &state.queries {
-            let proof = self.evaluate_one(now, state.user, &state.credentials, query);
+            let proof = self
+                .data
+                .evaluate_one(now, state.user, &state.credentials, query);
             truth &= proof.truth();
             versions.insert(proof.policy_id, proof.policy_version);
             proofs.push(proof);
         }
-        self.txns.insert(txn, state);
         (truth, versions, proofs)
+    }
+
+    /// A snapshot of `txn`'s evaluation inputs for off-thread proof work
+    /// ([`DataPlane::evaluate_snapshot`] on the returned value reproduces
+    /// what [`ServerCore::handle`] would compute inline).
+    #[must_use]
+    pub fn snapshot_txn(&self, txn: TxnId) -> Option<EvalSnapshot> {
+        self.txns.get(&txn).map(|state| EvalSnapshot {
+            user: state.user,
+            credentials: Arc::clone(&state.credentials),
+            queries: state.queries.clone(),
+        })
+    }
+
+    /// Registers a 2PV contact (the protocol-plane half of
+    /// [`Msg::PrepareToValidate`]): creates the transaction if new, records
+    /// `new_query`, and returns the snapshot whose evaluation — inline or
+    /// on a worker — produces the [`Msg::ValidateReply`] body.
+    pub fn register_validation(
+        &mut self,
+        txn: TxnId,
+        new_query: Option<(usize, Arc<QuerySpec>)>,
+        user: UserId,
+        credentials: Arc<[Credential]>,
+        coordinator: A,
+    ) -> EvalSnapshot {
+        self.ensure_txn(txn, user, credentials, coordinator);
+        let state = self.txns.get_mut(&txn).expect("just ensured");
+        if let Some((index, query)) = new_query {
+            if !state.queries.iter().any(|(i, _)| *i == index) {
+                state.queries.push((index, query));
+            }
+        }
+        EvalSnapshot {
+            user: state.user,
+            credentials: Arc::clone(&state.credentials),
+            queries: state.queries.clone(),
+        }
     }
 
     /// Executes a query's data operations under two-phase locking into the
@@ -593,7 +869,7 @@ impl<A: Clone> ServerCore<A> {
         true
     }
 
-    fn ensure_txn(&mut self, txn: TxnId, user: UserId, credentials: Vec<Credential>, coord: A) {
+    fn ensure_txn(&mut self, txn: TxnId, user: UserId, credentials: Arc<[Credential]>, coord: A) {
         let variant = self.variant;
         self.txns.entry(txn).or_insert_with(|| ServerTxn {
             user,
@@ -620,7 +896,7 @@ impl<A: Clone> ServerCore<A> {
             match output {
                 ParticipantOutput::ForceLog(record) => {
                     self.wal.force(record);
-                    self.counters.forced_logs += 1;
+                    self.forced_logs += 1;
                 }
                 ParticipantOutput::Log(record) => self.wal.append(record),
                 ParticipantOutput::SendVote(_) => {
@@ -666,7 +942,7 @@ impl<A: Clone> ServerCore<A> {
                 {
                     let state = self.txns.get_mut(&txn).expect("just ensured");
                     if !state.queries.iter().any(|(i, _)| *i == query_index) {
-                        state.queries.push((query_index, query.clone()));
+                        state.queries.push((query_index, Arc::clone(&query)));
                     }
                 }
                 if !self.execute_ops(txn, &query.ops) {
@@ -705,10 +981,11 @@ impl<A: Clone> ServerCore<A> {
                     if let Some(cap) = shortcut {
                         Some(self.proof_from_capability(now, user, &cap, &query))
                     } else {
-                        let state = self.txns.remove(&txn).expect("just ensured");
-                        let proof = self.evaluate_one(now, state.user, &state.credentials, &query);
-                        self.txns.insert(txn, state);
-                        Some(proof)
+                        let state = self.txns.get(&txn).expect("just ensured");
+                        Some(
+                            self.data
+                                .evaluate_one(now, state.user, &state.credentials, &query),
+                        )
                     }
                 } else {
                     None
@@ -744,13 +1021,7 @@ impl<A: Clone> ServerCore<A> {
                 user,
                 credentials,
             } => {
-                self.ensure_txn(txn, user, credentials, from.clone());
-                if let Some((index, query)) = new_query {
-                    let state = self.txns.get_mut(&txn).expect("just ensured");
-                    if !state.queries.iter().any(|(i, _)| *i == index) {
-                        state.queries.push((index, query));
-                    }
-                }
+                self.register_validation(txn, new_query, user, credentials, from.clone());
                 let (truth, versions, proofs) = self.evaluate_all(now, txn);
                 out.push((
                     from,
@@ -801,7 +1072,7 @@ impl<A: Clone> ServerCore<A> {
                     (true, VersionMap::new(), Vec::new())
                 };
                 if !known {
-                    self.ensure_txn(txn, UserId::default(), Vec::new(), from.clone());
+                    self.ensure_txn(txn, UserId::default(), Arc::from([]), from.clone());
                 }
                 let outputs = {
                     let state = self.txns.get_mut(&txn).expect("ensured");
@@ -906,7 +1177,7 @@ impl<A: Clone> ServerCore<A> {
     /// their write sets and protocol state were force-logged with the
     /// prepare record; everything else is discarded.
     pub fn crash(&mut self) {
-        self.locks = LockManager::new();
+        self.locks.clear();
         self.txns
             .retain(|_, state| state.participant.state() == ParticipantState::Prepared(Vote::Yes));
     }
@@ -998,7 +1269,7 @@ impl CloudServerActor {
 
     /// The replica's installed versions.
     #[must_use]
-    pub fn installed_versions(&self) -> &VersionMap {
+    pub fn installed_versions(&self) -> VersionMap {
         self.core.installed_versions()
     }
 
@@ -1018,9 +1289,9 @@ impl CloudServerActor {
         self.core.constraints_mut()
     }
 
-    /// Mutable access to the ambient fact base.
-    pub fn ambient_mut(&mut self) -> &mut FactBase {
-        self.core.ambient_mut()
+    /// Runs `f` with mutable access to the ambient fact base.
+    pub fn with_ambient<R>(&mut self, f: impl FnOnce(&mut FactBase) -> R) -> R {
+        self.core.with_ambient(f)
     }
 
     /// The participant write-ahead log.
@@ -1158,14 +1429,14 @@ mod tests {
             Msg::ExecQuery {
                 txn,
                 query_index: 0,
-                query: QuerySpec::new(
+                query: Arc::new(QuerySpec::new(
                     ServerId::new(0),
                     "write",
                     "records",
                     vec![Operation::Add(DataItemId::new(0), 1)],
-                ),
+                )),
                 user: UserId::new(1),
-                credentials: vec![fx.credential.clone()],
+                credentials: Arc::from([fx.credential.clone()]),
                 evaluate_proof: evaluate,
                 pin_versions: VersionMap::new(),
                 capabilities: vec![],
@@ -1270,14 +1541,14 @@ mod tests {
             Msg::ExecQuery {
                 txn: prepared,
                 query_index: 0,
-                query: QuerySpec::new(
+                query: Arc::new(QuerySpec::new(
                     ServerId::new(0),
                     "read",
                     "records",
                     vec![Operation::Read(DataItemId::new(7))],
-                ),
+                )),
                 user: UserId::new(1),
-                credentials: vec![fx.credential.clone()],
+                credentials: Arc::from([fx.credential.clone()]),
                 evaluate_proof: false,
                 pin_versions: VersionMap::new(),
                 capabilities: vec![],
@@ -1306,7 +1577,7 @@ mod tests {
             .rules_text("grant(write, records) :- role(U, member).")
             .unwrap()
             .build();
-        fx.core.catalog.publish(v2);
+        fx.core.data.catalog.publish(v2);
         let out = fx.core.handle(
             Timestamp::from_millis(3),
             TM,
@@ -1352,14 +1623,14 @@ mod tests {
                 Msg::ExecQuery {
                     txn: TxnId::new(1),
                     query_index: 0,
-                    query: QuerySpec::new(
+                    query: Arc::new(QuerySpec::new(
                         ServerId::new(0),
                         "write",
                         "records",
                         vec![Operation::Add(DataItemId::new(0), 1)],
-                    ),
+                    )),
                     user: UserId::new(1),
-                    credentials: vec![], // no credential: only the capability
+                    credentials: Arc::from([]), // no credential: only the capability
                     evaluate_proof: true,
                     pin_versions: VersionMap::new(),
                     capabilities: vec![cap.clone()],
@@ -1392,7 +1663,7 @@ mod tests {
                 txn,
                 new_query: None,
                 user: UserId::new(1),
-                credentials: vec![],
+                credentials: Arc::from([]),
             },
         )
     }
@@ -1423,7 +1694,7 @@ mod tests {
             Msg::QueryDone { proof: Some(p), .. } if p.truth()
         ));
         let cred_id = fx.credential.id();
-        fx.core.cas.with_mut(|registry| {
+        fx.core.data.cas.with_mut(|registry| {
             registry.revoke(CaId::new(0), cred_id, Timestamp::from_millis(2));
         });
         let out = validate(&mut fx, txn, Timestamp::from_millis(3));
@@ -1443,7 +1714,7 @@ mod tests {
         let cred_id = fx.credential.id();
         // Revocation recorded before any evaluation, effective at t=5ms —
         // so no epoch change happens between the two evaluations below.
-        fx.core.cas.with_mut(|registry| {
+        fx.core.data.cas.with_mut(|registry| {
             registry.revoke(CaId::new(0), cred_id, Timestamp::from_millis(5));
         });
         // t=1ms: still good — granted and cached.
@@ -1471,7 +1742,7 @@ mod tests {
             .rules_text("grant(write, records) :- role(U, admin).")
             .unwrap()
             .build();
-        fx.core.catalog.publish(v2);
+        fx.core.data.catalog.publish(v2);
         fx.core.handle(
             Timestamp::from_millis(2),
             TM,

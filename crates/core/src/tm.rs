@@ -36,6 +36,7 @@ use safetx_store::Wal;
 use safetx_txn::{answer_inquiry, CommitVariant, CoordinatorRecord, TransactionSpec};
 use safetx_types::{Duration, ServerId, Timestamp, TmId, TxnId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The record of one finished transaction, read back by the harness.
 #[derive(Debug, Clone)]
@@ -71,7 +72,11 @@ enum Phase {
 #[derive(Debug)]
 struct TxnState {
     spec: TransactionSpec,
-    credentials: Vec<Credential>,
+    /// Shared credential payload: built once at Begin, refcounted into
+    /// every `ExecQuery`/`PrepareToValidate` instead of deep-cloned.
+    credentials: Arc<[Credential]>,
+    /// Per-query shared payloads, same rationale.
+    queries: Arc<[Arc<safetx_txn::QuerySpec>]>,
     started_at: Timestamp,
     phase: Phase,
     next_query: usize,
@@ -197,9 +202,12 @@ impl TmActor {
             // transaction.
             return;
         }
+        let queries: Arc<[Arc<safetx_txn::QuerySpec>]> =
+            spec.queries.iter().cloned().map(Arc::new).collect();
         let state = TxnState {
             spec,
-            credentials,
+            credentials: credentials.into(),
+            queries,
             started_at: ctx.now(),
             phase: Phase::Executing,
             next_query: 0,
@@ -241,7 +249,7 @@ impl TmActor {
         if self.scheme.validates_before_each_query() {
             // Continuous: 2PV over the servers of queries 0..=next_query.
             let index = state.next_query;
-            let query = state.spec.queries[index].clone();
+            let query = Arc::clone(&state.queries[index]);
             let involved: BTreeSet<ServerId> = state
                 .spec
                 .queries
@@ -253,7 +261,7 @@ impl TmActor {
                 ValidationRound::new(involved, ValidationConfig::two_pv(self.consistency));
             let actions = validation.start();
             let user = state.spec.user;
-            let credentials = state.credentials.clone();
+            let credentials = Arc::clone(&state.credentials);
             state.phase = Phase::PreQueryValidation(validation);
             for action in actions {
                 match action {
@@ -262,14 +270,15 @@ impl TmActor {
                         // A 2PV contact registers transaction state at the
                         // server; an execution-phase abort must reach it.
                         state.touched.insert(server);
-                        let new_query = (server == query.server).then(|| (index, query.clone()));
+                        let new_query =
+                            (server == query.server).then(|| (index, Arc::clone(&query)));
                         ctx.send(
                             self.book.server_node(server),
                             Msg::PrepareToValidate {
                                 txn,
                                 new_query,
                                 user,
-                                credentials: credentials.clone(),
+                                credentials: Arc::clone(&credentials),
                             },
                         );
                     }
@@ -302,7 +311,7 @@ impl TmActor {
             return;
         };
         let index = state.next_query;
-        let query = state.spec.queries[index].clone();
+        let query = Arc::clone(&state.queries[index]);
         state.touched.insert(query.server);
         let evaluate_proof =
             self.scheme.evaluates_at_query() && self.scheme != ProofScheme::Continuous; // Continuous proved it in 2PV
@@ -322,7 +331,7 @@ impl TmActor {
                 query_index: index,
                 query,
                 user: state.spec.user,
-                credentials: state.credentials.clone(),
+                credentials: Arc::clone(&state.credentials),
                 evaluate_proof,
                 pin_versions,
                 capabilities: state.capabilities.clone(),
@@ -455,8 +464,11 @@ impl TmActor {
             return;
         };
         state.metrics.messages += 1; // the reply
-        state.view.extend(reply.proofs.iter().cloned());
         state.metrics.proofs += reply.proofs.len() as u64;
+        // The round's state machine never reads the proofs; move them into
+        // the audit view instead of cloning.
+        let mut reply = reply;
+        state.view.extend(std::mem::take(&mut reply.proofs));
         if let Phase::PreQueryValidation(validation) = &mut state.phase {
             let actions = validation.on_reply(server, reply);
             self.apply_validation_actions(ctx, txn, actions);
@@ -534,8 +546,9 @@ impl TmActor {
             return;
         };
         state.metrics.messages += 1;
-        state.view.extend(reply.proofs.iter().cloned());
         state.metrics.proofs += reply.proofs.len() as u64;
+        let mut reply = reply;
+        state.view.extend(std::mem::take(&mut reply.proofs));
         if let Phase::Committing(pvc) = &mut state.phase {
             let actions = pvc.on_reply(server, reply);
             self.apply_pvc_actions(ctx, txn, actions);

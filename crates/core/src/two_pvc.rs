@@ -195,7 +195,13 @@ impl TwoPvc {
     }
 
     /// Handles the master's version answer (global consistency).
-    pub fn on_master_versions(&mut self, versions: VersionMap) -> Vec<TwoPvcAction> {
+    ///
+    /// Like [`ValidationRound::on_master_versions`], accepts an owned map or
+    /// a shared `Arc<VersionMap>` snapshot.
+    pub fn on_master_versions(
+        &mut self,
+        versions: impl Into<std::sync::Arc<VersionMap>>,
+    ) -> Vec<TwoPvcAction> {
         if self.state != TwoPvcState::Voting {
             return Vec::new();
         }
@@ -482,11 +488,11 @@ mod tests {
         let out = p.start();
         assert!(out.contains(&TwoPvcAction::QueryMaster));
         p.on_reply(server(0), reply(Vote::Yes, true, 1));
-        let out = p.on_master_versions([(PolicyId::new(0), PolicyVersion(2))].into());
+        let out = p.on_master_versions(VersionMap::from([(PolicyId::new(0), PolicyVersion(2))]));
         assert!(out
             .iter()
             .any(|a| matches!(a, TwoPvcAction::SendUpdate(..))));
-        p.on_master_versions([(PolicyId::new(0), PolicyVersion(2))].into());
+        p.on_master_versions(VersionMap::from([(PolicyId::new(0), PolicyVersion(2))]));
         let out = p.on_reply(server(0), reply(Vote::Yes, true, 2));
         assert!(out.contains(&TwoPvcAction::Decided(Decision::Commit)));
     }

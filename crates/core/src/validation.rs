@@ -18,6 +18,7 @@ use safetx_txn::Vote;
 use safetx_types::{PolicyId, PolicyVersion, ServerId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Policy-id → version mapping, the currency of 2PV.
 pub type VersionMap = BTreeMap<PolicyId, PolicyVersion>;
@@ -158,7 +159,7 @@ pub struct ValidationRound {
     expected: BTreeSet<ServerId>,
     replies: BTreeMap<ServerId, ValidationReply>,
     rounds: u64,
-    master: Option<VersionMap>,
+    master: Option<Arc<VersionMap>>,
     awaiting_master: bool,
     config: ValidationConfig,
     outcome: Option<ValidationOutcome>,
@@ -237,11 +238,18 @@ impl ValidationRound {
     }
 
     /// Handles the master's latest-version answer.
-    pub fn on_master_versions(&mut self, versions: VersionMap) -> Vec<ValidationAction> {
+    ///
+    /// Accepts either an owned [`VersionMap`] or a shared
+    /// `Arc<VersionMap>` snapshot (from [`crate::SharedCatalog::latest_snapshot`]),
+    /// so hot-path callers avoid cloning the map per consult.
+    pub fn on_master_versions(
+        &mut self,
+        versions: impl Into<Arc<VersionMap>>,
+    ) -> Vec<ValidationAction> {
         if self.outcome.is_some() || !self.awaiting_master {
             return Vec::new();
         }
-        self.master = Some(versions);
+        self.master = Some(versions.into());
         self.awaiting_master = false;
         self.try_validate()
     }
@@ -471,7 +479,8 @@ mod tests {
         v.on_reply(server(0), reply(true, 2));
         v.on_reply(server(1), reply(true, 2));
         // Replies agree at v2, but the master knows v3: both are stale.
-        let actions = v.on_master_versions([(PolicyId::new(0), PolicyVersion(3))].into());
+        let actions =
+            v.on_master_versions(VersionMap::from([(PolicyId::new(0), PolicyVersion(3))]));
         let updates = actions
             .iter()
             .filter(|a| matches!(a, ValidationAction::SendUpdate(..)))
@@ -481,7 +490,7 @@ mod tests {
             actions.contains(&ValidationAction::QueryMaster),
             "per-round master refresh"
         );
-        v.on_master_versions([(PolicyId::new(0), PolicyVersion(3))].into());
+        v.on_master_versions(VersionMap::from([(PolicyId::new(0), PolicyVersion(3))]));
         v.on_reply(server(0), reply(true, 3));
         let actions = v.on_reply(server(1), reply(true, 3));
         assert_eq!(
@@ -501,7 +510,8 @@ mod tests {
         v.start();
         v.on_reply(server(0), reply(true, 1));
         v.on_reply(server(1), reply(true, 2));
-        let actions = v.on_master_versions([(PolicyId::new(0), PolicyVersion(2))].into());
+        let actions =
+            v.on_master_versions(VersionMap::from([(PolicyId::new(0), PolicyVersion(2))]));
         assert!(
             !actions.contains(&ValidationAction::QueryMaster),
             "master consulted once"

@@ -4,10 +4,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
     AbortReason, ConsistencyLevel, Msg, ProofScheme, ResourcePolicyMap, ServerCore, SharedCas,
     SharedCatalog, TransactionView, TwoPvc, TwoPvcAction, TxnOutcome, ValidationAction,
-    ValidationConfig, ValidationOutcome, ValidationRound, VersionMap,
+    ValidationConfig, ValidationOutcome, ValidationReply, ValidationRound, VersionMap,
 };
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
-use safetx_txn::{CommitVariant, TransactionSpec};
+use safetx_txn::{CommitVariant, QuerySpec, TransactionSpec, Vote};
 use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -59,6 +59,12 @@ pub struct ClusterConfig {
     pub consistency: ConsistencyLevel,
     /// Commit-protocol logging variant.
     pub variant: CommitVariant,
+    /// Data-plane worker threads per server (proof evaluation off the
+    /// server thread). `None` defers to the `SAFETX_SERVER_WORKERS`
+    /// environment variable, then to `min(4, available_parallelism)`.
+    /// A value of `1` (or `0`) keeps every server fully single-threaded —
+    /// the exact pre-pool behaviour.
+    pub server_workers: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -68,6 +74,76 @@ impl Default for ClusterConfig {
             scheme: ProofScheme::Deferred,
             consistency: ConsistencyLevel::View,
             variant: CommitVariant::Standard,
+            server_workers: None,
+        }
+    }
+}
+
+/// Resolves the per-server worker count: explicit config, then the
+/// `SAFETX_SERVER_WORKERS` environment variable, then
+/// `min(4, available_parallelism)`.
+fn resolve_workers(config: &ClusterConfig) -> usize {
+    config
+        .server_workers
+        .or_else(|| {
+            std::env::var("SAFETX_SERVER_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1)
+        })
+}
+
+/// A job shipped to a server's data-plane workers.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed pool of data-plane helper threads owned by one server thread.
+/// Each worker drains its own queue; jobs are distributed round-robin
+/// (they are uniform in kind — one proof evaluation batch each). Dropping
+/// the pool closes the job channels and joins every worker, so the server
+/// thread never exits (and the cluster's live-thread gauge never reaches
+/// zero) while a proof evaluation is still in flight.
+struct WorkerPool {
+    txs: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    next: std::cell::Cell<usize>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = unbounded::<Job>();
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            }));
+        }
+        WorkerPool {
+            txs,
+            handles,
+            next: std::cell::Cell::new(0),
+        }
+    }
+
+    fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let slot = self.next.get();
+        self.next.set((slot + 1) % self.txs.len());
+        self.txs[slot].send(Box::new(job)).expect("worker alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -106,6 +182,10 @@ pub struct Cluster {
     epoch: Instant,
     next_txn: AtomicU64,
     live_servers: Arc<AtomicUsize>,
+    /// Inputs received on a coordinator's reply channel that no receive
+    /// loop was waiting for (stale replies for resolved rounds). These were
+    /// previously dropped silently by the catch-all match arms.
+    dropped_replies: Arc<AtomicU64>,
 }
 
 /// Decrements the live-thread gauge when a server thread exits — normally
@@ -129,6 +209,7 @@ impl Cluster {
         let cas = SharedCas::new(registry);
         let epoch = Instant::now();
 
+        let workers = resolve_workers(&config);
         let live_servers = Arc::new(AtomicUsize::new(0));
         let mut server_txs = Vec::with_capacity(config.servers);
         let mut handles = Vec::with_capacity(config.servers);
@@ -150,7 +231,7 @@ impl Cluster {
             let guard = LiveGuard(live_servers.clone());
             handles.push(std::thread::spawn(move || {
                 let _guard = guard;
-                server_loop(core, rx, my_addr, epoch);
+                server_loop(core, rx, my_addr, epoch, workers);
             }));
             server_txs.push(tx);
         }
@@ -164,7 +245,15 @@ impl Cluster {
             epoch,
             next_txn: AtomicU64::new(0),
             live_servers,
+            dropped_replies: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// How many coordinator-side inputs were received but matched no
+    /// pending protocol round (stale replies after an abort, for example).
+    #[must_use]
+    pub fn dropped_replies(&self) -> u64 {
+        self.dropped_replies.load(Ordering::Relaxed)
     }
 
     /// The configuration this cluster was built with.
@@ -271,9 +360,16 @@ impl Cluster {
         let scheme = self.config.scheme;
         let consistency = self.config.consistency;
 
+        // Build the shared message payloads once: every per-query ×
+        // per-server message below bumps a refcount instead of deep-cloning
+        // the credential list and query specs (under Continuous the
+        // per-transaction clone count is otherwise quadratic in queries).
+        let credentials: Arc<[Credential]> = credentials.into();
+        let queries: Vec<Arc<QuerySpec>> = spec.queries.iter().cloned().map(Arc::new).collect();
+
         let mut touched: BTreeSet<ServerId> = BTreeSet::new();
         let mut pinned: VersionMap = VersionMap::new();
-        let mut master_pinned: Option<VersionMap> = None;
+        let mut master_pinned: Option<(u64, Arc<VersionMap>)> = None;
         let mut view = TransactionView::new();
         let mut queries_executed = 0usize;
 
@@ -291,8 +387,13 @@ impl Cluster {
                     },
                 ));
             }
-            // Drain any acks without blocking.
-            while reply_rx.try_recv().is_ok() {}
+            // Drain without blocking: expected acks plus any stale replies
+            // (the latter are what the dropped-replies counter tracks).
+            while let Ok(input) = reply_rx.try_recv() {
+                if !matches!(input, Input::Proto(_, Msg::Ack { .. })) {
+                    this.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             ExecutionResult {
                 outcome: TxnOutcome::Aborted {
                     at: this.now(),
@@ -323,8 +424,8 @@ impl Cluster {
                     for action in batch {
                         match action {
                             ValidationAction::SendRequest(server) => {
-                                let new_query =
-                                    (server == query.server).then(|| (index, query.clone()));
+                                let new_query = (server == query.server)
+                                    .then(|| (index, Arc::clone(&queries[index])));
                                 self.server_txs[server.index() as usize]
                                     .send(Input::Proto(
                                         me_clone(&me),
@@ -332,7 +433,7 @@ impl Cluster {
                                             txn,
                                             new_query,
                                             user: spec.user,
-                                            credentials: credentials.to_vec(),
+                                            credentials: Arc::clone(&credentials),
                                         },
                                     ))
                                     .expect("server alive");
@@ -350,9 +451,11 @@ impl Cluster {
                                     .expect("server alive");
                             }
                             ValidationAction::QueryMaster => {
-                                // The catalog IS the master here; answer inline.
+                                // The catalog IS the master here; answer
+                                // inline from its epoch snapshot (no map
+                                // rebuild, no deep clone).
                                 pending.extend(
-                                    validation.on_master_versions(self.catalog.latest_versions()),
+                                    validation.on_master_versions(self.catalog.latest_snapshot().1),
                                 );
                             }
                             ValidationAction::Resolved(outcome) => resolved = Some(outcome),
@@ -362,15 +465,22 @@ impl Cluster {
                         break outcome;
                     }
                     match reply_rx.recv().expect("servers alive") {
-                        Input::Proto(from, Msg::ValidateReply { txn: t, reply }) if t == txn => {
+                        Input::Proto(from, Msg::ValidateReply { txn: t, mut reply })
+                            if t == txn =>
+                        {
                             if let Endpoint::Server(sid) = from.endpoint {
-                                for proof in &reply.proofs {
-                                    view.record(proof.clone());
+                                // The round's state machine only reads the
+                                // truth value and versions; move the proofs
+                                // into the audit view instead of cloning.
+                                for proof in std::mem::take(&mut reply.proofs) {
+                                    view.record(proof);
                                 }
                                 pending.extend(validation.on_reply(sid, reply));
                             }
                         }
-                        _ => {}
+                        _ => {
+                            self.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 };
                 if let ValidationOutcome::Abort(reason) = outcome {
@@ -379,20 +489,26 @@ impl Cluster {
             }
 
             // Incremental / global: retrieve the master version per query.
+            // The consult is a generation check first: when no policy was
+            // published since the pin, the snapshot is unchanged by
+            // construction and the map comparison is skipped entirely.
             if scheme.checks_versions_incrementally() && consistency == ConsistencyLevel::Global {
-                let latest = self.catalog.latest_versions();
+                let (generation, latest) = self.catalog.latest_snapshot();
                 match &master_pinned {
-                    None => master_pinned = Some(latest),
-                    Some(pin) if *pin != latest => {
-                        return abort(
-                            self,
-                            &touched,
-                            AbortReason::VersionInconsistency,
-                            view,
-                            queries_executed,
-                        );
+                    None => master_pinned = Some((generation, latest)),
+                    Some((pinned_gen, _)) if *pinned_gen == generation => {}
+                    Some((_, pin)) => {
+                        if **pin != *latest {
+                            return abort(
+                                self,
+                                &touched,
+                                AbortReason::VersionInconsistency,
+                                view,
+                                queries_executed,
+                            );
+                        }
+                        master_pinned = Some((generation, latest));
                     }
-                    Some(_) => {}
                 }
             }
 
@@ -401,11 +517,15 @@ impl Cluster {
             let pin_versions = if scheme.checks_versions_incrementally() {
                 match consistency {
                     ConsistencyLevel::View => pinned.clone(),
-                    ConsistencyLevel::Global => master_pinned.clone().unwrap_or_default(),
+                    ConsistencyLevel::Global => master_pinned
+                        .as_ref()
+                        .map(|(_, pin)| (**pin).clone())
+                        .unwrap_or_default(),
                 }
             } else {
                 VersionMap::new()
             };
+
             touched.insert(query.server);
             self.server_txs[query.server.index() as usize]
                 .send(Input::Proto(
@@ -413,11 +533,11 @@ impl Cluster {
                     Msg::ExecQuery {
                         txn,
                         query_index: index,
-                        query: query.clone(),
+                        query: Arc::clone(&queries[index]),
                         user: spec.user,
-                        credentials: credentials.to_vec(),
+                        credentials: Arc::clone(&credentials),
                         evaluate_proof,
-                        pin_versions: pin_versions.clone(),
+                        pin_versions,
                         capabilities: Vec::new(),
                     },
                 ))
@@ -435,7 +555,9 @@ impl Cluster {
                             capability: _,
                         },
                     ) if t == txn && qi == index => break (ok, proof),
-                    _ => {}
+                    _ => {
+                        self.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             };
             if !ok {
@@ -449,20 +571,23 @@ impl Cluster {
             }
             queries_executed += 1;
             if let Some(proof) = proof {
-                view.record(proof.clone());
+                // Read the fields the checks need, then move the proof into
+                // the audit view — no clone.
+                let policy_id = proof.policy_id;
+                let policy_version = proof.policy_version;
+                let truth = proof.truth();
+                view.record(proof);
                 if scheme.checks_versions_incrementally() {
                     let expectation = match consistency {
-                        ConsistencyLevel::View => Some(
-                            *pinned
-                                .entry(proof.policy_id)
-                                .or_insert(proof.policy_version),
-                        ),
+                        ConsistencyLevel::View => {
+                            Some(*pinned.entry(policy_id).or_insert(policy_version))
+                        }
                         ConsistencyLevel::Global => master_pinned
                             .as_ref()
-                            .and_then(|m| m.get(&proof.policy_id).copied()),
+                            .and_then(|(_, pin)| pin.get(&policy_id).copied()),
                     };
                     if let Some(expected) = expectation {
-                        if proof.policy_version != expected {
+                        if policy_version != expected {
                             return abort(
                                 self,
                                 &touched,
@@ -473,7 +598,7 @@ impl Cluster {
                         }
                     }
                 }
-                if !proof.truth() {
+                if !truth {
                     return abort(
                         self,
                         &touched,
@@ -533,7 +658,7 @@ impl Cluster {
                             .expect("server alive");
                     }
                     TwoPvcAction::QueryMaster => {
-                        pending.extend(pvc.on_master_versions(self.catalog.latest_versions()));
+                        pending.extend(pvc.on_master_versions(self.catalog.latest_snapshot().1));
                     }
                     TwoPvcAction::SendDecision(server, decision) => {
                         self.server_txs[server.index() as usize]
@@ -551,10 +676,10 @@ impl Cluster {
                     .expect("completed implies decided");
             }
             match reply_rx.recv().expect("servers alive") {
-                Input::Proto(from, Msg::CommitReply { txn: t, reply }) if t == txn => {
+                Input::Proto(from, Msg::CommitReply { txn: t, mut reply }) if t == txn => {
                     if let Endpoint::Server(sid) = from.endpoint {
-                        for proof in &reply.proofs {
-                            view.record(proof.clone());
+                        for proof in std::mem::take(&mut reply.proofs) {
+                            view.record(proof);
                         }
                         pending.extend(pvc.on_reply(sid, reply));
                     }
@@ -564,7 +689,9 @@ impl Cluster {
                         pending.extend(pvc.on_ack(sid));
                     }
                 }
-                _ => {}
+                _ => {
+                    self.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                }
             }
         };
 
@@ -611,14 +738,39 @@ fn me_clone(me: &Addr) -> Addr {
     me.clone()
 }
 
-fn server_loop(mut core: ServerCore<Addr>, rx: Receiver<Input>, my_addr: Addr, epoch: Instant) {
+fn now_since(epoch: Instant) -> Timestamp {
+    Timestamp::from_micros(epoch.elapsed().as_micros() as u64)
+}
+
+/// Sends protocol-core outputs to their destinations. A dead peer (a
+/// finished coordinator) is fine to ignore.
+fn forward(outputs: Vec<(Addr, Msg)>, my_addr: &Addr) {
+    for (to, out) in outputs {
+        let _ = to.tx.send(Input::Proto(my_addr.clone(), out));
+    }
+}
+
+fn server_loop(
+    mut core: ServerCore<Addr>,
+    rx: Receiver<Input>,
+    my_addr: Addr,
+    epoch: Instant,
+    workers: usize,
+) {
+    // With fewer than two workers the pool is skipped entirely and every
+    // message runs inline on this thread — the exact pre-pool behaviour.
+    let pool = (workers > 1).then(|| WorkerPool::new(workers));
     while let Ok(input) = rx.recv() {
         match input {
             Input::Proto(from, msg) => {
-                let now = Timestamp::from_micros(epoch.elapsed().as_micros() as u64);
-                for (to, out) in core.handle(now, from, msg) {
-                    // A dead peer (finished coordinator) is fine to ignore.
-                    let _ = to.tx.send(Input::Proto(my_addr.clone(), out));
+                let now = now_since(epoch);
+                // The unsafe baseline measures capability-shortcut hazards
+                // that depend on exact interleavings: keep it inline.
+                match &pool {
+                    Some(pool) if !core.unsafe_baseline() => {
+                        dispatch(&mut core, pool, &my_addr, epoch, now, from, msg);
+                    }
+                    _ => forward(core.handle(now, from, msg), &my_addr),
                 }
             }
             Input::Configure(f, done) => {
@@ -627,6 +779,148 @@ fn server_loop(mut core: ServerCore<Addr>, rx: Receiver<Input>, my_addr: Addr, e
             }
             Input::Shutdown => return,
         }
+    }
+}
+
+/// Splits one message between the server thread (protocol plane: locks,
+/// write sets, WAL, participant state) and the data-plane worker pool
+/// (proof evaluation and the reply it feeds). Messages whose handling is
+/// pure protocol — voting, decisions, recovery — run inline unchanged; so
+/// does anything holding a lock-manager or write-set decision, keeping the
+/// server thread the single serialization point for those.
+fn dispatch(
+    core: &mut ServerCore<Addr>,
+    pool: &WorkerPool,
+    my_addr: &Addr,
+    epoch: Instant,
+    now: Timestamp,
+    from: Addr,
+    msg: Msg,
+) {
+    match msg {
+        // Query execution with an attached proof (Punctual / Incremental
+        // Punctual): registration, locking and write-set ops stay inline;
+        // on success, the proof is evaluated on a worker, which sends the
+        // QueryDone itself.
+        Msg::ExecQuery {
+            txn,
+            query_index,
+            query,
+            user,
+            credentials,
+            evaluate_proof: true,
+            pin_versions,
+            capabilities,
+        } => {
+            let replies = core.handle(
+                now,
+                from.clone(),
+                Msg::ExecQuery {
+                    txn,
+                    query_index,
+                    query: Arc::clone(&query),
+                    user,
+                    credentials: Arc::clone(&credentials),
+                    evaluate_proof: false,
+                    pin_versions,
+                    capabilities,
+                },
+            );
+            let ok = replies
+                .iter()
+                .any(|(_, m)| matches!(m, Msg::QueryDone { ok: true, .. }));
+            if !ok {
+                // Lock conflict (or unknown failure): the inline reply
+                // already says so; the proof is moot.
+                forward(replies, my_addr);
+                return;
+            }
+            let data = core.data_plane();
+            let my_addr = my_addr.clone();
+            pool.submit(move || {
+                let proof = data.evaluate_one(now_since(epoch), user, &credentials, &query);
+                let _ = from.tx.send(Input::Proto(
+                    my_addr,
+                    Msg::QueryDone {
+                        txn,
+                        query_index,
+                        ok: true,
+                        proof: Some(proof),
+                        capability: None,
+                    },
+                ));
+            });
+        }
+
+        // 2PV collection (Continuous): the transaction registration is
+        // protocol state and stays inline; the proof re-evaluations — the
+        // round's entire cost — run on a worker.
+        Msg::PrepareToValidate {
+            txn,
+            new_query,
+            user,
+            credentials,
+        } => {
+            let snapshot =
+                core.register_validation(txn, new_query, user, credentials, from.clone());
+            let data = core.data_plane();
+            let my_addr = my_addr.clone();
+            pool.submit(move || {
+                let (truth, versions, proofs) = data.evaluate_snapshot(now_since(epoch), &snapshot);
+                let reply = ValidationReply {
+                    vote: Vote::Yes,
+                    truth,
+                    versions,
+                    proofs,
+                };
+                let _ = from
+                    .tx
+                    .send(Input::Proto(my_addr, Msg::ValidateReply { txn, reply }));
+            });
+        }
+
+        // Standalone 2PV update round (Global consistency): fast-forward is
+        // a data-plane operation; the re-evaluation goes to a worker.
+        // In-commit updates touch the participant state machine and stay
+        // inline.
+        Msg::Update {
+            txn,
+            targets,
+            in_commit: false,
+        } => {
+            core.data_plane().fast_forward(&targets);
+            let Some(snapshot) = core.snapshot_txn(txn) else {
+                // Same vacuous reply ServerCore::handle produces for a
+                // transaction with no state here.
+                let reply = ValidationReply {
+                    vote: Vote::Yes,
+                    truth: true,
+                    versions: VersionMap::new(),
+                    proofs: Vec::new(),
+                };
+                let _ = from.tx.send(Input::Proto(
+                    my_addr.clone(),
+                    Msg::ValidateReply { txn, reply },
+                ));
+                return;
+            };
+            let data = core.data_plane();
+            let my_addr = my_addr.clone();
+            pool.submit(move || {
+                let (truth, versions, proofs) = data.evaluate_snapshot(now_since(epoch), &snapshot);
+                let reply = ValidationReply {
+                    vote: Vote::Yes,
+                    truth,
+                    versions,
+                    proofs,
+                };
+                let _ = from
+                    .tx
+                    .send(Input::Proto(my_addr, Msg::ValidateReply { txn, reply }));
+            });
+        }
+
+        other => forward(core.handle(now, from, other), my_addr),
     }
 }
 
@@ -644,6 +938,7 @@ mod tests {
             scheme,
             consistency,
             variant: CommitVariant::Standard,
+            server_workers: None,
         });
         let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
             .rules_text(

@@ -26,6 +26,11 @@ pub struct ServiceStats {
     pub retries_exhausted: u64,
     /// Total re-submissions across all transactions (attempts − 1 each).
     pub retry_attempts: u64,
+    /// Coordinator-side protocol inputs received but matched by no pending
+    /// round (stale replies after an abort). Sourced from
+    /// [`safetx_runtime::Cluster::dropped_replies`]; timing-dependent, so
+    /// excluded from the conservation invariant.
+    pub dropped_replies: u64,
     /// End-to-end latency of committed transactions, in milliseconds
     /// (submission to commit, including queueing and retries).
     pub commit_latency_ms: Histogram,
@@ -72,6 +77,7 @@ impl ServiceStats {
             .with("terminal_aborts", self.terminal_aborts)
             .with("retries_exhausted", self.retries_exhausted)
             .with("retry_attempts", self.retry_attempts)
+            .with("dropped_replies", self.dropped_replies)
             .with("commit_latency_ms", self.commit_latency_ms.to_json())
             .with("queue_wait_ms", self.queue_wait_ms.to_json())
             .with("failure_latency_ms", self.failure_latency_ms.to_json())

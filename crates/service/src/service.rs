@@ -234,7 +234,9 @@ impl TxnService {
     /// Panics when the stats mutex is poisoned.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        self.stats.lock().expect("stats lock").clone()
+        let mut stats = self.stats.lock().expect("stats lock").clone();
+        stats.dropped_replies = self.cluster.dropped_replies();
+        stats
     }
 
     /// Stops admissions, drains already-admitted work, joins the workers

@@ -26,6 +26,6 @@ mod wal;
 
 pub use constraints::{ConstraintSet, ConstraintViolation, IntegrityConstraint};
 pub use kv::{LocalStore, VersionedItem, WriteSet};
-pub use locks::{LockManager, LockMode, LockOutcome};
+pub use locks::{LockManager, LockMode, LockOutcome, ShardedLockManager, LOCK_SHARDS};
 pub use value::Value;
 pub use wal::{Wal, WalEntry};

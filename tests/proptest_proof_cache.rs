@@ -144,14 +144,14 @@ fn evaluate(
         Msg::ExecQuery {
             txn,
             query_index: 0,
-            query: QuerySpec::new(
+            query: std::sync::Arc::new(QuerySpec::new(
                 ServerId::new(0),
                 "read",
                 "records",
                 vec![Operation::Read(DataItemId::new(0))],
-            ),
+            )),
             user: UserId::new(user as u64),
-            credentials: creds.to_vec(),
+            credentials: std::sync::Arc::from(creds),
             evaluate_proof: true,
             pin_versions: VersionMap::new(),
             capabilities: vec![],

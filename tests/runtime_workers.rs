@@ -1,0 +1,166 @@
+//! Worker-pool equivalence: the intra-server data-plane worker pool is a
+//! latency optimisation, not a semantic change. The same seeded workload
+//! must produce identical deterministic outcome totals whether each server
+//! runs fully single-threaded (`server_workers: Some(1)`, the exact
+//! pre-pool behaviour) or with a pool (`Some(4)`).
+//!
+//! Outcome totals are deterministic because the policy-denied fraction is
+//! positional and authorized transactions retry transient aborts until the
+//! generous budget commits them; latencies are wall-clock and excluded.
+
+use safetx_core::{ConsistencyLevel, ProofScheme};
+use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
+use safetx_runtime::{Cluster, ClusterConfig};
+use safetx_service::{run_closed_loop, RetryPolicy, ServiceConfig, ServiceStats, TxnService};
+use safetx_store::Value;
+use safetx_txn::{Operation, QuerySpec, TransactionSpec};
+use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, UserId};
+use std::sync::Arc;
+
+const ITEMS_PER_SERVER: u64 = 16;
+const DENY_EVERY: u64 = 8;
+const SERVERS: usize = 3;
+const CLIENTS: usize = 4;
+const PER_CLIENT: usize = 12;
+
+fn build_cluster(
+    scheme: ProofScheme,
+    consistency: ConsistencyLevel,
+    workers: usize,
+) -> Arc<Cluster> {
+    let cluster = Cluster::new(ClusterConfig {
+        servers: SERVERS,
+        scheme,
+        consistency,
+        server_workers: Some(workers),
+        ..Default::default()
+    });
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member).",
+        )
+        .expect("rules parse")
+        .build();
+    cluster.publish_policy(policy);
+    for s in 0..SERVERS as u64 {
+        cluster.configure_server(ServerId::new(s), move |core| {
+            for j in 0..ITEMS_PER_SERVER {
+                core.store_mut().write(
+                    DataItemId::new(s * 100 + j),
+                    Value::Int(10),
+                    Timestamp::ZERO,
+                );
+            }
+        });
+    }
+    Arc::new(cluster)
+}
+
+fn member_credential(cluster: &Cluster) -> Credential {
+    cluster.cas().with_mut(|registry| {
+        registry.ca_mut(CaId::new(0)).unwrap().issue(
+            UserId::new(1),
+            Atom::fact(
+                "role",
+                vec![Constant::symbol("u1"), Constant::symbol("member")],
+            ),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+        )
+    })
+}
+
+fn spec_for(cluster: &Cluster, global_index: u64) -> TransactionSpec {
+    let slot = (global_index * 7) % ITEMS_PER_SERVER;
+    let queries = (0..SERVERS as u64)
+        .map(|s| {
+            QuerySpec::new(
+                ServerId::new(s),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(s * 100 + slot), 1)],
+            )
+        })
+        .collect();
+    TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
+}
+
+/// Runs the fixed closed-loop workload against a cluster built with the
+/// given per-server worker count and returns the final service stats.
+fn run_cell(scheme: ProofScheme, consistency: ConsistencyLevel, workers: usize) -> ServiceStats {
+    let cluster = build_cluster(scheme, consistency, workers);
+    let service = TxnService::new(
+        cluster.clone(),
+        ServiceConfig {
+            workers: CLIENTS,
+            queue_depth: 2 * CLIENTS,
+            retry: RetryPolicy {
+                max_retries: 64,
+                base_backoff: std::time::Duration::from_micros(50),
+                max_backoff: std::time::Duration::from_millis(2),
+                jitter_percent: 50,
+            },
+            seed: 42,
+        },
+    );
+    let cred = member_credential(&cluster);
+    run_closed_loop(&service, CLIENTS, PER_CLIENT, |client, index| {
+        let g = (client * PER_CLIENT + index) as u64;
+        let creds = if g % DENY_EVERY == DENY_EVERY - 1 {
+            vec![]
+        } else {
+            vec![cred.clone()]
+        };
+        (spec_for(&cluster, g), creds)
+    });
+    let stats = service.shutdown();
+    assert!(
+        stats.conserves(),
+        "{scheme}/{consistency}/workers={workers}: outcome accounting leaked: {stats:?}"
+    );
+    stats
+}
+
+/// The deterministic slice of [`ServiceStats`]: everything except
+/// latencies, retry counts (timing-dependent interleaving), and the
+/// stale-reply drop counter.
+fn outcomes(stats: &ServiceStats) -> (u64, u64, u64, u64, u64) {
+    (
+        stats.submissions,
+        stats.commits,
+        stats.terminal_aborts,
+        stats.retries_exhausted,
+        stats.overload_rejections,
+    )
+}
+
+#[test]
+fn worker_pool_preserves_outcome_totals() {
+    for (scheme, consistency) in [
+        (ProofScheme::Deferred, ConsistencyLevel::View),
+        (ProofScheme::Continuous, ConsistencyLevel::Global),
+    ] {
+        let single = run_cell(scheme, consistency, 1);
+        let pooled = run_cell(scheme, consistency, 4);
+        assert_eq!(
+            outcomes(&single),
+            outcomes(&pooled),
+            "{scheme}/{consistency}: worker pool changed deterministic outcomes"
+        );
+        let total = (CLIENTS * PER_CLIENT) as u64;
+        let denied = total / DENY_EVERY;
+        assert_eq!(single.submissions, total);
+        assert_eq!(single.terminal_aborts, denied, "positional denial fraction");
+        assert_eq!(single.commits, total - denied, "authorized txns all commit");
+        assert_eq!(single.retries_exhausted, 0, "budget 64 never exhausts");
+    }
+}
+
+#[test]
+fn workers_one_is_fully_single_threaded() {
+    // A pool is only spawned for workers > 1; `Some(1)` must behave exactly
+    // like the pre-pool runtime, including under the unsafe baseline knob.
+    let stats = run_cell(ProofScheme::Deferred, ConsistencyLevel::View, 1);
+    assert_eq!(stats.commits + stats.terminal_aborts, stats.submissions);
+}
