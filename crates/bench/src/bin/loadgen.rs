@@ -146,6 +146,7 @@ fn retry_policy() -> RetryPolicy {
         base_backoff: std::time::Duration::from_micros(50),
         max_backoff: std::time::Duration::from_millis(2),
         jitter_percent: 50,
+        ..RetryPolicy::default()
     }
 }
 

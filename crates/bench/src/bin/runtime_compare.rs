@@ -119,6 +119,7 @@ fn run_cell(proof_cache: bool) -> Json {
                 base_backoff: std::time::Duration::from_micros(50),
                 max_backoff: std::time::Duration::from_millis(2),
                 jitter_percent: 50,
+                ..RetryPolicy::default()
             },
             seed: SEED,
         },

@@ -57,7 +57,9 @@ pub use messages::AddressBook;
 pub use messages::Msg;
 pub use outcome::{AbortReason, TxnOutcome};
 pub use scheme::ProofScheme;
-pub use server::{CloudServerActor, DataPlane, EvalSnapshot, ServerCore, ServerCounters, SharedCas};
+pub use server::{
+    CloudServerActor, DataPlane, EvalSnapshot, ServerCore, ServerCounters, SharedCas,
+};
 pub use tm::TmActor;
 pub use tm::TxnRecord;
 pub use two_pvc::{TwoPvc, TwoPvcAction, TwoPvcState};

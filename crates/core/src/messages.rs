@@ -17,7 +17,10 @@ use std::sync::Arc;
 
 /// Everything exchanged between the client harness, TMs, cloud servers and
 /// the master version server.
-#[derive(Debug)]
+///
+/// `Clone` exists for the fault-injection layer (duplicate delivery); the
+/// hot paths move messages and never clone them.
+#[derive(Debug, Clone)]
 pub enum Msg {
     /// Client → TM: start a transaction.
     Begin {

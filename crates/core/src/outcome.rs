@@ -19,6 +19,11 @@ pub enum AbortReason {
     LockConflict,
     /// A protocol phase timed out (missing votes or replies).
     Timeout,
+    /// A participant stopped responding within the TM's reply deadline
+    /// (crashed or partitioned server). Transient from the service's point
+    /// of view, but retried on a separate, tightly capped budget: a dead
+    /// server makes *every* attempt wait out the full deadline.
+    ServerUnavailable,
     /// The TM or a participant failed and recovery resolved to abort.
     Failure,
 }
@@ -31,6 +36,7 @@ impl fmt::Display for AbortReason {
             AbortReason::VersionInconsistency => "policy version inconsistency",
             AbortReason::LockConflict => "lock conflict",
             AbortReason::Timeout => "timeout",
+            AbortReason::ServerUnavailable => "server unavailable",
             AbortReason::Failure => "failure",
         };
         write!(f, "{text}")

@@ -104,6 +104,10 @@ struct ServerTxn<A> {
     credentials: Arc<[Credential]>,
     /// Queries seen here: `(index within transaction, spec)`.
     queries: Vec<(usize, Arc<QuerySpec>)>,
+    /// Query indexes whose data operations already ran. A duplicated
+    /// `ExecQuery` (fault injection, retransmission) must not re-acquire
+    /// locks or re-apply `Add` deltas to the write set.
+    executed: std::collections::BTreeSet<usize>,
     writes: WriteSet,
     participant: Participant,
     coordinator: A,
@@ -613,6 +617,12 @@ pub struct ServerCore<A> {
     wal: Wal<ParticipantRecord>,
     constraints: ConstraintSet,
     txns: HashMap<TxnId, ServerTxn<A>>,
+    /// Decisions already applied here, keyed by transaction. Guards the
+    /// handlers against ghost resurrection: a duplicated or delayed
+    /// protocol message arriving *after* the decision must not re-create
+    /// transaction state (and leak its locks). Volatile — lost in a crash
+    /// and rebuilt from the WAL's decision records on recovery.
+    decided: HashMap<TxnId, safetx_txn::Decision>,
     /// Forced log writes performed (protocol plane; proofs live in the
     /// data plane).
     forced_logs: u64,
@@ -643,6 +653,7 @@ impl<A: Clone> ServerCore<A> {
             wal: Wal::new(),
             constraints: ConstraintSet::new(),
             txns: HashMap::new(),
+            decided: HashMap::new(),
             forced_logs: 0,
             issue_capabilities: false,
             honor_capabilities: false,
@@ -812,6 +823,10 @@ impl<A: Clone> ServerCore<A> {
     /// [`Msg::PrepareToValidate`]): creates the transaction if new, records
     /// `new_query`, and returns the snapshot whose evaluation — inline or
     /// on a worker — produces the [`Msg::ValidateReply`] body.
+    ///
+    /// Returns `None` for a transaction already decided here (a duplicated
+    /// or delayed round): registering it again would resurrect ghost state,
+    /// and the coordinator that sent the original round is long gone.
     pub fn register_validation(
         &mut self,
         txn: TxnId,
@@ -819,7 +834,10 @@ impl<A: Clone> ServerCore<A> {
         user: UserId,
         credentials: Arc<[Credential]>,
         coordinator: A,
-    ) -> EvalSnapshot {
+    ) -> Option<EvalSnapshot> {
+        if self.decided.contains_key(&txn) {
+            return None;
+        }
         self.ensure_txn(txn, user, credentials, coordinator);
         let state = self.txns.get_mut(&txn).expect("just ensured");
         if let Some((index, query)) = new_query {
@@ -827,11 +845,11 @@ impl<A: Clone> ServerCore<A> {
                 state.queries.push((index, query));
             }
         }
-        EvalSnapshot {
+        Some(EvalSnapshot {
             user: state.user,
             credentials: Arc::clone(&state.credentials),
             queries: state.queries.clone(),
-        }
+        })
     }
 
     /// Executes a query's data operations under two-phase locking into the
@@ -875,6 +893,7 @@ impl<A: Clone> ServerCore<A> {
             user,
             credentials,
             queries: Vec::new(),
+            executed: std::collections::BTreeSet::new(),
             writes: WriteSet::new(),
             participant: Participant::new(txn, variant),
             coordinator: coord,
@@ -916,6 +935,7 @@ impl<A: Clone> ServerCore<A> {
                     }
                     self.locks.release_all(txn);
                     self.txns.remove(&txn);
+                    self.decided.insert(txn, decision);
                 }
             }
         }
@@ -937,26 +957,43 @@ impl<A: Clone> ServerCore<A> {
                 pin_versions,
                 capabilities,
             } => {
+                // A duplicated/delayed query for an already-decided
+                // transaction: re-registering would resurrect ghost state
+                // and leak locks; the TM's wait for this reply is over.
+                if self.decided.contains_key(&txn) {
+                    return out;
+                }
                 self.fast_forward(&pin_versions);
                 self.ensure_txn(txn, user, credentials, from.clone());
-                {
+                let already_executed = {
                     let state = self.txns.get_mut(&txn).expect("just ensured");
                     if !state.queries.iter().any(|(i, _)| *i == query_index) {
                         state.queries.push((query_index, Arc::clone(&query)));
                     }
-                }
-                if !self.execute_ops(txn, &query.ops) {
-                    out.push((
-                        from,
-                        Msg::QueryDone {
-                            txn,
-                            query_index,
-                            ok: false,
-                            proof: None,
-                            capability: None,
-                        },
-                    ));
-                    return out;
+                    state.executed.contains(&query_index)
+                };
+                // A duplicate of an already-executed query re-replies (and
+                // re-proves when asked) but must not re-run the data
+                // operations: `Add` deltas are not idempotent.
+                if !already_executed {
+                    if !self.execute_ops(txn, &query.ops) {
+                        out.push((
+                            from,
+                            Msg::QueryDone {
+                                txn,
+                                query_index,
+                                ok: false,
+                                proof: None,
+                                capability: None,
+                            },
+                        ));
+                        return out;
+                    }
+                    self.txns
+                        .get_mut(&txn)
+                        .expect("just ensured")
+                        .executed
+                        .insert(query_index);
                 }
                 // Unsafe baseline: a previously issued capability passes
                 // for a proof — no policy evaluation, no credential status
@@ -1021,7 +1058,13 @@ impl<A: Clone> ServerCore<A> {
                 user,
                 credentials,
             } => {
-                self.register_validation(txn, new_query, user, credentials, from.clone());
+                if self
+                    .register_validation(txn, new_query, user, credentials, from.clone())
+                    .is_none()
+                {
+                    // Already decided here: a stale round, no reply owed.
+                    return out;
+                }
                 let (truth, versions, proofs) = self.evaluate_all(now, txn);
                 out.push((
                     from,
@@ -1042,6 +1085,12 @@ impl<A: Clone> ServerCore<A> {
                 validate,
                 expected_queries,
             } => {
+                // A duplicated prepare after the decision was applied: the
+                // state machine already resolved; re-preparing would build
+                // a ghost participant the coordinator never decides.
+                if self.decided.contains_key(&txn) {
+                    return out;
+                }
                 let known = self.txns.contains_key(&txn);
                 // Compare the TM's manifest against the queries actually
                 // held: a crash before prepare loses buffered writes, and a
@@ -1175,9 +1224,11 @@ impl<A: Clone> ServerCore<A> {
 
     /// Crash: volatile state is lost. Prepared(YES) transactions survive —
     /// their write sets and protocol state were force-logged with the
-    /// prepare record; everything else is discarded.
+    /// prepare record; everything else (locks, unprepared transactions,
+    /// the applied-decision memo) is discarded.
     pub fn crash(&mut self) {
         self.locks.clear();
+        self.decided.clear();
         self.txns
             .retain(|_, state| state.participant.state() == ParticipantState::Prepared(Vote::Yes));
     }
@@ -1206,6 +1257,99 @@ impl<A: Clone> ServerCore<A> {
             ));
         }
         out
+    }
+
+    /// Rebuilds protocol state from the write-ahead log after a crash
+    /// (the runtime's restart path; the simulator uses [`restart`] with
+    /// live `Inquiry` messages instead).
+    ///
+    /// [`restart`]: ServerCore::restart
+    ///
+    /// Per transaction, following [`safetx_txn::recover_participant`]:
+    /// * decision record in the log → decided; re-apply idempotently.
+    /// * prepared YES, no decision → **in doubt**: the participant state
+    ///   machine is rebuilt as prepared, exclusive locks on its write set
+    ///   are re-acquired (strictness), and the transaction id is returned
+    ///   so the runtime can drive the coordinator-inquiry path.
+    /// * anything else → unilateral abort (the coordinator cannot have
+    ///   committed without this server's vote).
+    ///
+    /// The applied-decision memo (`decided`) is rebuilt from the log's
+    /// decision records, restoring the ghost-resurrection guard for every
+    /// transaction whose decision reached this server before the crash.
+    pub fn recover_from_wal(&mut self) -> Vec<TxnId> {
+        self.locks.clear();
+        self.decided.clear();
+        let records: Vec<ParticipantRecord> = self.wal.records().cloned().collect();
+        for record in &records {
+            if let ParticipantRecord::Decision { txn, decision } = record {
+                self.decided.insert(*txn, *decision);
+            }
+        }
+        let survivors: Vec<TxnId> = self.txns.keys().copied().collect();
+        let mut in_doubt = Vec::new();
+        for txn in survivors {
+            let recovered = safetx_txn::recover_participant(txn, self.variant, records.iter());
+            if recovered.needs_inquiry {
+                let state = self.txns.get_mut(&txn).expect("survivor");
+                state.participant = recovered.participant;
+                let items: Vec<safetx_types::DataItemId> =
+                    state.writes.iter().map(|(item, _)| item).collect();
+                for item in items {
+                    let _ = self.locks.acquire(txn, item, LockMode::Exclusive);
+                }
+                in_doubt.push(txn);
+            } else if let Some(decision) = recovered.apply {
+                // The decision was logged before the crash; the crash
+                // model applies decisions atomically with their log
+                // records, so this branch is defensive — re-apply
+                // idempotently and clean up.
+                if decision.is_commit() {
+                    if let Some(state) = self.txns.get(&txn) {
+                        let writes = state.writes.clone();
+                        self.store.apply(&writes, Timestamp::ZERO);
+                    }
+                }
+                self.txns.remove(&txn);
+                self.decided.insert(txn, decision);
+            } else {
+                self.txns.remove(&txn);
+            }
+        }
+        in_doubt
+    }
+
+    /// Transactions currently prepared YES with no decision — the in-doubt
+    /// set a recovering (or decision-starved) participant must resolve via
+    /// coordinator inquiry.
+    #[must_use]
+    pub fn in_doubt_txns(&self) -> Vec<TxnId> {
+        let mut txns: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, state)| state.participant.state() == ParticipantState::Prepared(Vote::Yes))
+            .map(|(&txn, _)| txn)
+            .collect();
+        txns.sort_unstable();
+        txns
+    }
+
+    /// The decision applied here for `txn`, if any (volatile memo; rebuilt
+    /// from the WAL by [`ServerCore::recover_from_wal`]).
+    #[must_use]
+    pub fn decided_decision(&self, txn: TxnId) -> Option<safetx_txn::Decision> {
+        self.decided.get(&txn).copied()
+    }
+
+    /// Every transaction with live state here, whatever its phase — the
+    /// set a termination protocol must resolve when coordinators stop
+    /// answering (lost decisions leave even unprepared transactions
+    /// holding locks).
+    #[must_use]
+    pub fn active_txn_ids(&self) -> Vec<TxnId> {
+        let mut txns: Vec<TxnId> = self.txns.keys().copied().collect();
+        txns.sort_unstable();
+        txns
     }
 }
 

@@ -208,6 +208,117 @@ impl std::iter::Sum for ProofCacheStats {
     }
 }
 
+/// Fault-injection and crash-recovery instrumentation for a live cluster.
+///
+/// These counters record what the fault layer *did* (messages dropped,
+/// delayed, duplicated, reordered; servers crashed and recovered) and what
+/// the TM *observed* (protocol phases that hit their reply deadline). They
+/// sit beside the paper-model [`ProtocolMetrics`]: injected faults change
+/// wall-clock behaviour and liveness, never the Table I cost accounting of
+/// the transactions that do complete.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Protocol messages swallowed by a drop rule.
+    pub faults_dropped: u64,
+    /// Protocol messages delivered late by a delay rule.
+    pub faults_delayed: u64,
+    /// Protocol messages delivered twice by a duplicate rule.
+    pub faults_duplicated: u64,
+    /// Protocol messages pushed out of FIFO order by a reorder rule.
+    pub faults_reordered: u64,
+    /// Server threads torn down by a scheduled crash.
+    pub server_crashes: u64,
+    /// Server threads rebuilt from their WAL after a crash.
+    pub recoveries: u64,
+    /// Protocol phases the TM abandoned at the reply deadline (aborted
+    /// with `ServerUnavailable`).
+    pub timeout_aborts: u64,
+}
+
+impl FaultCounters {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.faults_dropped += other.faults_dropped;
+        self.faults_delayed += other.faults_delayed;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_reordered += other.faults_reordered;
+        self.server_crashes += other.server_crashes;
+        self.recoveries += other.recoveries;
+        self.timeout_aborts += other.timeout_aborts;
+    }
+
+    /// Total messages the fault layer interfered with.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_dropped + self.faults_delayed + self.faults_duplicated + self.faults_reordered
+    }
+
+    /// Machine-readable form for `BENCH_*.json` emitters.
+    #[must_use]
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::object()
+            .with("faults_dropped", self.faults_dropped)
+            .with("faults_delayed", self.faults_delayed)
+            .with("faults_duplicated", self.faults_duplicated)
+            .with("faults_reordered", self.faults_reordered)
+            .with("server_crashes", self.server_crashes)
+            .with("recoveries", self.recoveries)
+            .with("timeout_aborts", self.timeout_aborts)
+    }
+
+    /// Rebuilds counters from [`FaultCounters::to_json`] output.
+    #[must_use]
+    pub fn from_json(json: &crate::Json) -> Option<Self> {
+        let field = |name: &str| json.get(name).and_then(crate::Json::as_u64);
+        Some(FaultCounters {
+            faults_dropped: field("faults_dropped")?,
+            faults_delayed: field("faults_delayed")?,
+            faults_duplicated: field("faults_duplicated")?,
+            faults_reordered: field("faults_reordered")?,
+            server_crashes: field("server_crashes")?,
+            recoveries: field("recoveries")?,
+            timeout_aborts: field("timeout_aborts")?,
+        })
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dropped={} delayed={} duplicated={} reordered={} crashes={} recoveries={} timeout_aborts={}",
+            self.faults_dropped,
+            self.faults_delayed,
+            self.faults_duplicated,
+            self.faults_reordered,
+            self.server_crashes,
+            self.recoveries,
+            self.timeout_aborts
+        )
+    }
+}
+
+impl std::ops::Add for FaultCounters {
+    type Output = FaultCounters;
+
+    fn add(mut self, rhs: FaultCounters) -> FaultCounters {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for FaultCounters {
+    fn sum<I: Iterator<Item = FaultCounters>>(iter: I) -> FaultCounters {
+        iter.fold(FaultCounters::new(), |acc, c| acc + c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +404,25 @@ mod tests {
         };
         let parsed = crate::Json::parse(&s.to_json().render()).expect("valid json");
         assert_eq!(ProofCacheStats::from_json(&parsed), Some(s));
+    }
+
+    #[test]
+    fn fault_counters_merge_and_json_round_trip() {
+        let mut c = FaultCounters {
+            faults_dropped: 3,
+            faults_delayed: 2,
+            faults_duplicated: 1,
+            faults_reordered: 4,
+            server_crashes: 1,
+            recoveries: 1,
+            timeout_aborts: 2,
+        };
+        c.merge(&c.clone());
+        assert_eq!(c.faults_dropped, 6);
+        assert_eq!(c.faults_injected(), 20);
+        let parsed = crate::Json::parse(&c.to_json().render()).expect("valid json");
+        assert_eq!(FaultCounters::from_json(&parsed), Some(c));
+        assert_eq!(FaultCounters::from_json(&crate::Json::Null), None);
     }
 
     #[test]

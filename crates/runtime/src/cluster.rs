@@ -1,19 +1,22 @@
 //! Thread-per-server cluster.
 
+use crate::fault::{ArmedPlan, CrashPoint, FaultPlan, FaultStats, MsgKind, Peer, Verdict};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
     AbortReason, ConsistencyLevel, Msg, ProofScheme, ResourcePolicyMap, ServerCore, SharedCas,
     SharedCatalog, TransactionView, TwoPvc, TwoPvcAction, TxnOutcome, ValidationAction,
     ValidationConfig, ValidationOutcome, ValidationReply, ValidationRound, VersionMap,
 };
+use safetx_metrics::FaultCounters;
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
-use safetx_txn::{CommitVariant, QuerySpec, TransactionSpec, Vote};
+use safetx_store::Wal;
+use safetx_txn::{CommitVariant, CoordinatorRecord, QuerySpec, TransactionSpec, Vote};
 use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId};
-use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Who sent a message (and how to reply to them). Opaque: exposed only so
 /// [`Cluster::configure_server`] closures can name `ServerCore<Addr>`.
@@ -35,6 +38,13 @@ enum Endpoint {
     Server(ServerId),
 }
 
+fn peer_of(endpoint: Endpoint) -> Peer {
+    match endpoint {
+        Endpoint::Coordinator => Peer::Coordinator,
+        Endpoint::Server(id) => Peer::Server(id),
+    }
+}
+
 /// A configuration closure applied on a server thread.
 type ConfigureFn = Box<dyn FnOnce(&mut ServerCore<Addr>) + Send>;
 
@@ -45,7 +55,202 @@ type ConfigureFn = Box<dyn FnOnce(&mut ServerCore<Addr>) + Send>;
 enum Input {
     Proto(Addr, Msg),
     Configure(ConfigureFn, Sender<()>),
+    /// Kill this server thread mid-protocol: volatile state is lost, the
+    /// core is salvaged (its WAL and store survive the "crash") so
+    /// [`Cluster::restart_server`] can recover it.
+    Crash,
     Shutdown,
+}
+
+/// Crashed cores awaiting restart, by server index. Models the durable
+/// state (store + WAL) that outlives the process.
+type Salvage = Arc<Mutex<HashMap<u64, ServerCore<Addr>>>>;
+
+/// The coordinator-side decision log shared by every TM (`execute` caller)
+/// of this cluster — the log `answer_inquiry` consults when a recovered
+/// participant asks what happened.
+type DecisionLog = Arc<Mutex<Wal<CoordinatorRecord>>>;
+
+/// The message fabric: the single choke point every protocol send crosses.
+///
+/// With no fault plan armed the fast path is one relaxed atomic load and an
+/// uncontended read lock around the destination lookup — behaviourally
+/// identical to the pre-fault-layer direct sends. With a plan armed, each
+/// message is rolled against the plan's edge rules and crash points.
+///
+/// The server channel registry lives *inside* the fabric (rather than in
+/// `Cluster`) so a restarted server can swap its channel without stopping
+/// traffic from concurrent TM threads.
+struct Net {
+    /// Current address (endpoint + input channel) of each server.
+    addrs: RwLock<Vec<Addr>>,
+    /// Armed fault plan, if any.
+    plan: RwLock<Option<ArmedPlan>>,
+    /// Mirrors `plan.is_some()`; checked without taking the lock.
+    enabled: AtomicBool,
+    stats: FaultStats,
+    /// Per-edge message sequence numbers, `[from][to]` flattened over
+    /// `peers` slots per side (coordinator = 0, server *i* = *i* + 1).
+    seqs: Vec<AtomicU64>,
+    peers: usize,
+}
+
+impl Net {
+    fn new(addrs: Vec<Addr>) -> Net {
+        let peers = addrs.len() + 1;
+        Net {
+            addrs: RwLock::new(addrs),
+            plan: RwLock::new(None),
+            enabled: AtomicBool::new(false),
+            stats: FaultStats::default(),
+            seqs: (0..peers * peers).map(|_| AtomicU64::new(0)).collect(),
+            peers,
+        }
+    }
+
+    fn arm(&self, plan: FaultPlan) {
+        *self.plan.write().expect("fault plan lock") = Some(ArmedPlan::new(plan));
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    fn disarm(&self) {
+        self.enabled.store(false, Ordering::Release);
+        *self.plan.write().expect("fault plan lock") = None;
+    }
+
+    fn counters(&self) -> FaultCounters {
+        self.stats.snapshot()
+    }
+
+    fn note_crash(&self) {
+        self.stats.server_crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_recovery(&self) {
+        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_timeout_abort(&self) {
+        self.stats.timeout_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current input channel of a server (control plane: configure,
+    /// crash, shutdown, recovery — never subject to faults).
+    fn tx(&self, server: usize) -> Sender<Input> {
+        self.addrs.read().expect("net addrs")[server].tx.clone()
+    }
+
+    fn server_addr(&self, server: usize) -> Addr {
+        self.addrs.read().expect("net addrs")[server].clone()
+    }
+
+    fn replace_server(&self, server: usize, addr: Addr) {
+        self.addrs.write().expect("net addrs")[server] = addr;
+    }
+
+    /// Protocol send to a server by index.
+    fn to_server(&self, from: &Addr, server: usize, msg: Msg) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            let addrs = self.addrs.read().expect("net addrs");
+            let _ = addrs[server].tx.send(Input::Proto(from.clone(), msg));
+            return;
+        }
+        let to = self.server_addr(server);
+        self.send_faulty(from, &to, msg);
+    }
+
+    /// Protocol send to an arbitrary address (server → coordinator replies
+    /// and server-side forwards).
+    fn send_proto(&self, from: &Addr, to: &Addr, msg: Msg) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            let _ = to.tx.send(Input::Proto(from.clone(), msg));
+            return;
+        }
+        self.send_faulty(from, to, msg);
+    }
+
+    #[cold]
+    fn send_faulty(&self, from: &Addr, to: &Addr, msg: Msg) {
+        let guard = self.plan.read().expect("fault plan lock");
+        let Some(armed) = guard.as_ref() else {
+            let _ = to.tx.send(Input::Proto(from.clone(), msg));
+            return;
+        };
+        let kind = MsgKind::of(&msg);
+        // A crash scheduled "after this server sends its next <kind>"?
+        // Consume the rule now; enqueue the crash after the send went out.
+        let crash_sender = match from.endpoint {
+            Endpoint::Server(id) => armed
+                .take_crash(id, |p| p == CrashPoint::AfterSend(kind))
+                .is_some(),
+            Endpoint::Coordinator => false,
+        };
+        // "Before receive": the receiver dies *instead of* taking
+        // delivery — the message is lost with it.
+        if let Endpoint::Server(id) = to.endpoint {
+            if armed
+                .take_crash(id, |p| p == CrashPoint::BeforeReceive(kind))
+                .is_some()
+            {
+                let _ = to.tx.send(Input::Crash);
+                if crash_sender {
+                    let _ = from.tx.send(Input::Crash);
+                }
+                return;
+            }
+        }
+        let from_peer = peer_of(from.endpoint);
+        let to_peer = peer_of(to.endpoint);
+        let edge = from_peer.index() * self.peers + to_peer.index();
+        let seq = self.seqs[edge].fetch_add(1, Ordering::Relaxed);
+        let mut delivered_inline = false;
+        match armed.plan.roll(from_peer, to_peer, kind, seq) {
+            Verdict::Deliver => {
+                let _ = to.tx.send(Input::Proto(from.clone(), msg));
+                delivered_inline = true;
+            }
+            Verdict::Drop => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Verdict::Duplicate => {
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                let _ = to.tx.send(Input::Proto(from.clone(), msg.clone()));
+                let _ = to.tx.send(Input::Proto(from.clone(), msg));
+                delivered_inline = true;
+            }
+            Verdict::Delay { by, reorder } => {
+                if reorder {
+                    self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                }
+                let from = from.clone();
+                let to_tx = to.tx.clone();
+                // Detached sleeper: delivery races everything sent in the
+                // meantime, which is exactly the point. A send into a since
+                // dead or replaced channel is a message lost to the crash.
+                std::thread::spawn(move || {
+                    std::thread::sleep(by);
+                    let _ = to_tx.send(Input::Proto(from, msg));
+                });
+            }
+        }
+        // "After receive" fires only when the message actually went out in
+        // order, so the crash lands in the queue right behind it.
+        if delivered_inline {
+            if let Endpoint::Server(id) = to.endpoint {
+                if armed
+                    .take_crash(id, |p| p == CrashPoint::AfterReceive(kind))
+                    .is_some()
+                {
+                    let _ = to.tx.send(Input::Crash);
+                }
+            }
+        }
+        if crash_sender {
+            let _ = from.tx.send(Input::Crash);
+        }
+    }
 }
 
 /// Cluster configuration.
@@ -65,6 +270,15 @@ pub struct ClusterConfig {
     /// A value of `1` (or `0`) keeps every server fully single-threaded —
     /// the exact pre-pool behaviour.
     pub server_workers: Option<usize>,
+    /// How long a TM waits for any single protocol reply before treating
+    /// the round as failed ([`AbortReason::ServerUnavailable`], or — once a
+    /// decision exists — one decision retransmission and then completion
+    /// without the missing acknowledgments).
+    ///
+    /// `None` (the default) blocks forever, the pre-fault-layer behaviour;
+    /// any run that crashes servers or arms a fault plan with drops should
+    /// set it.
+    pub reply_timeout: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +289,7 @@ impl Default for ClusterConfig {
             consistency: ConsistencyLevel::View,
             variant: CommitVariant::Standard,
             server_workers: None,
+            reply_timeout: None,
         }
     }
 }
@@ -177,8 +392,8 @@ pub struct Cluster {
     config: ClusterConfig,
     catalog: SharedCatalog,
     cas: SharedCas,
-    server_txs: Vec<Sender<Input>>,
-    handles: Vec<JoinHandle<()>>,
+    net: Arc<Net>,
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
     epoch: Instant,
     next_txn: AtomicU64,
     live_servers: Arc<AtomicUsize>,
@@ -186,6 +401,12 @@ pub struct Cluster {
     /// loop was waiting for (stale replies for resolved rounds). These were
     /// previously dropped silently by the catch-all match arms.
     dropped_replies: Arc<AtomicU64>,
+    salvage: Salvage,
+    decision_log: DecisionLog,
+    /// In-doubt resolver threads spawned by [`Cluster::restart_server`].
+    resolvers: Mutex<Vec<JoinHandle<()>>>,
+    stopping: Arc<AtomicBool>,
+    workers: usize,
 }
 
 /// Decrements the live-thread gauge when a server thread exits — normally
@@ -211,11 +432,23 @@ impl Cluster {
 
         let workers = resolve_workers(&config);
         let live_servers = Arc::new(AtomicUsize::new(0));
-        let mut server_txs = Vec::with_capacity(config.servers);
-        let mut handles = Vec::with_capacity(config.servers);
+        let salvage: Salvage = Arc::new(Mutex::new(HashMap::new()));
+
+        let mut addrs = Vec::with_capacity(config.servers);
+        let mut rxs = Vec::with_capacity(config.servers);
         for i in 0..config.servers {
-            let id = ServerId::new(i as u64);
             let (tx, rx) = unbounded::<Input>();
+            addrs.push(Addr {
+                endpoint: Endpoint::Server(ServerId::new(i as u64)),
+                tx,
+            });
+            rxs.push(rx);
+        }
+        let net = Arc::new(Net::new(addrs));
+
+        let mut handles = Vec::with_capacity(config.servers);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let id = ServerId::new(i as u64);
             let core = ServerCore::new(
                 id,
                 catalog.clone(),
@@ -223,29 +456,32 @@ impl Cluster {
                 cas.clone(),
                 config.variant,
             );
-            let my_addr = Addr {
-                endpoint: Endpoint::Server(id),
-                tx: tx.clone(),
-            };
+            let my_addr = net.server_addr(i);
             live_servers.fetch_add(1, Ordering::Release);
             let guard = LiveGuard(live_servers.clone());
-            handles.push(std::thread::spawn(move || {
+            let net = Arc::clone(&net);
+            let salvage = Arc::clone(&salvage);
+            handles.push(Some(std::thread::spawn(move || {
                 let _guard = guard;
-                server_loop(core, rx, my_addr, epoch, workers);
-            }));
-            server_txs.push(tx);
+                server_loop(core, rx, my_addr, epoch, workers, net, salvage);
+            })));
         }
 
         Cluster {
             config,
             catalog,
             cas,
-            server_txs,
-            handles,
+            net,
+            handles: Mutex::new(handles),
             epoch,
             next_txn: AtomicU64::new(0),
             live_servers,
             dropped_replies: Arc::new(AtomicU64::new(0)),
+            salvage,
+            decision_log: Arc::new(Mutex::new(Wal::new())),
+            resolvers: Mutex::new(Vec::new()),
+            stopping: Arc::new(AtomicBool::new(false)),
+            workers,
         }
     }
 
@@ -303,6 +539,231 @@ impl Cluster {
         )
     }
 
+    /// Arms a fault plan: every subsequent protocol send is subject to its
+    /// edge rules and crash points. Replaces any previously armed plan
+    /// (crash points start unfired).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.net.arm(plan);
+    }
+
+    /// Disarms fault injection; sends go back to the direct fast path.
+    pub fn clear_fault_plan(&self) {
+        self.net.disarm();
+    }
+
+    /// Fault-injection and recovery counters accumulated so far.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.net.counters()
+    }
+
+    /// Kills a server thread as if its process died: volatile state
+    /// (locks, unprepared transactions) is lost; the store and WAL
+    /// survive. Blocks until the thread is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range or the thread does not
+    /// exit within a generous deadline.
+    pub fn crash_server(&self, server: ServerId) {
+        let idx = server.index() as usize;
+        let _ = self.net.tx(idx).send(Input::Crash);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !self
+            .salvage
+            .lock()
+            .expect("salvage lock")
+            .contains_key(&server.index())
+        {
+            assert!(
+                Instant::now() < deadline,
+                "server {server} did not crash in time"
+            );
+            std::thread::yield_now();
+        }
+        if let Some(handle) = self.handles.lock().expect("handles lock")[idx].take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Servers currently crashed (awaiting [`Cluster::restart_server`]).
+    #[must_use]
+    pub fn crashed_servers(&self) -> Vec<ServerId> {
+        let mut ids: Vec<u64> = self
+            .salvage
+            .lock()
+            .expect("salvage lock")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(ServerId::new).collect()
+    }
+
+    /// Restarts a crashed server: rebuilds its protocol state from the
+    /// WAL ([`ServerCore::recover_from_wal`]), spawns a fresh thread on a
+    /// fresh channel, and — for every in-doubt transaction — starts a
+    /// resolver that drives the coordinator-inquiry path against this
+    /// cluster's decision log until the decision is known.
+    ///
+    /// Blocks until the crashed core is available (a router-triggered
+    /// crash may still be tearing the old thread down).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range or no crash is pending
+    /// for it.
+    pub fn restart_server(&self, server: ServerId) {
+        let idx = server.index() as usize;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut core = loop {
+            if let Some(core) = self
+                .salvage
+                .lock()
+                .expect("salvage lock")
+                .remove(&server.index())
+            {
+                break core;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server {server} has no crash to restart from"
+            );
+            std::thread::yield_now();
+        };
+        // Router-triggered crashes leave the joined-out handle in place.
+        if let Some(handle) = self.handles.lock().expect("handles lock")[idx].take() {
+            let _ = handle.join();
+        }
+
+        let in_doubt = core.recover_from_wal();
+        let (tx, rx) = unbounded::<Input>();
+        let my_addr = Addr {
+            endpoint: Endpoint::Server(server),
+            tx,
+        };
+        self.net.replace_server(idx, my_addr.clone());
+        self.live_servers.fetch_add(1, Ordering::Release);
+        let guard = LiveGuard(self.live_servers.clone());
+        let net = Arc::clone(&self.net);
+        let salvage = Arc::clone(&self.salvage);
+        let (epoch, workers) = (self.epoch, self.workers);
+        let handle = std::thread::spawn(move || {
+            let _guard = guard;
+            server_loop(core, rx, my_addr, epoch, workers, net, salvage);
+        });
+        self.handles.lock().expect("handles lock")[idx] = Some(handle);
+        self.net.note_recovery();
+        for txn in in_doubt {
+            self.spawn_resolver(server, txn);
+        }
+    }
+
+    /// Spawns a thread that polls the decision log for `txn`'s fate and
+    /// injects the answer into the recovered server — the threaded
+    /// equivalent of the simulator's `Inquiry`/`InquiryReply` round trip
+    /// (the "TM" here is the decision log all coordinators share).
+    fn spawn_resolver(&self, server: ServerId, txn: TxnId) {
+        let net = Arc::clone(&self.net);
+        let log = Arc::clone(&self.decision_log);
+        let variant = self.config.variant;
+        let stopping = Arc::clone(&self.stopping);
+        let idx = server.index() as usize;
+        let handle = std::thread::spawn(move || {
+            // A reply address nobody reads: the participant's ack (if its
+            // variant sends one) dies quietly, exactly like an ack to a
+            // coordinator that already moved on.
+            let (dead_tx, _dead_rx) = unbounded::<Input>();
+            let coordinator = Addr {
+                endpoint: Endpoint::Coordinator,
+                tx: dead_tx,
+            };
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !stopping.load(Ordering::Acquire) && Instant::now() < deadline {
+                let answer = {
+                    let log = log.lock().expect("decision log lock");
+                    safetx_txn::answer_inquiry(txn, variant, log.records())
+                };
+                if matches!(answer, safetx_txn::InquiryAnswer::Decided(_)) {
+                    let _ = net
+                        .tx(idx)
+                        .send(Input::Proto(coordinator, Msg::InquiryReply { txn, answer }));
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+        self.resolvers.lock().expect("resolvers lock").push(handle);
+    }
+
+    /// Drives the participants' termination protocol from the harness
+    /// side: asks every live server which transactions it still holds
+    /// state for (decision messages may have been dropped or crashed away)
+    /// and answers each from the coordinator decision log. Returns how
+    /// many transactions were resolved.
+    ///
+    /// Only meaningful on a **quiesced** cluster — no `execute` in flight.
+    /// A transaction that is mid-2PVC has no decision record yet and would
+    /// be answered from its variant's presumption, which can contradict
+    /// the decision its coordinator is about to take.
+    pub fn resolve_in_doubt(&self) -> usize {
+        let crashed: BTreeSet<u64> = self
+            .salvage
+            .lock()
+            .expect("salvage lock")
+            .keys()
+            .copied()
+            .collect();
+        let mut resolved = 0;
+        for i in 0..self.config.servers {
+            if crashed.contains(&(i as u64)) {
+                continue;
+            }
+            let server = ServerId::new(i as u64);
+            let (probe_tx, probe_rx) = unbounded();
+            self.configure_server(server, move |core| {
+                let _ = probe_tx.send(core.active_txn_ids());
+            });
+            let active = probe_rx.recv().expect("probe reply");
+            for txn in active {
+                let answer = {
+                    let log = self.decision_log.lock().expect("decision log lock");
+                    safetx_txn::answer_inquiry(txn, self.config.variant, log.records())
+                };
+                if matches!(answer, safetx_txn::InquiryAnswer::Decided(_)) {
+                    let (dead_tx, _dead_rx) = unbounded::<Input>();
+                    let coordinator = Addr {
+                        endpoint: Endpoint::Coordinator,
+                        tx: dead_tx,
+                    };
+                    let _ = self
+                        .net
+                        .tx(i)
+                        .send(Input::Proto(coordinator, Msg::InquiryReply { txn, answer }));
+                    resolved += 1;
+                }
+            }
+            // Barrier: the injected replies are processed before this
+            // no-op configure returns, so callers can probe stores
+            // immediately after.
+            self.configure_server(server, |_| {});
+        }
+        resolved
+    }
+
+    /// The coordinator decision log, oldest record first — what every
+    /// recovery inquiry is answered from, and the ground truth chaos
+    /// audits compare server state against.
+    #[must_use]
+    pub fn decision_log_records(&self) -> Vec<CoordinatorRecord> {
+        self.decision_log
+            .lock()
+            .expect("decision log lock")
+            .records()
+            .cloned()
+            .collect()
+    }
+
     /// Applies a configuration closure on a server thread and waits for it
     /// (seed data, install policies, add constraints).
     ///
@@ -315,7 +776,8 @@ impl Cluster {
         f: impl FnOnce(&mut ServerCore<Addr>) + Send + 'static,
     ) {
         let (done_tx, done_rx) = unbounded();
-        self.server_txs[server.index() as usize]
+        self.net
+            .tx(server.index() as usize)
             .send(Input::Configure(Box::new(f), done_tx))
             .expect("server thread alive");
         done_rx.recv().expect("configuration applied");
@@ -359,6 +821,14 @@ impl Cluster {
         let txn = spec.id;
         let scheme = self.config.scheme;
         let consistency = self.config.consistency;
+        let reply_timeout = self.config.reply_timeout;
+
+        // One reply (or `None` after the configured deadline; with no
+        // deadline, `None` only if every sender is gone).
+        let recv_reply = || match reply_timeout {
+            None => reply_rx.recv().ok(),
+            Some(t) => reply_rx.recv_timeout(t).ok(),
+        };
 
         // Build the shared message payloads once: every per-query ×
         // per-server message below bumps a refcount instead of deep-cloning
@@ -378,14 +848,27 @@ impl Cluster {
                      reason: AbortReason,
                      view: TransactionView,
                      queries_executed: usize| {
+            // Log the abort before telling anyone (recovery inquiries for
+            // this transaction must never be answered from a commit
+            // presumption). Untouched-cluster aborts leave no server state
+            // and need no record.
+            if !touched.is_empty() {
+                this.decision_log.lock().expect("decision log lock").force(
+                    CoordinatorRecord::Decision {
+                        txn,
+                        decision: safetx_txn::Decision::Abort,
+                    },
+                );
+            }
             for &s in touched {
-                let _ = this.server_txs[s.index() as usize].send(Input::Proto(
-                    me_clone(&me),
+                this.net.to_server(
+                    &me,
+                    s.index() as usize,
                     Msg::Decision {
                         txn,
                         decision: safetx_txn::Decision::Abort,
                     },
-                ));
+                );
             }
             // Drain without blocking: expected acks plus any stale replies
             // (the latter are what the dropped-replies counter tracks).
@@ -415,6 +898,9 @@ impl Cluster {
                     .take(index + 1)
                     .map(|q| q.server)
                     .collect();
+                // Validation registers the transaction at servers that may
+                // never see a query; they too need the abort decision.
+                touched.extend(involved.iter().copied());
                 let mut validation =
                     ValidationRound::new(involved, ValidationConfig::two_pv(consistency));
                 let mut pending = validation.start();
@@ -426,29 +912,27 @@ impl Cluster {
                             ValidationAction::SendRequest(server) => {
                                 let new_query = (server == query.server)
                                     .then(|| (index, Arc::clone(&queries[index])));
-                                self.server_txs[server.index() as usize]
-                                    .send(Input::Proto(
-                                        me_clone(&me),
-                                        Msg::PrepareToValidate {
-                                            txn,
-                                            new_query,
-                                            user: spec.user,
-                                            credentials: Arc::clone(&credentials),
-                                        },
-                                    ))
-                                    .expect("server alive");
+                                self.net.to_server(
+                                    &me,
+                                    server.index() as usize,
+                                    Msg::PrepareToValidate {
+                                        txn,
+                                        new_query,
+                                        user: spec.user,
+                                        credentials: Arc::clone(&credentials),
+                                    },
+                                );
                             }
                             ValidationAction::SendUpdate(server, targets) => {
-                                self.server_txs[server.index() as usize]
-                                    .send(Input::Proto(
-                                        me_clone(&me),
-                                        Msg::Update {
-                                            txn,
-                                            targets,
-                                            in_commit: false,
-                                        },
-                                    ))
-                                    .expect("server alive");
+                                self.net.to_server(
+                                    &me,
+                                    server.index() as usize,
+                                    Msg::Update {
+                                        txn,
+                                        targets,
+                                        in_commit: false,
+                                    },
+                                );
                             }
                             ValidationAction::QueryMaster => {
                                 // The catalog IS the master here; answer
@@ -464,7 +948,17 @@ impl Cluster {
                     if let Some(outcome) = resolved {
                         break outcome;
                     }
-                    match reply_rx.recv().expect("servers alive") {
+                    let Some(input) = recv_reply() else {
+                        self.net.note_timeout_abort();
+                        return abort(
+                            self,
+                            &touched,
+                            AbortReason::ServerUnavailable,
+                            view,
+                            queries_executed,
+                        );
+                    };
+                    match input {
                         Input::Proto(from, Msg::ValidateReply { txn: t, mut reply })
                             if t == txn =>
                         {
@@ -527,24 +1021,33 @@ impl Cluster {
             };
 
             touched.insert(query.server);
-            self.server_txs[query.server.index() as usize]
-                .send(Input::Proto(
-                    me_clone(&me),
-                    Msg::ExecQuery {
-                        txn,
-                        query_index: index,
-                        query: Arc::clone(&queries[index]),
-                        user: spec.user,
-                        credentials: Arc::clone(&credentials),
-                        evaluate_proof,
-                        pin_versions,
-                        capabilities: Vec::new(),
-                    },
-                ))
-                .expect("server alive");
+            self.net.to_server(
+                &me,
+                query.server.index() as usize,
+                Msg::ExecQuery {
+                    txn,
+                    query_index: index,
+                    query: Arc::clone(&queries[index]),
+                    user: spec.user,
+                    credentials: Arc::clone(&credentials),
+                    evaluate_proof,
+                    pin_versions,
+                    capabilities: Vec::new(),
+                },
+            );
             // Await this query's completion.
             let (ok, proof) = loop {
-                match reply_rx.recv().expect("servers alive") {
+                let Some(input) = recv_reply() else {
+                    self.net.note_timeout_abort();
+                    return abort(
+                        self,
+                        &touched,
+                        AbortReason::ServerUnavailable,
+                        view,
+                        queries_executed,
+                    );
+                };
+                match input {
                     Input::Proto(
                         _,
                         Msg::QueryDone {
@@ -620,6 +1123,11 @@ impl Cluster {
             validate,
         );
         let mut pending = pvc.start();
+        // Reply-deadline bookkeeping: one decision retransmission before
+        // giving up on missing acks; voting-phase timeouts resolve through
+        // the protocol's own termination path (`TwoPvc::on_timeout`).
+        let mut resent = false;
+        let mut timed_out = false;
         let decision = loop {
             let mut done = None;
             let mut decided = None;
@@ -634,38 +1142,49 @@ impl Cluster {
                             .filter(|(_, q)| q.server == server)
                             .map(|(i, _)| i)
                             .collect();
-                        self.server_txs[server.index() as usize]
-                            .send(Input::Proto(
-                                me_clone(&me),
-                                Msg::PrepareToCommit {
-                                    txn,
-                                    validate,
-                                    expected_queries,
-                                },
-                            ))
-                            .expect("server alive");
+                        self.net.to_server(
+                            &me,
+                            server.index() as usize,
+                            Msg::PrepareToCommit {
+                                txn,
+                                validate,
+                                expected_queries,
+                            },
+                        );
                     }
                     TwoPvcAction::SendUpdate(server, targets) => {
-                        self.server_txs[server.index() as usize]
-                            .send(Input::Proto(
-                                me_clone(&me),
-                                Msg::Update {
-                                    txn,
-                                    targets,
-                                    in_commit: true,
-                                },
-                            ))
-                            .expect("server alive");
+                        self.net.to_server(
+                            &me,
+                            server.index() as usize,
+                            Msg::Update {
+                                txn,
+                                targets,
+                                in_commit: true,
+                            },
+                        );
                     }
                     TwoPvcAction::QueryMaster => {
                         pending.extend(pvc.on_master_versions(self.catalog.latest_snapshot().1));
                     }
                     TwoPvcAction::SendDecision(server, decision) => {
-                        self.server_txs[server.index() as usize]
-                            .send(Input::Proto(me_clone(&me), Msg::Decision { txn, decision }))
-                            .expect("server alive");
+                        self.net.to_server(
+                            &me,
+                            server.index() as usize,
+                            Msg::Decision { txn, decision },
+                        );
                     }
-                    TwoPvcAction::ForceLog(_) | TwoPvcAction::Log(_) => {}
+                    TwoPvcAction::ForceLog(record) => {
+                        self.decision_log
+                            .lock()
+                            .expect("decision log lock")
+                            .force(record);
+                    }
+                    TwoPvcAction::Log(record) => {
+                        self.decision_log
+                            .lock()
+                            .expect("decision log lock")
+                            .append(record);
+                    }
                     TwoPvcAction::Decided(d) => decided = Some(d),
                     TwoPvcAction::Completed => done = Some(()),
                 }
@@ -675,8 +1194,8 @@ impl Cluster {
                     .or(pvc.decision())
                     .expect("completed implies decided");
             }
-            match reply_rx.recv().expect("servers alive") {
-                Input::Proto(from, Msg::CommitReply { txn: t, mut reply }) if t == txn => {
+            match recv_reply() {
+                Some(Input::Proto(from, Msg::CommitReply { txn: t, mut reply })) if t == txn => {
                     if let Endpoint::Server(sid) = from.endpoint {
                         for proof in std::mem::take(&mut reply.proofs) {
                             view.record(proof);
@@ -684,13 +1203,30 @@ impl Cluster {
                         pending.extend(pvc.on_reply(sid, reply));
                     }
                 }
-                Input::Proto(from, Msg::Ack { txn: t }) if t == txn => {
+                Some(Input::Proto(from, Msg::Ack { txn: t })) if t == txn => {
                     if let Endpoint::Server(sid) = from.endpoint {
                         pending.extend(pvc.on_ack(sid));
                     }
                 }
-                _ => {
+                Some(_) => {
                     self.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    if let Some(d) = pvc.decision() {
+                        // Decided but under-acknowledged. Retransmit once;
+                        // on a second silence complete anyway — a
+                        // participant that never hears the decision stays
+                        // in doubt until recovery inquires.
+                        if resent {
+                            break d;
+                        }
+                        resent = true;
+                        pending.extend(pvc.resend_decisions());
+                    } else {
+                        // Votes missing: the termination protocol aborts.
+                        timed_out = true;
+                        pending.extend(pvc.on_timeout());
+                    }
                 }
             }
         };
@@ -698,11 +1234,16 @@ impl Cluster {
         let outcome = if decision.is_commit() {
             TxnOutcome::Committed { at: self.now() }
         } else {
+            let reason = if timed_out {
+                self.net.note_timeout_abort();
+                AbortReason::ServerUnavailable
+            } else {
+                pvc.abort_reason()
+                    .unwrap_or(AbortReason::IntegrityViolation)
+            };
             TxnOutcome::Aborted {
                 at: self.now(),
-                reason: pvc
-                    .abort_reason()
-                    .unwrap_or(AbortReason::IntegrityViolation),
+                reason,
             }
         };
         ExecutionResult {
@@ -719,11 +1260,17 @@ impl Cluster {
     }
 
     fn shutdown_inner(&mut self) {
-        for tx in &self.server_txs {
-            let _ = tx.send(Input::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
+        self.stopping.store(true, Ordering::Release);
+        for handle in self.resolvers.lock().expect("resolvers lock").drain(..) {
             let _ = handle.join();
+        }
+        for i in 0..self.config.servers {
+            let _ = self.net.tx(i).send(Input::Shutdown);
+        }
+        for slot in self.handles.lock().expect("handles lock").iter_mut() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -734,19 +1281,16 @@ impl Drop for Cluster {
     }
 }
 
-fn me_clone(me: &Addr) -> Addr {
-    me.clone()
-}
-
 fn now_since(epoch: Instant) -> Timestamp {
     Timestamp::from_micros(epoch.elapsed().as_micros() as u64)
 }
 
-/// Sends protocol-core outputs to their destinations. A dead peer (a
-/// finished coordinator) is fine to ignore.
-fn forward(outputs: Vec<(Addr, Msg)>, my_addr: &Addr) {
+/// Sends protocol-core outputs to their destinations through the fabric.
+/// A dead peer (a finished coordinator, a crashed server) is fine to
+/// ignore.
+fn forward(outputs: Vec<(Addr, Msg)>, my_addr: &Addr, net: &Net) {
     for (to, out) in outputs {
-        let _ = to.tx.send(Input::Proto(my_addr.clone(), out));
+        net.send_proto(my_addr, &to, out);
     }
 }
 
@@ -756,11 +1300,14 @@ fn server_loop(
     my_addr: Addr,
     epoch: Instant,
     workers: usize,
+    net: Arc<Net>,
+    salvage: Salvage,
 ) {
     // With fewer than two workers the pool is skipped entirely and every
     // message runs inline on this thread — the exact pre-pool behaviour.
     let pool = (workers > 1).then(|| WorkerPool::new(workers));
-    while let Ok(input) = rx.recv() {
+    let crashed = loop {
+        let Ok(input) = rx.recv() else { break false };
         match input {
             Input::Proto(from, msg) => {
                 let now = now_since(epoch);
@@ -768,17 +1315,32 @@ fn server_loop(
                 // that depend on exact interleavings: keep it inline.
                 match &pool {
                     Some(pool) if !core.unsafe_baseline() => {
-                        dispatch(&mut core, pool, &my_addr, epoch, now, from, msg);
+                        dispatch(&mut core, pool, &my_addr, epoch, now, from, msg, &net);
                     }
-                    _ => forward(core.handle(now, from, msg), &my_addr),
+                    _ => forward(core.handle(now, from, msg), &my_addr, &net),
                 }
             }
             Input::Configure(f, done) => {
                 f(&mut core);
                 let _ = done.send(());
             }
-            Input::Shutdown => return,
+            Input::Crash => break true,
+            Input::Shutdown => break false,
         }
+    };
+    // Join in-flight data-plane work first: replies already computed are
+    // "on the wire" and still delivered, like packets leaving a dying host.
+    drop(pool);
+    if crashed {
+        let Endpoint::Server(id) = my_addr.endpoint else {
+            unreachable!("server loops run on server endpoints");
+        };
+        core.crash();
+        net.note_crash();
+        salvage
+            .lock()
+            .expect("salvage lock")
+            .insert(id.index(), core);
     }
 }
 
@@ -788,6 +1350,7 @@ fn server_loop(
 /// pure protocol — voting, decisions, recovery — run inline unchanged; so
 /// does anything holding a lock-manager or write-set decision, keeping the
 /// server thread the single serialization point for those.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     core: &mut ServerCore<Addr>,
     pool: &WorkerPool,
@@ -796,6 +1359,7 @@ fn dispatch(
     now: Timestamp,
     from: Addr,
     msg: Msg,
+    net: &Arc<Net>,
 ) {
     match msg {
         // Query execution with an attached proof (Punctual / Incremental
@@ -832,15 +1396,17 @@ fn dispatch(
             if !ok {
                 // Lock conflict (or unknown failure): the inline reply
                 // already says so; the proof is moot.
-                forward(replies, my_addr);
+                forward(replies, my_addr, net);
                 return;
             }
             let data = core.data_plane();
             let my_addr = my_addr.clone();
+            let net = Arc::clone(net);
             pool.submit(move || {
                 let proof = data.evaluate_one(now_since(epoch), user, &credentials, &query);
-                let _ = from.tx.send(Input::Proto(
-                    my_addr,
+                net.send_proto(
+                    &my_addr,
+                    &from,
                     Msg::QueryDone {
                         txn,
                         query_index,
@@ -848,7 +1414,7 @@ fn dispatch(
                         proof: Some(proof),
                         capability: None,
                     },
-                ));
+                );
             });
         }
 
@@ -861,10 +1427,16 @@ fn dispatch(
             user,
             credentials,
         } => {
-            let snapshot =
-                core.register_validation(txn, new_query, user, credentials, from.clone());
+            let Some(snapshot) =
+                core.register_validation(txn, new_query, user, credentials, from.clone())
+            else {
+                // A duplicated or delayed round for a transaction already
+                // decided here: no reply owed (the coordinator is gone).
+                return;
+            };
             let data = core.data_plane();
             let my_addr = my_addr.clone();
+            let net = Arc::clone(net);
             pool.submit(move || {
                 let (truth, versions, proofs) = data.evaluate_snapshot(now_since(epoch), &snapshot);
                 let reply = ValidationReply {
@@ -873,9 +1445,7 @@ fn dispatch(
                     versions,
                     proofs,
                 };
-                let _ = from
-                    .tx
-                    .send(Input::Proto(my_addr, Msg::ValidateReply { txn, reply }));
+                net.send_proto(&my_addr, &from, Msg::ValidateReply { txn, reply });
             });
         }
 
@@ -898,14 +1468,12 @@ fn dispatch(
                     versions: VersionMap::new(),
                     proofs: Vec::new(),
                 };
-                let _ = from.tx.send(Input::Proto(
-                    my_addr.clone(),
-                    Msg::ValidateReply { txn, reply },
-                ));
+                net.send_proto(my_addr, &from, Msg::ValidateReply { txn, reply });
                 return;
             };
             let data = core.data_plane();
             let my_addr = my_addr.clone();
+            let net = Arc::clone(net);
             pool.submit(move || {
                 let (truth, versions, proofs) = data.evaluate_snapshot(now_since(epoch), &snapshot);
                 let reply = ValidationReply {
@@ -914,13 +1482,11 @@ fn dispatch(
                     versions,
                     proofs,
                 };
-                let _ = from
-                    .tx
-                    .send(Input::Proto(my_addr, Msg::ValidateReply { txn, reply }));
+                net.send_proto(&my_addr, &from, Msg::ValidateReply { txn, reply });
             });
         }
 
-        other => forward(core.handle(now, from, other), my_addr),
+        other => forward(core.handle(now, from, other), my_addr, net),
     }
 }
 
@@ -929,17 +1495,10 @@ mod tests {
     use super::*;
     use safetx_policy::{Atom, Constant, PolicyBuilder};
     use safetx_store::Value;
-    use safetx_txn::{Operation, QuerySpec};
+    use safetx_txn::{Decision, Operation, QuerySpec};
     use safetx_types::{AdminDomain, DataItemId, UserId};
 
-    fn cluster(scheme: ProofScheme, consistency: ConsistencyLevel) -> Cluster {
-        let cluster = Cluster::new(ClusterConfig {
-            servers: 3,
-            scheme,
-            consistency,
-            variant: CommitVariant::Standard,
-            server_workers: None,
-        });
+    fn seeded(cluster: Cluster) -> Cluster {
         let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
             .rules_text(
                 "grant(read, records) :- role(U, member).\n\
@@ -948,13 +1507,23 @@ mod tests {
             .unwrap()
             .build();
         cluster.publish_policy(policy);
-        for s in 0..3u64 {
+        for s in 0..cluster.config().servers as u64 {
             cluster.configure_server(ServerId::new(s), move |core| {
                 core.store_mut()
                     .write(DataItemId::new(s * 100), Value::Int(10), Timestamp::ZERO);
             });
         }
         cluster
+    }
+
+    fn cluster(scheme: ProofScheme, consistency: ConsistencyLevel) -> Cluster {
+        seeded(Cluster::new(ClusterConfig {
+            servers: 3,
+            scheme,
+            consistency,
+            variant: CommitVariant::Standard,
+            ..ClusterConfig::default()
+        }))
     }
 
     fn member_credential(cluster: &Cluster) -> Credential {
@@ -1132,6 +1701,116 @@ mod tests {
         cluster.publish_policy(v2);
         let result = cluster.execute(&spec(&cluster), &[cred]);
         assert!(result.is_commit(), "{:?}", result.outcome);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn faults_disabled_counters_stay_zero() {
+        let cluster = cluster(ProofScheme::Deferred, ConsistencyLevel::View);
+        let cred = member_credential(&cluster);
+        assert!(cluster.execute(&spec(&cluster), &[cred]).is_commit());
+        assert_eq!(cluster.fault_counters(), FaultCounters::default());
+        assert!(!cluster.decision_log_records().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_and_restart_preserves_committed_state() {
+        let cluster = cluster(ProofScheme::Deferred, ConsistencyLevel::View);
+        let cred = member_credential(&cluster);
+        assert!(cluster.execute(&spec(&cluster), &[cred]).is_commit());
+        cluster.crash_server(ServerId::new(1));
+        assert_eq!(cluster.live_servers(), 2);
+        assert_eq!(cluster.crashed_servers(), vec![ServerId::new(1)]);
+        cluster.restart_server(ServerId::new(1));
+        assert_eq!(cluster.live_servers(), 3);
+        assert!(cluster.crashed_servers().is_empty());
+        let (tx, rx) = unbounded();
+        cluster.configure_server(ServerId::new(1), move |core| {
+            let _ = tx.send((
+                core.store().read_int(DataItemId::new(100)),
+                core.active_txns(),
+            ));
+        });
+        // The committed write survived the crash; no ghost state came back.
+        assert_eq!(rx.recv().unwrap(), (Some(11), 0));
+        let counters = cluster.fault_counters();
+        assert_eq!(counters.server_crashes, 1);
+        assert_eq!(counters.recoveries, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn dead_server_times_out_as_unavailable_and_recovers() {
+        let cluster = seeded(Cluster::new(ClusterConfig {
+            servers: 3,
+            scheme: ProofScheme::Deferred,
+            consistency: ConsistencyLevel::View,
+            variant: CommitVariant::Standard,
+            reply_timeout: Some(Duration::from_millis(20)),
+            ..ClusterConfig::default()
+        }));
+        let cred = member_credential(&cluster);
+        cluster.crash_server(ServerId::new(2));
+        let result = cluster.execute(&spec(&cluster), std::slice::from_ref(&cred));
+        assert_eq!(
+            result.outcome.abort_reason(),
+            Some(AbortReason::ServerUnavailable),
+            "{:?}",
+            result.outcome
+        );
+        assert!(cluster.fault_counters().timeout_aborts >= 1);
+        // After restart the cluster is whole again and commits.
+        cluster.restart_server(ServerId::new(2));
+        let result = cluster.execute(&spec(&cluster), &[cred]);
+        assert!(result.is_commit(), "{:?}", result.outcome);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_participant_learns_commit_through_recovery() {
+        // Crash server 2 right after its YES vote is on the wire: the TM
+        // commits (votes are in), the participant stays in doubt, and the
+        // restart resolver answers the inquiry from the decision log.
+        let cluster = seeded(Cluster::new(ClusterConfig {
+            servers: 3,
+            scheme: ProofScheme::Deferred,
+            consistency: ConsistencyLevel::View,
+            variant: CommitVariant::Standard,
+            reply_timeout: Some(Duration::from_millis(20)),
+            ..ClusterConfig::default()
+        }));
+        let cred = member_credential(&cluster);
+        cluster.set_fault_plan(FaultPlan {
+            seed: 0,
+            rules: Vec::new(),
+            crashes: vec![crate::fault::CrashRule {
+                server: ServerId::new(2),
+                point: CrashPoint::AfterSend(MsgKind::CommitReply),
+            }],
+        });
+        let result = cluster.execute(&spec(&cluster), &[cred]);
+        assert!(result.is_commit(), "{:?}", result.outcome);
+        cluster.clear_fault_plan();
+        cluster.restart_server(ServerId::new(2));
+        // The resolver delivers the commit; poll until applied.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let (tx, rx) = unbounded();
+            cluster.configure_server(ServerId::new(2), move |core| {
+                let _ = tx.send((
+                    core.store().read_int(DataItemId::new(200)),
+                    core.decided_decision(TxnId::new(0)),
+                ));
+            });
+            let (value, decided) = rx.recv().unwrap();
+            if decided == Some(Decision::Commit) {
+                assert_eq!(value, Some(9), "recovered write-set not applied");
+                break;
+            }
+            assert!(Instant::now() < deadline, "recovery never resolved");
+            std::thread::sleep(Duration::from_millis(1));
+        }
         cluster.shutdown();
     }
 }

@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 
 pub use cluster::{Addr, Cluster, ClusterConfig, ExecutionResult};
+pub use fault::{CrashPoint, CrashRule, EdgeRule, FaultPlan, MsgKind, Peer, PeerMatch};
 
 // Re-exported so the doc example above typechecks without extra imports.
 pub use safetx_core::{ServerCore, TwoPvc, ValidationRound};

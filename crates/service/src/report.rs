@@ -1,6 +1,6 @@
 //! Service-level statistics: outcome counters and latency histograms.
 
-use safetx_metrics::{Histogram, Json};
+use safetx_metrics::{FaultCounters, Histogram, Json};
 
 /// Everything the service measured, snapshot-able at any time and final
 /// after shutdown.
@@ -26,11 +26,21 @@ pub struct ServiceStats {
     pub retries_exhausted: u64,
     /// Total re-submissions across all transactions (attempts − 1 each).
     pub retry_attempts: u64,
+    /// The subset of `retry_attempts` spent on [`Disposition::Unavailable`]
+    /// aborts — each of those burned a full reply deadline first.
+    ///
+    /// [`Disposition::Unavailable`]: crate::Disposition::Unavailable
+    pub unavailable_retries: u64,
     /// Coordinator-side protocol inputs received but matched by no pending
     /// round (stale replies after an abort). Sourced from
     /// [`safetx_runtime::Cluster::dropped_replies`]; timing-dependent, so
     /// excluded from the conservation invariant.
     pub dropped_replies: u64,
+    /// Fault-injection and recovery counters from the cluster's message
+    /// fabric (all zero when no fault plan was armed and nothing crashed).
+    /// Sourced from [`safetx_runtime::Cluster::fault_counters`]; like
+    /// `dropped_replies`, outside the conservation invariant.
+    pub faults: FaultCounters,
     /// End-to-end latency of committed transactions, in milliseconds
     /// (submission to commit, including queueing and retries).
     pub commit_latency_ms: Histogram,
@@ -77,7 +87,15 @@ impl ServiceStats {
             .with("terminal_aborts", self.terminal_aborts)
             .with("retries_exhausted", self.retries_exhausted)
             .with("retry_attempts", self.retry_attempts)
+            .with("unavailable_retries", self.unavailable_retries)
             .with("dropped_replies", self.dropped_replies)
+            .with("faults_dropped", self.faults.faults_dropped)
+            .with("faults_delayed", self.faults.faults_delayed)
+            .with("faults_duplicated", self.faults.faults_duplicated)
+            .with("faults_reordered", self.faults.faults_reordered)
+            .with("server_crashes", self.faults.server_crashes)
+            .with("recoveries", self.faults.recoveries)
+            .with("timeout_aborts", self.faults.timeout_aborts)
             .with("commit_latency_ms", self.commit_latency_ms.to_json())
             .with("queue_wait_ms", self.queue_wait_ms.to_json())
             .with("failure_latency_ms", self.failure_latency_ms.to_json())

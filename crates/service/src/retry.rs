@@ -17,6 +17,11 @@ pub enum Disposition {
     /// Transient: caused by concurrency (lock conflict, stale version,
     /// timeout); a fresh attempt may commit.
     Retryable,
+    /// Transient too, but expensive: a participant sat out the TM's reply
+    /// deadline, so every attempt burns the full timeout. Retried on its
+    /// own tightly capped budget ([`RetryPolicy::unavailable_max_retries`])
+    /// so a dead server sheds load instead of multiplying it.
+    Unavailable,
     /// Definitive: the system rejected the transaction on its merits
     /// (policy denial, integrity violation, unrecovered failure).
     Terminal,
@@ -29,6 +34,7 @@ pub fn classify(reason: AbortReason) -> Disposition {
         AbortReason::LockConflict | AbortReason::VersionInconsistency | AbortReason::Timeout => {
             Disposition::Retryable
         }
+        AbortReason::ServerUnavailable => Disposition::Unavailable,
         AbortReason::ProofFalse | AbortReason::IntegrityViolation | AbortReason::Failure => {
             Disposition::Terminal
         }
@@ -49,6 +55,15 @@ pub struct RetryPolicy {
     /// retries from concurrently aborted transactions spread out instead
     /// of colliding again in lockstep.
     pub jitter_percent: u32,
+    /// Separate, much smaller budget for [`Disposition::Unavailable`]
+    /// aborts. Each such attempt already waited out the TM's full reply
+    /// deadline, so the exponential lock-conflict budget would turn one
+    /// dead server into minutes of blocked workers.
+    pub unavailable_max_retries: u32,
+    /// Flat (still jittered) backoff between unavailable retries — long
+    /// enough for a crashed server to be restarted, short enough to keep
+    /// the worker responsive.
+    pub unavailable_backoff: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -58,6 +73,8 @@ impl Default for RetryPolicy {
             base_backoff: Duration::from_micros(50),
             max_backoff: Duration::from_millis(5),
             jitter_percent: 50,
+            unavailable_max_retries: 4,
+            unavailable_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -90,6 +107,17 @@ impl RetryPolicy {
             .base_backoff
             .saturating_mul(1u32 << exp.min(20))
             .min(self.max_backoff);
+        self.jittered(raw, retry, seed)
+    }
+
+    /// The sleep before *unavailable* retry number `retry` (0-based): flat
+    /// [`RetryPolicy::unavailable_backoff`], jittered the same way.
+    #[must_use]
+    pub fn unavailable_backoff_for(&self, retry: u32, seed: u64) -> Duration {
+        self.jittered(self.unavailable_backoff, retry, seed ^ 0xDEAD_BEEF)
+    }
+
+    fn jittered(&self, raw: Duration, retry: u32, seed: u64) -> Duration {
         let jitter = u64::from(self.jitter_percent.min(100));
         if jitter == 0 {
             return raw;
@@ -113,6 +141,10 @@ mod tests {
             Disposition::Retryable
         );
         assert_eq!(classify(AbortReason::Timeout), Disposition::Retryable);
+        assert_eq!(
+            classify(AbortReason::ServerUnavailable),
+            Disposition::Unavailable
+        );
         assert_eq!(classify(AbortReason::ProofFalse), Disposition::Terminal);
         assert_eq!(
             classify(AbortReason::IntegrityViolation),
@@ -128,6 +160,7 @@ mod tests {
             base_backoff: Duration::from_micros(100),
             max_backoff: Duration::from_millis(1),
             jitter_percent: 0,
+            ..RetryPolicy::default()
         };
         assert_eq!(policy.backoff(0, 1), Duration::from_micros(100));
         assert_eq!(policy.backoff(1, 1), Duration::from_micros(200));
@@ -144,6 +177,7 @@ mod tests {
             base_backoff: Duration::from_micros(1_000),
             max_backoff: Duration::from_micros(1_000),
             max_retries: 1,
+            ..RetryPolicy::default()
         };
         let a = policy.backoff(0, 42);
         let b = policy.backoff(0, 42);

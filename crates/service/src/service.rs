@@ -236,6 +236,7 @@ impl TxnService {
     pub fn stats(&self) -> ServiceStats {
         let mut stats = self.stats.lock().expect("stats lock").clone();
         stats.dropped_replies = self.cluster.dropped_replies();
+        stats.faults = self.cluster.fault_counters();
         stats
     }
 
@@ -271,6 +272,11 @@ fn worker_loop(
     while let Some(job) = queue.pop() {
         let queue_wait = job.accepted_at.elapsed();
         let mut attempts: u32 = 0;
+        // Transient aborts draw on two separate budgets: concurrency aborts
+        // on the exponential one, unavailability aborts (each of which
+        // already cost a full reply deadline) on a tightly capped one.
+        let mut transient_retries: u32 = 0;
+        let mut unavailable_retries: u32 = 0;
         let (outcome, result) = loop {
             attempts += 1;
             // Each attempt is a fresh transaction at the protocol layer:
@@ -286,11 +292,26 @@ fn worker_loop(
                         break (ServiceOutcome::TerminalAbort(reason), result);
                     }
                     Disposition::Retryable => {
-                        if attempts > retry.max_retries {
+                        if transient_retries >= retry.max_retries {
                             break (ServiceOutcome::RetriesExhausted(reason), result);
                         }
+                        transient_retries += 1;
                         stats.lock().expect("stats lock").retry_attempts += 1;
-                        std::thread::sleep(retry.backoff(attempts - 1, seed ^ job.seq));
+                        std::thread::sleep(retry.backoff(transient_retries - 1, seed ^ job.seq));
+                    }
+                    Disposition::Unavailable => {
+                        if unavailable_retries >= retry.unavailable_max_retries {
+                            break (ServiceOutcome::RetriesExhausted(reason), result);
+                        }
+                        unavailable_retries += 1;
+                        {
+                            let mut stats = stats.lock().expect("stats lock");
+                            stats.retry_attempts += 1;
+                            stats.unavailable_retries += 1;
+                        }
+                        std::thread::sleep(
+                            retry.unavailable_backoff_for(unavailable_retries - 1, seed ^ job.seq),
+                        );
                     }
                 },
             }

@@ -1,0 +1,325 @@
+//! Seeded chaos suite: every proof scheme × consistency level, swept over
+//! seeded fault schedules (message drops, duplicates, delays, reorders,
+//! plus scheduled server crashes with mid-run restart and recovery).
+//!
+//! Invariants asserted per schedule:
+//!
+//! * **Safety (Definition 4)** — no transaction that reported COMMIT may
+//!   fail the post-hoc trust audit over its recorded proof view.
+//! * **Decision-log agreement** — a transaction committed at the driver
+//!   iff the coordinator decision log says COMMIT for it.
+//! * **Store consistency** — after the cluster quiesces, every crashed
+//!   server is restarted and in-doubt state resolved through the
+//!   coordinator-inquiry path; each replica's items must then equal the
+//!   seed value plus exactly the committed deltas — no lost, duplicated,
+//!   or phantom writes, whatever the fault schedule did.
+//!
+//! Default sweep: 25 seeds per (scheme, consistency) cell = 200 schedules.
+//! `SAFETX_CHAOS_SEEDS=<n>` overrides the per-cell seed count (CI smoke
+//! uses a small fixed subset).
+
+use safetx_core::{trusted, ConsistencyLevel, ProofScheme};
+use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
+use safetx_runtime::{Cluster, ClusterConfig, CrashPoint, CrashRule, FaultPlan, MsgKind};
+use safetx_service::{RetryPolicy, ServiceConfig, TxnService};
+use safetx_store::Value;
+use safetx_txn::{
+    CommitVariant, CoordinatorRecord, Decision, Operation, QuerySpec, TransactionSpec,
+};
+use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, TxnId, UserId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SERVERS: usize = 3;
+const ITEMS_PER_SERVER: u64 = 4;
+const TXNS_PER_SCHEDULE: u64 = 8;
+const SEED_VALUE: i64 = 10;
+
+const VARIANTS: [CommitVariant; 3] = [
+    CommitVariant::Standard,
+    CommitVariant::PresumedAbort,
+    CommitVariant::PresumedCommit,
+];
+
+fn seeds_per_cell() -> u64 {
+    std::env::var("SAFETX_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25)
+}
+
+fn build_cluster(scheme: ProofScheme, consistency: ConsistencyLevel, seed: u64) -> Cluster {
+    let cluster = Cluster::new(ClusterConfig {
+        servers: SERVERS,
+        scheme,
+        consistency,
+        variant: VARIANTS[(seed % 3) as usize],
+        // Generous against the plan's ≤2 ms injected delays, small enough
+        // that dropped-message timeouts don't dominate the sweep.
+        reply_timeout: Some(Duration::from_millis(10)),
+        ..Default::default()
+    });
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member).",
+        )
+        .expect("rules parse")
+        .build();
+    cluster.publish_policy(policy);
+    for s in 0..SERVERS as u64 {
+        cluster.configure_server(ServerId::new(s), move |core| {
+            for j in 0..ITEMS_PER_SERVER {
+                core.store_mut().write(
+                    DataItemId::new(s * 100 + j),
+                    Value::Int(SEED_VALUE),
+                    Timestamp::ZERO,
+                );
+            }
+        });
+    }
+    cluster
+}
+
+fn member_credential(cluster: &Cluster) -> Credential {
+    cluster.cas().with_mut(|registry| {
+        registry.ca_mut(CaId::new(0)).unwrap().issue(
+            UserId::new(1),
+            Atom::fact(
+                "role",
+                vec![Constant::symbol("u1"), Constant::symbol("member")],
+            ),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+        )
+    })
+}
+
+/// One write per server, all on the same slot — commits move three items
+/// in lockstep, which makes the post-run store audit exact.
+fn spec(cluster: &Cluster, slot: u64) -> TransactionSpec {
+    let queries = (0..SERVERS as u64)
+        .map(|s| {
+            QuerySpec::new(
+                ServerId::new(s),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(s * 100 + slot), 1)],
+            )
+        })
+        .collect();
+    TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
+}
+
+/// The chaos schedule for one seed: the seeded message-fault mix, plus —
+/// on a fifth of the seeds — one scheduled crash rotating over victims and
+/// protocol points.
+fn plan_for(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::chaos(seed);
+    if seed % 5 == 3 {
+        let points = [
+            CrashPoint::BeforeReceive(MsgKind::PrepareToCommit),
+            CrashPoint::AfterSend(MsgKind::CommitReply),
+            CrashPoint::AfterReceive(MsgKind::Decision),
+        ];
+        plan.crashes.push(CrashRule {
+            server: ServerId::new(seed % SERVERS as u64),
+            point: points[((seed / 5) % 3) as usize],
+        });
+    }
+    plan
+}
+
+fn logged_decision(records: &[CoordinatorRecord], txn: TxnId) -> Option<Decision> {
+    records.iter().find_map(|record| match record {
+        CoordinatorRecord::Decision { txn: t, decision } if *t == txn => Some(*decision),
+        _ => None,
+    })
+}
+
+/// Runs one seeded schedule and audits it. Returns (commits, aborts).
+fn run_schedule(scheme: ProofScheme, consistency: ConsistencyLevel, seed: u64) -> (u64, u64) {
+    let cluster = build_cluster(scheme, consistency, seed);
+    let cred = member_credential(&cluster);
+    let authority = cluster.catalog().latest_versions();
+    cluster.set_fault_plan(plan_for(seed));
+
+    let mut committed: Vec<TxnId> = Vec::new();
+    let mut aborted: Vec<TxnId> = Vec::new();
+    let mut expected_delta: HashMap<u64, i64> = HashMap::new();
+    for i in 0..TXNS_PER_SCHEDULE {
+        let slot = (seed.wrapping_add(i)) % ITEMS_PER_SERVER;
+        let spec = spec(&cluster, slot);
+        let txn = spec.id;
+        let result = cluster.execute(&spec, std::slice::from_ref(&cred));
+        if result.is_commit() {
+            // Safety: a committed transaction must audit as trusted
+            // (Definition 4) over the proofs its TM actually saw —
+            // whatever the network did to the messages carrying them.
+            assert!(
+                trusted::is_trusted(&result.view, consistency, &authority),
+                "{scheme}/{consistency} seed {seed}: committed txn {txn} fails Definition 4"
+            );
+            for s in 0..SERVERS as u64 {
+                *expected_delta.entry(s * 100 + slot).or_insert(0) += 1;
+            }
+            committed.push(txn);
+        } else {
+            aborted.push(txn);
+        }
+        // A scheduled crash mid-run: restart immediately (the driver is
+        // between transactions, so recovery inquiries are answerable) and
+        // keep going — later transactions exercise the recovered server.
+        for server in cluster.crashed_servers() {
+            cluster.restart_server(server);
+        }
+    }
+
+    // Quiesce: let delay sleepers (≤ 2 ms) flush, stop injecting, restart
+    // any straggler crash, and resolve every in-doubt participant from the
+    // coordinator decision log.
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.clear_fault_plan();
+    for server in cluster.crashed_servers() {
+        cluster.restart_server(server);
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.resolve_in_doubt();
+
+    // Decision-log agreement: driver outcome == coordinator log.
+    let records = cluster.decision_log_records();
+    for &txn in &committed {
+        assert_eq!(
+            logged_decision(&records, txn),
+            Some(Decision::Commit),
+            "{scheme}/{consistency} seed {seed}: commit of {txn} not in the decision log"
+        );
+    }
+    for &txn in &aborted {
+        assert_ne!(
+            logged_decision(&records, txn),
+            Some(Decision::Commit),
+            "{scheme}/{consistency} seed {seed}: driver saw {txn} abort but the log says commit"
+        );
+    }
+
+    // Store consistency: each replica's items carry exactly the committed
+    // deltas — crashes, drops and duplicates included.
+    for s in 0..SERVERS as u64 {
+        let (tx, rx) = std::sync::mpsc::channel();
+        cluster.configure_server(ServerId::new(s), move |core| {
+            let values: Vec<(u64, Option<i64>)> = (0..ITEMS_PER_SERVER)
+                .map(|j| {
+                    (
+                        s * 100 + j,
+                        core.store().read_int(DataItemId::new(s * 100 + j)),
+                    )
+                })
+                .collect();
+            let _ = tx.send(values);
+        });
+        for (item, value) in rx.recv().expect("probe reply") {
+            let expected = SEED_VALUE + expected_delta.get(&item).copied().unwrap_or(0);
+            assert_eq!(
+                value,
+                Some(expected),
+                "{scheme}/{consistency} seed {seed}: item {item} inconsistent after recovery"
+            );
+        }
+    }
+
+    let out = (committed.len() as u64, aborted.len() as u64);
+    cluster.shutdown();
+    out
+}
+
+#[test]
+fn chaos_sweep_preserves_safety_and_store_consistency() {
+    let seeds = seeds_per_cell();
+    let mut schedules = 0u64;
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    for scheme in ProofScheme::ALL {
+        for consistency in ConsistencyLevel::ALL {
+            for seed in 0..seeds {
+                // Spread cells across the seed space so every cell sees
+                // different fault mixes, not the same `0..n` plans.
+                let cell = (scheme as u64) * 31 + (consistency as u64) * 101;
+                let (c, a) = run_schedule(scheme, consistency, seed.wrapping_add(cell * 1000));
+                schedules += 1;
+                commits += c;
+                aborts += a;
+            }
+        }
+    }
+    assert_eq!(schedules, 8 * seeds);
+    // Recorded in EXPERIMENTS.md; visible with `--nocapture`.
+    println!(
+        "chaos sweep: {schedules} schedules ({} txns), {commits} commits, {aborts} aborts, 0 safety violations",
+        schedules * TXNS_PER_SCHEDULE
+    );
+    // The mix must actually exercise both outcomes across the sweep.
+    assert!(commits > 0, "chaos sweep committed nothing");
+    assert!(
+        aborts > 0 || seeds < 3,
+        "chaos sweep aborted nothing — faults are not biting"
+    );
+}
+
+#[test]
+fn service_under_chaos_conserves_and_surfaces_fault_counters() {
+    for seed in [11u64, 42, 97] {
+        let cluster = Arc::new(build_cluster(
+            ProofScheme::Deferred,
+            ConsistencyLevel::View,
+            seed,
+        ));
+        let cred = member_credential(&cluster);
+        let authority = cluster.catalog().latest_versions();
+        cluster.set_fault_plan(FaultPlan::chaos(seed));
+        let service = TxnService::new(
+            cluster.clone(),
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 32,
+                retry: RetryPolicy::default(),
+                seed,
+            },
+        );
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                service
+                    .submit_blocking(spec(&cluster, i % ITEMS_PER_SERVER), vec![cred.clone()])
+                    .expect("service open")
+            })
+            .collect();
+        for handle in handles {
+            let done = handle.wait();
+            if done.outcome.is_commit() {
+                assert!(
+                    trusted::is_trusted(&done.view, ConsistencyLevel::View, &authority),
+                    "seed {seed}: committed service txn fails Definition 4"
+                );
+            }
+        }
+        let mut stats = service.shutdown();
+        assert!(stats.conserves(), "seed {seed}: {stats:?}");
+        // The cluster's fault counters ride along in the stats snapshot
+        // and its JSON export, next to dropped_replies.
+        assert_eq!(stats.faults, cluster.fault_counters(), "seed {seed}");
+        let json = stats.to_json().render();
+        for key in [
+            "faults_dropped",
+            "faults_delayed",
+            "faults_duplicated",
+            "server_crashes",
+            "recoveries",
+            "timeout_aborts",
+            "unavailable_retries",
+            "dropped_replies",
+        ] {
+            assert!(json.contains(key), "seed {seed}: {key} missing from JSON");
+        }
+    }
+}

@@ -100,6 +100,7 @@ fn run_cell(scheme: ProofScheme, consistency: ConsistencyLevel, workers: usize) 
                 base_backoff: std::time::Duration::from_micros(50),
                 max_backoff: std::time::Duration::from_millis(2),
                 jitter_percent: 50,
+                ..RetryPolicy::default()
             },
             seed: 42,
         },
