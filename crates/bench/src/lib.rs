@@ -165,6 +165,82 @@ pub fn run_single(
     }
 }
 
+/// Outcome of a single measured transaction on the threaded runtime.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun {
+    /// Paper-model counters (messages, proofs, rounds, forced logs),
+    /// counted by the same shared `TmCore` accounting as the simulator.
+    pub metrics: ProtocolMetrics,
+    /// Whether the transaction committed.
+    pub committed: bool,
+}
+
+/// Runs the same worst-case transaction as [`run_single`] — `u = n`
+/// queries, one per server, under the same controlled staleness setup —
+/// but on the threaded runtime ([`safetx_runtime::Cluster`]) instead of
+/// the discrete-event simulator. Both runtimes drive the identical
+/// sans-io `TmCore`, so their Table I counters must agree cell by cell.
+#[must_use]
+pub fn run_single_threaded(
+    scheme: ProofScheme,
+    level: ConsistencyLevel,
+    n: usize,
+    staleness: Staleness,
+) -> ThreadedRun {
+    use safetx_runtime::{Cluster, ClusterConfig};
+
+    let cluster = Cluster::new(ClusterConfig {
+        servers: n,
+        scheme,
+        consistency: level,
+        variant: safetx_txn::CommitVariant::Standard,
+        ..Default::default()
+    });
+    cluster.publish_policy(member_policy(1));
+    match staleness {
+        Staleness::None => {}
+        Staleness::AllStale => {
+            cluster.catalog().publish(member_policy(2));
+        }
+        Staleness::OneAhead => {
+            cluster.catalog().publish(member_policy(2));
+            cluster.configure_server(ServerId::new(0), |core| {
+                core.install_policy(PolicyId::new(0), PolicyVersion(2));
+            });
+        }
+    }
+    for i in 0..n {
+        cluster.configure_server(ServerId::new(i as u64), move |core| {
+            core.store_mut().write(
+                DataItemId::new(i as u64),
+                safetx_store::Value::Int(1),
+                Timestamp::ZERO,
+            );
+        });
+    }
+    let credential = cluster.cas().with_mut(|registry| {
+        registry
+            .ca_mut(safetx_types::CaId::new(0))
+            .expect("default CA")
+            .issue(
+                UserId::new(1),
+                Atom::fact(
+                    "role",
+                    vec![Constant::symbol("u1"), Constant::symbol("member")],
+                ),
+                Timestamp::ZERO,
+                Timestamp::MAX,
+            )
+    });
+    let result = cluster.execute(&worst_case_txn(n), &[credential]);
+    let run = ThreadedRun {
+        metrics: result.metrics,
+        committed: result.outcome.is_commit(),
+    };
+    cluster.shutdown();
+    run
+}
+
 /// Like [`run_single`] but with tracing enabled; returns the run and the
 /// trace.
 ///

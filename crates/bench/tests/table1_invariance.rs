@@ -6,7 +6,7 @@
 //! that drifts by even one message fails here before it reaches the
 //! rendered table.
 
-use safetx_bench::{run_single, Staleness};
+use safetx_bench::{run_single, run_single_threaded, Staleness};
 use safetx_core::{complexity, ConsistencyLevel, ProofScheme};
 
 const N: u64 = 5;
@@ -66,6 +66,40 @@ fn table1_counts_are_pinned() {
             );
             // The pinned values must also stay within the paper's bounds —
             // this keeps the fixture honest if the formulas change.
+            let r = run.metrics.rounds.max(1);
+            assert!(run.metrics.messages <= complexity::max_messages(scheme, level, N, N, r));
+            assert!(run.metrics.proofs <= complexity::max_proofs(scheme, level, N, r));
+        }
+    }
+}
+
+/// The threaded runtime drives the same sans-io `TmCore` as the
+/// simulator, so its Table I counters must land on the exact same pinned
+/// values — same worst-case adversary, same `n = u = 5` layout. A drift
+/// here means one driver grew accounting of its own.
+#[test]
+fn threaded_runtime_counts_match_table1() {
+    for scheme in ProofScheme::ALL {
+        for level in ConsistencyLevel::ALL {
+            let run = run_single_threaded(scheme, level, N as usize, adversary(scheme, level));
+            let (msgs, proofs, rounds) = expected(scheme, level);
+            assert!(
+                run.committed,
+                "{scheme}/{level}: threaded worst-case run must commit"
+            );
+            assert_eq!(
+                run.metrics.rounds.max(1),
+                rounds,
+                "{scheme}/{level}: threaded round count drifted"
+            );
+            assert_eq!(
+                run.metrics.messages, msgs,
+                "{scheme}/{level}: threaded message count drifted"
+            );
+            assert_eq!(
+                run.metrics.proofs, proofs,
+                "{scheme}/{level}: threaded proof count drifted"
+            );
             let r = run.metrics.rounds.max(1);
             assert!(run.metrics.messages <= complexity::max_messages(scheme, level, N, N, r));
             assert!(run.metrics.proofs <= complexity::max_proofs(scheme, level, N, r));

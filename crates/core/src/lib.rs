@@ -23,6 +23,10 @@
 //! * **Complexity model** (Table I): [`complexity`] holds the paper's
 //!   worst-case message/proof formulas, which the bench binaries compare
 //!   against measured counts.
+//! * **The sans-io TM core**: [`TmCore`] is the complete coordinator
+//!   lifecycle — scheme pipelines, version pinning, 2PV, 2PVC, timeouts —
+//!   as a pure `step(Event) -> Vec<Effect>` state machine shared by every
+//!   runtime.
 //! * **Simulation actors**: [`TmActor`], [`CloudServerActor`] and
 //!   [`MasterActor`] run the protocols on the
 //!   [`safetx_sim`] discrete-event world; [`Experiment`] wires complete
@@ -41,6 +45,7 @@ mod outcome;
 mod scheme;
 mod server;
 mod tm;
+pub mod tm_core;
 pub mod trusted;
 mod two_pvc;
 mod validation;
@@ -62,6 +67,7 @@ pub use server::{
 };
 pub use tm::TmActor;
 pub use tm::TxnRecord;
+pub use tm_core::{reply_counts_as_dropped, TmConfig, TmCore, TmEffect, TmEvent, TxnTermination};
 pub use two_pvc::{TwoPvc, TwoPvcAction, TwoPvcState};
 pub use validation::{
     ValidationAction, ValidationConfig, ValidationOutcome, ValidationReply, ValidationRound,

@@ -1,120 +1,38 @@
-//! The transaction manager actor.
+//! The transaction manager actor: the simulator driver for [`TmCore`].
 //!
-//! One TM drives each transaction through the scheme-specific pipeline:
-//!
-//! * **Deferred** — execute all queries (no proofs), then 2PVC with
-//!   validation.
-//! * **Punctual** — evaluate each proof at its query (abort early on
-//!   FALSE), then 2PVC with validation re-evaluates everything.
-//! * **Incremental Punctual** — evaluate at each query *and* keep the view
-//!   instance consistent: under view consistency later replicas are pinned
-//!   to the first-seen version (fast-forwarding stale ones) and any newer
-//!   version aborts; under global consistency the TM retrieves the master
-//!   version every query and aborts on change. Commit is 2PVC **without**
-//!   validation.
-//! * **Continuous** — before every query, 2PV re-validates all proofs so
-//!   far (plus the new one); commit is 2PVC without validation under view
-//!   consistency, with validation under global.
+//! All scheme-pipeline logic — query sequencing, version pinning, 2PV, 2PVC
+//! and both timeout paths — lives in the sans-io [`TmCore`] state machine
+//! (see [`crate::tm_core`]). This actor is pure plumbing: it converts
+//! incoming [`Msg`]s into [`TmEvent`]s, performs the returned [`TmEffect`]s
+//! against the discrete-event world (sends, world timers, the coordinator
+//! WAL, trace marks), and collects termination records for the harness.
 //!
 //! The TM also owns the coordinator write-ahead log and answers recovery
 //! inquiries from participants.
 
-use crate::consistency::ConsistencyLevel;
 use crate::messages::{AddressBook, Msg};
-use crate::outcome::{AbortReason, TxnOutcome};
-use crate::scheme::ProofScheme;
-use crate::two_pvc::{TwoPvc, TwoPvcAction};
-use crate::validation::{
-    ValidationAction, ValidationConfig, ValidationOutcome, ValidationReply, ValidationRound,
-    VersionMap,
-};
-use crate::view::TransactionView;
-use safetx_metrics::ProtocolMetrics;
+use crate::tm_core::{TmConfig, TmCore, TmEffect, TmEvent, TxnTermination};
 use safetx_policy::Credential;
 use safetx_sim::{Actor, Context, NodeId, TimerTag};
 use safetx_store::Wal;
 use safetx_txn::{answer_inquiry, CommitVariant, CoordinatorRecord, TransactionSpec};
-use safetx_types::{Duration, ServerId, Timestamp, TmId, TxnId};
-use std::collections::{BTreeSet, HashMap};
+use safetx_types::{Duration, TmId, TxnId};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The record of one finished transaction, read back by the harness.
-#[derive(Debug, Clone)]
-pub struct TxnRecord {
-    /// The transaction.
-    pub txn: TxnId,
-    /// `α(T)`.
-    pub started_at: Timestamp,
-    /// When the decision was fixed.
-    pub finished_at: Timestamp,
-    /// Commit or abort (with reason).
-    pub outcome: TxnOutcome,
-    /// Paper-model cost counters for this transaction.
-    pub metrics: ProtocolMetrics,
-    /// Every proof evaluation observed (Definition 1's view).
-    pub view: TransactionView,
-    /// Queries whose data operations had executed when the outcome was
-    /// fixed (the work an abort must undo).
-    pub queries_executed: usize,
-}
-
-/// Which pipeline stage a transaction is in.
-#[derive(Debug)]
-enum Phase {
-    /// Continuous: 2PV running before query `next_query` executes.
-    PreQueryValidation(ValidationRound),
-    /// Waiting for `QueryDone` of query `next_query`.
-    Executing,
-    /// 2PVC in progress.
-    Committing(TwoPvc),
-}
-
-#[derive(Debug)]
-struct TxnState {
-    spec: TransactionSpec,
-    /// Shared credential payload: built once at Begin, refcounted into
-    /// every `ExecQuery`/`PrepareToValidate` instead of deep-cloned.
-    credentials: Arc<[Credential]>,
-    /// Per-query shared payloads, same rationale.
-    queries: Arc<[Arc<safetx_txn::QuerySpec>]>,
-    started_at: Timestamp,
-    phase: Phase,
-    next_query: usize,
-    view: TransactionView,
-    metrics: ProtocolMetrics,
-    /// Incremental (view): versions pinned by the first proof per policy.
-    pinned: VersionMap,
-    /// Incremental (global): the master's versions pinned at first
-    /// retrieval.
-    master_pinned: Option<VersionMap>,
-    /// Incremental (global): master answer for the current query not yet
-    /// received / query reply not yet received.
-    awaiting_version_check: bool,
-    pending_query_done: Option<(usize, bool, Option<safetx_policy::ProofOfAuthorization>)>,
-    /// Servers that have executed at least one query (abort broadcast set).
-    touched: BTreeSet<ServerId>,
-    outcome: Option<TxnOutcome>,
-    /// Last instant any message for this transaction was processed; the
-    /// progress watchdog compares against it.
-    last_activity: Timestamp,
-    /// Capabilities collected from servers (baseline deployments forward
-    /// them with later queries).
-    capabilities: Vec<safetx_policy::AccessCapability>,
-}
+///
+/// An alias of the runtime-agnostic [`TxnTermination`]: both the simulator
+/// and the threaded runtime report terminations from the same core type.
+pub type TxnRecord = TxnTermination;
 
 /// The TM actor.
 pub struct TmActor {
     id: TmId,
     book: AddressBook,
-    scheme: ProofScheme,
-    consistency: ConsistencyLevel,
-    variant: CommitVariant,
-    /// Unsafe baseline: skip commit-time validation entirely (plain 2PC),
-    /// regardless of scheme. For hazard measurements only.
-    baseline_no_validation: bool,
-    commit_timeout: Option<Duration>,
+    config: TmConfig,
     wal: Wal<CoordinatorRecord>,
-    active: HashMap<TxnId, TxnState>,
+    active: HashMap<TxnId, TmCore>,
     completed: Vec<TxnRecord>,
 }
 
@@ -125,18 +43,14 @@ impl TmActor {
     pub fn new(
         id: TmId,
         book: AddressBook,
-        scheme: ProofScheme,
-        consistency: ConsistencyLevel,
+        scheme: crate::scheme::ProofScheme,
+        consistency: crate::consistency::ConsistencyLevel,
         variant: CommitVariant,
     ) -> Self {
         TmActor {
             id,
             book,
-            scheme,
-            consistency,
-            variant,
-            baseline_no_validation: false,
-            commit_timeout: None,
+            config: TmConfig::new(scheme, consistency, variant),
             wal: Wal::new(),
             active: HashMap::new(),
             completed: Vec::new(),
@@ -148,7 +62,7 @@ impl TmActor {
     /// about). Measurement aid, not a production mode.
     #[must_use]
     pub fn with_unsafe_baseline(mut self) -> Self {
-        self.baseline_no_validation = true;
+        self.config.baseline_no_validation = true;
         self
     }
 
@@ -157,7 +71,7 @@ impl TmActor {
     /// undelivered decision is retransmitted on the same cadence.
     #[must_use]
     pub fn with_commit_timeout(mut self, timeout: Duration) -> Self {
-        self.commit_timeout = Some(timeout);
+        self.config.watchdog = Some(timeout);
         self
     }
 
@@ -185,10 +99,6 @@ impl TmActor {
         &self.wal
     }
 
-    // ------------------------------------------------------------------
-    // pipeline driving
-    // ------------------------------------------------------------------
-
     fn begin(
         &mut self,
         ctx: &mut Context<'_, Msg>,
@@ -196,508 +106,52 @@ impl TmActor {
         credentials: Vec<Credential>,
     ) {
         let txn = spec.id;
-        assert!(!spec.queries.is_empty(), "transaction {txn} has no queries");
         if self.active.contains_key(&txn) || self.completed.iter().any(|r| r.txn == txn) {
             // A retransmitted Begin must not restart a live or finished
             // transaction.
             return;
         }
-        let queries: Arc<[Arc<safetx_txn::QuerySpec>]> =
-            spec.queries.iter().cloned().map(Arc::new).collect();
-        let state = TxnState {
-            spec,
-            credentials: credentials.into(),
-            queries,
-            started_at: ctx.now(),
-            phase: Phase::Executing,
-            next_query: 0,
-            view: TransactionView::new(),
-            metrics: ProtocolMetrics::new(),
-            pinned: VersionMap::new(),
-            master_pinned: None,
-            awaiting_version_check: false,
-            pending_query_done: None,
-            touched: BTreeSet::new(),
-            outcome: None,
-            last_activity: ctx.now(),
-            capabilities: Vec::new(),
-        };
-        self.active.insert(txn, state);
-        if let Some(timeout) = self.commit_timeout {
-            ctx.set_timer(timeout, txn.index());
-        }
-        self.advance(ctx, txn);
+        let mut core = TmCore::new(self.config, spec, credentials, ctx.now());
+        let effects = core.start(ctx.now());
+        self.active.insert(txn, core);
+        self.apply(ctx, txn, effects);
     }
 
-    /// Notes progress on a transaction (resets the watchdog's reference).
-    fn touch(&mut self, ctx: &Context<'_, Msg>, txn: TxnId) {
-        if let Some(state) = self.active.get_mut(&txn) {
-            state.last_activity = ctx.now();
-        }
+    /// Feeds one event to a live transaction's core and performs the
+    /// effects. Events for unknown (finished) transactions are stale and
+    /// ignored, exactly like the pre-extraction actor's guards.
+    fn drive(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId, event: TmEvent) {
+        let Some(core) = self.active.get_mut(&txn) else {
+            return;
+        };
+        let effects = core.step(ctx.now(), event);
+        self.apply(ctx, txn, effects);
     }
 
-    /// Moves a transaction forward: submit the next query (with the
-    /// scheme's pre-step) or start the commit protocol.
-    fn advance(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        if state.next_query >= state.spec.queries.len() {
-            self.start_commit(ctx, txn);
-            return;
-        }
-        if self.scheme.validates_before_each_query() {
-            // Continuous: 2PV over the servers of queries 0..=next_query.
-            let index = state.next_query;
-            let query = Arc::clone(&state.queries[index]);
-            let involved: BTreeSet<ServerId> = state
-                .spec
-                .queries
-                .iter()
-                .take(index + 1)
-                .map(|q| q.server)
-                .collect();
-            let mut validation =
-                ValidationRound::new(involved, ValidationConfig::two_pv(self.consistency));
-            let actions = validation.start();
-            let user = state.spec.user;
-            let credentials = Arc::clone(&state.credentials);
-            state.phase = Phase::PreQueryValidation(validation);
-            for action in actions {
-                match action {
-                    ValidationAction::SendRequest(server) => {
-                        state.metrics.messages += 1;
-                        // A 2PV contact registers transaction state at the
-                        // server; an execution-phase abort must reach it.
-                        state.touched.insert(server);
-                        let new_query =
-                            (server == query.server).then(|| (index, Arc::clone(&query)));
-                        ctx.send(
-                            self.book.server_node(server),
-                            Msg::PrepareToValidate {
-                                txn,
-                                new_query,
-                                user,
-                                credentials: Arc::clone(&credentials),
-                            },
-                        );
-                    }
-                    ValidationAction::QueryMaster => {
-                        state.metrics.messages += 1;
-                        ctx.send(self.book.master, Msg::VersionRequest { txn });
-                    }
-                    ValidationAction::SendUpdate(..) | ValidationAction::Resolved(_) => {
-                        unreachable!("start() emits only requests")
-                    }
-                }
-            }
-            return;
-        }
-        // All other schemes: ship the query directly.
-        if self.scheme == ProofScheme::IncrementalPunctual
-            && self.consistency == ConsistencyLevel::Global
-        {
-            // Retrieve the master version for this query's check (one
-            // message in the paper's accounting: the retrieval).
-            state.metrics.messages += 1;
-            state.awaiting_version_check = true;
-            ctx.send(self.book.master, Msg::VersionRequest { txn });
-        }
-        self.send_exec_query(ctx, txn);
-    }
-
-    fn send_exec_query(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        let index = state.next_query;
-        let query = Arc::clone(&state.queries[index]);
-        state.touched.insert(query.server);
-        let evaluate_proof =
-            self.scheme.evaluates_at_query() && self.scheme != ProofScheme::Continuous; // Continuous proved it in 2PV
-                                                                                        // Incremental view: pin later replicas to the versions already seen.
-        let pin_versions = if self.scheme.checks_versions_incrementally() {
-            match self.consistency {
-                ConsistencyLevel::View => state.pinned.clone(),
-                ConsistencyLevel::Global => state.master_pinned.clone().unwrap_or_default(),
-            }
-        } else {
-            VersionMap::new()
-        };
-        ctx.send(
-            self.book.server_node(query.server),
-            Msg::ExecQuery {
-                txn,
-                query_index: index,
-                query,
-                user: state.spec.user,
-                credentials: Arc::clone(&state.credentials),
-                evaluate_proof,
-                pin_versions,
-                capabilities: state.capabilities.clone(),
-            },
-        );
-        state.phase = Phase::Executing;
-    }
-
-    fn on_query_done(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        txn: TxnId,
-        query_index: usize,
-        ok: bool,
-        proof: Option<safetx_policy::ProofOfAuthorization>,
-    ) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        if !matches!(state.phase, Phase::Executing) || query_index != state.next_query {
-            return; // stale or duplicated reply
-        }
-        if state.awaiting_version_check && state.master_pinned.is_none() {
-            // Incremental global: master answer not here yet; stash.
-            state.pending_query_done = Some((query_index, ok, proof));
-            return;
-        }
-        self.process_query_done(ctx, txn, ok, proof);
-    }
-
-    fn process_query_done(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        txn: TxnId,
-        ok: bool,
-        proof: Option<safetx_policy::ProofOfAuthorization>,
-    ) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        if !ok {
-            self.abort_in_execution(ctx, txn, AbortReason::LockConflict);
-            return;
-        }
-        if let Some(proof) = proof {
-            let truth = proof.truth();
-            let policy = proof.policy_id;
-            let version = proof.policy_version;
-            state.metrics.proofs += 1;
-            state.view.record(proof);
-            if self.scheme.checks_versions_incrementally() {
-                let pinned = match self.consistency {
-                    ConsistencyLevel::View => Some(*state.pinned.entry(policy).or_insert(version)),
-                    ConsistencyLevel::Global => state
-                        .master_pinned
-                        .as_ref()
-                        .and_then(|m| m.get(&policy).copied()),
-                };
-                match pinned {
-                    Some(pinned_version) if version != pinned_version => {
-                        // A newer (or otherwise divergent) version showed up
-                        // mid-transaction: the view instance can no longer be
-                        // consistent.
-                        self.abort_in_execution(ctx, txn, AbortReason::VersionInconsistency);
-                        return;
-                    }
-                    _ => {}
-                }
-            }
-            if !truth {
-                self.abort_in_execution(ctx, txn, AbortReason::ProofFalse);
-                return;
-            }
-        }
-        let state = self.active.get_mut(&txn).expect("still active");
-        state.next_query += 1;
-        state.awaiting_version_check = false;
-        self.advance(ctx, txn);
-    }
-
-    fn on_version_reply(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId, versions: VersionMap) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        match &mut state.phase {
-            Phase::Committing(pvc) => {
-                let actions = pvc.on_master_versions(versions);
-                self.apply_pvc_actions(ctx, txn, actions);
-            }
-            Phase::PreQueryValidation(validation) => {
-                let actions = validation.on_master_versions(versions);
-                self.apply_validation_actions(ctx, txn, actions);
-            }
-            Phase::Executing if state.awaiting_version_check => {
-                match &state.master_pinned {
-                    None => state.master_pinned = Some(versions),
-                    Some(pinned) if *pinned != versions => {
-                        // The master moved mid-transaction: earlier proofs
-                        // are no longer latest-version (ψ broken).
-                        self.abort_in_execution(ctx, txn, AbortReason::VersionInconsistency);
-                        return;
-                    }
-                    Some(_) => {}
-                }
-                let state = self.active.get_mut(&txn).expect("still active");
-                state.awaiting_version_check = false;
-                if let Some((_, ok, proof)) = state.pending_query_done.take() {
-                    self.process_query_done(ctx, txn, ok, proof);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // continuous 2PV during execution
-    // ------------------------------------------------------------------
-
-    fn on_validate_reply(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        txn: TxnId,
-        from: NodeId,
-        reply: ValidationReply,
-    ) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        let Some(server) = self.book.server_at(from) else {
-            return;
-        };
-        state.metrics.messages += 1; // the reply
-        state.metrics.proofs += reply.proofs.len() as u64;
-        // The round's state machine never reads the proofs; move them into
-        // the audit view instead of cloning.
-        let mut reply = reply;
-        state.view.extend(std::mem::take(&mut reply.proofs));
-        if let Phase::PreQueryValidation(validation) = &mut state.phase {
-            let actions = validation.on_reply(server, reply);
-            self.apply_validation_actions(ctx, txn, actions);
-        }
-    }
-
-    fn apply_validation_actions(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        txn: TxnId,
-        actions: Vec<ValidationAction>,
-    ) {
-        for action in actions {
-            let Some(state) = self.active.get_mut(&txn) else {
-                return;
-            };
-            match action {
-                ValidationAction::SendRequest(_) => unreachable!("only start() requests"),
-                ValidationAction::SendUpdate(server, targets) => {
-                    state.metrics.messages += 1;
-                    ctx.send(
-                        self.book.server_node(server),
-                        Msg::Update {
-                            txn,
-                            targets,
-                            in_commit: false,
-                        },
-                    );
-                }
-                ValidationAction::QueryMaster => {
-                    state.metrics.messages += 1;
-                    ctx.send(self.book.master, Msg::VersionRequest { txn });
-                }
-                ValidationAction::Resolved(outcome) => match outcome {
-                    ValidationOutcome::Continue => {
-                        // Safe to run the pending query's data operations.
-                        self.send_exec_query(ctx, txn);
-                    }
-                    ValidationOutcome::Abort(reason) => {
-                        self.abort_in_execution(ctx, txn, reason);
-                    }
-                },
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // commit
-    // ------------------------------------------------------------------
-
-    fn start_commit(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        let participants = state.spec.participants();
-        let validate =
-            self.scheme.validates_at_commit(self.consistency) && !self.baseline_no_validation;
-        let mut pvc = TwoPvc::new(txn, participants, self.consistency, self.variant, validate);
-        let actions = pvc.start();
-        state.phase = Phase::Committing(pvc);
-        self.apply_pvc_actions(ctx, txn, actions);
-    }
-
-    fn on_commit_reply(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        txn: TxnId,
-        from: NodeId,
-        reply: ValidationReply,
-    ) {
-        let Some(state) = self.active.get_mut(&txn) else {
-            return;
-        };
-        let Some(server) = self.book.server_at(from) else {
-            return;
-        };
-        state.metrics.messages += 1;
-        state.metrics.proofs += reply.proofs.len() as u64;
-        let mut reply = reply;
-        state.view.extend(std::mem::take(&mut reply.proofs));
-        if let Phase::Committing(pvc) = &mut state.phase {
-            let actions = pvc.on_reply(server, reply);
-            self.apply_pvc_actions(ctx, txn, actions);
-        }
-    }
-
-    fn apply_pvc_actions(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        txn: TxnId,
-        actions: Vec<TwoPvcAction>,
-    ) {
-        for action in actions {
-            let Some(state) = self.active.get_mut(&txn) else {
-                return;
-            };
-            match action {
-                TwoPvcAction::SendPrepareToCommit(server) => {
-                    state.metrics.messages += 1;
-                    let validate = self.scheme.validates_at_commit(self.consistency)
-                        && !self.baseline_no_validation;
-                    let expected_queries: Vec<usize> = state
-                        .spec
-                        .queries
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, q)| q.server == server)
-                        .map(|(i, _)| i)
-                        .collect();
-                    ctx.send(
-                        self.book.server_node(server),
-                        Msg::PrepareToCommit {
-                            txn,
-                            validate,
-                            expected_queries,
-                        },
-                    );
-                }
-                TwoPvcAction::SendUpdate(server, targets) => {
-                    state.metrics.messages += 1;
-                    ctx.send(
-                        self.book.server_node(server),
-                        Msg::Update {
-                            txn,
-                            targets,
-                            in_commit: true,
-                        },
-                    );
-                }
-                TwoPvcAction::QueryMaster => {
-                    state.metrics.messages += 1;
-                    ctx.send(self.book.master, Msg::VersionRequest { txn });
-                }
-                TwoPvcAction::ForceLog(record) => {
+    /// Maps core effects onto the simulation world: sends, timers, the
+    /// coordinator WAL and the trace marks the bench binaries consume.
+    fn apply(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId, effects: Vec<TmEffect>) {
+        for effect in effects {
+            match effect {
+                TmEffect::Send(server, msg) => ctx.send(self.book.server_node(server), msg),
+                TmEffect::QueryMaster => ctx.send(self.book.master, Msg::VersionRequest { txn }),
+                TmEffect::ForceLog { record, in_commit } => {
                     self.wal.force(record);
                     ctx.count("forced_logs", 1);
-                    ctx.mark("log:forced");
-                    let state = self.active.get_mut(&txn).expect("active");
-                    state.metrics.forced_logs += 1;
+                    if in_commit {
+                        ctx.mark("log:forced");
+                    }
                 }
-                TwoPvcAction::Log(record) => self.wal.append(record),
-                TwoPvcAction::SendDecision(server, decision) => {
-                    state.metrics.messages += 1;
-                    ctx.send(
-                        self.book.server_node(server),
-                        Msg::Decision { txn, decision },
-                    );
-                }
-                TwoPvcAction::Decided(decision) => {
-                    let (rounds, reason) = match &state.phase {
-                        Phase::Committing(pvc) => (pvc.rounds(), pvc.abort_reason()),
-                        _ => (0, None),
-                    };
-                    state.metrics.rounds += rounds;
-                    let outcome = if decision.is_commit() {
-                        state.metrics.commits += 1;
-                        TxnOutcome::Committed { at: ctx.now() }
-                    } else {
-                        state.metrics.aborts += 1;
-                        TxnOutcome::Aborted {
-                            at: ctx.now(),
-                            reason: reason.unwrap_or(AbortReason::IntegrityViolation),
-                        }
-                    };
-                    state.outcome = Some(outcome);
-                    ctx.mark(format!("decided:{decision}"));
-                }
-                TwoPvcAction::Completed => {
-                    self.finish(ctx, txn);
-                    return;
+                TmEffect::Log(record) => self.wal.append(record),
+                TmEffect::ArmTimer(timeout) => ctx.set_timer(timeout, txn.index()),
+                TmEffect::Decided(decision) => ctx.mark(format!("decided:{decision}")),
+                TmEffect::Finished(termination) => {
+                    ctx.mark(format!("finished:{txn}"));
+                    self.active.remove(&txn);
+                    self.completed.push(*termination);
                 }
             }
         }
-    }
-
-    /// Aborts a transaction that is still executing queries: broadcast
-    /// ABORT to every touched server so locks are released and buffered
-    /// writes dropped.
-    fn abort_in_execution(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId, reason: AbortReason) {
-        if !self.active.contains_key(&txn) {
-            return;
-        }
-        let record = CoordinatorRecord::Decision {
-            txn,
-            decision: safetx_txn::Decision::Abort,
-        };
-        if self.variant.coordinator_forces(safetx_txn::Decision::Abort) {
-            self.wal.force(record);
-            ctx.count("forced_logs", 1);
-        } else {
-            self.wal.append(record);
-        }
-        let state = self.active.get_mut(&txn).expect("active");
-        for &server in &state.touched.clone() {
-            state.metrics.messages += 1;
-            ctx.send(
-                self.book.server_node(server),
-                Msg::Decision {
-                    txn,
-                    decision: safetx_txn::Decision::Abort,
-                },
-            );
-        }
-        state.metrics.aborts += 1;
-        state.outcome = Some(TxnOutcome::Aborted {
-            at: ctx.now(),
-            reason,
-        });
-        self.finish(ctx, txn);
-    }
-
-    fn finish(&mut self, ctx: &mut Context<'_, Msg>, txn: TxnId) {
-        let Some(state) = self.active.remove(&txn) else {
-            return;
-        };
-        let outcome = state.outcome.unwrap_or(TxnOutcome::Aborted {
-            at: ctx.now(),
-            reason: AbortReason::Failure,
-        });
-        ctx.mark(format!("finished:{txn}"));
-        self.completed.push(TxnRecord {
-            txn,
-            started_at: state.started_at,
-            finished_at: outcome.at(),
-            outcome,
-            metrics: state.metrics,
-            view: state.view,
-            queries_executed: state.next_query,
-        });
     }
 }
 
@@ -711,43 +165,57 @@ impl Actor<Msg> for TmActor {
                 ok,
                 proof,
                 capability,
-            } => {
-                self.touch(ctx, txn);
-                if let Some(capability) = capability {
-                    if let Some(state) = self.active.get_mut(&txn) {
-                        state.capabilities.push(capability);
-                    }
-                }
-                self.on_query_done(ctx, txn, query_index, ok, proof);
-            }
+            } => self.drive(
+                ctx,
+                txn,
+                TmEvent::QueryDone {
+                    query_index,
+                    ok,
+                    proof,
+                    capability,
+                },
+            ),
             Msg::ValidateReply { txn, reply } => {
-                self.touch(ctx, txn);
-                self.on_validate_reply(ctx, txn, from, reply);
-            }
-            Msg::CommitReply { txn, reply } => {
-                self.touch(ctx, txn);
-                self.on_commit_reply(ctx, txn, from, reply);
-            }
-            Msg::VersionReply { txn, versions } => {
-                self.touch(ctx, txn);
-                self.on_version_reply(ctx, txn, versions);
-            }
-            Msg::Ack { txn } => {
-                self.touch(ctx, txn);
                 let Some(server) = self.book.server_at(from) else {
                     return;
                 };
-                let Some(state) = self.active.get_mut(&txn) else {
+                self.drive(
+                    ctx,
+                    txn,
+                    TmEvent::ValidateReply {
+                        from: server,
+                        reply,
+                    },
+                );
+            }
+            Msg::CommitReply { txn, reply } => {
+                let Some(server) = self.book.server_at(from) else {
                     return;
                 };
-                state.metrics.messages += 1;
-                if let Phase::Committing(pvc) = &mut state.phase {
-                    let actions = pvc.on_ack(server);
-                    self.apply_pvc_actions(ctx, txn, actions);
-                }
+                self.drive(
+                    ctx,
+                    txn,
+                    TmEvent::CommitReply {
+                        from: server,
+                        reply,
+                    },
+                );
+            }
+            Msg::VersionReply { txn, versions } => self.drive(
+                ctx,
+                txn,
+                TmEvent::MasterVersions {
+                    versions: Arc::new(versions),
+                },
+            ),
+            Msg::Ack { txn } => {
+                let Some(server) = self.book.server_at(from) else {
+                    return;
+                };
+                self.drive(ctx, txn, TmEvent::Ack { from: server });
             }
             Msg::Inquiry { txn, from_server } => {
-                let answer = answer_inquiry(txn, self.variant, self.wal.records());
+                let answer = answer_inquiry(txn, self.config.variant, self.wal.records());
                 ctx.send(
                     self.book.server_node(from_server),
                     Msg::InquiryReply { txn, answer },
@@ -758,42 +226,7 @@ impl Actor<Msg> for TmActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: TimerTag) {
-        let txn = TxnId::new(tag);
-        let Some(timeout) = self.commit_timeout else {
-            return;
-        };
-        let Some(state) = self.active.get_mut(&txn) else {
-            return; // finished: watchdog lapses
-        };
-        let idle = ctx.now().duration_since(state.last_activity);
-        if idle < timeout {
-            // Progress since the watchdog was armed: check again later.
-            ctx.set_timer(timeout, tag);
-            return;
-        }
-        match &mut state.phase {
-            Phase::Committing(pvc) => {
-                let actions = match pvc.state() {
-                    // Votes missing: abort.
-                    crate::two_pvc::TwoPvcState::Voting => pvc.on_timeout(),
-                    // Acks missing: the decision (or its ack) was lost —
-                    // retransmit and keep waiting.
-                    crate::two_pvc::TwoPvcState::Deciding(_) => pvc.resend_decisions(),
-                    _ => Vec::new(),
-                };
-                self.apply_pvc_actions(ctx, txn, actions);
-            }
-            // Stalled during execution (lost query reply or 2PV reply, or
-            // a crashed participant): abort and release what was touched.
-            Phase::Executing | Phase::PreQueryValidation(_) => {
-                self.abort_in_execution(ctx, txn, AbortReason::Timeout);
-            }
-        }
-        // Keep the watchdog running while the transaction is unfinished
-        // (e.g. an abort decision still awaiting acknowledgments).
-        if self.active.contains_key(&txn) {
-            ctx.set_timer(timeout, tag);
-        }
+        self.drive(ctx, TxnId::new(tag), TmEvent::WatchdogFired);
     }
 
     fn on_crash(&mut self) {

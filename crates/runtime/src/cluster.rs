@@ -3,14 +3,14 @@
 use crate::fault::{ArmedPlan, CrashPoint, FaultPlan, FaultStats, MsgKind, Peer, Verdict};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
-    AbortReason, ConsistencyLevel, Msg, ProofScheme, ResourcePolicyMap, ServerCore, SharedCas,
-    SharedCatalog, TransactionView, TwoPvc, TwoPvcAction, TxnOutcome, ValidationAction,
-    ValidationConfig, ValidationOutcome, ValidationReply, ValidationRound, VersionMap,
+    reply_counts_as_dropped, AbortReason, ConsistencyLevel, Msg, ProofScheme, ResourcePolicyMap,
+    ServerCore, SharedCas, SharedCatalog, TmConfig, TmCore, TmEffect, TmEvent, TransactionView,
+    TxnOutcome, TxnTermination, ValidationReply, VersionMap,
 };
-use safetx_metrics::FaultCounters;
+use safetx_metrics::{FaultCounters, ProtocolMetrics};
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
 use safetx_store::Wal;
-use safetx_txn::{CommitVariant, CoordinatorRecord, QuerySpec, TransactionSpec, Vote};
+use safetx_txn::{CommitVariant, CoordinatorRecord, TransactionSpec, Vote};
 use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -364,6 +364,10 @@ impl Drop for WorkerPool {
 }
 
 /// The outcome of one executed transaction plus wall-clock timing.
+///
+/// Built from the core's [`TxnTermination`] — the same termination record
+/// the simulator reports as `TxnRecord` — so both runtimes derive their
+/// outcome, view, and cost counters from one shared type.
 #[derive(Debug, Clone)]
 pub struct ExecutionResult {
     /// Commit/abort and the protocol-time instant it was decided.
@@ -377,6 +381,9 @@ pub struct ExecutionResult {
     /// How many queries finished executing before the decision (wasted
     /// work on aborts; equals the query count on commits).
     pub queries_executed: usize,
+    /// Paper-model cost counters (Table I messages/proofs/rounds), counted
+    /// by the shared [`TmCore`] accounting.
+    pub metrics: ProtocolMetrics,
 }
 
 impl ExecutionResult {
@@ -384,6 +391,56 @@ impl ExecutionResult {
     #[must_use]
     pub fn is_commit(&self) -> bool {
         self.outcome.is_commit()
+    }
+
+    /// Builds the result from the core's termination record.
+    #[must_use]
+    pub fn from_termination(termination: TxnTermination, elapsed: std::time::Duration) -> Self {
+        ExecutionResult {
+            outcome: termination.outcome,
+            elapsed,
+            view: termination.view,
+            queries_executed: termination.queries_executed,
+            metrics: termination.metrics,
+        }
+    }
+}
+
+/// Converts a coordinator-channel input into the core event it carries.
+///
+/// `Err` means the input was stale or foreign; its payload is the
+/// [`reply_counts_as_dropped`] verdict for the unconverted message (the
+/// only thing the driver needs from it — returning the message itself
+/// would haul 200+ bytes through the error path).
+fn coordinator_event(txn: TxnId, from: &Addr, msg: Msg) -> Result<TmEvent, bool> {
+    let server = match from.endpoint {
+        Endpoint::Server(id) => Some(id),
+        Endpoint::Coordinator => None,
+    };
+    match (server, msg) {
+        (
+            _,
+            Msg::QueryDone {
+                txn: t,
+                query_index,
+                ok,
+                proof,
+                capability,
+            },
+        ) if t == txn => Ok(TmEvent::QueryDone {
+            query_index,
+            ok,
+            proof,
+            capability,
+        }),
+        (Some(from), Msg::ValidateReply { txn: t, reply }) if t == txn => {
+            Ok(TmEvent::ValidateReply { from, reply })
+        }
+        (Some(from), Msg::CommitReply { txn: t, reply }) if t == txn => {
+            Ok(TmEvent::CommitReply { from, reply })
+        }
+        (Some(from), Msg::Ack { txn: t }) if t == txn => Ok(TmEvent::Ack { from }),
+        (_, msg) => Err(reply_counts_as_dropped(&msg)),
     }
 }
 
@@ -805,12 +862,14 @@ impl Cluster {
         }
     }
 
-    /// Executes one transaction synchronously, driving the scheme's
-    /// pipeline and 2PVC from the calling thread. Thread-safe: concurrent
-    /// callers contend on the servers' lock managers exactly like
-    /// concurrent TMs.
+    /// Executes one transaction synchronously: a blocking receive loop
+    /// driving the shared sans-io [`TmCore`] state machine from the calling
+    /// thread. All scheme-pipeline and 2PVC logic lives in the core; this
+    /// driver only converts channel inputs into [`TmEvent`]s and performs
+    /// the returned [`TmEffect`]s (sends through the fault fabric, decision
+    /// log writes, inline master consults). Thread-safe: concurrent callers
+    /// contend on the servers' lock managers exactly like concurrent TMs.
     #[must_use]
-    #[allow(clippy::too_many_lines)]
     pub fn execute(&self, spec: &TransactionSpec, credentials: &[Credential]) -> ExecutionResult {
         let started = Instant::now();
         let (reply_tx, reply_rx) = unbounded::<Input>();
@@ -819,439 +878,101 @@ impl Cluster {
             tx: reply_tx,
         };
         let txn = spec.id;
-        let scheme = self.config.scheme;
-        let consistency = self.config.consistency;
         let reply_timeout = self.config.reply_timeout;
-
-        // One reply (or `None` after the configured deadline; with no
-        // deadline, `None` only if every sender is gone).
-        let recv_reply = || match reply_timeout {
-            None => reply_rx.recv().ok(),
-            Some(t) => reply_rx.recv_timeout(t).ok(),
-        };
-
-        // Build the shared message payloads once: every per-query ×
-        // per-server message below bumps a refcount instead of deep-cloning
-        // the credential list and query specs (under Continuous the
-        // per-transaction clone count is otherwise quadratic in queries).
-        let credentials: Arc<[Credential]> = credentials.into();
-        let queries: Vec<Arc<QuerySpec>> = spec.queries.iter().cloned().map(Arc::new).collect();
-
-        let mut touched: BTreeSet<ServerId> = BTreeSet::new();
-        let mut pinned: VersionMap = VersionMap::new();
-        let mut master_pinned: Option<(u64, Arc<VersionMap>)> = None;
-        let mut view = TransactionView::new();
-        let mut queries_executed = 0usize;
-
-        let abort = |this: &Cluster,
-                     touched: &BTreeSet<ServerId>,
-                     reason: AbortReason,
-                     view: TransactionView,
-                     queries_executed: usize| {
-            // Log the abort before telling anyone (recovery inquiries for
-            // this transaction must never be answered from a commit
-            // presumption). Untouched-cluster aborts leave no server state
-            // and need no record.
-            if !touched.is_empty() {
-                this.decision_log.lock().expect("decision log lock").force(
-                    CoordinatorRecord::Decision {
-                        txn,
-                        decision: safetx_txn::Decision::Abort,
-                    },
-                );
-            }
-            for &s in touched {
-                this.net.to_server(
-                    &me,
-                    s.index() as usize,
-                    Msg::Decision {
-                        txn,
-                        decision: safetx_txn::Decision::Abort,
-                    },
-                );
-            }
-            // Drain without blocking: expected acks plus any stale replies
-            // (the latter are what the dropped-replies counter tracks).
-            while let Ok(input) = reply_rx.try_recv() {
-                if !matches!(input, Input::Proto(_, Msg::Ack { .. })) {
-                    this.dropped_replies.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            ExecutionResult {
-                outcome: TxnOutcome::Aborted {
-                    at: this.now(),
-                    reason,
-                },
-                elapsed: started.elapsed(),
-                view,
-                queries_executed,
-            }
-        };
-
-        // ------------------------------------------------------- queries
-        for (index, query) in spec.queries.iter().enumerate() {
-            // Continuous: 2PV over the servers involved so far + this one.
-            if scheme.validates_before_each_query() {
-                let involved: BTreeSet<ServerId> = spec
-                    .queries
-                    .iter()
-                    .take(index + 1)
-                    .map(|q| q.server)
-                    .collect();
-                // Validation registers the transaction at servers that may
-                // never see a query; they too need the abort decision.
-                touched.extend(involved.iter().copied());
-                let mut validation =
-                    ValidationRound::new(involved, ValidationConfig::two_pv(consistency));
-                let mut pending = validation.start();
-                let outcome = loop {
-                    let mut resolved = None;
-                    let batch = std::mem::take(&mut pending);
-                    for action in batch {
-                        match action {
-                            ValidationAction::SendRequest(server) => {
-                                let new_query = (server == query.server)
-                                    .then(|| (index, Arc::clone(&queries[index])));
-                                self.net.to_server(
-                                    &me,
-                                    server.index() as usize,
-                                    Msg::PrepareToValidate {
-                                        txn,
-                                        new_query,
-                                        user: spec.user,
-                                        credentials: Arc::clone(&credentials),
-                                    },
-                                );
-                            }
-                            ValidationAction::SendUpdate(server, targets) => {
-                                self.net.to_server(
-                                    &me,
-                                    server.index() as usize,
-                                    Msg::Update {
-                                        txn,
-                                        targets,
-                                        in_commit: false,
-                                    },
-                                );
-                            }
-                            ValidationAction::QueryMaster => {
-                                // The catalog IS the master here; answer
-                                // inline from its epoch snapshot (no map
-                                // rebuild, no deep clone).
-                                pending.extend(
-                                    validation.on_master_versions(self.catalog.latest_snapshot().1),
-                                );
-                            }
-                            ValidationAction::Resolved(outcome) => resolved = Some(outcome),
-                        }
-                    }
-                    if let Some(outcome) = resolved {
-                        break outcome;
-                    }
-                    let Some(input) = recv_reply() else {
-                        self.net.note_timeout_abort();
-                        return abort(
-                            self,
-                            &touched,
-                            AbortReason::ServerUnavailable,
-                            view,
-                            queries_executed,
-                        );
-                    };
-                    match input {
-                        Input::Proto(from, Msg::ValidateReply { txn: t, mut reply })
-                            if t == txn =>
-                        {
-                            if let Endpoint::Server(sid) = from.endpoint {
-                                // The round's state machine only reads the
-                                // truth value and versions; move the proofs
-                                // into the audit view instead of cloning.
-                                for proof in std::mem::take(&mut reply.proofs) {
-                                    view.record(proof);
-                                }
-                                pending.extend(validation.on_reply(sid, reply));
-                            }
-                        }
-                        _ => {
-                            self.dropped_replies.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                };
-                if let ValidationOutcome::Abort(reason) = outcome {
-                    return abort(self, &touched, reason, view, queries_executed);
-                }
-            }
-
-            // Incremental / global: retrieve the master version per query.
-            // The consult is a generation check first: when no policy was
-            // published since the pin, the snapshot is unchanged by
-            // construction and the map comparison is skipped entirely.
-            if scheme.checks_versions_incrementally() && consistency == ConsistencyLevel::Global {
-                let (generation, latest) = self.catalog.latest_snapshot();
-                match &master_pinned {
-                    None => master_pinned = Some((generation, latest)),
-                    Some((pinned_gen, _)) if *pinned_gen == generation => {}
-                    Some((_, pin)) => {
-                        if **pin != *latest {
-                            return abort(
-                                self,
-                                &touched,
-                                AbortReason::VersionInconsistency,
-                                view,
-                                queries_executed,
-                            );
-                        }
-                        master_pinned = Some((generation, latest));
-                    }
-                }
-            }
-
-            // Execute the query's data operations (and per-scheme proof).
-            let evaluate_proof = scheme.evaluates_at_query() && scheme != ProofScheme::Continuous;
-            let pin_versions = if scheme.checks_versions_incrementally() {
-                match consistency {
-                    ConsistencyLevel::View => pinned.clone(),
-                    ConsistencyLevel::Global => master_pinned
-                        .as_ref()
-                        .map(|(_, pin)| (**pin).clone())
-                        .unwrap_or_default(),
-                }
-            } else {
-                VersionMap::new()
-            };
-
-            touched.insert(query.server);
-            self.net.to_server(
-                &me,
-                query.server.index() as usize,
-                Msg::ExecQuery {
-                    txn,
-                    query_index: index,
-                    query: Arc::clone(&queries[index]),
-                    user: spec.user,
-                    credentials: Arc::clone(&credentials),
-                    evaluate_proof,
-                    pin_versions,
-                    capabilities: Vec::new(),
-                },
-            );
-            // Await this query's completion.
-            let (ok, proof) = loop {
-                let Some(input) = recv_reply() else {
-                    self.net.note_timeout_abort();
-                    return abort(
-                        self,
-                        &touched,
-                        AbortReason::ServerUnavailable,
-                        view,
-                        queries_executed,
-                    );
-                };
-                match input {
-                    Input::Proto(
-                        _,
-                        Msg::QueryDone {
-                            txn: t,
-                            query_index: qi,
-                            ok,
-                            proof,
-                            capability: _,
-                        },
-                    ) if t == txn && qi == index => break (ok, proof),
-                    _ => {
-                        self.dropped_replies.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            };
-            if !ok {
-                return abort(
-                    self,
-                    &touched,
-                    AbortReason::LockConflict,
-                    view,
-                    queries_executed,
-                );
-            }
-            queries_executed += 1;
-            if let Some(proof) = proof {
-                // Read the fields the checks need, then move the proof into
-                // the audit view — no clone.
-                let policy_id = proof.policy_id;
-                let policy_version = proof.policy_version;
-                let truth = proof.truth();
-                view.record(proof);
-                if scheme.checks_versions_incrementally() {
-                    let expectation = match consistency {
-                        ConsistencyLevel::View => {
-                            Some(*pinned.entry(policy_id).or_insert(policy_version))
-                        }
-                        ConsistencyLevel::Global => master_pinned
-                            .as_ref()
-                            .and_then(|(_, pin)| pin.get(&policy_id).copied()),
-                    };
-                    if let Some(expected) = expectation {
-                        if policy_version != expected {
-                            return abort(
-                                self,
-                                &touched,
-                                AbortReason::VersionInconsistency,
-                                view,
-                                queries_executed,
-                            );
-                        }
-                    }
-                }
-                if !truth {
-                    return abort(
-                        self,
-                        &touched,
-                        AbortReason::ProofFalse,
-                        view,
-                        queries_executed,
-                    );
-                }
-            }
-        }
-
-        // -------------------------------------------------------- commit
-        let validate = scheme.validates_at_commit(consistency);
-        let mut pvc = TwoPvc::new(
-            txn,
-            spec.participants(),
-            consistency,
+        let config = TmConfig::new(
+            self.config.scheme,
+            self.config.consistency,
             self.config.variant,
-            validate,
         );
-        let mut pending = pvc.start();
-        // Reply-deadline bookkeeping: one decision retransmission before
-        // giving up on missing acks; voting-phase timeouts resolve through
-        // the protocol's own termination path (`TwoPvc::on_timeout`).
-        let mut resent = false;
-        let mut timed_out = false;
-        let decision = loop {
-            let mut done = None;
-            let mut decided = None;
-            let batch = std::mem::take(&mut pending);
-            for action in batch {
-                match action {
-                    TwoPvcAction::SendPrepareToCommit(server) => {
-                        let expected_queries: Vec<usize> = spec
-                            .queries
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, q)| q.server == server)
-                            .map(|(i, _)| i)
-                            .collect();
-                        self.net.to_server(
-                            &me,
-                            server.index() as usize,
-                            Msg::PrepareToCommit {
-                                txn,
-                                validate,
-                                expected_queries,
-                            },
-                        );
+        let mut core = TmCore::new(config, spec.clone(), credentials.to_vec(), self.now());
+        let mut termination: Option<TxnTermination> = None;
+        // Stale inputs this driver observed on the reply channel (the core
+        // tracks the ones it was fed itself).
+        let mut driver_dropped = 0u64;
+
+        let mut effects = core.start(self.now());
+        loop {
+            // Perform the batch. A master consult is answered only after the
+            // whole batch has flushed, so sends keep their protocol order.
+            let mut consult_master = false;
+            for effect in effects {
+                match effect {
+                    TmEffect::Send(server, msg) => {
+                        self.net.to_server(&me, server.index() as usize, msg);
                     }
-                    TwoPvcAction::SendUpdate(server, targets) => {
-                        self.net.to_server(
-                            &me,
-                            server.index() as usize,
-                            Msg::Update {
-                                txn,
-                                targets,
-                                in_commit: true,
-                            },
-                        );
-                    }
-                    TwoPvcAction::QueryMaster => {
-                        pending.extend(pvc.on_master_versions(self.catalog.latest_snapshot().1));
-                    }
-                    TwoPvcAction::SendDecision(server, decision) => {
-                        self.net.to_server(
-                            &me,
-                            server.index() as usize,
-                            Msg::Decision { txn, decision },
-                        );
-                    }
-                    TwoPvcAction::ForceLog(record) => {
+                    // The catalog IS the master here; answer inline from its
+                    // epoch snapshot (no map rebuild, no deep clone).
+                    TmEffect::QueryMaster => consult_master = true,
+                    TmEffect::ForceLog { record, .. } => {
                         self.decision_log
                             .lock()
                             .expect("decision log lock")
                             .force(record);
                     }
-                    TwoPvcAction::Log(record) => {
+                    TmEffect::Log(record) => {
                         self.decision_log
                             .lock()
                             .expect("decision log lock")
                             .append(record);
                     }
-                    TwoPvcAction::Decided(d) => decided = Some(d),
-                    TwoPvcAction::Completed => done = Some(()),
+                    // The reply deadline below is this driver's failure
+                    // detector; the idle watchdog is never configured.
+                    TmEffect::ArmTimer(_) | TmEffect::Decided(_) => {}
+                    TmEffect::Finished(t) => termination = Some(*t),
                 }
             }
-            if done.is_some() {
-                break decided
-                    .or(pvc.decision())
-                    .expect("completed implies decided");
+            if termination.is_some() {
+                break;
             }
-            match recv_reply() {
-                Some(Input::Proto(from, Msg::CommitReply { txn: t, mut reply })) if t == txn => {
-                    if let Endpoint::Server(sid) = from.endpoint {
-                        for proof in std::mem::take(&mut reply.proofs) {
-                            view.record(proof);
-                        }
-                        pending.extend(pvc.on_reply(sid, reply));
-                    }
-                }
-                Some(Input::Proto(from, Msg::Ack { txn: t })) if t == txn => {
-                    if let Endpoint::Server(sid) = from.endpoint {
-                        pending.extend(pvc.on_ack(sid));
-                    }
-                }
-                Some(_) => {
-                    self.dropped_replies.fetch_add(1, Ordering::Relaxed);
-                }
-                None => {
-                    if let Some(d) = pvc.decision() {
-                        // Decided but under-acknowledged. Retransmit once;
-                        // on a second silence complete anyway — a
-                        // participant that never hears the decision stays
-                        // in doubt until recovery inquires.
-                        if resent {
-                            break d;
-                        }
-                        resent = true;
-                        pending.extend(pvc.resend_decisions());
-                    } else {
-                        // Votes missing: the termination protocol aborts.
-                        timed_out = true;
-                        pending.extend(pvc.on_timeout());
-                    }
-                }
+            if consult_master {
+                let versions = self.catalog.latest_snapshot().1;
+                effects = core.step(self.now(), TmEvent::MasterVersions { versions });
+                continue;
             }
-        };
-
-        let outcome = if decision.is_commit() {
-            TxnOutcome::Committed { at: self.now() }
-        } else {
-            let reason = if timed_out {
-                self.net.note_timeout_abort();
-                AbortReason::ServerUnavailable
-            } else {
-                pvc.abort_reason()
-                    .unwrap_or(AbortReason::IntegrityViolation)
+            // One reply (or `None` after the configured deadline; with no
+            // deadline, `None` only if every sender is gone).
+            let input = match reply_timeout {
+                None => reply_rx.recv().ok(),
+                Some(t) => reply_rx.recv_timeout(t).ok(),
             };
-            TxnOutcome::Aborted {
-                at: self.now(),
-                reason,
-            }
-        };
-        ExecutionResult {
-            outcome,
-            elapsed: started.elapsed(),
-            view,
-            queries_executed,
+            let event = match input {
+                None => TmEvent::ReplyTimeout,
+                Some(Input::Proto(from, msg)) => match coordinator_event(txn, &from, msg) {
+                    Ok(event) => event,
+                    Err(counts_as_dropped) => {
+                        if counts_as_dropped {
+                            driver_dropped += 1;
+                        }
+                        effects = Vec::new();
+                        continue;
+                    }
+                },
+                // Only protocol traffic reaches a coordinator channel.
+                Some(_) => {
+                    effects = Vec::new();
+                    continue;
+                }
+            };
+            effects = core.step(self.now(), event);
         }
+
+        // Drain stale stragglers without blocking, under the same unified
+        // rule the core applies: acks never count, everything else does.
+        while let Ok(input) = reply_rx.try_recv() {
+            if let Input::Proto(_, msg) = input {
+                if reply_counts_as_dropped(&msg) {
+                    driver_dropped += 1;
+                }
+            }
+        }
+        self.dropped_replies
+            .fetch_add(driver_dropped + core.dropped_replies(), Ordering::Relaxed);
+
+        let termination = termination.expect("core emitted Finished");
+        if termination.outcome.abort_reason() == Some(AbortReason::ServerUnavailable) {
+            self.net.note_timeout_abort();
+        }
+        ExecutionResult::from_termination(termination, started.elapsed())
     }
 
     /// Stops all server threads and waits for them.

@@ -1,16 +1,25 @@
 //! Threaded in-process deployment of the safetx protocols.
 //!
 //! The protocol logic in `safetx-core` is sans-io: [`ServerCore`] consumes
-//! messages and returns messages, and [`TwoPvc`]/[`ValidationRound`] do the
-//! same for the TM side. This crate runs those exact state machines on real
-//! OS threads connected by crossbeam channels — one thread per cloud
-//! server, transactions driven synchronously by the calling thread — and
-//! measures wall-clock latencies instead of simulated time.
+//! messages and returns messages, and `safetx_core::TmCore` owns the whole
+//! coordinator lifecycle — scheme pipelines, version pinning, 2PV, 2PVC,
+//! forced logging, Table I accounting and both timeout paths — as a pure
+//! `step(now, TmEvent) -> Vec<TmEffect>` machine. This crate runs those
+//! exact state machines on real OS threads connected by crossbeam channels:
+//! one thread per cloud server, and [`Cluster::execute`] driving a `TmCore`
+//! synchronously from the calling thread, translating channel inputs into
+//! events and performing the returned effects (sends through the fault
+//! fabric, decision-log writes, inline master snapshot reads). The driver
+//! owns nothing protocol-shaped except its failure detector: the
+//! per-reply deadline (`ClusterConfig::reply_timeout`), whose firing the
+//! core maps to `AbortReason::ServerUnavailable`.
 //!
 //! The discrete-event simulator remains the *measurement* harness (it
 //! counts messages deterministically); this runtime demonstrates that the
 //! protocol cores are runtime-agnostic and exercises them under true
-//! concurrency, including lock contention between parallel callers.
+//! concurrency, including lock contention between parallel callers. Because
+//! both runtimes drive the same core, `tests/differential.rs` holds them to
+//! identical outcomes, counters and proof views on identical inputs.
 //!
 //! # Examples
 //!

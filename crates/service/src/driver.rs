@@ -88,7 +88,7 @@ where
 }
 
 /// Runs an open-loop driver: submits at the offsets yielded by `arrivals`
-/// (e.g. [`safetx_workload::PoissonArrivals`]) without waiting for
+/// (e.g. `safetx_workload::PoissonArrivals`) without waiting for
 /// completions, using non-blocking submission so overload is shed rather
 /// than queued unboundedly. Consumes at most `count` arrivals, then waits
 /// for every admitted transaction to complete.
