@@ -20,6 +20,12 @@
 //! Outcome totals (submissions / commits / terminal aborts / exhausted
 //! retries) are deterministic under the fixed seed and must be identical
 //! across the pair; wall-clock throughput is the measured quantity.
+//!
+//! The `batching` section sweeps the server-round batch limit
+//! (`server_batch` 1 vs 16) with and without a simulated 100 µs physical
+//! WAL-sync cost: outcome totals must be identical across the sweep, while
+//! `physical_syncs` drops below `forced_logs` under batching and the
+//! synced cells show the group-commit throughput win.
 
 use safetx_core::{ConsistencyLevel, ProofScheme};
 use safetx_metrics::Json;
@@ -38,11 +44,17 @@ const ITEMS_PER_SERVER: u64 = 64;
 const DENY_EVERY: u64 = 8;
 const SEED: u64 = 42;
 
-fn build_cluster(proof_cache: bool) -> Arc<Cluster> {
+fn build_cluster(
+    proof_cache: bool,
+    server_batch: usize,
+    wal_sync_cost: Option<std::time::Duration>,
+) -> Arc<Cluster> {
     let cluster = Cluster::new(ClusterConfig {
         servers: SERVERS,
         scheme: ProofScheme::Continuous,
         consistency: ConsistencyLevel::Global,
+        server_batch: Some(server_batch),
+        wal_sync_cost,
         ..Default::default()
     });
     let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
@@ -107,8 +119,9 @@ fn spec_for(cluster: &Cluster, global_index: u64) -> TransactionSpec {
     TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
 }
 
-fn run_cell(proof_cache: bool) -> Json {
-    let cluster = build_cluster(proof_cache);
+fn run_cell(proof_cache: bool, server_batch: usize, sync_cost_us: u64) -> Json {
+    let wal_sync_cost = (sync_cost_us > 0).then(|| std::time::Duration::from_micros(sync_cost_us));
+    let cluster = build_cluster(proof_cache, server_batch, wal_sync_cost);
     let service = TxnService::new(
         cluster.clone(),
         ServiceConfig {
@@ -139,6 +152,8 @@ fn run_cell(proof_cache: bool) -> Json {
     let throughput = stats.throughput_tps(report.wall);
     Json::object()
         .with("proof_cache", proof_cache)
+        .with("server_batch", server_batch)
+        .with("wal_sync_cost_us", sync_cost_us)
         .with("scheme", "Continuous")
         .with("consistency", "global")
         .with("servers", SERVERS)
@@ -152,20 +167,30 @@ fn run_cell(proof_cache: bool) -> Json {
         .with("terminal_aborts", stats.terminal_aborts)
         .with("retries_exhausted", stats.retries_exhausted)
         .with("overload_rejections", stats.overload_rejections)
+        .with("forced_logs", stats.wal.forced_logs)
+        .with("physical_syncs", stats.wal.physical_syncs)
 }
 
 fn main() {
     let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
     // Warm-up pass so thread spawn and allocator effects do not land in
     // the measured cells.
-    let _ = run_cell(true);
+    let _ = run_cell(true, 1, 0);
     let doc = Json::object()
         .with("label", label)
         .with(
             "workers_env",
             std::env::var("SAFETX_SERVER_WORKERS").unwrap_or_default(),
         )
-        .with("cache_on", run_cell(true))
-        .with("cache_off", run_cell(false));
+        .with("cache_on", run_cell(true, 1, 0))
+        .with("cache_off", run_cell(false, 1, 0))
+        .with(
+            "batching",
+            Json::object()
+                .with("batch_1", run_cell(true, 1, 0))
+                .with("batch_16", run_cell(true, 16, 0))
+                .with("batch_1_synced", run_cell(true, 1, 100))
+                .with("batch_16_synced", run_cell(true, 16, 100)),
+        );
     println!("{}", doc.render());
 }

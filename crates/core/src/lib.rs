@@ -63,7 +63,7 @@ pub use messages::Msg;
 pub use outcome::{AbortReason, TxnOutcome};
 pub use scheme::ProofScheme;
 pub use server::{
-    CloudServerActor, DataPlane, EvalSnapshot, ServerCore, ServerCounters, SharedCas,
+    BatchEval, CloudServerActor, DataPlane, EvalSnapshot, ServerCore, ServerCounters, SharedCas,
 };
 pub use tm::TmActor;
 pub use tm::TxnRecord;

@@ -179,6 +179,13 @@ pub enum Msg {
         policy: safetx_policy::Policy,
     },
 
+    /// A coalesced envelope: several protocol messages for the same
+    /// destination delivered in one channel send (the threaded runtime's
+    /// reply coalescing under server-round batching). Semantically
+    /// identical to sending the inner messages in order; receivers flatten
+    /// it before normal processing. Never nested.
+    Batch(Vec<Msg>),
+
     /// Recovering participant → TM: what happened to this transaction?
     Inquiry {
         /// The in-doubt transaction.

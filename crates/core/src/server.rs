@@ -119,8 +119,12 @@ pub struct ServerCounters {
     /// Proof evaluations performed (cache hits included: a hit still *is*
     /// a proof evaluation in the paper's cost model).
     pub proofs: u64,
-    /// Forced log writes performed.
+    /// Forced log writes performed (logical — the paper's metric, never
+    /// changed by group commit).
     pub forced_logs: u64,
+    /// Physical WAL syncs performed (≤ `forced_logs`; wall-clock effect
+    /// only, like the cache stats).
+    pub physical_syncs: u64,
     /// Proof-cache instrumentation (wall-clock effect only).
     pub proof_cache: safetx_metrics::ProofCacheStats,
 }
@@ -251,6 +255,11 @@ pub struct DataPlane {
     cache_enabled: AtomicBool,
     /// Proof evaluations performed (cache hits included).
     proofs: AtomicU64,
+    /// Full engine evaluations: cache misses that actually ran the
+    /// credential checks and the inference engine. Excludes cache hits and
+    /// within-batch dedup reuse — the regression guard for the
+    /// redundant-evaluation fix (see [`BatchEval`]).
+    engine_evals: AtomicU64,
 }
 
 impl std::fmt::Debug for DataPlane {
@@ -277,7 +286,17 @@ impl DataPlane {
             proof_cache: Mutex::new(ProofCache::default()),
             cache_enabled: AtomicBool::new(true),
             proofs: AtomicU64::new(0),
+            engine_evals: AtomicU64::new(0),
         }
+    }
+
+    /// Full engine evaluations performed so far (cache misses that ran the
+    /// credential checks and the engine; cache hits and within-batch dedup
+    /// reuse excluded). Instrumentation only — the paper's proof count is
+    /// [`ServerCounters::proofs`].
+    #[must_use]
+    pub fn engine_evaluations(&self) -> u64 {
+        self.engine_evals.load(Ordering::Relaxed)
     }
 
     /// This server's id.
@@ -397,10 +416,13 @@ impl DataPlane {
     /// [`ServerCounters::proofs`] — the paper's Table I cost model is about
     /// *how many* proofs each scheme demands, not how fast one is computed.
     ///
-    /// The cache lock is **not** held across the engine run: concurrent
-    /// misses on the same key evaluate redundantly (benign — same answer),
-    /// and a flush that lands mid-evaluation is detected via the cache's
-    /// flush sequence, discarding the stale insert.
+    /// The cache lock is **not** held across the engine run: a flush that
+    /// lands mid-evaluation is detected via the cache's flush sequence,
+    /// discarding the stale insert. Concurrent misses on the same key from
+    /// *different* rounds still evaluate redundantly (benign — same
+    /// answer); misses within one server round are deduplicated by
+    /// [`BatchEval`], which evaluates each distinct key once and serves the
+    /// rest of the round from its result.
     pub fn evaluate_one(
         &self,
         now: Timestamp,
@@ -457,6 +479,7 @@ impl DataPlane {
         let request = AccessRequest::new(user, query.action.clone(), query.resource.clone());
         let proof = match self.catalog.fetch_shared(policy_id, version) {
             Ok(policy) => {
+                self.engine_evals.fetch_add(1, Ordering::Relaxed);
                 let proof = {
                     let ambient = self.ambient.read().expect("ambient lock poisoned");
                     let pctx = ProofContext {
@@ -538,6 +561,42 @@ impl DataPlane {
         (truth, versions, proofs)
     }
 
+    /// Opens a batched-evaluation context for one server round: all proofs
+    /// evaluated through it share one catalog fetch per `(policy, version)`,
+    /// one credential check + rule saturation per `(policy, version,
+    /// credential list)`, and identical requests are evaluated exactly once
+    /// (the within-round dedup that fixes the redundant-evaluation race).
+    ///
+    /// Every evaluation in the batch happens at the single instant `now` —
+    /// the round's evaluation time.
+    #[must_use]
+    pub fn begin_batch(&self, now: Timestamp) -> BatchEval<'_> {
+        BatchEval {
+            data: self,
+            now,
+            policies: HashMap::new(),
+            saturations: HashMap::new(),
+            computed: HashMap::new(),
+        }
+    }
+
+    /// Evaluates a whole round of transaction snapshots through one
+    /// [`BatchEval`] context. Outcome-equivalent to calling
+    /// [`DataPlane::evaluate_snapshot`] per snapshot, but policy fetches,
+    /// credential checks and saturations are shared across the batch.
+    #[must_use]
+    pub fn evaluate_batch(
+        &self,
+        now: Timestamp,
+        snapshots: &[EvalSnapshot],
+    ) -> Vec<(bool, VersionMap, Vec<ProofOfAuthorization>)> {
+        let mut batch = self.begin_batch(now);
+        snapshots
+            .iter()
+            .map(|snapshot| batch.evaluate_snapshot(snapshot))
+            .collect()
+    }
+
     /// The earliest instant after `now` at which any of `credentials` can
     /// change status *without* a CA mutation (which would bump the epoch):
     /// a validity window opening or closing, or an already-recorded
@@ -594,6 +653,216 @@ impl DataPlane {
             credentials: vec![],
             outcome: ProofOutcome::Granted,
         }
+    }
+}
+
+/// Shared evaluation state for one `(policy, version, credential list)`
+/// group within a batch.
+enum SaturationEntry {
+    /// Valid wallet: the fact base saturated under the policy's rules,
+    /// ready for per-goal lookups.
+    Saturated(FactBase),
+    /// Every query under this key short-circuits with this outcome — an
+    /// invalid/revoked credential, or a blown derivation budget (mapped to
+    /// `NotDerivable`, exactly as the unbatched path does).
+    Fixed(ProofOutcome),
+}
+
+/// Batched proof evaluation over one server round.
+///
+/// Mirrors [`DataPlane::evaluate_one`] decision for decision — same policy
+/// resolution, same cache lookups and flush-token-guarded inserts, same
+/// counters — but amortizes the expensive middle across the batch:
+///
+/// * **one catalog fetch** per `(policy, version)`;
+/// * **one credential check + rule saturation** per `(policy, version,
+///   credential list)` — every query presenting the same wallet under the
+///   same policy probes one shared saturated [`FactBase`] instead of
+///   cloning the ambient facts and re-running the fixpoint;
+/// * **one full evaluation** per distinct request: identical cache-miss
+///   keys within the batch reuse the first evaluation's outcome (counted
+///   as cache hits when the cache is enabled), closing the window in which
+///   concurrent misses on one key redundantly re-evaluated.
+///
+/// Dropped at the end of the round; nothing here outlives the batch except
+/// what the regular proof cache retains.
+pub struct BatchEval<'a> {
+    data: &'a DataPlane,
+    now: Timestamp,
+    /// One catalog fetch per (policy, version); `None` caches a missing
+    /// version (denied, never inserted into the proof cache — same as the
+    /// unbatched path).
+    policies: HashMap<(safetx_types::PolicyId, PolicyVersion), Option<Arc<safetx_policy::Policy>>>,
+    /// One credential check + saturation per (policy, version, wallet).
+    saturations:
+        HashMap<(safetx_types::PolicyId, PolicyVersion, Vec<CredentialId>), SaturationEntry>,
+    /// Within-batch dedup: outcome of every distinct request evaluated so
+    /// far this round.
+    computed: HashMap<ProofCacheKey, ProofOutcome>,
+}
+
+impl BatchEval<'_> {
+    /// Evaluates one proof through the batch context. Outcome-identical to
+    /// [`DataPlane::evaluate_one`] at the same instant and cache state.
+    pub fn evaluate_one(
+        &mut self,
+        user: UserId,
+        credentials: &[Credential],
+        query: &QuerySpec,
+    ) -> ProofOfAuthorization {
+        let data = self.data;
+        let now = self.now;
+        let policy_id = data
+            .resource_map
+            .read()
+            .expect("resource map lock poisoned")
+            .policy_for(&query.resource)
+            .unwrap_or_else(|| panic!("resource `{}` bound to no policy", query.resource));
+        let version = data
+            .installed
+            .read()
+            .expect("installed lock poisoned")
+            .get(&policy_id)
+            .copied()
+            .unwrap_or(PolicyVersion::INITIAL);
+        let credential_ids: Vec<CredentialId> = credentials.iter().map(Credential::id).collect();
+        // The key is built even with the cache disabled: within-batch dedup
+        // needs it (the unbatched path skips it then, but has no dedup).
+        let key = ProofCacheKey {
+            policy: policy_id,
+            version,
+            user,
+            credentials: credential_ids.clone(),
+            action: query.action.clone(),
+            resource: query.resource.clone(),
+        };
+        let finish = |outcome: ProofOutcome| {
+            data.proofs.fetch_add(1, Ordering::Relaxed);
+            ProofOfAuthorization {
+                request: AccessRequest::new(user, query.action.clone(), query.resource.clone()),
+                server: data.id,
+                policy_id,
+                policy_version: version,
+                evaluated_at: now,
+                credentials: credential_ids.clone(),
+                outcome,
+            }
+        };
+        let cache_enabled = data.cache_enabled.load(Ordering::Acquire);
+        // Within-batch dedup first: an identical request already evaluated
+        // this round reuses its outcome. Counted as a cache hit (a reuse is
+        // a wall-clock saving, and the paper's proof count still advances).
+        if let Some(outcome) = self.computed.get(&key) {
+            if cache_enabled {
+                data.proof_cache
+                    .lock()
+                    .expect("proof cache poisoned")
+                    .stats
+                    .hits += 1;
+            }
+            return finish(outcome.clone());
+        }
+        let lookup = if cache_enabled {
+            let (cached, flush_token) = {
+                let mut cache = data.proof_cache.lock().expect("proof cache poisoned");
+                cache.sync_epoch(data.cas.epoch());
+                (cache.get(&key, now), cache.flush_seq)
+            };
+            if let Some(outcome) = cached {
+                return finish(outcome);
+            }
+            Some(flush_token)
+        } else {
+            None
+        };
+        // One catalog fetch per (policy, version) for the whole batch.
+        let policy = self
+            .policies
+            .entry((policy_id, version))
+            .or_insert_with(|| data.catalog.fetch_shared(policy_id, version).ok())
+            .clone();
+        let Some(policy) = policy else {
+            // Missing catalog version: denied, never cached and never
+            // recorded for dedup — it can appear at any later instant
+            // without an invalidation signal (same as the unbatched path).
+            return finish(ProofOutcome::NotDerivable);
+        };
+        // One credential check + saturation per (policy, version, wallet).
+        let entry = self
+            .saturations
+            .entry((policy_id, version, credential_ids.clone()))
+            .or_insert_with(|| {
+                let ambient = data.ambient.read().expect("ambient lock poisoned");
+                match safetx_policy::credential_fact_base(&data.cas, &ambient, credentials, now) {
+                    Ok(safetx_policy::CredentialCheck::Valid(facts)) => {
+                        match data.engine.saturate(policy.rules().as_slice(), &facts) {
+                            Ok(saturated) => SaturationEntry::Saturated(saturated),
+                            Err(_) => SaturationEntry::Fixed(ProofOutcome::NotDerivable),
+                        }
+                    }
+                    Ok(safetx_policy::CredentialCheck::Refused(outcome)) => {
+                        SaturationEntry::Fixed(outcome)
+                    }
+                    Err(_) => SaturationEntry::Fixed(ProofOutcome::NotDerivable),
+                }
+            });
+        let outcome = match entry {
+            SaturationEntry::Saturated(saturated) => {
+                let goal =
+                    AccessRequest::new(user, query.action.clone(), query.resource.clone()).goal();
+                if Engine::holds(saturated, &goal) {
+                    ProofOutcome::Granted
+                } else {
+                    ProofOutcome::NotDerivable
+                }
+            }
+            SaturationEntry::Fixed(outcome) => outcome.clone(),
+        };
+        data.engine_evals.fetch_add(1, Ordering::Relaxed);
+        self.computed.insert(key.clone(), outcome.clone());
+        if let Some(flush_token) = lookup {
+            let valid_until = data.validity_horizon(now, credentials);
+            if now < valid_until {
+                let mut cache = data.proof_cache.lock().expect("proof cache poisoned");
+                // Same guard as the unbatched path: skip the insert when
+                // the cache was flushed (or the revocation epoch moved)
+                // while we evaluated.
+                if !cache.disabled
+                    && cache.flush_seq == flush_token
+                    && cache.epoch == data.cas.epoch()
+                {
+                    cache.entries.insert(
+                        key,
+                        CachedProof {
+                            outcome: outcome.clone(),
+                            valid_from: now,
+                            valid_until,
+                        },
+                    );
+                }
+            }
+        }
+        finish(outcome)
+    }
+
+    /// (Re-)evaluates proofs for a snapshot of a transaction's queries
+    /// through the batch context. Returns `(truth, versions, proofs)` —
+    /// the body of a 2PV reply.
+    #[must_use]
+    pub fn evaluate_snapshot(
+        &mut self,
+        snapshot: &EvalSnapshot,
+    ) -> (bool, VersionMap, Vec<ProofOfAuthorization>) {
+        let mut truth = true;
+        let mut versions = VersionMap::new();
+        let mut proofs = Vec::new();
+        for (_, query) in &snapshot.queries {
+            let proof = self.evaluate_one(snapshot.user, &snapshot.credentials, query);
+            truth &= proof.truth();
+            versions.insert(proof.policy_id, proof.policy_version);
+            proofs.push(proof);
+        }
+        (truth, versions, proofs)
     }
 }
 
@@ -756,8 +1025,38 @@ impl<A: Clone> ServerCore<A> {
         ServerCounters {
             proofs: self.data.proofs.load(Ordering::Relaxed),
             forced_logs: self.forced_logs,
+            physical_syncs: self.wal.physical_sync_count(),
             proof_cache: self.data.proof_cache_stats(),
         }
+    }
+
+    /// WAL force accounting: the paper's logical forces next to the
+    /// physical syncs group commit amortized them into.
+    #[must_use]
+    pub fn wal_stats(&self) -> safetx_metrics::WalStats {
+        safetx_metrics::WalStats {
+            forced_logs: self.wal.forced_count(),
+            physical_syncs: self.wal.physical_sync_count(),
+        }
+    }
+
+    /// Opens a WAL group-commit window: every force issued by handlers
+    /// until [`ServerCore::end_wal_group`] shares one physical sync. The
+    /// logical force count — the paper's metric — is unaffected.
+    pub fn begin_wal_group(&mut self) {
+        self.wal.begin_group();
+    }
+
+    /// Closes the WAL group-commit window, performing the round's single
+    /// physical sync. Must be called before any reply that depends on a
+    /// force in the window (votes, decision acks) is released.
+    pub fn end_wal_group(&mut self) {
+        self.wal.end_group();
+    }
+
+    /// Sets the modeled device latency of one physical WAL sync.
+    pub fn set_wal_sync_cost(&mut self, cost: std::time::Duration) {
+        self.wal.set_sync_cost(cost);
     }
 
     /// Number of transactions with live state here.
@@ -1215,6 +1514,15 @@ impl<A: Clone> ServerCore<A> {
                     state.participant.on_decision(decision)
                 };
                 self.apply_participant_outputs(now, txn, outputs, None, from, &mut out);
+            }
+
+            // A coalesced envelope is the inner messages in order. The
+            // threaded runtime only coalesces server → TM replies, so a
+            // server normally never sees one; handled for completeness.
+            Msg::Batch(msgs) => {
+                for inner in msgs {
+                    out.extend(self.handle(now, from.clone(), inner));
+                }
             }
 
             _ => {}
@@ -1917,6 +2225,106 @@ mod tests {
             counters.proof_cache,
             safetx_metrics::ProofCacheStats::default()
         );
+    }
+
+    fn eval_query(action: &str) -> Arc<QuerySpec> {
+        Arc::new(QuerySpec::new(
+            ServerId::new(0),
+            action,
+            "records",
+            vec![Operation::Read(DataItemId::new(0))],
+        ))
+    }
+
+    #[test]
+    fn batch_dedups_identical_requests_within_a_round() {
+        // Regression for the documented redundant-evaluation race: before
+        // batching, N concurrent misses on one key all ran the engine.
+        let fx = fixture();
+        let data = fx.core.data_plane();
+        let query = eval_query("write");
+        let creds = [fx.credential.clone()];
+        let mut batch = data.begin_batch(Timestamp::from_millis(1));
+        let proofs: Vec<_> = (0..4)
+            .map(|_| batch.evaluate_one(UserId::new(1), &creds, &query))
+            .collect();
+        drop(batch);
+        assert!(proofs
+            .iter()
+            .all(safetx_policy::ProofOfAuthorization::truth));
+        assert_eq!(
+            data.engine_evaluations(),
+            1,
+            "identical requests in one round must evaluate once"
+        );
+        let counters = fx.core.counters();
+        assert_eq!(counters.proofs, 4, "Table I accounting unchanged");
+        assert_eq!(counters.proof_cache.misses, 1);
+        assert_eq!(counters.proof_cache.hits, 3, "dedup reuse counts as hits");
+    }
+
+    #[test]
+    fn batch_dedups_even_with_the_cache_disabled() {
+        let mut fx = fixture();
+        fx.core.set_proof_cache(false);
+        let data = fx.core.data_plane();
+        let query = eval_query("write");
+        let creds = [fx.credential.clone()];
+        let mut batch = data.begin_batch(Timestamp::from_millis(1));
+        for _ in 0..3 {
+            assert!(batch.evaluate_one(UserId::new(1), &creds, &query).truth());
+        }
+        drop(batch);
+        assert_eq!(data.engine_evaluations(), 1);
+        let counters = fx.core.counters();
+        assert_eq!(counters.proofs, 3);
+        assert_eq!(
+            counters.proof_cache,
+            safetx_metrics::ProofCacheStats::default(),
+            "disabled cache stays inert under batching too"
+        );
+    }
+
+    #[test]
+    fn batch_outcomes_match_unbatched_evaluation() {
+        // Same data plane, cache off so both paths do full evaluations:
+        // the batch must reproduce the unbatched proofs field for field.
+        let mut fx = fixture();
+        fx.core.set_proof_cache(false);
+        let data = fx.core.data_plane();
+        let creds = [fx.credential.clone()];
+        let queries = [eval_query("write"), eval_query("read"), eval_query("drop")];
+        let now = Timestamp::from_millis(1);
+        let unbatched: Vec<_> = queries
+            .iter()
+            .map(|q| data.evaluate_one(now, UserId::new(1), &creds, q))
+            .collect();
+        let mut batch = data.begin_batch(now);
+        let batched: Vec<_> = queries
+            .iter()
+            .map(|q| batch.evaluate_one(UserId::new(1), &creds, q))
+            .collect();
+        drop(batch);
+        assert_eq!(batched, unbatched);
+        assert!(batched[0].truth() && batched[1].truth());
+        assert!(
+            !batched[2].truth(),
+            "underivable action denied in batch too"
+        );
+    }
+
+    #[test]
+    fn batch_snapshot_evaluation_matches_per_snapshot_path() {
+        let mut fx = fixture();
+        let txn = TxnId::new(1);
+        exec_query(&mut fx, txn, false);
+        let snapshot = fx.core.snapshot_txn(txn).expect("registered");
+        let data = fx.core.data_plane();
+        let now = Timestamp::from_millis(2);
+        let single = data.evaluate_snapshot(now, &snapshot);
+        let batched = data.evaluate_batch(now, std::slice::from_ref(&snapshot));
+        assert_eq!(batched.len(), 1);
+        assert_eq!(batched[0], single);
     }
 
     #[test]

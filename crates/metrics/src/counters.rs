@@ -319,6 +319,85 @@ impl std::iter::Sum for FaultCounters {
     }
 }
 
+/// Write-ahead-log force accounting, split into the paper's logical metric
+/// and the physical syncs group commit amortizes them into.
+///
+/// `forced_logs` is Table I's `2n + 1` log complexity and is byte-identical
+/// whether or not group commit is active; `physical_syncs` is a wall-clock
+/// counter (like [`ProofCacheStats`]) showing how many device syncs those
+/// forces actually cost. `physical_syncs ≤ forced_logs` always; strictly
+/// smaller when any server round coalesced two or more forces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalStats {
+    /// Logical forced log writes (the paper's log-complexity metric).
+    pub forced_logs: u64,
+    /// Physical device syncs performed for those forces.
+    pub physical_syncs: u64,
+}
+
+impl WalStats {
+    /// All-zero stats.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &WalStats) {
+        self.forced_logs += other.forced_logs;
+        self.physical_syncs += other.physical_syncs;
+    }
+
+    /// Logical forces amortized away: `forced_logs − physical_syncs`.
+    #[must_use]
+    pub fn syncs_saved(&self) -> u64 {
+        self.forced_logs.saturating_sub(self.physical_syncs)
+    }
+
+    /// Machine-readable form for `BENCH_*.json` emitters.
+    #[must_use]
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::object()
+            .with("forced_logs", self.forced_logs)
+            .with("physical_syncs", self.physical_syncs)
+    }
+
+    /// Rebuilds stats from [`WalStats::to_json`] output.
+    #[must_use]
+    pub fn from_json(json: &crate::Json) -> Option<Self> {
+        let field = |name: &str| json.get(name).and_then(crate::Json::as_u64);
+        Some(WalStats {
+            forced_logs: field("forced_logs")?,
+            physical_syncs: field("physical_syncs")?,
+        })
+    }
+}
+
+impl fmt::Display for WalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "forced_logs={} physical_syncs={}",
+            self.forced_logs, self.physical_syncs
+        )
+    }
+}
+
+impl std::ops::Add for WalStats {
+    type Output = WalStats;
+
+    fn add(mut self, rhs: WalStats) -> WalStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for WalStats {
+    fn sum<I: Iterator<Item = WalStats>>(iter: I) -> WalStats {
+        iter.fold(WalStats::new(), |acc, s| acc + s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +516,22 @@ mod tests {
         assert_eq!(total.hits, 8);
         assert_eq!(total.misses, 4);
         assert_eq!(total.invalidations, 4);
+    }
+
+    #[test]
+    fn wal_stats_merge_json_and_savings() {
+        let total: WalStats = (0..3)
+            .map(|_| WalStats {
+                forced_logs: 7,
+                physical_syncs: 2,
+            })
+            .sum();
+        assert_eq!(total.forced_logs, 21);
+        assert_eq!(total.physical_syncs, 6);
+        assert_eq!(total.syncs_saved(), 15);
+        let parsed = crate::Json::parse(&total.to_json().render()).expect("valid json");
+        assert_eq!(WalStats::from_json(&parsed), Some(total));
+        assert_eq!(WalStats::from_json(&crate::Json::Null), None);
+        assert_eq!(total.to_string(), "forced_logs=21 physical_syncs=6");
     }
 }

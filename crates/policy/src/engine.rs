@@ -303,6 +303,15 @@ impl Engine {
         Ok(Self::goal_holds(&entry.saturated, goal))
     }
 
+    /// Goal lookup against an **already saturated** base — the cheap half
+    /// of [`Engine::prove`] for callers that hold a saturation computed
+    /// once (e.g. [`Engine::saturate`] shared across a batch of proofs) and
+    /// probe it with many goals.
+    #[must_use]
+    pub fn holds(saturated: &FactBase, goal: &Atom) -> bool {
+        Self::goal_holds(saturated, goal)
+    }
+
     /// Goal lookup against a saturated base.
     fn goal_holds(saturated: &FactBase, goal: &Atom) -> bool {
         if goal.is_ground() {

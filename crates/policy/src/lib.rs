@@ -52,5 +52,8 @@ pub use engine::{Engine, FactBase};
 pub use error::PolicyError;
 pub use fact::{Atom, Bindings, Constant, Term};
 pub use policy::{Policy, PolicyBuilder, PolicyStore, RuleSet};
-pub use proof::{evaluate_proof, AccessRequest, ProofContext, ProofOfAuthorization, ProofOutcome};
+pub use proof::{
+    credential_fact_base, evaluate_proof, AccessRequest, CredentialCheck, ProofContext,
+    ProofOfAuthorization, ProofOutcome,
+};
 pub use rule::Rule;

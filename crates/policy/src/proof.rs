@@ -195,46 +195,81 @@ pub fn evaluate_proof(
         outcome: ProofOutcome::NotDerivable,
     };
 
-    let mut facts = ctx.ambient_facts.clone();
+    match credential_fact_base(ctx.oracle, ctx.ambient_facts, credentials, at)? {
+        CredentialCheck::Refused(outcome) => {
+            proof.outcome = outcome;
+            Ok(proof)
+        }
+        CredentialCheck::Valid(facts) => {
+            let goal = request.goal();
+            let derivable = ctx
+                .engine
+                .prove(ctx.policy.rules().as_slice(), &facts, &goal)?;
+            proof.outcome = if derivable {
+                ProofOutcome::Granted
+            } else {
+                ProofOutcome::NotDerivable
+            };
+            Ok(proof)
+        }
+    }
+}
+
+/// The credential-check half of [`evaluate_proof`], factored out so batch
+/// evaluation can run it once per credential list and share the resulting
+/// fact base across every query that presents the same wallet.
+#[derive(Debug, Clone)]
+pub enum CredentialCheck {
+    /// All credentials passed: the ambient facts extended with each
+    /// credential's statement, ready to saturate under a policy's rules.
+    Valid(FactBase),
+    /// Evaluation short-circuits with this false outcome (the first
+    /// invalid, revoked, or status-unknown credential, in presentation
+    /// order — exactly [`evaluate_proof`]'s behaviour).
+    Refused(ProofOutcome),
+}
+
+/// Runs the syntactic and semantic (online status) checks on `credentials`
+/// in presentation order and builds the fact base their statements extend
+/// `ambient` with. Policy-independent: the result can be saturated under
+/// any policy's rules.
+///
+/// # Errors
+///
+/// Propagates fact-insertion failures (non-ground credential statements).
+pub fn credential_fact_base(
+    oracle: &dyn StatusOracle,
+    ambient: &FactBase,
+    credentials: &[Credential],
+    at: Timestamp,
+) -> Result<CredentialCheck, PolicyError> {
+    let mut facts = ambient.clone();
     for cred in credentials {
-        let syntactic = ctx.oracle.verify(cred, at);
+        let syntactic = oracle.verify(cred, at);
         if !syntactic.is_valid() {
-            proof.outcome = ProofOutcome::InvalidCredential {
+            return Ok(CredentialCheck::Refused(ProofOutcome::InvalidCredential {
                 credential: cred.id(),
                 detail: syntactic.to_string(),
-            };
-            return Ok(proof);
+            }));
         }
-        match ctx.oracle.status(cred.id(), at) {
+        match oracle.status(cred.id(), at) {
             CredentialStatus::Good => {}
             CredentialStatus::Revoked(revoked_at) => {
-                proof.outcome = ProofOutcome::RevokedCredential {
+                return Ok(CredentialCheck::Refused(ProofOutcome::RevokedCredential {
                     credential: cred.id(),
                     revoked_at,
-                };
-                return Ok(proof);
+                }));
             }
             CredentialStatus::Unknown => {
-                proof.outcome = ProofOutcome::InvalidCredential {
+                return Ok(CredentialCheck::Refused(ProofOutcome::InvalidCredential {
                     credential: cred.id(),
                     detail: "no online status available".into(),
-                };
-                return Ok(proof);
+                }));
             }
         }
         facts.insert(cred.statement().clone())?;
     }
-
-    let goal = request.goal();
-    let derivable = ctx
-        .engine
-        .prove(ctx.policy.rules().as_slice(), &facts, &goal)?;
-    proof.outcome = if derivable {
-        ProofOutcome::Granted
-    } else {
-        ProofOutcome::NotDerivable
-    };
-    Ok(proof)
+    Ok(CredentialCheck::Valid(facts))
 }
 
 #[cfg(test)]

@@ -3,15 +3,15 @@
 use crate::fault::{ArmedPlan, CrashPoint, FaultPlan, FaultStats, MsgKind, Peer, Verdict};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
-    reply_counts_as_dropped, AbortReason, ConsistencyLevel, Msg, ProofScheme, ResourcePolicyMap,
-    ServerCore, SharedCas, SharedCatalog, TmConfig, TmCore, TmEffect, TmEvent, TransactionView,
-    TxnOutcome, TxnTermination, ValidationReply, VersionMap,
+    reply_counts_as_dropped, AbortReason, ConsistencyLevel, EvalSnapshot, Msg, ProofScheme,
+    ResourcePolicyMap, ServerCore, SharedCas, SharedCatalog, TmConfig, TmCore, TmEffect, TmEvent,
+    TransactionView, TxnOutcome, TxnTermination, ValidationReply, VersionMap,
 };
 use safetx_metrics::{FaultCounters, ProtocolMetrics};
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
 use safetx_store::Wal;
-use safetx_txn::{CommitVariant, CoordinatorRecord, TransactionSpec, Vote};
-use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId};
+use safetx_txn::{CommitVariant, CoordinatorRecord, QuerySpec, TransactionSpec, Vote};
+use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -24,6 +24,16 @@ use std::time::{Duration, Instant};
 pub struct Addr {
     endpoint: Endpoint,
     tx: Sender<Input>,
+    /// Process-unique channel identity: reply coalescing groups a round's
+    /// outputs by destination with it (two coordinators share an
+    /// `Endpoint::Coordinator` but never a channel).
+    id: u64,
+}
+
+/// A fresh process-unique [`Addr::id`].
+fn fresh_addr_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl std::fmt::Debug for Addr {
@@ -279,6 +289,17 @@ pub struct ClusterConfig {
     /// any run that crashes servers or arms a fault plan with drops should
     /// set it.
     pub reply_timeout: Option<Duration>,
+    /// Maximum protocol messages one server-loop iteration drains and
+    /// processes as a single round (shared proof-evaluation batch, one WAL
+    /// group commit, coalesced replies). `None` defers to the
+    /// `SAFETX_SERVER_BATCH` environment variable, then to `1` — which
+    /// keeps the exact message-at-a-time loop.
+    pub server_batch: Option<usize>,
+    /// Simulated cost of one physical WAL sync (spin-waited inside
+    /// `Wal::force`/group close). `None` makes syncs free, the historical
+    /// behaviour; set it to make group commit's sync coalescing visible in
+    /// wall-clock measurements.
+    pub wal_sync_cost: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -290,6 +311,8 @@ impl Default for ClusterConfig {
             variant: CommitVariant::Standard,
             server_workers: None,
             reply_timeout: None,
+            server_batch: None,
+            wal_sync_cost: None,
         }
     }
 }
@@ -310,6 +333,20 @@ fn resolve_workers(config: &ClusterConfig) -> usize {
                 .map(|n| n.get().min(4))
                 .unwrap_or(1)
         })
+}
+
+/// Resolves the server-round batch limit: explicit config, then the
+/// `SAFETX_SERVER_BATCH` environment variable, then `1` (batching off).
+fn resolve_batch(config: &ClusterConfig) -> usize {
+    config
+        .server_batch
+        .or_else(|| {
+            std::env::var("SAFETX_SERVER_BATCH")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// A job shipped to a server's data-plane workers.
@@ -464,6 +501,7 @@ pub struct Cluster {
     resolvers: Mutex<Vec<JoinHandle<()>>>,
     stopping: Arc<AtomicBool>,
     workers: usize,
+    batch: usize,
 }
 
 /// Decrements the live-thread gauge when a server thread exits — normally
@@ -488,6 +526,7 @@ impl Cluster {
         let epoch = Instant::now();
 
         let workers = resolve_workers(&config);
+        let batch = resolve_batch(&config);
         let live_servers = Arc::new(AtomicUsize::new(0));
         let salvage: Salvage = Arc::new(Mutex::new(HashMap::new()));
 
@@ -498,6 +537,7 @@ impl Cluster {
             addrs.push(Addr {
                 endpoint: Endpoint::Server(ServerId::new(i as u64)),
                 tx,
+                id: fresh_addr_id(),
             });
             rxs.push(rx);
         }
@@ -506,13 +546,16 @@ impl Cluster {
         let mut handles = Vec::with_capacity(config.servers);
         for (i, rx) in rxs.into_iter().enumerate() {
             let id = ServerId::new(i as u64);
-            let core = ServerCore::new(
+            let mut core = ServerCore::new(
                 id,
                 catalog.clone(),
                 ResourcePolicyMap::single(PolicyId::new(0)),
                 cas.clone(),
                 config.variant,
             );
+            if let Some(cost) = config.wal_sync_cost {
+                core.set_wal_sync_cost(cost);
+            }
             let my_addr = net.server_addr(i);
             live_servers.fetch_add(1, Ordering::Release);
             let guard = LiveGuard(live_servers.clone());
@@ -520,7 +563,7 @@ impl Cluster {
             let salvage = Arc::clone(&salvage);
             handles.push(Some(std::thread::spawn(move || {
                 let _guard = guard;
-                server_loop(core, rx, my_addr, epoch, workers, net, salvage);
+                server_loop(core, rx, my_addr, epoch, workers, batch, net, salvage);
             })));
         }
 
@@ -539,6 +582,7 @@ impl Cluster {
             resolvers: Mutex::new(Vec::new()),
             stopping: Arc::new(AtomicBool::new(false)),
             workers,
+            batch,
         }
     }
 
@@ -612,6 +656,37 @@ impl Cluster {
     #[must_use]
     pub fn fault_counters(&self) -> FaultCounters {
         self.net.counters()
+    }
+
+    /// Aggregated WAL accounting across every server: logical forced
+    /// appends (the paper's Table I log metric, unchanged by batching) and
+    /// the physical device syncs actually performed for them (strictly
+    /// fewer under group commit when rounds carry multiple forces).
+    ///
+    /// Live servers are probed through their configure barrier; crashed
+    /// servers are read from their salvaged durable state. Meaningful on a
+    /// quiesced cluster — probing mid-`execute` reads a moving total.
+    #[must_use]
+    pub fn wal_stats(&self) -> safetx_metrics::WalStats {
+        let mut total = safetx_metrics::WalStats::default();
+        let crashed: BTreeSet<u64> = {
+            let salvage = self.salvage.lock().expect("salvage lock");
+            for core in salvage.values() {
+                total.merge(&core.wal_stats());
+            }
+            salvage.keys().copied().collect()
+        };
+        for i in 0..self.config.servers {
+            if crashed.contains(&(i as u64)) {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            self.configure_server(ServerId::new(i as u64), move |core| {
+                let _ = tx.send(core.wal_stats());
+            });
+            total.merge(&rx.recv().expect("wal stats probe"));
+        }
+        total
     }
 
     /// Kills a server thread as if its process died: volatile state
@@ -698,16 +773,17 @@ impl Cluster {
         let my_addr = Addr {
             endpoint: Endpoint::Server(server),
             tx,
+            id: fresh_addr_id(),
         };
         self.net.replace_server(idx, my_addr.clone());
         self.live_servers.fetch_add(1, Ordering::Release);
         let guard = LiveGuard(self.live_servers.clone());
         let net = Arc::clone(&self.net);
         let salvage = Arc::clone(&self.salvage);
-        let (epoch, workers) = (self.epoch, self.workers);
+        let (epoch, workers, batch) = (self.epoch, self.workers, self.batch);
         let handle = std::thread::spawn(move || {
             let _guard = guard;
-            server_loop(core, rx, my_addr, epoch, workers, net, salvage);
+            server_loop(core, rx, my_addr, epoch, workers, batch, net, salvage);
         });
         self.handles.lock().expect("handles lock")[idx] = Some(handle);
         self.net.note_recovery();
@@ -734,6 +810,7 @@ impl Cluster {
             let coordinator = Addr {
                 endpoint: Endpoint::Coordinator,
                 tx: dead_tx,
+                id: fresh_addr_id(),
             };
             let deadline = Instant::now() + Duration::from_secs(10);
             while !stopping.load(Ordering::Acquire) && Instant::now() < deadline {
@@ -792,6 +869,7 @@ impl Cluster {
                     let coordinator = Addr {
                         endpoint: Endpoint::Coordinator,
                         tx: dead_tx,
+                        id: fresh_addr_id(),
                     };
                     let _ = self
                         .net
@@ -876,6 +954,7 @@ impl Cluster {
         let me = Addr {
             endpoint: Endpoint::Coordinator,
             tx: reply_tx,
+            id: fresh_addr_id(),
         };
         let txn = spec.id;
         let reply_timeout = self.config.reply_timeout;
@@ -889,6 +968,11 @@ impl Cluster {
         // Stale inputs this driver observed on the reply channel (the core
         // tracks the ones it was fed itself).
         let mut driver_dropped = 0u64;
+        // Messages unpacked from a coalesced [`Msg::Batch`] envelope and
+        // not yet fed to the core: drained before the channel is read again
+        // so batched replies keep their in-envelope order.
+        let mut pending: std::collections::VecDeque<(Addr, Msg)> =
+            std::collections::VecDeque::new();
 
         let mut effects = core.start(self.now());
         loop {
@@ -929,14 +1013,25 @@ impl Cluster {
                 effects = core.step(self.now(), TmEvent::MasterVersions { versions });
                 continue;
             }
-            // One reply (or `None` after the configured deadline; with no
-            // deadline, `None` only if every sender is gone).
-            let input = match reply_timeout {
-                None => reply_rx.recv().ok(),
-                Some(t) => reply_rx.recv_timeout(t).ok(),
+            // One reply: first anything left over from a coalesced batch,
+            // then the channel (or `None` after the configured deadline;
+            // with no deadline, `None` only if every sender is gone).
+            let input = match pending.pop_front() {
+                Some((from, msg)) => Some(Input::Proto(from, msg)),
+                None => match reply_timeout {
+                    None => reply_rx.recv().ok(),
+                    Some(t) => reply_rx.recv_timeout(t).ok(),
+                },
             };
             let event = match input {
                 None => TmEvent::ReplyTimeout,
+                Some(Input::Proto(from, Msg::Batch(msgs))) => {
+                    // Flatten a coalesced envelope; the inner messages are
+                    // processed in order starting this iteration.
+                    pending.extend(msgs.into_iter().map(|m| (from.clone(), m)));
+                    effects = Vec::new();
+                    continue;
+                }
                 Some(Input::Proto(from, msg)) => match coordinator_event(txn, &from, msg) {
                     Ok(event) => event,
                     Err(counts_as_dropped) => {
@@ -958,10 +1053,22 @@ impl Cluster {
 
         // Drain stale stragglers without blocking, under the same unified
         // rule the core applies: acks never count, everything else does.
+        // Leftover batch contents first, counted message by message (a
+        // coalesced envelope is several replies, not one).
+        for (_, msg) in pending {
+            if reply_counts_as_dropped(&msg) {
+                driver_dropped += 1;
+            }
+        }
         while let Ok(input) = reply_rx.try_recv() {
             if let Input::Proto(_, msg) = input {
-                if reply_counts_as_dropped(&msg) {
-                    driver_dropped += 1;
+                match msg {
+                    Msg::Batch(msgs) => {
+                        driver_dropped +=
+                            msgs.iter().filter(|m| reply_counts_as_dropped(m)).count() as u64;
+                    }
+                    msg if reply_counts_as_dropped(&msg) => driver_dropped += 1,
+                    _ => {}
                 }
             }
         }
@@ -1015,38 +1122,80 @@ fn forward(outputs: Vec<(Addr, Msg)>, my_addr: &Addr, net: &Net) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn server_loop(
     mut core: ServerCore<Addr>,
     rx: Receiver<Input>,
     my_addr: Addr,
     epoch: Instant,
     workers: usize,
+    batch: usize,
     net: Arc<Net>,
     salvage: Salvage,
 ) {
     // With fewer than two workers the pool is skipped entirely and every
     // message runs inline on this thread — the exact pre-pool behaviour.
     let pool = (workers > 1).then(|| WorkerPool::new(workers));
-    let crashed = loop {
-        let Ok(input) = rx.recv() else { break false };
-        match input {
-            Input::Proto(from, msg) => {
-                let now = now_since(epoch);
-                // The unsafe baseline measures capability-shortcut hazards
-                // that depend on exact interleavings: keep it inline.
-                match &pool {
-                    Some(pool) if !core.unsafe_baseline() => {
-                        dispatch(&mut core, pool, &my_addr, epoch, now, from, msg, &net);
+    let crashed = if batch <= 1 {
+        // Message-at-a-time: the exact pre-batching loop.
+        loop {
+            let Ok(input) = rx.recv() else { break false };
+            match input {
+                Input::Proto(from, msg) => {
+                    let now = now_since(epoch);
+                    // The unsafe baseline measures capability-shortcut
+                    // hazards that depend on exact interleavings: keep it
+                    // inline.
+                    match &pool {
+                        Some(pool) if !core.unsafe_baseline() => {
+                            dispatch(&mut core, pool, &my_addr, epoch, now, from, msg, &net);
+                        }
+                        _ => forward(core.handle(now, from, msg), &my_addr, &net),
                     }
-                    _ => forward(core.handle(now, from, msg), &my_addr, &net),
+                }
+                Input::Configure(f, done) => {
+                    f(&mut core);
+                    let _ = done.send(());
+                }
+                Input::Crash => break true,
+                Input::Shutdown => break false,
+            }
+        }
+    } else {
+        // Batched: each iteration blocks for one input, then drains up to
+        // `batch` protocol messages already queued and processes them as a
+        // single round. Control inputs act as barriers — the round that was
+        // open when one arrives completes first, then the control input
+        // runs, preserving the FIFO semantics `configure_server` callers
+        // (and `resolve_in_doubt`'s no-op barrier) rely on.
+        loop {
+            let Ok(first) = rx.recv() else { break false };
+            let mut round: Vec<(Addr, Msg)> = Vec::new();
+            let mut control = None;
+            match first {
+                Input::Proto(from, msg) => round.push((from, msg)),
+                other => control = Some(other),
+            }
+            while control.is_none() && round.len() < batch {
+                match rx.try_recv() {
+                    Ok(Input::Proto(from, msg)) => round.push((from, msg)),
+                    Ok(other) => control = Some(other),
+                    Err(_) => break,
                 }
             }
-            Input::Configure(f, done) => {
-                f(&mut core);
-                let _ = done.send(());
+            if !round.is_empty() {
+                process_round(&mut core, pool.as_ref(), &my_addr, epoch, round, &net);
             }
-            Input::Crash => break true,
-            Input::Shutdown => break false,
+            match control {
+                None => {}
+                Some(Input::Configure(f, done)) => {
+                    f(&mut core);
+                    let _ = done.send(());
+                }
+                Some(Input::Crash) => break true,
+                Some(Input::Shutdown) => break false,
+                Some(Input::Proto(..)) => unreachable!("proto inputs join the round"),
+            }
         }
     };
     // Join in-flight data-plane work first: replies already computed are
@@ -1208,6 +1357,244 @@ fn dispatch(
         }
 
         other => forward(core.handle(now, from, other), my_addr, net),
+    }
+}
+
+/// One proof-evaluation work item deferred out of a batched round. Its
+/// protocol-plane half (registration, locks, write set, WAL) already ran on
+/// the server thread; evaluating the proofs and sending the reply is pure
+/// data-plane work.
+enum EvalTask {
+    /// An `ExecQuery` whose data operations succeeded: evaluate the proof
+    /// and send the `QueryDone`.
+    Query {
+        txn: TxnId,
+        query_index: usize,
+        query: Arc<QuerySpec>,
+        user: UserId,
+        credentials: Arc<[Credential]>,
+        to: Addr,
+    },
+    /// A 2PV contact (`PrepareToValidate` or a standalone `Update` round):
+    /// evaluate the snapshot and send the `ValidateReply`.
+    Snapshot {
+        txn: TxnId,
+        snapshot: EvalSnapshot,
+        to: Addr,
+    },
+}
+
+/// Processes one batched server round: protocol-plane handling for every
+/// message runs inline (in arrival order, under one WAL group so the
+/// round's forced appends coalesce into a single physical sync), the
+/// round's proof evaluations are collected and shipped to the data plane
+/// as **one** batch job sharing policy fetches, credential saturations and
+/// within-round dedup, and replies to the same destination leave as one
+/// coalesced [`Msg::Batch`] send.
+///
+/// The WAL group closes — performing the round's one physical sync —
+/// before any reply is released, so a vote still never outruns the force
+/// it acknowledges. Deferred evaluation replies involve no forces.
+fn process_round(
+    core: &mut ServerCore<Addr>,
+    pool: Option<&WorkerPool>,
+    my_addr: &Addr,
+    epoch: Instant,
+    round: Vec<(Addr, Msg)>,
+    net: &Arc<Net>,
+) {
+    let now = now_since(epoch);
+    let mut inline: Vec<(Addr, Msg)> = Vec::new();
+    let mut tasks: Vec<EvalTask> = Vec::new();
+    core.begin_wal_group();
+    for (from, msg) in round {
+        // Servers are not coalescing targets today, but a Batch envelope is
+        // by definition its inner messages in order.
+        let msgs = match msg {
+            Msg::Batch(inner) => inner,
+            other => vec![other],
+        };
+        for msg in msgs {
+            // The unsafe baseline measures capability-shortcut hazards that
+            // depend on exact interleavings: keep it fully inline.
+            if core.unsafe_baseline() {
+                inline.extend(core.handle(now, from.clone(), msg));
+                continue;
+            }
+            match msg {
+                Msg::ExecQuery {
+                    txn,
+                    query_index,
+                    query,
+                    user,
+                    credentials,
+                    evaluate_proof: true,
+                    pin_versions,
+                    capabilities,
+                } => {
+                    let replies = core.handle(
+                        now,
+                        from.clone(),
+                        Msg::ExecQuery {
+                            txn,
+                            query_index,
+                            query: Arc::clone(&query),
+                            user,
+                            credentials: Arc::clone(&credentials),
+                            evaluate_proof: false,
+                            pin_versions,
+                            capabilities,
+                        },
+                    );
+                    let ok = replies
+                        .iter()
+                        .any(|(_, m)| matches!(m, Msg::QueryDone { ok: true, .. }));
+                    if ok {
+                        tasks.push(EvalTask::Query {
+                            txn,
+                            query_index,
+                            query,
+                            user,
+                            credentials,
+                            to: from.clone(),
+                        });
+                    } else {
+                        // Lock conflict: the inline reply already says so.
+                        inline.extend(replies);
+                    }
+                }
+                Msg::PrepareToValidate {
+                    txn,
+                    new_query,
+                    user,
+                    credentials,
+                } => {
+                    if let Some(snapshot) =
+                        core.register_validation(txn, new_query, user, credentials, from.clone())
+                    {
+                        tasks.push(EvalTask::Snapshot {
+                            txn,
+                            snapshot,
+                            to: from.clone(),
+                        });
+                    }
+                    // None: duplicated/delayed round for a decided
+                    // transaction — no reply owed.
+                }
+                Msg::Update {
+                    txn,
+                    targets,
+                    in_commit: false,
+                } => {
+                    core.data_plane().fast_forward(&targets);
+                    match core.snapshot_txn(txn) {
+                        Some(snapshot) => tasks.push(EvalTask::Snapshot {
+                            txn,
+                            snapshot,
+                            to: from.clone(),
+                        }),
+                        // Same vacuous reply ServerCore::handle produces for
+                        // a transaction with no state here.
+                        None => inline.push((
+                            from.clone(),
+                            Msg::ValidateReply {
+                                txn,
+                                reply: ValidationReply {
+                                    vote: Vote::Yes,
+                                    truth: true,
+                                    versions: VersionMap::new(),
+                                    proofs: Vec::new(),
+                                },
+                            },
+                        )),
+                    }
+                }
+                other => inline.extend(core.handle(now, from.clone(), other)),
+            }
+        }
+    }
+    core.end_wal_group();
+    send_coalesced(inline, my_addr, net);
+    if tasks.is_empty() {
+        return;
+    }
+    let data = core.data_plane();
+    let reply_addr = my_addr.clone();
+    let net = Arc::clone(net);
+    let job = move || {
+        let mut batch = data.begin_batch(now_since(epoch));
+        let mut replies = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            match task {
+                EvalTask::Query {
+                    txn,
+                    query_index,
+                    query,
+                    user,
+                    credentials,
+                    to,
+                } => {
+                    let proof = batch.evaluate_one(user, &credentials, &query);
+                    replies.push((
+                        to,
+                        Msg::QueryDone {
+                            txn,
+                            query_index,
+                            ok: true,
+                            proof: Some(proof),
+                            capability: None,
+                        },
+                    ));
+                }
+                EvalTask::Snapshot { txn, snapshot, to } => {
+                    let (truth, versions, proofs) = batch.evaluate_snapshot(&snapshot);
+                    replies.push((
+                        to,
+                        Msg::ValidateReply {
+                            txn,
+                            reply: ValidationReply {
+                                vote: Vote::Yes,
+                                truth,
+                                versions,
+                                proofs,
+                            },
+                        },
+                    ));
+                }
+            }
+        }
+        send_coalesced(replies, &reply_addr, &net);
+    };
+    match pool {
+        Some(pool) => pool.submit(job),
+        None => job(),
+    }
+}
+
+/// Sends a round's outputs, coalescing consecutive-or-not messages to the
+/// same destination channel into one [`Msg::Batch`] envelope — one channel
+/// send (and one fabric crossing) per destination per round. Destinations
+/// keep first-appearance order; inside an envelope, messages keep their
+/// round order. Single messages go out bare.
+fn send_coalesced(outputs: Vec<(Addr, Msg)>, my_addr: &Addr, net: &Net) {
+    let mut order: Vec<Addr> = Vec::new();
+    let mut groups: HashMap<u64, Vec<Msg>> = HashMap::new();
+    for (to, msg) in outputs {
+        match groups.entry(to.id) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(msg),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(vec![msg]);
+                order.push(to);
+            }
+        }
+    }
+    for to in order {
+        let mut msgs = groups.remove(&to.id).expect("grouped above");
+        if msgs.len() == 1 {
+            net.send_proto(my_addr, &to, msgs.pop().expect("one message"));
+        } else {
+            net.send_proto(my_addr, &to, Msg::Batch(msgs));
+        }
     }
 }
 

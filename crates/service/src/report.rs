@@ -1,6 +1,6 @@
 //! Service-level statistics: outcome counters and latency histograms.
 
-use safetx_metrics::{FaultCounters, Histogram, Json};
+use safetx_metrics::{FaultCounters, Histogram, Json, WalStats};
 
 /// Everything the service measured, snapshot-able at any time and final
 /// after shutdown.
@@ -41,6 +41,12 @@ pub struct ServiceStats {
     /// Sourced from [`safetx_runtime::Cluster::fault_counters`]; like
     /// `dropped_replies`, outside the conservation invariant.
     pub faults: FaultCounters,
+    /// Aggregated WAL accounting across the cluster's servers: logical
+    /// forced appends (the paper's Table I log metric) and the physical
+    /// device syncs performed for them (fewer under group commit). Sourced
+    /// from [`safetx_runtime::Cluster::wal_stats`]; like `faults`, outside
+    /// the conservation invariant.
+    pub wal: WalStats,
     /// End-to-end latency of committed transactions, in milliseconds
     /// (submission to commit, including queueing and retries).
     pub commit_latency_ms: Histogram,
@@ -96,6 +102,8 @@ impl ServiceStats {
             .with("server_crashes", self.faults.server_crashes)
             .with("recoveries", self.faults.recoveries)
             .with("timeout_aborts", self.faults.timeout_aborts)
+            .with("forced_logs", self.wal.forced_logs)
+            .with("physical_syncs", self.wal.physical_syncs)
             .with("commit_latency_ms", self.commit_latency_ms.to_json())
             .with("queue_wait_ms", self.queue_wait_ms.to_json())
             .with("failure_latency_ms", self.failure_latency_ms.to_json())
@@ -142,9 +150,15 @@ mod tests {
             ..Default::default()
         };
         stats.commit_latency_ms.record(1.5);
+        stats.wal = WalStats {
+            forced_logs: 12,
+            physical_syncs: 5,
+        };
         let text = stats.to_json().render();
         let parsed = Json::parse(&text).expect("valid json");
         assert_eq!(parsed.get("commits").and_then(Json::as_u64), Some(4));
+        assert_eq!(parsed.get("forced_logs").and_then(Json::as_u64), Some(12));
+        assert_eq!(parsed.get("physical_syncs").and_then(Json::as_u64), Some(5));
         assert_eq!(
             parsed
                 .get("commit_latency_ms")

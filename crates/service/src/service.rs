@@ -237,6 +237,7 @@ impl TxnService {
         let mut stats = self.stats.lock().expect("stats lock").clone();
         stats.dropped_replies = self.cluster.dropped_replies();
         stats.faults = self.cluster.fault_counters();
+        stats.wal = self.cluster.wal_stats();
         stats
     }
 

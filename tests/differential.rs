@@ -164,11 +164,23 @@ impl Side {
         consistency: ConsistencyLevel,
         variant: CommitVariant,
     ) -> Side {
+        Side::threaded_with_batch(scheme, consistency, variant, None)
+    }
+
+    /// The threaded runtime with an explicit server-round batch limit
+    /// (`None` = the config/env default, i.e. batching off).
+    fn threaded_with_batch(
+        scheme: ProofScheme,
+        consistency: ConsistencyLevel,
+        variant: CommitVariant,
+        server_batch: Option<usize>,
+    ) -> Side {
         let cluster = Cluster::new(ClusterConfig {
             servers: SERVERS,
             scheme,
             consistency,
             variant,
+            server_batch,
             ..Default::default()
         });
         cluster.publish_policy(base_policy());
@@ -452,6 +464,33 @@ fn sim_and_threaded_runtimes_agree_on_every_cell() {
     // The battery must genuinely exercise both outcomes in every run.
     assert!(commits > 0, "differential battery committed nothing");
     assert!(aborts > 0, "differential battery aborted nothing");
+}
+
+/// The batched threaded runtime is held to the same oracle: with
+/// server-round batching on (inbox draining, shared evaluation batches,
+/// group commit, coalesced replies) every cell must still match the
+/// simulator observation for observation — including the Table I counters
+/// and proof views.
+#[test]
+fn batched_threaded_runtime_agrees_with_simulator() {
+    for (i, scheme) in ProofScheme::ALL.into_iter().enumerate() {
+        for (j, consistency) in ConsistencyLevel::ALL.into_iter().enumerate() {
+            let variant = VARIANTS[(i + j) % VARIANTS.len()];
+            let seed = 0xba7c_4ed0 ^ ((i as u64) << 8) ^ (j as u64);
+            let sim = run_stream(Side::sim(scheme, consistency, variant), seed);
+            let batched = run_stream(
+                Side::threaded_with_batch(scheme, consistency, variant, Some(16)),
+                seed,
+            );
+            assert_eq!(sim.len(), batched.len(), "{scheme}/{consistency}");
+            for ((label, s), (_, t)) in sim.iter().zip(batched.iter()) {
+                assert_eq!(
+                    s, t,
+                    "{scheme}/{consistency}/{variant:?} diverged on {label} with batching on"
+                );
+            }
+        }
+    }
 }
 
 /// Replaying the same seed on the same runtime is byte-identical — the
