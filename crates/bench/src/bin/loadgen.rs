@@ -20,12 +20,21 @@
 //!
 //! `--smoke` runs the small-n CI configuration (2 servers, 4 clients,
 //! ~200 transactions) with the same validation.
+//!
+//! `--net` swaps the execution backend for the wire-protocol runtime
+//! (`safetx-net`): the same service layer, but every protocol message is
+//! encoded into a length-prefixed frame and crosses a `UnixStream`. The
+//! outcome totals must be byte-identical to a threaded run with the same
+//! arguments — CI diffs the two.
 
 use safetx_core::{trusted, ConsistencyLevel, ProofScheme};
 use safetx_metrics::Json;
+use safetx_net::NetCluster;
 use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
 use safetx_runtime::{Cluster, ClusterConfig};
-use safetx_service::{run_closed_loop, run_open_loop, RetryPolicy, ServiceConfig, TxnService};
+use safetx_service::{
+    run_closed_loop, run_open_loop, RetryPolicy, RuntimeKind, ServiceConfig, TxnService,
+};
 use safetx_store::Value;
 use safetx_txn::{Operation, QuerySpec, TransactionSpec};
 use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, UserId};
@@ -38,17 +47,18 @@ const ITEMS_PER_SERVER: u64 = 64;
 /// policy-denied — a deterministic terminal-abort fraction.
 const DENY_EVERY: u64 = 8;
 
-fn build_cluster(
+fn build_runtime(
+    net: bool,
     servers: usize,
     scheme: ProofScheme,
     consistency: ConsistencyLevel,
-) -> Arc<Cluster> {
-    let cluster = Cluster::new(ClusterConfig {
+) -> RuntimeKind {
+    let config = ClusterConfig {
         servers,
         scheme,
         consistency,
         ..Default::default()
-    });
+    };
     let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
         .rules_text(
             "grant(read, records) :- role(U, member).\n\
@@ -56,23 +66,41 @@ fn build_cluster(
         )
         .expect("rules parse")
         .build();
-    cluster.publish_policy(policy);
-    for s in 0..servers as u64 {
-        cluster.configure_server(ServerId::new(s), move |core| {
-            for j in 0..ITEMS_PER_SERVER {
-                core.store_mut().write(
-                    DataItemId::new(s * 100 + j),
-                    Value::Int(10),
-                    Timestamp::ZERO,
-                );
-            }
-        });
+    if net {
+        let cluster = NetCluster::new(config);
+        cluster.publish_policy(policy);
+        for s in 0..servers as u64 {
+            cluster.configure_server(ServerId::new(s), move |core| {
+                for j in 0..ITEMS_PER_SERVER {
+                    core.store_mut().write(
+                        DataItemId::new(s * 100 + j),
+                        Value::Int(10),
+                        Timestamp::ZERO,
+                    );
+                }
+            });
+        }
+        RuntimeKind::Net(Arc::new(cluster))
+    } else {
+        let cluster = Cluster::new(config);
+        cluster.publish_policy(policy);
+        for s in 0..servers as u64 {
+            cluster.configure_server(ServerId::new(s), move |core| {
+                for j in 0..ITEMS_PER_SERVER {
+                    core.store_mut().write(
+                        DataItemId::new(s * 100 + j),
+                        Value::Int(10),
+                        Timestamp::ZERO,
+                    );
+                }
+            });
+        }
+        RuntimeKind::Threaded(Arc::new(cluster))
     }
-    Arc::new(cluster)
 }
 
-fn member_credential(cluster: &Cluster) -> Credential {
-    cluster.cas().with_mut(|registry| {
+fn member_credential(runtime: &RuntimeKind) -> Credential {
+    runtime.cas().with_mut(|registry| {
         registry.ca_mut(CaId::new(0)).unwrap().issue(
             UserId::new(1),
             Atom::fact(
@@ -87,8 +115,8 @@ fn member_credential(cluster: &Cluster) -> Credential {
 
 /// A read-modify-write across every server; the key slot spreads with the
 /// global index so contention is real but bounded.
-fn spec_for(cluster: &Cluster, global_index: u64) -> TransactionSpec {
-    let servers = cluster.config().servers as u64;
+fn spec_for(runtime: &RuntimeKind, global_index: u64) -> TransactionSpec {
+    let servers = runtime.config().servers as u64;
     let slot = (global_index * 7) % ITEMS_PER_SERVER;
     let queries = (0..servers)
         .map(|s| {
@@ -100,7 +128,7 @@ fn spec_for(cluster: &Cluster, global_index: u64) -> TransactionSpec {
             )
         })
         .collect();
-    TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
+    TransactionSpec::new(runtime.next_txn_id(), UserId::new(1), queries)
 }
 
 fn denied(global_index: u64) -> bool {
@@ -153,7 +181,7 @@ fn retry_policy() -> RetryPolicy {
 /// One closed-loop sweep cell. Returns its JSON row and folds outcome
 /// totals into `totals`.
 fn closed_loop_cell(
-    servers: usize,
+    runtime: RuntimeKind,
     scheme: ProofScheme,
     consistency: ConsistencyLevel,
     clients: usize,
@@ -161,9 +189,8 @@ fn closed_loop_cell(
     seed: u64,
     totals: &mut Totals,
 ) -> Json {
-    let cluster = build_cluster(servers, scheme, consistency);
-    let service = TxnService::new(
-        cluster.clone(),
+    let service = TxnService::with_runtime(
+        runtime.clone(),
         ServiceConfig {
             workers: clients.min(8),
             queue_depth: (2 * clients).max(8),
@@ -171,7 +198,7 @@ fn closed_loop_cell(
             seed,
         },
     );
-    let cred = member_credential(&cluster);
+    let cred = member_credential(&runtime);
     let report = run_closed_loop(&service, clients, per_client, |client, index| {
         let g = (client * per_client + index) as u64;
         let creds = if denied(g) {
@@ -179,12 +206,12 @@ fn closed_loop_cell(
         } else {
             vec![cred.clone()]
         };
-        (spec_for(&cluster, g), creds)
+        (spec_for(&runtime, g), creds)
     });
 
     // Post-hoc Definition 4 audit: every commit's recorded view must be
     // trusted against the catalog's latest policy versions.
-    let authority = cluster.catalog().latest_versions();
+    let authority = runtime.catalog().latest_versions();
     let audited = report
         .completions
         .iter()
@@ -219,10 +246,10 @@ fn closed_loop_cell(
 /// Open-loop Poisson section: arrivals do not wait for completions. The
 /// queue is deeper than the arrival count so outcome totals stay
 /// deterministic; shedding is demonstrated by the gated overload section.
-fn open_loop_section(seed: u64, count: usize, totals: &mut Totals) -> Json {
-    let cluster = build_cluster(3, ProofScheme::Punctual, ConsistencyLevel::View);
-    let service = TxnService::new(
-        cluster.clone(),
+fn open_loop_section(net: bool, seed: u64, count: usize, totals: &mut Totals) -> Json {
+    let runtime = build_runtime(net, 3, ProofScheme::Punctual, ConsistencyLevel::View);
+    let service = TxnService::with_runtime(
+        runtime.clone(),
         ServiceConfig {
             workers: 4,
             queue_depth: count.max(8),
@@ -230,7 +257,7 @@ fn open_loop_section(seed: u64, count: usize, totals: &mut Totals) -> Json {
             seed,
         },
     );
-    let cred = member_credential(&cluster);
+    let cred = member_credential(&runtime);
     let arrivals = PoissonArrivals::new(safetx_types::Duration::from_micros(300), seed);
     let rate = arrivals.rate_per_sec();
     let report = run_open_loop(&service, arrivals, count, |index| {
@@ -240,7 +267,7 @@ fn open_loop_section(seed: u64, count: usize, totals: &mut Totals) -> Json {
         } else {
             vec![cred.clone()]
         };
-        (spec_for(&cluster, g), creds)
+        (spec_for(&runtime, g), creds)
     });
     let mut stats = service.shutdown();
     assert!(stats.conserves(), "open loop leaked outcomes: {stats:?}");
@@ -259,11 +286,11 @@ fn open_loop_section(seed: u64, count: usize, totals: &mut Totals) -> Json {
 /// the single worker on it, fill the queue to depth, and burst `extra`
 /// more submissions — exactly `extra` are shed. Then open the gate and
 /// drain; everything admitted commits.
-fn overload_section(seed: u64, extra: usize, totals: &mut Totals) -> Json {
+fn overload_section(net: bool, seed: u64, extra: usize, totals: &mut Totals) -> Json {
     let depth = 4usize;
-    let cluster = build_cluster(2, ProofScheme::Deferred, ConsistencyLevel::View);
-    let service = TxnService::new(
-        cluster.clone(),
+    let runtime = build_runtime(net, 2, ProofScheme::Deferred, ConsistencyLevel::View);
+    let service = TxnService::with_runtime(
+        runtime.clone(),
         ServiceConfig {
             workers: 1,
             queue_depth: depth,
@@ -271,23 +298,32 @@ fn overload_section(seed: u64, extra: usize, totals: &mut Totals) -> Json {
             seed,
         },
     );
-    let cred = member_credential(&cluster);
+    let cred = member_credential(&runtime);
 
-    // Configuration closures run on the server thread, so this recv stalls
-    // server 0 (and the worker executing against it) until the gate opens.
-    // configure_server blocks its caller, hence the helper thread.
+    // Configuration closures run on the server's event loop (a thread in
+    // the threaded runtime, a socket host in the net runtime), so this
+    // recv stalls server 0 (and the worker executing against it) until the
+    // gate opens. configure_server blocks its caller, hence the helper
+    // thread.
     let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
-    let gated = cluster.clone();
-    let stall = std::thread::spawn(move || {
-        gated.configure_server(ServerId::new(0), move |_core| {
-            let _ = gate_rx.recv();
-        });
+    let gated = runtime.clone();
+    let stall = std::thread::spawn(move || match &gated {
+        RuntimeKind::Threaded(cluster) => {
+            cluster.configure_server(ServerId::new(0), move |_core| {
+                let _ = gate_rx.recv();
+            });
+        }
+        RuntimeKind::Net(cluster) => {
+            cluster.configure_server(ServerId::new(0), move |_core| {
+                let _ = gate_rx.recv();
+            });
+        }
     });
 
     // Park the worker: submit one job and wait until it leaves the queue
     // (the worker is now blocked inside execute on the gated server).
     let mut handles = vec![service
-        .try_submit(spec_for(&cluster, 0), vec![cred.clone()])
+        .try_submit(spec_for(&runtime, 0), vec![cred.clone()])
         .expect("empty queue admits")];
     while service.queue_len() > 0 {
         std::thread::sleep(std::time::Duration::from_millis(1));
@@ -295,7 +331,7 @@ fn overload_section(seed: u64, extra: usize, totals: &mut Totals) -> Json {
     // Fill the queue to depth, then burst past it.
     let mut rejected = 0u64;
     for g in 0..(depth + extra) as u64 {
-        match service.try_submit(spec_for(&cluster, g + 1), vec![cred.clone()]) {
+        match service.try_submit(spec_for(&runtime, g + 1), vec![cred.clone()]) {
             Ok(h) => handles.push(h),
             Err(err) => {
                 assert_eq!(err, safetx_service::AdmissionError::Overloaded);
@@ -367,10 +403,13 @@ fn validate(text: &str) {
 
 fn main() {
     let mut smoke = false;
+    let mut net = false;
     let mut positional = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--net" {
+            net = true;
         } else {
             positional.push(arg);
         }
@@ -415,7 +454,7 @@ fn main() {
             for &clients in &client_counts {
                 eprintln!("closed loop: {scheme} / {consistency} / {clients} clients");
                 cells.push(closed_loop_cell(
-                    servers,
+                    build_runtime(net, servers, scheme, consistency),
                     scheme,
                     consistency,
                     clients,
@@ -427,15 +466,16 @@ fn main() {
         }
     }
     eprintln!("open loop: Poisson arrivals");
-    let open = open_loop_section(seed, if smoke { 40 } else { 80 }, &mut totals);
+    let open = open_loop_section(net, seed, if smoke { 40 } else { 80 }, &mut totals);
     eprintln!("overload: gated burst");
-    let overload = overload_section(seed, 6, &mut totals);
+    let overload = overload_section(net, seed, 6, &mut totals);
 
     let report = Json::object()
         .with(
             "config",
             Json::object()
                 .with("smoke", smoke)
+                .with("runtime", if net { "net" } else { "threaded" })
                 .with("servers", servers)
                 .with("per_client", per_client)
                 .with("seed", seed)
@@ -446,11 +486,16 @@ fn main() {
         .with("overload", overload)
         .with("outcome_totals", totals.to_json());
     let text = report.render();
-    std::fs::write("BENCH_loadgen.json", &text).expect("write BENCH_loadgen.json");
+    let out = if net {
+        "BENCH_loadgen_net.json"
+    } else {
+        "BENCH_loadgen.json"
+    };
+    std::fs::write(out, &text).unwrap_or_else(|e| panic!("write {out}: {e}"));
     validate(&text);
     println!(
         "loadgen OK: {} submissions, {} commits, {} terminal aborts, {} exhausted, {} shed \
-         (BENCH_loadgen.json)",
+         ({out})",
         totals.submissions,
         totals.commits,
         totals.terminal_aborts,

@@ -3,7 +3,11 @@
 //! Runs the most server-bound loadgen cell — Continuous / Global, 3
 //! servers, 8 closed-loop clients — with the proof cache both enabled and
 //! disabled, and prints one JSON document with outcome totals and
-//! throughput. The binary deliberately uses only the API surface shared by
+//! throughput (also written to `BENCH_runtime.json`). The
+//! `net_vs_threaded` section runs the same cell on the wire-protocol
+//! runtime (`safetx-net`) at batch 1 and 16: outcome totals must be
+//! identical to the threaded rows, throughput measures the encode/frame/
+//! syscall tax. The binary deliberately uses only the API surface shared by
 //! the pre-overhaul tree (commit `acee853`) and this one, so the exact
 //! same source builds in a worktree at the old commit; `BENCH_runtime.json`
 //! pairs the two runs:
@@ -29,9 +33,10 @@
 
 use safetx_core::{ConsistencyLevel, ProofScheme};
 use safetx_metrics::Json;
+use safetx_net::NetCluster;
 use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
 use safetx_runtime::{Cluster, ClusterConfig};
-use safetx_service::{run_closed_loop, RetryPolicy, ServiceConfig, TxnService};
+use safetx_service::{run_closed_loop, RetryPolicy, RuntimeKind, ServiceConfig, TxnService};
 use safetx_store::Value;
 use safetx_txn::{Operation, QuerySpec, TransactionSpec};
 use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, UserId};
@@ -44,19 +49,20 @@ const ITEMS_PER_SERVER: u64 = 64;
 const DENY_EVERY: u64 = 8;
 const SEED: u64 = 42;
 
-fn build_cluster(
+fn build_runtime(
+    net: bool,
     proof_cache: bool,
     server_batch: usize,
     wal_sync_cost: Option<std::time::Duration>,
-) -> Arc<Cluster> {
-    let cluster = Cluster::new(ClusterConfig {
+) -> RuntimeKind {
+    let config = ClusterConfig {
         servers: SERVERS,
         scheme: ProofScheme::Continuous,
         consistency: ConsistencyLevel::Global,
         server_batch: Some(server_batch),
         wal_sync_cost,
         ..Default::default()
-    });
+    };
     let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
         .rules_text(
             "grant(read, records) :- role(U, member).\n\
@@ -64,26 +70,45 @@ fn build_cluster(
         )
         .expect("rules parse")
         .build();
-    cluster.publish_policy(policy);
-    for s in 0..SERVERS as u64 {
-        cluster.configure_server(ServerId::new(s), move |core| {
-            core.set_proof_cache(proof_cache);
-            for j in 0..ITEMS_PER_SERVER {
-                core.store_mut().write(
-                    DataItemId::new(s * 100 + j),
-                    Value::Int(10),
-                    Timestamp::ZERO,
-                );
-            }
-        });
+    if net {
+        let cluster = NetCluster::new(config);
+        cluster.publish_policy(policy);
+        for s in 0..SERVERS as u64 {
+            cluster.configure_server(ServerId::new(s), move |core| {
+                core.set_proof_cache(proof_cache);
+                for j in 0..ITEMS_PER_SERVER {
+                    core.store_mut().write(
+                        DataItemId::new(s * 100 + j),
+                        Value::Int(10),
+                        Timestamp::ZERO,
+                    );
+                }
+            });
+        }
+        RuntimeKind::Net(Arc::new(cluster))
+    } else {
+        let cluster = Cluster::new(config);
+        cluster.publish_policy(policy);
+        for s in 0..SERVERS as u64 {
+            cluster.configure_server(ServerId::new(s), move |core| {
+                core.set_proof_cache(proof_cache);
+                for j in 0..ITEMS_PER_SERVER {
+                    core.store_mut().write(
+                        DataItemId::new(s * 100 + j),
+                        Value::Int(10),
+                        Timestamp::ZERO,
+                    );
+                }
+            });
+        }
+        RuntimeKind::Threaded(Arc::new(cluster))
     }
-    Arc::new(cluster)
 }
 
 /// A four-credential wallet, the shape a real principal carries: the two
 /// the policy needs plus two bystanders every proof context still hauls.
-fn wallet(cluster: &Cluster) -> Vec<Credential> {
-    cluster.cas().with_mut(|registry| {
+fn wallet(runtime: &RuntimeKind) -> Vec<Credential> {
+    runtime.cas().with_mut(|registry| {
         let ca = registry.ca_mut(CaId::new(0)).unwrap();
         ["member", "auditor", "oncall", "east"]
             .iter()
@@ -104,7 +129,7 @@ fn wallet(cluster: &Cluster) -> Vec<Credential> {
     })
 }
 
-fn spec_for(cluster: &Cluster, global_index: u64) -> TransactionSpec {
+fn spec_for(runtime: &RuntimeKind, global_index: u64) -> TransactionSpec {
     let slot = (global_index * 7) % ITEMS_PER_SERVER;
     let queries = (0..SERVERS as u64)
         .map(|s| {
@@ -116,14 +141,14 @@ fn spec_for(cluster: &Cluster, global_index: u64) -> TransactionSpec {
             )
         })
         .collect();
-    TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
+    TransactionSpec::new(runtime.next_txn_id(), UserId::new(1), queries)
 }
 
-fn run_cell(proof_cache: bool, server_batch: usize, sync_cost_us: u64) -> Json {
+fn run_cell(net: bool, proof_cache: bool, server_batch: usize, sync_cost_us: u64) -> Json {
     let wal_sync_cost = (sync_cost_us > 0).then(|| std::time::Duration::from_micros(sync_cost_us));
-    let cluster = build_cluster(proof_cache, server_batch, wal_sync_cost);
-    let service = TxnService::new(
-        cluster.clone(),
+    let runtime = build_runtime(net, proof_cache, server_batch, wal_sync_cost);
+    let service = TxnService::with_runtime(
+        runtime.clone(),
         ServiceConfig {
             workers: CLIENTS,
             queue_depth: 2 * CLIENTS,
@@ -137,7 +162,7 @@ fn run_cell(proof_cache: bool, server_batch: usize, sync_cost_us: u64) -> Json {
             seed: SEED,
         },
     );
-    let creds = wallet(&cluster);
+    let creds = wallet(&runtime);
     let report = run_closed_loop(&service, CLIENTS, PER_CLIENT, |client, index| {
         let g = (client * PER_CLIENT + index) as u64;
         let wallet = if g % DENY_EVERY == DENY_EVERY - 1 {
@@ -145,12 +170,13 @@ fn run_cell(proof_cache: bool, server_batch: usize, sync_cost_us: u64) -> Json {
         } else {
             creds.clone()
         };
-        (spec_for(&cluster, g), wallet)
+        (spec_for(&runtime, g), wallet)
     });
     let stats = service.shutdown();
     assert!(stats.conserves(), "outcome accounting leaked: {stats:?}");
     let throughput = stats.throughput_tps(report.wall);
     Json::object()
+        .with("runtime", if net { "net" } else { "threaded" })
         .with("proof_cache", proof_cache)
         .with("server_batch", server_batch)
         .with("wal_sync_cost_us", sync_cost_us)
@@ -169,28 +195,46 @@ fn run_cell(proof_cache: bool, server_batch: usize, sync_cost_us: u64) -> Json {
         .with("overload_rejections", stats.overload_rejections)
         .with("forced_logs", stats.wal.forced_logs)
         .with("physical_syncs", stats.wal.physical_syncs)
+        .with("frames_sent", stats.transport.frames_sent)
+        .with("frames_received", stats.transport.frames_received)
+        .with("bytes_sent", stats.transport.bytes_sent)
+        .with("bytes_received", stats.transport.bytes_received)
 }
 
 fn main() {
     let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
     // Warm-up pass so thread spawn and allocator effects do not land in
     // the measured cells.
-    let _ = run_cell(true, 1, 0);
+    let _ = run_cell(false, true, 1, 0);
     let doc = Json::object()
         .with("label", label)
         .with(
             "workers_env",
             std::env::var("SAFETX_SERVER_WORKERS").unwrap_or_default(),
         )
-        .with("cache_on", run_cell(true, 1, 0))
-        .with("cache_off", run_cell(false, 1, 0))
+        .with("cache_on", run_cell(false, true, 1, 0))
+        .with("cache_off", run_cell(false, false, 1, 0))
         .with(
             "batching",
             Json::object()
-                .with("batch_1", run_cell(true, 1, 0))
-                .with("batch_16", run_cell(true, 16, 0))
-                .with("batch_1_synced", run_cell(true, 1, 100))
-                .with("batch_16_synced", run_cell(true, 16, 100)),
+                .with("batch_1", run_cell(false, true, 1, 0))
+                .with("batch_16", run_cell(false, true, 16, 0))
+                .with("batch_1_synced", run_cell(false, true, 1, 100))
+                .with("batch_16_synced", run_cell(false, true, 16, 100)),
+        )
+        // The wire tax, measured: the same cell on the socket runtime,
+        // where every message is encoded, framed and syscalled. Outcome
+        // totals must match the threaded rows; throughput is the price of
+        // the wire (and the batching rows show coalescing clawing it back).
+        .with(
+            "net_vs_threaded",
+            Json::object()
+                .with("threaded_batch_1", run_cell(false, true, 1, 0))
+                .with("threaded_batch_16", run_cell(false, true, 16, 0))
+                .with("net_batch_1", run_cell(true, true, 1, 0))
+                .with("net_batch_16", run_cell(true, true, 16, 0)),
         );
-    println!("{}", doc.render());
+    let text = doc.render();
+    std::fs::write("BENCH_runtime.json", &text).expect("write BENCH_runtime.json");
+    println!("{text}");
 }

@@ -58,6 +58,7 @@ pub use consistency::{
 };
 pub use harness::{Experiment, ExperimentConfig, ExperimentReport};
 pub use master::MasterActor;
+pub use messages::coalesce_replies;
 pub use messages::AddressBook;
 pub use messages::Msg;
 pub use outcome::{AbortReason, TxnOutcome};

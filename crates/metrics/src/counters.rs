@@ -398,6 +398,105 @@ impl std::iter::Sum for WalStats {
     }
 }
 
+/// Byte-stream transport accounting for one edge (or an aggregate over
+/// edges) of the socket runtime: framed messages and payload bytes in each
+/// direction, connection replacements, and frames whose payload failed to
+/// decode.
+///
+/// On a clean quiesced run frames are conserved per edge: everything one
+/// side sent, the other side received (`decode_errors == 0`,
+/// `reconnects == 0`). The in-process runtimes move messages without a
+/// codec, so their transport counters are all zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportCounters {
+    /// Frames written to the stream.
+    pub frames_sent: u64,
+    /// Frames read off the stream.
+    pub frames_received: u64,
+    /// Bytes written, including each frame's length prefix.
+    pub bytes_sent: u64,
+    /// Bytes read, including each frame's length prefix.
+    pub bytes_received: u64,
+    /// Times this edge's connection was replaced after a disconnect.
+    pub reconnects: u64,
+    /// Received frames whose payload failed to decode (and were skipped).
+    pub decode_errors: u64,
+}
+
+impl TransportCounters {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &TransportCounters) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.reconnects += other.reconnects;
+        self.decode_errors += other.decode_errors;
+    }
+
+    /// Machine-readable form for `BENCH_*.json` emitters.
+    #[must_use]
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::object()
+            .with("frames_sent", self.frames_sent)
+            .with("frames_received", self.frames_received)
+            .with("bytes_sent", self.bytes_sent)
+            .with("bytes_received", self.bytes_received)
+            .with("reconnects", self.reconnects)
+            .with("decode_errors", self.decode_errors)
+    }
+
+    /// Rebuilds counters from [`TransportCounters::to_json`] output.
+    #[must_use]
+    pub fn from_json(json: &crate::Json) -> Option<Self> {
+        let field = |name: &str| json.get(name).and_then(crate::Json::as_u64);
+        Some(TransportCounters {
+            frames_sent: field("frames_sent")?,
+            frames_received: field("frames_received")?,
+            bytes_sent: field("bytes_sent")?,
+            bytes_received: field("bytes_received")?,
+            reconnects: field("reconnects")?,
+            decode_errors: field("decode_errors")?,
+        })
+    }
+}
+
+impl fmt::Display for TransportCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frames={}tx/{}rx bytes={}tx/{}rx reconnects={} decode_errors={}",
+            self.frames_sent,
+            self.frames_received,
+            self.bytes_sent,
+            self.bytes_received,
+            self.reconnects,
+            self.decode_errors
+        )
+    }
+}
+
+impl std::ops::Add for TransportCounters {
+    type Output = TransportCounters;
+
+    fn add(mut self, rhs: TransportCounters) -> TransportCounters {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for TransportCounters {
+    fn sum<I: Iterator<Item = TransportCounters>>(iter: I) -> TransportCounters {
+        iter.fold(TransportCounters::new(), |acc, c| acc + c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +537,25 @@ mod tests {
             })
             .sum();
         assert_eq!(total.messages, 30);
+    }
+
+    #[test]
+    fn transport_counters_round_trip_json_and_merge() {
+        let a = TransportCounters {
+            frames_sent: 5,
+            frames_received: 4,
+            bytes_sent: 512,
+            bytes_received: 480,
+            reconnects: 1,
+            decode_errors: 2,
+        };
+        assert_eq!(TransportCounters::from_json(&a.to_json()), Some(a));
+        let total: TransportCounters = [a, a].into_iter().sum();
+        assert_eq!(total.frames_sent, 10);
+        assert_eq!(total.bytes_received, 960);
+        assert_eq!(total.decode_errors, 4);
+        let shown = a.to_string();
+        assert!(shown.contains("reconnects=1"));
     }
 
     #[test]

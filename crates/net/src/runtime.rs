@@ -1,0 +1,1184 @@
+//! Unix-socket deployment of the safetx protocol state machines.
+//!
+//! Every protocol message crosses a real byte stream: each cloud server
+//! runs as its own event loop behind a [`ServerHost`], each TM drives the
+//! sans-io `TmCore` from [`NetCluster::execute`], and the two sides talk
+//! exclusively through framed [`crate::wire`] messages over `UnixStream`s
+//! (in-process duplex pairs by default; a multi-process deployment
+//! connects the same hosts over filesystem sockets — see
+//! `examples/net_processes.rs`).
+//!
+//! The batched-round + group-commit semantics of the threaded runtime are
+//! preserved: a server drains up to `server_batch` decoded frames per
+//! round, opens one WAL group around the round's protocol handling, runs
+//! the round's proof evaluations as one data-plane batch, and coalesces
+//! replies per peer into a single [`Msg::Batch`] frame. Peer disconnects
+//! surface through the existing failure detector — a reply that never
+//! arrives trips `ClusterConfig::reply_timeout` and the core aborts with
+//! `AbortReason::ServerUnavailable`; reconnecting resumes traffic under
+//! the peer's original logical id (see `safetx_core::coalesce_replies`
+//! for why the id must survive the reconnect).
+
+use crate::wire::{decode_msg, read_frame, write_frame};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use safetx_core::{
+    coalesce_replies, reply_counts_as_dropped, AbortReason, EvalSnapshot, Msg, ResourcePolicyMap,
+    ServerCore, SharedCas, SharedCatalog, TmConfig, TmCore, TmEffect, TmEvent, TxnTermination,
+    ValidationReply, VersionMap,
+};
+use safetx_metrics::{FaultCounters, TransportCounters};
+use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
+use safetx_runtime::{resolve_batch, ClusterConfig, ExecutionResult};
+use safetx_store::Wal;
+use safetx_txn::{CoordinatorRecord, QuerySpec, TransactionSpec, Vote};
+use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The logical address of a peer on a server's side of the wire: stable
+/// for the peer's lifetime, including across reconnects (a replaced
+/// connection keeps the id, so reply coalescing keyed by it never splits
+/// or misroutes a round's envelope — the invariant documented on
+/// `safetx_core::coalesce_replies`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetAddr(pub u64);
+
+/// One side's transport accounting for one edge. Shared between the
+/// thread that writes frames and the thread that reads them.
+#[derive(Debug, Default)]
+pub struct EdgeStats {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    reconnects: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+impl EdgeStats {
+    fn note_sent(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn note_received(&self, payload_bytes: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        // The reader sees the payload; account the 4-byte length prefix so
+        // both directions measure the same thing.
+        self.bytes_received
+            .fetch_add(payload_bytes as u64 + 4, Ordering::Relaxed);
+    }
+
+    fn note_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> TransportCounters {
+        TransportCounters {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A configuration closure applied on a server host's event loop.
+type ConfigureFn = Box<dyn FnOnce(&mut ServerCore<NetAddr>) + Send>;
+
+/// Inputs to a server host's event loop.
+#[allow(clippy::large_enum_variant)]
+enum HostInput {
+    /// A decoded protocol frame from a connected peer.
+    Proto(NetAddr, Msg),
+    /// Harness-side configuration (seed data, install policies). Control
+    /// plane only — it never crosses the wire.
+    Configure(ConfigureFn, Sender<()>),
+    /// Register (or replace) the connection carrying a peer's traffic.
+    Attach(u64, UnixStream),
+    /// A reader thread observed EOF or an I/O error on the connection of
+    /// this (peer, generation); the host drops the matching writer.
+    Detach(u64, u64),
+    Shutdown,
+}
+
+/// A peer's connection as the host's event loop owns it.
+struct PeerLink {
+    /// Kept so shutdown can unblock the reader thread.
+    stream: UnixStream,
+    writer: BufWriter<UnixStream>,
+    stats: Arc<EdgeStats>,
+    /// Distinguishes this connection from a replaced one: a stale reader's
+    /// `Detach` must not tear down the replacement.
+    generation: u64,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// One cloud server running as an event loop over byte streams.
+///
+/// The host owns the `ServerCore` and every connection to it. Frames are
+/// decoded by per-connection reader threads and processed in batched
+/// rounds identical to the threaded runtime's: protocol handling under one
+/// WAL group, proof evaluation as one data-plane batch, replies coalesced
+/// per peer into one frame.
+pub struct ServerHost {
+    tx: Sender<HostInput>,
+    handle: Option<JoinHandle<()>>,
+    /// Server-side edge stats by peer id; survives reconnects.
+    edges: Arc<Mutex<HashMap<u64, Arc<EdgeStats>>>>,
+    /// Currently attached (not yet detached) connections.
+    live_peers: Arc<AtomicUsize>,
+}
+
+impl ServerHost {
+    /// Spawns the host's event loop around a configured core.
+    #[must_use]
+    pub fn spawn(core: ServerCore<NetAddr>, epoch: Instant, batch: usize) -> ServerHost {
+        let (tx, rx) = unbounded::<HostInput>();
+        let edges: Arc<Mutex<HashMap<u64, Arc<EdgeStats>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let live_peers = Arc::new(AtomicUsize::new(0));
+        let loop_edges = Arc::clone(&edges);
+        let loop_live = Arc::clone(&live_peers);
+        let loop_tx = tx.clone();
+        let handle = std::thread::spawn(move || {
+            host_loop(
+                core,
+                rx,
+                loop_tx,
+                epoch,
+                batch.max(1),
+                loop_edges,
+                loop_live,
+            );
+        });
+        ServerHost {
+            tx,
+            handle: Some(handle),
+            edges,
+            live_peers,
+        }
+    }
+
+    /// Attaches (or replaces) the connection carrying peer `peer`'s
+    /// traffic. The host reads frames from it and writes replies to it;
+    /// attaching over an existing connection counts as a reconnect.
+    pub fn attach(&self, peer: u64, stream: UnixStream) {
+        let _ = self.tx.send(HostInput::Attach(peer, stream));
+    }
+
+    /// Applies a configuration closure on the event loop and waits for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host's thread has exited.
+    pub fn configure(&self, f: impl FnOnce(&mut ServerCore<NetAddr>) + Send + 'static) {
+        let (done_tx, done_rx) = unbounded();
+        self.tx
+            .send(HostInput::Configure(Box::new(f), done_tx))
+            .expect("host thread alive");
+        done_rx.recv().expect("configuration applied");
+    }
+
+    /// How many connections are currently attached. A multi-process server
+    /// can poll this to exit once its last client hangs up.
+    #[must_use]
+    pub fn live_peers(&self) -> usize {
+        self.live_peers.load(Ordering::Acquire)
+    }
+
+    /// Server-side transport counters summed over this host's edges.
+    #[must_use]
+    pub fn transport_counters(&self) -> TransportCounters {
+        let edges = self.edges.lock().expect("edges lock");
+        edges.values().map(|e| e.snapshot()).sum()
+    }
+
+    /// Server-side counters for one peer's edge, if it ever attached.
+    #[must_use]
+    pub fn edge_counters(&self, peer: u64) -> Option<TransportCounters> {
+        let edges = self.edges.lock().expect("edges lock");
+        edges.get(&peer).map(|e| e.snapshot())
+    }
+
+    /// Stops the event loop and joins it (readers included).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.tx.send(HostInput::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHost {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn now_since(epoch: Instant) -> Timestamp {
+    Timestamp::from_micros(epoch.elapsed().as_micros() as u64)
+}
+
+/// Spawns the reader side of one connection: frames are decoded off the
+/// stream and fed into the host's input channel; a payload that fails to
+/// decode is counted and skipped (framing survives — the next length
+/// prefix is still in phase); EOF or an I/O error reports a detach.
+fn spawn_host_reader(
+    stream: UnixStream,
+    peer: u64,
+    generation: u64,
+    tx: Sender<HostInput>,
+    stats: Arc<EdgeStats>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            stats.note_received(payload.len());
+            match decode_msg(&payload) {
+                Ok(msg) => {
+                    if tx.send(HostInput::Proto(NetAddr(peer), msg)).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => stats.note_decode_error(),
+            }
+        }
+        let _ = tx.send(HostInput::Detach(peer, generation));
+    })
+}
+
+/// The server host's event loop: the socket-runtime analogue of the
+/// threaded runtime's `server_loop` + `process_round`, with proof
+/// evaluation inline (the loop is the server's single thread).
+fn host_loop(
+    mut core: ServerCore<NetAddr>,
+    rx: Receiver<HostInput>,
+    tx: Sender<HostInput>,
+    epoch: Instant,
+    batch: usize,
+    edges: Arc<Mutex<HashMap<u64, Arc<EdgeStats>>>>,
+    live_peers: Arc<AtomicUsize>,
+) {
+    let mut links: HashMap<u64, PeerLink> = HashMap::new();
+    let mut next_generation = 0u64;
+    'outer: loop {
+        let Ok(first) = rx.recv() else { break };
+        // Collect one round: up to `batch` protocol messages already
+        // queued; control inputs act as barriers exactly like the threaded
+        // runtime's.
+        let mut round: Vec<(NetAddr, Msg)> = Vec::new();
+        let mut control = None;
+        match first {
+            HostInput::Proto(from, msg) => round.push((from, msg)),
+            other => control = Some(other),
+        }
+        while control.is_none() && round.len() < batch {
+            match rx.try_recv() {
+                Ok(HostInput::Proto(from, msg)) => round.push((from, msg)),
+                Ok(other) => control = Some(other),
+                Err(_) => break,
+            }
+        }
+        if !round.is_empty() {
+            process_round(&mut core, epoch, round, &mut links);
+        }
+        match control {
+            None => {}
+            Some(HostInput::Configure(f, done)) => {
+                f(&mut core);
+                let _ = done.send(());
+            }
+            Some(HostInput::Attach(peer, stream)) => {
+                let stats = {
+                    let mut edges = edges.lock().expect("edges lock");
+                    Arc::clone(edges.entry(peer).or_default())
+                };
+                let generation = next_generation;
+                next_generation += 1;
+                let writer_stream = stream.try_clone().expect("clone unix stream");
+                let reader = spawn_host_reader(
+                    writer_stream.try_clone().expect("clone unix stream"),
+                    peer,
+                    generation,
+                    tx.clone(),
+                    Arc::clone(&stats),
+                );
+                let link = PeerLink {
+                    stream,
+                    writer: BufWriter::new(writer_stream),
+                    stats,
+                    generation,
+                    reader: Some(reader),
+                };
+                if let Some(old) = links.insert(peer, link) {
+                    // A replaced connection: count the reconnect, unblock
+                    // and join the old reader.
+                    let _ = old.stream.shutdown(std::net::Shutdown::Both);
+                    if let Some(handle) = old.reader {
+                        let _ = handle.join();
+                    }
+                    links[&peer].stats.note_reconnect();
+                } else {
+                    live_peers.fetch_add(1, Ordering::Release);
+                }
+            }
+            Some(HostInput::Detach(peer, generation))
+                if links.get(&peer).is_some_and(|l| l.generation == generation) =>
+            {
+                let mut link = links.remove(&peer).expect("guard checked presence");
+                if let Some(handle) = link.reader.take() {
+                    let _ = handle.join();
+                }
+                live_peers.fetch_sub(1, Ordering::Release);
+            }
+            // A stale detach from a reader whose connection was already
+            // replaced: the link (and its new reader) stay up.
+            Some(HostInput::Detach(..)) => {}
+            Some(HostInput::Shutdown) => break 'outer,
+            Some(HostInput::Proto(..)) => unreachable!("proto inputs join the round"),
+        }
+    }
+    // Unblock and join every reader.
+    for (_, mut link) in links.drain() {
+        let _ = link.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(handle) = link.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A proof evaluation deferred to the round's data-plane batch (mirrors
+/// the threaded runtime's `EvalTask`).
+enum EvalTask {
+    Query {
+        txn: TxnId,
+        query_index: usize,
+        query: Arc<QuerySpec>,
+        user: UserId,
+        credentials: Arc<[Credential]>,
+        to: NetAddr,
+    },
+    Snapshot {
+        txn: TxnId,
+        snapshot: EvalSnapshot,
+        to: NetAddr,
+    },
+}
+
+/// Processes one batched round: protocol handling inline under one WAL
+/// group, the round's proof evaluations as one data-plane batch, replies
+/// coalesced per peer and flushed once per touched connection.
+fn process_round(
+    core: &mut ServerCore<NetAddr>,
+    epoch: Instant,
+    round: Vec<(NetAddr, Msg)>,
+    links: &mut HashMap<u64, PeerLink>,
+) {
+    let now = now_since(epoch);
+    let mut inline: Vec<(NetAddr, Msg)> = Vec::new();
+    let mut tasks: Vec<EvalTask> = Vec::new();
+    core.begin_wal_group();
+    for (from, msg) in round {
+        // A Batch envelope is by definition its inner messages in order.
+        let msgs = match msg {
+            Msg::Batch(inner) => inner,
+            other => vec![other],
+        };
+        for msg in msgs {
+            if core.unsafe_baseline() {
+                inline.extend(core.handle(now, from, msg));
+                continue;
+            }
+            match msg {
+                Msg::ExecQuery {
+                    txn,
+                    query_index,
+                    query,
+                    user,
+                    credentials,
+                    evaluate_proof: true,
+                    pin_versions,
+                    capabilities,
+                } => {
+                    let replies = core.handle(
+                        now,
+                        from,
+                        Msg::ExecQuery {
+                            txn,
+                            query_index,
+                            query: Arc::clone(&query),
+                            user,
+                            credentials: Arc::clone(&credentials),
+                            evaluate_proof: false,
+                            pin_versions,
+                            capabilities,
+                        },
+                    );
+                    let ok = replies
+                        .iter()
+                        .any(|(_, m)| matches!(m, Msg::QueryDone { ok: true, .. }));
+                    if ok {
+                        tasks.push(EvalTask::Query {
+                            txn,
+                            query_index,
+                            query,
+                            user,
+                            credentials,
+                            to: from,
+                        });
+                    } else {
+                        inline.extend(replies);
+                    }
+                }
+                Msg::PrepareToValidate {
+                    txn,
+                    new_query,
+                    user,
+                    credentials,
+                } => {
+                    if let Some(snapshot) =
+                        core.register_validation(txn, new_query, user, credentials, from)
+                    {
+                        tasks.push(EvalTask::Snapshot {
+                            txn,
+                            snapshot,
+                            to: from,
+                        });
+                    }
+                }
+                Msg::Update {
+                    txn,
+                    targets,
+                    in_commit: false,
+                } => {
+                    core.data_plane().fast_forward(&targets);
+                    match core.snapshot_txn(txn) {
+                        Some(snapshot) => tasks.push(EvalTask::Snapshot {
+                            txn,
+                            snapshot,
+                            to: from,
+                        }),
+                        None => inline.push((
+                            from,
+                            Msg::ValidateReply {
+                                txn,
+                                reply: ValidationReply {
+                                    vote: Vote::Yes,
+                                    truth: true,
+                                    versions: VersionMap::new(),
+                                    proofs: Vec::new(),
+                                },
+                            },
+                        )),
+                    }
+                }
+                other => inline.extend(core.handle(now, from, other)),
+            }
+        }
+    }
+    // The WAL group closes — performing the round's one physical sync —
+    // before any reply leaves, so a vote never outruns the force it
+    // acknowledges.
+    core.end_wal_group();
+    let mut outputs = inline;
+    if !tasks.is_empty() {
+        let data = core.data_plane();
+        let mut batch = data.begin_batch(now_since(epoch));
+        for task in tasks {
+            match task {
+                EvalTask::Query {
+                    txn,
+                    query_index,
+                    query,
+                    user,
+                    credentials,
+                    to,
+                } => {
+                    let proof = batch.evaluate_one(user, &credentials, &query);
+                    outputs.push((
+                        to,
+                        Msg::QueryDone {
+                            txn,
+                            query_index,
+                            ok: true,
+                            proof: Some(proof),
+                            capability: None,
+                        },
+                    ));
+                }
+                EvalTask::Snapshot { txn, snapshot, to } => {
+                    let (truth, versions, proofs) = batch.evaluate_snapshot(&snapshot);
+                    outputs.push((
+                        to,
+                        Msg::ValidateReply {
+                            txn,
+                            reply: ValidationReply {
+                                vote: Vote::Yes,
+                                truth,
+                                versions,
+                                proofs,
+                            },
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    // One frame (and one flush) per destination per round; a disconnected
+    // peer is fine to ignore, like a dead channel in the threaded runtime.
+    for (to, msg) in coalesce_replies(outputs, |a| a.0) {
+        let Some(link) = links.get_mut(&to.0) else {
+            continue;
+        };
+        let sent = write_frame(&mut link.writer, &msg).and_then(|n| {
+            link.writer.flush()?;
+            Ok(n)
+        });
+        match sent {
+            Ok(bytes) => link.stats.note_sent(bytes),
+            Err(_) => {
+                // Dead connection: drop the writer; the reader's detach
+                // handles the bookkeeping.
+                let _ = link.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// The TM pool's side of one edge.
+struct TmLink {
+    /// `None` while disconnected.
+    writer: Mutex<Option<TmWriter>>,
+    stats: Arc<EdgeStats>,
+}
+
+struct TmWriter {
+    /// Kept so disconnects can unblock the reader thread.
+    stream: UnixStream,
+    writer: BufWriter<UnixStream>,
+}
+
+/// Routes server→TM replies to the `execute` call driving that
+/// transaction. Readers route by the `txn` field every TM-bound reply
+/// carries; an unroutable reply is a stale straggler and is counted under
+/// the same rule the in-process runtimes apply.
+type Routes = Arc<Mutex<HashMap<u64, Sender<(ServerId, Msg)>>>>;
+
+/// A cluster whose protocol traffic crosses real byte streams.
+///
+/// [`NetCluster::new`] runs everything in-process over `UnixStream::pair`
+/// duplex sockets: one [`ServerHost`] event loop per server, with
+/// [`NetCluster::execute`] driving the sans-io `TmCore` from the calling
+/// thread exactly like `safetx_runtime::Cluster::execute` — same effects,
+/// same decision log, same inline master consult, same reply-deadline
+/// failure detector. [`NetCluster::connect`] instead attaches to server
+/// processes listening on filesystem sockets (the hosts then live in
+/// other processes and only the TM side runs here).
+pub struct NetCluster {
+    config: ClusterConfig,
+    catalog: SharedCatalog,
+    cas: SharedCas,
+    epoch: Instant,
+    next_txn: AtomicU64,
+    /// In-process hosts (empty in `connect` mode).
+    hosts: Vec<ServerHost>,
+    links: Vec<TmLink>,
+    routes: Routes,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    dropped_replies: Arc<AtomicU64>,
+    timeout_aborts: AtomicU64,
+    decision_log: Arc<Mutex<Wal<CoordinatorRecord>>>,
+}
+
+/// The TM pool's logical peer id on every server's side of the wire. One
+/// pool per cluster today; additional pools would claim distinct ids.
+pub const TM_PEER: u64 = 0;
+
+impl NetCluster {
+    /// Spawns one in-process [`ServerHost`] per server and connects each
+    /// over a fresh `UnixStream` duplex pair. Shares the threaded
+    /// runtime's [`ClusterConfig`] surface: `server_batch` (and the
+    /// `SAFETX_SERVER_BATCH` fallback), `wal_sync_cost`, `reply_timeout`
+    /// and the protocol cell all mean the same thing here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when socket pairs cannot be created.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        let catalog = SharedCatalog::new();
+        let mut registry = CaRegistry::new();
+        registry.register(CertificateAuthority::new(CaId::new(0), 0x7331));
+        let cas = SharedCas::new(registry);
+        let epoch = Instant::now();
+        let batch = resolve_batch(&config);
+
+        let mut hosts = Vec::with_capacity(config.servers);
+        for i in 0..config.servers {
+            let id = ServerId::new(i as u64);
+            let mut core = ServerCore::new(
+                id,
+                catalog.clone(),
+                ResourcePolicyMap::single(PolicyId::new(0)),
+                cas.clone(),
+                config.variant,
+            );
+            if let Some(cost) = config.wal_sync_cost {
+                core.set_wal_sync_cost(cost);
+            }
+            hosts.push(ServerHost::spawn(core, epoch, batch));
+        }
+
+        let mut cluster = NetCluster {
+            config,
+            catalog,
+            cas,
+            epoch,
+            next_txn: AtomicU64::new(0),
+            hosts,
+            links: Vec::new(),
+            routes: Arc::new(Mutex::new(HashMap::new())),
+            readers: Mutex::new(Vec::new()),
+            dropped_replies: Arc::new(AtomicU64::new(0)),
+            timeout_aborts: AtomicU64::new(0),
+            decision_log: Arc::new(Mutex::new(Wal::new())),
+        };
+        for i in 0..cluster.config.servers {
+            let (tm_end, srv_end) = UnixStream::pair().expect("socketpair");
+            cluster.hosts[i].attach(TM_PEER, srv_end);
+            let link = TmLink {
+                writer: Mutex::new(None),
+                stats: Arc::new(EdgeStats::default()),
+            };
+            cluster.links.push(link);
+            cluster.install_tm_connection(i, tm_end, false);
+        }
+        cluster
+    }
+
+    /// Builds a TM-only cluster over already-connected streams, one per
+    /// server in server-id order (stream `i` talks to server *i*). The
+    /// server hosts live elsewhere — typically other processes serving
+    /// filesystem sockets — so [`NetCluster::configure_server`] and the
+    /// policy helpers are unavailable; the server processes seed
+    /// themselves. The local catalog still answers master consults, so
+    /// publish the same policy versions here that the servers installed.
+    #[must_use]
+    pub fn connect(config: ClusterConfig, streams: Vec<UnixStream>) -> Self {
+        assert_eq!(
+            streams.len(),
+            config.servers,
+            "one stream per configured server"
+        );
+        let catalog = SharedCatalog::new();
+        let mut registry = CaRegistry::new();
+        registry.register(CertificateAuthority::new(CaId::new(0), 0x7331));
+        let cas = SharedCas::new(registry);
+        let mut cluster = NetCluster {
+            config,
+            catalog,
+            cas,
+            epoch: Instant::now(),
+            next_txn: AtomicU64::new(0),
+            hosts: Vec::new(),
+            links: Vec::new(),
+            routes: Arc::new(Mutex::new(HashMap::new())),
+            readers: Mutex::new(Vec::new()),
+            dropped_replies: Arc::new(AtomicU64::new(0)),
+            timeout_aborts: AtomicU64::new(0),
+            decision_log: Arc::new(Mutex::new(Wal::new())),
+        };
+        for (i, stream) in streams.into_iter().enumerate() {
+            cluster.links.push(TmLink {
+                writer: Mutex::new(None),
+                stats: Arc::new(EdgeStats::default()),
+            });
+            cluster.install_tm_connection(i, stream, false);
+        }
+        cluster
+    }
+
+    /// Installs a connection on link `i`: registers the writer and spawns
+    /// the demultiplexing reader.
+    fn install_tm_connection(&self, i: usize, stream: UnixStream, reconnect: bool) {
+        let link = &self.links[i];
+        if reconnect {
+            link.stats.note_reconnect();
+        }
+        let reader_stream = stream.try_clone().expect("clone unix stream");
+        let writer_stream = stream.try_clone().expect("clone unix stream");
+        *link.writer.lock().expect("link writer lock") = Some(TmWriter {
+            stream,
+            writer: BufWriter::new(writer_stream),
+        });
+        let routes = Arc::clone(&self.routes);
+        let stats = Arc::clone(&link.stats);
+        let dropped = Arc::clone(&self.dropped_replies);
+        let from = ServerId::new(i as u64);
+        let handle = std::thread::spawn(move || {
+            tm_reader_loop(reader_stream, from, &routes, &stats, &dropped);
+        });
+        self.readers.lock().expect("readers lock").push(handle);
+    }
+
+    /// The configuration this cluster was built with.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shared policy catalog (also the master version server: consults
+    /// are answered inline from its latest snapshot).
+    #[must_use]
+    pub fn catalog(&self) -> &SharedCatalog {
+        &self.catalog
+    }
+
+    /// The shared certificate authorities.
+    #[must_use]
+    pub fn cas(&self) -> &SharedCas {
+        &self.cas
+    }
+
+    /// Protocol-time now (microseconds since cluster start).
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        now_since(self.epoch)
+    }
+
+    /// A fresh transaction id.
+    #[must_use]
+    pub fn next_txn_id(&self) -> TxnId {
+        TxnId::new(self.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Stale replies observed across every `execute` (same accounting rule
+    /// as the in-process runtimes: acks never count, everything else
+    /// does).
+    #[must_use]
+    pub fn dropped_replies(&self) -> u64 {
+        self.dropped_replies.load(Ordering::Relaxed)
+    }
+
+    /// Failure counters: this runtime has no fault-injection fabric, so
+    /// only `timeout_aborts` (reply deadlines that fired, including those
+    /// caused by a disconnected peer) is ever nonzero.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        FaultCounters {
+            timeout_aborts: self.timeout_aborts.load(Ordering::Relaxed),
+            ..FaultCounters::default()
+        }
+    }
+
+    /// Aggregated WAL accounting across the in-process hosts (empty in
+    /// `connect` mode). Meaningful on a quiesced cluster.
+    #[must_use]
+    pub fn wal_stats(&self) -> safetx_metrics::WalStats {
+        let mut total = safetx_metrics::WalStats::default();
+        for host in &self.hosts {
+            let (tx, rx) = unbounded();
+            host.configure(move |core| {
+                let _ = tx.send(core.wal_stats());
+            });
+            total.merge(&rx.recv().expect("wal stats probe"));
+        }
+        total
+    }
+
+    /// Transport counters summed over both sides of every edge.
+    #[must_use]
+    pub fn transport_counters(&self) -> TransportCounters {
+        let tm: TransportCounters = self.links.iter().map(|l| l.stats.snapshot()).sum();
+        let servers: TransportCounters =
+            self.hosts.iter().map(ServerHost::transport_counters).sum();
+        tm + servers
+    }
+
+    /// Both sides of one server's edge: `(tm_side, server_side)`. On a
+    /// clean quiesced run frames are conserved — everything one side sent,
+    /// the other received. `server_side` is all-zero in `connect` mode
+    /// (the host lives in another process).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range.
+    #[must_use]
+    pub fn edge_counters(&self, server: ServerId) -> (TransportCounters, TransportCounters) {
+        let i = server.index() as usize;
+        let tm = self.links[i].stats.snapshot();
+        let srv = self
+            .hosts
+            .get(i)
+            .and_then(|h| h.edge_counters(TM_PEER))
+            .unwrap_or_default();
+        (tm, srv)
+    }
+
+    /// Applies a configuration closure on a server's event loop and waits
+    /// for it (seed data, install policies, add constraints).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range, or in `connect` mode
+    /// (remote server processes configure themselves).
+    pub fn configure_server(
+        &self,
+        server: ServerId,
+        f: impl FnOnce(&mut ServerCore<NetAddr>) + Send + 'static,
+    ) {
+        let host = self
+            .hosts
+            .get(server.index() as usize)
+            .expect("in-process server host (configure is unavailable in connect mode)");
+        host.configure(f);
+    }
+
+    /// Publishes a policy version and notifies every replica.
+    pub fn publish_policy(&self, policy: safetx_policy::Policy) {
+        let id = policy.id();
+        let version = policy.version();
+        self.catalog.publish(policy);
+        for i in 0..self.hosts.len() {
+            self.configure_server(ServerId::new(i as u64), move |core| {
+                core.install_policy(id, version);
+            });
+        }
+    }
+
+    /// Installs a policy version at every replica without publishing a new
+    /// catalog entry.
+    pub fn install_everywhere(&self, policy: PolicyId, version: PolicyVersion) {
+        for i in 0..self.hosts.len() {
+            self.configure_server(ServerId::new(i as u64), move |core| {
+                core.install_policy(policy, version);
+            });
+        }
+    }
+
+    /// Severs the byte stream to one server without touching the server's
+    /// state — the wire fails, the process survives. In-flight replies are
+    /// lost; the next `execute` that needs this server trips the reply
+    /// deadline and aborts with `ServerUnavailable` (configure
+    /// `ClusterConfig::reply_timeout`, or executions will block).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range.
+    pub fn disconnect_server(&self, server: ServerId) {
+        let link = &self.links[server.index() as usize];
+        if let Some(writer) = link.writer.lock().expect("link writer lock").take() {
+            let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Replaces a severed connection with a fresh duplex pair under the
+    /// server's original logical peer id, so reply coalescing keyed by
+    /// that id spans the reconnect unchanged. Counted on both edges'
+    /// `reconnects`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range or in `connect` mode.
+    pub fn reconnect_server(&self, server: ServerId) {
+        let i = server.index() as usize;
+        let host = self
+            .hosts
+            .get(i)
+            .expect("in-process server host (reconnect is driven externally in connect mode)");
+        let (tm_end, srv_end) = UnixStream::pair().expect("socketpair");
+        host.attach(TM_PEER, srv_end);
+        self.install_tm_connection(i, tm_end, true);
+    }
+
+    /// Executes one transaction synchronously over the wire: the same
+    /// blocking drive of the sans-io `TmCore` as the threaded runtime's
+    /// `Cluster::execute`, except every send is an encoded frame and every
+    /// reply arrives off a socket, demultiplexed to this call by
+    /// transaction id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the core fails to terminate the transaction (a protocol
+    /// bug, not an I/O condition).
+    #[must_use]
+    pub fn execute(&self, spec: &TransactionSpec, credentials: &[Credential]) -> ExecutionResult {
+        let started = Instant::now();
+        let txn = spec.id;
+        let (reply_tx, reply_rx) = unbounded::<(ServerId, Msg)>();
+        self.routes
+            .lock()
+            .expect("routes lock")
+            .insert(txn.index(), reply_tx);
+
+        let config = TmConfig::new(
+            self.config.scheme,
+            self.config.consistency,
+            self.config.variant,
+        );
+        let mut core = TmCore::new(config, spec.clone(), credentials.to_vec(), self.now());
+        let mut termination: Option<TxnTermination> = None;
+        let reply_timeout = self.config.reply_timeout;
+
+        let mut effects = core.start(self.now());
+        loop {
+            let mut consult_master = false;
+            // Touched links flush once per effect batch, after the whole
+            // batch is encoded — frames keep their protocol order and a
+            // round's sends to one server share a syscall.
+            let mut touched: Vec<usize> = Vec::new();
+            for effect in effects {
+                match effect {
+                    TmEffect::Send(server, msg) => {
+                        let i = server.index() as usize;
+                        self.send_to(i, &msg);
+                        if !touched.contains(&i) {
+                            touched.push(i);
+                        }
+                    }
+                    TmEffect::QueryMaster => consult_master = true,
+                    TmEffect::ForceLog { record, .. } => {
+                        self.decision_log
+                            .lock()
+                            .expect("decision log lock")
+                            .force(record);
+                    }
+                    TmEffect::Log(record) => {
+                        self.decision_log
+                            .lock()
+                            .expect("decision log lock")
+                            .append(record);
+                    }
+                    TmEffect::ArmTimer(_) | TmEffect::Decided(_) => {}
+                    TmEffect::Finished(t) => termination = Some(*t),
+                }
+            }
+            for i in touched {
+                self.flush_link(i);
+            }
+            if termination.is_some() {
+                break;
+            }
+            if consult_master {
+                let versions = self.catalog.latest_snapshot().1;
+                effects = core.step(self.now(), TmEvent::MasterVersions { versions });
+                continue;
+            }
+            // One reply (readers already flattened any Batch envelope), or
+            // the deadline.
+            let input = match reply_timeout {
+                None => reply_rx.recv().ok(),
+                Some(t) => reply_rx.recv_timeout(t).ok(),
+            };
+            let event = match input {
+                None => TmEvent::ReplyTimeout,
+                Some((from, msg)) => match tm_event(txn, from, msg) {
+                    Ok(event) => event,
+                    Err(counts_as_dropped) => {
+                        if counts_as_dropped {
+                            self.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                        }
+                        effects = Vec::new();
+                        continue;
+                    }
+                },
+            };
+            effects = core.step(self.now(), event);
+        }
+
+        // Deregister, then drain stragglers that raced the deregistration.
+        self.routes
+            .lock()
+            .expect("routes lock")
+            .remove(&txn.index());
+        let mut driver_dropped = 0u64;
+        while let Ok((_, msg)) = reply_rx.try_recv() {
+            if reply_counts_as_dropped(&msg) {
+                driver_dropped += 1;
+            }
+        }
+        self.dropped_replies
+            .fetch_add(driver_dropped + core.dropped_replies(), Ordering::Relaxed);
+
+        let termination = termination.expect("core emitted Finished");
+        if termination.outcome.abort_reason() == Some(AbortReason::ServerUnavailable) {
+            self.timeout_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        ExecutionResult::from_termination(termination, started.elapsed())
+    }
+
+    /// Encodes and writes one frame to server `i` without flushing. A
+    /// disconnected or failing link is fine to ignore — the reply deadline
+    /// is the failure detector.
+    fn send_to(&self, i: usize, msg: &Msg) {
+        let link = &self.links[i];
+        let mut slot = link.writer.lock().expect("link writer lock");
+        let Some(tm_writer) = slot.as_mut() else {
+            return;
+        };
+        match write_frame(&mut tm_writer.writer, msg) {
+            Ok(bytes) => link.stats.note_sent(bytes),
+            Err(_) => {
+                let writer = slot.take().expect("writer present");
+                let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    fn flush_link(&self, i: usize) {
+        let link = &self.links[i];
+        let mut slot = link.writer.lock().expect("link writer lock");
+        if let Some(tm_writer) = slot.as_mut() {
+            if tm_writer.writer.flush().is_err() {
+                let writer = slot.take().expect("writer present");
+                let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Stops every connection and host and joins all their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for link in &self.links {
+            if let Some(writer) = link.writer.lock().expect("link writer lock").take() {
+                let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for handle in self.readers.lock().expect("readers lock").drain(..) {
+            let _ = handle.join();
+        }
+        for host in self.hosts.drain(..) {
+            host.shutdown();
+        }
+    }
+}
+
+impl Drop for NetCluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The TM-side reader for one edge: decodes frames, flattens coalesced
+/// envelopes, and routes each inner reply to the `execute` call driving
+/// its transaction. Unroutable replies are stale stragglers, counted
+/// under the shared rule (acks never count).
+fn tm_reader_loop(
+    stream: UnixStream,
+    from: ServerId,
+    routes: &Routes,
+    stats: &EdgeStats,
+    dropped: &AtomicU64,
+) {
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        stats.note_received(payload.len());
+        let msg = match decode_msg(&payload) {
+            Ok(msg) => msg,
+            Err(_) => {
+                stats.note_decode_error();
+                continue;
+            }
+        };
+        let msgs = match msg {
+            Msg::Batch(inner) => inner,
+            other => vec![other],
+        };
+        for msg in msgs {
+            route_reply(from, msg, routes, dropped);
+        }
+    }
+}
+
+/// Routes one server→TM message by its transaction id.
+fn route_reply(from: ServerId, msg: Msg, routes: &Routes, dropped: &AtomicU64) {
+    let txn = match reply_txn(&msg) {
+        Some(txn) => txn,
+        None => {
+            // Server→TM traffic always carries a transaction id; anything
+            // else is foreign and counted like any stale non-ack.
+            if reply_counts_as_dropped(&msg) {
+                dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    };
+    let sender = {
+        let routes = routes.lock().expect("routes lock");
+        routes.get(&txn.index()).cloned()
+    };
+    match sender {
+        Some(tx) => {
+            if tx.send((from, msg)).is_err() && reply_counts_as_dropped(&Msg::Ack { txn }) {
+                // Unreachable in practice (acks never count) — kept for
+                // symmetry if the rule ever changes.
+                dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        None => {
+            if reply_counts_as_dropped(&msg) {
+                dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The transaction a server→TM message belongs to.
+fn reply_txn(msg: &Msg) -> Option<TxnId> {
+    match msg {
+        Msg::QueryDone { txn, .. }
+        | Msg::ValidateReply { txn, .. }
+        | Msg::CommitReply { txn, .. }
+        | Msg::Ack { txn }
+        | Msg::Inquiry { txn, .. }
+        | Msg::InquiryReply { txn, .. }
+        | Msg::VersionReply { txn, .. } => Some(*txn),
+        _ => None,
+    }
+}
+
+/// Converts a routed reply into the core event it carries (the socket
+/// analogue of the threaded runtime's `coordinator_event`). `Err` is the
+/// [`reply_counts_as_dropped`] verdict for a stale or foreign message.
+fn tm_event(txn: TxnId, from: ServerId, msg: Msg) -> Result<TmEvent, bool> {
+    match msg {
+        Msg::QueryDone {
+            txn: t,
+            query_index,
+            ok,
+            proof,
+            capability,
+        } if t == txn => Ok(TmEvent::QueryDone {
+            query_index,
+            ok,
+            proof,
+            capability,
+        }),
+        Msg::ValidateReply { txn: t, reply } if t == txn => {
+            Ok(TmEvent::ValidateReply { from, reply })
+        }
+        Msg::CommitReply { txn: t, reply } if t == txn => Ok(TmEvent::CommitReply { from, reply }),
+        Msg::Ack { txn: t } if t == txn => Ok(TmEvent::Ack { from }),
+        msg => Err(reply_counts_as_dropped(&msg)),
+    }
+}

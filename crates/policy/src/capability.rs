@@ -54,6 +54,40 @@ impl AccessCapability {
         cap
     }
 
+    /// Reassembles a capability from its transported fields, carrying the
+    /// original signature unchanged (the wire-decoding counterpart of
+    /// [`AccessCapability::issue`]; decoding never validates — a tampered
+    /// field fails [`AccessCapability::verify`] later).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_parts(
+        issuer: ServerId,
+        user: UserId,
+        txn: TxnId,
+        action: String,
+        resource: String,
+        issued_at: Timestamp,
+        expires_at: Timestamp,
+        signature: u64,
+    ) -> Self {
+        AccessCapability {
+            issuer,
+            user,
+            txn,
+            action,
+            resource,
+            issued_at,
+            expires_at,
+            signature,
+        }
+    }
+
+    /// The signature tag over the canonical byte encoding.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
     /// The issuing server.
     #[must_use]
     pub fn issuer(&self) -> ServerId {

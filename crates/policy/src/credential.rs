@@ -106,6 +106,36 @@ impl Credential {
         SyntacticCheck::Valid
     }
 
+    /// Reassembles a credential from its transported fields, carrying the
+    /// original signature unchanged.
+    ///
+    /// This is the wire-decoding counterpart of
+    /// [`CredentialBuilder::sign`]: a receiver cannot re-sign (it does not
+    /// hold the CA's key), so it reconstructs the exact bytes the issuer
+    /// signed. A tampered field simply fails [`Credential::syntactic_check`]
+    /// later — decoding never validates.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_parts(
+        id: CredentialId,
+        subject: UserId,
+        statement: Atom,
+        issuer: CaId,
+        issued_at: Timestamp,
+        expires_at: Timestamp,
+        signature: u64,
+    ) -> Credential {
+        Credential {
+            id,
+            subject,
+            statement,
+            issuer,
+            issued_at,
+            expires_at,
+            signature,
+        }
+    }
+
     /// Returns a copy with a tampered statement (signature left unchanged);
     /// useful in tests and failure-injection scenarios.
     #[must_use]

@@ -3,9 +3,9 @@
 use crate::fault::{ArmedPlan, CrashPoint, FaultPlan, FaultStats, MsgKind, Peer, Verdict};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
-    reply_counts_as_dropped, AbortReason, ConsistencyLevel, EvalSnapshot, Msg, ProofScheme,
-    ResourcePolicyMap, ServerCore, SharedCas, SharedCatalog, TmConfig, TmCore, TmEffect, TmEvent,
-    TransactionView, TxnOutcome, TxnTermination, ValidationReply, VersionMap,
+    coalesce_replies, reply_counts_as_dropped, AbortReason, ConsistencyLevel, EvalSnapshot, Msg,
+    ProofScheme, ResourcePolicyMap, ServerCore, SharedCas, SharedCatalog, TmConfig, TmCore,
+    TmEffect, TmEvent, TransactionView, TxnOutcome, TxnTermination, ValidationReply, VersionMap,
 };
 use safetx_metrics::{FaultCounters, ProtocolMetrics};
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
@@ -337,7 +337,10 @@ fn resolve_workers(config: &ClusterConfig) -> usize {
 
 /// Resolves the server-round batch limit: explicit config, then the
 /// `SAFETX_SERVER_BATCH` environment variable, then `1` (batching off).
-fn resolve_batch(config: &ClusterConfig) -> usize {
+///
+/// Public so alternative deployments of the same [`ClusterConfig`] (the
+/// socket runtime in `safetx-net`) resolve the limit identically.
+pub fn resolve_batch(config: &ClusterConfig) -> usize {
     config
         .server_batch
         .or_else(|| {
@@ -1571,30 +1574,14 @@ fn process_round(
     }
 }
 
-/// Sends a round's outputs, coalescing consecutive-or-not messages to the
-/// same destination channel into one [`Msg::Batch`] envelope — one channel
-/// send (and one fabric crossing) per destination per round. Destinations
-/// keep first-appearance order; inside an envelope, messages keep their
-/// round order. Single messages go out bare.
+/// Sends a round's outputs through the shared coalescing helper, keyed by
+/// [`Addr::id`] — process-unique per reply channel, which satisfies
+/// [`coalesce_replies`]'s key invariant because this runtime never reuses
+/// a channel across logical peers (see the invariant documented on
+/// `safetx_core::coalesce_replies`).
 fn send_coalesced(outputs: Vec<(Addr, Msg)>, my_addr: &Addr, net: &Net) {
-    let mut order: Vec<Addr> = Vec::new();
-    let mut groups: HashMap<u64, Vec<Msg>> = HashMap::new();
-    for (to, msg) in outputs {
-        match groups.entry(to.id) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(msg),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(vec![msg]);
-                order.push(to);
-            }
-        }
-    }
-    for to in order {
-        let mut msgs = groups.remove(&to.id).expect("grouped above");
-        if msgs.len() == 1 {
-            net.send_proto(my_addr, &to, msgs.pop().expect("one message"));
-        } else {
-            net.send_proto(my_addr, &to, Msg::Batch(msgs));
-        }
+    for (to, msg) in coalesce_replies(outputs, |a| a.id) {
+        net.send_proto(my_addr, &to, msg);
     }
 }
 

@@ -43,7 +43,7 @@
 mod cluster;
 mod fault;
 
-pub use cluster::{Addr, Cluster, ClusterConfig, ExecutionResult};
+pub use cluster::{resolve_batch, Addr, Cluster, ClusterConfig, ExecutionResult};
 pub use fault::{CrashPoint, CrashRule, EdgeRule, FaultPlan, MsgKind, Peer, PeerMatch};
 
 // Re-exported so the doc example above typechecks without extra imports.

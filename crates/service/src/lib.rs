@@ -44,4 +44,6 @@ pub use admission::{AdmissionError, AdmissionQueue};
 pub use driver::{run_closed_loop, run_open_loop, DriverReport};
 pub use report::ServiceStats;
 pub use retry::{classify, Disposition, RetryPolicy};
-pub use service::{Completion, CompletionHandle, ServiceConfig, ServiceOutcome, TxnService};
+pub use service::{
+    Completion, CompletionHandle, RuntimeKind, ServiceConfig, ServiceOutcome, TxnService,
+};

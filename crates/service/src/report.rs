@@ -1,6 +1,6 @@
 //! Service-level statistics: outcome counters and latency histograms.
 
-use safetx_metrics::{FaultCounters, Histogram, Json, WalStats};
+use safetx_metrics::{FaultCounters, Histogram, Json, TransportCounters, WalStats};
 
 /// Everything the service measured, snapshot-able at any time and final
 /// after shutdown.
@@ -47,6 +47,12 @@ pub struct ServiceStats {
     /// from [`safetx_runtime::Cluster::wal_stats`]; like `faults`, outside
     /// the conservation invariant.
     pub wal: WalStats,
+    /// Transport accounting summed over every edge of the backend: frames
+    /// and bytes in both directions, reconnects and decode errors. All
+    /// zero on the threaded backend (no wire). Sourced from
+    /// `RuntimeKind::transport_counters`; like `faults`, outside the
+    /// conservation invariant.
+    pub transport: TransportCounters,
     /// End-to-end latency of committed transactions, in milliseconds
     /// (submission to commit, including queueing and retries).
     pub commit_latency_ms: Histogram,
@@ -104,6 +110,12 @@ impl ServiceStats {
             .with("timeout_aborts", self.faults.timeout_aborts)
             .with("forced_logs", self.wal.forced_logs)
             .with("physical_syncs", self.wal.physical_syncs)
+            .with("frames_sent", self.transport.frames_sent)
+            .with("frames_received", self.transport.frames_received)
+            .with("bytes_sent", self.transport.bytes_sent)
+            .with("bytes_received", self.transport.bytes_received)
+            .with("reconnects", self.transport.reconnects)
+            .with("decode_errors", self.transport.decode_errors)
             .with("commit_latency_ms", self.commit_latency_ms.to_json())
             .with("queue_wait_ms", self.queue_wait_ms.to_json())
             .with("failure_latency_ms", self.failure_latency_ms.to_json())

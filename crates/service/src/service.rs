@@ -5,14 +5,123 @@ use crate::admission::{AdmissionError, AdmissionQueue};
 use crate::report::ServiceStats;
 use crate::retry::{classify, Disposition, RetryPolicy};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use safetx_core::{AbortReason, TransactionView, TxnOutcome};
+use safetx_core::{AbortReason, SharedCas, SharedCatalog, TransactionView, TxnOutcome};
+use safetx_metrics::{FaultCounters, TransportCounters, WalStats};
+use safetx_net::NetCluster;
 use safetx_policy::Credential;
-use safetx_runtime::Cluster;
+use safetx_runtime::{Cluster, ClusterConfig, ExecutionResult};
 use safetx_txn::TransactionSpec;
+use safetx_types::TxnId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The execution backend a service drives: the same protocol state
+/// machines deployed either over in-process channels or over real byte
+/// streams. Every method delegates to the matching cluster; the service
+/// layer above is identical for both.
+#[derive(Clone)]
+pub enum RuntimeKind {
+    /// The threaded runtime: messages move as in-memory objects over
+    /// crossbeam channels.
+    Threaded(Arc<Cluster>),
+    /// The wire-protocol runtime: messages are encoded into
+    /// length-prefixed frames and cross `UnixStream`s.
+    Net(Arc<NetCluster>),
+}
+
+impl RuntimeKind {
+    /// Executes one transaction synchronously on the backend.
+    #[must_use]
+    pub fn execute(&self, spec: &TransactionSpec, credentials: &[Credential]) -> ExecutionResult {
+        match self {
+            RuntimeKind::Threaded(c) => c.execute(spec, credentials),
+            RuntimeKind::Net(c) => c.execute(spec, credentials),
+        }
+    }
+
+    /// A fresh transaction id.
+    #[must_use]
+    pub fn next_txn_id(&self) -> TxnId {
+        match self {
+            RuntimeKind::Threaded(c) => c.next_txn_id(),
+            RuntimeKind::Net(c) => c.next_txn_id(),
+        }
+    }
+
+    /// The backend's cluster configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        match self {
+            RuntimeKind::Threaded(c) => c.config(),
+            RuntimeKind::Net(c) => c.config(),
+        }
+    }
+
+    /// The shared policy catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &SharedCatalog {
+        match self {
+            RuntimeKind::Threaded(c) => c.catalog(),
+            RuntimeKind::Net(c) => c.catalog(),
+        }
+    }
+
+    /// The shared certificate authorities.
+    #[must_use]
+    pub fn cas(&self) -> &SharedCas {
+        match self {
+            RuntimeKind::Threaded(c) => c.cas(),
+            RuntimeKind::Net(c) => c.cas(),
+        }
+    }
+
+    /// Publishes a policy version and notifies every replica.
+    pub fn publish_policy(&self, policy: safetx_policy::Policy) {
+        match self {
+            RuntimeKind::Threaded(c) => c.publish_policy(policy),
+            RuntimeKind::Net(c) => c.publish_policy(policy),
+        }
+    }
+
+    /// Stale replies observed across every execution.
+    #[must_use]
+    pub fn dropped_replies(&self) -> u64 {
+        match self {
+            RuntimeKind::Threaded(c) => c.dropped_replies(),
+            RuntimeKind::Net(c) => c.dropped_replies(),
+        }
+    }
+
+    /// Failure counters from the backend's fabric.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        match self {
+            RuntimeKind::Threaded(c) => c.fault_counters(),
+            RuntimeKind::Net(c) => c.fault_counters(),
+        }
+    }
+
+    /// Aggregated WAL accounting across the backend's servers.
+    #[must_use]
+    pub fn wal_stats(&self) -> WalStats {
+        match self {
+            RuntimeKind::Threaded(c) => c.wal_stats(),
+            RuntimeKind::Net(c) => c.wal_stats(),
+        }
+    }
+
+    /// Transport counters summed over every edge (all zero on the
+    /// threaded backend — no bytes cross a wire there).
+    #[must_use]
+    pub fn transport_counters(&self) -> TransportCounters {
+        match self {
+            RuntimeKind::Threaded(_) => TransportCounters::default(),
+            RuntimeKind::Net(c) => c.transport_counters(),
+        }
+    }
+}
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -108,7 +217,7 @@ struct Job {
 /// every worker ([`TxnService::shutdown`] does the same and returns the
 /// final statistics).
 pub struct TxnService {
-    cluster: Arc<Cluster>,
+    runtime: RuntimeKind,
     queue: Arc<AdmissionQueue<Job>>,
     stats: Arc<Mutex<ServiceStats>>,
     workers: Vec<JoinHandle<()>>,
@@ -116,28 +225,39 @@ pub struct TxnService {
 }
 
 impl TxnService {
-    /// Spawns the worker pool.
+    /// Spawns the worker pool over the threaded runtime (shorthand for
+    /// [`TxnService::with_runtime`] with [`RuntimeKind::Threaded`]).
     ///
     /// # Panics
     ///
     /// Panics when `config.workers` is zero.
     #[must_use]
     pub fn new(cluster: Arc<Cluster>, config: ServiceConfig) -> Self {
+        Self::with_runtime(RuntimeKind::Threaded(cluster), config)
+    }
+
+    /// Spawns the worker pool over an explicit execution backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` is zero.
+    #[must_use]
+    pub fn with_runtime(runtime: RuntimeKind, config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "at least one worker required");
         let queue = Arc::new(AdmissionQueue::new(config.queue_depth));
         let stats = Arc::new(Mutex::new(ServiceStats::default()));
         let workers = (0..config.workers)
             .map(|_| {
-                let cluster = cluster.clone();
+                let runtime = runtime.clone();
                 let queue = queue.clone();
                 let stats = stats.clone();
                 let retry = config.retry;
                 let seed = config.seed;
-                std::thread::spawn(move || worker_loop(&cluster, &queue, &stats, retry, seed))
+                std::thread::spawn(move || worker_loop(&runtime, &queue, &stats, retry, seed))
             })
             .collect();
         TxnService {
-            cluster,
+            runtime,
             queue,
             stats,
             workers,
@@ -145,10 +265,26 @@ impl TxnService {
         }
     }
 
-    /// The cluster this service drives.
+    /// The execution backend this service drives.
+    #[must_use]
+    pub fn runtime(&self) -> &RuntimeKind {
+        &self.runtime
+    }
+
+    /// The threaded cluster this service drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a net-backed service — match on [`TxnService::runtime`]
+    /// instead when the backend can be either kind.
     #[must_use]
     pub fn cluster(&self) -> &Arc<Cluster> {
-        &self.cluster
+        match &self.runtime {
+            RuntimeKind::Threaded(cluster) => cluster,
+            RuntimeKind::Net(_) => {
+                panic!("cluster() is threaded-only; use runtime() for a net-backed service")
+            }
+        }
     }
 
     /// Items currently waiting in the admission queue.
@@ -235,9 +371,10 @@ impl TxnService {
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         let mut stats = self.stats.lock().expect("stats lock").clone();
-        stats.dropped_replies = self.cluster.dropped_replies();
-        stats.faults = self.cluster.fault_counters();
-        stats.wal = self.cluster.wal_stats();
+        stats.dropped_replies = self.runtime.dropped_replies();
+        stats.faults = self.runtime.fault_counters();
+        stats.wal = self.runtime.wal_stats();
+        stats.transport = self.runtime.transport_counters();
         stats
     }
 
@@ -264,7 +401,7 @@ impl Drop for TxnService {
 }
 
 fn worker_loop(
-    cluster: &Cluster,
+    runtime: &RuntimeKind,
     queue: &AdmissionQueue<Job>,
     stats: &Mutex<ServiceStats>,
     retry: RetryPolicy,
@@ -284,8 +421,8 @@ fn worker_loop(
             // servers key lock tables and WAL records by TxnId, so a retry
             // must never reuse the id of its aborted predecessor.
             let mut spec = job.spec.clone();
-            spec.id = cluster.next_txn_id();
-            let result = cluster.execute(&spec, &job.credentials);
+            spec.id = runtime.next_txn_id();
+            let result = runtime.execute(&spec, &job.credentials);
             match result.outcome {
                 TxnOutcome::Committed { .. } => break (ServiceOutcome::Committed, result),
                 TxnOutcome::Aborted { reason, .. } => match classify(reason) {

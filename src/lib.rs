@@ -102,6 +102,12 @@ pub mod runtime {
     pub use safetx_runtime::*;
 }
 
+/// Wire codec and Unix-socket deployment of the same protocol state
+/// machines (messages cross real byte streams).
+pub mod net {
+    pub use safetx_net::*;
+}
+
 /// Counters, histograms and table rendering used by the benches.
 pub mod metrics {
     pub use safetx_metrics::*;

@@ -20,6 +20,7 @@
 use safetx_core::{
     AbortReason, ConsistencyLevel, Experiment, ExperimentConfig, ProofScheme, TxnRecord,
 };
+use safetx_net::NetCluster;
 use safetx_policy::{Atom, Constant, Credential, Policy, PolicyBuilder};
 use safetx_runtime::{Cluster, ClusterConfig, ExecutionResult};
 use safetx_store::{IntegrityConstraint, Value};
@@ -134,6 +135,7 @@ fn role_atom(role: &str) -> Atom {
 enum Side {
     Sim(Box<Experiment>, usize),
     Threaded(Box<Cluster>),
+    Net(Box<NetCluster>),
 }
 
 impl Side {
@@ -198,6 +200,32 @@ impl Side {
         Side::Threaded(Box::new(cluster))
     }
 
+    /// The socket runtime: identical setup over `NetCluster`, every
+    /// protocol message crossing an in-process `UnixStream` pair as an
+    /// encoded frame.
+    fn net(scheme: ProofScheme, consistency: ConsistencyLevel, variant: CommitVariant) -> Side {
+        let cluster = NetCluster::new(ClusterConfig {
+            servers: SERVERS,
+            scheme,
+            consistency,
+            variant,
+            ..Default::default()
+        });
+        cluster.publish_policy(base_policy());
+        for s in 0..SERVERS as u64 {
+            cluster.configure_server(ServerId::new(s), move |core| {
+                for j in 0..=GUARDED_SLOT {
+                    core.store_mut().write(
+                        DataItemId::new(s * 100 + j),
+                        Value::Int(SEED_VALUE),
+                        Timestamp::ZERO,
+                    );
+                }
+            });
+        }
+        Side::Net(Box::new(cluster))
+    }
+
     fn credential(&mut self, role: &str) -> Credential {
         let statement = role_atom(role);
         match self {
@@ -205,6 +233,14 @@ impl Side {
                 exp.issue_credential(UserId::new(1), statement, Timestamp::ZERO, Timestamp::MAX)
             }
             Side::Threaded(cluster) => cluster.cas().with_mut(|registry| {
+                registry.ca_mut(CaId::new(0)).expect("CA0").issue(
+                    UserId::new(1),
+                    statement,
+                    Timestamp::ZERO,
+                    Timestamp::MAX,
+                )
+            }),
+            Side::Net(cluster) => cluster.cas().with_mut(|registry| {
                 registry.ca_mut(CaId::new(0)).expect("CA0").issue(
                     UserId::new(1),
                     statement,
@@ -220,6 +256,7 @@ impl Side {
         match self {
             Side::Sim(exp, _) => exp.catalog().publish(policy),
             Side::Threaded(cluster) => cluster.catalog().publish(policy),
+            Side::Net(cluster) => cluster.catalog().publish(policy),
         };
     }
 
@@ -227,6 +264,9 @@ impl Side {
         match self {
             Side::Sim(exp, _) => exp.install_at(server, policy, version),
             Side::Threaded(cluster) => {
+                cluster.configure_server(server, move |core| core.install_policy(policy, version));
+            }
+            Side::Net(cluster) => {
                 cluster.configure_server(server, move |core| core.install_policy(policy, version));
             }
         }
@@ -251,6 +291,11 @@ impl Side {
                     core.constraints_mut().push(constraint);
                 });
             }
+            Side::Net(cluster) => {
+                cluster.configure_server(server, move |core| {
+                    core.constraints_mut().push(constraint);
+                });
+            }
         }
     }
 
@@ -267,12 +312,15 @@ impl Side {
             Side::Threaded(cluster) => {
                 Observation::from_result(&cluster.execute(&spec, &credentials))
             }
+            Side::Net(cluster) => Observation::from_result(&cluster.execute(&spec, &credentials)),
         }
     }
 
     fn shutdown(self) {
-        if let Side::Threaded(cluster) = self {
-            cluster.shutdown();
+        match self {
+            Side::Threaded(cluster) => cluster.shutdown(),
+            Side::Net(cluster) => cluster.shutdown(),
+            Side::Sim(..) => {}
         }
     }
 }
@@ -464,6 +512,46 @@ fn sim_and_threaded_runtimes_agree_on_every_cell() {
     // The battery must genuinely exercise both outcomes in every run.
     assert!(commits > 0, "differential battery committed nothing");
     assert!(aborts > 0, "differential battery aborted nothing");
+}
+
+/// The wire-protocol runtime is held to the full three-way oracle: for
+/// every scheme × consistency cell, the socket deployment — where every
+/// protocol message is encoded into a length-prefixed frame, crosses a
+/// real `UnixStream`, and is decoded on the far side — must produce the
+/// same outcomes, abort reasons, Table I counters and normalized proof
+/// views as both the deterministic simulator and the threaded runtime.
+#[test]
+fn net_runtime_agrees_with_sim_and_threaded_on_every_cell() {
+    let mut commits = 0usize;
+    let mut aborts = 0usize;
+    for (i, scheme) in ProofScheme::ALL.into_iter().enumerate() {
+        for (j, consistency) in ConsistencyLevel::ALL.into_iter().enumerate() {
+            let variant = VARIANTS[(i + j) % VARIANTS.len()];
+            let seed = 0x0e77_caf3 ^ ((i as u64) << 8) ^ (j as u64);
+            let sim = run_stream(Side::sim(scheme, consistency, variant), seed);
+            let threaded = run_stream(Side::threaded(scheme, consistency, variant), seed);
+            let net = run_stream(Side::net(scheme, consistency, variant), seed);
+            assert_eq!(sim.len(), net.len(), "{scheme}/{consistency}");
+            assert_eq!(threaded.len(), net.len(), "{scheme}/{consistency}");
+            for (((label, s), (_, t)), (_, n)) in sim.iter().zip(threaded.iter()).zip(net.iter()) {
+                assert_eq!(
+                    s, n,
+                    "{scheme}/{consistency}/{variant:?}: net diverged from sim on {label}"
+                );
+                assert_eq!(
+                    t, n,
+                    "{scheme}/{consistency}/{variant:?}: net diverged from threaded on {label}"
+                );
+                if n.committed {
+                    commits += 1;
+                } else {
+                    aborts += 1;
+                }
+            }
+        }
+    }
+    assert!(commits > 0, "net differential battery committed nothing");
+    assert!(aborts > 0, "net differential battery aborted nothing");
 }
 
 /// The batched threaded runtime is held to the same oracle: with
