@@ -26,6 +26,12 @@
 //! encoded into a length-prefixed frame and crosses a `UnixStream`. The
 //! outcome totals must be byte-identical to a threaded run with the same
 //! arguments — CI diffs the two.
+//!
+//! `--zipf <theta>` and `--keys <n>` switch key selection from the default
+//! uniform spread to a Zipf(theta) draw over an `n`-key universe (servers
+//! default missing items to zero, so the universe can span millions of
+//! keys without seeding them). Both default off; a run without them is
+//! identical to one built before the knobs existed.
 
 use safetx_core::{trusted, ConsistencyLevel, ProofScheme};
 use safetx_metrics::Json;
@@ -35,10 +41,11 @@ use safetx_runtime::{Cluster, ClusterConfig};
 use safetx_service::{
     run_closed_loop, run_open_loop, RetryPolicy, RuntimeKind, ServiceConfig, TxnService,
 };
+use safetx_sim::SimRng;
 use safetx_store::Value;
 use safetx_txn::{Operation, QuerySpec, TransactionSpec};
 use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, Timestamp, UserId};
-use safetx_workload::PoissonArrivals;
+use safetx_workload::{PoissonArrivals, ZipfLarge};
 use std::sync::Arc;
 
 /// Data items seeded per server; transaction keys are spread over these.
@@ -113,18 +120,37 @@ fn member_credential(runtime: &RuntimeKind) -> Credential {
     })
 }
 
-/// A read-modify-write across every server; the key slot spreads with the
-/// global index so contention is real but bounded.
-fn spec_for(runtime: &RuntimeKind, global_index: u64) -> TransactionSpec {
+/// How transaction keys are chosen.
+#[derive(Clone, Copy)]
+enum KeyMode {
+    /// The original deterministic spread: slot `(g·7) mod 64` on every
+    /// server. Contention is real but bounded and outcomes are positional.
+    Spread,
+    /// Zipf(theta)-ranked draws over a `keys_per_server`-key universe per
+    /// server (`--zipf`/`--keys`): rank 0 is the hottest key, and the
+    /// draw is a pure function of (seed, txn index, server), so outcomes
+    /// stay reproducible under a fixed seed.
+    Zipf { dist: ZipfLarge, seed: u64 },
+}
+
+/// A read-modify-write across every server, key slots chosen by `mode`.
+fn spec_for(runtime: &RuntimeKind, global_index: u64, mode: KeyMode) -> TransactionSpec {
     let servers = runtime.config().servers as u64;
-    let slot = (global_index * 7) % ITEMS_PER_SERVER;
     let queries = (0..servers)
         .map(|s| {
+            let item = match mode {
+                KeyMode::Spread => s * 100 + (global_index * 7) % ITEMS_PER_SERVER,
+                KeyMode::Zipf { dist, seed } => {
+                    let mut rng =
+                        SimRng::new(seed ^ global_index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ s);
+                    s * dist.len() + dist.sample(&mut rng)
+                }
+            };
             QuerySpec::new(
                 ServerId::new(s),
                 "write",
                 "records",
-                vec![Operation::Add(DataItemId::new(s * 100 + slot), 1)],
+                vec![Operation::Add(DataItemId::new(item), 1)],
             )
         })
         .collect();
@@ -182,13 +208,13 @@ fn retry_policy() -> RetryPolicy {
 /// totals into `totals`.
 fn closed_loop_cell(
     runtime: RuntimeKind,
-    scheme: ProofScheme,
-    consistency: ConsistencyLevel,
     clients: usize,
     per_client: usize,
     seed: u64,
+    mode: KeyMode,
     totals: &mut Totals,
 ) -> Json {
+    let (scheme, consistency) = (runtime.config().scheme, runtime.config().consistency);
     let service = TxnService::with_runtime(
         runtime.clone(),
         ServiceConfig {
@@ -206,7 +232,7 @@ fn closed_loop_cell(
         } else {
             vec![cred.clone()]
         };
-        (spec_for(&runtime, g), creds)
+        (spec_for(&runtime, g, mode), creds)
     });
 
     // Post-hoc Definition 4 audit: every commit's recorded view must be
@@ -246,7 +272,13 @@ fn closed_loop_cell(
 /// Open-loop Poisson section: arrivals do not wait for completions. The
 /// queue is deeper than the arrival count so outcome totals stay
 /// deterministic; shedding is demonstrated by the gated overload section.
-fn open_loop_section(net: bool, seed: u64, count: usize, totals: &mut Totals) -> Json {
+fn open_loop_section(
+    net: bool,
+    seed: u64,
+    count: usize,
+    mode: KeyMode,
+    totals: &mut Totals,
+) -> Json {
     let runtime = build_runtime(net, 3, ProofScheme::Punctual, ConsistencyLevel::View);
     let service = TxnService::with_runtime(
         runtime.clone(),
@@ -267,7 +299,7 @@ fn open_loop_section(net: bool, seed: u64, count: usize, totals: &mut Totals) ->
         } else {
             vec![cred.clone()]
         };
-        (spec_for(&runtime, g), creds)
+        (spec_for(&runtime, g, mode), creds)
     });
     let mut stats = service.shutdown();
     assert!(stats.conserves(), "open loop leaked outcomes: {stats:?}");
@@ -286,7 +318,13 @@ fn open_loop_section(net: bool, seed: u64, count: usize, totals: &mut Totals) ->
 /// the single worker on it, fill the queue to depth, and burst `extra`
 /// more submissions — exactly `extra` are shed. Then open the gate and
 /// drain; everything admitted commits.
-fn overload_section(net: bool, seed: u64, extra: usize, totals: &mut Totals) -> Json {
+fn overload_section(
+    net: bool,
+    seed: u64,
+    extra: usize,
+    mode: KeyMode,
+    totals: &mut Totals,
+) -> Json {
     let depth = 4usize;
     let runtime = build_runtime(net, 2, ProofScheme::Deferred, ConsistencyLevel::View);
     let service = TxnService::with_runtime(
@@ -318,12 +356,13 @@ fn overload_section(net: bool, seed: u64, extra: usize, totals: &mut Totals) -> 
                 let _ = gate_rx.recv();
             });
         }
+        RuntimeKind::Sharded(_) => unreachable!("loadgen never builds a sharded backend"),
     });
 
     // Park the worker: submit one job and wait until it leaves the queue
     // (the worker is now blocked inside execute on the gated server).
     let mut handles = vec![service
-        .try_submit(spec_for(&runtime, 0), vec![cred.clone()])
+        .try_submit(spec_for(&runtime, 0, mode), vec![cred.clone()])
         .expect("empty queue admits")];
     while service.queue_len() > 0 {
         std::thread::sleep(std::time::Duration::from_millis(1));
@@ -331,7 +370,7 @@ fn overload_section(net: bool, seed: u64, extra: usize, totals: &mut Totals) -> 
     // Fill the queue to depth, then burst past it.
     let mut rejected = 0u64;
     for g in 0..(depth + extra) as u64 {
-        match service.try_submit(spec_for(&runtime, g + 1), vec![cred.clone()]) {
+        match service.try_submit(spec_for(&runtime, g + 1, mode), vec![cred.clone()]) {
             Ok(h) => handles.push(h),
             Err(err) => {
                 assert_eq!(err, safetx_service::AdmissionError::Overloaded);
@@ -404,12 +443,21 @@ fn validate(text: &str) {
 fn main() {
     let mut smoke = false;
     let mut net = false;
+    let mut zipf_theta: Option<f64> = None;
+    let mut keys: Option<u64> = None;
     let mut positional = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
         } else if arg == "--net" {
             net = true;
+        } else if arg == "--zipf" {
+            let theta = args.next().expect("--zipf takes a theta value");
+            zipf_theta = Some(theta.parse().expect("zipf theta"));
+        } else if arg == "--keys" {
+            let n = args.next().expect("--keys takes a key count");
+            keys = Some(n.parse().expect("key count"));
         } else {
             positional.push(arg);
         }
@@ -447,6 +495,19 @@ fn main() {
         )
     };
 
+    // Either knob alone engages Zipf selection; the other takes a default.
+    let mode = if zipf_theta.is_some() || keys.is_some() {
+        let theta = zipf_theta.unwrap_or(0.0);
+        let universe = keys.unwrap_or(servers as u64 * ITEMS_PER_SERVER);
+        let per_server = universe.div_ceil(servers as u64).max(1);
+        KeyMode::Zipf {
+            dist: ZipfLarge::new(per_server, theta),
+            seed,
+        }
+    } else {
+        KeyMode::Spread
+    };
+
     let mut totals = Totals::default();
     let mut cells = Vec::new();
     for &scheme in &schemes {
@@ -455,32 +516,36 @@ fn main() {
                 eprintln!("closed loop: {scheme} / {consistency} / {clients} clients");
                 cells.push(closed_loop_cell(
                     build_runtime(net, servers, scheme, consistency),
-                    scheme,
-                    consistency,
                     clients,
                     per_client,
                     seed,
+                    mode,
                     &mut totals,
                 ));
             }
         }
     }
     eprintln!("open loop: Poisson arrivals");
-    let open = open_loop_section(net, seed, if smoke { 40 } else { 80 }, &mut totals);
+    let open = open_loop_section(net, seed, if smoke { 40 } else { 80 }, mode, &mut totals);
     eprintln!("overload: gated burst");
-    let overload = overload_section(net, seed, 6, &mut totals);
+    let overload = overload_section(net, seed, 6, mode, &mut totals);
 
+    // Default runs emit exactly the pre-knob config shape; the Zipf keys
+    // appear only when the knobs are engaged.
+    let mut config_json = Json::object()
+        .with("smoke", smoke)
+        .with("runtime", if net { "net" } else { "threaded" })
+        .with("servers", servers)
+        .with("per_client", per_client)
+        .with("seed", seed)
+        .with("deny_every", DENY_EVERY);
+    if let KeyMode::Zipf { dist, .. } = mode {
+        config_json = config_json
+            .with("zipf_theta", zipf_theta.unwrap_or(0.0))
+            .with("keys_per_server", dist.len());
+    }
     let report = Json::object()
-        .with(
-            "config",
-            Json::object()
-                .with("smoke", smoke)
-                .with("runtime", if net { "net" } else { "threaded" })
-                .with("servers", servers)
-                .with("per_client", per_client)
-                .with("seed", seed)
-                .with("deny_every", DENY_EVERY),
-        )
+        .with("config", config_json)
         .with("closed_loop", Json::Arr(cells))
         .with("open_loop", open)
         .with("overload", overload)

@@ -1,0 +1,475 @@
+//! Sharded scale-out benchmark: latency vs offered throughput.
+//!
+//! Deploys the partitioned runtime (`safetx_runtime::ShardedCluster`) at
+//! several shard counts and drives each through the transaction service
+//! with an open-loop Poisson ladder: offered load steps up per point until
+//! the admission queue saturates and sheds. Every point records achieved
+//! throughput, commit-latency quantiles, shed counts and the single- vs
+//! cross-shard latency split, into `BENCH_scale.json`.
+//!
+//! The workload draws from million-scale populations: Zipf-ranked keys
+//! over a universe far larger than anything seeded (servers default
+//! missing items to zero) and Zipf-ranked users whose credential wallets
+//! are issued lazily through `safetx_workload::WalletDirectory`, so memory
+//! stays bounded by the wallet cache, not the population.
+//!
+//! Two built-in validations mirror the test suite:
+//! - a sequential 1-shard-vs-threaded differential (all eight scheme ×
+//!   consistency cells) asserting identical outcomes, Table I counters and
+//!   normalized proof views — the sharded router at one shard must be the
+//!   plain cluster;
+//! - per-point conservation (`commits + aborts + sheds == submissions`,
+//!   and the router's own `submitted == commits + aborts` per class) plus
+//!   a Definition 4 audit of every committed view.
+//!
+//! ```bash
+//! cargo run --release -p safetx-bench --bin scale_sweep [-- [--smoke] [seed]]
+//! ```
+//!
+//! Throughput numbers are wall-clock and depend on the host; on a
+//! single-vCPU container every "parallel" shard shares one core, so the
+//! curves show saturation behaviour, not shard-count speedup (see the
+//! `nproc` field and EXPERIMENTS.md).
+
+use safetx_core::{trusted, ConsistencyLevel, ProofScheme};
+use safetx_metrics::{Histogram, Json};
+use safetx_policy::{Credential, PolicyBuilder};
+use safetx_runtime::{Cluster, ClusterConfig, ShardedCluster, ShardedConfig};
+use safetx_service::{RetryPolicy, RuntimeKind, ServiceConfig, TxnService};
+use safetx_sim::SimRng;
+use safetx_txn::{Operation, QuerySpec, TransactionSpec};
+use safetx_types::{AdminDomain, CaId, DataItemId, PolicyId, ServerId, TxnId};
+use safetx_workload::{PoissonArrivals, Population, WalletDirectory};
+use std::sync::Arc;
+
+/// Servers each shard owns.
+const SERVERS_PER_SHARD: usize = 2;
+/// Every CROSS_EVERY-th transaction spans two shards (when there are two).
+const CROSS_EVERY: u64 = 4;
+
+fn policy() -> safetx_policy::Policy {
+    PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member).",
+        )
+        .expect("rules parse")
+        .build()
+}
+
+fn sharded(
+    shards: usize,
+    scheme: ProofScheme,
+    consistency: ConsistencyLevel,
+) -> Arc<ShardedCluster> {
+    let cluster = ShardedCluster::new(ShardedConfig {
+        shards,
+        cluster: ClusterConfig {
+            servers: SERVERS_PER_SHARD,
+            scheme,
+            consistency,
+            ..Default::default()
+        },
+    });
+    cluster.publish_policy(policy());
+    Arc::new(cluster)
+}
+
+/// The workload: Zipf populations plus the deterministic spec builder.
+struct Workload {
+    population: Population,
+    wallets: WalletDirectory,
+    total_servers: u64,
+    shards: u64,
+    seed: u64,
+}
+
+impl Workload {
+    fn new(cluster: &ShardedCluster, users: u64, keys: u64, theta: f64, seed: u64) -> Self {
+        Workload {
+            population: Population::new(users, 0.9, keys, theta),
+            wallets: WalletDirectory::new(cluster.cas().clone(), CaId::new(0), 1024),
+            total_servers: cluster.total_servers() as u64,
+            shards: cluster.shards() as u64,
+            seed,
+        }
+    }
+
+    /// Builds submission `g`: a write on the sampled key's owning server,
+    /// plus — every [`CROSS_EVERY`]-th time, population permitting — a
+    /// second write owned by a different shard. Pure in `(seed, g)`.
+    fn make(&self, g: u64) -> (TransactionSpec, Vec<Credential>) {
+        let mut rng = SimRng::new(self.seed ^ g.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let user = self.population.sample_user(&mut rng);
+        let rank = self.population.sample_item(&mut rng);
+        let server = rank % self.total_servers;
+        let mut queries = vec![QuerySpec::new(
+            ServerId::new(server),
+            "write",
+            "records",
+            vec![Operation::Add(DataItemId::new(rank), 1)],
+        )];
+        if self.shards > 1 && g % CROSS_EVERY == CROSS_EVERY - 1 {
+            let rank2 = self.population.sample_item(&mut rng);
+            let shard = server / SERVERS_PER_SHARD as u64;
+            let other_shard = (shard + 1 + rank2 % (self.shards - 1)) % self.shards;
+            let server2 = other_shard * SERVERS_PER_SHARD as u64 + rank2 % SERVERS_PER_SHARD as u64;
+            queries.push(QuerySpec::new(
+                ServerId::new(server2),
+                "write",
+                "records",
+                vec![Operation::Add(DataItemId::new(rank2), 1)],
+            ));
+        }
+        let wallet = self.wallets.wallet(user);
+        (
+            // The service assigns a fresh TxnId per attempt; this one is a
+            // placeholder.
+            TransactionSpec::new(TxnId::new(g), user, queries),
+            wallet.to_vec(),
+        )
+    }
+}
+
+fn quantiles(hist: &mut Histogram) -> Json {
+    Json::object()
+        .with("count", hist.count())
+        .with("p50_ms", hist.quantile(0.50).unwrap_or(0.0))
+        .with("p95_ms", hist.quantile(0.95).unwrap_or(0.0))
+        .with("p99_ms", hist.quantile(0.99).unwrap_or(0.0))
+}
+
+/// One point of the ladder: a fresh sharded deployment driven open-loop at
+/// the given mean inter-arrival time until `count` arrivals have fired.
+fn sweep_point(
+    shards: usize,
+    mean_interarrival_us: u64,
+    count: usize,
+    users: u64,
+    keys: u64,
+    theta: f64,
+    seed: u64,
+) -> Json {
+    let cluster = sharded(shards, ProofScheme::Punctual, ConsistencyLevel::View);
+    let workload = Workload::new(&cluster, users, keys, theta, seed);
+    let service = TxnService::with_runtime(
+        RuntimeKind::Sharded(cluster.clone()),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 16,
+            retry: RetryPolicy {
+                max_retries: 16,
+                base_backoff: std::time::Duration::from_micros(50),
+                max_backoff: std::time::Duration::from_millis(2),
+                jitter_percent: 50,
+                ..RetryPolicy::default()
+            },
+            seed,
+        },
+    );
+    let arrivals = PoissonArrivals::new(
+        safetx_types::Duration::from_micros(mean_interarrival_us),
+        seed ^ shards as u64,
+    );
+    let offered_rate = arrivals.rate_per_sec();
+    let report = safetx_service::run_open_loop(&service, arrivals, count, |index| {
+        workload.make(index as u64)
+    });
+
+    // Definition 4 audit on every committed view.
+    let authority = cluster.catalog().latest_versions();
+    for completion in report.completions.iter().filter(|c| c.outcome.is_commit()) {
+        assert!(
+            trusted::is_trusted(&completion.view, ConsistencyLevel::View, &authority),
+            "{shards} shards: a committed view failed the Definition 4 audit"
+        );
+    }
+
+    let mut stats = service.shutdown();
+    assert!(
+        stats.conserves(),
+        "{shards} shards leaked outcomes: {stats:?}"
+    );
+    assert!(
+        stats.route.conserves(),
+        "{shards} shards: router accounting leaked: {:?}",
+        stats.route
+    );
+    let (mut single_ms, mut cross_ms) = cluster.route_latency_ms();
+    let throughput = stats.throughput_tps(report.wall);
+    Json::object()
+        .with("offered_rate_tps", offered_rate)
+        .with("offered", report.offered)
+        .with("shed", report.rejected)
+        .with("wall_ms", report.wall.as_secs_f64() * 1_000.0)
+        .with("throughput_tps", throughput)
+        .with(
+            "single_shard",
+            quantiles(&mut single_ms)
+                .with("submitted", stats.route.single_shard_submitted)
+                .with("commits", stats.route.single_shard_commits),
+        )
+        .with(
+            "cross_shard",
+            quantiles(&mut cross_ms)
+                .with("submitted", stats.route.cross_shard_submitted)
+                .with("commits", stats.route.cross_shard_commits),
+        )
+        .with("stats", stats.to_json())
+}
+
+/// A sequential differential: a 1-shard sharded deployment must behave
+/// byte-identically to the plain threaded cluster across all eight
+/// scheme × consistency cells — outcomes, abort reasons, Table I counters
+/// and normalized proof views.
+fn one_shard_differential(txns_per_cell: u64, seed: u64) -> Json {
+    let mut cells = 0u64;
+    let mut transactions = 0u64;
+    let mut mismatches = 0u64;
+    for scheme in ProofScheme::ALL {
+        for consistency in ConsistencyLevel::ALL {
+            cells += 1;
+            let shard_side = sharded(1, scheme, consistency);
+            let plain = Cluster::new(ClusterConfig {
+                servers: SERVERS_PER_SHARD,
+                scheme,
+                consistency,
+                ..Default::default()
+            });
+            plain.publish_policy(policy());
+            let shard_work = Workload::new(&shard_side, 64, 4096, 1.0, seed);
+            for g in 0..txns_per_cell {
+                transactions += 1;
+                let (spec, creds) = shard_work.make(g);
+                // Every third transaction goes out uncredentialed to pin
+                // the policy-denied abort path too.
+                let creds: Vec<Credential> = if g % 3 == 2 { vec![] } else { creds };
+                let mut spec = spec;
+                spec.id = TxnId::new(10_000 + g);
+                // The plain cluster issues its own credential for the same
+                // user from its own CA (same CA key), so proof views match.
+                let plain_creds: Vec<Credential> = creds
+                    .iter()
+                    .map(|c| {
+                        plain.cas().with_mut(|registry| {
+                            registry.ca_mut(CaId::new(0)).expect("CA0").issue(
+                                c.subject(),
+                                c.statement().clone(),
+                                safetx_types::Timestamp::ZERO,
+                                safetx_types::Timestamp::MAX,
+                            )
+                        })
+                    })
+                    .collect();
+                let a = shard_side.execute(&spec, &creds);
+                let b = plain.execute(&spec, &plain_creds);
+                let obs = |r: &safetx_runtime::ExecutionResult| {
+                    let mut view: Vec<String> = r
+                        .view
+                        .proofs()
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{}/{}/{}/{}/{}/{}",
+                                p.server,
+                                p.request.action,
+                                p.request.resource,
+                                p.policy_id,
+                                p.policy_version,
+                                p.truth()
+                            )
+                        })
+                        .collect();
+                    view.sort();
+                    // Commit timestamps are physical-time-derived and
+                    // differ even between two plain clusters; compare the
+                    // decision and abort reason, not the instant.
+                    let reason = match r.outcome {
+                        safetx_core::TxnOutcome::Committed { .. } => None,
+                        safetx_core::TxnOutcome::Aborted { reason, .. } => Some(reason),
+                    };
+                    (
+                        r.is_commit(),
+                        format!("{reason:?}"),
+                        r.queries_executed,
+                        r.metrics.messages,
+                        r.metrics.proofs,
+                        r.metrics.rounds,
+                        r.metrics.forced_logs,
+                        view,
+                    )
+                };
+                if obs(&a) != obs(&b) {
+                    mismatches += 1;
+                    eprintln!(
+                        "MISMATCH {scheme}/{consistency} txn {g}:\n  sharded: {:?}\n  threaded: {:?}",
+                        obs(&a),
+                        obs(&b)
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "1-shard sharded deployment diverged from the threaded cluster"
+    );
+    Json::object()
+        .with("cells", cells)
+        .with("transactions", transactions)
+        .with("mismatches", mismatches)
+}
+
+/// Re-parses the emitted JSON and checks conservation on every point —
+/// the check CI's scale-smoke step relies on.
+fn validate(text: &str) {
+    let parsed = Json::parse(text).expect("emitted JSON must re-parse");
+    let num = |obj: &Json, key: &str| {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing numeric field {key}"))
+    };
+    let curves = parsed
+        .get("curves")
+        .and_then(Json::as_array)
+        .expect("curves array");
+    assert!(
+        curves.len() >= 2,
+        "need curves for at least two shard counts"
+    );
+    for curve in curves {
+        let shards = num(curve, "shards");
+        let points = curve
+            .get("points")
+            .and_then(Json::as_array)
+            .expect("points array");
+        assert!(!points.is_empty(), "curve with no points");
+        for (i, point) in points.iter().enumerate() {
+            let what = format!("shards={shards} point {i}");
+            let stats = point.get("stats").expect("point stats");
+            let accounted = num(stats, "commits")
+                + num(stats, "terminal_aborts")
+                + num(stats, "retries_exhausted")
+                + num(stats, "overload_rejections");
+            assert_eq!(accounted, num(stats, "submissions"), "{what}: leak");
+            let class = |name: &str, sub: &str| num(point.get(name).expect("route split"), sub);
+            assert_eq!(
+                class("single_shard", "submitted") + class("cross_shard", "submitted"),
+                num(stats, "single_shard_submitted") + num(stats, "cross_shard_submitted"),
+                "{what}: route splits disagree with stats"
+            );
+            if shards > 1 {
+                assert!(
+                    class("cross_shard", "submitted") > 0,
+                    "{what}: no cross-shard traffic was routed"
+                );
+            }
+        }
+    }
+    let diff = parsed.get("oneshard_vs_threaded").expect("differential");
+    assert_eq!(num(diff, "mismatches"), 0, "differential mismatches");
+    let sheds: u64 = curves
+        .iter()
+        .flat_map(|c| c.get("points").and_then(Json::as_array).unwrap().iter())
+        .map(|p| num(p, "shed"))
+        .sum();
+    assert!(
+        sheds > 0,
+        "the ladder never reached saturation (no shedding)"
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let seed: u64 = positional
+        .first()
+        .map(|s| s.parse().expect("seed"))
+        .unwrap_or(42);
+
+    let (shard_counts, rates_us, count, users, keys, theta): (
+        Vec<usize>,
+        Vec<u64>,
+        usize,
+        u64,
+        u64,
+        f64,
+    ) = if smoke {
+        (vec![1, 2], vec![1200, 40], 80, 10_000, 65_536, 1.0)
+    } else {
+        (
+            vec![1, 2, 4],
+            vec![1600, 800, 400, 200, 100, 40],
+            240,
+            1_000_000,
+            1_000_000,
+            1.0,
+        )
+    };
+
+    eprintln!("differential: 1-shard sharded vs threaded (8 cells)");
+    let diff = one_shard_differential(if smoke { 4 } else { 8 }, seed);
+
+    let mut curves = Vec::new();
+    let mut scaling = Vec::new();
+    for &shards in &shard_counts {
+        let mut points = Vec::new();
+        let mut peak = 0.0f64;
+        for &mean_us in &rates_us {
+            eprintln!("sweep: {shards} shard(s), mean inter-arrival {mean_us}us, {count} arrivals");
+            let point = sweep_point(shards, mean_us, count, users, keys, theta, seed);
+            if let Some(tps) = point.get("throughput_tps").and_then(Json::as_f64) {
+                peak = peak.max(tps);
+            }
+            points.push(point);
+        }
+        scaling.push(
+            Json::object()
+                .with("shards", shards)
+                .with("total_servers", shards * SERVERS_PER_SHARD)
+                .with("peak_throughput_tps", peak),
+        );
+        curves.push(
+            Json::object()
+                .with("shards", shards)
+                .with("total_servers", shards * SERVERS_PER_SHARD)
+                .with("points", Json::Arr(points)),
+        );
+    }
+
+    let nproc = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let report = Json::object()
+        .with(
+            "config",
+            Json::object()
+                .with("smoke", smoke)
+                .with("seed", seed)
+                .with("servers_per_shard", SERVERS_PER_SHARD)
+                .with("scheme", format!("{}", ProofScheme::Punctual))
+                .with("consistency", format!("{}", ConsistencyLevel::View))
+                .with("users", users)
+                .with("keys", keys)
+                .with("zipf_theta", theta)
+                .with("cross_every", CROSS_EVERY)
+                .with("arrivals_per_point", count)
+                .with("nproc", nproc),
+        )
+        .with("oneshard_vs_threaded", diff)
+        .with("curves", Json::Arr(curves))
+        .with("scaling", Json::Arr(scaling));
+    let text = report.render();
+    std::fs::write("BENCH_scale.json", &text).expect("write BENCH_scale.json");
+    validate(&text);
+    println!(
+        "scale_sweep OK: {} shard counts x {} points, nproc={nproc} (BENCH_scale.json)",
+        shard_counts.len(),
+        rates_us.len()
+    );
+}

@@ -319,6 +319,115 @@ impl std::iter::Sum for FaultCounters {
     }
 }
 
+/// Shard-routing accounting for a partitioned deployment: how many
+/// transactions stayed inside one shard (no cross-shard coordination) and
+/// how many were driven through cross-shard 2PVC, split by final outcome.
+///
+/// Conservation: `single_shard_submitted + cross_shard_submitted` equals
+/// the executions the router performed, and within each class
+/// `submitted == commits + aborts` once the deployment has quiesced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteCounters {
+    /// Transactions whose key set resolved to exactly one shard.
+    pub single_shard_submitted: u64,
+    /// Single-shard transactions that committed.
+    pub single_shard_commits: u64,
+    /// Single-shard transactions that aborted (any reason).
+    pub single_shard_aborts: u64,
+    /// Transactions spanning two or more shards (cross-shard 2PVC).
+    pub cross_shard_submitted: u64,
+    /// Cross-shard transactions that committed.
+    pub cross_shard_commits: u64,
+    /// Cross-shard transactions that aborted (any reason).
+    pub cross_shard_aborts: u64,
+}
+
+impl RouteCounters {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &RouteCounters) {
+        self.single_shard_submitted += other.single_shard_submitted;
+        self.single_shard_commits += other.single_shard_commits;
+        self.single_shard_aborts += other.single_shard_aborts;
+        self.cross_shard_submitted += other.cross_shard_submitted;
+        self.cross_shard_commits += other.cross_shard_commits;
+        self.cross_shard_aborts += other.cross_shard_aborts;
+    }
+
+    /// Executions routed, single- and cross-shard together.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.single_shard_submitted + self.cross_shard_submitted
+    }
+
+    /// True when every routed execution resolved to a commit or an abort
+    /// in its own class.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.single_shard_submitted == self.single_shard_commits + self.single_shard_aborts
+            && self.cross_shard_submitted == self.cross_shard_commits + self.cross_shard_aborts
+    }
+
+    /// Machine-readable form for `BENCH_*.json` emitters.
+    #[must_use]
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::object()
+            .with("single_shard_submitted", self.single_shard_submitted)
+            .with("single_shard_commits", self.single_shard_commits)
+            .with("single_shard_aborts", self.single_shard_aborts)
+            .with("cross_shard_submitted", self.cross_shard_submitted)
+            .with("cross_shard_commits", self.cross_shard_commits)
+            .with("cross_shard_aborts", self.cross_shard_aborts)
+    }
+
+    /// Rebuilds counters from [`RouteCounters::to_json`] output.
+    #[must_use]
+    pub fn from_json(json: &crate::Json) -> Option<Self> {
+        let field = |name: &str| json.get(name).and_then(crate::Json::as_u64);
+        Some(RouteCounters {
+            single_shard_submitted: field("single_shard_submitted")?,
+            single_shard_commits: field("single_shard_commits")?,
+            single_shard_aborts: field("single_shard_aborts")?,
+            cross_shard_submitted: field("cross_shard_submitted")?,
+            cross_shard_commits: field("cross_shard_commits")?,
+            cross_shard_aborts: field("cross_shard_aborts")?,
+        })
+    }
+}
+
+impl fmt::Display for RouteCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "single={}/{}c cross={}/{}c",
+            self.single_shard_submitted,
+            self.single_shard_commits,
+            self.cross_shard_submitted,
+            self.cross_shard_commits
+        )
+    }
+}
+
+impl std::ops::Add for RouteCounters {
+    type Output = RouteCounters;
+
+    fn add(mut self, rhs: RouteCounters) -> RouteCounters {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for RouteCounters {
+    fn sum<I: Iterator<Item = RouteCounters>>(iter: I) -> RouteCounters {
+        iter.fold(RouteCounters::new(), |acc, c| acc + c)
+    }
+}
+
 /// Write-ahead-log force accounting, split into the paper's logical metric
 /// and the physical syncs group commit amortizes them into.
 ///

@@ -1,14 +1,65 @@
-//! Sample-retaining histogram for latency summaries.
+//! Latency histogram: exact up to a retain cap, log-bucketed past it.
+//!
+//! Small experiments keep every raw sample, so quantiles are exact and
+//! existing `BENCH_*.json` runs are byte-identical. Million-sample scale
+//! sweeps (and merges of many per-shard histograms) would grow without
+//! bound, so past [`RETAIN_CAP`] samples the histogram folds new samples
+//! into log-linear buckets with a **bounded relative error**: each bucket
+//! spans one `1/32` octave and reports its geometric midpoint, so any
+//! quantile drawn from the folded region is within `2^(1/64) − 1 ≈ 1.1%`
+//! of the true sample value. Counts, means, minima and maxima stay exact
+//! in both regimes.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// A histogram that retains raw samples (experiment scales here are small
-/// enough that exact quantiles beat approximate sketches).
+/// Raw samples retained exactly before folding into buckets.
+pub const RETAIN_CAP: usize = 8192;
+
+/// Log-linear sub-buckets per octave (power of two). 32 gives a worst-case
+/// relative quantile error of `2^(1/64) − 1 ≈ 1.1%` for folded samples.
+const SUBDIV: f64 = 32.0;
+
+/// Bucket key for non-positive samples (latencies are non-negative; a
+/// folded zero reports exactly `0.0`).
+const NONPOS_BUCKET: i64 = i64::MIN;
+
+/// A histogram that retains raw samples up to [`RETAIN_CAP`] (exact
+/// quantiles), then folds the overflow into log-linear buckets (quantiles
+/// with ≤ ~1.1% relative error). [`Histogram::merge`] combines both
+/// representations, so per-shard histograms aggregate into one report
+/// without losing p95/p99 fidelity beyond that bound.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+    /// Folded samples by log-linear bucket (ascending key = ascending
+    /// representative value, with [`NONPOS_BUCKET`] first).
+    buckets: BTreeMap<i64, u64>,
+    folded: u64,
+    folded_sum: f64,
+    folded_min: f64,
+    folded_max: f64,
+}
+
+/// The log-linear bucket a positive sample falls into.
+fn bucket_of(sample: f64) -> i64 {
+    if sample <= 0.0 {
+        NONPOS_BUCKET
+    } else {
+        (sample.log2() * SUBDIV).floor() as i64
+    }
+}
+
+/// The representative value of a bucket: the geometric midpoint of its
+/// bounds (exactly `0.0` for the non-positive bucket).
+fn bucket_rep(bucket: i64) -> f64 {
+    if bucket == NONPOS_BUCKET {
+        0.0
+    } else {
+        ((bucket as f64 + 0.5) / SUBDIV).exp2()
+    }
 }
 
 impl Histogram {
@@ -20,54 +71,87 @@ impl Histogram {
 
     /// Records one sample. Non-finite samples are rejected.
     pub fn record(&mut self, sample: f64) {
-        if sample.is_finite() {
+        if !sample.is_finite() {
+            return;
+        }
+        if self.samples.len() < RETAIN_CAP {
             self.samples.push(sample);
             self.sorted = false;
+        } else {
+            self.fold(sample, 1);
         }
     }
 
-    /// Number of samples.
+    fn fold(&mut self, sample: f64, count: u64) {
+        *self.buckets.entry(bucket_of(sample)).or_insert(0) += count;
+        if self.folded == 0 {
+            self.folded_min = sample;
+            self.folded_max = sample;
+        } else {
+            self.folded_min = self.folded_min.min(sample);
+            self.folded_max = self.folded_max.max(sample);
+        }
+        self.folded += count;
+        self.folded_sum += sample * count as f64;
+    }
+
+    /// Number of samples (exact, folded or not).
     #[must_use]
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.samples.len() + self.folded as usize
     }
 
     /// True when no sample was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count() == 0
     }
 
-    /// Arithmetic mean, or `None` when empty.
+    /// Arithmetic mean (exact in both regimes), or `None` when empty.
     #[must_use]
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.is_empty() {
             None
         } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+            let sum = self.samples.iter().sum::<f64>() + self.folded_sum;
+            Some(sum / self.count() as f64)
         }
     }
 
-    /// Smallest sample.
+    /// Smallest sample (exact in both regimes).
     #[must_use]
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().copied().reduce(f64::min)
+        let retained = self.samples.iter().copied().reduce(f64::min);
+        match (retained, self.folded > 0) {
+            (Some(r), true) => Some(r.min(self.folded_min)),
+            (None, true) => Some(self.folded_min),
+            (r, false) => r,
+        }
     }
 
-    /// Largest sample.
+    /// Largest sample (exact in both regimes).
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().reduce(f64::max)
+        let retained = self.samples.iter().copied().reduce(f64::max);
+        match (retained, self.folded > 0) {
+            (Some(r), true) => Some(r.max(self.folded_max)),
+            (None, true) => Some(self.folded_max),
+            (r, false) => r,
+        }
     }
 
-    /// Quantile in `[0, 1]` by nearest-rank, or `None` when empty.
+    /// Quantile in `[0, 1]` by nearest-rank over the merged retained +
+    /// folded distribution, or `None` when empty. Exact while everything
+    /// is retained; folded samples answer with their bucket's
+    /// representative (≤ ~1.1% relative error, see the module docs).
     ///
     /// # Panics
     ///
     /// Panics when `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        if self.samples.is_empty() {
+        let total = self.count();
+        if total == 0 {
             return None;
         }
         if !self.sorted {
@@ -75,8 +159,36 @@ impl Histogram {
                 .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        Some(self.samples[rank - 1])
+        let rank = ((q * total as f64).ceil() as usize).clamp(1, total);
+        // Merged ascending walk: sorted retained samples (weight 1 each)
+        // interleaved with bucket representatives (bucket weight each).
+        let mut cum = 0usize;
+        let mut si = 0usize;
+        let mut bi = self.buckets.iter().peekable();
+        loop {
+            let sample = self.samples.get(si).copied();
+            let bucket = bi.peek().map(|(&b, &c)| (bucket_rep(b), c as usize));
+            let take_sample = match (sample, bucket) {
+                (Some(s), Some((rep, _))) => s <= rep,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("rank {rank} exceeds total {total}"),
+            };
+            if take_sample {
+                cum += 1;
+                si += 1;
+                if cum >= rank {
+                    return sample;
+                }
+            } else {
+                let (rep, c) = bucket.expect("bucket branch");
+                cum += c;
+                bi.next();
+                if cum >= rank {
+                    return Some(rep);
+                }
+            }
+        }
     }
 
     /// Median (p50).
@@ -84,10 +196,29 @@ impl Histogram {
         self.quantile(0.5)
     }
 
-    /// Merges another histogram's samples into this one.
+    /// Merges another histogram into this one: retained samples transfer
+    /// exactly (folding only past [`RETAIN_CAP`]); folded buckets combine
+    /// count-for-count, so the merged error bound is the same ~1.1% as
+    /// each input's.
     pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        for &s in &other.samples {
+            self.record(s);
+        }
+        for (&bucket, &count) in &other.buckets {
+            self.fold(bucket_rep(bucket), count);
+        }
+        if other.folded > 0 {
+            // fold() saw only representatives; restore the exact extremes
+            // and sum the other side tracked.
+            self.folded_min = self.folded_min.min(other.folded_min);
+            self.folded_max = self.folded_max.max(other.folded_max);
+            self.folded_sum += other.folded_sum
+                - other
+                    .buckets
+                    .iter()
+                    .map(|(&b, &c)| bucket_rep(b) * c as f64)
+                    .sum::<f64>();
+        }
     }
 
     /// Machine-readable summary (count, mean, min/max, p50/p95/p99) for
@@ -200,5 +331,89 @@ mod tests {
     fn out_of_range_quantile_panics() {
         let mut h: Histogram = [1.0].into_iter().collect();
         h.quantile(1.5);
+    }
+
+    #[test]
+    fn folding_keeps_counts_and_moments_exact() {
+        let n = RETAIN_CAP + 10_000;
+        let mut h = Histogram::new();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let v = (i % 1000) as f64 + 1.0;
+            h.record(v);
+            sum += v;
+        }
+        assert_eq!(h.count(), n);
+        assert!((h.mean().unwrap() - sum / n as f64).abs() < 1e-9);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(1000.0));
+    }
+
+    #[test]
+    fn folded_quantiles_stay_within_error_bound() {
+        // Uniform 1..=1000, repeated far past the cap: every quantile of
+        // the true distribution is known, and the folded answer must land
+        // within the documented ~1.1% relative bound.
+        let n = 4 * RETAIN_CAP;
+        let mut h = Histogram::new();
+        for i in 0..n {
+            h.record((i % 1000) as f64 + 1.0);
+        }
+        let bound = (1.0f64 / 64.0).exp2() - 1.0 + 1e-12;
+        for (q, truth) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q).unwrap();
+            let rel = (got - truth).abs() / truth;
+            // Nearest-rank granularity adds at most one bucket of slack on
+            // top of the representative-value bound.
+            assert!(
+                rel <= 2.0 * bound + 2.0 / 1000.0,
+                "q={q}: got {got}, truth {truth}, rel {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn folded_memory_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..(10 * RETAIN_CAP) {
+            h.record((i as f64).max(0.5));
+        }
+        assert_eq!(h.samples.len(), RETAIN_CAP);
+        // log2(10 * 8192) ≈ 16.3 octaves × 32 sub-buckets + slack.
+        assert!(h.buckets.len() <= 17 * 32, "{} buckets", h.buckets.len());
+        assert_eq!(h.count(), 10 * RETAIN_CAP);
+    }
+
+    #[test]
+    fn merge_of_folded_histograms_preserves_count_mean_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..(2 * RETAIN_CAP) {
+            a.record((i % 500) as f64 + 1.0);
+            b.record((i % 500) as f64 + 501.0);
+        }
+        let (asum, bsum) = (
+            a.mean().unwrap() * a.count() as f64,
+            b.mean().unwrap() * b.count() as f64,
+        );
+        a.merge(&b);
+        assert_eq!(a.count(), 4 * RETAIN_CAP);
+        assert!((a.mean().unwrap() - (asum + bsum) / a.count() as f64).abs() < 1e-6);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(1000.0));
+        let p99 = a.quantile(0.99).unwrap();
+        assert!((960.0..=1005.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn zero_and_subnormal_samples_fold_to_zero_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..RETAIN_CAP {
+            h.record(5.0);
+        }
+        h.record(0.0);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.count(), RETAIN_CAP + 1);
+        assert_eq!(h.quantile(0.0), Some(0.0));
     }
 }

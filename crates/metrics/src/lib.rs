@@ -16,7 +16,9 @@ mod histogram;
 mod json;
 mod table;
 
-pub use counters::{FaultCounters, ProofCacheStats, ProtocolMetrics, TransportCounters, WalStats};
+pub use counters::{
+    FaultCounters, ProofCacheStats, ProtocolMetrics, RouteCounters, TransportCounters, WalStats,
+};
 pub use histogram::Histogram;
 pub use json::{Json, ParseError};
 pub use table::AsciiTable;

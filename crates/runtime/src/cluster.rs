@@ -100,13 +100,18 @@ struct Net {
     enabled: AtomicBool,
     stats: FaultStats,
     /// Per-edge message sequence numbers, `[from][to]` flattened over
-    /// `peers` slots per side (coordinator = 0, server *i* = *i* + 1).
+    /// `peers` slots per side (coordinator = 0, server at local position
+    /// *i* is *i* + 1 — see [`Net::slot`]).
     seqs: Vec<AtomicU64>,
     peers: usize,
+    /// First global server id owned by this fabric: sharded deployments
+    /// give each shard a disjoint id range, and the dense sequence-counter
+    /// slots are relative to it.
+    base: u64,
 }
 
 impl Net {
-    fn new(addrs: Vec<Addr>) -> Net {
+    fn new(addrs: Vec<Addr>, base: u64) -> Net {
         let peers = addrs.len() + 1;
         Net {
             addrs: RwLock::new(addrs),
@@ -115,6 +120,16 @@ impl Net {
             stats: FaultStats::default(),
             seqs: (0..peers * peers).map(|_| AtomicU64::new(0)).collect(),
             peers,
+            base,
+        }
+    }
+
+    /// Dense per-fabric slot of a peer: coordinator 0, servers 1.. in
+    /// id order relative to this fabric's first server id.
+    fn slot(&self, peer: Peer) -> usize {
+        match peer {
+            Peer::Coordinator => 0,
+            Peer::Server(id) => (id.index() - self.base) as usize + 1,
         }
     }
 
@@ -211,7 +226,7 @@ impl Net {
         }
         let from_peer = peer_of(from.endpoint);
         let to_peer = peer_of(to.endpoint);
-        let edge = from_peer.index() * self.peers + to_peer.index();
+        let edge = self.slot(from_peer) * self.peers + self.slot(to_peer);
         let seq = self.seqs[edge].fetch_add(1, Ordering::Relaxed);
         let mut delivered_inline = false;
         match armed.plan.roll(from_peer, to_peer, kind, seq) {
@@ -505,6 +520,9 @@ pub struct Cluster {
     stopping: Arc<AtomicBool>,
     workers: usize,
     batch: usize,
+    /// First global server id owned by this cluster (0 for a standalone
+    /// deployment; a shard's offset into the global id space otherwise).
+    base: u64,
 }
 
 /// Decrements the live-thread gauge when a server thread exits — normally
@@ -526,8 +544,23 @@ impl Cluster {
         let mut registry = CaRegistry::new();
         registry.register(CertificateAuthority::new(CaId::new(0), 0x7331));
         let cas = SharedCas::new(registry);
-        let epoch = Instant::now();
+        Self::with_topology(config, 0, catalog, cas, Instant::now())
+    }
 
+    /// Spawns the server threads as one shard of a larger deployment: the
+    /// servers own global ids `first_server..first_server + servers`, and
+    /// the policy catalog, certificate authorities and protocol-time epoch
+    /// are shared with the other shards so credentials, policy versions and
+    /// timestamps agree everywhere. [`Cluster::new`] is the single-shard
+    /// special case (`first_server = 0`, fresh shared state).
+    #[must_use]
+    pub fn with_topology(
+        config: ClusterConfig,
+        first_server: u64,
+        catalog: SharedCatalog,
+        cas: SharedCas,
+        epoch: Instant,
+    ) -> Self {
         let workers = resolve_workers(&config);
         let batch = resolve_batch(&config);
         let live_servers = Arc::new(AtomicUsize::new(0));
@@ -538,17 +571,17 @@ impl Cluster {
         for i in 0..config.servers {
             let (tx, rx) = unbounded::<Input>();
             addrs.push(Addr {
-                endpoint: Endpoint::Server(ServerId::new(i as u64)),
+                endpoint: Endpoint::Server(ServerId::new(first_server + i as u64)),
                 tx,
                 id: fresh_addr_id(),
             });
             rxs.push(rx);
         }
-        let net = Arc::new(Net::new(addrs));
+        let net = Arc::new(Net::new(addrs, first_server));
 
         let mut handles = Vec::with_capacity(config.servers);
         for (i, rx) in rxs.into_iter().enumerate() {
-            let id = ServerId::new(i as u64);
+            let id = ServerId::new(first_server + i as u64);
             let mut core = ServerCore::new(
                 id,
                 catalog.clone(),
@@ -586,7 +619,39 @@ impl Cluster {
             stopping: Arc::new(AtomicBool::new(false)),
             workers,
             batch,
+            base: first_server,
         }
+    }
+
+    /// Array slot of a server this cluster owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is outside this cluster's range.
+    fn pos(&self, server: ServerId) -> usize {
+        let pos = server
+            .index()
+            .checked_sub(self.base)
+            .expect("server below this cluster's id range") as usize;
+        assert!(
+            pos < self.config.servers,
+            "server {server} above this cluster's id range"
+        );
+        pos
+    }
+
+    /// First global server id owned by this cluster.
+    #[must_use]
+    pub fn first_server(&self) -> u64 {
+        self.base
+    }
+
+    /// The global ids of every server this cluster owns, in slot order.
+    #[must_use]
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        (0..self.config.servers as u64)
+            .map(|i| ServerId::new(self.base + i))
+            .collect()
     }
 
     /// How many coordinator-side inputs were received but matched no
@@ -679,12 +744,12 @@ impl Cluster {
             }
             salvage.keys().copied().collect()
         };
-        for i in 0..self.config.servers {
-            if crashed.contains(&(i as u64)) {
+        for server in self.server_ids() {
+            if crashed.contains(&server.index()) {
                 continue;
             }
             let (tx, rx) = unbounded();
-            self.configure_server(ServerId::new(i as u64), move |core| {
+            self.configure_server(server, move |core| {
                 let _ = tx.send(core.wal_stats());
             });
             total.merge(&rx.recv().expect("wal stats probe"));
@@ -701,7 +766,7 @@ impl Cluster {
     /// Panics when the server id is out of range or the thread does not
     /// exit within a generous deadline.
     pub fn crash_server(&self, server: ServerId) {
-        let idx = server.index() as usize;
+        let idx = self.pos(server);
         let _ = self.net.tx(idx).send(Input::Crash);
         let deadline = Instant::now() + Duration::from_secs(10);
         while !self
@@ -749,7 +814,7 @@ impl Cluster {
     /// Panics when the server id is out of range or no crash is pending
     /// for it.
     pub fn restart_server(&self, server: ServerId) {
-        let idx = server.index() as usize;
+        let idx = self.pos(server);
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut core = loop {
             if let Some(core) = self
@@ -804,7 +869,7 @@ impl Cluster {
         let log = Arc::clone(&self.decision_log);
         let variant = self.config.variant;
         let stopping = Arc::clone(&self.stopping);
-        let idx = server.index() as usize;
+        let idx = self.pos(server);
         let handle = std::thread::spawn(move || {
             // A reply address nobody reads: the participant's ack (if its
             // variant sends one) dies quietly, exactly like an ack to a
@@ -852,11 +917,10 @@ impl Cluster {
             .copied()
             .collect();
         let mut resolved = 0;
-        for i in 0..self.config.servers {
-            if crashed.contains(&(i as u64)) {
+        for server in self.server_ids() {
+            if crashed.contains(&server.index()) {
                 continue;
             }
-            let server = ServerId::new(i as u64);
             let (probe_tx, probe_rx) = unbounded();
             self.configure_server(server, move |core| {
                 let _ = probe_tx.send(core.active_txn_ids());
@@ -876,7 +940,7 @@ impl Cluster {
                     };
                     let _ = self
                         .net
-                        .tx(i)
+                        .tx(self.pos(server))
                         .send(Input::Proto(coordinator, Msg::InquiryReply { txn, answer }));
                     resolved += 1;
                 }
@@ -915,7 +979,7 @@ impl Cluster {
     ) {
         let (done_tx, done_rx) = unbounded();
         self.net
-            .tx(server.index() as usize)
+            .tx(self.pos(server))
             .send(Input::Configure(Box::new(f), done_tx))
             .expect("server thread alive");
         done_rx.recv().expect("configuration applied");
@@ -926,8 +990,8 @@ impl Cluster {
         let id = policy.id();
         let version = policy.version();
         self.catalog.publish(policy);
-        for server in 0..self.config.servers {
-            self.configure_server(ServerId::new(server as u64), move |core| {
+        for server in self.server_ids() {
+            self.configure_server(server, move |core| {
                 core.install_policy(id, version);
             });
         }
@@ -936,8 +1000,8 @@ impl Cluster {
     /// Installs a policy version at every replica without publishing a new
     /// catalog entry.
     pub fn install_everywhere(&self, policy: PolicyId, version: PolicyVersion) {
-        for server in 0..self.config.servers {
-            self.configure_server(ServerId::new(server as u64), move |core| {
+        for server in self.server_ids() {
+            self.configure_server(server, move |core| {
                 core.install_policy(policy, version);
             });
         }
@@ -945,144 +1009,63 @@ impl Cluster {
 
     /// Executes one transaction synchronously: a blocking receive loop
     /// driving the shared sans-io [`TmCore`] state machine from the calling
-    /// thread. All scheme-pipeline and 2PVC logic lives in the core; this
-    /// driver only converts channel inputs into [`TmEvent`]s and performs
-    /// the returned [`TmEffect`]s (sends through the fault fabric, decision
-    /// log writes, inline master consults). Thread-safe: concurrent callers
-    /// contend on the servers' lock managers exactly like concurrent TMs.
+    /// thread. All scheme-pipeline and 2PVC logic lives in the core; the
+    /// shared [`drive_tm`] driver only converts channel inputs into
+    /// [`TmEvent`]s and performs the returned [`TmEffect`]s (sends through
+    /// the fault fabric, decision log writes, inline master consults).
+    /// Thread-safe: concurrent callers contend on the servers' lock
+    /// managers exactly like concurrent TMs.
     #[must_use]
     pub fn execute(&self, spec: &TransactionSpec, credentials: &[Credential]) -> ExecutionResult {
-        let started = Instant::now();
-        let (reply_tx, reply_rx) = unbounded::<Input>();
-        let me = Addr {
-            endpoint: Endpoint::Coordinator,
-            tx: reply_tx,
-            id: fresh_addr_id(),
-        };
-        let txn = spec.id;
-        let reply_timeout = self.config.reply_timeout;
         let config = TmConfig::new(
             self.config.scheme,
             self.config.consistency,
             self.config.variant,
         );
-        let mut core = TmCore::new(config, spec.clone(), credentials.to_vec(), self.now());
-        let mut termination: Option<TxnTermination> = None;
-        // Stale inputs this driver observed on the reply channel (the core
-        // tracks the ones it was fed itself).
-        let mut driver_dropped = 0u64;
-        // Messages unpacked from a coalesced [`Msg::Batch`] envelope and
-        // not yet fed to the core: drained before the channel is read again
-        // so batched replies keep their in-envelope order.
-        let mut pending: std::collections::VecDeque<(Addr, Msg)> =
-            std::collections::VecDeque::new();
+        drive_tm(
+            self,
+            config,
+            spec,
+            credentials,
+            self.config.reply_timeout,
+            self.epoch,
+        )
+    }
 
-        let mut effects = core.start(self.now());
-        loop {
-            // Perform the batch. A master consult is answered only after the
-            // whole batch has flushed, so sends keep their protocol order.
-            let mut consult_master = false;
-            for effect in effects {
-                match effect {
-                    TmEffect::Send(server, msg) => {
-                        self.net.to_server(&me, server.index() as usize, msg);
-                    }
-                    // The catalog IS the master here; answer inline from its
-                    // epoch snapshot (no map rebuild, no deep clone).
-                    TmEffect::QueryMaster => consult_master = true,
-                    TmEffect::ForceLog { record, .. } => {
-                        self.decision_log
-                            .lock()
-                            .expect("decision log lock")
-                            .force(record);
-                    }
-                    TmEffect::Log(record) => {
-                        self.decision_log
-                            .lock()
-                            .expect("decision log lock")
-                            .append(record);
-                    }
-                    // The reply deadline below is this driver's failure
-                    // detector; the idle watchdog is never configured.
-                    TmEffect::ArmTimer(_) | TmEffect::Decided(_) => {}
-                    TmEffect::Finished(t) => termination = Some(*t),
-                }
-            }
-            if termination.is_some() {
-                break;
-            }
-            if consult_master {
-                let versions = self.catalog.latest_snapshot().1;
-                effects = core.step(self.now(), TmEvent::MasterVersions { versions });
-                continue;
-            }
-            // One reply: first anything left over from a coalesced batch,
-            // then the channel (or `None` after the configured deadline;
-            // with no deadline, `None` only if every sender is gone).
-            let input = match pending.pop_front() {
-                Some((from, msg)) => Some(Input::Proto(from, msg)),
-                None => match reply_timeout {
-                    None => reply_rx.recv().ok(),
-                    Some(t) => reply_rx.recv_timeout(t).ok(),
-                },
-            };
-            let event = match input {
-                None => TmEvent::ReplyTimeout,
-                Some(Input::Proto(from, Msg::Batch(msgs))) => {
-                    // Flatten a coalesced envelope; the inner messages are
-                    // processed in order starting this iteration.
-                    pending.extend(msgs.into_iter().map(|m| (from.clone(), m)));
-                    effects = Vec::new();
-                    continue;
-                }
-                Some(Input::Proto(from, msg)) => match coordinator_event(txn, &from, msg) {
-                    Ok(event) => event,
-                    Err(counts_as_dropped) => {
-                        if counts_as_dropped {
-                            driver_dropped += 1;
-                        }
-                        effects = Vec::new();
-                        continue;
-                    }
-                },
-                // Only protocol traffic reaches a coordinator channel.
-                Some(_) => {
-                    effects = Vec::new();
-                    continue;
-                }
-            };
-            effects = core.step(self.now(), event);
-        }
+    /// Protocol send to one of this cluster's servers, from a coordinator
+    /// reply address. Used by [`drive_tm`] routes (including the sharded
+    /// deployment's cross-shard coordinator in `shard.rs`).
+    pub(crate) fn send_from(&self, from: &Addr, server: ServerId, msg: Msg) {
+        self.net.to_server(from, self.pos(server), msg);
+    }
 
-        // Drain stale stragglers without blocking, under the same unified
-        // rule the core applies: acks never count, everything else does.
-        // Leftover batch contents first, counted message by message (a
-        // coalesced envelope is several replies, not one).
-        for (_, msg) in pending {
-            if reply_counts_as_dropped(&msg) {
-                driver_dropped += 1;
-            }
-        }
-        while let Ok(input) = reply_rx.try_recv() {
-            if let Input::Proto(_, msg) = input {
-                match msg {
-                    Msg::Batch(msgs) => {
-                        driver_dropped +=
-                            msgs.iter().filter(|m| reply_counts_as_dropped(m)).count() as u64;
-                    }
-                    msg if reply_counts_as_dropped(&msg) => driver_dropped += 1,
-                    _ => {}
-                }
-            }
-        }
-        self.dropped_replies
-            .fetch_add(driver_dropped + core.dropped_replies(), Ordering::Relaxed);
+    /// Force-appends a coordinator record to this cluster's decision log —
+    /// the log its recovery inquiries are answered from.
+    pub(crate) fn force_decision_record(&self, record: CoordinatorRecord) {
+        self.decision_log
+            .lock()
+            .expect("decision log lock")
+            .force(record);
+    }
 
-        let termination = termination.expect("core emitted Finished");
-        if termination.outcome.abort_reason() == Some(AbortReason::ServerUnavailable) {
-            self.net.note_timeout_abort();
-        }
-        ExecutionResult::from_termination(termination, started.elapsed())
+    /// Appends a non-forced coordinator record to this cluster's decision
+    /// log.
+    pub(crate) fn append_decision_record(&self, record: CoordinatorRecord) {
+        self.decision_log
+            .lock()
+            .expect("decision log lock")
+            .append(record);
+    }
+
+    /// Adds to the stale-reply counter surfaced by
+    /// [`Cluster::dropped_replies`].
+    pub(crate) fn note_dropped_replies(&self, count: u64) {
+        self.dropped_replies.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records a reply-deadline abort in the fault counters.
+    pub(crate) fn note_timeout_abort(&self) {
+        self.net.note_timeout_abort();
     }
 
     /// Stops all server threads and waits for them.
@@ -1110,6 +1093,181 @@ impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+/// Where a TM driver's effects land: protocol sends, master consults,
+/// decision-log writes and counter updates. [`Cluster`] routes everything
+/// to its own servers and log; the sharded deployment's cross-shard
+/// coordinator (`shard.rs`) routes each server to its owning shard and
+/// replicates decision records into every participant shard's log — both
+/// drive the **same** [`drive_tm`] loop, which is what makes a 1-shard
+/// deployment byte-identical to a plain cluster.
+pub(crate) trait TmRoute {
+    /// Protocol send to a (globally identified) server.
+    fn send(&self, from: &Addr, server: ServerId, msg: Msg);
+    /// The master's latest version per policy.
+    fn master_versions(&self) -> Arc<VersionMap>;
+    /// Force a coordinator record to every relevant decision log before
+    /// the protocol proceeds.
+    fn force_decision(&self, record: CoordinatorRecord);
+    /// Append a non-forced coordinator record.
+    fn append_decision(&self, record: CoordinatorRecord);
+    /// Count stale replies observed by the driver.
+    fn note_dropped(&self, count: u64);
+    /// Count a reply-deadline abort.
+    fn note_timeout(&self);
+}
+
+impl TmRoute for Cluster {
+    fn send(&self, from: &Addr, server: ServerId, msg: Msg) {
+        self.send_from(from, server, msg);
+    }
+
+    // The catalog IS the master here; answer inline from its epoch
+    // snapshot (no map rebuild, no deep clone).
+    fn master_versions(&self) -> Arc<VersionMap> {
+        self.catalog.latest_snapshot().1
+    }
+
+    fn force_decision(&self, record: CoordinatorRecord) {
+        self.force_decision_record(record);
+    }
+
+    fn append_decision(&self, record: CoordinatorRecord) {
+        self.append_decision_record(record);
+    }
+
+    fn note_dropped(&self, count: u64) {
+        self.note_dropped_replies(count);
+    }
+
+    fn note_timeout(&self) {
+        self.note_timeout_abort();
+    }
+}
+
+/// The blocking TM driver shared by every threaded deployment: feeds the
+/// sans-io [`TmCore`] from a fresh coordinator reply channel and performs
+/// its effects through the given [`TmRoute`]. All scheme-pipeline and 2PVC
+/// logic lives in the core; the route only decides *where* sends and
+/// decision records go.
+pub(crate) fn drive_tm<R: TmRoute + ?Sized>(
+    route: &R,
+    config: TmConfig,
+    spec: &TransactionSpec,
+    credentials: &[Credential],
+    reply_timeout: Option<Duration>,
+    epoch: Instant,
+) -> ExecutionResult {
+    let started = Instant::now();
+    let (reply_tx, reply_rx) = unbounded::<Input>();
+    let me = Addr {
+        endpoint: Endpoint::Coordinator,
+        tx: reply_tx,
+        id: fresh_addr_id(),
+    };
+    let txn = spec.id;
+    let mut core = TmCore::new(config, spec.clone(), credentials.to_vec(), now_since(epoch));
+    let mut termination: Option<TxnTermination> = None;
+    // Stale inputs this driver observed on the reply channel (the core
+    // tracks the ones it was fed itself).
+    let mut driver_dropped = 0u64;
+    // Messages unpacked from a coalesced [`Msg::Batch`] envelope and
+    // not yet fed to the core: drained before the channel is read again
+    // so batched replies keep their in-envelope order.
+    let mut pending: std::collections::VecDeque<(Addr, Msg)> = std::collections::VecDeque::new();
+
+    let mut effects = core.start(now_since(epoch));
+    loop {
+        // Perform the batch. A master consult is answered only after the
+        // whole batch has flushed, so sends keep their protocol order.
+        let mut consult_master = false;
+        for effect in effects {
+            match effect {
+                TmEffect::Send(server, msg) => route.send(&me, server, msg),
+                TmEffect::QueryMaster => consult_master = true,
+                TmEffect::ForceLog { record, .. } => route.force_decision(record),
+                TmEffect::Log(record) => route.append_decision(record),
+                // The reply deadline below is this driver's failure
+                // detector; the idle watchdog is never configured.
+                TmEffect::ArmTimer(_) | TmEffect::Decided(_) => {}
+                TmEffect::Finished(t) => termination = Some(*t),
+            }
+        }
+        if termination.is_some() {
+            break;
+        }
+        if consult_master {
+            let versions = route.master_versions();
+            effects = core.step(now_since(epoch), TmEvent::MasterVersions { versions });
+            continue;
+        }
+        // One reply: first anything left over from a coalesced batch,
+        // then the channel (or `None` after the configured deadline;
+        // with no deadline, `None` only if every sender is gone).
+        let input = match pending.pop_front() {
+            Some((from, msg)) => Some(Input::Proto(from, msg)),
+            None => match reply_timeout {
+                None => reply_rx.recv().ok(),
+                Some(t) => reply_rx.recv_timeout(t).ok(),
+            },
+        };
+        let event = match input {
+            None => TmEvent::ReplyTimeout,
+            Some(Input::Proto(from, Msg::Batch(msgs))) => {
+                // Flatten a coalesced envelope; the inner messages are
+                // processed in order starting this iteration.
+                pending.extend(msgs.into_iter().map(|m| (from.clone(), m)));
+                effects = Vec::new();
+                continue;
+            }
+            Some(Input::Proto(from, msg)) => match coordinator_event(txn, &from, msg) {
+                Ok(event) => event,
+                Err(counts_as_dropped) => {
+                    if counts_as_dropped {
+                        driver_dropped += 1;
+                    }
+                    effects = Vec::new();
+                    continue;
+                }
+            },
+            // Only protocol traffic reaches a coordinator channel.
+            Some(_) => {
+                effects = Vec::new();
+                continue;
+            }
+        };
+        effects = core.step(now_since(epoch), event);
+    }
+
+    // Drain stale stragglers without blocking, under the same unified
+    // rule the core applies: acks never count, everything else does.
+    // Leftover batch contents first, counted message by message (a
+    // coalesced envelope is several replies, not one).
+    for (_, msg) in pending {
+        if reply_counts_as_dropped(&msg) {
+            driver_dropped += 1;
+        }
+    }
+    while let Ok(input) = reply_rx.try_recv() {
+        if let Input::Proto(_, msg) = input {
+            match msg {
+                Msg::Batch(msgs) => {
+                    driver_dropped +=
+                        msgs.iter().filter(|m| reply_counts_as_dropped(m)).count() as u64;
+                }
+                msg if reply_counts_as_dropped(&msg) => driver_dropped += 1,
+                _ => {}
+            }
+        }
+    }
+    route.note_dropped(driver_dropped + core.dropped_replies());
+
+    let termination = termination.expect("core emitted Finished");
+    if termination.outcome.abort_reason() == Some(AbortReason::ServerUnavailable) {
+        route.note_timeout();
+    }
+    ExecutionResult::from_termination(termination, started.elapsed())
 }
 
 fn now_since(epoch: Instant) -> Timestamp {

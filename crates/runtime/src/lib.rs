@@ -42,9 +42,11 @@
 
 mod cluster;
 mod fault;
+mod shard;
 
 pub use cluster::{resolve_batch, Addr, Cluster, ClusterConfig, ExecutionResult};
 pub use fault::{CrashPoint, CrashRule, EdgeRule, FaultPlan, MsgKind, Peer, PeerMatch};
+pub use shard::{ShardedCluster, ShardedConfig, TxnRoute};
 
 // Re-exported so the doc example above typechecks without extra imports.
 pub use safetx_core::{ServerCore, TwoPvc, ValidationRound};

@@ -1,6 +1,6 @@
 //! Service-level statistics: outcome counters and latency histograms.
 
-use safetx_metrics::{FaultCounters, Histogram, Json, TransportCounters, WalStats};
+use safetx_metrics::{FaultCounters, Histogram, Json, RouteCounters, TransportCounters, WalStats};
 
 /// Everything the service measured, snapshot-able at any time and final
 /// after shutdown.
@@ -53,6 +53,13 @@ pub struct ServiceStats {
     /// `RuntimeKind::transport_counters`; like `faults`, outside the
     /// conservation invariant.
     pub transport: TransportCounters,
+    /// Single- vs cross-shard routing outcomes from a sharded backend
+    /// (all zero on unsharded backends). Sourced from
+    /// `RuntimeKind::route_counters`; counted at the router, so routed
+    /// submissions ≠ service submissions when retries re-execute — hence
+    /// outside the conservation invariant here (the router has its own:
+    /// [`RouteCounters::conserves`]).
+    pub route: RouteCounters,
     /// End-to-end latency of committed transactions, in milliseconds
     /// (submission to commit, including queueing and retries).
     pub commit_latency_ms: Histogram,
@@ -88,6 +95,35 @@ impl ServiceStats {
         }
     }
 
+    /// Folds another service's statistics into this one, so per-shard (or
+    /// per-service) reports aggregate into a single deployment-wide view.
+    ///
+    /// Scalar counters and the fault/WAL/transport/route groups add
+    /// exactly. Latency histograms merge through
+    /// [`Histogram::merge`], which is exact while both sides are within
+    /// their retained-sample budget and degrades to log-linear buckets
+    /// beyond it — counts, means and extremes stay exact, and every
+    /// quantile carries a bounded relative error of at most ~1.1%
+    /// (2^(1/64) − 1), a bound that merging does not compound.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.submissions += other.submissions;
+        self.accepted += other.accepted;
+        self.overload_rejections += other.overload_rejections;
+        self.commits += other.commits;
+        self.terminal_aborts += other.terminal_aborts;
+        self.retries_exhausted += other.retries_exhausted;
+        self.retry_attempts += other.retry_attempts;
+        self.unavailable_retries += other.unavailable_retries;
+        self.dropped_replies += other.dropped_replies;
+        self.faults.merge(&other.faults);
+        self.wal.merge(&other.wal);
+        self.transport.merge(&other.transport);
+        self.route.merge(&other.route);
+        self.commit_latency_ms.merge(&other.commit_latency_ms);
+        self.queue_wait_ms.merge(&other.queue_wait_ms);
+        self.failure_latency_ms.merge(&other.failure_latency_ms);
+    }
+
     /// Machine-readable snapshot (sorts histograms in place for the
     /// quantiles).
     pub fn to_json(&mut self) -> Json {
@@ -116,6 +152,12 @@ impl ServiceStats {
             .with("bytes_received", self.transport.bytes_received)
             .with("reconnects", self.transport.reconnects)
             .with("decode_errors", self.transport.decode_errors)
+            .with("single_shard_submitted", self.route.single_shard_submitted)
+            .with("single_shard_commits", self.route.single_shard_commits)
+            .with("single_shard_aborts", self.route.single_shard_aborts)
+            .with("cross_shard_submitted", self.route.cross_shard_submitted)
+            .with("cross_shard_commits", self.route.cross_shard_commits)
+            .with("cross_shard_aborts", self.route.cross_shard_aborts)
             .with("commit_latency_ms", self.commit_latency_ms.to_json())
             .with("queue_wait_ms", self.queue_wait_ms.to_json())
             .with("failure_latency_ms", self.failure_latency_ms.to_json())
@@ -151,6 +193,46 @@ mod tests {
         let tps = stats.throughput_tps(std::time::Duration::from_secs(2));
         assert!((tps - 25.0).abs() < f64::EPSILON);
         assert_eq!(stats.throughput_tps(std::time::Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn merge_aggregates_counters_and_histograms() {
+        let mut a = ServiceStats {
+            submissions: 10,
+            accepted: 9,
+            overload_rejections: 1,
+            commits: 8,
+            terminal_aborts: 1,
+            ..Default::default()
+        };
+        for ms in [1.0, 2.0, 3.0] {
+            a.commit_latency_ms.record(ms);
+        }
+        a.route.single_shard_submitted = 9;
+        a.route.single_shard_commits = 8;
+        a.route.single_shard_aborts = 1;
+        let mut b = ServiceStats {
+            submissions: 5,
+            accepted: 5,
+            commits: 4,
+            retries_exhausted: 1,
+            ..Default::default()
+        };
+        for ms in [10.0, 20.0] {
+            b.commit_latency_ms.record(ms);
+        }
+        b.route.cross_shard_submitted = 5;
+        b.route.cross_shard_commits = 4;
+        b.route.cross_shard_aborts = 1;
+        a.merge(&b);
+        assert_eq!(a.submissions, 15);
+        assert_eq!(a.commits, 12);
+        assert!(a.conserves(), "{a:?}");
+        assert!(a.route.conserves());
+        assert_eq!(a.commit_latency_ms.count(), 5);
+        assert_eq!(a.commit_latency_ms.max(), Some(20.0));
+        let p50 = a.commit_latency_ms.quantile(0.5).expect("non-empty");
+        assert!((p50 - 3.0).abs() < f64::EPSILON, "exact below cap: {p50}");
     }
 
     #[test]

@@ -6,10 +6,10 @@ use crate::report::ServiceStats;
 use crate::retry::{classify, Disposition, RetryPolicy};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{AbortReason, SharedCas, SharedCatalog, TransactionView, TxnOutcome};
-use safetx_metrics::{FaultCounters, TransportCounters, WalStats};
+use safetx_metrics::{FaultCounters, RouteCounters, TransportCounters, WalStats};
 use safetx_net::NetCluster;
 use safetx_policy::Credential;
-use safetx_runtime::{Cluster, ClusterConfig, ExecutionResult};
+use safetx_runtime::{Cluster, ClusterConfig, ExecutionResult, ShardedCluster};
 use safetx_txn::TransactionSpec;
 use safetx_types::TxnId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +29,10 @@ pub enum RuntimeKind {
     /// The wire-protocol runtime: messages are encoded into
     /// length-prefixed frames and cross `UnixStream`s.
     Net(Arc<NetCluster>),
+    /// The partitioned runtime: the key space is split across shards,
+    /// each its own threaded server set; transactions are routed by
+    /// participant footprint.
+    Sharded(Arc<ShardedCluster>),
 }
 
 impl RuntimeKind {
@@ -38,6 +42,7 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.execute(spec, credentials),
             RuntimeKind::Net(c) => c.execute(spec, credentials),
+            RuntimeKind::Sharded(c) => c.execute(spec, credentials),
         }
     }
 
@@ -47,15 +52,18 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.next_txn_id(),
             RuntimeKind::Net(c) => c.next_txn_id(),
+            RuntimeKind::Sharded(c) => c.next_txn_id(),
         }
     }
 
-    /// The backend's cluster configuration.
+    /// The backend's cluster configuration (for the sharded backend: the
+    /// per-shard template every shard was built from).
     #[must_use]
     pub fn config(&self) -> &ClusterConfig {
         match self {
             RuntimeKind::Threaded(c) => c.config(),
             RuntimeKind::Net(c) => c.config(),
+            RuntimeKind::Sharded(c) => c.config(),
         }
     }
 
@@ -65,6 +73,7 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.catalog(),
             RuntimeKind::Net(c) => c.catalog(),
+            RuntimeKind::Sharded(c) => c.catalog(),
         }
     }
 
@@ -74,6 +83,7 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.cas(),
             RuntimeKind::Net(c) => c.cas(),
+            RuntimeKind::Sharded(c) => c.cas(),
         }
     }
 
@@ -82,6 +92,7 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.publish_policy(policy),
             RuntimeKind::Net(c) => c.publish_policy(policy),
+            RuntimeKind::Sharded(c) => c.publish_policy(policy),
         }
     }
 
@@ -91,6 +102,7 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.dropped_replies(),
             RuntimeKind::Net(c) => c.dropped_replies(),
+            RuntimeKind::Sharded(c) => c.dropped_replies(),
         }
     }
 
@@ -100,6 +112,7 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.fault_counters(),
             RuntimeKind::Net(c) => c.fault_counters(),
+            RuntimeKind::Sharded(c) => c.fault_counters(),
         }
     }
 
@@ -109,16 +122,27 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Threaded(c) => c.wal_stats(),
             RuntimeKind::Net(c) => c.wal_stats(),
+            RuntimeKind::Sharded(c) => c.wal_stats(),
         }
     }
 
     /// Transport counters summed over every edge (all zero on the
-    /// threaded backend — no bytes cross a wire there).
+    /// threaded and sharded backends — no bytes cross a wire there).
     #[must_use]
     pub fn transport_counters(&self) -> TransportCounters {
         match self {
-            RuntimeKind::Threaded(_) => TransportCounters::default(),
+            RuntimeKind::Threaded(_) | RuntimeKind::Sharded(_) => TransportCounters::default(),
             RuntimeKind::Net(c) => c.transport_counters(),
+        }
+    }
+
+    /// Single- vs cross-shard routing counters (all zero on unsharded
+    /// backends — every transaction is trivially single-"shard" there).
+    #[must_use]
+    pub fn route_counters(&self) -> RouteCounters {
+        match self {
+            RuntimeKind::Threaded(_) | RuntimeKind::Net(_) => RouteCounters::default(),
+            RuntimeKind::Sharded(c) => c.route_counters(),
         }
     }
 }
@@ -281,8 +305,8 @@ impl TxnService {
     pub fn cluster(&self) -> &Arc<Cluster> {
         match &self.runtime {
             RuntimeKind::Threaded(cluster) => cluster,
-            RuntimeKind::Net(_) => {
-                panic!("cluster() is threaded-only; use runtime() for a net-backed service")
+            RuntimeKind::Net(_) | RuntimeKind::Sharded(_) => {
+                panic!("cluster() is threaded-only; use runtime() for other backends")
             }
         }
     }
@@ -375,6 +399,7 @@ impl TxnService {
         stats.faults = self.runtime.fault_counters();
         stats.wal = self.runtime.wal_stats();
         stats.transport = self.runtime.transport_counters();
+        stats.route = self.runtime.route_counters();
         stats
     }
 

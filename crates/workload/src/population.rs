@@ -1,0 +1,246 @@
+//! Million-scale user and key populations with bounded memory.
+//!
+//! Scale-out experiments draw from key spaces and user populations in the
+//! millions. Materializing either up front (a credential per user, a CDF
+//! entry per key) would cost gigabytes, so this module keeps both lazy:
+//! [`Population`] samples user and item **ranks** through the O(1)-memory
+//! [`ZipfLarge`] inverters, and [`WalletDirectory`] issues each user's
+//! credential wallet from the certificate authority only when that user is
+//! first sampled, memoized in a bounded FIFO cache. An evicted user who
+//! returns is simply re-issued a fresh (equally valid) certificate for the
+//! same facts — the proofs it feeds are identical.
+
+use crate::dist::ZipfLarge;
+use safetx_core::SharedCas;
+use safetx_policy::{Atom, Constant, Credential};
+use safetx_sim::SimRng;
+use safetx_types::{CaId, Timestamp, UserId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// A user/key population for scale experiments: Zipf-ranked selection over
+/// both, with rank 0 the hottest user/key.
+#[derive(Debug, Clone, Copy)]
+pub struct Population {
+    users: ZipfLarge,
+    items: ZipfLarge,
+}
+
+impl Population {
+    /// Builds a population of `users` users and `items` keys with the
+    /// given Zipf exponents (`0.0` = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either count is zero or an exponent is invalid.
+    #[must_use]
+    pub fn new(users: u64, user_skew: f64, items: u64, item_skew: f64) -> Self {
+        Population {
+            users: ZipfLarge::new(users, user_skew),
+            items: ZipfLarge::new(items, item_skew),
+        }
+    }
+
+    /// Draws a user (rank 0 most active).
+    pub fn sample_user(&self, rng: &mut SimRng) -> UserId {
+        UserId::new(self.users.sample(rng))
+    }
+
+    /// Draws a key rank in `0..items` (rank 0 hottest). The caller maps
+    /// ranks to data items / owning servers.
+    pub fn sample_item(&self, rng: &mut SimRng) -> u64 {
+        self.items.sample(rng)
+    }
+
+    /// Total users.
+    #[must_use]
+    pub fn users(&self) -> u64 {
+        self.users.len()
+    }
+
+    /// Total keys.
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.items.len()
+    }
+}
+
+struct WalletCache {
+    wallets: HashMap<u64, Arc<[Credential]>>,
+    fifo: VecDeque<u64>,
+    issued: u64,
+}
+
+/// Lazily materialized per-user credential wallets over a shared
+/// certificate authority, memoized in a bounded FIFO cache so a
+/// million-user population costs memory proportional to the cache
+/// capacity, not the population.
+///
+/// Every wallet holds one membership credential asserting
+/// `role(u<id>, member)` — the fact the standard experiment policies
+/// grant on — issued by the directory's CA with unbounded validity.
+pub struct WalletDirectory {
+    cas: SharedCas,
+    ca: CaId,
+    capacity: usize,
+    cache: Mutex<WalletCache>,
+}
+
+impl WalletDirectory {
+    /// Creates the directory over a deployment's certificate authorities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(cas: SharedCas, ca: CaId, capacity: usize) -> Self {
+        assert!(capacity > 0, "wallet cache needs capacity");
+        WalletDirectory {
+            cas,
+            ca,
+            capacity,
+            cache: Mutex::new(WalletCache {
+                wallets: HashMap::new(),
+                fifo: VecDeque::new(),
+                issued: 0,
+            }),
+        }
+    }
+
+    /// The user's credential wallet, issuing and caching it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory's CA is not registered.
+    #[must_use]
+    pub fn wallet(&self, user: UserId) -> Arc<[Credential]> {
+        if let Some(found) = self
+            .cache
+            .lock()
+            .expect("wallet cache lock")
+            .wallets
+            .get(&user.index())
+        {
+            return Arc::clone(found);
+        }
+        // Issue outside the cache lock: CA serial allocation is its own
+        // synchronization domain, and a slow issue must not block hits.
+        let ca = self.ca;
+        let credential = self.cas.with_mut(|registry| {
+            registry
+                .ca_mut(ca)
+                .expect("wallet directory CA registered")
+                .issue(
+                    user,
+                    Atom::fact(
+                        "role",
+                        vec![
+                            Constant::symbol(user.to_string()),
+                            Constant::symbol("member"),
+                        ],
+                    ),
+                    Timestamp::ZERO,
+                    Timestamp::MAX,
+                )
+        });
+        let wallet: Arc<[Credential]> = Arc::from(vec![credential]);
+        let mut cache = self.cache.lock().expect("wallet cache lock");
+        cache.issued += 1;
+        // A concurrent miss for the same user may have beaten us here;
+        // keep the first wallet so both callers share one allocation.
+        let entry = cache
+            .wallets
+            .entry(user.index())
+            .or_insert_with(|| Arc::clone(&wallet))
+            .clone();
+        if entry.first().map(|c| c.id()) == wallet.first().map(|c| c.id()) {
+            cache.fifo.push_back(user.index());
+            while cache.fifo.len() > self.capacity {
+                let evict = cache.fifo.pop_front().expect("fifo non-empty");
+                cache.wallets.remove(&evict);
+            }
+        }
+        entry
+    }
+
+    /// Total credential issues performed (misses; hits are free).
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.cache.lock().expect("wallet cache lock").issued
+    }
+
+    /// Wallets currently memoized (≤ capacity).
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.cache.lock().expect("wallet cache lock").wallets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetx_policy::{CaRegistry, CertificateAuthority};
+
+    fn directory(capacity: usize) -> WalletDirectory {
+        let mut registry = CaRegistry::new();
+        registry.register(CertificateAuthority::new(CaId::new(0), 0x7331));
+        WalletDirectory::new(SharedCas::new(registry), CaId::new(0), capacity)
+    }
+
+    #[test]
+    fn wallets_are_memoized() {
+        let dir = directory(8);
+        let a = dir.wallet(UserId::new(7));
+        let b = dir.wallet(UserId::new(7));
+        assert_eq!(dir.issued(), 1, "second lookup must hit the cache");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn wallet_credential_names_the_user() {
+        let dir = directory(8);
+        let wallet = dir.wallet(UserId::new(42));
+        let atom = wallet[0].statement();
+        assert_eq!(atom.predicate(), "role");
+        assert_eq!(format!("{atom}"), "role(u42, member)");
+    }
+
+    #[test]
+    fn cache_stays_bounded_over_a_large_population() {
+        let dir = directory(16);
+        for u in 0..10_000u64 {
+            let _ = dir.wallet(UserId::new(u));
+        }
+        assert!(dir.cached() <= 16, "{} wallets cached", dir.cached());
+        assert_eq!(dir.issued(), 10_000);
+    }
+
+    #[test]
+    fn evicted_users_reissue_equivalent_wallets() {
+        let dir = directory(2);
+        let first = dir.wallet(UserId::new(1));
+        let _ = dir.wallet(UserId::new(2));
+        let _ = dir.wallet(UserId::new(3)); // evicts user 1
+        let again = dir.wallet(UserId::new(1));
+        assert_eq!(dir.issued(), 4, "user 1 was re-issued after eviction");
+        assert_eq!(
+            first[0].statement(),
+            again[0].statement(),
+            "same facts either way"
+        );
+        assert_ne!(first[0].id(), again[0].id(), "fresh certificate serial");
+    }
+
+    #[test]
+    fn population_samples_stay_in_bounds() {
+        let pop = Population::new(1_000_000, 0.9, 5_000_000, 1.1);
+        let mut rng = SimRng::new(9);
+        for _ in 0..1_000 {
+            assert!(pop.sample_user(&mut rng).index() < 1_000_000);
+            assert!(pop.sample_item(&mut rng) < 5_000_000);
+        }
+        assert_eq!(pop.users(), 1_000_000);
+        assert_eq!(pop.items(), 5_000_000);
+    }
+}
