@@ -226,6 +226,17 @@ pub struct FaultCounters {
     pub faults_duplicated: u64,
     /// Protocol messages pushed out of FIFO order by a reorder rule.
     pub faults_reordered: u64,
+    /// Wire frames whose payload bytes were flipped by a corruption rule
+    /// (always caught by the receiver's decoder; zero on channel fabrics).
+    pub faults_corrupted: u64,
+    /// Wire frames cut off mid-frame by a truncation rule, desyncing and
+    /// killing the stream (zero on channel fabrics).
+    pub faults_truncated: u64,
+    /// Streams hard-closed by a disconnect rule (zero on channel fabrics).
+    pub disconnects: u64,
+    /// Reconnect loops that gave up after exhausting their bounded,
+    /// backed-off attempt budget (the edge then presents as unavailable).
+    pub reconnect_exhausted: u64,
     /// Server threads torn down by a scheduled crash.
     pub server_crashes: u64,
     /// Server threads rebuilt from their WAL after a crash.
@@ -248,6 +259,10 @@ impl FaultCounters {
         self.faults_delayed += other.faults_delayed;
         self.faults_duplicated += other.faults_duplicated;
         self.faults_reordered += other.faults_reordered;
+        self.faults_corrupted += other.faults_corrupted;
+        self.faults_truncated += other.faults_truncated;
+        self.disconnects += other.disconnects;
+        self.reconnect_exhausted += other.reconnect_exhausted;
         self.server_crashes += other.server_crashes;
         self.recoveries += other.recoveries;
         self.timeout_aborts += other.timeout_aborts;
@@ -256,7 +271,13 @@ impl FaultCounters {
     /// Total messages the fault layer interfered with.
     #[must_use]
     pub fn faults_injected(&self) -> u64 {
-        self.faults_dropped + self.faults_delayed + self.faults_duplicated + self.faults_reordered
+        self.faults_dropped
+            + self.faults_delayed
+            + self.faults_duplicated
+            + self.faults_reordered
+            + self.faults_corrupted
+            + self.faults_truncated
+            + self.disconnects
     }
 
     /// Machine-readable form for `BENCH_*.json` emitters.
@@ -267,6 +288,10 @@ impl FaultCounters {
             .with("faults_delayed", self.faults_delayed)
             .with("faults_duplicated", self.faults_duplicated)
             .with("faults_reordered", self.faults_reordered)
+            .with("faults_corrupted", self.faults_corrupted)
+            .with("faults_truncated", self.faults_truncated)
+            .with("disconnects", self.disconnects)
+            .with("reconnect_exhausted", self.reconnect_exhausted)
             .with("server_crashes", self.server_crashes)
             .with("recoveries", self.recoveries)
             .with("timeout_aborts", self.timeout_aborts)
@@ -281,6 +306,10 @@ impl FaultCounters {
             faults_delayed: field("faults_delayed")?,
             faults_duplicated: field("faults_duplicated")?,
             faults_reordered: field("faults_reordered")?,
+            faults_corrupted: field("faults_corrupted")?,
+            faults_truncated: field("faults_truncated")?,
+            disconnects: field("disconnects")?,
+            reconnect_exhausted: field("reconnect_exhausted")?,
             server_crashes: field("server_crashes")?,
             recoveries: field("recoveries")?,
             timeout_aborts: field("timeout_aborts")?,
@@ -292,11 +321,16 @@ impl fmt::Display for FaultCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "dropped={} delayed={} duplicated={} reordered={} crashes={} recoveries={} timeout_aborts={}",
+            "dropped={} delayed={} duplicated={} reordered={} corrupted={} truncated={} \
+             disconnects={} reconnect_exhausted={} crashes={} recoveries={} timeout_aborts={}",
             self.faults_dropped,
             self.faults_delayed,
             self.faults_duplicated,
             self.faults_reordered,
+            self.faults_corrupted,
+            self.faults_truncated,
+            self.disconnects,
+            self.reconnect_exhausted,
             self.server_crashes,
             self.recoveries,
             self.timeout_aborts
@@ -719,13 +753,18 @@ mod tests {
             faults_delayed: 2,
             faults_duplicated: 1,
             faults_reordered: 4,
+            faults_corrupted: 2,
+            faults_truncated: 1,
+            disconnects: 1,
+            reconnect_exhausted: 1,
             server_crashes: 1,
             recoveries: 1,
             timeout_aborts: 2,
         };
         c.merge(&c.clone());
         assert_eq!(c.faults_dropped, 6);
-        assert_eq!(c.faults_injected(), 20);
+        assert_eq!(c.faults_corrupted, 4);
+        assert_eq!(c.faults_injected(), 28);
         let parsed = crate::Json::parse(&c.to_json().render()).expect("valid json");
         assert_eq!(FaultCounters::from_json(&parsed), Some(c));
         assert_eq!(FaultCounters::from_json(&crate::Json::Null), None);

@@ -19,7 +19,10 @@
 //! the peer's original logical id (see `safetx_core::coalesce_replies`
 //! for why the id must survive the reconnect).
 
-use crate::wire::{decode_msg, read_frame, write_frame};
+use crate::fault::{
+    corrupt_payload, splitmix64, truncate_len, NetFabric, NetFaultPlan, NetVerdict,
+};
+use crate::wire::{decode_msg, encode_msg, read_frame, write_frame};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
     coalesce_replies, reply_counts_as_dropped, AbortReason, EvalSnapshot, Msg, ResourcePolicyMap,
@@ -28,17 +31,17 @@ use safetx_core::{
 };
 use safetx_metrics::{FaultCounters, TransportCounters};
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
-use safetx_runtime::{resolve_batch, ClusterConfig, ExecutionResult};
+use safetx_runtime::{resolve_batch, ClusterConfig, CrashPoint, ExecutionResult, MsgKind, Peer};
 use safetx_store::Wal;
-use safetx_txn::{CoordinatorRecord, QuerySpec, TransactionSpec, Vote};
+use safetx_txn::{CoordinatorRecord, Decision, InquiryAnswer, QuerySpec, TransactionSpec, Vote};
 use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{BufReader, BufWriter, Write};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The logical address of a peer on a server's side of the wire: stable
 /// for the peer's lifetime, including across reconnects (a replaced
@@ -112,7 +115,110 @@ enum HostInput {
     /// A reader thread observed EOF or an I/O error on the connection of
     /// this (peer, generation); the host drops the matching writer.
     Detach(u64, u64),
+    /// Protocol messages the host itself must place on the wire
+    /// (post-recovery coordinator inquiries for in-doubt transactions).
+    Emit(Vec<(NetAddr, Msg)>),
+    /// Kill the event loop as if the process died: volatile state is
+    /// lost, the core is salvaged (store + WAL) for a later restart.
+    Crash,
     Shutdown,
+}
+
+/// What the fault fabric did with one outbound frame.
+enum WireFate {
+    /// The stream is still usable (frame written, dropped, duplicated…).
+    Intact,
+    /// The stream must be killed (mid-frame truncation or disconnect).
+    Kill,
+}
+
+/// Writes one raw payload as a frame (`u32le` length + payload).
+fn write_raw_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<usize> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(4 + payload.len())
+}
+
+/// The message kind a frame rolls under (a `Batch` envelope rolls under
+/// its first inner message — one frame, one roll).
+fn frame_kind(msg: &Msg) -> MsgKind {
+    match msg {
+        Msg::Batch(inner) => inner.first().map(MsgKind::of).unwrap_or(MsgKind::Other),
+        other => MsgKind::of(other),
+    }
+}
+
+/// Every protocol moment a frame carries (crash points match any inner
+/// message of a coalesced envelope).
+fn frame_kinds(msg: &Msg) -> Vec<MsgKind> {
+    match msg {
+        Msg::Batch(inner) => inner.iter().map(MsgKind::of).collect(),
+        other => vec![MsgKind::of(other)],
+    }
+}
+
+/// The single choke point every stream write funnels through: rolls the
+/// frame against the armed fault plan and performs the verdict. Counts
+/// frames it actually writes into `stats`; fault decisions are counted on
+/// the fabric. `WireFate::Kill` (and any I/O error) means the caller must
+/// tear the stream down — the generation-guarded reconnect paths take it
+/// from there.
+fn write_through_fabric<W: Write>(
+    fabric: &NetFabric,
+    from: Peer,
+    to: Peer,
+    seq: u64,
+    writer: &mut W,
+    msg: &Msg,
+    stats: &EdgeStats,
+) -> std::io::Result<WireFate> {
+    match fabric.verdict(from, to, frame_kind(msg), seq) {
+        NetVerdict::Deliver => {
+            stats.note_sent(write_frame(writer, msg)?);
+            Ok(WireFate::Intact)
+        }
+        NetVerdict::Drop => {
+            fabric.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            Ok(WireFate::Intact)
+        }
+        NetVerdict::Duplicate => {
+            fabric.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            let payload = encode_msg(msg);
+            stats.note_sent(write_raw_frame(writer, &payload)?);
+            stats.note_sent(write_raw_frame(writer, &payload)?);
+            Ok(WireFate::Intact)
+        }
+        NetVerdict::Delay(by) => {
+            fabric.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(by);
+            stats.note_sent(write_frame(writer, msg)?);
+            Ok(WireFate::Intact)
+        }
+        NetVerdict::Corrupt { roll } => {
+            fabric.stats.corrupted.fetch_add(1, Ordering::Relaxed);
+            let mut payload = encode_msg(msg);
+            corrupt_payload(&mut payload, roll);
+            stats.note_sent(write_raw_frame(writer, &payload)?);
+            Ok(WireFate::Intact)
+        }
+        NetVerdict::Truncate { roll } => {
+            fabric.stats.truncated.fetch_add(1, Ordering::Relaxed);
+            let payload = encode_msg(msg);
+            let mut frame = Vec::with_capacity(4 + payload.len());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            let cut = truncate_len(frame.len(), roll);
+            writer.write_all(&frame[..cut])?;
+            // Push the partial bytes onto the wire before the kill, so the
+            // receiver really observes a mid-frame desync, not a clean cut.
+            let _ = writer.flush();
+            Ok(WireFate::Kill)
+        }
+        NetVerdict::Disconnect => {
+            fabric.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+            Ok(WireFate::Kill)
+        }
+    }
 }
 
 /// A peer's connection as the host's event loop owns it.
@@ -124,6 +230,9 @@ struct PeerLink {
     /// Distinguishes this connection from a replaced one: a stale reader's
     /// `Detach` must not tear down the replacement.
     generation: u64,
+    /// Outbound frame sequence on this connection — the fault fabric's
+    /// per-frame roll input.
+    seq: u64,
     reader: Option<JoinHandle<()>>,
 }
 
@@ -135,48 +244,155 @@ struct PeerLink {
 /// WAL group, proof evaluation as one data-plane batch, replies coalesced
 /// per peer into one frame.
 pub struct ServerHost {
-    tx: Sender<HostInput>,
-    handle: Option<JoinHandle<()>>,
-    /// Server-side edge stats by peer id; survives reconnects.
+    /// The live loop's input channel; replaced on respawn after a crash.
+    tx: Mutex<Sender<HostInput>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    /// Server-side edge stats by peer id; survives reconnects and crashes.
     edges: Arc<Mutex<HashMap<u64, Arc<EdgeStats>>>>,
     /// Currently attached (not yet detached) connections.
     live_peers: Arc<AtomicUsize>,
+    /// The fault fabric every frame this host writes rolls against.
+    fabric: Arc<NetFabric>,
+    /// Where a crashed loop parks its core (store + WAL — the durable
+    /// state) until `respawn` picks it back up.
+    salvage: Arc<Mutex<Option<ServerCore<NetAddr>>>>,
+    epoch: Instant,
+    batch: usize,
+}
+
+/// Spawns one host event loop, returning its input channel and handle.
+fn spawn_host_loop(
+    core: ServerCore<NetAddr>,
+    epoch: Instant,
+    batch: usize,
+    edges: Arc<Mutex<HashMap<u64, Arc<EdgeStats>>>>,
+    live_peers: Arc<AtomicUsize>,
+    fabric: Arc<NetFabric>,
+    salvage: Arc<Mutex<Option<ServerCore<NetAddr>>>>,
+) -> (Sender<HostInput>, JoinHandle<()>) {
+    let (tx, rx) = unbounded::<HostInput>();
+    let loop_tx = tx.clone();
+    let handle = std::thread::spawn(move || {
+        host_loop(
+            core,
+            rx,
+            loop_tx,
+            epoch,
+            batch.max(1),
+            edges,
+            live_peers,
+            fabric,
+            salvage,
+        );
+    });
+    (tx, handle)
 }
 
 impl ServerHost {
-    /// Spawns the host's event loop around a configured core.
+    /// Spawns the host's event loop around a configured core, with no
+    /// fault fabric armed (a standalone host injects no faults).
     #[must_use]
     pub fn spawn(core: ServerCore<NetAddr>, epoch: Instant, batch: usize) -> ServerHost {
-        let (tx, rx) = unbounded::<HostInput>();
+        Self::spawn_with_fabric(core, epoch, batch, Arc::new(NetFabric::default()))
+    }
+
+    /// Spawns the host's event loop sharing the cluster's fault fabric.
+    pub(crate) fn spawn_with_fabric(
+        core: ServerCore<NetAddr>,
+        epoch: Instant,
+        batch: usize,
+        fabric: Arc<NetFabric>,
+    ) -> ServerHost {
         let edges: Arc<Mutex<HashMap<u64, Arc<EdgeStats>>>> = Arc::new(Mutex::new(HashMap::new()));
         let live_peers = Arc::new(AtomicUsize::new(0));
-        let loop_edges = Arc::clone(&edges);
-        let loop_live = Arc::clone(&live_peers);
-        let loop_tx = tx.clone();
-        let handle = std::thread::spawn(move || {
-            host_loop(
-                core,
-                rx,
-                loop_tx,
-                epoch,
-                batch.max(1),
-                loop_edges,
-                loop_live,
-            );
-        });
+        let salvage: Arc<Mutex<Option<ServerCore<NetAddr>>>> = Arc::new(Mutex::new(None));
+        let (tx, handle) = spawn_host_loop(
+            core,
+            epoch,
+            batch,
+            Arc::clone(&edges),
+            Arc::clone(&live_peers),
+            Arc::clone(&fabric),
+            Arc::clone(&salvage),
+        );
         ServerHost {
-            tx,
-            handle: Some(handle),
+            tx: Mutex::new(tx),
+            handle: Mutex::new(Some(handle)),
             edges,
             live_peers,
+            fabric,
+            salvage,
+            epoch,
+            batch,
         }
+    }
+
+    /// A clone of the live loop's sender.
+    fn sender(&self) -> Sender<HostInput> {
+        self.tx.lock().expect("host tx lock").clone()
+    }
+
+    /// Restarts the event loop around a recovered core. Edge stats, the
+    /// fabric and the salvage slot carry over; connections do not — the
+    /// process died, so every peer must re-attach.
+    pub(crate) fn respawn(&self, core: ServerCore<NetAddr>) {
+        let (tx, handle) = spawn_host_loop(
+            core,
+            self.epoch,
+            self.batch,
+            Arc::clone(&self.edges),
+            Arc::clone(&self.live_peers),
+            Arc::clone(&self.fabric),
+            Arc::clone(&self.salvage),
+        );
+        *self.tx.lock().expect("host tx lock") = tx;
+        let old = self
+            .handle
+            .lock()
+            .expect("host handle lock")
+            .replace(handle);
+        if let Some(old) = old {
+            // The crashed loop has already exited (or is draining its
+            // links); joining here cannot block on live work.
+            let _ = old.join();
+        }
+    }
+
+    /// Kills the event loop as if the process died. The core lands in the
+    /// salvage slot once the loop unwinds; poll [`ServerHost::crashed`].
+    pub(crate) fn crash(&self) {
+        let _ = self.sender().send(HostInput::Crash);
+    }
+
+    /// True once a crashed loop has parked its core for salvage.
+    pub(crate) fn crashed(&self) -> bool {
+        self.salvage.lock().expect("salvage lock").is_some()
+    }
+
+    /// Takes the salvaged core of a crashed loop, if it has landed.
+    pub(crate) fn take_salvaged(&self) -> Option<ServerCore<NetAddr>> {
+        self.salvage.lock().expect("salvage lock").take()
+    }
+
+    /// Joins the (exited) loop thread, if any.
+    pub(crate) fn join_loop(&self) {
+        if let Some(handle) = self.handle.lock().expect("host handle lock").take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Hands the host protocol messages to place on the wire itself
+    /// (post-recovery coordinator inquiries). Ordered after any `attach`
+    /// already sent, so the frames go out on the new connection.
+    pub(crate) fn emit(&self, msgs: Vec<(NetAddr, Msg)>) {
+        let _ = self.sender().send(HostInput::Emit(msgs));
     }
 
     /// Attaches (or replaces) the connection carrying peer `peer`'s
     /// traffic. The host reads frames from it and writes replies to it;
     /// attaching over an existing connection counts as a reconnect.
     pub fn attach(&self, peer: u64, stream: UnixStream) {
-        let _ = self.tx.send(HostInput::Attach(peer, stream));
+        let _ = self.sender().send(HostInput::Attach(peer, stream));
     }
 
     /// Applies a configuration closure on the event loop and waits for it.
@@ -186,7 +402,7 @@ impl ServerHost {
     /// Panics when the host's thread has exited.
     pub fn configure(&self, f: impl FnOnce(&mut ServerCore<NetAddr>) + Send + 'static) {
         let (done_tx, done_rx) = unbounded();
-        self.tx
+        self.sender()
             .send(HostInput::Configure(Box::new(f), done_tx))
             .expect("host thread alive");
         done_rx.recv().expect("configuration applied");
@@ -219,10 +435,8 @@ impl ServerHost {
     }
 
     fn shutdown_inner(&mut self) {
-        let _ = self.tx.send(HostInput::Shutdown);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        let _ = self.sender().send(HostInput::Shutdown);
+        self.join_loop();
     }
 }
 
@@ -267,6 +481,14 @@ fn spawn_host_reader(
 /// The server host's event loop: the socket-runtime analogue of the
 /// threaded runtime's `server_loop` + `process_round`, with proof
 /// evaluation inline (the loop is the server's single thread).
+///
+/// The loop exits in one of two ways. A `Shutdown` (or a closed channel)
+/// is a clean stop. A crash — `HostInput::Crash` from the harness, or a
+/// scheduled crash point firing inside a round — tears the loop down as
+/// if the process died: `ServerCore::crash` wipes the volatile state and
+/// the core (store + WAL, the durable half) lands in the salvage slot for
+/// a later `respawn` + `recover_from_wal`.
+#[allow(clippy::too_many_arguments)]
 fn host_loop(
     mut core: ServerCore<NetAddr>,
     rx: Receiver<HostInput>,
@@ -275,11 +497,14 @@ fn host_loop(
     batch: usize,
     edges: Arc<Mutex<HashMap<u64, Arc<EdgeStats>>>>,
     live_peers: Arc<AtomicUsize>,
+    fabric: Arc<NetFabric>,
+    salvage: Arc<Mutex<Option<ServerCore<NetAddr>>>>,
 ) {
+    let server = core.id();
     let mut links: HashMap<u64, PeerLink> = HashMap::new();
     let mut next_generation = 0u64;
-    'outer: loop {
-        let Ok(first) = rx.recv() else { break };
+    let crashed = 'outer: loop {
+        let Ok(first) = rx.recv() else { break false };
         // Collect one round: up to `batch` protocol messages already
         // queued; control inputs act as barriers exactly like the threaded
         // runtime's.
@@ -296,8 +521,10 @@ fn host_loop(
                 Err(_) => break,
             }
         }
-        if !round.is_empty() {
-            process_round(&mut core, epoch, round, &mut links);
+        if !round.is_empty() && process_round(&mut core, epoch, round, &mut links, &fabric, server)
+        {
+            // A scheduled crash point fired mid-round.
+            break 'outer true;
         }
         match control {
             None => {}
@@ -325,6 +552,7 @@ fn host_loop(
                     writer: BufWriter::new(writer_stream),
                     stats,
                     generation,
+                    seq: 0,
                     reader: Some(reader),
                 };
                 if let Some(old) = links.insert(peer, link) {
@@ -351,16 +579,34 @@ fn host_loop(
             // A stale detach from a reader whose connection was already
             // replaced: the link (and its new reader) stay up.
             Some(HostInput::Detach(..)) => {}
-            Some(HostInput::Shutdown) => break 'outer,
+            // Not collapsible into a guard: `send_frames` consumes `msgs`,
+            // and match guards cannot move out of the scrutinee.
+            #[allow(clippy::collapsible_match)]
+            Some(HostInput::Emit(msgs)) => {
+                if send_frames(&mut links, &fabric, server, msgs) {
+                    break 'outer true;
+                }
+            }
+            Some(HostInput::Crash) => break 'outer true,
+            Some(HostInput::Shutdown) => break 'outer false,
             Some(HostInput::Proto(..)) => unreachable!("proto inputs join the round"),
         }
-    }
-    // Unblock and join every reader.
+    };
+    // Unblock and join every reader — on a crash this is the process's
+    // sockets dying with it.
     for (_, mut link) in links.drain() {
         let _ = link.stream.shutdown(std::net::Shutdown::Both);
         if let Some(handle) = link.reader.take() {
             let _ = handle.join();
         }
+    }
+    live_peers.store(0, Ordering::Release);
+    if crashed {
+        // Volatile state (locks, in-flight rounds, decided memo) is gone;
+        // the store and WAL survive for recovery.
+        core.crash();
+        fabric.stats.server_crashes.fetch_add(1, Ordering::Relaxed);
+        *salvage.lock().expect("salvage lock") = Some(core);
     }
 }
 
@@ -385,23 +631,59 @@ enum EvalTask {
 /// Processes one batched round: protocol handling inline under one WAL
 /// group, the round's proof evaluations as one data-plane batch, replies
 /// coalesced per peer and flushed once per touched connection.
+///
+/// Returns `true` when a scheduled crash point fired: `BeforeReceive`
+/// kills the server with the matching message (and the rest of the round)
+/// unprocessed, `AfterReceive` right after processing it, `AfterSend`
+/// right after the matching reply frame left — exactly the windows the
+/// threaded fabric exposes, so the same recovery obligations arise.
 fn process_round(
     core: &mut ServerCore<NetAddr>,
     epoch: Instant,
     round: Vec<(NetAddr, Msg)>,
     links: &mut HashMap<u64, PeerLink>,
-) {
+    fabric: &NetFabric,
+    server: ServerId,
+) -> bool {
+    // A Batch envelope is by definition its inner messages in order;
+    // flatten up front so crash points cut at message granularity.
+    let mut flat: Vec<(NetAddr, Msg)> = Vec::new();
+    for (from, msg) in round {
+        match msg {
+            Msg::Batch(inner) => flat.extend(inner.into_iter().map(|m| (from, m))),
+            other => flat.push((from, other)),
+        }
+    }
+    let mut crashed = false;
+    let mut cut = flat.len();
+    for (i, (_, msg)) in flat.iter().enumerate() {
+        let kind = MsgKind::of(msg);
+        if fabric
+            .take_crash(server, |p| p == CrashPoint::BeforeReceive(kind))
+            .is_some()
+        {
+            // The matching message dies with the server.
+            cut = i;
+            crashed = true;
+            break;
+        }
+        if fabric
+            .take_crash(server, |p| p == CrashPoint::AfterReceive(kind))
+            .is_some()
+        {
+            cut = i + 1;
+            crashed = true;
+            break;
+        }
+    }
+    flat.truncate(cut);
+
     let now = now_since(epoch);
     let mut inline: Vec<(NetAddr, Msg)> = Vec::new();
     let mut tasks: Vec<EvalTask> = Vec::new();
     core.begin_wal_group();
-    for (from, msg) in round {
-        // A Batch envelope is by definition its inner messages in order.
-        let msgs = match msg {
-            Msg::Batch(inner) => inner,
-            other => vec![other],
-        };
-        for msg in msgs {
+    {
+        for (from, msg) in flat {
             if core.unsafe_baseline() {
                 inline.extend(core.handle(now, from, msg));
                 continue;
@@ -543,23 +825,59 @@ fn process_round(
     }
     // One frame (and one flush) per destination per round; a disconnected
     // peer is fine to ignore, like a dead channel in the threaded runtime.
-    for (to, msg) in coalesce_replies(outputs, |a| a.0) {
+    crashed | send_frames(links, fabric, server, coalesce_replies(outputs, |a| a.0))
+}
+
+/// Writes one frame per message through the fault fabric, flushing each.
+/// Returns `true` when an `AfterSend` crash point fired — the matching
+/// frame left the host, the rest of the batch dies with it.
+fn send_frames(
+    links: &mut HashMap<u64, PeerLink>,
+    fabric: &NetFabric,
+    server: ServerId,
+    outputs: Vec<(NetAddr, Msg)>,
+) -> bool {
+    for (to, msg) in outputs {
         let Some(link) = links.get_mut(&to.0) else {
             continue;
         };
-        let sent = write_frame(&mut link.writer, &msg).and_then(|n| {
-            link.writer.flush()?;
-            Ok(n)
+        // Consult the crash schedule before the write (the threaded fabric
+        // consumes the rule at the send), crash after it: the frame — and
+        // with it the force the server already performed — escapes first.
+        let crash_after = frame_kinds(&msg).iter().any(|&kind| {
+            fabric
+                .take_crash(server, |p| p == CrashPoint::AfterSend(kind))
+                .is_some()
         });
-        match sent {
-            Ok(bytes) => link.stats.note_sent(bytes),
-            Err(_) => {
-                // Dead connection: drop the writer; the reader's detach
-                // handles the bookkeeping.
+        let seq = link.seq;
+        link.seq += 1;
+        let fate = write_through_fabric(
+            fabric,
+            Peer::Server(server),
+            Peer::Coordinator,
+            seq,
+            &mut link.writer,
+            &msg,
+            &link.stats,
+        )
+        .and_then(|fate| {
+            link.writer.flush()?;
+            Ok(fate)
+        });
+        match fate {
+            Ok(WireFate::Intact) => {}
+            Ok(WireFate::Kill) | Err(_) => {
+                // Dead (or fabric-killed) connection: drop the stream; the
+                // reader's detach handles the bookkeeping, and the TM side
+                // reconnects with backoff.
                 let _ = link.stream.shutdown(std::net::Shutdown::Both);
             }
         }
+        if crash_after {
+            return true;
+        }
     }
+    false
 }
 
 /// The TM pool's side of one edge.
@@ -567,6 +885,38 @@ struct TmLink {
     /// `None` while disconnected.
     writer: Mutex<Option<TmWriter>>,
     stats: Arc<EdgeStats>,
+    /// Outbound frame sequence — the fault fabric's per-frame roll input.
+    seq: AtomicU64,
+    /// Consecutive reconnect attempts since the last healthy frame; the
+    /// budget that bounds a reconnect storm.
+    reconnect_attempts: AtomicU64,
+}
+
+impl TmLink {
+    fn new() -> TmLink {
+        TmLink {
+            writer: Mutex::new(None),
+            stats: Arc::new(EdgeStats::default()),
+            seq: AtomicU64::new(0),
+            reconnect_attempts: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Most reconnect attempts the TM makes per outage before declaring the
+/// edge unavailable (further sends drop until the server is restarted or
+/// a healthy frame arrives, which resets the budget).
+const RECONNECT_MAX_ATTEMPTS: u64 = 6;
+
+/// Jittered exponential backoff before reconnect attempt `attempt`
+/// (1-based): doubling from 50µs, capped at 2ms, ±50% deterministic
+/// jitter — the same shape as the service layer's `RetryPolicy`.
+fn reconnect_backoff(attempt: u64, edge: u64) -> Duration {
+    let base = 50u64
+        .saturating_mul(1u64 << (attempt - 1).min(6))
+        .min(2_000);
+    let roll = splitmix64(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ edge) % (base + 1);
+    Duration::from_micros(base / 2 + roll)
 }
 
 struct TmWriter {
@@ -599,12 +949,19 @@ pub struct NetCluster {
     next_txn: AtomicU64,
     /// In-process hosts (empty in `connect` mode).
     hosts: Vec<ServerHost>,
-    links: Vec<TmLink>,
+    /// Shared with the reader threads (they answer wire inquiries and
+    /// reset reconnect budgets).
+    links: Arc<Vec<TmLink>>,
     routes: Routes,
     readers: Mutex<Vec<JoinHandle<()>>>,
     dropped_replies: Arc<AtomicU64>,
     timeout_aborts: AtomicU64,
+    /// Reconnect loops that exhausted their bounded attempt budget.
+    reconnect_exhausted: AtomicU64,
     decision_log: Arc<Mutex<Wal<CoordinatorRecord>>>,
+    /// The transport fault fabric every frame (both directions) rolls
+    /// against; disabled until a plan is armed.
+    fabric: Arc<NetFabric>,
 }
 
 /// The TM pool's logical peer id on every server's side of the wire. One
@@ -629,6 +986,7 @@ impl NetCluster {
         let cas = SharedCas::new(registry);
         let epoch = Instant::now();
         let batch = resolve_batch(&config);
+        let fabric = Arc::new(NetFabric::default());
 
         let mut hosts = Vec::with_capacity(config.servers);
         for i in 0..config.servers {
@@ -643,31 +1001,34 @@ impl NetCluster {
             if let Some(cost) = config.wal_sync_cost {
                 core.set_wal_sync_cost(cost);
             }
-            hosts.push(ServerHost::spawn(core, epoch, batch));
+            hosts.push(ServerHost::spawn_with_fabric(
+                core,
+                epoch,
+                batch,
+                Arc::clone(&fabric),
+            ));
         }
 
-        let mut cluster = NetCluster {
+        let links: Vec<TmLink> = (0..config.servers).map(|_| TmLink::new()).collect();
+        let cluster = NetCluster {
             config,
             catalog,
             cas,
             epoch,
             next_txn: AtomicU64::new(0),
             hosts,
-            links: Vec::new(),
+            links: Arc::new(links),
             routes: Arc::new(Mutex::new(HashMap::new())),
             readers: Mutex::new(Vec::new()),
             dropped_replies: Arc::new(AtomicU64::new(0)),
             timeout_aborts: AtomicU64::new(0),
+            reconnect_exhausted: AtomicU64::new(0),
             decision_log: Arc::new(Mutex::new(Wal::new())),
+            fabric,
         };
         for i in 0..cluster.config.servers {
             let (tm_end, srv_end) = UnixStream::pair().expect("socketpair");
             cluster.hosts[i].attach(TM_PEER, srv_end);
-            let link = TmLink {
-                writer: Mutex::new(None),
-                stats: Arc::new(EdgeStats::default()),
-            };
-            cluster.links.push(link);
             cluster.install_tm_connection(i, tm_end, false);
         }
         cluster
@@ -691,25 +1052,24 @@ impl NetCluster {
         let mut registry = CaRegistry::new();
         registry.register(CertificateAuthority::new(CaId::new(0), 0x7331));
         let cas = SharedCas::new(registry);
-        let mut cluster = NetCluster {
+        let links: Vec<TmLink> = (0..config.servers).map(|_| TmLink::new()).collect();
+        let cluster = NetCluster {
             config,
             catalog,
             cas,
             epoch: Instant::now(),
             next_txn: AtomicU64::new(0),
             hosts: Vec::new(),
-            links: Vec::new(),
+            links: Arc::new(links),
             routes: Arc::new(Mutex::new(HashMap::new())),
             readers: Mutex::new(Vec::new()),
             dropped_replies: Arc::new(AtomicU64::new(0)),
             timeout_aborts: AtomicU64::new(0),
+            reconnect_exhausted: AtomicU64::new(0),
             decision_log: Arc::new(Mutex::new(Wal::new())),
+            fabric: Arc::new(NetFabric::default()),
         };
         for (i, stream) in streams.into_iter().enumerate() {
-            cluster.links.push(TmLink {
-                writer: Mutex::new(None),
-                stats: Arc::new(EdgeStats::default()),
-            });
             cluster.install_tm_connection(i, stream, false);
         }
         cluster
@@ -728,12 +1088,21 @@ impl NetCluster {
             stream,
             writer: BufWriter::new(writer_stream),
         });
-        let routes = Arc::clone(&self.routes);
-        let stats = Arc::clone(&link.stats);
-        let dropped = Arc::clone(&self.dropped_replies);
+        self.spawn_tm_reader(i, reader_stream);
+    }
+
+    /// Spawns the demultiplexing reader for link `i`'s current connection.
+    fn spawn_tm_reader(&self, i: usize, stream: UnixStream) {
+        let ctx = TmReaderCtx {
+            links: Arc::clone(&self.links),
+            routes: Arc::clone(&self.routes),
+            dropped: Arc::clone(&self.dropped_replies),
+            decision_log: Arc::clone(&self.decision_log),
+            fabric: Arc::clone(&self.fabric),
+        };
         let from = ServerId::new(i as u64);
         let handle = std::thread::spawn(move || {
-            tm_reader_loop(reader_stream, from, &routes, &stats, &dropped);
+            tm_reader_loop(stream, from, &ctx);
         });
         self.readers.lock().expect("readers lock").push(handle);
     }
@@ -777,15 +1146,217 @@ impl NetCluster {
         self.dropped_replies.load(Ordering::Relaxed)
     }
 
-    /// Failure counters: this runtime has no fault-injection fabric, so
-    /// only `timeout_aborts` (reply deadlines that fired, including those
-    /// caused by a disconnected peer) is ever nonzero.
+    /// Failure counters: everything the transport fault fabric injected
+    /// (drops, delays, duplicates, corruption, truncation, disconnects),
+    /// crash/recovery counts, exhausted reconnect budgets, and the reply
+    /// deadlines that fired (`timeout_aborts`). All zero on a clean run
+    /// with no plan armed.
     #[must_use]
     pub fn fault_counters(&self) -> FaultCounters {
-        FaultCounters {
-            timeout_aborts: self.timeout_aborts.load(Ordering::Relaxed),
-            ..FaultCounters::default()
+        let mut counters = self.fabric.stats.snapshot();
+        counters.timeout_aborts = self.timeout_aborts.load(Ordering::Relaxed);
+        counters.reconnect_exhausted = self.reconnect_exhausted.load(Ordering::Relaxed);
+        counters
+    }
+
+    /// Arms a transport fault plan: every frame subsequently written on
+    /// any edge (both directions) rolls against it, and scheduled server
+    /// crashes fire at their protocol points. Replaces any armed plan and
+    /// re-arms consumed one-shot rules.
+    pub fn set_fault_plan(&self, plan: NetFaultPlan) {
+        self.fabric.arm(plan);
+    }
+
+    /// Disarms the fault fabric: traffic flows clean again (accumulated
+    /// fault counters are kept). Also reopens every edge's reconnect
+    /// budget — the cap exists to bound reconnect storms *while faults
+    /// rage*; once the network is declared healthy, an edge whose budget
+    /// was exhausted mid-chaos must be reachable again (recovery and
+    /// in-doubt resolution depend on it).
+    pub fn clear_fault_plan(&self) {
+        self.fabric.disarm();
+        for link in self.links.iter() {
+            link.reconnect_attempts.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Kills a server's event loop as if its process died: volatile state
+    /// (locks, in-flight rounds, the decided memo) is lost, every one of
+    /// its connections drops, and in-flight frames are gone. The store and
+    /// WAL survive for [`NetCluster::restart_server`]. Blocks until the
+    /// loop has unwound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range, in `connect` mode, or
+    /// when the loop fails to unwind within ten seconds.
+    pub fn crash_server(&self, server: ServerId) {
+        let i = server.index() as usize;
+        let host = self
+            .hosts
+            .get(i)
+            .expect("in-process server host (crash is unavailable in connect mode)");
+        host.crash();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !host.crashed() {
+            assert!(Instant::now() < deadline, "server loop failed to unwind");
+            std::thread::yield_now();
+        }
+        host.join_loop();
+        // The TM side of the edge is dead too; sever it so sends fail fast
+        // instead of filling a kernel buffer nobody reads.
+        let link = &self.links[i];
+        if let Some(writer) = link.writer.lock().expect("link writer lock").take() {
+            let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Servers that crashed (scheduled or via [`NetCluster::crash_server`])
+    /// and have not been restarted.
+    #[must_use]
+    pub fn crashed_servers(&self) -> Vec<ServerId> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, host)| host.crashed())
+            .map(|(i, _)| ServerId::new(i as u64))
+            .collect()
+    }
+
+    /// Restarts a crashed server: replays its WAL (`recover_from_wal`
+    /// rebuilds the decided memo and re-acquires locks for in-doubt
+    /// transactions), respawns the event loop, reconnects the TM edge
+    /// under the server's stable peer id, and puts one wire
+    /// [`Msg::Inquiry`] per in-doubt transaction on the new connection —
+    /// the TM-side readers answer from the decision log. The inquiries
+    /// cross the real (fault-subject) wire; a quiesced
+    /// [`NetCluster::resolve_in_doubt`] is the lossless backstop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server id is out of range, in `connect` mode, or
+    /// when no salvaged core appears within ten seconds.
+    pub fn restart_server(&self, server: ServerId) {
+        let i = server.index() as usize;
+        let host = self
+            .hosts
+            .get(i)
+            .expect("in-process server host (restart is unavailable in connect mode)");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut core = loop {
+            if let Some(core) = host.take_salvaged() {
+                break core;
+            }
+            assert!(Instant::now() < deadline, "no salvaged core to restart");
+            std::thread::yield_now();
+        };
+        host.join_loop();
+        let in_doubt = core.recover_from_wal();
+        host.respawn(core);
+        let (tm_end, srv_end) = UnixStream::pair().expect("socketpair");
+        host.attach(TM_PEER, srv_end);
+        self.links[i].reconnect_attempts.store(0, Ordering::Relaxed);
+        self.install_tm_connection(i, tm_end, true);
+        self.fabric.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        let inquiries: Vec<(NetAddr, Msg)> = in_doubt
+            .into_iter()
+            .map(|txn| {
+                (
+                    NetAddr(TM_PEER),
+                    Msg::Inquiry {
+                        txn,
+                        from_server: server,
+                    },
+                )
+            })
+            .collect();
+        if !inquiries.is_empty() {
+            host.emit(inquiries);
+        }
+    }
+
+    /// Drives every live server's leftover transactions to a decision on a
+    /// quiesced cluster (no concurrent `execute` calls): in-doubt
+    /// (prepared-Yes) transactions get the decision-log answer under the
+    /// cluster's termination variant; transactions that never reached a
+    /// vote get a unilateral abort (their coordinator cannot have
+    /// committed without the vote). Answers cross the real wire, so the
+    /// probe loops until the hosts have drained them. Returns the number
+    /// of transactions resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a transaction stays unresolved past the deadline — with
+    /// the fabric disarmed that means a decision is genuinely
+    /// unobtainable, which quiesced execution rules out.
+    pub fn resolve_in_doubt(&self) -> usize {
+        let mut resolved: BTreeSet<(usize, TxnId)> = BTreeSet::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut outstanding = 0usize;
+            for (i, host) in self.hosts.iter().enumerate() {
+                if host.crashed() {
+                    continue;
+                }
+                let (probe_tx, probe_rx) = unbounded();
+                host.configure(move |core| {
+                    let _ = probe_tx.send((core.active_txn_ids(), core.in_doubt_txns()));
+                });
+                let (active, in_doubt) = probe_rx.recv().expect("probe reply");
+                let in_doubt: BTreeSet<TxnId> = in_doubt.into_iter().collect();
+                for txn in active {
+                    outstanding += 1;
+                    resolved.insert((i, txn));
+                    let msg = if in_doubt.contains(&txn) {
+                        let mut answer = {
+                            let log = self.decision_log.lock().expect("decision log lock");
+                            safetx_txn::answer_inquiry(txn, self.config.variant, log.records())
+                        };
+                        // Basic 2PC's blocking case (no record, no
+                        // presumption): on a quiesced cluster the
+                        // coordinator is gone for good, so the absence of
+                        // a forced decision record proves no participant
+                        // ever saw COMMIT — coordinator recovery decides
+                        // ABORT, same rule as
+                        // `safetx_txn::recover_coordinator`.
+                        if !matches!(answer, InquiryAnswer::Decided(_)) {
+                            answer = InquiryAnswer::Decided(Decision::Abort);
+                        }
+                        Msg::InquiryReply { txn, answer }
+                    } else {
+                        // Never voted ⇒ the coordinator cannot have
+                        // committed this transaction; unilateral abort
+                        // releases its locks.
+                        Msg::Decision {
+                            txn,
+                            decision: Decision::Abort,
+                        }
+                    };
+                    self.send_to(i, &msg);
+                    self.flush_link(i);
+                }
+            }
+            if outstanding == 0 {
+                return resolved.len();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "in-doubt resolution wedged: {outstanding} transaction(s) left"
+            );
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// A copy of the coordinator-side decision log (every `ForceLog` and
+    /// `Log` record the TM pool wrote, in order).
+    #[must_use]
+    pub fn decision_log_records(&self) -> Vec<CoordinatorRecord> {
+        self.decision_log
+            .lock()
+            .expect("decision log lock")
+            .records()
+            .cloned()
+            .collect()
     }
 
     /// Aggregated WAL accounting across the in-process hosts (empty in
@@ -1024,33 +1595,57 @@ impl NetCluster {
         ExecutionResult::from_termination(termination, started.elapsed())
     }
 
-    /// Encodes and writes one frame to server `i` without flushing. A
-    /// disconnected or failing link is fine to ignore — the reply deadline
-    /// is the failure detector.
+    /// Encodes and writes one frame to server `i` (through the fault
+    /// fabric) without flushing. A down link first gets a bounded,
+    /// backed-off reconnect attempt; once the budget is exhausted the
+    /// frame drops — the reply deadline is the failure detector, and the
+    /// edge presents as `ServerUnavailable`.
     fn send_to(&self, i: usize, msg: &Msg) {
-        let link = &self.links[i];
-        let mut slot = link.writer.lock().expect("link writer lock");
-        let Some(tm_writer) = slot.as_mut() else {
-            return;
-        };
-        match write_frame(&mut tm_writer.writer, msg) {
-            Ok(bytes) => link.stats.note_sent(bytes),
-            Err(_) => {
-                let writer = slot.take().expect("writer present");
-                let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+        {
+            let link = &self.links[i];
+            let mut slot = link.writer.lock().expect("link writer lock");
+            if slot.is_none() && !self.try_reconnect(i, &mut slot) {
+                return;
             }
         }
+        tm_send(&self.links, &self.fabric, i, msg);
+    }
+
+    /// One bounded reconnect attempt for link `i`, called with the
+    /// writer slot held and empty. In-process mode only — `connect`-mode
+    /// reconnects are driven externally — and never while the server is
+    /// crashed (restart owns that handshake).
+    fn try_reconnect(&self, i: usize, slot: &mut Option<TmWriter>) -> bool {
+        let Some(host) = self.hosts.get(i) else {
+            return false;
+        };
+        if host.crashed() {
+            return false;
+        }
+        let link = &self.links[i];
+        let attempt = link.reconnect_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        if attempt > RECONNECT_MAX_ATTEMPTS {
+            if attempt == RECONNECT_MAX_ATTEMPTS + 1 {
+                self.reconnect_exhausted.fetch_add(1, Ordering::Relaxed);
+            }
+            return false;
+        }
+        std::thread::sleep(reconnect_backoff(attempt, i as u64));
+        let (tm_end, srv_end) = UnixStream::pair().expect("socketpair");
+        host.attach(TM_PEER, srv_end);
+        link.stats.note_reconnect();
+        let reader_stream = tm_end.try_clone().expect("clone unix stream");
+        let writer_stream = tm_end.try_clone().expect("clone unix stream");
+        *slot = Some(TmWriter {
+            stream: tm_end,
+            writer: BufWriter::new(writer_stream),
+        });
+        self.spawn_tm_reader(i, reader_stream);
+        true
     }
 
     fn flush_link(&self, i: usize) {
-        let link = &self.links[i];
-        let mut slot = link.writer.lock().expect("link writer lock");
-        if let Some(tm_writer) = slot.as_mut() {
-            if tm_writer.writer.flush().is_err() {
-                let writer = slot.take().expect("writer present");
-                let _ = writer.stream.shutdown(std::net::Shutdown::Both);
-            }
-        }
+        tm_flush(&self.links, i);
     }
 
     /// Stops every connection and host and joins all their threads.
@@ -1059,7 +1654,7 @@ impl NetCluster {
     }
 
     fn shutdown_inner(&mut self) {
-        for link in &self.links {
+        for link in self.links.iter() {
             if let Some(writer) = link.writer.lock().expect("link writer lock").take() {
                 let _ = writer.stream.shutdown(std::net::Shutdown::Both);
             }
@@ -1079,33 +1674,119 @@ impl Drop for NetCluster {
     }
 }
 
+/// Everything a TM-side reader needs beyond its stream: the links (to
+/// write inquiry replies and reset reconnect budgets), the reply routes,
+/// and the decision log it answers wire inquiries from.
+struct TmReaderCtx {
+    links: Arc<Vec<TmLink>>,
+    routes: Routes,
+    dropped: Arc<AtomicU64>,
+    decision_log: Arc<Mutex<Wal<CoordinatorRecord>>>,
+    fabric: Arc<NetFabric>,
+}
+
+/// Writes one frame on link `i` through the fault fabric, without
+/// flushing. A missing writer is fine to ignore — the reply deadline (or
+/// the reconnect path in `NetCluster::send_to`) is the failure detector.
+fn tm_send(links: &[TmLink], fabric: &NetFabric, i: usize, msg: &Msg) {
+    let link = &links[i];
+    let mut slot = link.writer.lock().expect("link writer lock");
+    let Some(tm_writer) = slot.as_mut() else {
+        return;
+    };
+    let seq = link.seq.fetch_add(1, Ordering::Relaxed);
+    let fate = write_through_fabric(
+        fabric,
+        Peer::Coordinator,
+        Peer::Server(ServerId::new(i as u64)),
+        seq,
+        &mut tm_writer.writer,
+        msg,
+        &link.stats,
+    );
+    match fate {
+        Ok(WireFate::Intact) => {}
+        Ok(WireFate::Kill) | Err(_) => {
+            let writer = slot.take().expect("writer present");
+            let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Flushes link `i`'s writer, severing the connection on failure.
+fn tm_flush(links: &[TmLink], i: usize) {
+    let link = &links[i];
+    let mut slot = link.writer.lock().expect("link writer lock");
+    if let Some(tm_writer) = slot.as_mut() {
+        if tm_writer.writer.flush().is_err() {
+            let writer = slot.take().expect("writer present");
+            let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Answers one wire [`Msg::Inquiry`] from a recovering server, but only
+/// when the decision log holds an explicit decision record for the
+/// transaction. Presumption-based answers (and the collecting-without-
+/// decision inference) are deliberately NOT given here: while the cluster
+/// is live a coordinator may still be mid-flight, and a presumed answer
+/// could contradict the decision it is about to log. The quiesced
+/// [`NetCluster::resolve_in_doubt`] applies the full termination protocol
+/// once no coordinator can be in flight.
+fn answer_wire_inquiry(ctx: &TmReaderCtx, txn: TxnId, from_server: ServerId) {
+    let decision = {
+        let log = ctx.decision_log.lock().expect("decision log lock");
+        let found = log.records().find_map(|record| match record {
+            CoordinatorRecord::Decision { txn: t, decision } if *t == txn => Some(*decision),
+            _ => None,
+        });
+        found
+    };
+    let Some(decision) = decision else {
+        return;
+    };
+    let i = from_server.index() as usize;
+    if i >= ctx.links.len() {
+        return;
+    }
+    let reply = Msg::InquiryReply {
+        txn,
+        answer: InquiryAnswer::Decided(decision),
+    };
+    tm_send(&ctx.links, &ctx.fabric, i, &reply);
+    tm_flush(&ctx.links, i);
+}
+
 /// The TM-side reader for one edge: decodes frames, flattens coalesced
-/// envelopes, and routes each inner reply to the `execute` call driving
-/// its transaction. Unroutable replies are stale stragglers, counted
-/// under the shared rule (acks never count).
-fn tm_reader_loop(
-    stream: UnixStream,
-    from: ServerId,
-    routes: &Routes,
-    stats: &EdgeStats,
-    dropped: &AtomicU64,
-) {
+/// envelopes, answers recovery inquiries from the decision log, and
+/// routes each other inner reply to the `execute` call driving its
+/// transaction. Unroutable replies are stale stragglers, counted under
+/// the shared rule (acks never count).
+fn tm_reader_loop(stream: UnixStream, from: ServerId, ctx: &TmReaderCtx) {
+    let i = from.index() as usize;
     let mut reader = BufReader::new(stream);
     while let Ok(Some(payload)) = read_frame(&mut reader) {
-        stats.note_received(payload.len());
+        ctx.links[i].stats.note_received(payload.len());
         let msg = match decode_msg(&payload) {
             Ok(msg) => msg,
             Err(_) => {
-                stats.note_decode_error();
+                ctx.links[i].stats.note_decode_error();
                 continue;
             }
         };
+        // A decoded frame proves the edge is healthy: reopen the
+        // reconnect budget.
+        ctx.links[i].reconnect_attempts.store(0, Ordering::Relaxed);
         let msgs = match msg {
             Msg::Batch(inner) => inner,
             other => vec![other],
         };
         for msg in msgs {
-            route_reply(from, msg, routes, dropped);
+            if let Msg::Inquiry { txn, from_server } = msg {
+                answer_wire_inquiry(ctx, txn, from_server);
+                continue;
+            }
+            route_reply(from, msg, &ctx.routes, &ctx.dropped);
         }
     }
 }

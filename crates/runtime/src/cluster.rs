@@ -1,6 +1,8 @@
 //! Thread-per-server cluster.
 
-use crate::fault::{ArmedPlan, CrashPoint, FaultPlan, FaultStats, MsgKind, Peer, Verdict};
+use crate::fault::{
+    ArmedPlan, CrashPoint, FaultPlan, FaultStats, MsgKind, Peer, TmCrashPoint, Verdict,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
     coalesce_replies, reply_counts_as_dropped, AbortReason, ConsistencyLevel, EvalSnapshot, Msg,
@@ -908,6 +910,15 @@ impl Cluster {
     /// A transaction that is mid-2PVC has no decision record yet and would
     /// be answered from its variant's presumption, which can contradict
     /// the decision its coordinator is about to take.
+    ///
+    /// Two classes of leftovers are distinguished. A participant that is
+    /// *in-doubt* (prepared, voted Yes) gets the inquiry answer from the
+    /// decision log under the cluster's termination variant. A participant
+    /// that never reached a vote — its coordinator crashed before (or
+    /// during) prepare — gets a unilateral `Decision::Abort` instead:
+    /// its vote was never cast, so no coordinator can have committed with
+    /// it as a participant, and a presumption answer (presumed-commit in
+    /// particular) must never reach an unprepared transaction.
     pub fn resolve_in_doubt(&self) -> usize {
         let crashed: BTreeSet<u64> = self
             .salvage
@@ -923,27 +934,43 @@ impl Cluster {
             }
             let (probe_tx, probe_rx) = unbounded();
             self.configure_server(server, move |core| {
-                let _ = probe_tx.send(core.active_txn_ids());
+                let _ = probe_tx.send((core.active_txn_ids(), core.in_doubt_txns()));
             });
-            let active = probe_rx.recv().expect("probe reply");
+            let (active, in_doubt) = probe_rx.recv().expect("probe reply");
+            let in_doubt: BTreeSet<TxnId> = in_doubt.into_iter().collect();
             for txn in active {
-                let answer = {
-                    let log = self.decision_log.lock().expect("decision log lock");
-                    safetx_txn::answer_inquiry(txn, self.config.variant, log.records())
-                };
-                if matches!(answer, safetx_txn::InquiryAnswer::Decided(_)) {
-                    let (dead_tx, _dead_rx) = unbounded::<Input>();
-                    let coordinator = Addr {
-                        endpoint: Endpoint::Coordinator,
-                        tx: dead_tx,
-                        id: fresh_addr_id(),
+                let msg = if in_doubt.contains(&txn) {
+                    let mut answer = {
+                        let log = self.decision_log.lock().expect("decision log lock");
+                        safetx_txn::answer_inquiry(txn, self.config.variant, log.records())
                     };
-                    let _ = self
-                        .net
-                        .tx(self.pos(server))
-                        .send(Input::Proto(coordinator, Msg::InquiryReply { txn, answer }));
-                    resolved += 1;
-                }
+                    // Basic 2PC's blocking case (no record, no
+                    // presumption): on a quiesced cluster the coordinator
+                    // is gone for good, so the absence of a forced
+                    // decision record proves no participant ever saw
+                    // COMMIT — coordinator recovery decides ABORT, same
+                    // rule as `safetx_txn::recover_coordinator`.
+                    if !matches!(answer, safetx_txn::InquiryAnswer::Decided(_)) {
+                        answer = safetx_txn::InquiryAnswer::Decided(safetx_txn::Decision::Abort);
+                    }
+                    Msg::InquiryReply { txn, answer }
+                } else {
+                    Msg::Decision {
+                        txn,
+                        decision: safetx_txn::Decision::Abort,
+                    }
+                };
+                let (dead_tx, _dead_rx) = unbounded::<Input>();
+                let coordinator = Addr {
+                    endpoint: Endpoint::Coordinator,
+                    tx: dead_tx,
+                    id: fresh_addr_id(),
+                };
+                let _ = self
+                    .net
+                    .tx(self.pos(server))
+                    .send(Input::Proto(coordinator, msg));
+                resolved += 1;
             }
             // Barrier: the injected replies are processed before this
             // no-op configure returns, so callers can probe stores
@@ -1029,6 +1056,36 @@ impl Cluster {
             credentials,
             self.config.reply_timeout,
             self.epoch,
+        )
+    }
+
+    /// Executes one transaction whose coordinator dies at the given
+    /// protocol moment (`None` when the crash fired; `Some` when the
+    /// transaction finished before reaching the point). Whatever the
+    /// crash leaves behind — participants blocked on a vote, in-doubt
+    /// after a YES, holding locks for an unheard decision — is resolved
+    /// by [`Cluster::resolve_in_doubt`] against the decision log, which
+    /// the force-before-send discipline keeps authoritative.
+    #[must_use]
+    pub fn execute_with_coordinator_crash(
+        &self,
+        spec: &TransactionSpec,
+        credentials: &[Credential],
+        point: TmCrashPoint,
+    ) -> Option<ExecutionResult> {
+        let config = TmConfig::new(
+            self.config.scheme,
+            self.config.consistency,
+            self.config.variant,
+        );
+        drive_tm_with_crash(
+            self,
+            config,
+            spec,
+            credentials,
+            self.config.reply_timeout,
+            self.epoch,
+            Some(point),
         )
     }
 
@@ -1159,6 +1216,25 @@ pub(crate) fn drive_tm<R: TmRoute + ?Sized>(
     reply_timeout: Option<Duration>,
     epoch: Instant,
 ) -> ExecutionResult {
+    drive_tm_with_crash(route, config, spec, credentials, reply_timeout, epoch, None)
+        .expect("no coordinator crash scheduled")
+}
+
+/// [`drive_tm`] with an optional scheduled coordinator crash: at the
+/// matching protocol moment the driver stops dead — no further effects
+/// are performed, nothing is cleaned up, and `None` is returned. Effects
+/// performed *before* the crash point (sends on the wire, records in the
+/// decision log) stand, exactly as a process kill would leave them; the
+/// participants' termination protocol owns whatever is left.
+pub(crate) fn drive_tm_with_crash<R: TmRoute + ?Sized>(
+    route: &R,
+    config: TmConfig,
+    spec: &TransactionSpec,
+    credentials: &[Credential],
+    reply_timeout: Option<Duration>,
+    epoch: Instant,
+    crash: Option<TmCrashPoint>,
+) -> Option<ExecutionResult> {
     let started = Instant::now();
     let (reply_tx, reply_rx) = unbounded::<Input>();
     let me = Addr {
@@ -1184,9 +1260,33 @@ pub(crate) fn drive_tm<R: TmRoute + ?Sized>(
         let mut consult_master = false;
         for effect in effects {
             match effect {
-                TmEffect::Send(server, msg) => route.send(&me, server, msg),
+                TmEffect::Send(server, msg) => {
+                    let kind = MsgKind::of(&msg);
+                    route.send(&me, server, msg);
+                    if crash == Some(TmCrashPoint::AfterSend(kind)) {
+                        // The frame left; the coordinator dies before the
+                        // rest of this effect batch.
+                        return None;
+                    }
+                }
                 TmEffect::QueryMaster => consult_master = true,
-                TmEffect::ForceLog { record, .. } => route.force_decision(record),
+                TmEffect::ForceLog { record, .. } => {
+                    let is_decision = matches!(record, CoordinatorRecord::Decision { .. });
+                    if is_decision && crash == Some(TmCrashPoint::BeforeDecisionForce) {
+                        // The outcome was computed but never became
+                        // durable; termination must answer from the
+                        // forced Collecting record (abort).
+                        return None;
+                    }
+                    route.force_decision(record);
+                    if is_decision && crash == Some(TmCrashPoint::AfterDecisionForce) {
+                        // The decision is durable but no participant has
+                        // heard it: the effect batch orders the force
+                        // before every decision send, all of which now
+                        // die with the coordinator.
+                        return None;
+                    }
+                }
                 TmEffect::Log(record) => route.append_decision(record),
                 // The reply deadline below is this driver's failure
                 // detector; the idle watchdog is never configured.
@@ -1267,7 +1367,10 @@ pub(crate) fn drive_tm<R: TmRoute + ?Sized>(
     if termination.outcome.abort_reason() == Some(AbortReason::ServerUnavailable) {
         route.note_timeout();
     }
-    ExecutionResult::from_termination(termination, started.elapsed())
+    Some(ExecutionResult::from_termination(
+        termination,
+        started.elapsed(),
+    ))
 }
 
 fn now_since(epoch: Instant) -> Timestamp {

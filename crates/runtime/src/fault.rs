@@ -38,8 +38,10 @@ pub enum Peer {
 
 impl Peer {
     /// Dense index used for per-edge sequence counters: coordinator is 0,
-    /// server *i* is *i + 1*.
-    pub(crate) fn index(self) -> usize {
+    /// server *i* is *i + 1*. Public so wire-level fabrics (`safetx-net`)
+    /// can hash edges identically to the channel fabric.
+    #[must_use]
+    pub fn index(self) -> usize {
         match self {
             Peer::Coordinator => 0,
             Peer::Server(id) => id.index() as usize + 1,
@@ -62,7 +64,9 @@ pub enum PeerMatch {
 }
 
 impl PeerMatch {
-    fn matches(self, peer: Peer) -> bool {
+    /// Whether this matcher covers `peer`.
+    #[must_use]
+    pub fn matches(self, peer: Peer) -> bool {
         match self {
             PeerMatch::Any => true,
             PeerMatch::AnyServer => matches!(peer, Peer::Server(_)),
@@ -115,7 +119,10 @@ impl MsgKind {
         }
     }
 
-    fn salt(self) -> u64 {
+    /// Stable per-kind salt folded into every seeded roll, shared with the
+    /// wire fabric so identical edges hash identically across runtimes.
+    #[must_use]
+    pub fn salt(self) -> u64 {
         match self {
             MsgKind::ExecQuery => 1,
             MsgKind::QueryDone => 2,
@@ -180,6 +187,33 @@ pub struct CrashRule {
     pub server: ServerId,
     /// The protocol moment.
     pub point: CrashPoint,
+}
+
+/// A *coordinator* (TM-side) crash point: the protocol moment at which a
+/// TM driver dies mid-transaction, leaving its participants to the
+/// termination protocol. Where [`CrashPoint`] kills a server,
+/// `TmCrashPoint` kills the process driving `TmCore` — the classic
+/// blocked-participant scenarios of 2PC/2PVC.
+///
+/// The safety anchor is the force-before-vote discipline the core already
+/// follows: `CoordinatorRecord::Collecting` is force-logged before any
+/// vote is solicited and `CoordinatorRecord::Decision` before any
+/// decision is sent, so whichever window the coordinator dies in, the
+/// decision log determines (never contradicts) the answer recovery gives
+/// each participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmCrashPoint {
+    /// Die right after the first send of the given kind leaves (e.g.
+    /// after `PrepareToCommit` is out — participants prepare and block).
+    AfterSend(MsgKind),
+    /// Die *instead of* force-logging the decision record: votes are in,
+    /// the outcome was computed, but nothing durable records it.
+    /// Termination answers from the forced `Collecting` record — abort.
+    BeforeDecisionForce,
+    /// Die right after force-logging the decision record, before any
+    /// decision send leaves: participants are in-doubt, but the log
+    /// already knows the outcome — termination delivers it.
+    AfterDecisionForce,
 }
 
 /// A complete seeded fault schedule for one cluster run.
@@ -333,6 +367,9 @@ impl FaultStats {
             server_crashes: self.server_crashes.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             timeout_aborts: self.timeout_aborts.load(Ordering::Relaxed),
+            // Wire-only faults: a channel fabric never corrupts, truncates
+            // or disconnects (those live in `safetx_net`'s frame fabric).
+            ..FaultCounters::default()
         }
     }
 }

@@ -45,7 +45,9 @@ mod fault;
 mod shard;
 
 pub use cluster::{resolve_batch, Addr, Cluster, ClusterConfig, ExecutionResult};
-pub use fault::{CrashPoint, CrashRule, EdgeRule, FaultPlan, MsgKind, Peer, PeerMatch};
+pub use fault::{
+    CrashPoint, CrashRule, EdgeRule, FaultPlan, MsgKind, Peer, PeerMatch, TmCrashPoint,
+};
 pub use shard::{ShardedCluster, ShardedConfig, TxnRoute};
 
 // Re-exported so the doc example above typechecks without extra imports.

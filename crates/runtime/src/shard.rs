@@ -22,7 +22,10 @@
 //! to servers, and contiguous server ranges belong to shards, so a
 //! hash/range key partition is exactly a server partition.
 
-use crate::cluster::{drive_tm, Cluster, ClusterConfig, ExecutionResult, TmRoute};
+use crate::cluster::{
+    drive_tm, drive_tm_with_crash, Cluster, ClusterConfig, ExecutionResult, TmRoute,
+};
+use crate::fault::{FaultPlan, TmCrashPoint};
 use safetx_core::{Msg, SharedCas, SharedCatalog, TmConfig, VersionMap};
 use safetx_metrics::{FaultCounters, Histogram, RouteCounters, WalStats};
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
@@ -309,6 +312,69 @@ impl ShardedCluster {
                     .record(result.elapsed.as_secs_f64() * 1_000.0);
                 result
             }
+        }
+    }
+
+    /// Executes one transaction whose coordinator dies at the given
+    /// protocol moment — the single-shard TM or the cross-shard
+    /// coordinator, whichever the route selects. Returns `None` when the
+    /// crash fired (`Some` when the transaction finished first). Route
+    /// counters and latency histograms are deliberately not touched: a
+    /// dead coordinator reports nothing.
+    ///
+    /// For a cross-shard victim this is the scenario the replicated
+    /// decision logs exist for: every `ForceLog` record was written to
+    /// **each** participant shard's log before any send, so each shard's
+    /// [`Cluster::resolve_in_doubt`] terminates its own participants
+    /// locally — no shard ever wedges on a dead remote coordinator.
+    #[must_use]
+    pub fn execute_with_coordinator_crash(
+        &self,
+        spec: &TransactionSpec,
+        credentials: &[Credential],
+        point: TmCrashPoint,
+    ) -> Option<ExecutionResult> {
+        match self.route_of(spec) {
+            TxnRoute::Single(shard) => {
+                self.shards[shard].execute_with_coordinator_crash(spec, credentials, point)
+            }
+            TxnRoute::Cross(participants) => {
+                let config = TmConfig::new(
+                    self.config.cluster.scheme,
+                    self.config.cluster.consistency,
+                    self.config.cluster.variant,
+                );
+                let route = CrossShardRoute {
+                    owner: self,
+                    participants: &participants,
+                };
+                drive_tm_with_crash(
+                    &route,
+                    config,
+                    spec,
+                    credentials,
+                    self.config.cluster.reply_timeout,
+                    self.epoch,
+                    Some(point),
+                )
+            }
+        }
+    }
+
+    /// Arms the same fault plan on every shard's message fabric. Edge
+    /// rules apply within each shard (cross-matching by peer); a crash
+    /// rule fires on whichever shard owns the victim server (global ids
+    /// are disjoint across shards, so exactly one fabric can match it).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        for shard in &self.shards {
+            shard.set_fault_plan(plan.clone());
+        }
+    }
+
+    /// Disarms every shard's fault fabric.
+    pub fn clear_fault_plan(&self) {
+        for shard in &self.shards {
+            shard.clear_fault_plan();
         }
     }
 

@@ -141,6 +141,10 @@ impl ServiceStats {
             .with("faults_delayed", self.faults.faults_delayed)
             .with("faults_duplicated", self.faults.faults_duplicated)
             .with("faults_reordered", self.faults.faults_reordered)
+            .with("faults_corrupted", self.faults.faults_corrupted)
+            .with("faults_truncated", self.faults.faults_truncated)
+            .with("disconnects", self.faults.disconnects)
+            .with("reconnect_exhausted", self.faults.reconnect_exhausted)
             .with("server_crashes", self.faults.server_crashes)
             .with("recoveries", self.faults.recoveries)
             .with("timeout_aborts", self.faults.timeout_aborts)

@@ -1,8 +1,12 @@
-//! Seeded chaos suite: every proof scheme × consistency level, swept over
-//! seeded fault schedules (message drops, duplicates, delays, reorders,
-//! plus scheduled server crashes with mid-run restart and recovery).
+//! Seeded chaos suite, generic over all three runtimes: the threaded
+//! channel cluster, the socket-backed net cluster, and the sharded
+//! deployment. Every runtime is driven through the same seeded fault
+//! schedules (message drops, duplicates, delays, reorders — and for the
+//! net runtime byte corruption, mid-frame truncation and hard
+//! disconnects — plus scheduled server crashes with mid-run restart and
+//! recovery).
 //!
-//! Invariants asserted per schedule:
+//! Invariants asserted per schedule, identically for every runtime:
 //!
 //! * **Safety (Definition 4)** — no transaction that reported COMMIT may
 //!   fail the post-hoc trust audit over its recorded proof view.
@@ -14,13 +18,20 @@
 //!   seed value plus exactly the committed deltas — no lost, duplicated,
 //!   or phantom writes, whatever the fault schedule did.
 //!
-//! Default sweep: 25 seeds per (scheme, consistency) cell = 200 schedules.
-//! `SAFETX_CHAOS_SEEDS=<n>` overrides the per-cell seed count (CI smoke
-//! uses a small fixed subset).
+//! Default sweep: 25 seeds per (scheme, consistency) cell = 200 schedules
+//! per runtime. `SAFETX_CHAOS_SEEDS=<n>` overrides the per-cell seed
+//! count (CI smoke uses a small fixed subset). A faults-disabled pass
+//! additionally checks that all three runtimes produce byte-identical
+//! outcome streams on the same workload — the differential-oracle
+//! property restated through this harness.
 
-use safetx_core::{trusted, ConsistencyLevel, ProofScheme};
+use safetx_core::{trusted, ConsistencyLevel, ProofScheme, ServerCore, TxnOutcome};
+use safetx_net::{NetCluster, NetFaultPlan};
 use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
-use safetx_runtime::{Cluster, ClusterConfig, CrashPoint, CrashRule, FaultPlan, MsgKind};
+use safetx_runtime::{
+    Cluster, ClusterConfig, CrashPoint, CrashRule, ExecutionResult, FaultPlan, MsgKind,
+    ShardedCluster, ShardedConfig,
+};
 use safetx_service::{RetryPolicy, ServiceConfig, TxnService};
 use safetx_store::Value;
 use safetx_txn::{
@@ -32,6 +43,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const SERVERS: usize = 3;
+const SHARDS: usize = 2;
+const SERVERS_PER_SHARD: usize = 2;
 const ITEMS_PER_SERVER: u64 = 4;
 const TXNS_PER_SCHEDULE: u64 = 8;
 const SEED_VALUE: i64 = 10;
@@ -49,40 +62,266 @@ fn seeds_per_cell() -> u64 {
         .unwrap_or(25)
 }
 
-fn build_cluster(scheme: ProofScheme, consistency: ConsistencyLevel, seed: u64) -> Cluster {
-    let cluster = Cluster::new(ClusterConfig {
-        servers: SERVERS,
-        scheme,
-        consistency,
-        variant: VARIANTS[(seed % 3) as usize],
-        // Generous against the plan's ≤2 ms injected delays, small enough
-        // that dropped-message timeouts don't dominate the sweep.
-        reply_timeout: Some(Duration::from_millis(10)),
-        ..Default::default()
-    });
-    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
-        .rules_text(
-            "grant(read, records) :- role(U, member).\n\
-             grant(write, records) :- role(U, member).",
-        )
-        .expect("rules parse")
-        .build();
-    cluster.publish_policy(policy);
-    for s in 0..SERVERS as u64 {
-        cluster.configure_server(ServerId::new(s), move |core| {
-            for j in 0..ITEMS_PER_SERVER {
-                core.store_mut().write(
-                    DataItemId::new(s * 100 + j),
-                    Value::Int(SEED_VALUE),
-                    Timestamp::ZERO,
-                );
-            }
-        });
-    }
-    cluster
+/// Which deployment a schedule runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Runtime {
+    /// In-process threads over crossbeam channels.
+    Threaded,
+    /// Real byte streams over Unix sockets, with the transport fault
+    /// fabric interposed at the frame layer.
+    Net,
+    /// Partitioned deployment with a cross-shard 2PVC coordinator.
+    Sharded,
 }
 
-fn member_credential(cluster: &Cluster) -> Credential {
+impl Runtime {
+    fn label(self) -> &'static str {
+        match self {
+            Runtime::Threaded => "threaded",
+            Runtime::Net => "net",
+            Runtime::Sharded => "sharded",
+        }
+    }
+}
+
+/// Writes the well-known seed value into every audited slot. Generic over
+/// the runtime's address type: the store surface does not depend on it.
+fn seed_core<A: Clone>(core: &mut ServerCore<A>, s: u64) {
+    for j in 0..ITEMS_PER_SERVER {
+        core.store_mut().write(
+            DataItemId::new(s * 100 + j),
+            Value::Int(SEED_VALUE),
+            Timestamp::ZERO,
+        );
+    }
+}
+
+/// Reads every audited slot back for the post-run store audit.
+fn probe_core<A: Clone>(core: &ServerCore<A>, s: u64) -> Vec<(u64, Option<i64>)> {
+    (0..ITEMS_PER_SERVER)
+        .map(|j| {
+            (
+                s * 100 + j,
+                core.store().read_int(DataItemId::new(s * 100 + j)),
+            )
+        })
+        .collect()
+}
+
+/// One of the three deployments behind a uniform chaos-harness surface.
+/// Every method forwards to the runtime's own crash/recovery/fault API,
+/// so the same schedule driver and the same audits run against all of
+/// them.
+enum AnyCluster {
+    Threaded(Cluster),
+    Net(NetCluster),
+    Sharded(ShardedCluster),
+}
+
+impl AnyCluster {
+    fn build(
+        runtime: Runtime,
+        scheme: ProofScheme,
+        consistency: ConsistencyLevel,
+        seed: u64,
+    ) -> Self {
+        let config = ClusterConfig {
+            servers: SERVERS,
+            scheme,
+            consistency,
+            variant: VARIANTS[(seed % 3) as usize],
+            // Generous against the plans' ≤2 ms injected delays, small
+            // enough that dropped-message timeouts don't dominate.
+            reply_timeout: Some(Duration::from_millis(10)),
+            ..Default::default()
+        };
+        let cluster = match runtime {
+            Runtime::Threaded => AnyCluster::Threaded(Cluster::new(config)),
+            Runtime::Net => AnyCluster::Net(NetCluster::new(config)),
+            Runtime::Sharded => AnyCluster::Sharded(ShardedCluster::new(ShardedConfig {
+                shards: SHARDS,
+                cluster: ClusterConfig {
+                    servers: SERVERS_PER_SHARD,
+                    ..config
+                },
+            })),
+        };
+        let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .rules_text(
+                "grant(read, records) :- role(U, member).\n\
+                 grant(write, records) :- role(U, member).",
+            )
+            .expect("rules parse")
+            .build();
+        cluster.publish_policy(policy);
+        for s in 0..cluster.servers() {
+            cluster.seed_items(s);
+        }
+        cluster
+    }
+
+    /// Total server count (across every shard for the sharded runtime).
+    fn servers(&self) -> u64 {
+        match self {
+            AnyCluster::Threaded(_) | AnyCluster::Net(_) => SERVERS as u64,
+            AnyCluster::Sharded(c) => c.total_servers() as u64,
+        }
+    }
+
+    fn publish_policy(&self, policy: safetx_policy::Policy) {
+        match self {
+            AnyCluster::Threaded(c) => c.publish_policy(policy),
+            AnyCluster::Net(c) => c.publish_policy(policy),
+            AnyCluster::Sharded(c) => c.publish_policy(policy),
+        }
+    }
+
+    fn cas(&self) -> &safetx_core::SharedCas {
+        match self {
+            AnyCluster::Threaded(c) => c.cas(),
+            AnyCluster::Net(c) => c.cas(),
+            AnyCluster::Sharded(c) => c.cas(),
+        }
+    }
+
+    fn catalog(&self) -> &safetx_core::SharedCatalog {
+        match self {
+            AnyCluster::Threaded(c) => c.catalog(),
+            AnyCluster::Net(c) => c.catalog(),
+            AnyCluster::Sharded(c) => c.catalog(),
+        }
+    }
+
+    fn next_txn_id(&self) -> TxnId {
+        match self {
+            AnyCluster::Threaded(c) => c.next_txn_id(),
+            AnyCluster::Net(c) => c.next_txn_id(),
+            AnyCluster::Sharded(c) => c.next_txn_id(),
+        }
+    }
+
+    fn seed_items(&self, s: u64) {
+        match self {
+            AnyCluster::Threaded(c) => {
+                c.configure_server(ServerId::new(s), move |core| seed_core(core, s));
+            }
+            AnyCluster::Net(c) => {
+                c.configure_server(ServerId::new(s), move |core| seed_core(core, s));
+            }
+            AnyCluster::Sharded(c) => {
+                c.configure_server(ServerId::new(s), move |core| seed_core(core, s));
+            }
+        }
+    }
+
+    /// Reads the audited slots of server `s` on its own thread and waits
+    /// for the values.
+    fn probe_items(&self, s: u64) -> Vec<(u64, Option<i64>)> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        match self {
+            AnyCluster::Threaded(c) => c.configure_server(ServerId::new(s), move |core| {
+                let _ = tx.send(probe_core(core, s));
+            }),
+            AnyCluster::Net(c) => c.configure_server(ServerId::new(s), move |core| {
+                let _ = tx.send(probe_core(core, s));
+            }),
+            AnyCluster::Sharded(c) => c.configure_server(ServerId::new(s), move |core| {
+                let _ = tx.send(probe_core(core, s));
+            }),
+        }
+        rx.recv().expect("probe reply")
+    }
+
+    fn execute(&self, spec: &TransactionSpec, credentials: &[Credential]) -> ExecutionResult {
+        match self {
+            AnyCluster::Threaded(c) => c.execute(spec, credentials),
+            AnyCluster::Net(c) => c.execute(spec, credentials),
+            AnyCluster::Sharded(c) => c.execute(spec, credentials),
+        }
+    }
+
+    /// Arms the runtime's fault fabric with the seed's chaos mix plus the
+    /// schedule's crash rules. The threaded and sharded runtimes inject
+    /// at the channel layer ([`FaultPlan`]); the net runtime injects at
+    /// the frame layer ([`NetFaultPlan`]), which adds byte corruption,
+    /// mid-frame truncation and hard disconnects to the mix.
+    fn set_chaos_plan(&self, seed: u64) {
+        let crashes = crash_rules(seed, self.servers());
+        match self {
+            AnyCluster::Threaded(c) => {
+                let mut plan = FaultPlan::chaos(seed);
+                plan.crashes = crashes;
+                c.set_fault_plan(plan);
+            }
+            AnyCluster::Net(c) => {
+                let mut plan = NetFaultPlan::chaos(seed);
+                plan.crashes = crashes;
+                c.set_fault_plan(plan);
+            }
+            AnyCluster::Sharded(c) => {
+                let mut plan = FaultPlan::chaos(seed);
+                plan.crashes = crashes;
+                c.set_fault_plan(plan);
+            }
+        }
+    }
+
+    fn clear_fault_plan(&self) {
+        match self {
+            AnyCluster::Threaded(c) => c.clear_fault_plan(),
+            AnyCluster::Net(c) => c.clear_fault_plan(),
+            AnyCluster::Sharded(c) => c.clear_fault_plan(),
+        }
+    }
+
+    fn crashed_servers(&self) -> Vec<ServerId> {
+        match self {
+            AnyCluster::Threaded(c) => c.crashed_servers(),
+            AnyCluster::Net(c) => c.crashed_servers(),
+            AnyCluster::Sharded(c) => c.crashed_servers(),
+        }
+    }
+
+    fn restart_server(&self, server: ServerId) {
+        match self {
+            AnyCluster::Threaded(c) => c.restart_server(server),
+            AnyCluster::Net(c) => c.restart_server(server),
+            AnyCluster::Sharded(c) => c.restart_server(server),
+        }
+    }
+
+    fn resolve_in_doubt(&self) -> usize {
+        match self {
+            AnyCluster::Threaded(c) => c.resolve_in_doubt(),
+            AnyCluster::Net(c) => c.resolve_in_doubt(),
+            AnyCluster::Sharded(c) => c.resolve_in_doubt(),
+        }
+    }
+
+    /// Every coordinator decision record the deployment holds. For the
+    /// sharded runtime this concatenates all shard logs; a cross-shard
+    /// transaction's records are replicated into each participant
+    /// shard's log, so the concatenation sees them at least once.
+    fn decision_log_records(&self) -> Vec<CoordinatorRecord> {
+        match self {
+            AnyCluster::Threaded(c) => c.decision_log_records(),
+            AnyCluster::Net(c) => c.decision_log_records(),
+            AnyCluster::Sharded(c) => (0..c.shards())
+                .flat_map(|i| c.decision_log_records(i))
+                .collect(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            AnyCluster::Threaded(c) => c.shutdown(),
+            AnyCluster::Net(c) => c.shutdown(),
+            AnyCluster::Sharded(c) => c.shutdown(),
+        }
+    }
+}
+
+fn member_credential(cluster: &AnyCluster) -> Credential {
     cluster.cas().with_mut(|registry| {
         registry.ca_mut(CaId::new(0)).unwrap().issue(
             UserId::new(1),
@@ -96,11 +335,33 @@ fn member_credential(cluster: &Cluster) -> Credential {
     })
 }
 
-/// One write per server, all on the same slot — commits move three items
-/// in lockstep, which makes the post-run store audit exact.
-fn spec(cluster: &Cluster, slot: u64) -> TransactionSpec {
-    let queries = (0..SERVERS as u64)
-        .map(|s| {
+/// The participant set for transaction `i` of a schedule. Flat runtimes
+/// always span every server; the sharded runtime alternates between a
+/// cross-shard transaction (all servers) and a single-shard one, so both
+/// the local 2PV/2PVC path and the cross-shard coordinator face the
+/// fault schedule.
+fn participants(cluster: &AnyCluster, i: u64) -> Vec<u64> {
+    match cluster {
+        AnyCluster::Threaded(_) | AnyCluster::Net(_) => (0..cluster.servers()).collect(),
+        AnyCluster::Sharded(c) => {
+            if i.is_multiple_of(2) {
+                (0..cluster.servers()).collect()
+            } else {
+                let per = c.servers_per_shard() as u64;
+                let base = ((i / 2) % c.shards() as u64) * per;
+                (base..base + per).collect()
+            }
+        }
+    }
+}
+
+/// One write per participant server, all on the same slot — commits move
+/// the participants' items in lockstep, which makes the post-run store
+/// audit exact.
+fn spec(cluster: &AnyCluster, servers: &[u64], slot: u64) -> TransactionSpec {
+    let queries = servers
+        .iter()
+        .map(|&s| {
             QuerySpec::new(
                 ServerId::new(s),
                 "write",
@@ -112,23 +373,22 @@ fn spec(cluster: &Cluster, slot: u64) -> TransactionSpec {
     TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries)
 }
 
-/// The chaos schedule for one seed: the seeded message-fault mix, plus —
-/// on a fifth of the seeds — one scheduled crash rotating over victims and
-/// protocol points.
-fn plan_for(seed: u64) -> FaultPlan {
-    let mut plan = FaultPlan::chaos(seed);
-    if seed % 5 == 3 {
-        let points = [
-            CrashPoint::BeforeReceive(MsgKind::PrepareToCommit),
-            CrashPoint::AfterSend(MsgKind::CommitReply),
-            CrashPoint::AfterReceive(MsgKind::Decision),
-        ];
-        plan.crashes.push(CrashRule {
-            server: ServerId::new(seed % SERVERS as u64),
-            point: points[((seed / 5) % 3) as usize],
-        });
+/// On a fifth of the seeds, one scheduled crash rotating over victims and
+/// protocol points. Shared between the channel-layer and frame-layer
+/// plans so every runtime faces the same crash schedule.
+fn crash_rules(seed: u64, servers: u64) -> Vec<CrashRule> {
+    if seed % 5 != 3 {
+        return Vec::new();
     }
-    plan
+    let points = [
+        CrashPoint::BeforeReceive(MsgKind::PrepareToCommit),
+        CrashPoint::AfterSend(MsgKind::CommitReply),
+        CrashPoint::AfterReceive(MsgKind::Decision),
+    ];
+    vec![CrashRule {
+        server: ServerId::new(seed % servers),
+        point: points[((seed / 5) % 3) as usize],
+    }]
 }
 
 fn logged_decision(records: &[CoordinatorRecord], txn: TxnId) -> Option<Decision> {
@@ -138,19 +398,27 @@ fn logged_decision(records: &[CoordinatorRecord], txn: TxnId) -> Option<Decision
     })
 }
 
-/// Runs one seeded schedule and audits it. Returns (commits, aborts).
-fn run_schedule(scheme: ProofScheme, consistency: ConsistencyLevel, seed: u64) -> (u64, u64) {
-    let cluster = build_cluster(scheme, consistency, seed);
+/// Runs one seeded schedule on one runtime and audits it.
+/// Returns (commits, aborts).
+fn run_schedule(
+    runtime: Runtime,
+    scheme: ProofScheme,
+    consistency: ConsistencyLevel,
+    seed: u64,
+) -> (u64, u64) {
+    let cluster = AnyCluster::build(runtime, scheme, consistency, seed);
+    let name = runtime.label();
     let cred = member_credential(&cluster);
     let authority = cluster.catalog().latest_versions();
-    cluster.set_fault_plan(plan_for(seed));
+    cluster.set_chaos_plan(seed);
 
     let mut committed: Vec<TxnId> = Vec::new();
     let mut aborted: Vec<TxnId> = Vec::new();
     let mut expected_delta: HashMap<u64, i64> = HashMap::new();
     for i in 0..TXNS_PER_SCHEDULE {
         let slot = (seed.wrapping_add(i)) % ITEMS_PER_SERVER;
-        let spec = spec(&cluster, slot);
+        let servers = participants(&cluster, i);
+        let spec = spec(&cluster, &servers, slot);
         let txn = spec.id;
         let result = cluster.execute(&spec, std::slice::from_ref(&cred));
         if result.is_commit() {
@@ -159,9 +427,9 @@ fn run_schedule(scheme: ProofScheme, consistency: ConsistencyLevel, seed: u64) -
             // whatever the network did to the messages carrying them.
             assert!(
                 trusted::is_trusted(&result.view, consistency, &authority),
-                "{scheme}/{consistency} seed {seed}: committed txn {txn} fails Definition 4"
+                "{name} {scheme}/{consistency} seed {seed}: committed txn {txn} fails Definition 4"
             );
-            for s in 0..SERVERS as u64 {
+            for &s in &servers {
                 *expected_delta.entry(s * 100 + slot).or_insert(0) += 1;
             }
             committed.push(txn);
@@ -193,38 +461,26 @@ fn run_schedule(scheme: ProofScheme, consistency: ConsistencyLevel, seed: u64) -
         assert_eq!(
             logged_decision(&records, txn),
             Some(Decision::Commit),
-            "{scheme}/{consistency} seed {seed}: commit of {txn} not in the decision log"
+            "{name} {scheme}/{consistency} seed {seed}: commit of {txn} not in the decision log"
         );
     }
     for &txn in &aborted {
         assert_ne!(
             logged_decision(&records, txn),
             Some(Decision::Commit),
-            "{scheme}/{consistency} seed {seed}: driver saw {txn} abort but the log says commit"
+            "{name} {scheme}/{consistency} seed {seed}: driver saw {txn} abort but the log says commit"
         );
     }
 
     // Store consistency: each replica's items carry exactly the committed
-    // deltas — crashes, drops and duplicates included.
-    for s in 0..SERVERS as u64 {
-        let (tx, rx) = std::sync::mpsc::channel();
-        cluster.configure_server(ServerId::new(s), move |core| {
-            let values: Vec<(u64, Option<i64>)> = (0..ITEMS_PER_SERVER)
-                .map(|j| {
-                    (
-                        s * 100 + j,
-                        core.store().read_int(DataItemId::new(s * 100 + j)),
-                    )
-                })
-                .collect();
-            let _ = tx.send(values);
-        });
-        for (item, value) in rx.recv().expect("probe reply") {
+    // deltas — crashes, drops, duplicates and truncations included.
+    for s in 0..cluster.servers() {
+        for (item, value) in cluster.probe_items(s) {
             let expected = SEED_VALUE + expected_delta.get(&item).copied().unwrap_or(0);
             assert_eq!(
                 value,
                 Some(expected),
-                "{scheme}/{consistency} seed {seed}: item {item} inconsistent after recovery"
+                "{name} {scheme}/{consistency} seed {seed}: item {item} inconsistent after recovery"
             );
         }
     }
@@ -234,8 +490,10 @@ fn run_schedule(scheme: ProofScheme, consistency: ConsistencyLevel, seed: u64) -
     out
 }
 
-#[test]
-fn chaos_sweep_preserves_safety_and_store_consistency() {
+/// The full sweep for one runtime: every scheme × consistency cell,
+/// `seeds_per_cell()` seeds each, cells spread across the seed space so
+/// every cell sees different fault mixes.
+fn sweep(runtime: Runtime) {
     let seeds = seeds_per_cell();
     let mut schedules = 0u64;
     let mut commits = 0u64;
@@ -243,10 +501,9 @@ fn chaos_sweep_preserves_safety_and_store_consistency() {
     for scheme in ProofScheme::ALL {
         for consistency in ConsistencyLevel::ALL {
             for seed in 0..seeds {
-                // Spread cells across the seed space so every cell sees
-                // different fault mixes, not the same `0..n` plans.
                 let cell = (scheme as u64) * 31 + (consistency as u64) * 101;
-                let (c, a) = run_schedule(scheme, consistency, seed.wrapping_add(cell * 1000));
+                let (c, a) =
+                    run_schedule(runtime, scheme, consistency, seed.wrapping_add(cell * 1000));
                 schedules += 1;
                 commits += c;
                 aborts += a;
@@ -256,27 +513,103 @@ fn chaos_sweep_preserves_safety_and_store_consistency() {
     assert_eq!(schedules, 8 * seeds);
     // Recorded in EXPERIMENTS.md; visible with `--nocapture`.
     println!(
-        "chaos sweep: {schedules} schedules ({} txns), {commits} commits, {aborts} aborts, 0 safety violations",
+        "{} chaos sweep: {schedules} schedules ({} txns), {commits} commits, {aborts} aborts, 0 safety violations",
+        runtime.label(),
         schedules * TXNS_PER_SCHEDULE
     );
     // The mix must actually exercise both outcomes across the sweep.
-    assert!(commits > 0, "chaos sweep committed nothing");
+    assert!(
+        commits > 0,
+        "{} chaos sweep committed nothing",
+        runtime.label()
+    );
     assert!(
         aborts > 0 || seeds < 3,
-        "chaos sweep aborted nothing — faults are not biting"
+        "{} chaos sweep aborted nothing — faults are not biting",
+        runtime.label()
     );
+}
+
+#[test]
+fn chaos_sweep_preserves_safety_and_store_consistency() {
+    sweep(Runtime::Threaded);
+}
+
+#[test]
+fn net_chaos_sweep_preserves_safety_and_store_consistency() {
+    sweep(Runtime::Net);
+}
+
+#[test]
+fn sharded_chaos_sweep_preserves_safety_and_store_consistency() {
+    sweep(Runtime::Sharded);
+}
+
+/// With no fault plan armed, every runtime must run the same workload to
+/// the same per-transaction outcome stream, and replays must be
+/// byte-identical — the differential-oracle property restated through
+/// the chaos harness, guarding against the fabric perturbing the
+/// fault-free path.
+#[test]
+fn faults_disabled_runs_are_byte_identical_across_runtimes_and_replays() {
+    fn outcome_stream(runtime: Runtime) -> String {
+        let cluster = AnyCluster::build(runtime, ProofScheme::Deferred, ConsistencyLevel::View, 0);
+        let cred = member_credential(&cluster);
+        let mut stream = String::new();
+        for i in 0..TXNS_PER_SCHEDULE {
+            let slot = i % ITEMS_PER_SERVER;
+            // All runtimes run the *same* spec shape here: the first
+            // `SERVERS` servers, which the sharded deployment spreads
+            // over both shards (cross-shard every time).
+            let servers: Vec<u64> = (0..SERVERS as u64).collect();
+            let spec = spec(&cluster, &servers, slot);
+            let result = cluster.execute(&spec, std::slice::from_ref(&cred));
+            match &result.outcome {
+                TxnOutcome::Committed { .. } => stream.push_str("commit\n"),
+                TxnOutcome::Aborted { reason, .. } => {
+                    stream.push_str(&format!("abort:{reason:?}\n"));
+                }
+            }
+        }
+        cluster.shutdown();
+        stream
+    }
+
+    let reference = outcome_stream(Runtime::Threaded);
+    assert_eq!(reference, "commit\n".repeat(TXNS_PER_SCHEDULE as usize));
+    for runtime in [Runtime::Threaded, Runtime::Net, Runtime::Sharded] {
+        let first = outcome_stream(runtime);
+        let second = outcome_stream(runtime);
+        assert_eq!(
+            first,
+            reference,
+            "{} faults-disabled outcomes diverge from the threaded oracle",
+            runtime.label()
+        );
+        assert_eq!(
+            first,
+            second,
+            "{} faults-disabled replay is not byte-identical",
+            runtime.label()
+        );
+    }
 }
 
 #[test]
 fn service_under_chaos_conserves_and_surfaces_fault_counters() {
     for seed in [11u64, 42, 97] {
-        let cluster = Arc::new(build_cluster(
+        let built = AnyCluster::build(
+            Runtime::Threaded,
             ProofScheme::Deferred,
             ConsistencyLevel::View,
             seed,
-        ));
-        let cred = member_credential(&cluster);
-        let authority = cluster.catalog().latest_versions();
+        );
+        let cred = member_credential(&built);
+        let authority = built.catalog().latest_versions();
+        let AnyCluster::Threaded(threaded) = built else {
+            unreachable!()
+        };
+        let cluster = Arc::new(threaded);
         cluster.set_fault_plan(FaultPlan::chaos(seed));
         let service = TxnService::new(
             cluster.clone(),
@@ -289,8 +622,20 @@ fn service_under_chaos_conserves_and_surfaces_fault_counters() {
         );
         let handles: Vec<_> = (0..16)
             .map(|i| {
+                let slot = i % ITEMS_PER_SERVER;
+                let queries = (0..SERVERS as u64)
+                    .map(|s| {
+                        QuerySpec::new(
+                            ServerId::new(s),
+                            "write",
+                            "records",
+                            vec![Operation::Add(DataItemId::new(s * 100 + slot), 1)],
+                        )
+                    })
+                    .collect();
+                let spec = TransactionSpec::new(cluster.next_txn_id(), UserId::new(1), queries);
                 service
-                    .submit_blocking(spec(&cluster, i % ITEMS_PER_SERVER), vec![cred.clone()])
+                    .submit_blocking(spec, vec![cred.clone()])
                     .expect("service open")
             })
             .collect();
@@ -313,6 +658,10 @@ fn service_under_chaos_conserves_and_surfaces_fault_counters() {
             "faults_dropped",
             "faults_delayed",
             "faults_duplicated",
+            "faults_corrupted",
+            "faults_truncated",
+            "disconnects",
+            "reconnect_exhausted",
             "server_crashes",
             "recoveries",
             "timeout_aborts",

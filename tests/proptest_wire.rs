@@ -451,6 +451,52 @@ proptest! {
         let _ = decode_msg(&encoded);
     }
 
+    /// Stateful stream corruption: mutate any single byte of a valid
+    /// multi-frame stream, then drain it. Every frame lying entirely
+    /// before the corrupted byte must still decode byte-identically;
+    /// from the corruption point on, each read step may yield a frame
+    /// (decodable or refused), a framing error, or EOF — but never a
+    /// panic, never an out-of-bounds access, and never an oversized
+    /// allocation (a corrupted length prefix is bounded by
+    /// `MAX_FRAME_LEN`).
+    #[test]
+    fn stream_corruption_preserves_prefix_and_never_panics(
+        msgs in prop::collection::vec(msg(), 1..5),
+        pos in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        let mut ends = Vec::new();
+        for m in &msgs {
+            write_frame(&mut stream, m)
+                .map_err(|e| TestCaseError::fail(format!("write_frame: {e}")))?;
+            ends.push(stream.len());
+        }
+        let pos = (pos % stream.len() as u64) as usize;
+        stream[pos] ^= flip;
+        let intact = ends.iter().take_while(|&&end| end <= pos).count();
+
+        let mut reader = &stream[..];
+        for (i, m) in msgs.iter().take(intact).enumerate() {
+            let payload = read_frame(&mut reader)
+                .map_err(|e| TestCaseError::fail(format!("pre-corruption read_frame: {e}")))?
+                .ok_or_else(|| TestCaseError::fail(format!("EOF before intact frame {i}")))?;
+            prop_assert_eq!(
+                &payload,
+                &encode_msg(m),
+                "frame {} (before the corrupted byte) changed",
+                i
+            );
+            decode_msg(&payload)
+                .map_err(|e| TestCaseError::fail(format!("intact frame {i} refused: {e}")))?;
+        }
+        // Drain whatever the mutation left behind. The reader is a
+        // shrinking slice, so this terminates; every step must be total.
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            let _ = decode_msg(&payload);
+        }
+    }
+
     /// Frames written back to back through a byte stream come out intact,
     /// in order and byte-identical — and the stream ends with a clean EOF.
     #[test]
