@@ -17,6 +17,7 @@ fn reply(version: u64) -> ValidationReply {
     ValidationReply {
         vote: Vote::Yes,
         truth: true,
+        conflict: false,
         versions: [(PolicyId::new(0), PolicyVersion(version))].into(),
         proofs: vec![],
     }

@@ -83,6 +83,7 @@ fn storm(refresh_each_round: bool, updates_available: u64) -> (u64, u64, Validat
                 ValidationReply {
                     vote: Vote::Yes,
                     truth: true,
+                    conflict: false,
                     versions: [(PolicyId::new(0), PolicyVersion(replica_version[idx]))].into(),
                     proofs: vec![],
                 },

@@ -33,7 +33,7 @@
 //! keys without seeding them). Both default off; a run without them is
 //! identical to one built before the knobs existed.
 
-use safetx_core::{trusted, ConsistencyLevel, ProofScheme};
+use safetx_core::{trusted, ConcurrencyMode, ConsistencyLevel, ProofScheme};
 use safetx_metrics::Json;
 use safetx_net::NetCluster;
 use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
@@ -458,6 +458,13 @@ fn main() {
         } else if arg == "--keys" {
             let n = args.next().expect("--keys takes a key count");
             keys = Some(n.parse().expect("key count"));
+        } else if arg == "--mode" {
+            let mode = args.next().expect("--mode takes occ or locking");
+            let mode = ConcurrencyMode::parse(&mode)
+                .unwrap_or_else(|| panic!("unknown concurrency mode {mode:?}"));
+            // Every runtime's ClusterConfig defaults its concurrency from
+            // this variable, so one knob covers all sections and backends.
+            std::env::set_var("SAFETX_CONCURRENCY_MODE", mode.to_string());
         } else {
             positional.push(arg);
         }
@@ -538,7 +545,8 @@ fn main() {
         .with("servers", servers)
         .with("per_client", per_client)
         .with("seed", seed)
-        .with("deny_every", DENY_EVERY);
+        .with("deny_every", DENY_EVERY)
+        .with("concurrency", ConcurrencyMode::from_env().to_string());
     if let KeyMode::Zipf { dist, .. } = mode {
         config_json = config_json
             .with("zipf_theta", zipf_theta.unwrap_or(0.0))

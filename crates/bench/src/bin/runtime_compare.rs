@@ -30,8 +30,17 @@
 //! WAL-sync cost: outcome totals must be identical across the sweep, while
 //! `physical_syncs` drops below `forced_logs` under batching and the
 //! synced cells show the group-commit throughput win.
+//!
+//! The `lock_vs_occ` section sweeps the contention knob (how many distinct
+//! item slots the workload spreads over, plus an optional hot-key skew
+//! that routes every k-th transaction to slot 0) across both concurrency
+//! modes. Each cell records throughput and the per-reason transient-abort
+//! breakdown, so the crossover — locking wins under heavy write contention
+//! (conflicts surface before work is wasted), OCC wins when conflicts are
+//! rare (no lock-hold window across the vote round-trip) — is visible in
+//! one JSON document.
 
-use safetx_core::{ConsistencyLevel, ProofScheme};
+use safetx_core::{ConcurrencyMode, ConsistencyLevel, ProofScheme};
 use safetx_metrics::Json;
 use safetx_net::NetCluster;
 use safetx_policy::{Atom, Constant, Credential, PolicyBuilder};
@@ -201,6 +210,106 @@ fn run_cell(net: bool, proof_cache: bool, server_batch: usize, sync_cost_us: u64
         .with("bytes_received", stats.transport.bytes_received)
 }
 
+/// One contention cell: the threaded runtime in an explicit concurrency
+/// mode, all clients armed with full wallets (no policy denials — the
+/// measured quantity is pure data contention), spreading writes over
+/// `slots` item slots per server. When `hot_every > 0`, every k-th
+/// transaction targets slot 0 instead: a hot-key skew.
+fn run_contention_cell(mode: ConcurrencyMode, slots: u64, hot_every: u64) -> Json {
+    let config = ClusterConfig {
+        servers: SERVERS,
+        scheme: ProofScheme::Continuous,
+        consistency: ConsistencyLevel::Global,
+        server_batch: Some(1),
+        concurrency: Some(mode),
+        ..Default::default()
+    };
+    let policy = PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+        .rules_text(
+            "grant(read, records) :- role(U, member).\n\
+             grant(write, records) :- role(U, member), region(U, east).",
+        )
+        .expect("rules parse")
+        .build();
+    let cluster = Cluster::new(config);
+    cluster.publish_policy(policy);
+    for s in 0..SERVERS as u64 {
+        cluster.configure_server(ServerId::new(s), move |core| {
+            for j in 0..ITEMS_PER_SERVER {
+                core.store_mut().write(
+                    DataItemId::new(s * 100 + j),
+                    Value::Int(10),
+                    Timestamp::ZERO,
+                );
+            }
+        });
+    }
+    let runtime = RuntimeKind::Threaded(Arc::new(cluster));
+    let service = TxnService::with_runtime(
+        runtime.clone(),
+        ServiceConfig {
+            workers: CLIENTS,
+            queue_depth: 2 * CLIENTS,
+            retry: RetryPolicy {
+                max_retries: 64,
+                base_backoff: std::time::Duration::from_micros(50),
+                max_backoff: std::time::Duration::from_millis(2),
+                jitter_percent: 50,
+                ..RetryPolicy::default()
+            },
+            seed: SEED,
+        },
+    );
+    let creds = wallet(&runtime);
+    let report = run_closed_loop(&service, CLIENTS, PER_CLIENT, |client, index| {
+        let g = (client * PER_CLIENT + index) as u64;
+        let slot = if hot_every > 0 && g.is_multiple_of(hot_every) {
+            0
+        } else {
+            (g * 7) % slots.max(1)
+        };
+        let queries = (0..SERVERS as u64)
+            .map(|s| {
+                QuerySpec::new(
+                    ServerId::new(s),
+                    "write",
+                    "records",
+                    vec![Operation::Add(DataItemId::new(s * 100 + slot), 1)],
+                )
+            })
+            .collect();
+        (
+            TransactionSpec::new(runtime.next_txn_id(), UserId::new(1), queries),
+            creds.clone(),
+        )
+    });
+    let stats = service.shutdown();
+    assert!(stats.conserves(), "outcome accounting leaked: {stats:?}");
+    let throughput = stats.throughput_tps(report.wall);
+    Json::object()
+        .with("concurrency", mode.to_string())
+        .with("slots", slots)
+        .with("hot_every", hot_every)
+        .with("servers", SERVERS)
+        .with("clients", CLIENTS)
+        .with("per_client", PER_CLIENT)
+        .with("seed", SEED)
+        .with("wall_ms", report.wall.as_secs_f64() * 1_000.0)
+        .with("throughput_tps", throughput)
+        .with("submissions", stats.submissions)
+        .with("commits", stats.commits)
+        .with("terminal_aborts", stats.terminal_aborts)
+        .with("retries_exhausted", stats.retries_exhausted)
+        .with("retry_attempts", stats.retry_attempts)
+        .with("retry_lock_conflicts", stats.retry_lock_conflicts)
+        .with(
+            "retry_validation_conflicts",
+            stats.retry_validation_conflicts,
+        )
+        .with("retry_stale_versions", stats.retry_stale_versions)
+        .with("retry_timeouts", stats.retry_timeouts)
+}
+
 fn main() {
     let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
     // Warm-up pass so thread spawn and allocator effects do not land in
@@ -233,6 +342,28 @@ fn main() {
                 .with("threaded_batch_16", run_cell(false, true, 16, 0))
                 .with("net_batch_1", run_cell(true, true, 1, 0))
                 .with("net_batch_16", run_cell(true, true, 16, 0)),
+        )
+        // The lock-vs-OCC crossover: low contention (64 slots), high
+        // contention (4 slots) and a hot-key skew (every 2nd transaction
+        // hits slot 0), each in both concurrency modes.
+        .with(
+            "lock_vs_occ",
+            Json::object()
+                .with(
+                    "low_locking",
+                    run_contention_cell(ConcurrencyMode::Locking, 64, 0),
+                )
+                .with("low_occ", run_contention_cell(ConcurrencyMode::Occ, 64, 0))
+                .with(
+                    "high_locking",
+                    run_contention_cell(ConcurrencyMode::Locking, 4, 0),
+                )
+                .with("high_occ", run_contention_cell(ConcurrencyMode::Occ, 4, 0))
+                .with(
+                    "hot_locking",
+                    run_contention_cell(ConcurrencyMode::Locking, 64, 2),
+                )
+                .with("hot_occ", run_contention_cell(ConcurrencyMode::Occ, 64, 2)),
         );
     let text = doc.render();
     std::fs::write("BENCH_runtime.json", &text).expect("write BENCH_runtime.json");

@@ -7,6 +7,7 @@
 //! read back per-transaction records.
 
 use crate::catalog::{ResourcePolicyMap, SharedCatalog};
+use crate::concurrency::ConcurrencyMode;
 use crate::consistency::ConsistencyLevel;
 use crate::master::MasterActor;
 use crate::messages::{AddressBook, Msg};
@@ -58,6 +59,10 @@ pub struct ExperimentConfig {
     /// path). Counters and outcomes are identical either way; disable only
     /// to measure the cold evaluation path.
     pub proof_cache: bool,
+    /// How servers isolate concurrent transactions: pessimistic locks or
+    /// optimistic snapshot reads validated at the 2PVC vote. Defaults to
+    /// the `SAFETX_CONCURRENCY_MODE` environment variable (then locking).
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for ExperimentConfig {
@@ -76,6 +81,7 @@ impl Default for ExperimentConfig {
             proof_eval_delay: Duration::ZERO,
             unsafe_baseline: false,
             proof_cache: true,
+            concurrency: ConcurrencyMode::from_env(),
         }
     }
 }
@@ -191,6 +197,7 @@ impl Experiment {
                 server.core_mut().set_unsafe_baseline(true);
             }
             server.core_mut().set_proof_cache(config.proof_cache);
+            server.core_mut().set_concurrency(config.concurrency);
             let node = world.add_node(server);
             debug_assert_eq!(node, book.server_node(id));
         }

@@ -37,6 +37,7 @@
 
 mod catalog;
 pub mod complexity;
+mod concurrency;
 mod consistency;
 mod harness;
 mod master;
@@ -52,6 +53,7 @@ mod validation;
 mod view;
 
 pub use catalog::{ResourcePolicyMap, SharedCatalog};
+pub use concurrency::ConcurrencyMode;
 pub use consistency::{
     consistent_at, phi_consistent, phi_consistent_by_admin, psi_consistent, ConsistencyLevel,
     VersionAuthority,

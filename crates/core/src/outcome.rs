@@ -17,6 +17,10 @@ pub enum AbortReason {
     VersionInconsistency,
     /// A lock conflict with a concurrent transaction (no-wait policy).
     LockConflict,
+    /// Optimistic validation failed at the 2PVC vote: a read stamp went
+    /// stale or a commit-scope pin conflicted with a concurrent
+    /// transaction. Transient, like [`AbortReason::LockConflict`].
+    ValidationConflict,
     /// A protocol phase timed out (missing votes or replies).
     Timeout,
     /// A participant stopped responding within the TM's reply deadline
@@ -35,6 +39,7 @@ impl fmt::Display for AbortReason {
             AbortReason::ProofFalse => "proof of authorization false",
             AbortReason::VersionInconsistency => "policy version inconsistency",
             AbortReason::LockConflict => "lock conflict",
+            AbortReason::ValidationConflict => "validation conflict",
             AbortReason::Timeout => "timeout",
             AbortReason::ServerUnavailable => "server unavailable",
             AbortReason::Failure => "failure",

@@ -8,6 +8,7 @@
 //! adapts the same core to crossbeam channels.
 
 use crate::catalog::{ResourcePolicyMap, SharedCatalog};
+use crate::concurrency::ConcurrencyMode;
 use crate::messages::{AddressBook, Msg};
 use crate::validation::{ValidationReply, VersionMap};
 use safetx_policy::{
@@ -15,7 +16,10 @@ use safetx_policy::{
     ProofContext, ProofOfAuthorization, ProofOutcome, StatusOracle, SyntacticCheck,
 };
 use safetx_sim::{Actor, Context, NodeId};
-use safetx_store::{ConstraintSet, LocalStore, LockMode, ShardedLockManager, Wal, WriteSet};
+use safetx_store::{
+    ConstraintSet, LocalStore, LockMode, MvccOverlay, ReadSet, ShardedLockManager, SnapshotId, Wal,
+    WriteSet,
+};
 use safetx_txn::{
     CommitVariant, Operation, Participant, ParticipantOutput, ParticipantRecord, ParticipantState,
     QuerySpec, Vote,
@@ -109,6 +113,14 @@ struct ServerTxn<A> {
     /// locks or re-apply `Add` deltas to the write set.
     executed: std::collections::BTreeSet<usize>,
     writes: WriteSet,
+    /// OCC only: the version observed for every item read from the store
+    /// (empty under locking). Validated against the live store at the
+    /// 2PVC vote.
+    reads: ReadSet,
+    /// OCC only: the begin-time snapshot queries read through, opened at
+    /// the transaction's first executed query and released when the
+    /// decision removes the transaction.
+    snapshot: Option<SnapshotId>,
     participant: Participant,
     coordinator: A,
 }
@@ -883,6 +895,14 @@ pub struct ServerCore<A> {
     variant: CommitVariant,
     store: LocalStore,
     locks: Arc<ShardedLockManager>,
+    /// The concurrency seam: locking takes 2PL locks at query execution;
+    /// OCC reads snapshots and validates at the 2PVC vote. Fixed before
+    /// traffic; never switched mid-flight.
+    concurrency: ConcurrencyMode,
+    /// OCC only: before-image overlay giving open transactions their
+    /// begin-time snapshot across foreign installs. Quiescent (and
+    /// untouched) under locking.
+    mvcc: MvccOverlay,
     wal: Wal<ParticipantRecord>,
     constraints: ConstraintSet,
     txns: HashMap<TxnId, ServerTxn<A>>,
@@ -919,6 +939,8 @@ impl<A: Clone> ServerCore<A> {
             variant,
             store: LocalStore::new(),
             locks: Arc::new(ShardedLockManager::new()),
+            concurrency: ConcurrencyMode::Locking,
+            mvcc: MvccOverlay::new(),
             wal: Wal::new(),
             constraints: ConstraintSet::new(),
             txns: HashMap::new(),
@@ -965,6 +987,20 @@ impl<A: Clone> ServerCore<A> {
     #[must_use]
     pub fn unsafe_baseline(&self) -> bool {
         self.issue_capabilities || self.honor_capabilities
+    }
+
+    /// Selects the concurrency mode (locking by default). Set before any
+    /// traffic reaches the server: switching with transactions in flight
+    /// is unsupported.
+    pub fn set_concurrency(&mut self, mode: ConcurrencyMode) {
+        debug_assert!(self.txns.is_empty(), "mode switch with live transactions");
+        self.concurrency = mode;
+    }
+
+    /// The active concurrency mode.
+    #[must_use]
+    pub fn concurrency(&self) -> ConcurrencyMode {
+        self.concurrency
     }
 
     /// This server's id.
@@ -1151,9 +1187,23 @@ impl<A: Clone> ServerCore<A> {
         })
     }
 
-    /// Executes a query's data operations under two-phase locking into the
-    /// transaction's write set. Returns `false` on a lock conflict.
+    /// Executes a query's data operations into the transaction's write
+    /// set, through the mode-specific acquire/read path. Returns `false`
+    /// on a lock conflict (locking mode only — optimistic execution never
+    /// blocks or fails here).
     fn execute_ops(&mut self, txn: TxnId, ops: &[Operation]) -> bool {
+        match self.concurrency {
+            ConcurrencyMode::Locking => self.execute_ops_locking(txn, ops),
+            ConcurrencyMode::Occ => {
+                self.execute_ops_occ(txn, ops);
+                true
+            }
+        }
+    }
+
+    /// Strict no-wait 2PL: shared/exclusive locks at execution, held to
+    /// the decision. Returns `false` on a lock conflict.
+    fn execute_ops_locking(&mut self, txn: TxnId, ops: &[Operation]) -> bool {
         for op in ops {
             let mode = if op.is_write() {
                 LockMode::Exclusive
@@ -1186,6 +1236,82 @@ impl<A: Clone> ServerCore<A> {
         true
     }
 
+    /// Optimistic execution: no locks. Reads go through the transaction's
+    /// begin-time snapshot and stamp the read set (first read wins);
+    /// writes buffer as under locking; `Add` reads its own buffered write
+    /// first (no stamp — read-your-own-write needs no validation). Never
+    /// fails, so non-conflicting transactions on the same server proceed
+    /// without blocking each other.
+    fn execute_ops_occ(&mut self, txn: TxnId, ops: &[Operation]) {
+        if self.txns.get(&txn).is_some_and(|s| s.snapshot.is_none()) {
+            let snap = self.mvcc.begin_snapshot();
+            self.txns.get_mut(&txn).expect("checked").snapshot = Some(snap);
+        }
+        let state = self.txns.get_mut(&txn).expect("txn registered");
+        let snap = state.snapshot.expect("snapshot opened above");
+        for op in ops {
+            match op {
+                Operation::Read(item) => {
+                    let observed = self
+                        .mvcc
+                        .read_at(&self.store, snap, *item)
+                        .map(|v| v.version);
+                    state.reads.record(*item, observed);
+                }
+                Operation::Write(item, value) => state.writes.put(*item, value.clone()),
+                Operation::Add(item, delta) => {
+                    let current = match state.writes.get(*item).cloned() {
+                        Some(own) => own.as_int(),
+                        None => {
+                            let read = self.mvcc.read_at(&self.store, snap, *item);
+                            state.reads.record(*item, read.map(|v| v.version));
+                            read.and_then(|v| v.value.as_int())
+                        }
+                    }
+                    .unwrap_or(0);
+                    state
+                        .writes
+                        .put(*item, safetx_store::Value::Int(current + delta));
+                }
+            }
+        }
+    }
+
+    /// OCC commit-scope validation for `txn` (the participant half of the
+    /// validation-vote fusion): take no-wait pins — exclusive on the write
+    /// set, shared on the read set — through the same lock table locking
+    /// mode uses, then check every read stamp against the live store. A
+    /// pin conflict or stale stamp returns `false`: the caller votes NO
+    /// flagged as a concurrency conflict, and the resulting unilateral
+    /// abort releases any partial pins via the decision's `release_all`,
+    /// exactly like locking-mode locks.
+    fn occ_validate(&mut self, txn: TxnId) -> bool {
+        let state = &self.txns[&txn];
+        let write_items: Vec<safetx_types::DataItemId> =
+            state.writes.iter().map(|(item, _)| item).collect();
+        let read_items: Vec<safetx_types::DataItemId> = state
+            .reads
+            .items()
+            .filter(|item| state.writes.get(*item).is_none())
+            .collect();
+        for item in write_items {
+            if !self
+                .locks
+                .acquire(txn, item, LockMode::Exclusive)
+                .is_granted()
+            {
+                return false;
+            }
+        }
+        for item in read_items {
+            if !self.locks.acquire(txn, item, LockMode::Shared).is_granted() {
+                return false;
+            }
+        }
+        let state = &self.txns[&txn];
+        self.store.validate(&state.reads)
+    }
+
     fn ensure_txn(&mut self, txn: TxnId, user: UserId, credentials: Arc<[Credential]>, coord: A) {
         let variant = self.variant;
         self.txns.entry(txn).or_insert_with(|| ServerTxn {
@@ -1194,6 +1320,8 @@ impl<A: Clone> ServerCore<A> {
             queries: Vec::new(),
             executed: std::collections::BTreeSet::new(),
             writes: WriteSet::new(),
+            reads: ReadSet::new(),
+            snapshot: None,
             participant: Participant::new(txn, variant),
             coordinator: coord,
         });
@@ -1229,8 +1357,33 @@ impl<A: Clone> ServerCore<A> {
                     if decision.is_commit() {
                         if let Some(state) = self.txns.get(&txn) {
                             let writes = state.writes.clone();
-                            self.store.apply(&writes, now);
+                            if self.concurrency == ConcurrencyMode::Occ {
+                                // Preserve before-images for concurrently
+                                // open snapshots, then install through the
+                                // atomic validate-and-install primitive.
+                                // Stamps were checked at the vote and the
+                                // pins have excluded writers since, so
+                                // this succeeds — except when a crash
+                                // dropped the read pins before the
+                                // decision arrived (locking loses its
+                                // shared locks the same way); the global
+                                // decision stands, so install regardless.
+                                let reads = state.reads.clone();
+                                self.mvcc.record_install(&self.store, &writes);
+                                if self
+                                    .store
+                                    .validate_and_install(&reads, &writes, now)
+                                    .is_none()
+                                {
+                                    self.store.apply(&writes, now);
+                                }
+                            } else {
+                                self.store.apply(&writes, now);
+                            }
                         }
+                    }
+                    if let Some(snap) = self.txns.get(&txn).and_then(|s| s.snapshot) {
+                        self.mvcc.release_snapshot(snap);
                     }
                     self.locks.release_all(txn);
                     self.txns.remove(&txn);
@@ -1374,6 +1527,7 @@ impl<A: Clone> ServerCore<A> {
                             truth,
                             versions,
                             proofs,
+                            conflict: false,
                         },
                     },
                 ));
@@ -1404,7 +1558,18 @@ impl<A: Clone> ServerCore<A> {
                 let mut expected = expected_queries;
                 expected.sort_unstable();
                 let complete = held == expected;
-                let vote = if known && complete {
+                // The OCC half of the fused vote: commit-scope pins plus
+                // the read-stamp check. A failure is a concurrency
+                // casualty, flagged `conflict` on the reply so the TM
+                // aborts with the transient `ValidationConflict` instead
+                // of the terminal `IntegrityViolation`.
+                let occ_conflict = self.concurrency == ConcurrencyMode::Occ
+                    && known
+                    && complete
+                    && !self.occ_validate(txn);
+                let vote = if occ_conflict {
+                    Vote::No
+                } else if known && complete {
                     let state = &self.txns[&txn];
                     match self.constraints.check(&self.store, &state.writes) {
                         Ok(()) => Vote::Yes,
@@ -1436,6 +1601,7 @@ impl<A: Clone> ServerCore<A> {
                     truth,
                     versions,
                     proofs,
+                    conflict: occ_conflict,
                 };
                 self.apply_participant_outputs(now, txn, outputs, Some(reply), from, &mut out);
             }
@@ -1467,6 +1633,7 @@ impl<A: Clone> ServerCore<A> {
                         truth,
                         versions,
                         proofs,
+                        conflict: false,
                     };
                     self.apply_participant_outputs(now, txn, outputs, Some(reply), from, &mut out);
                 } else {
@@ -1479,6 +1646,7 @@ impl<A: Clone> ServerCore<A> {
                                 truth,
                                 versions,
                                 proofs,
+                                conflict: false,
                             },
                         },
                     ));
@@ -1536,9 +1704,17 @@ impl<A: Clone> ServerCore<A> {
     /// the applied-decision memo) is discarded.
     pub fn crash(&mut self) {
         self.locks.clear();
+        // Snapshots are volatile like locks. Survivors are past execution
+        // (prepared), so they never read again; orphan their snapshot
+        // handles so a post-recovery release cannot touch a snapshot some
+        // new transaction opened at a colliding epoch.
+        self.mvcc.clear();
         self.decided.clear();
         self.txns
             .retain(|_, state| state.participant.state() == ParticipantState::Prepared(Vote::Yes));
+        for state in self.txns.values_mut() {
+            state.snapshot = None;
+        }
     }
 
     /// Restart after a crash: re-acquire exclusive locks for in-doubt write
@@ -1587,6 +1763,7 @@ impl<A: Clone> ServerCore<A> {
     /// transaction whose decision reached this server before the crash.
     pub fn recover_from_wal(&mut self) -> Vec<TxnId> {
         self.locks.clear();
+        self.mvcc.clear();
         self.decided.clear();
         let records: Vec<ParticipantRecord> = self.wal.records().cloned().collect();
         for record in &records {
@@ -1601,6 +1778,7 @@ impl<A: Clone> ServerCore<A> {
             if recovered.needs_inquiry {
                 let state = self.txns.get_mut(&txn).expect("survivor");
                 state.participant = recovered.participant;
+                state.snapshot = None;
                 let items: Vec<safetx_types::DataItemId> =
                     state.writes.iter().map(|(item, _)| item).collect();
                 for item in items {
@@ -1939,6 +2117,156 @@ mod tests {
         assert!(matches!(&out[0].1, Msg::Ack { .. }));
         assert_eq!(fx.core.store().read_int(DataItemId::new(0)), Some(6));
         assert_eq!(fx.core.active_txns(), 0, "state cleaned up");
+    }
+
+    /// Like [`exec_query`] but with caller-chosen operations, for the OCC
+    /// anomaly tests below.
+    fn exec_ops(fx: &mut Fixture, txn: TxnId, ops: Vec<Operation>) -> Vec<(u8, Msg)> {
+        fx.core.handle(
+            Timestamp::from_millis(1),
+            TM,
+            Msg::ExecQuery {
+                txn,
+                query_index: 0,
+                query: Arc::new(QuerySpec::new(ServerId::new(0), "write", "records", ops)),
+                user: UserId::new(1),
+                credentials: Arc::from([fx.credential.clone()]),
+                evaluate_proof: true,
+                pin_versions: VersionMap::new(),
+                capabilities: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn occ_serial_execution_matches_locking() {
+        for mode in [ConcurrencyMode::Locking, ConcurrencyMode::Occ] {
+            let mut fx = fixture();
+            fx.core.set_concurrency(mode);
+            for i in 1..=3 {
+                let txn = TxnId::new(i);
+                exec_ops(&mut fx, txn, vec![Operation::Add(DataItemId::new(0), 2)]);
+                let out = prepare(&mut fx, txn);
+                assert!(
+                    matches!(&out[0].1, Msg::CommitReply { reply, .. } if reply.vote.is_yes()),
+                    "{mode}: serial increment must validate"
+                );
+                fx.core.handle(
+                    Timestamp::from_millis(3),
+                    TM,
+                    Msg::Decision {
+                        txn,
+                        decision: Decision::Commit,
+                    },
+                );
+            }
+            assert_eq!(
+                fx.core.store().read_int(DataItemId::new(0)),
+                Some(11),
+                "{mode}: 5 + 3×2"
+            );
+            assert_eq!(fx.core.active_txns(), 0, "{mode}: state cleaned up");
+        }
+    }
+
+    #[test]
+    fn occ_lost_update_is_rejected_at_validation() {
+        let mut fx = fixture();
+        fx.core.set_concurrency(ConcurrencyMode::Occ);
+        let t1 = TxnId::new(1);
+        let t2 = TxnId::new(2);
+        // Both increment the same item from the same snapshot. No locks are
+        // taken at execution, so neither blocks the other — under locking
+        // T2 would have waited here.
+        let out = exec_ops(&mut fx, t1, vec![Operation::Add(DataItemId::new(0), 1)]);
+        assert!(matches!(&out[0].1, Msg::QueryDone { ok: true, .. }));
+        let out = exec_ops(&mut fx, t2, vec![Operation::Add(DataItemId::new(0), 1)]);
+        assert!(matches!(&out[0].1, Msg::QueryDone { ok: true, .. }));
+
+        // T1 validates and commits: 5 → 6.
+        let out = prepare(&mut fx, t1);
+        assert!(matches!(&out[0].1, Msg::CommitReply { reply, .. } if reply.vote.is_yes()));
+        fx.core.handle(
+            Timestamp::from_millis(3),
+            TM,
+            Msg::Decision {
+                txn: t1,
+                decision: Decision::Commit,
+            },
+        );
+        assert_eq!(fx.core.store().read_int(DataItemId::new(0)), Some(6));
+
+        // T2 computed 5 + 1 from its stale snapshot. Validation sees the
+        // read stamp no longer matches the live version and votes NO with
+        // the conflict flag — the lost update never reaches the store.
+        let out = prepare(&mut fx, t2);
+        assert!(matches!(
+            &out[0].1,
+            Msg::CommitReply { reply, .. } if !reply.vote.is_yes() && reply.conflict
+        ));
+        assert_eq!(
+            fx.core.store().read_int(DataItemId::new(0)),
+            Some(6),
+            "lost update prevented: T2's stale 6 must not overwrite"
+        );
+        assert_eq!(fx.core.active_txns(), 0, "no-voter aborts unilaterally");
+    }
+
+    #[test]
+    fn occ_write_skew_is_rejected_at_validation() {
+        let mut fx = fixture();
+        fx.core.set_concurrency(ConcurrencyMode::Occ);
+        fx.core
+            .store_mut()
+            .write(DataItemId::new(1), Value::Int(5), Timestamp::ZERO);
+        let t1 = TxnId::new(1);
+        let t2 = TxnId::new(2);
+        // Classic write skew: each transaction reads the item the other
+        // writes, and each write is individually consistent with its own
+        // snapshot.
+        exec_ops(
+            &mut fx,
+            t1,
+            vec![
+                Operation::Read(DataItemId::new(0)),
+                Operation::Write(DataItemId::new(1), Value::Int(0)),
+            ],
+        );
+        exec_ops(
+            &mut fx,
+            t2,
+            vec![
+                Operation::Read(DataItemId::new(1)),
+                Operation::Write(DataItemId::new(0), Value::Int(0)),
+            ],
+        );
+
+        // T1 validates first: pins S(item0) + X(item1), stamps check out.
+        let out = prepare(&mut fx, t1);
+        assert!(matches!(&out[0].1, Msg::CommitReply { reply, .. } if reply.vote.is_yes()));
+        // T2 needs X(item0), which collides with T1's read pin: the
+        // no-wait validation flags the conflict instead of letting both
+        // skewed writes commit.
+        let out = prepare(&mut fx, t2);
+        assert!(matches!(
+            &out[0].1,
+            Msg::CommitReply { reply, .. } if !reply.vote.is_yes() && reply.conflict
+        ));
+
+        fx.core.handle(
+            Timestamp::from_millis(3),
+            TM,
+            Msg::Decision {
+                txn: t1,
+                decision: Decision::Commit,
+            },
+        );
+        assert_eq!(fx.core.store().read_int(DataItemId::new(1)), Some(0));
+        assert_eq!(
+            fx.core.store().read_int(DataItemId::new(0)),
+            Some(5),
+            "T2's skewed write rejected"
+        );
     }
 
     #[test]

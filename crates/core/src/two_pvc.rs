@@ -341,6 +341,7 @@ mod tests {
             truth,
             versions: [(PolicyId::new(0), PolicyVersion(version))].into(),
             proofs: vec![],
+            conflict: false,
         }
     }
 

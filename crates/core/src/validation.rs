@@ -35,6 +35,14 @@ pub struct ValidationReply {
     pub versions: VersionMap,
     /// The proofs themselves, recorded into the transaction's view.
     pub proofs: Vec<ProofOfAuthorization>,
+    /// Set by an optimistic participant whose NO vote is a concurrency
+    /// casualty (stale read stamp or commit-scope pin conflict) rather
+    /// than a genuine integrity failure — the TM maps an all-conflict NO
+    /// round to the transient [`AbortReason::ValidationConflict`] instead
+    /// of the terminal [`AbortReason::IntegrityViolation`]. Always `false`
+    /// under locking.
+    #[serde(default)]
+    pub conflict: bool,
 }
 
 impl ValidationReply {
@@ -46,6 +54,7 @@ impl ValidationReply {
             truth: true,
             versions: VersionMap::new(),
             proofs: Vec::new(),
+            conflict: false,
         }
     }
 }
@@ -139,6 +148,7 @@ impl ValidationOutcome {
 ///     truth: true,
 ///     versions: [(PolicyId::new(0), PolicyVersion(version))].into(),
 ///     proofs: vec![],
+///     conflict: false,
 /// };
 /// let participants = [ServerId::new(0), ServerId::new(1)].into();
 /// let mut round = ValidationRound::new(participants, ValidationConfig::two_pv(ConsistencyLevel::View));
@@ -300,9 +310,25 @@ impl ValidationRound {
         if !self.expected.is_empty() || self.awaiting_master {
             return Vec::new();
         }
-        // Step 3 of Algorithm 2: integrity first.
-        if self.config.with_votes && self.replies.values().any(|r| !r.vote.is_yes()) {
-            return self.resolve(ValidationOutcome::Abort(AbortReason::IntegrityViolation));
+        // Step 3 of Algorithm 2: integrity first. Optimistic participants
+        // flag concurrency-induced NO votes; the transient classification
+        // applies only when *every* NO is such a casualty — one genuine
+        // integrity NO wins and stays terminal.
+        if self.config.with_votes {
+            let mut any_no = false;
+            let mut all_conflict = true;
+            for r in self.replies.values().filter(|r| !r.vote.is_yes()) {
+                any_no = true;
+                all_conflict &= r.conflict;
+            }
+            if any_no {
+                let reason = if all_conflict {
+                    AbortReason::ValidationConflict
+                } else {
+                    AbortReason::IntegrityViolation
+                };
+                return self.resolve(ValidationOutcome::Abort(reason));
+            }
         }
         let targets = self.targets();
         // Who used an old version of any policy?
@@ -367,6 +393,7 @@ mod tests {
             truth,
             versions: [(PolicyId::new(0), PolicyVersion(version))].into(),
             proofs: vec![],
+            conflict: false,
         }
     }
 
@@ -469,6 +496,46 @@ mod tests {
             "NO vote wins over the version mismatch"
         );
         assert_eq!(v.rounds(), 1);
+    }
+
+    #[test]
+    fn conflict_flagged_no_votes_resolve_to_validation_conflict() {
+        let cfg = ValidationConfig::two_pvc(ConsistencyLevel::View);
+        let mut v = ValidationRound::new(participants(2), cfg);
+        v.start();
+        v.on_reply(server(0), reply_vote(Vote::Yes, true, 1));
+        let no_conflict = ValidationReply {
+            conflict: true,
+            ..reply_vote(Vote::No, true, 1)
+        };
+        let actions = v.on_reply(server(1), no_conflict);
+        assert_eq!(
+            actions,
+            vec![ValidationAction::Resolved(ValidationOutcome::Abort(
+                AbortReason::ValidationConflict
+            ))],
+            "an all-conflict NO round is a transient OCC casualty"
+        );
+    }
+
+    #[test]
+    fn genuine_integrity_no_wins_over_a_conflict_no() {
+        let cfg = ValidationConfig::two_pvc(ConsistencyLevel::View);
+        let mut v = ValidationRound::new(participants(2), cfg);
+        v.start();
+        let no_conflict = ValidationReply {
+            conflict: true,
+            ..reply_vote(Vote::No, true, 1)
+        };
+        v.on_reply(server(0), no_conflict);
+        let actions = v.on_reply(server(1), reply_vote(Vote::No, true, 1));
+        assert_eq!(
+            actions,
+            vec![ValidationAction::Resolved(ValidationOutcome::Abort(
+                AbortReason::IntegrityViolation
+            ))],
+            "one unflagged NO keeps the abort terminal"
+        );
     }
 
     #[test]
@@ -591,12 +658,14 @@ mod tests {
             truth: true,
             versions: [(p0, PolicyVersion(2)), (p1, PolicyVersion(1))].into(),
             proofs: vec![],
+            conflict: false,
         };
         let r1 = ValidationReply {
             vote: Vote::Yes,
             truth: true,
             versions: [(p0, PolicyVersion(1)), (p1, PolicyVersion(2))].into(),
             proofs: vec![],
+            conflict: false,
         };
         v.on_reply(server(0), r0);
         let actions = v.on_reply(server(1), r1);

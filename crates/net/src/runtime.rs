@@ -31,7 +31,9 @@ use safetx_core::{
 };
 use safetx_metrics::{FaultCounters, TransportCounters};
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
-use safetx_runtime::{resolve_batch, ClusterConfig, CrashPoint, ExecutionResult, MsgKind, Peer};
+use safetx_runtime::{
+    resolve_batch, resolve_concurrency, ClusterConfig, CrashPoint, ExecutionResult, MsgKind, Peer,
+};
 use safetx_store::Wal;
 use safetx_txn::{CoordinatorRecord, Decision, InquiryAnswer, QuerySpec, TransactionSpec, Vote};
 use safetx_types::{CaId, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId};
@@ -766,6 +768,7 @@ fn process_round(
                                     truth: true,
                                     versions: VersionMap::new(),
                                     proofs: Vec::new(),
+                                    conflict: false,
                                 },
                             },
                         )),
@@ -816,6 +819,7 @@ fn process_round(
                                 truth,
                                 versions,
                                 proofs,
+                                conflict: false,
                             },
                         },
                     ));
@@ -1001,6 +1005,7 @@ impl NetCluster {
             if let Some(cost) = config.wal_sync_cost {
                 core.set_wal_sync_cost(cost);
             }
+            core.set_concurrency(resolve_concurrency(&config));
             hosts.push(ServerHost::spawn_with_fabric(
                 core,
                 epoch,

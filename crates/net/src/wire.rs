@@ -426,6 +426,7 @@ fn get_vote(r: &mut Reader<'_>) -> Result<Vote> {
 fn put_reply(out: &mut Vec<u8>, reply: &ValidationReply) {
     put_vote(out, reply.vote);
     put_bool(out, reply.truth);
+    put_bool(out, reply.conflict);
     put_versions(out, &reply.versions);
     put_u32(out, reply.proofs.len() as u32);
     for p in &reply.proofs {
@@ -436,6 +437,7 @@ fn put_reply(out: &mut Vec<u8>, reply: &ValidationReply) {
 fn get_reply(r: &mut Reader<'_>) -> Result<ValidationReply> {
     let vote = get_vote(r)?;
     let truth = r.bool()?;
+    let conflict = r.bool()?;
     let versions = get_versions(r)?;
     let n = r.count()?;
     let mut proofs = Vec::with_capacity(n);
@@ -445,6 +447,7 @@ fn get_reply(r: &mut Reader<'_>) -> Result<ValidationReply> {
     Ok(ValidationReply {
         vote,
         truth,
+        conflict,
         versions,
         proofs,
     })

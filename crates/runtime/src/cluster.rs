@@ -5,9 +5,10 @@ use crate::fault::{
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use safetx_core::{
-    coalesce_replies, reply_counts_as_dropped, AbortReason, ConsistencyLevel, EvalSnapshot, Msg,
-    ProofScheme, ResourcePolicyMap, ServerCore, SharedCas, SharedCatalog, TmConfig, TmCore,
-    TmEffect, TmEvent, TransactionView, TxnOutcome, TxnTermination, ValidationReply, VersionMap,
+    coalesce_replies, reply_counts_as_dropped, AbortReason, ConcurrencyMode, ConsistencyLevel,
+    EvalSnapshot, Msg, ProofScheme, ResourcePolicyMap, ServerCore, SharedCas, SharedCatalog,
+    TmConfig, TmCore, TmEffect, TmEvent, TransactionView, TxnOutcome, TxnTermination,
+    ValidationReply, VersionMap,
 };
 use safetx_metrics::{FaultCounters, ProtocolMetrics};
 use safetx_policy::{CaRegistry, CertificateAuthority, Credential};
@@ -317,6 +318,12 @@ pub struct ClusterConfig {
     /// behaviour; set it to make group commit's sync coalescing visible in
     /// wall-clock measurements.
     pub wal_sync_cost: Option<Duration>,
+    /// Concurrency mode of every server: strict no-wait 2PL (`Locking`)
+    /// or snapshot-read optimistic execution validated at the 2PVC vote
+    /// (`Occ`). `None` defers to the `SAFETX_CONCURRENCY_MODE`
+    /// environment variable, then to `Locking` — the exact pre-seam
+    /// behaviour.
+    pub concurrency: Option<ConcurrencyMode>,
 }
 
 impl Default for ClusterConfig {
@@ -330,6 +337,7 @@ impl Default for ClusterConfig {
             reply_timeout: None,
             server_batch: None,
             wal_sync_cost: None,
+            concurrency: None,
         }
     }
 }
@@ -367,6 +375,17 @@ pub fn resolve_batch(config: &ClusterConfig) -> usize {
         })
         .unwrap_or(1)
         .max(1)
+}
+
+/// Resolves the concurrency mode: explicit config, then the
+/// `SAFETX_CONCURRENCY_MODE` environment variable, then `Locking`.
+///
+/// Public for the same reason as [`resolve_batch`]: every deployment of a
+/// [`ClusterConfig`] (threaded, socket, sharded) must resolve the mode
+/// identically, so CI can flip a whole battery through the environment.
+#[must_use]
+pub fn resolve_concurrency(config: &ClusterConfig) -> ConcurrencyMode {
+    config.concurrency.unwrap_or_else(ConcurrencyMode::from_env)
 }
 
 /// A job shipped to a server's data-plane workers.
@@ -565,6 +584,7 @@ impl Cluster {
     ) -> Self {
         let workers = resolve_workers(&config);
         let batch = resolve_batch(&config);
+        let concurrency = resolve_concurrency(&config);
         let live_servers = Arc::new(AtomicUsize::new(0));
         let salvage: Salvage = Arc::new(Mutex::new(HashMap::new()));
 
@@ -594,6 +614,7 @@ impl Cluster {
             if let Some(cost) = config.wal_sync_cost {
                 core.set_wal_sync_cost(cost);
             }
+            core.set_concurrency(concurrency);
             let my_addr = net.server_addr(i);
             live_servers.fetch_add(1, Ordering::Release);
             let guard = LiveGuard(live_servers.clone());
@@ -1578,6 +1599,7 @@ fn dispatch(
                     truth,
                     versions,
                     proofs,
+                    conflict: false,
                 };
                 net.send_proto(&my_addr, &from, Msg::ValidateReply { txn, reply });
             });
@@ -1601,6 +1623,7 @@ fn dispatch(
                     truth: true,
                     versions: VersionMap::new(),
                     proofs: Vec::new(),
+                    conflict: false,
                 };
                 net.send_proto(my_addr, &from, Msg::ValidateReply { txn, reply });
                 return;
@@ -1615,6 +1638,7 @@ fn dispatch(
                     truth,
                     versions,
                     proofs,
+                    conflict: false,
                 };
                 net.send_proto(&my_addr, &from, Msg::ValidateReply { txn, reply });
             });
@@ -1768,6 +1792,7 @@ fn process_round(
                                     truth: true,
                                     versions: VersionMap::new(),
                                     proofs: Vec::new(),
+                                    conflict: false,
                                 },
                             },
                         )),
@@ -1821,6 +1846,7 @@ fn process_round(
                                 truth,
                                 versions,
                                 proofs,
+                                conflict: false,
                             },
                         },
                     ));

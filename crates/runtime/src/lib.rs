@@ -44,7 +44,9 @@ mod cluster;
 mod fault;
 mod shard;
 
-pub use cluster::{resolve_batch, Addr, Cluster, ClusterConfig, ExecutionResult};
+pub use cluster::{
+    resolve_batch, resolve_concurrency, Addr, Cluster, ClusterConfig, ExecutionResult,
+};
 pub use fault::{
     CrashPoint, CrashRule, EdgeRule, FaultPlan, MsgKind, Peer, PeerMatch, TmCrashPoint,
 };

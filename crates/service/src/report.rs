@@ -1,5 +1,6 @@
 //! Service-level statistics: outcome counters and latency histograms.
 
+use safetx_core::AbortReason;
 use safetx_metrics::{FaultCounters, Histogram, Json, RouteCounters, TransportCounters, WalStats};
 
 /// Everything the service measured, snapshot-able at any time and final
@@ -31,6 +32,22 @@ pub struct ServiceStats {
     ///
     /// [`Disposition::Unavailable`]: crate::Disposition::Unavailable
     pub unavailable_retries: u64,
+    /// Retries caused by lock conflicts (`AbortReason::LockConflict`).
+    /// Together with the next three this partitions the transient
+    /// (non-unavailable) slice of `retry_attempts` by cause, so a run's
+    /// contention profile is visible per concurrency mode: locking mode
+    /// aborts here, OCC mode aborts as validation conflicts.
+    pub retry_lock_conflicts: u64,
+    /// Retries caused by optimistic validation failures at the 2PVC vote
+    /// (`AbortReason::ValidationConflict`): a stale read stamp or a
+    /// write-write pin collision detected when the transaction tried to
+    /// certify its snapshot.
+    pub retry_validation_conflicts: u64,
+    /// Retries caused by policy-version races
+    /// (`AbortReason::VersionInconsistency`).
+    pub retry_stale_versions: u64,
+    /// Retries caused by commit-phase timeouts (`AbortReason::Timeout`).
+    pub retry_timeouts: u64,
     /// Coordinator-side protocol inputs received but matched by no pending
     /// round (stale replies after an abort). Sourced from
     /// [`safetx_runtime::Cluster::dropped_replies`]; timing-dependent, so
@@ -95,6 +112,21 @@ impl ServiceStats {
         }
     }
 
+    /// Attributes one transient retry to its abort cause, so the retry
+    /// total can be split into lock conflicts, validation conflicts, stale
+    /// policy versions and timeouts. Reasons outside the transient set
+    /// (terminal decisions, unavailability — tracked by
+    /// `unavailable_retries`) leave the breakdown untouched.
+    pub fn record_retry_reason(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::LockConflict => self.retry_lock_conflicts += 1,
+            AbortReason::ValidationConflict => self.retry_validation_conflicts += 1,
+            AbortReason::VersionInconsistency => self.retry_stale_versions += 1,
+            AbortReason::Timeout => self.retry_timeouts += 1,
+            _ => {}
+        }
+    }
+
     /// Folds another service's statistics into this one, so per-shard (or
     /// per-service) reports aggregate into a single deployment-wide view.
     ///
@@ -114,6 +146,10 @@ impl ServiceStats {
         self.retries_exhausted += other.retries_exhausted;
         self.retry_attempts += other.retry_attempts;
         self.unavailable_retries += other.unavailable_retries;
+        self.retry_lock_conflicts += other.retry_lock_conflicts;
+        self.retry_validation_conflicts += other.retry_validation_conflicts;
+        self.retry_stale_versions += other.retry_stale_versions;
+        self.retry_timeouts += other.retry_timeouts;
         self.dropped_replies += other.dropped_replies;
         self.faults.merge(&other.faults);
         self.wal.merge(&other.wal);
@@ -136,6 +172,13 @@ impl ServiceStats {
             .with("retries_exhausted", self.retries_exhausted)
             .with("retry_attempts", self.retry_attempts)
             .with("unavailable_retries", self.unavailable_retries)
+            .with("retry_lock_conflicts", self.retry_lock_conflicts)
+            .with(
+                "retry_validation_conflicts",
+                self.retry_validation_conflicts,
+            )
+            .with("retry_stale_versions", self.retry_stale_versions)
+            .with("retry_timeouts", self.retry_timeouts)
             .with("dropped_replies", self.dropped_replies)
             .with("faults_dropped", self.faults.faults_dropped)
             .with("faults_delayed", self.faults.faults_delayed)
@@ -237,6 +280,44 @@ mod tests {
         assert_eq!(a.commit_latency_ms.max(), Some(20.0));
         let p50 = a.commit_latency_ms.quantile(0.5).expect("non-empty");
         assert!((p50 - 3.0).abs() < f64::EPSILON, "exact below cap: {p50}");
+    }
+
+    #[test]
+    fn retry_breakdown_partitions_by_reason_and_survives_merge_and_json() {
+        let mut stats = ServiceStats::default();
+        stats.record_retry_reason(AbortReason::LockConflict);
+        stats.record_retry_reason(AbortReason::LockConflict);
+        stats.record_retry_reason(AbortReason::ValidationConflict);
+        stats.record_retry_reason(AbortReason::VersionInconsistency);
+        stats.record_retry_reason(AbortReason::Timeout);
+        stats.record_retry_reason(AbortReason::ProofFalse); // terminal: no-op
+        assert_eq!(stats.retry_lock_conflicts, 2);
+        assert_eq!(stats.retry_validation_conflicts, 1);
+        assert_eq!(stats.retry_stale_versions, 1);
+        assert_eq!(stats.retry_timeouts, 1);
+
+        let mut other = ServiceStats::default();
+        other.record_retry_reason(AbortReason::ValidationConflict);
+        stats.merge(&other);
+        assert_eq!(stats.retry_validation_conflicts, 2);
+
+        let text = stats.to_json().render();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert_eq!(
+            parsed.get("retry_lock_conflicts").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            parsed
+                .get("retry_validation_conflicts")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            parsed.get("retry_stale_versions").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(parsed.get("retry_timeouts").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

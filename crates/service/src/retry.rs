@@ -31,9 +31,10 @@ pub enum Disposition {
 #[must_use]
 pub fn classify(reason: AbortReason) -> Disposition {
     match reason {
-        AbortReason::LockConflict | AbortReason::VersionInconsistency | AbortReason::Timeout => {
-            Disposition::Retryable
-        }
+        AbortReason::LockConflict
+        | AbortReason::ValidationConflict
+        | AbortReason::VersionInconsistency
+        | AbortReason::Timeout => Disposition::Retryable,
         AbortReason::ServerUnavailable => Disposition::Unavailable,
         AbortReason::ProofFalse | AbortReason::IntegrityViolation | AbortReason::Failure => {
             Disposition::Terminal
@@ -136,6 +137,10 @@ mod tests {
     #[test]
     fn transient_reasons_retry_and_decisions_do_not() {
         assert_eq!(classify(AbortReason::LockConflict), Disposition::Retryable);
+        assert_eq!(
+            classify(AbortReason::ValidationConflict),
+            Disposition::Retryable
+        );
         assert_eq!(
             classify(AbortReason::VersionInconsistency),
             Disposition::Retryable

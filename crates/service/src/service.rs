@@ -459,7 +459,11 @@ fn worker_loop(
                             break (ServiceOutcome::RetriesExhausted(reason), result);
                         }
                         transient_retries += 1;
-                        stats.lock().expect("stats lock").retry_attempts += 1;
+                        {
+                            let mut stats = stats.lock().expect("stats lock");
+                            stats.retry_attempts += 1;
+                            stats.record_retry_reason(reason);
+                        }
                         std::thread::sleep(retry.backoff(transient_retries - 1, seed ^ job.seq));
                     }
                     Disposition::Unavailable => {

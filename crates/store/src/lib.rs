@@ -14,6 +14,9 @@
 //!   records, the durability primitive 2PC/2PVC recovery depends on.
 //! * [`ConstraintSet`] — integrity constraints whose satisfaction is the
 //!   YES/NO vote of the 2PC voting phase.
+//! * [`ReadSet`] / [`MvccOverlay`] — optimistic-mode read stamps and
+//!   snapshot-at-begin multi-version reads, validated at commit by
+//!   [`LocalStore::validate_and_install`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +24,13 @@
 mod constraints;
 mod kv;
 mod locks;
+mod occ;
 mod value;
 mod wal;
 
 pub use constraints::{ConstraintSet, ConstraintViolation, IntegrityConstraint};
 pub use kv::{LocalStore, VersionedItem, WriteSet};
 pub use locks::{LockManager, LockMode, LockOutcome, ShardedLockManager, LOCK_SHARDS};
+pub use occ::{MvccOverlay, ReadSet, SnapshotId};
 pub use value::Value;
 pub use wal::{Wal, WalEntry};

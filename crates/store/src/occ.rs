@@ -1,0 +1,395 @@
+//! Optimistic concurrency support: read-set stamps, snapshot-at-begin
+//! multi-version reads, and the atomic validate-and-install primitive.
+//!
+//! Under `ConcurrencyMode::Occ` a transaction executes against a snapshot
+//! of the store taken at its first query, records the version it observed
+//! for every item it read, and defers all conflict detection to the 2PVC
+//! voting phase: the participant votes YES only if every read stamp still
+//! matches the live store (and short commit-scope pins can be taken). The
+//! store-side pieces live here; the protocol-side fusion with the vote is
+//! in `safetx-core`.
+
+use crate::kv::{LocalStore, VersionedItem, WriteSet};
+use safetx_types::{DataItemId, DataVersion, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The versions a transaction observed while reading, keyed by item.
+///
+/// `None` stamps an item that was absent when read — its continued absence
+/// is part of validation (phantom-free for point reads). First read wins:
+/// re-reading an item within the transaction keeps the original stamp, so
+/// a snapshot read repeated after a foreign install still validates
+/// against what the transaction actually saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadSet {
+    stamps: BTreeMap<DataItemId, Option<DataVersion>>,
+}
+
+impl ReadSet {
+    /// Creates an empty read set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the version observed for `item` (first read wins).
+    pub fn record(&mut self, item: DataItemId, observed: Option<DataVersion>) {
+        self.stamps.entry(item).or_insert(observed);
+    }
+
+    /// The recorded stamp for `item`: `None` if never read,
+    /// `Some(None)` if read-as-absent.
+    #[must_use]
+    pub fn get(&self, item: DataItemId) -> Option<Option<DataVersion>> {
+        self.stamps.get(&item).copied()
+    }
+
+    /// Iterates over stamps in item order.
+    pub fn iter(&self) -> impl Iterator<Item = (DataItemId, Option<DataVersion>)> + '_ {
+        self.stamps.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Items read, in id order.
+    pub fn items(&self) -> impl Iterator<Item = DataItemId> + '_ {
+        self.stamps.keys().copied()
+    }
+
+    /// Number of distinct items read.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True when nothing was read.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+}
+
+impl FromIterator<(DataItemId, Option<DataVersion>)> for ReadSet {
+    fn from_iter<I: IntoIterator<Item = (DataItemId, Option<DataVersion>)>>(iter: I) -> Self {
+        let mut rs = ReadSet::new();
+        for (k, v) in iter {
+            rs.record(k, v);
+        }
+        rs
+    }
+}
+
+impl LocalStore {
+    /// The live version of `item`, `None` when absent.
+    #[must_use]
+    pub fn version_of(&self, item: DataItemId) -> Option<DataVersion> {
+        self.read(item).map(|v| v.version)
+    }
+
+    /// OCC validation: every read stamp still matches the live store.
+    ///
+    /// An item stamped as absent must still be absent; an item stamped at
+    /// version `v` must still be at exactly `v`.
+    #[must_use]
+    pub fn validate(&self, reads: &ReadSet) -> bool {
+        reads
+            .iter()
+            .all(|(item, stamp)| self.version_of(item) == stamp)
+    }
+
+    /// The atomic OCC commit primitive: validate the read set against the
+    /// live store and, only if every stamp holds, install the write set.
+    /// Returns the versions assigned on success, `None` (store untouched)
+    /// on a stale read set.
+    ///
+    /// Atomicity is by `&mut self` exclusion — callers on a shared store
+    /// must serialize through whatever wraps it (the server protocol plane
+    /// is single-threaded per server, which is what makes commit-scope
+    /// pins plus this check sufficient for serializability).
+    pub fn validate_and_install(
+        &mut self,
+        reads: &ReadSet,
+        writes: &WriteSet,
+        at: Timestamp,
+    ) -> Option<Vec<DataVersion>> {
+        if !self.validate(reads) {
+            return None;
+        }
+        Some(self.apply(writes, at))
+    }
+}
+
+/// A snapshot handle: all reads through it observe the store as of the
+/// overlay epoch at which it was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotId(u64);
+
+impl SnapshotId {
+    /// The epoch this snapshot observes.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Before-image overlay giving snapshot (multi-version) reads over a
+/// [`LocalStore`] without changing the store's own representation — the
+/// locking mode never touches this, keeping its layout and behavior
+/// byte-identical.
+///
+/// Installs advance an epoch counter; while snapshots are open, each
+/// install records the prior state of every overwritten item tagged with
+/// the epoch at which it was replaced. A snapshot taken at epoch `S`
+/// reading item `i` scans `i`'s history for the earliest entry replaced
+/// after `S` — that entry's before-image is the value as of `S`; with no
+/// such entry the live value stands. History is garbage-collected as the
+/// oldest open snapshot advances, and the whole overlay is dropped on a
+/// server crash (volatile state, like the lock table).
+#[derive(Debug, Clone, Default)]
+pub struct MvccOverlay {
+    epoch: u64,
+    /// Open snapshots: epoch → refcount (several transactions may begin
+    /// between two installs and share an epoch).
+    active: BTreeMap<u64, usize>,
+    /// item → [(replaced_at_epoch, before-image)] in ascending epoch
+    /// order. `None` records the item as absent before the install.
+    history: BTreeMap<DataItemId, Vec<(u64, Option<VersionedItem>)>>,
+}
+
+impl MvccOverlay {
+    /// Creates an empty overlay at epoch 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a snapshot at the current epoch.
+    pub fn begin_snapshot(&mut self) -> SnapshotId {
+        *self.active.entry(self.epoch).or_insert(0) += 1;
+        SnapshotId(self.epoch)
+    }
+
+    /// Closes a snapshot, releasing retained history no open snapshot can
+    /// observe anymore. Tolerates snapshots orphaned by [`Self::clear`].
+    pub fn release_snapshot(&mut self, snap: SnapshotId) {
+        if let Some(count) = self.active.get_mut(&snap.0) {
+            *count -= 1;
+            if *count == 0 {
+                self.active.remove(&snap.0);
+            }
+        }
+        self.gc();
+    }
+
+    /// Reads `item` as of `snap`, falling back to the live store when no
+    /// retained before-image is newer than the snapshot.
+    #[must_use]
+    pub fn read_at<'a>(
+        &'a self,
+        store: &'a LocalStore,
+        snap: SnapshotId,
+        item: DataItemId,
+    ) -> Option<&'a VersionedItem> {
+        if let Some(entries) = self.history.get(&item) {
+            for (replaced_at, before) in entries {
+                if *replaced_at > snap.0 {
+                    return before.as_ref();
+                }
+            }
+        }
+        store.read(item)
+    }
+
+    /// Records the before-images an install is about to overwrite, then
+    /// advances the epoch. Call immediately before `store.apply(writes)`.
+    /// With no snapshot open, only the epoch advances (nothing to retain).
+    pub fn record_install(&mut self, store: &LocalStore, writes: &WriteSet) {
+        self.epoch += 1;
+        if self.active.is_empty() {
+            return;
+        }
+        for (item, _) in writes.iter() {
+            self.history
+                .entry(item)
+                .or_default()
+                .push((self.epoch, store.read(item).cloned()));
+        }
+    }
+
+    /// Drops all overlay state (server crash: snapshots are volatile).
+    pub fn clear(&mut self) {
+        self.active.clear();
+        self.history.clear();
+    }
+
+    /// True when no snapshot is open and no history is retained.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.active.is_empty() && self.history.is_empty()
+    }
+
+    fn gc(&mut self) {
+        match self.active.keys().next().copied() {
+            None => self.history.clear(),
+            Some(oldest) => {
+                // An entry replaced at epoch e serves only snapshots with
+                // S < e; drop entries no open snapshot can reach.
+                self.history.retain(|_, entries| {
+                    entries.retain(|(e, _)| *e > oldest);
+                    !entries.is_empty()
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn item(n: u64) -> DataItemId {
+        DataItemId::new(n)
+    }
+
+    #[test]
+    fn read_set_first_read_wins() {
+        let mut rs = ReadSet::new();
+        rs.record(item(0), Some(DataVersion(1)));
+        rs.record(item(0), Some(DataVersion(9)));
+        assert_eq!(rs.get(item(0)), Some(Some(DataVersion(1))));
+        rs.record(item(1), None);
+        assert_eq!(rs.get(item(1)), Some(None));
+        assert_eq!(rs.get(item(2)), None);
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn validate_checks_exact_versions_and_absence() {
+        let mut store = LocalStore::new();
+        store.write(item(0), Value::Int(1), Timestamp::ZERO);
+        let rs: ReadSet = [(item(0), Some(DataVersion(1))), (item(1), None)]
+            .into_iter()
+            .collect();
+        assert!(store.validate(&rs));
+        store.write(item(0), Value::Int(2), Timestamp::ZERO);
+        assert!(!store.validate(&rs), "stale version must fail");
+        let rs_absent: ReadSet = [(item(1), None)].into_iter().collect();
+        assert!(store.validate(&rs_absent));
+        store.write(item(1), Value::Int(7), Timestamp::ZERO);
+        assert!(!store.validate(&rs_absent), "appeared item must fail");
+    }
+
+    #[test]
+    fn validate_and_install_is_all_or_nothing() {
+        let mut store = LocalStore::new();
+        store.write(item(0), Value::Int(1), Timestamp::ZERO);
+        let rs: ReadSet = [(item(0), Some(DataVersion(1)))].into_iter().collect();
+        let ws: WriteSet = [(item(0), Value::Int(2)), (item(1), Value::Int(3))]
+            .into_iter()
+            .collect();
+        let versions = store
+            .validate_and_install(&rs, &ws, Timestamp::ZERO)
+            .expect("fresh stamps install");
+        assert_eq!(versions.len(), 2);
+        assert_eq!(store.read_int(item(0)), Some(2));
+        assert_eq!(store.read_int(item(1)), Some(3));
+
+        // Now the stamp is stale; nothing may change.
+        let ws2: WriteSet = [(item(1), Value::Int(99))].into_iter().collect();
+        assert!(store
+            .validate_and_install(&rs, &ws2, Timestamp::ZERO)
+            .is_none());
+        assert_eq!(
+            store.read_int(item(1)),
+            Some(3),
+            "store untouched on failure"
+        );
+    }
+
+    #[test]
+    fn snapshot_reads_see_begin_state_across_installs() {
+        let mut store = LocalStore::new();
+        let mut mvcc = MvccOverlay::new();
+        store.write(item(0), Value::Int(10), Timestamp::ZERO);
+
+        let snap = mvcc.begin_snapshot();
+        assert_eq!(
+            mvcc.read_at(&store, snap, item(0)).map(|v| v.value.clone()),
+            Some(Value::Int(10))
+        );
+
+        // A foreign commit installs over item 0 and creates item 1.
+        let ws: WriteSet = [(item(0), Value::Int(20)), (item(1), Value::Int(1))]
+            .into_iter()
+            .collect();
+        mvcc.record_install(&store, &ws);
+        store.apply(&ws, Timestamp::ZERO);
+
+        // The snapshot still sees begin-time state.
+        assert_eq!(
+            mvcc.read_at(&store, snap, item(0)).map(|v| v.value.clone()),
+            Some(Value::Int(10))
+        );
+        assert!(mvcc.read_at(&store, snap, item(1)).is_none());
+
+        // A fresh snapshot sees the new state.
+        let snap2 = mvcc.begin_snapshot();
+        assert_eq!(
+            mvcc.read_at(&store, snap2, item(0))
+                .map(|v| v.value.clone()),
+            Some(Value::Int(20))
+        );
+        assert_eq!(
+            mvcc.read_at(&store, snap2, item(1))
+                .map(|v| v.value.clone()),
+            Some(Value::Int(1))
+        );
+
+        mvcc.release_snapshot(snap);
+        mvcc.release_snapshot(snap2);
+        assert!(mvcc.is_quiescent(), "history gc'd when snapshots close");
+    }
+
+    #[test]
+    fn snapshot_picks_earliest_before_image_after_its_epoch() {
+        let mut store = LocalStore::new();
+        let mut mvcc = MvccOverlay::new();
+        store.write(item(0), Value::Int(1), Timestamp::ZERO);
+        let snap = mvcc.begin_snapshot();
+        for n in [2, 3, 4] {
+            let ws: WriteSet = [(item(0), Value::Int(n))].into_iter().collect();
+            mvcc.record_install(&store, &ws);
+            store.apply(&ws, Timestamp::ZERO);
+        }
+        assert_eq!(
+            mvcc.read_at(&store, snap, item(0)).map(|v| v.value.clone()),
+            Some(Value::Int(1)),
+            "oldest retained before-image wins, not the latest"
+        );
+        mvcc.release_snapshot(snap);
+    }
+
+    #[test]
+    fn clear_orphans_snapshots_without_panicking() {
+        let mut store = LocalStore::new();
+        let mut mvcc = MvccOverlay::new();
+        let snap = mvcc.begin_snapshot();
+        let ws: WriteSet = [(item(0), Value::Int(1))].into_iter().collect();
+        mvcc.record_install(&store, &ws);
+        store.apply(&ws, Timestamp::ZERO);
+        mvcc.clear();
+        assert!(mvcc.is_quiescent());
+        mvcc.release_snapshot(snap); // must be a no-op, not a panic
+        assert!(mvcc.is_quiescent());
+    }
+
+    #[test]
+    fn record_install_without_open_snapshots_retains_nothing() {
+        let mut store = LocalStore::new();
+        let mut mvcc = MvccOverlay::new();
+        let ws: WriteSet = [(item(0), Value::Int(1))].into_iter().collect();
+        mvcc.record_install(&store, &ws);
+        store.apply(&ws, Timestamp::ZERO);
+        assert!(mvcc.is_quiescent());
+    }
+}

@@ -264,6 +264,16 @@ fn version_inconsistency_maps_identically() {
 
 #[test]
 fn lock_conflict_maps_identically() {
+    // The contention abort is mode-dependent by design: pessimistic
+    // locking surfaces it as LockConflict at execution, OCC as
+    // ValidationConflict at the 2PVC vote. Both drivers honour
+    // SAFETX_CONCURRENCY_MODE, so derive the expectation from it and
+    // require the two drivers to agree.
+    let expected = match safetx_core::ConcurrencyMode::from_env() {
+        safetx_core::ConcurrencyMode::Locking => AbortReason::LockConflict,
+        safetx_core::ConcurrencyMode::Occ => AbortReason::ValidationConflict,
+    };
+
     // Simulator: two contending transactions, deterministic interleave.
     let mut exp = sim(ProofScheme::Punctual, ConsistencyLevel::View);
     let cred = sim_credential(&mut exp);
@@ -278,7 +288,7 @@ fn lock_conflict_maps_identically() {
         .iter()
         .find_map(|r| r.outcome.abort_reason())
         .expect("one abort");
-    assert_eq!(sim_abort, AbortReason::LockConflict);
+    assert_eq!(sim_abort, expected);
 
     // Threaded: genuinely concurrent executes race on the same no-wait
     // locks. The interleave is scheduler-dependent, so retry until a
@@ -302,7 +312,7 @@ fn lock_conflict_maps_identically() {
         for handle in handles {
             let outcome = handle.join().expect("executor thread");
             if let Some(reason) = outcome.abort_reason() {
-                assert_eq!(reason, AbortReason::LockConflict, "unexpected abort kind");
+                assert_eq!(reason, expected, "unexpected abort kind");
                 saw_conflict = true;
             }
         }

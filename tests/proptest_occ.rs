@@ -1,0 +1,169 @@
+//! Concurrency-mode equivalence: under conflict-free schedules the
+//! optimistic (OCC) mode must be observationally identical to pessimistic
+//! locking — same per-transaction outcomes, same final stores and the same
+//! Table-I cost counters. Snapshot reads and validate-at-2PVC change *how*
+//! isolation is enforced, never *what* a non-conflicting workload observes.
+//!
+//! Conflict-freedom is by construction: every query touches a globally
+//! unique data item, so no lock ever blocks and no validation ever fails.
+//! The anomaly side (OCC rejecting lost updates and write skew) is covered
+//! by the `ServerCore` unit tests in `safetx-core`.
+
+use proptest::prelude::*;
+use safetx::core::{CloudServerActor, ConcurrencyMode, Experiment, ExperimentConfig, TxnOutcome};
+use safetx::policy::{Atom, Constant, PolicyBuilder};
+use safetx::store::Value;
+use safetx::txn::{Operation, QuerySpec, TransactionSpec};
+use safetx::types::{
+    AdminDomain, DataItemId, Duration, PolicyId, PolicyVersion, ServerId, Timestamp, TxnId, UserId,
+};
+
+const SERVERS: usize = 3;
+
+/// Observables of one mode run: sorted per-transaction outcomes, Table-I
+/// totals and the final value of every touched `(server, item)` pair.
+type ModeRun = (
+    Vec<(TxnId, TxnOutcome)>,
+    safetx::metrics::ProtocolMetrics,
+    Vec<(u64, u64, Option<i64>)>,
+);
+
+/// One planned query: which server it runs on and what it does to its
+/// (globally unique) data item.
+#[derive(Debug, Clone)]
+enum PlannedOp {
+    Read,
+    Write(i64),
+    Add(i64),
+}
+
+#[derive(Debug, Clone)]
+struct PlannedQuery {
+    server: u64,
+    op: PlannedOp,
+}
+
+fn planned_op() -> impl Strategy<Value = PlannedOp> {
+    prop_oneof![
+        Just(PlannedOp::Read),
+        (-50i64..50).prop_map(PlannedOp::Write),
+        (-5i64..5).prop_map(PlannedOp::Add),
+    ]
+}
+
+fn planned_query() -> impl Strategy<Value = PlannedQuery> {
+    (0..SERVERS as u64, planned_op()).prop_map(|(server, op)| PlannedQuery { server, op })
+}
+
+fn schedule() -> impl Strategy<Value = Vec<Vec<PlannedQuery>>> {
+    prop::collection::vec(prop::collection::vec(planned_query(), 1..4), 1..6)
+}
+
+/// The globally unique item for transaction `t`'s query `q`.
+fn item_for(t: usize, q: usize) -> DataItemId {
+    DataItemId::new((t * 16 + q) as u64)
+}
+
+/// Runs one seeded schedule in the given mode and returns per-transaction
+/// outcomes, Table-I totals and the final value of every touched item.
+fn run_mode(plans: &[Vec<PlannedQuery>], seed: u64, mode: ConcurrencyMode) -> ModeRun {
+    let mut exp = Experiment::new(ExperimentConfig {
+        seed,
+        servers: SERVERS,
+        concurrency: mode,
+        ..Default::default()
+    });
+    exp.catalog().publish(
+        PolicyBuilder::new(PolicyId::new(0), AdminDomain::new(0))
+            .rules_text("grant(write, records) :- role(U, member).")
+            .unwrap()
+            .build(),
+    );
+    exp.install_everywhere(PolicyId::new(0), PolicyVersion::INITIAL);
+    for (t, queries) in plans.iter().enumerate() {
+        for (q, planned) in queries.iter().enumerate() {
+            exp.seed_item(
+                ServerId::new(planned.server),
+                item_for(t, q),
+                Value::Int(100),
+            );
+        }
+    }
+    let cred = exp.issue_credential(
+        UserId::new(1),
+        Atom::fact(
+            "role",
+            vec![Constant::symbol("u1"), Constant::symbol("member")],
+        ),
+        Timestamp::ZERO,
+        Timestamp::MAX,
+    );
+    for (t, queries) in plans.iter().enumerate() {
+        let specs = queries
+            .iter()
+            .enumerate()
+            .map(|(q, planned)| {
+                let item = item_for(t, q);
+                let ops = match planned.op {
+                    PlannedOp::Read => vec![Operation::Read(item)],
+                    PlannedOp::Write(v) => vec![Operation::Write(item, Value::Int(v))],
+                    PlannedOp::Add(d) => vec![Operation::Add(item, d)],
+                };
+                QuerySpec::new(ServerId::new(planned.server), "write", "records", ops)
+            })
+            .collect();
+        exp.submit(
+            TransactionSpec::new(TxnId::new(t as u64 + 1), UserId::new(1), specs),
+            vec![cred.clone()],
+            Duration::from_micros(t as u64 * 40),
+        );
+    }
+    exp.run();
+    let report = exp.report();
+    let mut outcomes: Vec<(TxnId, TxnOutcome)> =
+        report.records.iter().map(|r| (r.txn, r.outcome)).collect();
+    outcomes.sort_by_key(|(txn, _)| *txn);
+
+    let mut finals = Vec::new();
+    for (t, queries) in plans.iter().enumerate() {
+        for (q, planned) in queries.iter().enumerate() {
+            let node = exp.book().server_node(ServerId::new(planned.server));
+            let server = exp
+                .world()
+                .actor::<CloudServerActor>(node)
+                .expect("server exists");
+            finals.push((
+                planned.server,
+                item_for(t, q).index(),
+                server.store().read_int(item_for(t, q)),
+            ));
+        }
+    }
+    (outcomes, report.totals(), finals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every conflict-free schedule: identical outcomes (all commits),
+    /// identical final stores and identical Table-I counters in both modes.
+    #[test]
+    fn occ_equals_locking_on_conflict_free_schedules(
+        plans in schedule(),
+        seed in 0u64..1024,
+    ) {
+        let (lock_out, lock_totals, lock_finals) =
+            run_mode(&plans, seed, ConcurrencyMode::Locking);
+        let (occ_out, occ_totals, occ_finals) =
+            run_mode(&plans, seed, ConcurrencyMode::Occ);
+
+        prop_assert_eq!(lock_out.len(), plans.len(), "every txn completes");
+        prop_assert!(
+            lock_out.iter().all(|(_, o)| o.is_commit()),
+            "conflict-free schedules commit under locking: {lock_out:?}"
+        );
+        prop_assert_eq!(&lock_out, &occ_out, "outcome streams diverge");
+        prop_assert_eq!(lock_totals, occ_totals, "Table-I counters diverge");
+        prop_assert_eq!(&lock_finals, &occ_finals, "final stores diverge");
+    }
+}

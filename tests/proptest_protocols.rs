@@ -36,6 +36,7 @@ fn reply(version: u64, peer: &Peer) -> ValidationReply {
     ValidationReply {
         vote: peer.vote,
         truth: peer.truth,
+        conflict: false,
         versions: [(PolicyId::new(0), PolicyVersion(version))].into(),
         proofs: vec![],
     }

@@ -186,15 +186,19 @@ fn validation_reply() -> BoxedStrategy<ValidationReply> {
     (
         prop_oneof![Just(Vote::Yes), Just(Vote::No)],
         any::<bool>(),
+        any::<bool>(),
         versions(),
         prop::collection::vec(proof(), 0..3),
     )
-        .prop_map(|(vote, truth, versions, proofs)| ValidationReply {
-            vote,
-            truth,
-            versions,
-            proofs,
-        })
+        .prop_map(
+            |(vote, truth, conflict, versions, proofs)| ValidationReply {
+                vote,
+                truth,
+                conflict,
+                versions,
+                proofs,
+            },
+        )
         .boxed()
 }
 
